@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the performance-critical paths behind
+//! Tables II and III: environment stepping (incremental vs re-compile
+//! architectures, batched RPC), environment initialization (cold vs cached),
+//! and each observation space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_step_architectures(c: &mut Criterion) {
+    let uri = "benchmark://cbench-v1/sha";
+    let mut g = c.benchmark_group("step_throughput");
+    g.sample_size(20);
+
+    let mut env = cg_core::make("llvm-v0").unwrap();
+    env.set_benchmark(uri);
+    env.reset().unwrap();
+    let dce = env.action_space().index_of("dce").unwrap();
+    g.bench_function("compilergym_step", |b| {
+        b.iter(|| env.step(dce).unwrap());
+    });
+    let actions = vec![dce; 10];
+    g.bench_function("compilergym_step_batched_10", |b| {
+        b.iter(|| env.step_batched(&actions).unwrap());
+    });
+
+    let mut ap = cg_baselines::AutophaseStyleEnv::new(uri).unwrap();
+    for _ in 0..10 {
+        ap.step(dce); // give it a prefix so the O(nm) term is visible
+    }
+    g.bench_function("autophase_style_step", |b| {
+        b.iter(|| {
+            ap.reset();
+            for _ in 0..5 {
+                ap.step(dce);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_env_init(c: &mut Criterion) {
+    let mut g = c.benchmark_group("env_init");
+    g.sample_size(20);
+    let mut env = cg_core::make("llvm-v0").unwrap();
+    env.set_benchmark("benchmark://cbench-v1/qsort");
+    g.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            cg_core::envs::llvm::clear_benchmark_cache();
+            env.reset().unwrap()
+        });
+    });
+    env.reset().unwrap();
+    g.bench_function("warm_cache", |b| {
+        b.iter(|| env.reset().unwrap());
+    });
+    g.finish();
+}
+
+fn bench_observation_spaces(c: &mut Criterion) {
+    let m = cg_datasets::benchmark("benchmark://cbench-v1/sha").unwrap();
+    let mut g = c.benchmark_group("observation_spaces");
+    g.sample_size(20);
+    g.bench_function("ir_text", |b| b.iter(|| cg_llvm::observation::ir_text(&m)));
+    g.bench_function("inst_count", |b| b.iter(|| cg_llvm::observation::inst_count(&m)));
+    g.bench_function("autophase", |b| b.iter(|| cg_llvm::observation::autophase(&m)));
+    g.bench_function("inst2vec", |b| b.iter(|| cg_llvm::observation::inst2vec(&m)));
+    g.bench_function("programl", |b| b.iter(|| cg_llvm::observation::programl(&m)));
+    g.finish();
+}
+
+fn bench_pass_pipeline(c: &mut Criterion) {
+    let m = cg_datasets::benchmark("benchmark://cbench-v1/crc32").unwrap();
+    let mut g = c.benchmark_group("passes");
+    g.sample_size(20);
+    for name in ["mem2reg", "gvn", "sccp", "simplifycfg-aggressive", "inline-100"] {
+        let pass = cg_llvm::pass::find_pass(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut x = m.clone();
+                pass.run(&mut x)
+            });
+        });
+    }
+    g.bench_function("full_oz_pipeline", |b| {
+        b.iter(|| {
+            let mut x = m.clone();
+            cg_llvm::pipeline::run_oz(&mut x)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_architectures,
+    bench_env_init,
+    bench_observation_spaces,
+    bench_pass_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 6: the distribution of step times across the 23 cBench programs
+//! (per-program medians; the paper reports a 560x spread between crc32 and
+//! ghostscript).
+
+use cg_bench::{rng, scaled, WallStats};
+use rand::Rng as _;
+
+fn main() {
+    let steps = scaled(40, 2000);
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut env = cg_core::make("llvm-v0").unwrap();
+    let n_actions = env.action_space().len();
+    for name in cg_datasets::CBENCH {
+        let mut r = rng(cg_ir::fnv1a(name.as_bytes()));
+        env.set_benchmark(&format!("benchmark://cbench-v1/{name}"));
+        env.reset().unwrap();
+        let mut s = WallStats::new();
+        for i in 0..steps {
+            if i % 25 == 24 {
+                env.reset().unwrap();
+            }
+            let a = r.gen_range(0..n_actions);
+            s.time(|| env.step(a).unwrap());
+        }
+        rows.push((name.to_string(), s.percentile(50.0), s.percentile(99.0)));
+    }
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("Figure 6: per-program step-time distribution (cBench)");
+    println!("{:<16} {:>10} {:>10}", "program", "p50 (ms)", "p99 (ms)");
+    for (n, p50, p99) in &rows {
+        println!("{n:<16} {p50:>10.3} {p99:>10.3}");
+    }
+    let ratio = rows.last().unwrap().1 / rows[0].1.max(1e-9);
+    println!(
+        "\nmedian-step spread: {:.1}x between {} and {} (paper: 560.3x crc32..ghostscript)",
+        ratio,
+        rows[0].0,
+        rows.last().unwrap().0
+    );
+}

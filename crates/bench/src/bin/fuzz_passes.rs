@@ -1,0 +1,39 @@
+//! Pass-pipeline fuzzer: random action sequences with verification after
+//! every action (the daily "fuzz and stress tests" of §VI).
+
+use rand::{Rng as _, SeedableRng as _};
+
+fn main() {
+    let space = cg_llvm::action_space::ActionSpace::new();
+    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    for seed in 0..trials {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let uri = format!("benchmark://csmith-v0/{}", rng.gen_range(0..5000));
+        let base = cg_datasets::benchmark(&uri).unwrap();
+        let mut m = base.clone();
+        let mut taken: Vec<String> = Vec::new();
+        for _ in 0..24 {
+            let a = rng.gen_range(0..space.len());
+            taken.push(space.names()[a].clone());
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut x = m.clone();
+                space.apply(&mut x, a);
+                x
+            }));
+            match result {
+                Ok(x) => {
+                    if let Err(e) = cg_ir::verify::verify_module(&x) {
+                        println!("VERIFY FAIL {uri} after {taken:?}: {e}");
+                        return;
+                    }
+                    m = x;
+                }
+                Err(_) => {
+                    println!("PANIC {uri} after {taken:?}");
+                    return;
+                }
+            }
+        }
+    }
+    println!("ok: {trials} trials clean");
+}

@@ -1,0 +1,17 @@
+//! Table I: the benchmark dataset inventory.
+
+fn main() {
+    println!("Table I: LLVM benchmark datasets included");
+    println!("{:<18} {:>14}  runnable", "Dataset", "#Benchmarks");
+    for d in cg_datasets::datasets() {
+        let n = match d.len() {
+            Some(n) => n.to_string(),
+            None => "2^32".to_string(),
+        };
+        println!("{:<18} {:>14}  {}", d.name, n, if d.runnable { "yes" } else { "no" });
+    }
+    println!(
+        "Total (excluding generators): {}",
+        cg_datasets::total_finite_benchmarks()
+    );
+}

@@ -1,0 +1,56 @@
+//! Table III: computational costs of the LLVM observation and reward
+//! spaces over random trajectories.
+
+use cg_bench::{rng, scaled, WallStats};
+use rand::Rng as _;
+
+fn main() {
+    let uris: Vec<String> = cg_datasets::CBENCH
+        .iter()
+        .map(|n| format!("benchmark://cbench-v1/{n}"))
+        .collect();
+    let samples = scaled(150, 10_000);
+    let mut r = rng(7);
+    let mut env = cg_core::make("llvm-v0").unwrap();
+    let spaces = ["Ir", "InstCount", "Autophase", "Inst2vec", "Programl"];
+    let rewards = ["IrInstructionCount", "ObjectTextSizeBytes", "Runtime"];
+    let mut stats: Vec<WallStats> = (0..spaces.len() + rewards.len())
+        .map(|_| WallStats::new())
+        .collect();
+    let n_actions = env.action_space().len();
+    let mut collected = 0;
+    'outer: while collected < samples {
+        let uri = &uris[r.gen_range(0..uris.len())];
+        env.set_benchmark(uri);
+        env.reset().unwrap();
+        for _ in 0..10 {
+            let a = r.gen_range(0..n_actions);
+            env.step(a).unwrap();
+            for (i, s) in spaces.iter().enumerate() {
+                stats[i].time(|| env.observe(s).unwrap());
+            }
+            for (i, s) in rewards.iter().enumerate() {
+                // Runtime can fail on traps mid-optimization for llvm-stress;
+                // cBench is always runnable.
+                stats[spaces.len() + i].time(|| {
+                    let _ = env.observe(s);
+                });
+            }
+            collected += 1;
+            if collected >= samples {
+                break 'outer;
+            }
+        }
+    }
+    println!("Table III: observation/reward space costs ({collected} samples)");
+    println!("{:<22} {:>12} {:>12} {:>12}", "Space", "p50", "p99", "mean");
+    for (i, s) in spaces.iter().enumerate() {
+        println!("{:<22} {}", s, stats[i].row());
+    }
+    for (i, s) in rewards.iter().enumerate() {
+        println!("{:<22} {}", format!("{s} (reward)"), stats[spaces.len() + i].row());
+    }
+    let fastest = stats.iter().map(WallStats::mean).fold(f64::INFINITY, f64::min);
+    let slowest = stats.iter().map(WallStats::mean).fold(0.0, f64::max);
+    println!("\nRange across spaces: {:.0}x (paper: 192x obs / 4727x rewards)", slowest / fastest.max(1e-9));
+}

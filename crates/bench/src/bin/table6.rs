@@ -1,0 +1,54 @@
+//! Table VI: four RL algorithms trained on Csmith programs, evaluated on
+//! every dataset family (geomean code-size reduction vs -Oz).
+
+use cg_bench::rl_common::{evaluate_geomean, feat_dim, rl_env, uris};
+use cg_bench::scaled;
+use cg_rl::{Algo, TrainConfig};
+
+fn main() {
+    let train_benchmarks = uris("csmith-v0", scaled(8, 50), 0);
+    let episodes = scaled(300, 100_000);
+    let eval_per_dataset = scaled(4, 50);
+    let datasets = [
+        "anghabench-v1",
+        "blas-v0",
+        "cbench-v1",
+        "chstone-v0",
+        "clgen-v0",
+        "csmith-v0",
+        "github-v0",
+        "linux-v0",
+        "llvm-stress-v0",
+        "mibench-v1",
+        "npb-v0",
+        "opencv-v0",
+        "poj104-v1",
+        "tensorflow-v0",
+    ];
+    println!("Table VI: RL generalization ({episodes} training episodes on csmith)");
+    print!("{:<16}", "Test dataset");
+    let algos = [Algo::A2c, Algo::Apex, Algo::Impala, Algo::Ppo];
+    for a in algos {
+        print!(" {:>8}", a.name());
+    }
+    println!();
+    let mut policies = Vec::new();
+    for algo in algos {
+        eprintln!("training {}…", algo.name());
+        let mut env = rl_env(train_benchmarks.clone(), "Autophase", true);
+        let cfg = TrainConfig { episodes, steps: 45, seed: 0xC0FFEE, ..TrainConfig::default() };
+        let (policy, _) = algo.train(env.as_mut(), feat_dim("Autophase", true), &cfg).unwrap();
+        policies.push(policy);
+    }
+    for ds in datasets {
+        // Held-out benchmarks (offset past the training seeds for csmith).
+        let eval = uris(ds, eval_per_dataset, 500);
+        print!("{ds:<16}");
+        for p in &policies {
+            let g = evaluate_geomean(p, &eval, "Autophase", true);
+            print!(" {g:>7.3}x");
+        }
+        println!();
+    }
+    println!("(paper: most entries below 1.0x; PPO positive on csmith + 2 others — generalization is hard)");
+}

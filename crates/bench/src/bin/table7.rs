@@ -1,0 +1,36 @@
+//! Table VII: the effect of training set on PPO generalization — a 3x3
+//! train/test cross-validation over Csmith, GitHub and TensorFlow.
+
+use cg_bench::rl_common::{evaluate_geomean, feat_dim, rl_env, uris};
+use cg_bench::scaled;
+use cg_rl::{Algo, TrainConfig};
+
+fn main() {
+    let families = ["csmith-v0", "github-v0", "tensorflow-v0"];
+    let episodes = scaled(300, 100_000);
+    let n_train = scaled(8, 50);
+    let n_eval = scaled(4, 50);
+    println!("Table VII: PPO train/test cross-validation ({episodes} episodes)");
+    print!("{:<16}", "test \\ train");
+    for f in families {
+        print!(" {f:>16}");
+    }
+    println!();
+    let mut policies = Vec::new();
+    for train in families {
+        eprintln!("training PPO on {train}…");
+        let mut env = rl_env(uris(train, n_train, 0), "Autophase", true);
+        let cfg = TrainConfig { episodes, steps: 45, seed: 0xABCD, ..TrainConfig::default() };
+        let (p, _) = Algo::Ppo.train(env.as_mut(), feat_dim("Autophase", true), &cfg).unwrap();
+        policies.push(p);
+    }
+    for test in families {
+        print!("{test:<16}");
+        let eval = uris(test, n_eval, 700);
+        for p in &policies {
+            print!(" {:>15.3}x", evaluate_geomean(p, &eval, "Autophase", true));
+        }
+        println!();
+    }
+    println!("(paper: the diagonal dominates — agents do best on their own training domain)");
+}

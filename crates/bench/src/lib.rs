@@ -1,0 +1,127 @@
+//! # cg-bench: experiment harnesses
+//!
+//! One binary per table and figure of the paper's evaluation (§VII):
+//! `table1`…`table7`, `figure6`…`figure9`, plus Criterion micro-benchmarks
+//! for the performance-critical paths. Each binary prints rows shaped like
+//! the paper's. Defaults are scaled down to finish in minutes; set
+//! `CG_BENCH_FULL=1` to raise budgets toward paper scale.
+
+pub mod rl_common;
+
+use std::time::Instant;
+
+/// True when `CG_BENCH_FULL=1` requests paper-scale budgets.
+pub fn full_scale() -> bool {
+    std::env::var("CG_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Picks a budget by scale.
+pub fn scaled(small: usize, full: usize) -> usize {
+    if full_scale() { full } else { small }
+}
+
+/// Wall-time statistics in milliseconds.
+#[derive(Debug, Clone, Default)]
+pub struct WallStats {
+    samples: Vec<f64>,
+}
+
+impl WallStats {
+    /// An empty collector.
+    pub fn new() -> WallStats {
+        WallStats::default()
+    }
+
+    /// Times one call and records it.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.samples.push(t.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+
+    /// Records a precomputed sample (ms).
+    pub fn push(&mut self, ms: f64) {
+        self.samples.push(ms);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn sorted(&self) -> Vec<f64> {
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// The p-th percentile (0..=100), in ms.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let v = self.sorted();
+        if v.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+
+    /// Arithmetic mean, in ms.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Formats as `p50 / p99 / mean` in ms.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>10.3}ms {:>10.3}ms {:>10.3}ms",
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.mean()
+        )
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A deterministic RNG for harnesses.
+pub fn rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng as _;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_mean() {
+        let mut s = WallStats::new();
+        for i in 1..=100 {
+            s.push(i as f64);
+        }
+        // Nearest-rank on 0-based indices: p50 of 1..=100 is sample 51.
+        assert_eq!(s.percentile(50.0), 51.0);
+        assert_eq!(s.percentile(99.0), 99.0);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_of_twos() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

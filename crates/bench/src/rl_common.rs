@@ -1,0 +1,112 @@
+//! Shared experiment plumbing for the RL tables (VI, VII) and Figure 9:
+//! the paper's Autophase-replica environment stack (42-action subset,
+//! feature-vector + action-histogram observation, 45-step episodes) and
+//! greedy policy evaluation across datasets.
+
+use cg_core::wrappers::{ActionSubset, ConcatActionHistogram, CycleOverBenchmarks, Env, TimeLimit};
+use cg_core::CompilerEnv;
+use cg_rl::{featurize, geomean, Policy};
+
+/// Episode length used throughout (§VII-G: 45 steps).
+pub const EPISODE_STEPS: usize = 45;
+
+/// Builds the paper's RL environment stack over a list of training
+/// benchmarks. `observation` is the base observation space name; when
+/// `histogram` is set the action histogram is concatenated (the Autophase
+/// representation).
+pub fn rl_env(
+    benchmarks: Vec<String>,
+    observation: &str,
+    histogram: bool,
+) -> Box<dyn Env> {
+    let mut env = cg_core::make("llvm-autophase-ic-v0").expect("llvm env");
+    env.set_observation_space(observation);
+    let subset: Vec<usize> = cg_llvm::action_space::autophase_subset()
+        .iter()
+        .map(|n| env.action_space().index_of(n).expect("subset action"))
+        .collect();
+    let stack = ActionSubset::new(env, subset);
+    let stack = CycleOverBenchmarks::new(stack, benchmarks);
+    if histogram {
+        Box::new(TimeLimit::new(ConcatActionHistogram::new(stack), EPISODE_STEPS))
+    } else {
+        Box::new(TimeLimit::new(stack, EPISODE_STEPS))
+    }
+}
+
+/// Feature dimension of the stack built by [`rl_env`].
+pub fn feat_dim(observation: &str, histogram: bool) -> usize {
+    let base = match observation {
+        "Autophase" => cg_llvm::observation::AUTOPHASE_DIM,
+        "InstCount" => cg_llvm::observation::INST_COUNT_DIM,
+        other => panic!("unsupported observation {other}"),
+    };
+    base + if histogram { 42 } else { 0 }
+}
+
+/// Benchmark URIs for a dataset family.
+pub fn uris(dataset: &str, count: usize, offset: usize) -> Vec<String> {
+    let ds = cg_datasets::dataset(dataset).unwrap_or_else(|| panic!("dataset {dataset}"));
+    match ds.size {
+        cg_datasets::DatasetSize::Seeded => (0..count)
+            .map(|i| format!("benchmark://{dataset}/{}", 10_000 + offset + i))
+            .collect(),
+        _ => {
+            // Clamp the hold-out offset so small suites still contribute.
+            let len = ds.len().unwrap_or(u64::MAX) as usize;
+            let offset = offset.min(len.saturating_sub(count));
+            ds.benchmark_paths(count + offset)
+                .into_iter()
+                .skip(offset)
+                .map(|p| format!("benchmark://{dataset}/{p}"))
+                .collect()
+        }
+    }
+}
+
+/// Evaluates a trained policy on one benchmark: runs a greedy 45-step
+/// episode and returns `oz_size / achieved_size` (>1 beats `-Oz`).
+pub fn evaluate_on(
+    policy: &Policy,
+    uri: &str,
+    observation: &str,
+    histogram: bool,
+) -> Option<f64> {
+    let mut env: CompilerEnv = cg_core::make("llvm-autophase-ic-v0").ok()?;
+    env.set_observation_space(observation);
+    env.set_benchmark(uri);
+    let subset: Vec<usize> = cg_llvm::action_space::autophase_subset()
+        .iter()
+        .map(|n| env.action_space().index_of(n).expect("subset action"))
+        .collect();
+    env.reset().ok()?;
+    let oz = env.observe("IrInstructionCountOz").ok()?.as_scalar()?;
+    let mut histo = vec![0i64; 42];
+    let mut obs = featurize(&env.observe(observation).ok()?);
+    for _ in 0..EPISODE_STEPS {
+        let mut features = obs.clone();
+        if histogram {
+            features.extend(histo.iter().map(|&h| (h as f32).ln_1p()));
+        }
+        let a = policy.act_greedy(&features);
+        histo[a] += 1;
+        let step = env.step(subset[a]).ok()?;
+        obs = featurize(&step.observation);
+    }
+    let achieved = env.observe("IrInstructionCount").ok()?.as_scalar()?;
+    Some(oz / achieved.max(1.0))
+}
+
+/// Geomean of [`evaluate_on`] across a benchmark list.
+pub fn evaluate_geomean(
+    policy: &Policy,
+    uris: &[String],
+    observation: &str,
+    histogram: bool,
+) -> f64 {
+    let ratios: Vec<f64> = uris
+        .iter()
+        .filter_map(|u| evaluate_on(policy, u, observation, histogram))
+        .collect();
+    geomean(&ratios)
+}

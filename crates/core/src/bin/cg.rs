@@ -1,0 +1,125 @@
+//! `cg`: the command-line interface (§III-D) — inspect environments, run
+//! random searches, replay and validate saved states, all without writing
+//! code.
+//!
+//! ```text
+//! cg describe <env>                         list spaces and actions
+//! cg random <env> <benchmark> <steps>       run a random episode
+//! cg replay <state.json>                    replay a saved state
+//! cg validate <state.json>                  validate reproducibility
+//! cg datasets                               list benchmark datasets
+//! ```
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cg describe <env>\n  cg random <env> <benchmark> <steps>\n  \
+         cg replay <state.json>\n  cg validate <state.json>\n  cg datasets"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("describe") => describe(args.get(1).map(String::as_str).unwrap_or("llvm-v0")),
+        Some("random") => {
+            let env = args.get(1).cloned().unwrap_or_else(|| "llvm-v0".into());
+            let bench = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| "benchmark://cbench-v1/qsort".into());
+            let steps = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
+            random(&env, &bench, steps)
+        }
+        Some("replay") => replay(args.get(1).map(String::as_str), false),
+        Some("validate") => replay(args.get(1).map(String::as_str), true),
+        Some("datasets") => {
+            for d in cg_datasets::datasets() {
+                println!(
+                    "{:<18} {:>12}  {}",
+                    d.name,
+                    d.len().map(|n| n.to_string()).unwrap_or_else(|| "2^32".into()),
+                    d.description
+                );
+            }
+            Ok(())
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn describe(env_id: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let env = cg_core::make(env_id)?;
+    println!("environment: {env_id}");
+    for a in env.action_spaces() {
+        println!("action space {:?}: {} actions", a.name, a.len());
+        for (i, n) in a.actions.iter().enumerate().take(12) {
+            println!("  [{i:>3}] {n}");
+        }
+        if a.len() > 12 {
+            println!("  … {} more", a.len() - 12);
+        }
+    }
+    println!("observation spaces:");
+    for o in env.observation_spaces() {
+        println!(
+            "  {:<24} {:?}{}{}",
+            o.name,
+            o.kind,
+            if o.deterministic { "" } else { ", nondeterministic" },
+            if o.platform_dependent { ", platform-dependent" } else { "" }
+        );
+    }
+    println!("reward spaces:");
+    for r in env.reward_spaces() {
+        println!(
+            "  {:<24} metric={}{}",
+            r.name,
+            r.metric,
+            r.baseline.as_deref().map(|b| format!(", scaled by {b}")).unwrap_or_default()
+        );
+    }
+    Ok(())
+}
+
+fn random(env_id: &str, benchmark: &str, steps: usize) -> Result<(), Box<dyn std::error::Error>> {
+    use rand::Rng as _;
+    let mut env = cg_core::make(env_id)?;
+    env.set_benchmark(benchmark);
+    env.reset()?;
+    let mut rng = rand::thread_rng();
+    let n = env.action_space().len();
+    for _ in 0..steps {
+        let a = rng.gen_range(0..n);
+        let step = env.step(a)?;
+        if step.reward != 0.0 {
+            println!("{:<28} {:+.4}", env.action_space().actions[a], step.reward);
+        }
+    }
+    println!("episode reward: {:+.4}", env.episode_reward());
+    println!("state:\n{}", env.state().to_json());
+    Ok(())
+}
+
+fn replay(path: Option<&str>, validate: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let path = path.ok_or("missing state file")?;
+    let text = std::fs::read_to_string(path)?;
+    let state = cg_core::EnvState::from_json(&text)?;
+    if validate {
+        state.validate()?;
+        println!("OK: state is reproducible and the reward checks out");
+    } else {
+        let env = state.replay()?;
+        println!("replayed {} actions, reward {:+.4}", state.actions.len(), env.episode_reward());
+    }
+    Ok(())
+}

@@ -1,0 +1,512 @@
+//! The user-facing Gym-style environment.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::envs::create_session;
+use crate::error::CgError;
+use crate::service::{Request, Response, ServiceClient};
+use crate::space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
+use crate::state::EnvState;
+
+/// The result of one `step()`.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// The observation after the action(s), in the configured observation
+    /// space.
+    pub observation: Observation,
+    /// The reward for the action(s), in the configured reward space.
+    pub reward: f64,
+    /// Whether the episode reached a terminal state.
+    pub done: bool,
+    /// Whether the action changed the compiler state at all.
+    pub changed: bool,
+}
+
+/// A compiler optimization environment: the Gym interaction loop (Figure 1)
+/// over a [`crate::session::CompilationSession`] living behind the service
+/// RPC boundary (Figure 2).
+#[derive(Debug)]
+pub struct CompilerEnv {
+    env_id: String,
+    client: ServiceClient,
+    session: Option<u64>,
+    benchmark: String,
+    action_space_index: usize,
+    action_spaces: Vec<ActionSpaceInfo>,
+    observation_spaces: Vec<ObservationSpaceInfo>,
+    reward_spaces: Vec<RewardSpaceInfo>,
+    observation_space: String,
+    reward_space: String,
+    prev_metric: f64,
+    init_metric: f64,
+    baseline_metric: Option<f64>,
+    episode_reward: f64,
+    actions: Vec<usize>,
+}
+
+/// Instantiates a registered environment:
+///
+/// * `"llvm-v0"` — LLVM phase ordering (Autophase observation,
+///   `IrInstructionCount` reward by default)
+/// * `"llvm-autophase-ic-v0"` — the preset used by the paper's RL
+///   experiments (Autophase observation, `-Oz`-scaled size reward)
+/// * `"gcc-v0"` (optionally `"gcc-v0/docker:gcc:11.2.0"` etc.) — GCC flag
+///   tuning
+/// * `"loop_tool-v0"` — CUDA loop-nest tuning
+///
+/// # Errors
+/// [`CgError::Unknown`] for unregistered ids.
+pub fn make(env_id: &str) -> Result<CompilerEnv, CgError> {
+    let (backend, benchmark, obs, rew): (String, &str, &str, &str) = match env_id {
+        "llvm-v0" => ("llvm-v0".into(), "benchmark://cbench-v1/qsort", "Autophase", "IrInstructionCount"),
+        "llvm-ic-v0" => ("llvm-v0".into(), "benchmark://cbench-v1/qsort", "Ir", "IrInstructionCount"),
+        "llvm-autophase-ic-v0" => (
+            "llvm-v0".into(),
+            "benchmark://cbench-v1/qsort",
+            "Autophase",
+            "IrInstructionCountOz",
+        ),
+        s if s == "gcc-v0" || s.starts_with("gcc-v0/") => {
+            (s.into(), "benchmark://chstone-v0/adpcm", "InstructionCounts", "ObjSize")
+        }
+        "loop_tool-v0" => ("loop_tool-v0".into(), "benchmark://loop_tool-v0/1048576", "ActionState", "Flops"),
+        other => return Err(CgError::Unknown(format!("environment `{other}`"))),
+    };
+    CompilerEnv::with_service(env_id, &backend, benchmark, obs, rew, Duration::from_secs(300))
+}
+
+impl CompilerEnv {
+    /// Builds an environment around a freshly spawned service for `backend`.
+    ///
+    /// # Errors
+    /// Fails when the backend cannot describe its spaces.
+    pub fn with_service(
+        env_id: &str,
+        backend: &str,
+        benchmark: &str,
+        observation_space: &str,
+        reward_space: &str,
+        timeout: Duration,
+    ) -> Result<CompilerEnv, CgError> {
+        let backend_owned = backend.to_string();
+        let factory: crate::service::SessionFactory = Arc::new(move || {
+            create_session(&backend_owned).expect("backend id was validated by make()")
+        });
+        // Validate eagerly so a bad id fails here, not inside the thread.
+        create_session(backend).map_err(CgError::Unknown)?;
+        let client = ServiceClient::spawn(factory, timeout);
+        let (action_spaces, observation_spaces, reward_spaces) =
+            match client.call(Request::GetSpaces)? {
+                Response::Spaces { action_spaces, observation_spaces, reward_spaces } => {
+                    (action_spaces, observation_spaces, reward_spaces)
+                }
+                r => return Err(CgError::ServiceFailure(format!("bad GetSpaces reply: {r:?}"))),
+            };
+        Ok(CompilerEnv {
+            env_id: env_id.to_string(),
+            client,
+            session: None,
+            benchmark: benchmark.to_string(),
+            action_space_index: 0,
+            action_spaces,
+            observation_spaces,
+            reward_spaces,
+            observation_space: observation_space.to_string(),
+            reward_space: reward_space.to_string(),
+            prev_metric: 0.0,
+            init_metric: 0.0,
+            baseline_metric: None,
+            episode_reward: 0.0,
+            actions: Vec::new(),
+        })
+    }
+
+    /// The environment id this was made as.
+    pub fn env_id(&self) -> &str {
+        &self.env_id
+    }
+
+    /// The active action space.
+    pub fn action_space(&self) -> &ActionSpaceInfo {
+        &self.action_spaces[self.action_space_index]
+    }
+
+    /// All action spaces the backend advertises.
+    pub fn action_spaces(&self) -> &[ActionSpaceInfo] {
+        &self.action_spaces
+    }
+
+    /// The advertised observation spaces.
+    pub fn observation_spaces(&self) -> &[ObservationSpaceInfo] {
+        &self.observation_spaces
+    }
+
+    /// The advertised reward spaces.
+    pub fn reward_spaces(&self) -> &[RewardSpaceInfo] {
+        &self.reward_spaces
+    }
+
+    /// Selects the action space used by subsequent episodes (by advertised
+    /// index).
+    pub fn set_action_space(&mut self, index: usize) {
+        self.action_space_index = index.min(self.action_spaces.len().saturating_sub(1));
+    }
+
+    /// Sets the benchmark for subsequent episodes.
+    pub fn set_benchmark(&mut self, uri: &str) {
+        self.benchmark = uri.to_string();
+    }
+
+    /// The current benchmark URI.
+    pub fn benchmark(&self) -> &str {
+        &self.benchmark
+    }
+
+    /// Selects the observation space returned by `step`.
+    pub fn set_observation_space(&mut self, name: &str) {
+        self.observation_space = name.to_string();
+    }
+
+    /// Selects the reward space.
+    pub fn set_reward_space(&mut self, name: &str) {
+        self.reward_space = name.to_string();
+    }
+
+    /// Cumulative reward of the episode so far.
+    pub fn episode_reward(&self) -> f64 {
+        self.episode_reward
+    }
+
+    /// Actions taken this episode.
+    pub fn actions(&self) -> &[usize] {
+        &self.actions
+    }
+
+    fn reward_info(&self) -> Result<RewardSpaceInfo, CgError> {
+        self.reward_spaces
+            .iter()
+            .find(|r| r.name == self.reward_space)
+            .cloned()
+            .ok_or_else(|| CgError::Unknown(format!("reward space `{}`", self.reward_space)))
+    }
+
+    /// Starts a new episode, returning the initial observation.
+    ///
+    /// Recovers transparently from a dead or hung service by restarting it
+    /// (bounded retries), per the runtime's fault-tolerance contract.
+    ///
+    /// # Errors
+    /// Dataset errors, unknown spaces, or service failure after retries.
+    pub fn reset(&mut self) -> Result<Observation, CgError> {
+        if let Some(sid) = self.session.take() {
+            // Best effort: the old session may be gone if the service died.
+            let _ = self.client.call(Request::EndSession { session_id: sid });
+        }
+        let reward_info = self.reward_info()?;
+        let mut spaces = vec![self.observation_space.clone(), reward_info.metric.clone()];
+        if let Some(b) = &reward_info.baseline {
+            spaces.push(b.clone());
+        }
+        let req = Request::StartSession {
+            benchmark: self.benchmark.clone(),
+            action_space: self.action_space_index,
+        };
+        let sid = match self.client.call_with_retries(req, 2)? {
+            Response::SessionStarted { session_id } => session_id,
+            r => return Err(CgError::ServiceFailure(format!("bad StartSession reply: {r:?}"))),
+        };
+        self.session = Some(sid);
+        let resp = self.client.call(Request::Step {
+            session_id: sid,
+            actions: vec![],
+            observation_spaces: spaces,
+        })?;
+        let Response::Stepped { observations, .. } = resp else {
+            return Err(CgError::ServiceFailure("bad Step reply".into()));
+        };
+        let mut it = observations.into_iter();
+        let obs = it.next().ok_or(CgError::ServiceFailure("missing observation".into()))?;
+        let metric = it
+            .next()
+            .and_then(|o| o.as_scalar())
+            .ok_or(CgError::ServiceFailure("missing metric".into()))?;
+        self.prev_metric = metric;
+        self.init_metric = metric;
+        self.baseline_metric = it.next().and_then(|o| o.as_scalar());
+        self.episode_reward = 0.0;
+        self.actions.clear();
+        Ok(obs)
+    }
+
+    /// Applies one action (see [`CompilerEnv::step_batched`] for several).
+    ///
+    /// # Errors
+    /// [`CgError::Usage`] before `reset`; session or service failures.
+    pub fn step(&mut self, action: usize) -> Result<StepResult, CgError> {
+        self.step_batched(&[action])
+    }
+
+    /// Applies a batch of actions in a single service round trip (§III-B5),
+    /// returning the final observation and the summed reward.
+    ///
+    /// # Errors
+    /// See [`CompilerEnv::step`].
+    pub fn step_batched(&mut self, actions: &[usize]) -> Result<StepResult, CgError> {
+        let (results, step) = self.step_lazy(actions, &[])?;
+        debug_assert!(results.is_empty());
+        Ok(step)
+    }
+
+    /// The lazy-observation step (§III-B5): applies `actions`, then computes
+    /// exactly the named `extra_observations` plus the reward metric.
+    /// Returns the extra observations in request order.
+    ///
+    /// # Errors
+    /// See [`CompilerEnv::step`].
+    pub fn step_lazy(
+        &mut self,
+        actions: &[usize],
+        extra_observations: &[&str],
+    ) -> Result<(Vec<Observation>, StepResult), CgError> {
+        let sid = self.session.ok_or(CgError::Usage("step before reset".into()))?;
+        let reward_info = self.reward_info()?;
+        let mut spaces: Vec<String> = extra_observations.iter().map(|s| s.to_string()).collect();
+        let want_default_obs = extra_observations.is_empty();
+        if want_default_obs {
+            spaces.push(self.observation_space.clone());
+        }
+        spaces.push(reward_info.metric.clone());
+        let resp = self.client.call(Request::Step {
+            session_id: sid,
+            actions: actions.to_vec(),
+            observation_spaces: spaces,
+        })?;
+        let Response::Stepped { end_of_episode, changed, mut observations } = resp else {
+            return Err(CgError::ServiceFailure("bad Step reply".into()));
+        };
+        let metric = observations
+            .pop()
+            .and_then(|o| o.as_scalar())
+            .ok_or(CgError::ServiceFailure("missing reward metric".into()))?;
+        let observation = if want_default_obs {
+            observations.pop().ok_or(CgError::ServiceFailure("missing observation".into()))?
+        } else {
+            Observation::Scalar(metric)
+        };
+        let mut reward = reward_info.sign * (self.prev_metric - metric);
+        if reward_info.baseline.is_some() {
+            let scale = (self.init_metric - self.baseline_metric.unwrap_or(0.0)).abs();
+            reward /= scale.max(1e-9);
+        }
+        self.prev_metric = metric;
+        self.episode_reward += reward;
+        self.actions.extend_from_slice(actions);
+        Ok((
+            observations,
+            StepResult { observation, reward, done: end_of_episode, changed },
+        ))
+    }
+
+    /// Computes a single observation on demand, without taking an action.
+    ///
+    /// # Errors
+    /// See [`CompilerEnv::step`].
+    pub fn observe(&mut self, space: &str) -> Result<Observation, CgError> {
+        let sid = self.session.ok_or(CgError::Usage("observe before reset".into()))?;
+        let resp = self.client.call(Request::Step {
+            session_id: sid,
+            actions: vec![],
+            observation_spaces: vec![space.to_string()],
+        })?;
+        match resp {
+            Response::Stepped { mut observations, .. } => observations
+                .pop()
+                .ok_or(CgError::ServiceFailure("missing observation".into())),
+            r => Err(CgError::ServiceFailure(format!("bad reply: {r:?}"))),
+        }
+    }
+
+    /// Creates an independent deep copy of this environment (§III-B6): the
+    /// backend session is forked in place, so common action prefixes are
+    /// never re-evaluated. The copy shares the service but not the state.
+    ///
+    /// # Errors
+    /// See [`CompilerEnv::step`].
+    pub fn fork(&mut self) -> Result<CompilerEnv, CgError> {
+        let sid = self.session.ok_or(CgError::Usage("fork before reset".into()))?;
+        let forked = match self.client.call(Request::Fork { session_id: sid })? {
+            Response::Forked { session_id } => session_id,
+            r => return Err(CgError::ServiceFailure(format!("bad Fork reply: {r:?}"))),
+        };
+        Ok(CompilerEnv {
+            env_id: self.env_id.clone(),
+            client: self.client.clone(),
+            session: Some(forked),
+            benchmark: self.benchmark.clone(),
+            action_space_index: self.action_space_index,
+            action_spaces: self.action_spaces.clone(),
+            observation_spaces: self.observation_spaces.clone(),
+            reward_spaces: self.reward_spaces.clone(),
+            observation_space: self.observation_space.clone(),
+            reward_space: self.reward_space.clone(),
+            prev_metric: self.prev_metric,
+            init_metric: self.init_metric,
+            baseline_metric: self.baseline_metric,
+            episode_reward: self.episode_reward,
+            actions: self.actions.clone(),
+        })
+    }
+
+    /// Serializes the episode state (§III-B2): benchmark, action names,
+    /// cumulative reward.
+    pub fn state(&self) -> EnvState {
+        let names = self.action_space();
+        EnvState {
+            env: self.env_id.clone(),
+            benchmark: self.benchmark.clone(),
+            actions: self.actions.iter().map(|&a| names.actions[a].clone()).collect(),
+            reward: self.episode_reward,
+            reward_space: self.reward_space.clone(),
+        }
+    }
+
+    /// Ends the episode and releases the backend session.
+    pub fn close(&mut self) {
+        if let Some(sid) = self.session.take() {
+            let _ = self.client.call(Request::EndSession { session_id: sid });
+        }
+    }
+
+    /// Number of service restarts this environment has triggered (fault
+    /// tolerance observability).
+    pub fn service_restarts(&self) -> u64 {
+        self.client.restarts()
+    }
+}
+
+impl Drop for CompilerEnv {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_llvm_and_reduce_size() {
+        let mut env = make("llvm-v0").unwrap();
+        env.set_benchmark("benchmark://cbench-v1/crc32");
+        let obs = env.reset().unwrap();
+        assert_eq!(obs.as_int_vector().unwrap().len(), 56); // Autophase
+        let idx = env.action_space().index_of("mem2reg").unwrap();
+        let step = env.step(idx).unwrap();
+        assert!(step.reward > 0.0);
+        assert!(step.changed);
+        assert!(!step.done);
+        assert_eq!(env.actions(), &[idx]);
+    }
+
+    #[test]
+    fn batched_step_sums_reward_in_one_roundtrip() {
+        let mut env = make("llvm-v0").unwrap();
+        env.set_benchmark("benchmark://cbench-v1/sha");
+        env.reset().unwrap();
+        let a = env.action_space().index_of("mem2reg").unwrap();
+        let b = env.action_space().index_of("instcombine").unwrap();
+        let c = env.action_space().index_of("dce").unwrap();
+        let batched = env.step_batched(&[a, b, c]).unwrap();
+        // Compare against sequential on a fresh episode.
+        let mut env2 = make("llvm-v0").unwrap();
+        env2.set_benchmark("benchmark://cbench-v1/sha");
+        env2.reset().unwrap();
+        let mut total = 0.0;
+        for x in [a, b, c] {
+            total += env2.step(x).unwrap().reward;
+        }
+        assert!((batched.reward - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lazy_observations_by_name() {
+        let mut env = make("llvm-v0").unwrap();
+        env.set_benchmark("benchmark://cbench-v1/crc32");
+        env.reset().unwrap();
+        let a = env.action_space().index_of("sroa").unwrap();
+        let (obs, step) = env.step_lazy(&[a], &["Ir", "InstCount"]).unwrap();
+        assert_eq!(obs.len(), 2);
+        assert!(obs[0].as_text().is_some());
+        assert_eq!(obs[1].as_int_vector().unwrap().len(), 70);
+        let _ = step;
+    }
+
+    #[test]
+    fn scaled_reward_space_is_fraction_of_oz_gain() {
+        let mut env = make("llvm-autophase-ic-v0").unwrap();
+        env.set_benchmark("benchmark://cbench-v1/qsort");
+        env.reset().unwrap();
+        // Apply the whole Oz-ish recipe manually; cumulative scaled reward
+        // should approach ~1.0 (the Oz gain).
+        for name in ["sroa", "mem2reg", "instcombine", "gvn", "dse", "load-elim", "adce", "simplifycfg-aggressive"] {
+            let idx = env.action_space().index_of(name).unwrap();
+            env.step(idx).unwrap();
+        }
+        let total = env.episode_reward();
+        assert!(total > 0.5 && total < 1.5, "scaled reward was {total}");
+    }
+
+    #[test]
+    fn fork_shares_prefix_without_reevaluation() {
+        let mut env = make("llvm-v0").unwrap();
+        env.set_benchmark("benchmark://cbench-v1/bitcount");
+        env.reset().unwrap();
+        let m2r = env.action_space().index_of("mem2reg").unwrap();
+        env.step(m2r).unwrap();
+        let mut forked = env.fork().unwrap();
+        // Diverge.
+        let dce = env.action_space().index_of("dce").unwrap();
+        let gvn = env.action_space().index_of("gvn").unwrap();
+        let r1 = env.step(dce).unwrap().reward;
+        let r2 = forked.step(gvn).unwrap().reward;
+        let _ = (r1, r2);
+        assert_ne!(
+            env.observe("IrInstructionCount").unwrap(),
+            Observation::Scalar(-1.0)
+        );
+        // Both continue to work independently.
+        assert_eq!(env.actions().len(), 2);
+        assert_eq!(forked.actions().len(), 2);
+    }
+
+    #[test]
+    fn gcc_env_round_trip() {
+        let mut env = make("gcc-v0").unwrap();
+        env.reset().unwrap();
+        // Set -O to -Os via the flat action named like "set[-O]=5".
+        let idx = env.action_space().index_of("set[-O]=5").unwrap();
+        let step = env.step(idx).unwrap();
+        assert!(step.reward > 0.0, "-Os shrinks vs unoptimized: {}", step.reward);
+    }
+
+    #[test]
+    fn looptool_env_round_trip() {
+        let mut env = make("loop_tool-v0").unwrap();
+        env.reset().unwrap();
+        let t = env.action_space().index_of("toggle_thread").unwrap();
+        let step = env.step(t).unwrap();
+        assert!(step.reward > 0.0, "threading raises FLOPs: {}", step.reward);
+    }
+
+    #[test]
+    fn unknown_env_is_rejected() {
+        assert!(matches!(make("nope-v9"), Err(CgError::Unknown(_))));
+    }
+
+    #[test]
+    fn step_before_reset_is_usage_error() {
+        let mut env = make("llvm-v0").unwrap();
+        assert!(matches!(env.step(0), Err(CgError::Usage(_))));
+    }
+}

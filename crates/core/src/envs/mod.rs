@@ -1,0 +1,26 @@
+//! The three compiler integrations shipped with the system (§V):
+//! LLVM phase ordering, GCC flag tuning, and `loop_tool` CUDA loop nests.
+
+pub mod gcc;
+pub mod llvm;
+pub mod looptool;
+
+use crate::session::CompilationSession;
+
+/// Creates a fresh backend session for a registered environment family.
+///
+/// # Errors
+/// Returns an error string for unknown environment ids.
+pub fn create_session(env: &str) -> Result<Box<dyn CompilationSession>, String> {
+    match env {
+        "llvm-v0" => Ok(Box::new(llvm::LlvmSession::new())),
+        "gcc-v0" => Ok(Box::new(gcc::GccSession::new(cg_gcc::GccSpec::v11_2()))),
+        s if s.starts_with("gcc-v0/") => {
+            let spec = cg_gcc::GccSpec::from_specifier(&s["gcc-v0/".len()..])
+                .ok_or_else(|| format!("unknown gcc version specifier in `{s}`"))?;
+            Ok(Box::new(gcc::GccSession::new(spec)))
+        }
+        "loop_tool-v0" => Ok(Box::new(looptool::LoopToolSession::new())),
+        other => Err(format!("unknown environment `{other}`")),
+    }
+}

@@ -1,0 +1,43 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by environments and the service runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CgError {
+    /// A benchmark URI failed to resolve.
+    Dataset(String),
+    /// The named environment, space or action does not exist.
+    Unknown(String),
+    /// The backend session reported an error (compile failure, invalid
+    /// action, trap).
+    Session(String),
+    /// The compiler service crashed, hung past its timeout, or disconnected.
+    ServiceFailure(String),
+    /// Validation found a mismatch (reproducibility or semantics bug).
+    Validation(String),
+    /// The environment is not in a state where the operation is legal
+    /// (e.g. `step` before `reset`).
+    Usage(String),
+}
+
+impl fmt::Display for CgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CgError::Dataset(m) => write!(f, "dataset error: {m}"),
+            CgError::Unknown(m) => write!(f, "unknown name: {m}"),
+            CgError::Session(m) => write!(f, "session error: {m}"),
+            CgError::ServiceFailure(m) => write!(f, "compiler service failure: {m}"),
+            CgError::Validation(m) => write!(f, "validation failed: {m}"),
+            CgError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CgError {}
+
+impl From<cg_datasets::DatasetError> for CgError {
+    fn from(e: cg_datasets::DatasetError) -> CgError {
+        CgError::Dataset(e.to_string())
+    }
+}

@@ -1,0 +1,52 @@
+//! # cg-core: the CompilerGym core
+//!
+//! The paper's primary contribution: a Gym-style environment abstraction for
+//! compiler optimization tasks, backed by a client–server runtime that
+//! isolates compiler backends behind an RPC boundary.
+//!
+//! * [`space`] — action/observation/reward space descriptions and values
+//! * [`session`] — the 4-method [`session::CompilationSession`] interface
+//!   compilers implement (Figure 5)
+//! * [`envs`] — the three shipped integrations: LLVM phase ordering, GCC
+//!   flag tuning, `loop_tool` CUDA loop nests
+//! * [`service`] — the compiler service runtime: session workers, RPC
+//!   transports (in-process and TCP), timeouts, panic isolation, retries,
+//!   and the parsed-benchmark cache
+//! * [`env`] — the user-facing [`env::CompilerEnv`] with `reset`/`step`/
+//!   `fork`, batched and lazy stepping
+//! * [`wrappers`] — TimeLimit, CycleOverBenchmarks, action subsets, and
+//!   observation composition
+//! * [`state`] — environment state (de)serialization and replay validation
+//! * [`validation`] — semantics validation by differential execution
+//!
+//! # Example
+//!
+//! ```
+//! use cg_core::make;
+//!
+//! let mut env = make("llvm-v0")?;
+//! env.set_benchmark("benchmark://cbench-v1/crc32");
+//! env.set_observation_space("Autophase");
+//! env.set_reward_space("IrInstructionCount");
+//! let _obs = env.reset()?;
+//! let step = env.step(env.action_space().index_of("mem2reg").unwrap())?;
+//! assert!(step.reward > 0.0, "mem2reg removes instructions");
+//! # Ok::<(), cg_core::CgError>(())
+//! ```
+
+pub mod env;
+pub mod envs;
+pub mod service;
+pub mod session;
+pub mod space;
+pub mod state;
+pub mod validation;
+pub mod wrappers;
+
+mod error;
+
+pub use env::{make, CompilerEnv, StepResult};
+pub use error::CgError;
+pub use session::CompilationSession;
+pub use space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
+pub use state::EnvState;

@@ -1,0 +1,539 @@
+//! The compiler service runtime (§IV-B): session workers behind an RPC
+//! boundary, with timeouts, panic isolation, and restart-on-failure.
+//!
+//! Two transports implement the same request/response protocol:
+//!
+//! * **in-process** — a dedicated service thread per environment, reached
+//!   over channels (the default; one "service process" per env, as the real
+//!   system spawns one compiler service per environment);
+//! * **TCP** — length-prefixed JSON frames over a socket, supporting
+//!   compilation on a different machine than the frontend.
+//!
+//! Fault tolerance: every session call runs under `catch_unwind`, so a
+//! crashing "compiler" yields an error response instead of killing the
+//! service; calls that exceed the client timeout surface as
+//! [`CgError::ServiceFailure`] and the environment transparently restarts
+//! the service on the next `reset()`.
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CgError;
+use crate::session::CompilationSession;
+use crate::space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
+
+/// A request to the compiler service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Describe the environment's spaces.
+    GetSpaces,
+    /// Start a session on a benchmark.
+    StartSession {
+        /// Benchmark URI.
+        benchmark: String,
+        /// Index into the advertised action spaces.
+        action_space: usize,
+    },
+    /// Apply actions and compute observations in one round trip. Supports
+    /// the batched (§III-B5: multiple actions per step) and lazy (chosen
+    /// observation spaces per step) extensions.
+    Step {
+        /// Session to drive.
+        session_id: u64,
+        /// Actions to apply, in order (may be empty for observation-only).
+        actions: Vec<usize>,
+        /// Observation spaces to compute after the last action.
+        observation_spaces: Vec<String>,
+    },
+    /// Deep-copy a session.
+    Fork {
+        /// Session to copy.
+        session_id: u64,
+    },
+    /// Discard a session.
+    EndSession {
+        /// Session to end.
+        session_id: u64,
+    },
+    /// Stop the service.
+    Shutdown,
+}
+
+/// A response from the compiler service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Ping reply.
+    Pong,
+    /// Space description.
+    Spaces {
+        /// Action spaces.
+        action_spaces: Vec<ActionSpaceInfo>,
+        /// Observation spaces.
+        observation_spaces: Vec<ObservationSpaceInfo>,
+        /// Reward spaces.
+        reward_spaces: Vec<RewardSpaceInfo>,
+    },
+    /// Session created.
+    SessionStarted {
+        /// Handle for subsequent requests.
+        session_id: u64,
+    },
+    /// Step result.
+    Stepped {
+        /// Episode ended.
+        end_of_episode: bool,
+        /// Any action changed the state.
+        changed: bool,
+        /// Requested observations, in request order.
+        observations: Vec<Observation>,
+    },
+    /// Fork created.
+    Forked {
+        /// The new session's handle.
+        session_id: u64,
+    },
+    /// Session ended / shutdown acknowledged.
+    Ok,
+    /// The request failed.
+    Error(String),
+}
+
+/// Factory producing fresh sessions for this service's environment.
+pub type SessionFactory = Arc<dyn Fn() -> Box<dyn CompilationSession> + Send + Sync>;
+
+struct ServiceState {
+    factory: SessionFactory,
+    sessions: HashMap<u64, Box<dyn CompilationSession>>,
+    next_id: u64,
+}
+
+impl ServiceState {
+    fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::GetSpaces => {
+                let probe = (self.factory)();
+                Response::Spaces {
+                    action_spaces: probe.action_spaces(),
+                    observation_spaces: probe.observation_spaces(),
+                    reward_spaces: probe.reward_spaces(),
+                }
+            }
+            Request::StartSession { benchmark, action_space } => {
+                let mut session = (self.factory)();
+                match session.init(&benchmark, action_space) {
+                    Ok(()) => {
+                        let id = self.next_id;
+                        self.next_id += 1;
+                        self.sessions.insert(id, session);
+                        Response::SessionStarted { session_id: id }
+                    }
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::Step { session_id, actions, observation_spaces } => {
+                let Some(session) = self.sessions.get_mut(&session_id) else {
+                    return Response::Error(format!("no session {session_id}"));
+                };
+                // Panic isolation: a crashing pass must not take down the
+                // service (the paper's "resilient to failures, crashes").
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut end = false;
+                    let mut changed = false;
+                    for a in &actions {
+                        let out = session.apply_action(*a)?;
+                        end |= out.end_of_episode;
+                        changed |= out.changed;
+                        if end {
+                            break;
+                        }
+                    }
+                    let mut observations = Vec::with_capacity(observation_spaces.len());
+                    for s in &observation_spaces {
+                        observations.push(session.observe(s)?);
+                    }
+                    Ok::<_, String>((end, changed, observations))
+                }));
+                match result {
+                    Ok(Ok((end_of_episode, changed, observations))) => {
+                        Response::Stepped { end_of_episode, changed, observations }
+                    }
+                    Ok(Err(e)) => Response::Error(e),
+                    Err(_) => {
+                        // The session may be corrupt: drop it.
+                        self.sessions.remove(&session_id);
+                        Response::Error("session panicked; session destroyed".into())
+                    }
+                }
+            }
+            Request::Fork { session_id } => match self.sessions.get(&session_id) {
+                Some(s) => {
+                    let copy = s.fork();
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.sessions.insert(id, copy);
+                    Response::Forked { session_id: id }
+                }
+                None => Response::Error(format!("no session {session_id}")),
+            },
+            Request::EndSession { session_id } => {
+                self.sessions.remove(&session_id);
+                Response::Ok
+            }
+            Request::Shutdown => Response::Ok,
+        }
+    }
+}
+
+/// A handle to a running in-process compiler service.
+#[derive(Clone)]
+pub struct ServiceClient {
+    tx: Sender<(Request, Sender<Response>)>,
+    factory: SessionFactory,
+    timeout: Duration,
+    generation: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ServiceClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient").field("timeout", &self.timeout).finish()
+    }
+}
+
+fn spawn_worker(factory: SessionFactory) -> Sender<(Request, Sender<Response>)> {
+    let (tx, rx): (Sender<(Request, Sender<Response>)>, Receiver<_>) = unbounded();
+    let f = Arc::clone(&factory);
+    std::thread::Builder::new()
+        .name("cg-compiler-service".into())
+        .stack_size(16 << 20)
+        .spawn(move || {
+            let mut state = ServiceState { factory: f, sessions: HashMap::new(), next_id: 0 };
+            while let Ok((req, reply)) = rx.recv() {
+                let shutdown = matches!(req, Request::Shutdown);
+                let resp = state.handle(req);
+                let _ = reply.send(resp);
+                if shutdown {
+                    break;
+                }
+            }
+        })
+        .expect("spawn service thread");
+    tx
+}
+
+impl ServiceClient {
+    /// Spawns a fresh in-process compiler service (the "service startup"
+    /// cost of Table II) and returns a client for it.
+    pub fn spawn(factory: SessionFactory, timeout: Duration) -> ServiceClient {
+        let tx = spawn_worker(Arc::clone(&factory));
+        ServiceClient { tx, factory, timeout, generation: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Issues one request, waiting up to the client timeout.
+    ///
+    /// # Errors
+    /// [`CgError::ServiceFailure`] when the service is dead or the call
+    /// exceeded the timeout; [`CgError::Session`] for backend errors.
+    pub fn call(&self, req: Request) -> Result<Response, CgError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send((req, reply_tx))
+            .map_err(|_| CgError::ServiceFailure("service disconnected".into()))?;
+        match reply_rx.recv_timeout(self.timeout) {
+            Ok(Response::Error(e)) => Err(CgError::Session(e)),
+            Ok(resp) => Ok(resp),
+            Err(_) => Err(CgError::ServiceFailure(format!(
+                "service call exceeded {:?} (hung or crashed)",
+                self.timeout
+            ))),
+        }
+    }
+
+    /// Issues a request, restarting the service and retrying (up to
+    /// `retries` times) on service failure — the runtime's "retry loop".
+    ///
+    /// # Errors
+    /// The final error when all retries were exhausted.
+    pub fn call_with_retries(&mut self, req: Request, retries: u32) -> Result<Response, CgError> {
+        let mut last = self.call(req.clone());
+        for _ in 0..retries {
+            match &last {
+                Err(CgError::ServiceFailure(_)) => {
+                    self.restart();
+                    last = self.call(req.clone());
+                }
+                _ => break,
+            }
+        }
+        last
+    }
+
+    /// Abandons the (possibly hung) service thread and spawns a fresh one.
+    /// Sessions are lost; callers re-establish them via `reset()`.
+    pub fn restart(&mut self) {
+        self.tx = spawn_worker(Arc::clone(&self.factory));
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// How many times this client has restarted its service.
+    pub fn restarts(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    stream.write_all(bytes)
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let n = u32::from_le_bytes(len) as usize;
+    if n > (64 << 20) {
+        return Err(std::io::Error::other("frame too large"));
+    }
+    let mut buf = vec![0u8; n];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Serves the compiler service over TCP. Each connection gets its own
+/// session table and worker ("support for compiling on a different system
+/// architecture than the host by running the compiler service on a remote
+/// machine"). Blocks forever; run it on a dedicated thread.
+pub fn serve_tcp(listener: TcpListener, factory: SessionFactory) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        let f = Arc::clone(&factory);
+        std::thread::spawn(move || {
+            let mut state = ServiceState { factory: f, sessions: HashMap::new(), next_id: 0 };
+            loop {
+                let Ok(frame) = read_frame(&mut stream) else { break };
+                let req: Request = match serde_json::from_slice(&frame) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let resp = Response::Error(format!("bad request frame: {e}"));
+                        let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
+                        continue;
+                    }
+                };
+                let shutdown = matches!(req, Request::Shutdown);
+                let resp = state.handle(req);
+                if write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap()).is_err() {
+                    break;
+                }
+                if shutdown {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+/// A TCP client for a remote compiler service.
+#[derive(Debug)]
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a remote service.
+    ///
+    /// # Errors
+    /// Propagates connection failures as [`CgError::ServiceFailure`].
+    pub fn connect(addr: &str, timeout: Duration) -> Result<TcpClient, CgError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| CgError::ServiceFailure(format!("connect {addr}: {e}")))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| CgError::ServiceFailure(e.to_string()))?;
+        Ok(TcpClient { stream })
+    }
+
+    /// Issues one request over the socket.
+    ///
+    /// # Errors
+    /// [`CgError::ServiceFailure`] on I/O or timeout; [`CgError::Session`]
+    /// for backend errors.
+    pub fn call(&mut self, req: &Request) -> Result<Response, CgError> {
+        let bytes = serde_json::to_vec(req).map_err(|e| CgError::ServiceFailure(e.to_string()))?;
+        write_frame(&mut self.stream, &bytes)
+            .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
+        let frame = read_frame(&mut self.stream)
+            .map_err(|e| CgError::ServiceFailure(format!("recv: {e}")))?;
+        let resp: Response =
+            serde_json::from_slice(&frame).map_err(|e| CgError::ServiceFailure(e.to_string()))?;
+        match resp {
+            Response::Error(e) => Err(CgError::Session(e)),
+            ok => Ok(ok),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ActionOutcome;
+
+    /// A deliberately broken session for fault-tolerance tests: panics or
+    /// hangs on command.
+    struct FlakySession {
+        panic_on_action: Option<usize>,
+        hang_on_action: Option<usize>,
+        steps: usize,
+    }
+
+    impl CompilationSession for FlakySession {
+        fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
+            vec![ActionSpaceInfo { name: "flaky".into(), actions: vec!["a".into(); 8] }]
+        }
+        fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
+            vec![]
+        }
+        fn reward_spaces(&self) -> Vec<RewardSpaceInfo> {
+            vec![]
+        }
+        fn init(&mut self, _b: &str, _s: usize) -> Result<(), String> {
+            Ok(())
+        }
+        fn apply_action(&mut self, action: usize) -> Result<ActionOutcome, String> {
+            if self.panic_on_action == Some(action) {
+                panic!("simulated compiler crash");
+            }
+            if self.hang_on_action == Some(action) {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+            self.steps += 1;
+            Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+        }
+        fn observe(&mut self, _s: &str) -> Result<Observation, String> {
+            Ok(Observation::Scalar(self.steps as f64))
+        }
+        fn fork(&self) -> Box<dyn CompilationSession> {
+            Box::new(FlakySession {
+                panic_on_action: self.panic_on_action,
+                hang_on_action: self.hang_on_action,
+                steps: self.steps,
+            })
+        }
+    }
+
+    fn flaky_factory(panic_on: Option<usize>, hang_on: Option<usize>) -> SessionFactory {
+        Arc::new(move || {
+            Box::new(FlakySession { panic_on_action: panic_on, hang_on_action: hang_on, steps: 0 })
+        })
+    }
+
+    fn start(client: &ServiceClient) -> u64 {
+        match client.call(Request::StartSession { benchmark: "x".into(), action_space: 0 }).unwrap()
+        {
+            Response::SessionStarted { session_id } => session_id,
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_session_is_isolated() {
+        let client = ServiceClient::spawn(flaky_factory(Some(3), None), Duration::from_secs(5));
+        let sid = start(&client);
+        // Normal steps work.
+        let r = client
+            .call(Request::Step { session_id: sid, actions: vec![0, 1], observation_spaces: vec![] })
+            .unwrap();
+        assert!(matches!(r, Response::Stepped { .. }));
+        // The crashing action yields an error, not a dead service.
+        let e = client
+            .call(Request::Step { session_id: sid, actions: vec![3], observation_spaces: vec![] })
+            .unwrap_err();
+        assert!(matches!(e, CgError::Session(_)));
+        // The service is still alive for new sessions.
+        assert!(matches!(client.call(Request::Ping).unwrap(), Response::Pong));
+        let sid2 = start(&client);
+        assert_ne!(sid, sid2);
+    }
+
+    #[test]
+    fn hung_session_times_out_and_restarts() {
+        let mut client =
+            ServiceClient::spawn(flaky_factory(None, Some(2)), Duration::from_millis(100));
+        let sid = start(&client);
+        let e = client
+            .call(Request::Step { session_id: sid, actions: vec![2], observation_spaces: vec![] })
+            .unwrap_err();
+        assert!(matches!(e, CgError::ServiceFailure(_)));
+        // The retry wrapper restarts the service; Ping succeeds again.
+        let r = client.call_with_retries(Request::Ping, 2).unwrap();
+        assert!(matches!(r, Response::Pong));
+        assert!(client.restarts() >= 1);
+    }
+
+    #[test]
+    fn fork_duplicates_state() {
+        let client = ServiceClient::spawn(flaky_factory(None, None), Duration::from_secs(5));
+        let sid = start(&client);
+        client
+            .call(Request::Step { session_id: sid, actions: vec![0, 0], observation_spaces: vec![] })
+            .unwrap();
+        let forked = match client.call(Request::Fork { session_id: sid }).unwrap() {
+            Response::Forked { session_id } => session_id,
+            r => panic!("{r:?}"),
+        };
+        let obs = |sid| match client
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![],
+                observation_spaces: vec!["steps".into()],
+            })
+            .unwrap()
+        {
+            Response::Stepped { observations, .. } => observations[0].as_scalar().unwrap(),
+            r => panic!("{r:?}"),
+        };
+        assert_eq!(obs(sid), obs(forked));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || serve_tcp(listener, flaky_factory(None, None)));
+        let mut client = TcpClient::connect(&addr, Duration::from_secs(5)).unwrap();
+        assert!(matches!(client.call(&Request::Ping).unwrap(), Response::Pong));
+        let sid = match client
+            .call(&Request::StartSession { benchmark: "x".into(), action_space: 0 })
+            .unwrap()
+        {
+            Response::SessionStarted { session_id } => session_id,
+            r => panic!("{r:?}"),
+        };
+        let r = client
+            .call(&Request::Step {
+                session_id: sid,
+                actions: vec![0],
+                observation_spaces: vec!["steps".into()],
+            })
+            .unwrap();
+        match r {
+            Response::Stepped { observations, .. } => {
+                assert_eq!(observations[0].as_scalar(), Some(1.0));
+            }
+            r => panic!("{r:?}"),
+        }
+        let _ = client.call(&Request::Shutdown);
+    }
+}

@@ -1,0 +1,59 @@
+//! The `CompilationSession` interface (Figure 5): the four methods a
+//! compiler integration implements to join the system.
+
+use crate::space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
+
+/// The outcome of applying one action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActionOutcome {
+    /// The episode reached a terminal state (most compiler tasks never do).
+    pub end_of_episode: bool,
+    /// The action space changed (e.g. one optimization precluding another).
+    pub action_space_changed: bool,
+    /// The action had any effect on the state.
+    pub changed: bool,
+}
+
+/// A compiler integration: a state machine holding one compilation episode.
+///
+/// Mirrors the paper's interface: `getActionSpaces`/`getObservationSpaces`
+/// describe the MDP; `init` starts an episode on a benchmark;
+/// `applyAction` and `setObservation` (here `observe`) drive it. Everything
+/// else — RPC, process isolation, timeouts, caching, the Gym API — is
+/// provided by the shared runtime, so adding a compiler means implementing
+/// exactly this trait (see `examples/custom_compiler.rs`).
+pub trait CompilationSession: Send {
+    /// The action spaces this compiler exposes.
+    fn action_spaces(&self) -> Vec<ActionSpaceInfo>;
+
+    /// The observation spaces this compiler exposes.
+    fn observation_spaces(&self) -> Vec<ObservationSpaceInfo>;
+
+    /// The reward spaces this compiler exposes (derived from scalar
+    /// observations).
+    fn reward_spaces(&self) -> Vec<RewardSpaceInfo>;
+
+    /// Starts an episode: loads `benchmark` and selects an action space.
+    ///
+    /// # Errors
+    /// Returns a message when the benchmark cannot be resolved or the space
+    /// index is invalid.
+    fn init(&mut self, benchmark: &str, action_space: usize) -> Result<(), String>;
+
+    /// Applies one action.
+    ///
+    /// # Errors
+    /// Returns a message for out-of-range actions or internal failures.
+    fn apply_action(&mut self, action: usize) -> Result<ActionOutcome, String>;
+
+    /// Computes one observation by space name.
+    ///
+    /// # Errors
+    /// Returns a message for unknown spaces or failed computations (e.g.
+    /// runtime observation of a non-runnable benchmark).
+    fn observe(&mut self, space: &str) -> Result<Observation, String>;
+
+    /// Creates an independent deep copy of the session state (backs the
+    /// environment's `fork()`).
+    fn fork(&self) -> Box<dyn CompilationSession>;
+}

@@ -1,0 +1,112 @@
+//! Semantics validation by differential testing (§III-B4).
+//!
+//! For runnable benchmarks, the optimized program is executed against the
+//! unoptimized reference; diverging results mean the optimization pipeline
+//! miscompiled the program. This is the analogue of the paper's differential
+//! testing regime plus sanitizer integration (traps during execution are
+//! reported as logic errors, like UBSan findings).
+
+use cg_ir::interp::{run_main, ExecError, ExecLimits};
+use cg_ir::Module;
+
+use crate::error::CgError;
+
+/// The result of a semantics-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemanticsVerdict {
+    /// Results match: the optimization preserved behaviour.
+    Ok,
+    /// The benchmark is not runnable, so semantics cannot be checked
+    /// (matches the paper: only runnable datasets support this validation).
+    NotRunnable(String),
+}
+
+/// Differentially tests `optimized` against `reference`.
+///
+/// Both modules are executed; the verdict compares return values. A trap in
+/// the optimized module that the reference does not exhibit is a
+/// miscompilation; mismatched outputs likewise.
+///
+/// # Errors
+/// [`CgError::Validation`] describing the divergence.
+pub fn validate_semantics(
+    reference: &Module,
+    optimized: &Module,
+) -> Result<SemanticsVerdict, CgError> {
+    // Structural validity first — the cheapest bug detector.
+    cg_ir::verify::verify_module(optimized)
+        .map_err(|e| CgError::Validation(format!("optimized module is invalid: {e}")))?;
+    let limits = ExecLimits::default();
+    let ref_out = match run_main(reference, &limits) {
+        Ok(o) => o,
+        Err(ExecError::Malformed(m)) => return Ok(SemanticsVerdict::NotRunnable(m)),
+        Err(e) => return Ok(SemanticsVerdict::NotRunnable(e.to_string())),
+    };
+    let opt_out = run_main(optimized, &limits).map_err(|e| {
+        CgError::Validation(format!(
+            "optimized binary trapped ({e}) where the reference ran cleanly — \
+             sanitizer-detected logic error"
+        ))
+    })?;
+    if ref_out.ret != opt_out.ret {
+        return Err(CgError::Validation(format!(
+            "differential test failed: reference returned {:?}, optimized returned {:?}",
+            ref_out.ret, opt_out.ret
+        )));
+    }
+    Ok(SemanticsVerdict::Ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_llvm::pipeline;
+
+    #[test]
+    fn oz_validates_on_cbench() {
+        let reference = cg_datasets::benchmark("cbench-v1/gsm").unwrap();
+        let mut optimized = reference.clone();
+        pipeline::run_oz(&mut optimized);
+        assert_eq!(
+            validate_semantics(&reference, &optimized).unwrap(),
+            SemanticsVerdict::Ok
+        );
+    }
+
+    #[test]
+    fn detects_a_miscompile() {
+        let reference = cg_datasets::benchmark("cbench-v1/crc32").unwrap();
+        let mut broken = reference.clone();
+        // Simulate a miscompilation: flip a constant in some instruction.
+        let fid = broken.func_ids()[0];
+        'outer: for bid in broken.func(fid).block_ids() {
+            let f = broken.func_mut(fid);
+            for inst in &mut f.block_mut(bid).insts {
+                let mut changed = false;
+                inst.op.for_each_operand_mut(|o| {
+                    if !changed {
+                        if let Some(c) = o.as_const_int() {
+                            *o = cg_ir::Operand::const_int(c.wrapping_add(41));
+                            changed = true;
+                        }
+                    }
+                });
+                if changed {
+                    break 'outer;
+                }
+            }
+        }
+        let r = validate_semantics(&reference, &broken);
+        assert!(matches!(r, Err(CgError::Validation(_))), "got {r:?}");
+    }
+
+    #[test]
+    fn non_runnable_is_reported_not_failed() {
+        let reference = cg_ir::Module::new("no-main");
+        let optimized = reference.clone();
+        assert!(matches!(
+            validate_semantics(&reference, &optimized).unwrap(),
+            SemanticsVerdict::NotRunnable(_)
+        ));
+    }
+}

@@ -1,0 +1,352 @@
+//! Environment wrappers (§III-C): composable mutations of the MDP —
+//! episode time limits, benchmark iteration, action subsets, and derived
+//! observation spaces.
+
+use crate::env::{CompilerEnv, StepResult};
+use crate::error::CgError;
+use crate::space::Observation;
+
+/// The minimal environment interface wrappers compose over.
+pub trait Env: Send {
+    /// Starts an episode.
+    ///
+    /// # Errors
+    /// Propagates environment failures.
+    fn reset(&mut self) -> Result<Observation, CgError>;
+
+    /// Applies one action.
+    ///
+    /// # Errors
+    /// Propagates environment failures.
+    fn step(&mut self, action: usize) -> Result<StepResult, CgError>;
+
+    /// Size of the action space.
+    fn num_actions(&self) -> usize;
+
+    /// Cumulative reward this episode.
+    fn episode_reward(&self) -> f64;
+
+    /// The current benchmark URI.
+    fn benchmark(&self) -> String;
+
+    /// Selects the benchmark for subsequent episodes.
+    fn set_benchmark(&mut self, uri: &str);
+}
+
+impl Env for CompilerEnv {
+    fn reset(&mut self) -> Result<Observation, CgError> {
+        CompilerEnv::reset(self)
+    }
+
+    fn step(&mut self, action: usize) -> Result<StepResult, CgError> {
+        CompilerEnv::step(self, action)
+    }
+
+    fn num_actions(&self) -> usize {
+        self.action_space().len()
+    }
+
+    fn episode_reward(&self) -> f64 {
+        CompilerEnv::episode_reward(self)
+    }
+
+    fn benchmark(&self) -> String {
+        CompilerEnv::benchmark(self).to_string()
+    }
+
+    fn set_benchmark(&mut self, uri: &str) {
+        CompilerEnv::set_benchmark(self, uri);
+    }
+}
+
+/// Ends episodes after a fixed number of steps (phase ordering has no
+/// natural terminal state; RL training needs one).
+#[derive(Debug)]
+pub struct TimeLimit<E> {
+    env: E,
+    limit: usize,
+    steps: usize,
+}
+
+impl<E: Env> TimeLimit<E> {
+    /// Wraps `env` with an episode limit of `limit` steps.
+    pub fn new(env: E, limit: usize) -> TimeLimit<E> {
+        TimeLimit { env, limit, steps: 0 }
+    }
+
+    /// The wrapped environment.
+    pub fn inner(&mut self) -> &mut E {
+        &mut self.env
+    }
+}
+
+impl<E: Env> Env for TimeLimit<E> {
+    fn reset(&mut self) -> Result<Observation, CgError> {
+        self.steps = 0;
+        self.env.reset()
+    }
+
+    fn step(&mut self, action: usize) -> Result<StepResult, CgError> {
+        let mut r = self.env.step(action)?;
+        self.steps += 1;
+        if self.steps >= self.limit {
+            r.done = true;
+        }
+        Ok(r)
+    }
+
+    fn num_actions(&self) -> usize {
+        self.env.num_actions()
+    }
+
+    fn episode_reward(&self) -> f64 {
+        self.env.episode_reward()
+    }
+
+    fn benchmark(&self) -> String {
+        self.env.benchmark()
+    }
+
+    fn set_benchmark(&mut self, uri: &str) {
+        self.env.set_benchmark(uri);
+    }
+}
+
+/// Cycles over a fixed list of benchmarks, advancing on every `reset()` —
+/// the training-loop wrapper of Listing 2.
+#[derive(Debug)]
+pub struct CycleOverBenchmarks<E> {
+    env: E,
+    benchmarks: Vec<String>,
+    next: usize,
+}
+
+impl<E: Env> CycleOverBenchmarks<E> {
+    /// Wraps `env` to cycle over `benchmarks`.
+    ///
+    /// # Panics
+    /// Panics if `benchmarks` is empty.
+    pub fn new(env: E, benchmarks: Vec<String>) -> CycleOverBenchmarks<E> {
+        assert!(!benchmarks.is_empty(), "need at least one benchmark");
+        CycleOverBenchmarks { env, benchmarks, next: 0 }
+    }
+}
+
+impl<E: Env> Env for CycleOverBenchmarks<E> {
+    fn reset(&mut self) -> Result<Observation, CgError> {
+        let uri = self.benchmarks[self.next % self.benchmarks.len()].clone();
+        self.next += 1;
+        self.env.set_benchmark(&uri);
+        self.env.reset()
+    }
+
+    fn step(&mut self, action: usize) -> Result<StepResult, CgError> {
+        self.env.step(action)
+    }
+
+    fn num_actions(&self) -> usize {
+        self.env.num_actions()
+    }
+
+    fn episode_reward(&self) -> f64 {
+        self.env.episode_reward()
+    }
+
+    fn benchmark(&self) -> String {
+        self.env.benchmark()
+    }
+
+    fn set_benchmark(&mut self, uri: &str) {
+        self.env.set_benchmark(uri);
+    }
+}
+
+/// Restricts the action space to a subset of actions (by inner index),
+/// renumbering them densely — the "subset of command line flags" wrapper.
+#[derive(Debug)]
+pub struct ActionSubset<E> {
+    env: E,
+    indices: Vec<usize>,
+}
+
+impl<E: Env> ActionSubset<E> {
+    /// Wraps `env`, exposing only `indices` (inner action numbers).
+    pub fn new(env: E, indices: Vec<usize>) -> ActionSubset<E> {
+        ActionSubset { env, indices }
+    }
+}
+
+impl<E: Env> Env for ActionSubset<E> {
+    fn reset(&mut self) -> Result<Observation, CgError> {
+        self.env.reset()
+    }
+
+    fn step(&mut self, action: usize) -> Result<StepResult, CgError> {
+        let inner = *self
+            .indices
+            .get(action)
+            .ok_or_else(|| CgError::Unknown(format!("subset action {action}")))?;
+        self.env.step(inner)
+    }
+
+    fn num_actions(&self) -> usize {
+        self.indices.len()
+    }
+
+    fn episode_reward(&self) -> f64 {
+        self.env.episode_reward()
+    }
+
+    fn benchmark(&self) -> String {
+        self.env.benchmark()
+    }
+
+    fn set_benchmark(&mut self, uri: &str) {
+        self.env.set_benchmark(uri);
+    }
+}
+
+/// Derived observation space: concatenates the wrapped environment's integer
+/// observation with a histogram of the agent's previous actions — the
+/// Autophase paper's state representation, used by the RL experiments
+/// (§VII-G, §VII-I).
+#[derive(Debug)]
+pub struct ConcatActionHistogram<E> {
+    env: E,
+    histogram: Vec<i64>,
+}
+
+impl<E: Env> ConcatActionHistogram<E> {
+    /// Wraps `env`.
+    pub fn new(env: E) -> ConcatActionHistogram<E> {
+        let n = env.num_actions();
+        ConcatActionHistogram { env, histogram: vec![0; n] }
+    }
+
+    fn concat(&self, obs: Observation) -> Result<Observation, CgError> {
+        match obs {
+            Observation::IntVector(mut v) => {
+                v.extend_from_slice(&self.histogram);
+                Ok(Observation::IntVector(v))
+            }
+            other => Err(CgError::Usage(format!(
+                "ConcatActionHistogram needs an integer-vector observation, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<E: Env> Env for ConcatActionHistogram<E> {
+    fn reset(&mut self) -> Result<Observation, CgError> {
+        self.histogram.iter_mut().for_each(|x| *x = 0);
+        let obs = self.env.reset()?;
+        self.concat(obs)
+    }
+
+    fn step(&mut self, action: usize) -> Result<StepResult, CgError> {
+        let mut r = self.env.step(action)?;
+        if action < self.histogram.len() {
+            self.histogram[action] += 1;
+        }
+        r.observation = self.concat(r.observation)?;
+        Ok(r)
+    }
+
+    fn num_actions(&self) -> usize {
+        self.env.num_actions()
+    }
+
+    fn episode_reward(&self) -> f64 {
+        self.env.episode_reward()
+    }
+
+    fn benchmark(&self) -> String {
+        self.env.benchmark()
+    }
+
+    fn set_benchmark(&mut self, uri: &str) {
+        self.env.set_benchmark(uri);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::make;
+
+    fn llvm_env(benchmark: &str) -> CompilerEnv {
+        let mut e = make("llvm-v0").unwrap();
+        e.set_benchmark(benchmark);
+        e
+    }
+
+    #[test]
+    fn time_limit_terminates() {
+        let mut env = TimeLimit::new(llvm_env("benchmark://cbench-v1/crc32"), 3);
+        env.reset().unwrap();
+        assert!(!env.step(0).unwrap().done);
+        assert!(!env.step(1).unwrap().done);
+        assert!(env.step(2).unwrap().done);
+        // Reset clears the counter.
+        env.reset().unwrap();
+        assert!(!env.step(0).unwrap().done);
+    }
+
+    #[test]
+    fn cycle_over_benchmarks_advances_on_reset() {
+        let benches = vec![
+            "benchmark://cbench-v1/crc32".to_string(),
+            "benchmark://cbench-v1/sha".to_string(),
+        ];
+        let mut env = CycleOverBenchmarks::new(llvm_env("benchmark://cbench-v1/crc32"), benches);
+        env.reset().unwrap();
+        assert!(env.benchmark().ends_with("crc32"));
+        env.reset().unwrap();
+        assert!(env.benchmark().ends_with("sha"));
+        env.reset().unwrap();
+        assert!(env.benchmark().ends_with("crc32"));
+    }
+
+    #[test]
+    fn action_subset_remaps() {
+        let inner = llvm_env("benchmark://cbench-v1/crc32");
+        let m2r = inner.action_space().index_of("mem2reg").unwrap();
+        let mut env = ActionSubset::new(inner, vec![m2r]);
+        assert_eq!(env.num_actions(), 1);
+        env.reset().unwrap();
+        let r = env.step(0).unwrap();
+        assert!(r.reward > 0.0);
+        assert!(env.step(1).is_err());
+    }
+
+    #[test]
+    fn histogram_concat_grows_observation() {
+        let inner = llvm_env("benchmark://cbench-v1/crc32");
+        let n = inner.action_space().len();
+        let mut env = ConcatActionHistogram::new(inner);
+        let obs = env.reset().unwrap();
+        assert_eq!(obs.as_int_vector().unwrap().len(), 56 + n);
+        let r = env.step(5).unwrap();
+        let v = r.observation.as_int_vector().unwrap();
+        assert_eq!(v[56 + 5], 1, "action 5 counted");
+    }
+
+    #[test]
+    fn wrappers_compose() {
+        // The Listing 2 stack: TimeLimit(CycleOverBenchmarks(env)).
+        let benches: Vec<String> = cg_datasets::dataset("npb-v0")
+            .unwrap()
+            .benchmark_paths(3)
+            .into_iter()
+            .map(|p| format!("benchmark://npb-v0/{p}"))
+            .collect();
+        let mut env = TimeLimit::new(
+            CycleOverBenchmarks::new(llvm_env("benchmark://cbench-v1/crc32"), benches),
+            2,
+        );
+        env.reset().unwrap();
+        assert!(env.benchmark().contains("npb"));
+        env.step(0).unwrap();
+        assert!(env.step(1).unwrap().done);
+    }
+}

@@ -1,0 +1,26 @@
+//! # cg-datasets: benchmark datasets and program generators
+//!
+//! Reproduces the benchmark infrastructure of CompilerGym's Table I: the 14
+//! dataset families, addressed by URI (`benchmark://cbench-v1/qsort`), with
+//! curated hand-written kernels for the real suites (cBench, CHStone,
+//! MiBench, BLAS, NPB) and deterministic style-profiled synthesis for the
+//! corpus-derived families and generators (AnghaBench, GitHub, Csmith, …).
+//!
+//! # Example
+//!
+//! ```
+//! let module = cg_datasets::benchmark("benchmark://cbench-v1/crc32")?;
+//! assert!(module.inst_count() > 0);
+//! # Ok::<(), cg_datasets::DatasetError>(())
+//! ```
+
+pub mod deopt;
+pub mod families;
+pub mod kernels;
+pub mod rng;
+pub mod synth;
+
+pub use families::{
+    benchmark, dataset, datasets, total_finite_benchmarks, DatasetError, DatasetInfo,
+    DatasetSize, CBENCH, CHSTONE,
+};

@@ -1,0 +1,378 @@
+//! The flag-driven compiler: maps a configuration (one choice per option)
+//! to mid-end transformations and backend knobs, then compiles and sizes.
+
+use cg_ir::Module;
+use cg_llvm::pass::find_pass;
+
+use crate::option_space::{BackendEffect, OptionKind, OptionSpace, ParamEffect, PassEffect};
+use crate::rtl::{emit_asm, lower_module, BackendConfig};
+
+/// The result of one compilation.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The rendered command line (for logs and leaderboards).
+    pub command_line: String,
+    /// Assembly text of the whole module.
+    pub asm_text: String,
+    /// Assembly size in bytes (length of the text — the paper's "size in
+    /// bytes of the assembly").
+    pub asm_size: u64,
+    /// Object code size in bytes (encoded instruction bytes + alignment).
+    pub obj_size: u64,
+    /// Number of RTL instructions after backend optimization.
+    pub rtl_count: u64,
+    /// IR instruction count after the mid-end ran.
+    pub ir_count: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MidEndConfig {
+    mem2reg: bool,
+    sroa: bool,
+    dce: bool,
+    gvn: bool,
+    sccp: bool,
+    dse: bool,
+    licm: bool,
+    simplifycfg: bool,
+    ipsccp: bool,
+    mergefunc: bool,
+    reassociate: bool,
+    inline_threshold: u32,
+    unroll_factor: u32,
+    peel: u32,
+}
+
+fn level_defaults(level: usize) -> (MidEndConfig, BackendConfig) {
+    let mut mid = MidEndConfig::default();
+    let mut be = BackendConfig::default();
+    // 0 = -O0, 1..3 = -O1..-O3, 4 = -Os, 5 = -Ofast.
+    if level >= 1 {
+        mid.mem2reg = true;
+        mid.dce = true;
+        mid.sccp = true;
+        mid.simplifycfg = true;
+        be.peephole = true;
+        be.registers = 10;
+    }
+    if level >= 2 && level != 4 || level == 4 {
+        if level >= 2 {
+            mid.sroa = true;
+            mid.gvn = true;
+            mid.dse = true;
+            mid.licm = true;
+            mid.ipsccp = true;
+            be.schedule = true;
+            be.good_regalloc = true;
+            be.omit_frame_pointer = true;
+            be.rtl_dce = true;
+        }
+    }
+    match level {
+        2 => {
+            mid.inline_threshold = 50;
+            be.align_functions = 16;
+            be.align_loops = 8;
+        }
+        3 | 5 => {
+            mid.inline_threshold = 200;
+            mid.unroll_factor = 4;
+            mid.peel = 1;
+            mid.reassociate = level == 5;
+            be.align_functions = 32;
+            be.align_loops = 16;
+        }
+        4 => {
+            // -Os: like -O2 but size-greedy — no alignment, tiny inlining,
+            // identical-code folding. Like real GCC's -Os, it is NOT the
+            // size optimum: interprocedural constant propagation, RTL DCE
+            // and high register budgets are left for the tuner to find.
+            mid.inline_threshold = 16;
+            mid.mergefunc = true;
+            mid.ipsccp = false;
+            be.rtl_dce = false;
+            be.align_functions = 1;
+            be.align_loops = 1;
+            be.section_anchors = true;
+        }
+        _ => {}
+    }
+    be
+        .section_anchors
+        .then_some(())
+        .unwrap_or(());
+    (mid, be)
+}
+
+fn decode(space: &OptionSpace, choices: &[usize]) -> (MidEndConfig, BackendConfig) {
+    let level = match choices.first() {
+        Some(&c) if c > 0 => c - 1,
+        _ => 0,
+    };
+    let (mut mid, mut be) = level_defaults(level);
+    for (o, &c) in space.options().iter().zip(choices) {
+        if c == 0 {
+            continue; // unspecified: keep level default
+        }
+        let on = c == 1; // tri-state: 1 = enabled, 2 = negated
+        match o.kind {
+            OptionKind::OptLevel | OptionKind::Inert => {}
+            OptionKind::PassFlag(effect) => {
+                let target: &mut bool = match effect {
+                    PassEffect::Mem2Reg => &mut mid.mem2reg,
+                    PassEffect::Sroa => &mut mid.sroa,
+                    PassEffect::Dce => &mut mid.dce,
+                    PassEffect::Gvn => &mut mid.gvn,
+                    PassEffect::Sccp => &mut mid.sccp,
+                    PassEffect::Dse => &mut mid.dse,
+                    PassEffect::Licm => &mut mid.licm,
+                    PassEffect::SimplifyCfg => &mut mid.simplifycfg,
+                    PassEffect::IpSccp => &mut mid.ipsccp,
+                    PassEffect::MergeFunc => &mut mid.mergefunc,
+                    PassEffect::Reassociate => &mut mid.reassociate,
+                    PassEffect::RtlDce => &mut be.rtl_dce,
+                    PassEffect::Inline => {
+                        if on && mid.inline_threshold == 0 {
+                            mid.inline_threshold = 50;
+                        } else if !on {
+                            mid.inline_threshold = 0;
+                        }
+                        continue;
+                    }
+                    PassEffect::Unroll => {
+                        if on && mid.unroll_factor == 0 {
+                            mid.unroll_factor = 4;
+                        } else if !on {
+                            mid.unroll_factor = 0;
+                        }
+                        continue;
+                    }
+                    PassEffect::Peel => {
+                        if on && mid.peel == 0 {
+                            mid.peel = 1;
+                        } else if !on {
+                            mid.peel = 0;
+                        }
+                        continue;
+                    }
+                };
+                *target = on;
+            }
+            OptionKind::BackendFlag(effect) => {
+                let target: &mut bool = match effect {
+                    BackendEffect::Peephole => &mut be.peephole,
+                    BackendEffect::Schedule => &mut be.schedule,
+                    BackendEffect::OmitFramePointer => &mut be.omit_frame_pointer,
+                    BackendEffect::GoodRegAlloc => &mut be.good_regalloc,
+                    BackendEffect::SectionAnchors => &mut be.section_anchors,
+                    BackendEffect::AlignFunctions => {
+                        be.align_functions = if on { 16 } else { 1 };
+                        continue;
+                    }
+                    BackendEffect::AlignLoops => {
+                        be.align_loops = if on { 8 } else { 1 };
+                        continue;
+                    }
+                };
+                *target = on;
+            }
+            OptionKind::Param(effect) => match effect {
+                ParamEffect::InlineLimit => mid.inline_threshold = (c as u32) * 16,
+                ParamEffect::UnrollFactor => mid.unroll_factor = c as u32,
+                ParamEffect::PeelCount => mid.peel = c as u32,
+                ParamEffect::FunctionAlignment => be.align_functions = 1u64 << c.min(8),
+                ParamEffect::LoopAlignment => be.align_loops = 1u64 << c.min(6),
+                ParamEffect::RegisterCount => be.registers = 4 + c as u32,
+                ParamEffect::SchedWindow => be.schedule = c > 2,
+                ParamEffect::Nothing => {}
+            },
+        }
+    }
+    (mid, be)
+}
+
+fn run_midend(m: &mut Module, mid: &MidEndConfig) {
+    let mut names: Vec<String> = Vec::new();
+    if mid.sroa {
+        names.push("sroa".into());
+    }
+    if mid.mem2reg {
+        names.push("mem2reg".into());
+    }
+    if mid.inline_threshold > 0 {
+        // Snap to the nearest registry threshold.
+        let avail = [0u32, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100, 120, 140, 160, 180, 200, 225, 250, 275, 300, 400, 500, 750, 1000];
+        let t = avail
+            .iter()
+            .min_by_key(|a| a.abs_diff(mid.inline_threshold))
+            .unwrap();
+        names.push(format!("inline-{t}"));
+    }
+    if mid.sccp {
+        names.push("sccp".into());
+    }
+    if mid.ipsccp {
+        names.push("ipsccp".into());
+    }
+    if mid.simplifycfg {
+        names.push("simplifycfg-aggressive".into());
+    }
+    if mid.licm {
+        names.push("loop-simplify".into());
+        names.push("licm".into());
+    }
+    if mid.peel > 0 {
+        names.push(format!("loop-peel-{}", mid.peel.clamp(1, 16)));
+    }
+    if mid.unroll_factor > 1 {
+        let avail = [2u32, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 32];
+        let u = avail
+            .iter()
+            .min_by_key(|a| a.abs_diff(mid.unroll_factor))
+            .unwrap();
+        names.push(format!("loop-unroll-{u}"));
+    }
+    if mid.gvn {
+        names.push("gvn-pre".into());
+    }
+    if mid.reassociate {
+        names.push("reassociate".into());
+    }
+    if mid.dse {
+        names.push("dse".into());
+        names.push("load-elim".into());
+    }
+    if mid.mergefunc {
+        names.push("mergefunc".into());
+        names.push("globaldce".into());
+    }
+    if mid.dce {
+        names.push("adce".into());
+        names.push("instcombine".into());
+        names.push("simplifycfg".into());
+    }
+    for n in names {
+        if let Some(p) = find_pass(&n) {
+            p.run(m);
+        }
+    }
+}
+
+/// Compiles `module` under the configuration `choices` of `space`.
+///
+/// Deterministic: the same module and choices always produce the same
+/// output (both rewards of the GCC environment are deterministic, §V-B).
+pub fn compile(module: &Module, space: &OptionSpace, choices: &[usize]) -> CompileOutput {
+    let (mid, be) = decode(space, choices);
+    let mut m = module.clone();
+    run_midend(&mut m, &mid);
+    let fns = lower_module(&m, &be);
+    let mut asm_text = String::new();
+    let mut obj_size = 0u64;
+    let mut rtl_count = 0u64;
+    for f in &fns {
+        asm_text.push_str(&emit_asm(f));
+        obj_size += f.size(&be);
+        rtl_count += f
+            .insts
+            .iter()
+            .filter(|i| !matches!(i, crate::rtl::Rtl::Label { .. }))
+            .count() as u64;
+    }
+    // Object overhead for global data addressing unless section anchors.
+    if !be.section_anchors {
+        obj_size += 8 * m.globals().len() as u64;
+    }
+    CompileOutput {
+        command_line: space.command_line(choices),
+        asm_size: asm_text.len() as u64,
+        asm_text,
+        obj_size,
+        rtl_count,
+        ir_count: m.inst_count() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::option_space::GccSpec;
+
+    fn setup() -> (Module, OptionSpace) {
+        (
+            cg_datasets::benchmark("chstone-v0/gsm").unwrap(),
+            OptionSpace::for_version(&GccSpec::v11_2()),
+        )
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let (m, space) = setup();
+        let c = space.choices_for_level(2);
+        let a = compile(&m, &space, &c);
+        let b = compile(&m, &space, &c);
+        assert_eq!(a.obj_size, b.obj_size);
+        assert_eq!(a.asm_text, b.asm_text);
+    }
+
+    #[test]
+    fn optimization_levels_order_sizes_sensibly() {
+        let (m, space) = setup();
+        let o0 = compile(&m, &space, &space.choices_for_level(0));
+        let o2 = compile(&m, &space, &space.choices_for_level(2));
+        let os = compile(&m, &space, &space.choices_for_level(4));
+        assert!(o2.obj_size < o0.obj_size, "O2 {} vs O0 {}", o2.obj_size, o0.obj_size);
+        assert!(os.obj_size <= o2.obj_size, "Os {} vs O2 {}", os.obj_size, o2.obj_size);
+    }
+
+    #[test]
+    fn individual_flags_change_output() {
+        let (m, space) = setup();
+        let base = space.choices_for_level(0);
+        let baseline = compile(&m, &space, &base).obj_size;
+        // Enabling mem2reg (-ftree-ter) alone shrinks -O0 code.
+        let i = space
+            .options()
+            .iter()
+            .position(|o| o.name == "-ftree-ter")
+            .unwrap();
+        let mut c = base.clone();
+        c[i] = 1;
+        let with_m2r = compile(&m, &space, &c).obj_size;
+        assert!(with_m2r < baseline);
+        // An inert flag changes nothing.
+        let inert = space
+            .options()
+            .iter()
+            .position(|o| matches!(o.kind, OptionKind::Inert))
+            .unwrap();
+        let mut c2 = base.clone();
+        c2[inert] = 1;
+        assert_eq!(compile(&m, &space, &c2).obj_size, baseline);
+    }
+
+    #[test]
+    fn negating_a_default_on_flag_grows_o2() {
+        let (m, space) = setup();
+        let o2 = space.choices_for_level(2);
+        let baseline = compile(&m, &space, &o2).obj_size;
+        let i = space
+            .options()
+            .iter()
+            .position(|o| o.name == "-ftree-ter")
+            .unwrap();
+        let mut c = o2.clone();
+        c[i] = 2; // -fno-tree-ter
+        let nerfed = compile(&m, &space, &c).obj_size;
+        assert!(nerfed > baseline);
+    }
+
+    #[test]
+    fn asm_and_obj_sizes_track_each_other() {
+        let (m, space) = setup();
+        let o0 = compile(&m, &space, &space.choices_for_level(0));
+        let os = compile(&m, &space, &space.choices_for_level(4));
+        assert!(os.asm_size < o0.asm_size);
+        assert!(os.rtl_count < o0.rtl_count);
+    }
+}

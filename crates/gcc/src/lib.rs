@@ -1,0 +1,35 @@
+//! # cg-gcc: the simulated GCC backend
+//!
+//! Reproduces the substrate behind CompilerGym's GCC flag-tuning
+//! environment (§V-B): a versioned command-line option space (`-O<n>`,
+//! hundreds of `-f` flags, hundreds of `--param`s — 502 options on
+//! "GCC 11.2", fewer on older versions), a compiler that honours those
+//! options by gating mid-end transformations and backend code generation,
+//! and the two deterministic size rewards (assembly bytes and object bytes).
+//!
+//! The mid-end reuses the shared transform library from [`cg_llvm`] (our
+//! stand-in for GIMPLE passes); the backend lowers IR to an RTL-like
+//! three-address form, allocates registers, applies flag-gated peephole and
+//! scheduling, and emits assembly text plus a pseudo-encoded object.
+//!
+//! # Example
+//!
+//! ```
+//! use cg_gcc::{GccSpec, OptionSpace};
+//!
+//! let spec = GccSpec::v11_2();
+//! let space = OptionSpace::for_version(&spec);
+//! assert_eq!(space.num_options(), 502);
+//! let module = cg_datasets::benchmark("benchmark://chstone-v0/mips")?;
+//! let baseline = space.choices_for_level(2); // -O2
+//! let out = cg_gcc::compile(&module, &space, &baseline);
+//! assert!(out.obj_size > 0);
+//! # Ok::<(), cg_datasets::DatasetError>(())
+//! ```
+
+pub mod compiler;
+pub mod option_space;
+pub mod rtl;
+
+pub use compiler::{compile, CompileOutput};
+pub use option_space::{FlatAction, GccSpec, OptionDef, OptionKind, OptionSpace};

@@ -1,0 +1,723 @@
+//! The RTL-like backend: lowering, register allocation, peephole,
+//! scheduling, and assembly/object emission.
+//!
+//! RTL here is a sizing model, not an executable form — semantics are fixed
+//! by the IR (which the interpreter runs); the backend determines how many
+//! bytes that IR costs under a given flag configuration, which is what the
+//! GCC environment's rewards measure.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use cg_ir::{BinOp, BlockId, Module, Op, Operand, Terminator};
+
+/// An RTL operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Src {
+    /// Virtual (pre-RA) or physical (post-RA) register.
+    Reg(u32),
+    /// Immediate.
+    Imm(i64),
+    /// Address of a global.
+    Global(u32),
+    /// A stack slot (spill or local).
+    Slot(u32),
+}
+
+/// One RTL instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rtl {
+    /// Register copy / materialization.
+    Mov {
+        /// Destination register.
+        dst: u32,
+        /// Source operand.
+        src: Src,
+    },
+    /// Two-operand ALU operation.
+    Alu {
+        /// IR opcode that produced it.
+        op: BinOp,
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// Compare, writing a flag/bool register.
+    Cmp {
+        /// Destination (flag) register.
+        dst: u32,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// Conditional move (used for lowered selects under peephole).
+    CMov {
+        /// Destination register.
+        dst: u32,
+        /// Condition register.
+        cond: u32,
+        /// Value when true.
+        a: Src,
+        /// Value when false.
+        b: Src,
+    },
+    /// Memory load.
+    Load {
+        /// Destination register.
+        dst: u32,
+        /// Address operand.
+        addr: Src,
+    },
+    /// Memory store.
+    Store {
+        /// Address operand.
+        addr: Src,
+        /// Stored value.
+        val: Src,
+    },
+    /// Address computation.
+    Lea {
+        /// Destination register.
+        dst: u32,
+        /// Base address.
+        base: Src,
+        /// Offset.
+        off: Src,
+    },
+    /// Direct call.
+    Call {
+        /// Callee symbol.
+        callee: String,
+        /// Argument count (argument moves are emitted separately).
+        args: usize,
+    },
+    /// Unconditional jump to a block label.
+    Jmp {
+        /// Target label.
+        target: u32,
+    },
+    /// Conditional jump.
+    Jcc {
+        /// Condition register.
+        cond: u32,
+        /// Taken label.
+        target: u32,
+    },
+    /// Return.
+    Ret,
+    /// Pipeline bubble (inserted when scheduling is disabled).
+    Nop,
+    /// Block label pseudo-instruction.
+    Label {
+        /// Label id (block id).
+        id: u32,
+        /// True if this label is a loop (backward-branch) target.
+        loop_target: bool,
+    },
+}
+
+impl Rtl {
+    /// Encoded size in bytes under the simulated ISA.
+    pub fn size(&self) -> u64 {
+        let imm = |s: &Src| match s {
+            Src::Imm(v) if !(-2048..2048).contains(v) => 4u64,
+            Src::Global(_) => 4,
+            _ => 0,
+        };
+        match self {
+            Rtl::Mov { src, .. } => 2 + imm(src),
+            Rtl::Alu { op, a, b, .. } => {
+                let base = match op {
+                    BinOp::Div | BinOp::Rem => 6,
+                    BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => 4,
+                    _ => 3,
+                };
+                base + imm(a) + imm(b)
+            }
+            Rtl::Cmp { a, b, .. } => 3 + imm(a) + imm(b),
+            Rtl::CMov { a, b, .. } => 4 + imm(a) + imm(b),
+            Rtl::Load { addr, .. } => 4 + imm(addr),
+            Rtl::Store { addr, val } => 4 + imm(addr) + imm(val),
+            Rtl::Lea { base, off, .. } => 3 + imm(base) + imm(off),
+            Rtl::Call { args, .. } => 5 + 2 * *args as u64,
+            Rtl::Jmp { .. } => 2,
+            Rtl::Jcc { .. } => 3,
+            Rtl::Ret => 1,
+            Rtl::Nop => 1,
+            Rtl::Label { .. } => 0,
+        }
+    }
+}
+
+/// Backend configuration derived from the flag set.
+#[derive(Debug, Clone)]
+pub struct BackendConfig {
+    /// Run the peephole cleanups.
+    pub peephole: bool,
+    /// Schedule instructions (no hazard nops).
+    pub schedule: bool,
+    /// Omit the frame pointer (smaller prologues).
+    pub omit_frame_pointer: bool,
+    /// Better register allocation (more effective registers).
+    pub good_regalloc: bool,
+    /// Available physical registers.
+    pub registers: u32,
+    /// Function alignment in bytes (power of two).
+    pub align_functions: u64,
+    /// Loop-target alignment in bytes.
+    pub align_loops: u64,
+    /// Remove per-global addressing overhead in the object.
+    pub section_anchors: bool,
+    /// Eliminate dead RTL (unreferenced movs).
+    pub rtl_dce: bool,
+}
+
+impl Default for BackendConfig {
+    fn default() -> BackendConfig {
+        BackendConfig {
+            peephole: false,
+            schedule: false,
+            omit_frame_pointer: false,
+            good_regalloc: false,
+            registers: 6,
+            align_functions: 1,
+            align_loops: 1,
+            section_anchors: false,
+            rtl_dce: false,
+        }
+    }
+}
+
+/// One lowered function.
+#[derive(Debug, Clone)]
+pub struct RtlFunction {
+    /// Symbol name.
+    pub name: String,
+    /// Instruction stream (with labels).
+    pub insts: Vec<Rtl>,
+    /// Bytes of prologue + epilogue.
+    pub frame_overhead: u64,
+}
+
+impl RtlFunction {
+    /// Encoded size in bytes, including frame overhead and loop-target
+    /// alignment, rounded to the function alignment.
+    pub fn size(&self, cfg: &BackendConfig) -> u64 {
+        let mut s = self.frame_overhead;
+        for i in &self.insts {
+            s += i.size();
+            if let Rtl::Label { loop_target: true, .. } = i {
+                // Average padding of align/2 per aligned loop target.
+                s += cfg.align_loops / 2;
+            }
+        }
+        let a = cfg.align_functions.max(1);
+        s.div_ceil(a) * a
+    }
+}
+
+/// Lowers a module to RTL under the given backend configuration: virtual
+/// registers from SSA values, φs resolved to copies, selects to
+/// compare+cmov, switches to compare chains; then spills, peephole,
+/// scheduling.
+pub fn lower_module(m: &Module, cfg: &BackendConfig) -> Vec<RtlFunction> {
+    m.func_ids()
+        .into_iter()
+        .map(|fid| lower_function(m, fid, cfg))
+        .collect()
+}
+
+fn src_of(o: &Operand) -> Src {
+    match o {
+        Operand::Value(v) => Src::Reg(v.0),
+        Operand::Const(cg_ir::Constant::Int(i)) => Src::Imm(*i),
+        Operand::Const(cg_ir::Constant::Bool(b)) => Src::Imm(*b as i64),
+        Operand::Const(cg_ir::Constant::Float(f)) => Src::Imm(f.to_bits() as i64),
+        Operand::Global(g) => Src::Global(g.0),
+        Operand::Func(_) => Src::Imm(0),
+    }
+}
+
+fn lower_function(m: &Module, fid: cg_ir::FuncId, cfg: &BackendConfig) -> RtlFunction {
+    let f = m.func(fid);
+    let mut insts: Vec<Rtl> = Vec::new();
+    let mut next_reg = f.value_bound();
+    let mut fresh = || {
+        next_reg += 1;
+        next_reg - 1
+    };
+    // Loop targets: labels that are targets of backward jumps in layout
+    // order.
+    let order: Vec<BlockId> = f.block_ids();
+    let pos: HashMap<BlockId, usize> = order.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+    let mut loop_targets: Vec<BlockId> = Vec::new();
+    for (i, b) in order.iter().enumerate() {
+        for s in f.block(*b).term.successors() {
+            if pos.get(&s).copied().unwrap_or(usize::MAX) <= i && !loop_targets.contains(&s) {
+                loop_targets.push(s);
+            }
+        }
+    }
+    // φ copies: at the end of each predecessor, mov φreg <- incoming.
+    let mut phi_copies: HashMap<BlockId, Vec<(u32, Src)>> = HashMap::new();
+    for b in f.blocks() {
+        for inst in &b.insts {
+            if let (Some(d), Op::Phi(incs)) = (inst.dest, &inst.op) {
+                for (pred, v) in incs {
+                    phi_copies.entry(*pred).or_default().push((d.0, src_of(v)));
+                }
+            }
+        }
+    }
+    for &bid in &order {
+        let b = f.block(bid);
+        insts.push(Rtl::Label { id: bid.0, loop_target: loop_targets.contains(&bid) });
+        for inst in &b.insts {
+            let dst = inst.dest.map(|d| d.0);
+            match &inst.op {
+                Op::Phi(_) => {} // handled as pred copies
+                Op::Bin(op, a, bb) => insts.push(Rtl::Alu {
+                    op: *op,
+                    dst: dst.unwrap(),
+                    a: src_of(a),
+                    b: src_of(bb),
+                }),
+                Op::Icmp(_, a, bb) | Op::Fcmp(_, a, bb) => {
+                    insts.push(Rtl::Cmp { dst: dst.unwrap(), a: src_of(a), b: src_of(bb) })
+                }
+                Op::Select { cond, on_true, on_false } => {
+                    let c = match src_of(cond) {
+                        Src::Reg(r) => r,
+                        _ => {
+                            let r = fresh();
+                            insts.push(Rtl::Mov { dst: r, src: src_of(cond) });
+                            r
+                        }
+                    };
+                    insts.push(Rtl::CMov {
+                        dst: dst.unwrap(),
+                        cond: c,
+                        a: src_of(on_true),
+                        b: src_of(on_false),
+                    });
+                }
+                Op::Alloca { .. } => {
+                    insts.push(Rtl::Lea { dst: dst.unwrap(), base: Src::Slot(0), off: Src::Imm(0) })
+                }
+                Op::Load { ptr } => insts.push(Rtl::Load { dst: dst.unwrap(), addr: src_of(ptr) }),
+                Op::Store { ptr, value } => {
+                    insts.push(Rtl::Store { addr: src_of(ptr), val: src_of(value) })
+                }
+                Op::Gep { base, offset } => insts.push(Rtl::Lea {
+                    dst: dst.unwrap(),
+                    base: src_of(base),
+                    off: src_of(offset),
+                }),
+                Op::Call { callee, args } => {
+                    for (i, a) in args.iter().enumerate() {
+                        insts.push(Rtl::Mov { dst: 1_000_000 + i as u32, src: src_of(a) });
+                    }
+                    insts.push(Rtl::Call {
+                        callee: m.func(*callee).name.clone(),
+                        args: args.len(),
+                    });
+                    if let Some(d) = dst {
+                        insts.push(Rtl::Mov { dst: d, src: Src::Reg(1_000_100) });
+                    }
+                }
+                Op::Cast(_, v) | Op::Not(v) | Op::Neg(v) | Op::FNeg(v) => {
+                    insts.push(Rtl::Mov { dst: dst.unwrap(), src: src_of(v) })
+                }
+            }
+        }
+        // φ copies for successors, then terminator.
+        if let Some(copies) = phi_copies.get(&bid) {
+            for (dst, src) in copies {
+                insts.push(Rtl::Mov { dst: *dst, src: *src });
+            }
+        }
+        match &b.term {
+            Terminator::Br { target } => insts.push(Rtl::Jmp { target: target.0 }),
+            Terminator::CondBr { cond, on_true, on_false } => {
+                let c = match src_of(cond) {
+                    Src::Reg(r) => r,
+                    other => {
+                        let r = fresh();
+                        insts.push(Rtl::Mov { dst: r, src: other });
+                        r
+                    }
+                };
+                insts.push(Rtl::Jcc { cond: c, target: on_true.0 });
+                insts.push(Rtl::Jmp { target: on_false.0 });
+            }
+            Terminator::Switch { value, cases, default } => {
+                for (cv, t) in cases {
+                    let flag = fresh();
+                    insts.push(Rtl::Cmp { dst: flag, a: src_of(value), b: Src::Imm(*cv) });
+                    insts.push(Rtl::Jcc { cond: flag, target: t.0 });
+                }
+                insts.push(Rtl::Jmp { target: default.0 });
+            }
+            Terminator::Ret { value } => {
+                if let Some(v) = value {
+                    insts.push(Rtl::Mov { dst: 1_000_100, src: src_of(v) });
+                }
+                insts.push(Rtl::Ret);
+            }
+            Terminator::Unreachable => insts.push(Rtl::Nop),
+        }
+    }
+
+    if cfg.peephole {
+        peephole(&mut insts);
+    }
+    if cfg.rtl_dce {
+        rtl_dce(&mut insts);
+    }
+    spill(&mut insts, cfg);
+    if !cfg.schedule {
+        insert_hazard_nops(&mut insts);
+    }
+
+    let frame_overhead = if cfg.omit_frame_pointer { 4 } else { 12 };
+    RtlFunction { name: f.name.clone(), insts, frame_overhead }
+}
+
+/// Peephole: drop no-op moves and identity ALU operations.
+fn peephole(insts: &mut Vec<Rtl>) {
+    insts.retain(|i| match i {
+        Rtl::Mov { dst, src: Src::Reg(s) } => dst != s,
+        Rtl::Alu { op, a: _, b: Src::Imm(0), .. } => {
+            !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl)
+        }
+        Rtl::Alu { op, b: Src::Imm(1), .. } => !matches!(op, BinOp::Mul | BinOp::Div),
+        _ => true,
+    });
+}
+
+/// RTL-level DCE: removes moves whose destination register is never read.
+fn rtl_dce(insts: &mut Vec<Rtl>) {
+    use std::collections::HashSet;
+    let mut read: HashSet<u32> = HashSet::new();
+    let mark = |s: &Src, read: &mut HashSet<u32>| {
+        if let Src::Reg(r) = s {
+            read.insert(*r);
+        }
+    };
+    for i in insts.iter() {
+        match i {
+            Rtl::Mov { src, .. } => mark(src, &mut read),
+            Rtl::Alu { a, b, .. } | Rtl::Cmp { a, b, .. } | Rtl::Lea { base: a, off: b, .. } => {
+                mark(a, &mut read);
+                mark(b, &mut read);
+            }
+            Rtl::CMov { cond, a, b, .. } => {
+                read.insert(*cond);
+                mark(a, &mut read);
+                mark(b, &mut read);
+            }
+            Rtl::Load { addr, .. } => mark(addr, &mut read),
+            Rtl::Store { addr, val } => {
+                mark(addr, &mut read);
+                mark(val, &mut read);
+            }
+            Rtl::Jcc { cond, .. } => {
+                read.insert(*cond);
+            }
+            _ => {}
+        }
+    }
+    insts.retain(|i| match i {
+        Rtl::Mov { dst, .. } => read.contains(dst) || *dst >= 1_000_000,
+        _ => true,
+    });
+}
+
+/// Spill model: registers beyond the allocatable set cost a reload per use
+/// and a store per definition.
+fn spill(insts: &mut Vec<Rtl>, cfg: &BackendConfig) {
+    let k = cfg.registers + if cfg.good_regalloc { 6 } else { 0 };
+    // Occurrence counts per virtual register (ABI regs >= 1_000_000 are
+    // physical and never spill).
+    let mut occur: HashMap<u32, u32> = HashMap::new();
+    let bump = |s: &Src, occur: &mut HashMap<u32, u32>| {
+        if let Src::Reg(r) = s {
+            if *r < 1_000_000 {
+                *occur.entry(*r).or_default() += 1;
+            }
+        }
+    };
+    for i in insts.iter() {
+        match i {
+            Rtl::Mov { dst, src } => {
+                bump(&Src::Reg(*dst), &mut occur);
+                bump(src, &mut occur);
+            }
+            Rtl::Alu { dst, a, b, .. } | Rtl::CMov { dst, a, b, .. } => {
+                bump(&Src::Reg(*dst), &mut occur);
+                bump(a, &mut occur);
+                bump(b, &mut occur);
+            }
+            Rtl::Cmp { dst, a, b } => {
+                bump(&Src::Reg(*dst), &mut occur);
+                bump(a, &mut occur);
+                bump(b, &mut occur);
+            }
+            Rtl::Lea { dst, base, off } => {
+                bump(&Src::Reg(*dst), &mut occur);
+                bump(base, &mut occur);
+                bump(off, &mut occur);
+            }
+            Rtl::Load { dst, addr } => {
+                bump(&Src::Reg(*dst), &mut occur);
+                bump(addr, &mut occur);
+            }
+            Rtl::Store { addr, val } => {
+                bump(addr, &mut occur);
+                bump(val, &mut occur);
+            }
+            Rtl::Jcc { cond, .. } => bump(&Src::Reg(*cond), &mut occur),
+            _ => {}
+        }
+    }
+    if occur.len() <= k as usize {
+        return;
+    }
+    // Keep the k hottest registers; the rest spill.
+    let mut by_heat: Vec<(u32, u32)> = occur.into_iter().collect();
+    by_heat.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let spilled: std::collections::HashSet<u32> =
+        by_heat.iter().skip(k as usize).map(|(r, _)| *r).collect();
+    let mut out: Vec<Rtl> = Vec::with_capacity(insts.len() * 2);
+    for inst in insts.drain(..) {
+        // Reloads before, stores after.
+        let mut uses: Vec<u32> = Vec::new();
+        let mut defs: Vec<u32> = Vec::new();
+        let collect = |s: &Src, uses: &mut Vec<u32>| {
+            if let Src::Reg(r) = s {
+                if spilled.contains(r) {
+                    uses.push(*r);
+                }
+            }
+        };
+        match &inst {
+            Rtl::Mov { dst, src } => {
+                collect(src, &mut uses);
+                if spilled.contains(dst) {
+                    defs.push(*dst);
+                }
+            }
+            Rtl::Alu { dst, a, b, .. } | Rtl::CMov { dst, a, b, .. } => {
+                collect(a, &mut uses);
+                collect(b, &mut uses);
+                if spilled.contains(dst) {
+                    defs.push(*dst);
+                }
+            }
+            Rtl::Cmp { dst, a, b } => {
+                collect(a, &mut uses);
+                collect(b, &mut uses);
+                if spilled.contains(dst) {
+                    defs.push(*dst);
+                }
+            }
+            Rtl::Lea { dst, base, off } => {
+                collect(base, &mut uses);
+                collect(off, &mut uses);
+                if spilled.contains(dst) {
+                    defs.push(*dst);
+                }
+            }
+            Rtl::Load { dst, addr } => {
+                collect(addr, &mut uses);
+                if spilled.contains(dst) {
+                    defs.push(*dst);
+                }
+            }
+            Rtl::Store { addr, val } => {
+                collect(addr, &mut uses);
+                collect(val, &mut uses);
+            }
+            Rtl::Jcc { cond, .. } => {
+                if spilled.contains(cond) {
+                    uses.push(*cond);
+                }
+            }
+            _ => {}
+        }
+        for r in uses {
+            out.push(Rtl::Load { dst: r, addr: Src::Slot(r) });
+        }
+        out.push(inst);
+        for r in defs {
+            out.push(Rtl::Store { addr: Src::Slot(r), val: Src::Reg(r) });
+        }
+    }
+    *insts = out;
+}
+
+/// Without scheduling, a load immediately followed by a consumer of its
+/// destination stalls: insert a nop.
+fn insert_hazard_nops(insts: &mut Vec<Rtl>) {
+    let mut out: Vec<Rtl> = Vec::with_capacity(insts.len());
+    let mut pending: Option<u32> = None;
+    for inst in insts.drain(..) {
+        if let Some(loaded) = pending.take() {
+            let mut uses_loaded = false;
+            let check = |s: &Src, hit: &mut bool| {
+                if *s == Src::Reg(loaded) {
+                    *hit = true;
+                }
+            };
+            match &inst {
+                Rtl::Mov { src, .. } => check(src, &mut uses_loaded),
+                Rtl::Alu { a, b, .. } | Rtl::Cmp { a, b, .. } | Rtl::Lea { base: a, off: b, .. } => {
+                    check(a, &mut uses_loaded);
+                    check(b, &mut uses_loaded);
+                }
+                Rtl::CMov { cond, a, b, .. } => {
+                    uses_loaded |= *cond == loaded;
+                    check(a, &mut uses_loaded);
+                    check(b, &mut uses_loaded);
+                }
+                Rtl::Store { addr, val } => {
+                    check(addr, &mut uses_loaded);
+                    check(val, &mut uses_loaded);
+                }
+                Rtl::Jcc { cond, .. } => uses_loaded |= *cond == loaded,
+                _ => {}
+            }
+            if uses_loaded {
+                out.push(Rtl::Nop);
+            }
+        }
+        if let Rtl::Load { dst, .. } = &inst {
+            pending = Some(*dst);
+        }
+        out.push(inst);
+    }
+    *insts = out;
+}
+
+/// Emits assembly text for a lowered function.
+pub fn emit_asm(f: &RtlFunction) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{}:", f.name);
+    let src = |o: &Src| match o {
+        Src::Reg(r) => format!("r{r}"),
+        Src::Imm(v) => format!("${v}"),
+        Src::Global(g) => format!("g{g}(%rip)"),
+        Src::Slot(k) => format!("{k}(%sp)"),
+    };
+    for i in &f.insts {
+        match i {
+            Rtl::Label { id, .. } => {
+                let _ = writeln!(s, ".L{id}:");
+            }
+            Rtl::Mov { dst, src: x } => {
+                let _ = writeln!(s, "\tmov r{dst}, {}", src(x));
+            }
+            Rtl::Alu { op, dst, a, b } => {
+                let _ = writeln!(s, "\t{} r{dst}, {}, {}", op.mnemonic(), src(a), src(b));
+            }
+            Rtl::Cmp { dst, a, b } => {
+                let _ = writeln!(s, "\tcmp r{dst}, {}, {}", src(a), src(b));
+            }
+            Rtl::CMov { dst, cond, a, b } => {
+                let _ = writeln!(s, "\tcmov r{dst}, r{cond}, {}, {}", src(a), src(b));
+            }
+            Rtl::Load { dst, addr } => {
+                let _ = writeln!(s, "\tld r{dst}, [{}]", src(addr));
+            }
+            Rtl::Store { addr, val } => {
+                let _ = writeln!(s, "\tst [{}], {}", src(addr), src(val));
+            }
+            Rtl::Lea { dst, base, off } => {
+                let _ = writeln!(s, "\tlea r{dst}, {} + {}", src(base), src(off));
+            }
+            Rtl::Call { callee, .. } => {
+                let _ = writeln!(s, "\tcall {callee}");
+            }
+            Rtl::Jmp { target } => {
+                let _ = writeln!(s, "\tjmp .L{target}");
+            }
+            Rtl::Jcc { cond, target } => {
+                let _ = writeln!(s, "\tjnz r{cond}, .L{target}");
+            }
+            Rtl::Ret => {
+                let _ = writeln!(s, "\tret");
+            }
+            Rtl::Nop => {
+                let _ = writeln!(s, "\tnop");
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Module {
+        cg_datasets::benchmark("chstone-v0/sha").unwrap()
+    }
+
+    #[test]
+    fn lowering_produces_rtl_for_every_function() {
+        let m = sample();
+        let fns = lower_module(&m, &BackendConfig::default());
+        assert_eq!(fns.len(), m.num_functions());
+        assert!(fns.iter().all(|f| !f.insts.is_empty()));
+    }
+
+    #[test]
+    fn peephole_and_regalloc_shrink_code() {
+        let m = sample();
+        let bad = BackendConfig::default();
+        let good = BackendConfig {
+            peephole: true,
+            schedule: true,
+            omit_frame_pointer: true,
+            good_regalloc: true,
+            registers: 12,
+            rtl_dce: true,
+            ..BackendConfig::default()
+        };
+        let size_bad: u64 = lower_module(&m, &bad).iter().map(|f| f.size(&bad)).sum();
+        let size_good: u64 = lower_module(&m, &good).iter().map(|f| f.size(&good)).sum();
+        assert!(
+            size_good < size_bad,
+            "optimized backend should be smaller: {size_good} vs {size_bad}"
+        );
+    }
+
+    #[test]
+    fn alignment_increases_size() {
+        let m = sample();
+        let plain = BackendConfig::default();
+        let aligned = BackendConfig {
+            align_functions: 64,
+            align_loops: 16,
+            ..BackendConfig::default()
+        };
+        let a: u64 = lower_module(&m, &plain).iter().map(|f| f.size(&plain)).sum();
+        let b: u64 = lower_module(&m, &aligned).iter().map(|f| f.size(&aligned)).sum();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn asm_emission_mentions_every_function() {
+        let m = sample();
+        let fns = lower_module(&m, &BackendConfig::default());
+        for f in &fns {
+            let asm = emit_asm(f);
+            assert!(asm.starts_with(&format!("{}:", f.name)));
+            assert!(asm.contains("\tret"));
+        }
+    }
+}

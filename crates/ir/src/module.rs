@@ -1,0 +1,474 @@
+//! Modules, functions, blocks and the value/block/function id spaces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::inst::{Inst, Op, Terminator};
+use crate::types::Type;
+
+/// Identifies an SSA value within a function (parameter or instruction
+/// result). Printed as `%n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Identifies a basic block within a function. Printed as `bbN`. Stable
+/// across block insertion and deletion (blocks live in an arena).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Identifies a function within a module. Stable across function deletion.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Identifies a global variable within a module.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+/// A basic block: a straight-line sequence of instructions ended by a
+/// [`Terminator`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Block {
+    /// This block's id (equal to its arena slot).
+    pub id: BlockId,
+    /// The non-terminator instructions, in order. φ-nodes must be a prefix.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// The number of φ-nodes at the head of the block.
+    pub fn phi_count(&self) -> usize {
+        self.insts
+            .iter()
+            .take_while(|i| matches!(i.op, Op::Phi(_)))
+            .count()
+    }
+}
+
+/// A global variable: `slots` 8-byte cells of module memory with an optional
+/// initializer.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Size in 8-byte cells.
+    pub slots: u32,
+    /// Initial cell values (zero-padded to `slots`).
+    pub init: Vec<i64>,
+    /// True if the program never writes this global (enables optimizations).
+    pub constant: bool,
+}
+
+/// A function: parameters, return type and a CFG of basic blocks.
+///
+/// Blocks are stored in an arena so that [`BlockId`]s remain stable when
+/// passes delete blocks; `layout` holds the current textual/emission order
+/// with the entry block first.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter values and types. Parameters occupy the first value ids.
+    pub params: Vec<(ValueId, Type)>,
+    /// Return type ([`Type::Void`] for procedures).
+    pub ret_ty: Type,
+    /// Inline-cost hint: functions marked `always_inline` are prioritized by
+    /// the inliner; `no_inline` are skipped.
+    pub inline_hint: InlineHint,
+    blocks: Vec<Option<Block>>,
+    layout: Vec<BlockId>,
+    next_value: u32,
+}
+
+/// Inlining hints attached to functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum InlineHint {
+    /// No preference; the inliner uses its cost model.
+    #[default]
+    None,
+    /// Always profitable to inline.
+    Always,
+    /// Never inline.
+    Never,
+}
+
+impl Function {
+    /// Creates an empty function with the given signature. Parameters are
+    /// assigned value ids `0..param_tys.len()`. The function initially has no
+    /// blocks; create the entry with [`Function::add_block`].
+    pub fn new(name: impl Into<String>, param_tys: &[Type], ret_ty: Type) -> Function {
+        let params = param_tys
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ValueId(i as u32), *t))
+            .collect::<Vec<_>>();
+        Function {
+            name: name.into(),
+            next_value: params.len() as u32,
+            params,
+            ret_ty,
+            inline_hint: InlineHint::None,
+            blocks: Vec::new(),
+            layout: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh SSA value id.
+    pub fn fresh_value(&mut self) -> ValueId {
+        let v = ValueId(self.next_value);
+        self.next_value += 1;
+        v
+    }
+
+    /// The upper bound on value ids (all ids are `< value_bound()`).
+    pub fn value_bound(&self) -> u32 {
+        self.next_value
+    }
+
+    /// Raises the value id watermark (used by the parser).
+    pub fn reserve_values(&mut self, bound: u32) {
+        self.next_value = self.next_value.max(bound);
+    }
+
+    /// Adds a new empty block (terminated by `Unreachable`) and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Some(Block {
+            id,
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        }));
+        self.layout.push(id);
+        id
+    }
+
+    /// Adds a block with a specific id, extending the arena as needed (used
+    /// by the parser, whose block labels carry explicit ids). The block is
+    /// appended to the layout order.
+    ///
+    /// # Panics
+    /// Panics if a live block already occupies the id.
+    pub fn add_block_with_id(&mut self, id: BlockId) {
+        let idx = id.0 as usize;
+        if idx >= self.blocks.len() {
+            self.blocks.resize_with(idx + 1, || None);
+        }
+        assert!(self.blocks[idx].is_none(), "block {id} already exists");
+        self.blocks[idx] = Some(Block {
+            id,
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        });
+        self.layout.push(id);
+    }
+
+    /// Removes a block from the function. Panics if it is the entry block.
+    ///
+    /// The caller is responsible for first rewriting all references to the
+    /// block (branches and φ incomings).
+    pub fn remove_block(&mut self, id: BlockId) {
+        assert_ne!(Some(id), self.layout.first().copied(), "cannot remove the entry block");
+        self.blocks[id.0 as usize] = None;
+        self.layout.retain(|b| *b != id);
+    }
+
+    /// The entry block id.
+    ///
+    /// # Panics
+    /// Panics if the function has no blocks.
+    pub fn entry(&self) -> BlockId {
+        self.layout[0]
+    }
+
+    /// True if the block id refers to a live block.
+    pub fn block_exists(&self, id: BlockId) -> bool {
+        self.blocks
+            .get(id.0 as usize)
+            .map(|b| b.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Borrows a block.
+    ///
+    /// # Panics
+    /// Panics if the block has been removed.
+    pub fn block(&self, id: BlockId) -> &Block {
+        self.blocks[id.0 as usize]
+            .as_ref()
+            .expect("block was removed")
+    }
+
+    /// Mutably borrows a block.
+    ///
+    /// # Panics
+    /// Panics if the block has been removed.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        self.blocks[id.0 as usize]
+            .as_mut()
+            .expect("block was removed")
+    }
+
+    /// Block ids in layout order (entry first).
+    pub fn block_ids(&self) -> Vec<BlockId> {
+        self.layout.clone()
+    }
+
+    /// The arena capacity: all block ids are `< block_bound()`. Useful for
+    /// dense side tables indexed by `BlockId.0`.
+    pub fn block_bound(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    /// Number of live blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Iterates over live blocks in layout order.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> + '_ {
+        self.layout.iter().map(move |id| self.block(*id))
+    }
+
+    /// Moves `id` to immediately after `after` in layout order.
+    pub fn move_block_after(&mut self, id: BlockId, after: BlockId) {
+        self.layout.retain(|b| *b != id);
+        let pos = self
+            .layout
+            .iter()
+            .position(|b| *b == after)
+            .expect("anchor block not in layout");
+        self.layout.insert(pos + 1, id);
+    }
+
+    /// Total instruction count including terminators (the `IrInstructionCount`
+    /// metric of the LLVM environment).
+    pub fn inst_count(&self) -> usize {
+        self.blocks().map(|b| b.insts.len() + 1).sum()
+    }
+
+    /// Rewrites every use of value `from` into the operand `to` across all
+    /// instructions and terminators.
+    pub fn replace_all_uses(&mut self, from: ValueId, to: crate::Operand) {
+        for id in self.block_ids() {
+            let block = self.block_mut(id);
+            for inst in &mut block.insts {
+                inst.op.for_each_operand_mut(|o| {
+                    if o.as_value() == Some(from) {
+                        *o = to;
+                    }
+                });
+            }
+            block.term.for_each_operand_mut(|o| {
+                if o.as_value() == Some(from) {
+                    *o = to;
+                }
+            });
+        }
+    }
+}
+
+/// A compilation unit: functions plus global variables.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (usually the benchmark URI path).
+    pub name: String,
+    functions: Vec<Option<Function>>,
+    globals: Vec<Global>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(Some(f));
+        id
+    }
+
+    /// Removes a function. The caller must have rewritten all calls to it.
+    pub fn remove_function(&mut self, id: FuncId) {
+        self.functions[id.0 as usize] = None;
+    }
+
+    /// True if the function id refers to a live function.
+    pub fn func_exists(&self, id: FuncId) -> bool {
+        self.functions
+            .get(id.0 as usize)
+            .map(|f| f.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Borrows a function.
+    ///
+    /// # Panics
+    /// Panics if the function has been removed.
+    pub fn func(&self, id: FuncId) -> &Function {
+        self.functions[id.0 as usize]
+            .as_ref()
+            .expect("function was removed")
+    }
+
+    /// Mutably borrows a function.
+    ///
+    /// # Panics
+    /// Panics if the function has been removed.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        self.functions[id.0 as usize]
+            .as_mut()
+            .expect("function was removed")
+    }
+
+    /// Live function ids in definition order.
+    pub fn func_ids(&self) -> Vec<FuncId> {
+        (0..self.functions.len() as u32)
+            .map(FuncId)
+            .filter(|id| self.func_exists(*id))
+            .collect()
+    }
+
+    /// The arena capacity: all function ids are `< func_bound()`.
+    pub fn func_bound(&self) -> u32 {
+        self.functions.len() as u32
+    }
+
+    /// Finds a function by name.
+    pub fn find_func(&self, name: &str) -> Option<FuncId> {
+        self.func_ids().into_iter().find(|id| self.func(*id).name == name)
+    }
+
+    /// Takes a function out of the module, leaving a hole (used by the
+    /// inliner to mutate one function while reading another).
+    pub fn take_func(&mut self, id: FuncId) -> Function {
+        self.functions[id.0 as usize]
+            .take()
+            .expect("function was removed")
+    }
+
+    /// Puts a function back into its arena slot.
+    pub fn put_func(&mut self, id: FuncId, f: Function) {
+        assert!(self.functions[id.0 as usize].is_none());
+        self.functions[id.0 as usize] = Some(f);
+    }
+
+    /// Adds a global, returning its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(g);
+        id
+    }
+
+    /// Borrows a global.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// All globals in definition order.
+    pub fn globals(&self) -> &[Global] {
+        &self.globals
+    }
+
+    /// Mutably borrows the globals.
+    pub fn globals_mut(&mut self) -> &mut Vec<Global> {
+        &mut self.globals
+    }
+
+    /// Total instruction count across all functions (the `IrInstructionCount`
+    /// metric / "code size" reward of the LLVM environment).
+    pub fn inst_count(&self) -> usize {
+        self.func_ids().into_iter().map(|id| self.func(id).inst_count()).sum()
+    }
+
+    /// Number of live functions.
+    pub fn num_functions(&self) -> usize {
+        self.func_ids().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Operand;
+
+    fn tiny_function() -> Function {
+        let mut f = Function::new("f", &[Type::I64], Type::I64);
+        let entry = f.add_block();
+        f.block_mut(entry).term = Terminator::Ret {
+            value: Some(Operand::Value(ValueId(0))),
+        };
+        f
+    }
+
+    #[test]
+    fn block_arena_ids_are_stable() {
+        let mut f = tiny_function();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        f.remove_block(b1);
+        assert!(!f.block_exists(b1));
+        assert!(f.block_exists(b2));
+        assert_eq!(f.block(b2).id, b2);
+        let b3 = f.add_block();
+        assert_ne!(b3, b1); // removed slots are not recycled
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the entry block")]
+    fn removing_entry_panics() {
+        let mut f = tiny_function();
+        let entry = f.entry();
+        f.remove_block(entry);
+    }
+
+    #[test]
+    fn inst_count_counts_terminators() {
+        let f = tiny_function();
+        assert_eq!(f.inst_count(), 1);
+        let mut m = Module::new("m");
+        m.add_function(f);
+        assert_eq!(m.inst_count(), 1);
+    }
+
+    #[test]
+    fn replace_all_uses() {
+        let mut f = tiny_function();
+        f.replace_all_uses(ValueId(0), Operand::const_int(42));
+        let entry = f.entry();
+        match &f.block(entry).term {
+            Terminator::Ret { value: Some(v) } => assert_eq!(v.as_const_int(), Some(42)),
+            t => panic!("unexpected terminator {t:?}"),
+        }
+    }
+
+    #[test]
+    fn function_arena() {
+        let mut m = Module::new("m");
+        let f1 = m.add_function(tiny_function());
+        let f2 = m.add_function(Function::new("g", &[], Type::Void));
+        m.remove_function(f1);
+        assert!(!m.func_exists(f1));
+        assert_eq!(m.func_ids(), vec![f2]);
+        assert_eq!(m.find_func("g"), Some(f2));
+        assert_eq!(m.find_func("f"), None);
+    }
+}

@@ -1,0 +1,751 @@
+//! Parser for the textual IR format emitted by [`crate::printer`].
+//!
+//! The parser is the inverse of the printer: for any verified module `m`,
+//! `parse(&print_module(&m))` succeeds and prints back identically. It exists
+//! so that benchmarks can be stored as text, user programs can be supplied as
+//! custom benchmarks, and the Autophase/OpenTuner baseline architectures can
+//! pay a realistic "read and parse the IR from disk" cost at every step.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{BinOp, CastKind, Inst, Op, Pred, Terminator};
+use crate::module::{BlockId, FuncId, Function, Global, GlobalId, InlineHint, Module, ValueId};
+use crate::types::{Operand, Type};
+
+/// An error produced while parsing textual IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a module from its textual form.
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first syntax or reference error.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    Parser::new(text).parse()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Value(u32),    // %n
+    Global(String), // @name
+    FuncRef(String), // &name
+    Int(i64),
+    FloatBits(u64),
+    Str(String),
+    Punct(char),
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser { toks: Vec::new(), pos: 0, text }
+    }
+
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line, message: msg.into() })
+    }
+
+    fn lex(&mut self) -> Result<(), ParseError> {
+        let mut line = 1usize;
+        let mut chars = self.text.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            match c {
+                '\n' => {
+                    line += 1;
+                    chars.next();
+                }
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                ';' => {
+                    // comment to end of line
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                }
+                '"' => {
+                    chars.next();
+                    let mut s = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('"') => break,
+                            Some(c) => s.push(c),
+                            None => return self.err(line, "unterminated string"),
+                        }
+                    }
+                    self.toks.push((Tok::Str(s), line));
+                }
+                '%' => {
+                    chars.next();
+                    let n = lex_u32(&mut chars)
+                        .ok_or(ParseError { line, message: "bad value id".into() })?;
+                    self.toks.push((Tok::Value(n), line));
+                }
+                '@' | '&' => {
+                    let sigil = c;
+                    chars.next();
+                    let name = lex_ident(&mut chars);
+                    if name.is_empty() {
+                        return self.err(line, "expected symbol name");
+                    }
+                    let t = if sigil == '@' { Tok::Global(name) } else { Tok::FuncRef(name) };
+                    self.toks.push((t, line));
+                }
+                '-' => {
+                    chars.next();
+                    match lex_u64(&mut chars) {
+                        Some(n) => self.toks.push((Tok::Int(-(n as i64)), line)),
+                        None => return self.err(line, "expected digits after '-'"),
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let n = lex_u64(&mut chars).unwrap();
+                    self.toks.push((Tok::Int(n as i64), line));
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let id = lex_ident(&mut chars);
+                    // float constants print as f0x....
+                    if let Some(hex) = id.strip_prefix("f0x") {
+                        match u64::from_str_radix(hex, 16) {
+                            Ok(bits) => self.toks.push((Tok::FloatBits(bits), line)),
+                            Err(_) => return self.err(line, format!("bad float literal {id}")),
+                        }
+                    } else {
+                        self.toks.push((Tok::Ident(id), line));
+                    }
+                }
+                '=' | ',' | '(' | ')' | '[' | ']' | '{' | '}' | ':' => {
+                    chars.next();
+                    self.toks.push((Tok::Punct(c), line));
+                }
+                other => return self.err(line, format!("unexpected character {other:?}")),
+            }
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => self.err(line, format!("expected {c:?}, found {other:?}")),
+        }
+    }
+
+    fn expect_ident(&mut self, s: &str) -> Result<(), ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(i)) if i == s => Ok(()),
+            other => self.err(line, format!("expected `{s}`, found {other:?}")),
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(i)) => match i.as_str() {
+                "i1" => Ok(Type::I1),
+                "i64" => Ok(Type::I64),
+                "f64" => Ok(Type::F64),
+                "ptr" => Ok(Type::Ptr),
+                "void" => Ok(Type::Void),
+                other => self.err(line, format!("unknown type `{other}`")),
+            },
+            other => self.err(line, format!("expected type, found {other:?}")),
+        }
+    }
+
+    fn parse(mut self) -> Result<Module, ParseError> {
+        self.lex()?;
+
+        // Pre-pass: register function and global names in definition order so
+        // that forward references resolve.
+        let mut func_names: HashMap<String, FuncId> = HashMap::new();
+        let mut global_names: HashMap<String, GlobalId> = HashMap::new();
+        {
+            let mut i = 0;
+            let mut nfuncs = 0u32;
+            let mut nglobals = 0u32;
+            let mut depth = 0i32;
+            while i < self.toks.len() {
+                match &self.toks[i].0 {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => depth -= 1,
+                    Tok::Ident(id) if depth == 0 && id == "define" => {
+                        // define <ty> @name
+                        if let Some((Tok::Global(name), _)) = self.toks.get(i + 2) {
+                            func_names.insert(name.clone(), FuncId(nfuncs));
+                            nfuncs += 1;
+                        }
+                    }
+                    Tok::Ident(id) if depth == 0 && id == "global" => {
+                        if let Some((Tok::Global(name), _)) = self.toks.get(i + 1) {
+                            global_names.insert(name.clone(), GlobalId(nglobals));
+                            nglobals += 1;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+
+        self.expect_ident("module")?;
+        let line = self.line();
+        let name = match self.next() {
+            Some(Tok::Str(s)) => s,
+            other => return self.err(line, format!("expected module name string, found {other:?}")),
+        };
+        let mut module = Module::new(name);
+
+        let ctx = NameCtx { funcs: func_names, globals: global_names };
+
+        loop {
+            match self.peek() {
+                None => break,
+                Some(Tok::Ident(i)) if i == "global" => {
+                    self.next();
+                    let line = self.line();
+                    let gname = match self.next() {
+                        Some(Tok::Global(n)) => n,
+                        other => return self.err(line, format!("expected @name, found {other:?}")),
+                    };
+                    let line = self.line();
+                    let slots = match self.next() {
+                        Some(Tok::Int(n)) if n >= 0 => n as u32,
+                        other => return self.err(line, format!("expected slot count, found {other:?}")),
+                    };
+                    let constant = matches!(self.peek(), Some(Tok::Ident(i)) if i == "const");
+                    if constant {
+                        self.next();
+                    }
+                    self.expect_punct('[')?;
+                    let mut init = Vec::new();
+                    if !matches!(self.peek(), Some(Tok::Punct(']'))) {
+                        loop {
+                            let line = self.line();
+                            match self.next() {
+                                Some(Tok::Int(v)) => init.push(v),
+                                other => {
+                                    return self.err(line, format!("expected init value, found {other:?}"))
+                                }
+                            }
+                            if matches!(self.peek(), Some(Tok::Punct(','))) {
+                                self.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(']')?;
+                    module.add_global(Global { name: gname, slots, init, constant });
+                }
+                Some(Tok::Ident(i)) if i == "define" => {
+                    let f = self.parse_function(&ctx)?;
+                    module.add_function(f);
+                }
+                other => {
+                    let line = self.line();
+                    return self.err(line, format!("expected `global` or `define`, found {other:?}"));
+                }
+            }
+        }
+        Ok(module)
+    }
+
+    fn parse_function(&mut self, ctx: &NameCtx) -> Result<Function, ParseError> {
+        self.expect_ident("define")?;
+        let ret_ty = self.parse_type()?;
+        let line = self.line();
+        let name = match self.next() {
+            Some(Tok::Global(n)) => n,
+            other => return self.err(line, format!("expected @name, found {other:?}")),
+        };
+        self.expect_punct('(')?;
+        let mut param_tys = Vec::new();
+        let mut max_value = 0u32;
+        if !matches!(self.peek(), Some(Tok::Punct(')'))) {
+            loop {
+                let ty = self.parse_type()?;
+                let line = self.line();
+                match self.next() {
+                    Some(Tok::Value(v)) => max_value = max_value.max(v + 1),
+                    other => return self.err(line, format!("expected %n param, found {other:?}")),
+                }
+                param_tys.push(ty);
+                if matches!(self.peek(), Some(Tok::Punct(','))) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        let mut hint = InlineHint::None;
+        if matches!(self.peek(), Some(Tok::Ident(i)) if i == "hint") {
+            self.next();
+            self.expect_punct('(')?;
+            let line = self.line();
+            match self.next() {
+                Some(Tok::Ident(h)) if h == "always" => hint = InlineHint::Always,
+                Some(Tok::Ident(h)) if h == "never" => hint = InlineHint::Never,
+                other => return self.err(line, format!("bad hint {other:?}")),
+            }
+            self.expect_punct(')')?;
+        }
+        self.expect_punct('{')?;
+
+        let mut f = Function::new(name, &param_tys, ret_ty);
+        f.inline_hint = hint;
+
+        // Blocks: `bbN:` then instructions until next label or `}`.
+        let mut current: Option<BlockId> = None;
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('}')) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::Ident(id)) if id.starts_with("bb") && matches!(self.toks.get(self.pos + 1), Some((Tok::Punct(':'), _))) => {
+                    let line = self.line();
+                    let n: u32 = match id[2..].parse() {
+                        Ok(n) => n,
+                        Err(_) => return self.err(line, format!("bad block label `{id}`")),
+                    };
+                    self.next();
+                    self.next(); // ':'
+                    let bid = BlockId(n);
+                    f.add_block_with_id(bid);
+                    current = Some(bid);
+                }
+                Some(_) => {
+                    let line = self.line();
+                    let Some(bid) = current else {
+                        return self.err(line, "instruction before first block label");
+                    };
+                    let item = self.parse_inst_or_term(ctx, &mut max_value)?;
+                    match item {
+                        InstOrTerm::Inst(inst) => f.block_mut(bid).insts.push(inst),
+                        InstOrTerm::Term(t) => f.block_mut(bid).term = t,
+                    }
+                }
+                None => return self.err(self.line(), "unexpected end of input in function body"),
+            }
+        }
+        f.reserve_values(max_value);
+        Ok(f)
+    }
+
+    fn parse_operand(&mut self, ctx: &NameCtx, max_value: &mut u32) -> Result<Operand, ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Value(v)) => {
+                *max_value = (*max_value).max(v + 1);
+                Ok(Operand::Value(ValueId(v)))
+            }
+            Some(Tok::Int(i)) => Ok(Operand::const_int(i)),
+            Some(Tok::FloatBits(b)) => Ok(Operand::const_float(f64::from_bits(b))),
+            Some(Tok::Ident(i)) if i == "true" => Ok(Operand::const_bool(true)),
+            Some(Tok::Ident(i)) if i == "false" => Ok(Operand::const_bool(false)),
+            Some(Tok::Global(g)) => match ctx.globals.get(&g) {
+                Some(id) => Ok(Operand::Global(*id)),
+                None => self.err(line, format!("unknown global @{g}")),
+            },
+            Some(Tok::FuncRef(fname)) => match ctx.funcs.get(&fname) {
+                Some(id) => Ok(Operand::Func(*id)),
+                None => self.err(line, format!("unknown function &{fname}")),
+            },
+            other => self.err(line, format!("expected operand, found {other:?}")),
+        }
+    }
+
+    fn parse_block_ref(&mut self) -> Result<BlockId, ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(id)) if id.starts_with("bb") => match id[2..].parse() {
+                Ok(n) => Ok(BlockId(n)),
+                Err(_) => self.err(line, format!("bad block ref `{id}`")),
+            },
+            other => self.err(line, format!("expected block ref, found {other:?}")),
+        }
+    }
+
+    fn parse_pred(&mut self) -> Result<Pred, ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(p)) => match p.as_str() {
+                "eq" => Ok(Pred::Eq),
+                "ne" => Ok(Pred::Ne),
+                "lt" => Ok(Pred::Lt),
+                "le" => Ok(Pred::Le),
+                "gt" => Ok(Pred::Gt),
+                "ge" => Ok(Pred::Ge),
+                other => self.err(line, format!("unknown predicate `{other}`")),
+            },
+            other => self.err(line, format!("expected predicate, found {other:?}")),
+        }
+    }
+
+    fn parse_inst_or_term(
+        &mut self,
+        ctx: &NameCtx,
+        max_value: &mut u32,
+    ) -> Result<InstOrTerm, ParseError> {
+        let line = self.line();
+        // Optional `%n =` destination.
+        let dest = if let Some(Tok::Value(v)) = self.peek() {
+            let v = *v;
+            self.next();
+            self.expect_punct('=')?;
+            *max_value = (*max_value).max(v + 1);
+            Some(ValueId(v))
+        } else {
+            None
+        };
+        let mnem = match self.next() {
+            Some(Tok::Ident(m)) => m,
+            other => return self.err(line, format!("expected mnemonic, found {other:?}")),
+        };
+
+        let binop = BinOp::all().iter().find(|b| b.mnemonic() == mnem).copied();
+        if let Some(b) = binop {
+            let ty = self.parse_type()?;
+            let x = self.parse_operand(ctx, max_value)?;
+            self.expect_punct(',')?;
+            let y = self.parse_operand(ctx, max_value)?;
+            let dest = dest.ok_or(ParseError { line, message: "binop needs a destination".into() })?;
+            return Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Bin(b, x, y))));
+        }
+
+        match mnem.as_str() {
+            "icmp" | "fcmp" => {
+                let p = self.parse_pred()?;
+                let x = self.parse_operand(ctx, max_value)?;
+                self.expect_punct(',')?;
+                let y = self.parse_operand(ctx, max_value)?;
+                let dest = dest.ok_or(ParseError { line, message: "cmp needs a destination".into() })?;
+                let op = if mnem == "icmp" { Op::Icmp(p, x, y) } else { Op::Fcmp(p, x, y) };
+                Ok(InstOrTerm::Inst(Inst::new(dest, Type::I1, op)))
+            }
+            "select" => {
+                let ty = self.parse_type()?;
+                let c = self.parse_operand(ctx, max_value)?;
+                self.expect_punct(',')?;
+                let t = self.parse_operand(ctx, max_value)?;
+                self.expect_punct(',')?;
+                let e = self.parse_operand(ctx, max_value)?;
+                let dest = dest.ok_or(ParseError { line, message: "select needs a destination".into() })?;
+                Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Select { cond: c, on_true: t, on_false: e })))
+            }
+            "alloca" => {
+                let line = self.line();
+                let slots = match self.next() {
+                    Some(Tok::Int(n)) if n >= 0 => n as u32,
+                    other => return self.err(line, format!("expected slot count, found {other:?}")),
+                };
+                let dest = dest.ok_or(ParseError { line, message: "alloca needs a destination".into() })?;
+                Ok(InstOrTerm::Inst(Inst::new(dest, Type::Ptr, Op::Alloca { slots })))
+            }
+            "load" => {
+                let ty = self.parse_type()?;
+                let ptr = self.parse_operand(ctx, max_value)?;
+                let dest = dest.ok_or(ParseError { line, message: "load needs a destination".into() })?;
+                Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Load { ptr })))
+            }
+            "store" => {
+                let ptr = self.parse_operand(ctx, max_value)?;
+                self.expect_punct(',')?;
+                let value = self.parse_operand(ctx, max_value)?;
+                Ok(InstOrTerm::Inst(Inst::new_void(Op::Store { ptr, value })))
+            }
+            "gep" => {
+                let base = self.parse_operand(ctx, max_value)?;
+                self.expect_punct(',')?;
+                let offset = self.parse_operand(ctx, max_value)?;
+                let dest = dest.ok_or(ParseError { line, message: "gep needs a destination".into() })?;
+                Ok(InstOrTerm::Inst(Inst::new(dest, Type::Ptr, Op::Gep { base, offset })))
+            }
+            "call" => {
+                let ty = self.parse_type()?;
+                let line = self.line();
+                let callee_name = match self.next() {
+                    Some(Tok::Global(n)) => n,
+                    other => return self.err(line, format!("expected @callee, found {other:?}")),
+                };
+                let callee = *ctx
+                    .funcs
+                    .get(&callee_name)
+                    .ok_or(ParseError { line, message: format!("unknown function @{callee_name}") })?;
+                self.expect_punct('(')?;
+                let mut args = Vec::new();
+                if !matches!(self.peek(), Some(Tok::Punct(')'))) {
+                    loop {
+                        args.push(self.parse_operand(ctx, max_value)?);
+                        if matches!(self.peek(), Some(Tok::Punct(','))) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(')')?;
+                let op = Op::Call { callee, args };
+                match dest {
+                    Some(d) => Ok(InstOrTerm::Inst(Inst::new(d, ty, op))),
+                    None => Ok(InstOrTerm::Inst(Inst::new_void(op))),
+                }
+            }
+            "phi" => {
+                let ty = self.parse_type()?;
+                let mut incomings = Vec::new();
+                while matches!(self.peek(), Some(Tok::Punct('['))) {
+                    self.next();
+                    let b = self.parse_block_ref()?;
+                    let v = self.parse_operand(ctx, max_value)?;
+                    self.expect_punct(']')?;
+                    incomings.push((b, v));
+                }
+                let dest = dest.ok_or(ParseError { line, message: "phi needs a destination".into() })?;
+                Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Phi(incomings))))
+            }
+            "cast" => {
+                let line = self.line();
+                let kind = match self.next() {
+                    Some(Tok::Ident(k)) => match k.as_str() {
+                        "i2f" => CastKind::IntToFloat,
+                        "f2i" => CastKind::FloatToInt,
+                        "b2i" => CastKind::BoolToInt,
+                        "i2b" => CastKind::IntToBool,
+                        "i2p" => CastKind::IntToPtr,
+                        "p2i" => CastKind::PtrToInt,
+                        other => return self.err(line, format!("unknown cast `{other}`")),
+                    },
+                    other => return self.err(line, format!("expected cast kind, found {other:?}")),
+                };
+                let v = self.parse_operand(ctx, max_value)?;
+                let dest = dest.ok_or(ParseError { line, message: "cast needs a destination".into() })?;
+                Ok(InstOrTerm::Inst(Inst::new(dest, kind.signature().1, Op::Cast(kind, v))))
+            }
+            "not" => {
+                let ty = self.parse_type()?;
+                let v = self.parse_operand(ctx, max_value)?;
+                let dest = dest.ok_or(ParseError { line, message: "not needs a destination".into() })?;
+                Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Not(v))))
+            }
+            "neg" => {
+                let v = self.parse_operand(ctx, max_value)?;
+                let dest = dest.ok_or(ParseError { line, message: "neg needs a destination".into() })?;
+                Ok(InstOrTerm::Inst(Inst::new(dest, Type::I64, Op::Neg(v))))
+            }
+            "fneg" => {
+                let v = self.parse_operand(ctx, max_value)?;
+                let dest = dest.ok_or(ParseError { line, message: "fneg needs a destination".into() })?;
+                Ok(InstOrTerm::Inst(Inst::new(dest, Type::F64, Op::FNeg(v))))
+            }
+            // Terminators.
+            "br" => {
+                let t = self.parse_block_ref()?;
+                Ok(InstOrTerm::Term(Terminator::Br { target: t }))
+            }
+            "condbr" => {
+                let c = self.parse_operand(ctx, max_value)?;
+                self.expect_punct(',')?;
+                let t = self.parse_block_ref()?;
+                self.expect_punct(',')?;
+                let e = self.parse_block_ref()?;
+                Ok(InstOrTerm::Term(Terminator::CondBr { cond: c, on_true: t, on_false: e }))
+            }
+            "switch" => {
+                let v = self.parse_operand(ctx, max_value)?;
+                self.expect_punct(',')?;
+                self.expect_ident("default")?;
+                let default = self.parse_block_ref()?;
+                let mut cases = Vec::new();
+                while matches!(self.peek(), Some(Tok::Punct('['))) {
+                    self.next();
+                    let line = self.line();
+                    let cv = match self.next() {
+                        Some(Tok::Int(n)) => n,
+                        other => return self.err(line, format!("expected case value, found {other:?}")),
+                    };
+                    self.expect_punct(':')?;
+                    let b = self.parse_block_ref()?;
+                    self.expect_punct(']')?;
+                    cases.push((cv, b));
+                }
+                Ok(InstOrTerm::Term(Terminator::Switch { value: v, cases, default }))
+            }
+            "ret" => {
+                if matches!(self.peek(), Some(Tok::Ident(i)) if i == "void") {
+                    self.next();
+                    Ok(InstOrTerm::Term(Terminator::Ret { value: None }))
+                } else {
+                    let v = self.parse_operand(ctx, max_value)?;
+                    Ok(InstOrTerm::Term(Terminator::Ret { value: Some(v) }))
+                }
+            }
+            "unreachable" => Ok(InstOrTerm::Term(Terminator::Unreachable)),
+            other => self.err(line, format!("unknown mnemonic `{other}`")),
+        }
+    }
+}
+
+struct NameCtx {
+    funcs: HashMap<String, FuncId>,
+    globals: HashMap<String, GlobalId>,
+}
+
+enum InstOrTerm {
+    Inst(Inst),
+    Term(Terminator),
+}
+
+fn lex_ident(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut s = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_alphanumeric() || c == '_' || c == '.' || c == '-' || c == '/' {
+            s.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn lex_u32(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<u32> {
+    lex_u64(chars).and_then(|v| u32::try_from(v).ok())
+}
+
+fn lex_u64(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<u64> {
+    let mut any = false;
+    let mut v: u64 = 0;
+    while let Some(&c) = chars.peek() {
+        if let Some(d) = c.to_digit(10) {
+            any = true;
+            v = v.wrapping_mul(10).wrapping_add(d as u64);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    any.then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const SAMPLE: &str = r#"
+module "test"
+global @tab 4 const [1, 2, 3, 4]
+define i64 @main(i64 %0) {
+bb0:
+  %1 = add i64 %0, 1
+  %2 = icmp lt %1, 10
+  condbr %2, bb1, bb2
+bb1:
+  %3 = load i64 @tab
+  ret %3
+bb2:
+  %4 = call i64 @helper(%1)
+  ret %4
+}
+define i64 @helper(i64 %0) hint(always) {
+bb0:
+  %1 = mul i64 %0, %0
+  ret %1
+}
+"#;
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let m = parse_module(SAMPLE).unwrap();
+        crate::verify::verify_module(&m).unwrap();
+        assert_eq!(m.num_functions(), 2);
+        assert_eq!(m.globals().len(), 1);
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).unwrap();
+        assert_eq!(printed, print_module(&m2), "print→parse→print is a fixpoint");
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        // @main calls @helper which is defined later.
+        let m = parse_module(SAMPLE).unwrap();
+        let main = m.find_func("main").unwrap();
+        let helper = m.find_func("helper").unwrap();
+        let found_call = m
+            .func(main)
+            .blocks()
+            .flat_map(|b| b.insts.iter())
+            .any(|i| matches!(&i.op, Op::Call { callee, .. } if *callee == helper));
+        assert!(found_call);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_module("module \"x\"\nbogus").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let text = "module \"x\" ; trailing\n; full line\ndefine void @f() {\nbb0:\n  ret void\n}\n";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.num_functions(), 1);
+    }
+
+    #[test]
+    fn negative_and_float_constants() {
+        let text = format!(
+            "module \"x\"\ndefine f64 @f() {{\nbb0:\n  %0 = fadd f64 f{:#018x}, f{:#018x}\n  %1 = add i64 -5, 3\n  ret %0\n}}\n",
+            (1.5f64).to_bits(),
+            (2.5f64).to_bits()
+        );
+        let m = parse_module(&text).unwrap();
+        crate::verify::verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,208 @@
+//! Primitive types, constants and operands.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::module::{FuncId, GlobalId, ValueId};
+
+/// The primitive types of the IR.
+///
+/// The type system is deliberately small — one boolean, one integer, one
+/// float, an opaque pointer, and void — which keeps the verifier and the
+/// interpreter simple while still exercising every code path the optimization
+/// passes care about (integer arithmetic, floating point, memory, control
+/// flow).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Type {
+    /// 1-bit boolean, produced by comparisons.
+    I1,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Opaque pointer into linear memory (8-byte cells).
+    Ptr,
+    /// No value; the type of `store` and void calls.
+    Void,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I1 => "i1",
+            Type::I64 => "i64",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+            Type::Void => "void",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compile-time constant value.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum Constant {
+    /// Boolean constant.
+    Bool(bool),
+    /// 64-bit integer constant.
+    Int(i64),
+    /// 64-bit float constant. Compared and hashed by bit pattern.
+    Float(f64),
+}
+
+impl Constant {
+    /// The type of this constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Constant::Bool(_) => Type::I1,
+            Constant::Int(_) => Type::I64,
+            Constant::Float(_) => Type::F64,
+        }
+    }
+}
+
+impl PartialEq for Constant {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Constant::Bool(a), Constant::Bool(b)) => a == b,
+            (Constant::Int(a), Constant::Int(b)) => a == b,
+            (Constant::Float(a), Constant::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Constant {}
+
+impl std::hash::Hash for Constant {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Constant::Bool(b) => {
+                state.write_u8(0);
+                b.hash(state);
+            }
+            Constant::Int(i) => {
+                state.write_u8(1);
+                i.hash(state);
+            }
+            Constant::Float(f) => {
+                state.write_u8(2);
+                f.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Bool(b) => write!(f, "{}", if *b { "true" } else { "false" }),
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Float(x) => write!(f, "f{:#018x}", x.to_bits()),
+        }
+    }
+}
+
+/// An instruction operand: an SSA value, a constant, or a reference to a
+/// global or function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Operand {
+    /// An SSA value produced by an instruction or function parameter.
+    Value(ValueId),
+    /// An inline constant.
+    Const(Constant),
+    /// The address of a global variable (of type [`Type::Ptr`]).
+    Global(GlobalId),
+    /// A reference to a function (used only as a call target placeholder in
+    /// textual form; calls name their callee directly).
+    Func(FuncId),
+}
+
+impl Operand {
+    /// Shorthand for an integer constant operand.
+    pub fn const_int(v: i64) -> Operand {
+        Operand::Const(Constant::Int(v))
+    }
+
+    /// Shorthand for a float constant operand.
+    pub fn const_float(v: f64) -> Operand {
+        Operand::Const(Constant::Float(v))
+    }
+
+    /// Shorthand for a boolean constant operand.
+    pub fn const_bool(v: bool) -> Operand {
+        Operand::Const(Constant::Bool(v))
+    }
+
+    /// Returns the SSA value id if this operand is a value.
+    pub fn as_value(&self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant if this operand is a constant.
+    pub fn as_const(&self) -> Option<Constant> {
+        match self {
+            Operand::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer value if this is an integer constant.
+    pub fn as_const_int(&self) -> Option<i64> {
+        match self {
+            Operand::Const(Constant::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// True if the operand is any constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Operand::Const(_))
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Operand {
+        Operand::Value(v)
+    }
+}
+
+impl From<Constant> for Operand {
+    fn from(c: Constant) -> Operand {
+        Operand::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_float_eq_by_bits() {
+        assert_eq!(Constant::Float(1.5), Constant::Float(1.5));
+        assert_ne!(Constant::Float(0.0), Constant::Float(-0.0));
+        // NaN equals itself under bit comparison, which is what we want for
+        // value numbering.
+        assert_eq!(Constant::Float(f64::NAN), Constant::Float(f64::NAN));
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let o = Operand::const_int(7);
+        assert_eq!(o.as_const_int(), Some(7));
+        assert!(o.is_const());
+        assert_eq!(o.as_value(), None);
+        let v = Operand::Value(ValueId(3));
+        assert_eq!(v.as_value(), Some(ValueId(3)));
+        assert!(!v.is_const());
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::I64.to_string(), "i64");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+}

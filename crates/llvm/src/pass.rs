@@ -1,0 +1,182 @@
+//! The [`Pass`] abstraction and the pass registry.
+
+use cg_ir::Module;
+use std::fmt;
+use std::sync::Arc;
+
+/// An optimization pass: a named module transformation.
+///
+/// Passes must be deterministic (the state-validation machinery replays
+/// action sequences and compares module hashes) — the deliberately broken
+/// [`crate::passes::gvn::GvnSink`] is the one exception, mirroring the
+/// `-gvn-sink` nondeterminism bug the paper found in LLVM.
+pub trait Pass: Send + Sync {
+    /// The pass name as it appears in the action space (kebab-case, possibly
+    /// with a parameter suffix, e.g. `inline-250`).
+    fn name(&self) -> String;
+
+    /// Runs the pass. Returns `true` if the module was changed.
+    fn run(&self, module: &mut Module) -> bool;
+
+    /// A one-line description for `--help`-style listings.
+    fn description(&self) -> String {
+        String::new()
+    }
+}
+
+impl fmt::Debug for dyn Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pass({})", self.name())
+    }
+}
+
+/// A shared, clonable handle to a pass.
+pub type PassRef = Arc<dyn Pass>;
+
+/// Builds the full pass registry: every distinct pass object, including
+/// parameterized variants. See [`crate::action_space`] for the 124-entry
+/// action space assembled from this registry.
+pub fn registry() -> Vec<PassRef> {
+    use crate::passes::*;
+    let mut v: Vec<PassRef> = Vec::new();
+
+    // Scalar cleanups (12).
+    v.push(Arc::new(scalar::Dce));
+    v.push(Arc::new(scalar::Adce));
+    v.push(Arc::new(scalar::Die));
+    v.push(Arc::new(scalar::ConstFold));
+    v.push(Arc::new(scalar::InstCombine::full()));
+    v.push(Arc::new(scalar::InstCombine::simplify_only()));
+    v.push(Arc::new(scalar::Reassociate));
+    v.push(Arc::new(scalar::EarlyCse));
+    v.push(Arc::new(scalar::EarlyCseMemssa));
+    v.push(Arc::new(scalar::Sink));
+    v.push(Arc::new(scalar::PhiSimplify));
+    v.push(Arc::new(scalar::StrengthReduce));
+
+    // CFG (9).
+    v.push(Arc::new(cfg::SimplifyCfg::default()));
+    v.push(Arc::new(cfg::SimplifyCfg::aggressive()));
+    v.push(Arc::new(cfg::RemoveUnreachable));
+    v.push(Arc::new(cfg::MergeBlocks));
+    v.push(Arc::new(cfg::FoldBranches));
+    v.push(Arc::new(cfg::LowerSwitch));
+    v.push(Arc::new(cfg::JumpThreading));
+    v.push(Arc::new(cfg::BreakCritEdges));
+    v.push(Arc::new(cfg::MergeReturn));
+
+    // Memory (4 + 8 SROA granularities).
+    v.push(Arc::new(memory::Mem2Reg));
+    v.push(Arc::new(memory::Dse));
+    v.push(Arc::new(memory::GlobalOpt));
+    v.push(Arc::new(memory::LoadElim));
+    for max in [4u32, 6, 8, 12, 16, 24, 32, 64] {
+        v.push(Arc::new(memory::Sroa::with_max_slots(max)));
+    }
+
+    // Value numbering (3).
+    v.push(Arc::new(gvn::Gvn::default()));
+    v.push(Arc::new(gvn::Gvn::with_loads()));
+    v.push(Arc::new(gvn::NewGvnAlias));
+
+    // Constant propagation (2).
+    v.push(Arc::new(sccp::Sccp));
+    v.push(Arc::new(sccp::IpSccp));
+
+    // Loops (4 + 16 partial-unroll + 16 full-unroll + 16 peel).
+    v.push(Arc::new(loops::LoopSimplify));
+    v.push(Arc::new(loops::Licm));
+    v.push(Arc::new(loops::LoopDeletion));
+    v.push(Arc::new(loops::IndVarSimplify));
+    for factor in [2u32, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 32] {
+        v.push(Arc::new(loops::LoopUnroll::partial(factor)));
+    }
+    for cap in [8u64, 12, 16, 24, 32, 48, 64, 80, 96, 128, 160, 192, 256, 384, 512, 1024] {
+        v.push(Arc::new(loops::LoopUnroll::full(cap)));
+    }
+    for k in 1u32..=16 {
+        v.push(Arc::new(loops::LoopPeel::new(k)));
+    }
+
+    // Interprocedural (5 + 29 inline thresholds).
+    v.push(Arc::new(ipo::AlwaysInline));
+    v.push(Arc::new(ipo::FunctionAttrs));
+    v.push(Arc::new(ipo::DeadArgElim));
+    v.push(Arc::new(ipo::GlobalDce));
+    v.push(Arc::new(ipo::MergeFunc));
+    for threshold in [
+        0u32, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100, 120, 140, 160, 180,
+        200, 225, 250, 275, 300, 400, 500, 750, 1000,
+    ] {
+        v.push(Arc::new(ipo::Inline::with_threshold(threshold)));
+    }
+
+    v
+}
+
+/// Looks up a pass by name in the registry.
+pub fn find_pass(name: &str) -> Option<PassRef> {
+    registry().into_iter().find(|p| p.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_124_passes() {
+        // The paper's LLVM environment exposes 124 actions; our registry is
+        // sized to match (see action_space.rs for the mapping).
+        assert_eq!(registry().len(), 124);
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names: Vec<String> = registry().iter().map(|p| p.name()).collect();
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len(), "duplicate pass names");
+    }
+
+    #[test]
+    fn find_pass_by_name() {
+        assert!(find_pass("dce").is_some());
+        assert!(find_pass("inline-250").is_some());
+        assert!(find_pass("no-such-pass").is_none());
+    }
+
+    #[test]
+    fn every_pass_preserves_validity_on_cbench() {
+        // The fundamental pass contract: run on a real benchmark, the module
+        // must still verify.
+        let base = cg_datasets::benchmark("cbench-v1/qsort").unwrap();
+        for pass in registry() {
+            let mut m = base.clone();
+            pass.run(&mut m);
+            cg_ir::verify::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{} broke the module: {e}", pass.name()));
+        }
+    }
+
+    #[test]
+    fn every_pass_preserves_semantics_on_cbench() {
+        use cg_ir::interp::{run_main, ExecLimits};
+        let base = cg_datasets::benchmark("cbench-v1/bitcount").unwrap();
+        let limits = ExecLimits::default();
+        let reference = run_main(&base, &limits).unwrap();
+        for pass in registry() {
+            let mut m = base.clone();
+            pass.run(&mut m);
+            let out = run_main(&m, &limits)
+                .unwrap_or_else(|e| panic!("{} made the program trap: {e}", pass.name()));
+            assert_eq!(out.ret, reference.ret, "{} changed the result", pass.name());
+            assert_eq!(
+                out.globals_hash,
+                reference.globals_hash,
+                "{} changed observable memory",
+                pass.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The three optimization targets of the LLVM environment (§V-A):
+//! IR instruction count ("code size"), object-code size ("binary size"),
+//! and simulated runtime.
+//!
+//! Code size is platform-independent and deterministic; binary size is
+//! deterministic but depends on the (simulated) target encoding; runtime is
+//! nondeterministic — the environment layers measurement noise over the
+//! deterministic cycle count, as real wall-clock measurement does.
+
+use cg_ir::interp::{run_main, ExecError, ExecLimits};
+use cg_ir::{BinOp, Module, Op, Operand, Terminator};
+
+/// The `IrInstructionCount` metric: total instructions incl. terminators.
+pub fn ir_instruction_count(m: &Module) -> u64 {
+    m.inst_count() as u64
+}
+
+/// Estimated size in bytes of one encoded instruction under the simulated
+/// target ISA (a RISC-ish variable-length encoding: immediates outside
+/// ±2^11 need extension words, calls carry relocations, etc.).
+fn encoded_size(op: &Op) -> u64 {
+    let imm_cost = |o: &Operand| -> u64 {
+        match o.as_const_int() {
+            Some(v) if !(-2048..2048).contains(&v) => 4,
+            Some(_) => 0,
+            None => match o {
+                Operand::Const(_) => 4, // float immediates are materialized
+                Operand::Global(_) => 4, // address relocation
+                _ => 0,
+            },
+        }
+    };
+    match op {
+        Op::Bin(b, x, y) => {
+            let base = match b {
+                BinOp::Div | BinOp::Rem => 6,
+                BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => 4,
+                _ => 3,
+            };
+            base + imm_cost(x) + imm_cost(y)
+        }
+        Op::Icmp(_, x, y) | Op::Fcmp(_, x, y) => 3 + imm_cost(x) + imm_cost(y),
+        Op::Select { .. } => 6,
+        Op::Alloca { .. } => 4,
+        Op::Load { ptr } => 4 + imm_cost(ptr),
+        Op::Store { ptr, value } => 4 + imm_cost(ptr) + imm_cost(value),
+        Op::Gep { base, offset } => 3 + imm_cost(base) + imm_cost(offset),
+        Op::Call { args, .. } => 5 + 2 * args.len() as u64,
+        Op::Phi(_) => 0, // resolved by register allocation
+        Op::Cast(..) => 2,
+        Op::Not(_) | Op::Neg(_) | Op::FNeg(_) => 3,
+    }
+}
+
+fn terminator_size(t: &Terminator) -> u64 {
+    match t {
+        Terminator::Br { .. } => 2,
+        Terminator::CondBr { .. } => 4,
+        Terminator::Switch { cases, .. } => 4 + 4 * cases.len() as u64,
+        Terminator::Ret { .. } => 2,
+        Terminator::Unreachable => 1,
+    }
+}
+
+/// The `.text`-section size of the module under the simulated encoding:
+/// per-instruction bytes plus per-function prologue/epilogue and 16-byte
+/// function alignment.
+pub fn binary_size(m: &Module) -> u64 {
+    let mut total = 0u64;
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        let mut fsize = 12; // prologue + epilogue
+        for b in f.blocks() {
+            for inst in &b.insts {
+                fsize += encoded_size(&inst.op);
+            }
+            fsize += terminator_size(&b.term);
+        }
+        total += fsize.div_ceil(16) * 16; // function alignment
+    }
+    total
+}
+
+/// The deterministic core of the runtime metric: the weighted cycle count of
+/// executing the benchmark's `main`.
+///
+/// # Errors
+/// Propagates interpreter traps and resource exhaustion (non-runnable
+/// benchmarks have no runtime reward, as in the paper).
+pub fn runtime_cycles(m: &Module, limits: &ExecLimits) -> Result<u64, ExecError> {
+    run_main(m, limits).map(|o| o.cycles)
+}
+
+/// A runtime measurement with simulated wall-clock noise: multiplicative
+/// jitter drawn from `seed` (the environment uses distinct seeds per
+/// measurement, making runtime the paper's "platform-specific and
+/// nondeterministic" signal).
+///
+/// # Errors
+/// See [`runtime_cycles`].
+pub fn runtime_measurement(m: &Module, limits: &ExecLimits, seed: u64) -> Result<f64, ExecError> {
+    let cycles = runtime_cycles(m, limits)? as f64;
+    // ±2% triangular-ish noise derived deterministically from the seed.
+    let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 29;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    let jitter = 0.98 + 0.04 * u;
+    Ok(cycles * jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_size_tracks_inst_count_loosely() {
+        let m = cg_datasets::benchmark("cbench-v1/crc32").unwrap();
+        let bs = binary_size(&m);
+        let ic = ir_instruction_count(&m);
+        assert!(bs > 2 * ic, "encoded bytes exceed raw inst count");
+        assert_eq!(bs % 16, 0, "aligned");
+    }
+
+    #[test]
+    fn binary_size_shrinks_under_oz() {
+        let mut m = cg_datasets::benchmark("cbench-v1/qsort").unwrap();
+        let before = binary_size(&m);
+        crate::pipeline::run_oz(&mut m);
+        assert!(binary_size(&m) < before);
+    }
+
+    #[test]
+    fn runtime_noise_is_bounded_and_seeded() {
+        let m = cg_datasets::benchmark("cbench-v1/bitcount").unwrap();
+        let limits = ExecLimits::default();
+        let base = runtime_cycles(&m, &limits).unwrap() as f64;
+        let a = runtime_measurement(&m, &limits, 1).unwrap();
+        let b = runtime_measurement(&m, &limits, 2).unwrap();
+        let a2 = runtime_measurement(&m, &limits, 1).unwrap();
+        assert_eq!(a, a2, "same seed, same measurement");
+        assert_ne!(a, b, "different seeds differ");
+        for x in [a, b] {
+            assert!(x >= 0.98 * base && x <= 1.02 * base);
+        }
+    }
+
+    #[test]
+    fn runtime_errors_on_non_runnable() {
+        // llvm-stress programs may trap; a module with no main certainly
+        // errors.
+        let m = cg_ir::Module::new("empty");
+        assert!(runtime_cycles(&m, &ExecLimits::default()).is_err());
+    }
+}

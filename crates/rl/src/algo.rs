@@ -1,0 +1,406 @@
+//! The reinforcement learning algorithms of the paper's Tables VI/VII and
+//! Figure 9: PPO, A2C, an ApeX-style DQN with prioritized replay, and an
+//! IMPALA-style off-policy actor–critic with truncated importance weights.
+//!
+//! All train over any [`cg_core::wrappers::Env`], so the same code runs on
+//! the raw environment, the Autophase-subset wrapper stack, or any custom
+//! composition.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cg_core::space::Observation;
+use cg_core::wrappers::Env;
+
+use crate::nn::{sample_categorical, softmax, Mlp};
+
+/// Converts an integer-vector observation into normalized features
+/// (`log1p` squashing keeps counts in a trainable range).
+pub fn featurize(obs: &Observation) -> Vec<f32> {
+    match obs {
+        Observation::IntVector(v) => v.iter().map(|&x| ((x.max(0)) as f32).ln_1p()).collect(),
+        Observation::FloatVector(v) => v.clone(),
+        Observation::Scalar(x) => vec![*x as f32],
+        _ => Vec::new(),
+    }
+}
+
+/// A trained stochastic policy.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    net: Mlp,
+}
+
+impl Policy {
+    /// Action distribution for features.
+    pub fn probs(&self, features: &[f32]) -> Vec<f32> {
+        softmax(&self.net.forward(features))
+    }
+
+    /// Greedy action.
+    pub fn act_greedy(&self, features: &[f32]) -> usize {
+        let p = self.probs(features);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Sampled action.
+    pub fn act_sample(&self, features: &[f32], rng: &mut StdRng) -> usize {
+        let p = self.probs(features);
+        sample_categorical(&p, rng.gen::<f32>())
+    }
+}
+
+/// Training configuration shared by the algorithms.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Episodes to train for.
+    pub episodes: usize,
+    /// Steps per episode (the paper fixes 45).
+    pub steps: usize,
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Discount factor.
+    pub gamma: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig { episodes: 200, steps: 45, hidden: 64, lr: 3e-3, gamma: 0.99, seed: 0 }
+    }
+}
+
+struct Transition {
+    features: Vec<f32>,
+    action: usize,
+    reward: f64,
+    logp: f32,
+}
+
+fn rollout(
+    env: &mut dyn Env,
+    policy: &Policy,
+    steps: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<Transition>, cg_core::CgError> {
+    let mut obs = featurize(&env.reset()?);
+    let mut traj = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let probs = policy.probs(&obs);
+        let a = sample_categorical(&probs, rng.gen::<f32>());
+        let step = env.step(a)?;
+        traj.push(Transition {
+            features: obs.clone(),
+            action: a,
+            reward: step.reward,
+            logp: probs[a].max(1e-8).ln(),
+        });
+        obs = featurize(&step.observation);
+        if step.done {
+            break;
+        }
+    }
+    Ok(traj)
+}
+
+fn returns(traj: &[Transition], gamma: f32) -> Vec<f32> {
+    let mut ret = vec![0.0f32; traj.len()];
+    let mut acc = 0.0f32;
+    for i in (0..traj.len()).rev() {
+        acc = traj[i].reward as f32 + gamma * acc;
+        ret[i] = acc;
+    }
+    ret
+}
+
+/// Trains PPO (clipped surrogate objective, value baseline, multiple epochs
+/// per batch). Returns the policy and the per-episode mean training rewards.
+///
+/// # Errors
+/// Propagates environment failures.
+pub fn train_ppo(
+    env: &mut dyn Env,
+    feat_dim: usize,
+    cfg: &TrainConfig,
+) -> Result<(Policy, Vec<f64>), cg_core::CgError> {
+    let n_actions = env.num_actions();
+    let mut policy = Policy { net: Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed) };
+    let mut value = Mlp::new(&[feat_dim, cfg.hidden, 1], cfg.seed ^ 0xDEAD);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut curve = Vec::with_capacity(cfg.episodes);
+    for _ep in 0..cfg.episodes {
+        let traj = rollout(env, &policy, cfg.steps, &mut rng)?;
+        if traj.is_empty() {
+            curve.push(0.0);
+            continue;
+        }
+        curve.push(traj.iter().map(|t| t.reward).sum::<f64>());
+        let rets = returns(&traj, cfg.gamma);
+        // Advantages against the value baseline.
+        let advs: Vec<f32> = traj
+            .iter()
+            .zip(&rets)
+            .map(|(t, r)| r - value.forward(&t.features)[0])
+            .collect();
+        for _epoch in 0..3 {
+            for (i, t) in traj.iter().enumerate() {
+                let (logits, acts) = policy.net.forward_full(&t.features);
+                let probs = softmax(&logits);
+                let logp_new = probs[t.action].max(1e-8).ln();
+                let ratio = (logp_new - t.logp).exp();
+                let adv = advs[i];
+                // d(-min(r·A, clip(r)·A))/dlogp_new.
+                let active = if adv >= 0.0 { ratio <= 1.2 } else { ratio >= 0.8 };
+                let coeff = if active { -adv * ratio } else { 0.0 };
+                if coeff != 0.0 {
+                    let mut dlogits = probs.clone();
+                    for (j, d) in dlogits.iter_mut().enumerate() {
+                        let onehot = if j == t.action { 1.0 } else { 0.0 };
+                        *d = coeff * (onehot - *d);
+                    }
+                    policy.net.backward(&acts, &dlogits);
+                }
+                // Value regression toward the empirical return.
+                let (v, vacts) = value.forward_full(&t.features);
+                value.backward(&vacts, &[2.0 * (v[0] - rets[i])]);
+            }
+            policy.net.step(cfg.lr);
+            value.step(cfg.lr);
+        }
+    }
+    Ok((policy, curve))
+}
+
+/// Trains A2C: single-epoch on-policy policy gradient with a value baseline.
+///
+/// # Errors
+/// Propagates environment failures.
+pub fn train_a2c(
+    env: &mut dyn Env,
+    feat_dim: usize,
+    cfg: &TrainConfig,
+) -> Result<(Policy, Vec<f64>), cg_core::CgError> {
+    let n_actions = env.num_actions();
+    let mut policy = Policy { net: Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed) };
+    let mut value = Mlp::new(&[feat_dim, cfg.hidden, 1], cfg.seed ^ 0xBEEF);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut curve = Vec::new();
+    for _ep in 0..cfg.episodes {
+        let traj = rollout(env, &policy, cfg.steps, &mut rng)?;
+        if traj.is_empty() {
+            curve.push(0.0);
+            continue;
+        }
+        curve.push(traj.iter().map(|t| t.reward).sum::<f64>());
+        let rets = returns(&traj, cfg.gamma);
+        for (i, t) in traj.iter().enumerate() {
+            let (logits, acts) = policy.net.forward_full(&t.features);
+            let probs = softmax(&logits);
+            let adv = rets[i] - value.forward(&t.features)[0];
+            let mut dlogits = probs.clone();
+            for (j, d) in dlogits.iter_mut().enumerate() {
+                let onehot = if j == t.action { 1.0 } else { 0.0 };
+                *d = -adv * (onehot - *d);
+            }
+            policy.net.backward(&acts, &dlogits);
+            let (v, vacts) = value.forward_full(&t.features);
+            value.backward(&vacts, &[2.0 * (v[0] - rets[i])]);
+        }
+        policy.net.step(cfg.lr);
+        value.step(cfg.lr);
+    }
+    Ok((policy, curve))
+}
+
+/// Trains an ApeX-style DQN: ε-greedy behaviour, prioritized replay
+/// (proportional to |TD error|), periodic target-network sync.
+///
+/// # Errors
+/// Propagates environment failures.
+pub fn train_dqn(
+    env: &mut dyn Env,
+    feat_dim: usize,
+    cfg: &TrainConfig,
+) -> Result<(Policy, Vec<f64>), cg_core::CgError> {
+    let n_actions = env.num_actions();
+    let mut q = Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed);
+    let mut target = q.clone();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Replay: (s, a, r, s', priority).
+    let mut replay: Vec<(Vec<f32>, usize, f32, Vec<f32>, f32)> = Vec::new();
+    let mut curve = Vec::new();
+    for ep in 0..cfg.episodes {
+        let eps = (1.0 - ep as f64 / cfg.episodes.max(1) as f64).max(0.05) as f32;
+        let mut obs = featurize(&env.reset()?);
+        let mut total = 0.0;
+        for _ in 0..cfg.steps {
+            let a = if rng.gen::<f32>() < eps {
+                rng.gen_range(0..n_actions)
+            } else {
+                let qs = q.forward(&obs);
+                qs.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            };
+            let step = env.step(a)?;
+            total += step.reward;
+            let next = featurize(&step.observation);
+            replay.push((obs, a, step.reward as f32, next.clone(), 1.0));
+            if replay.len() > 20_000 {
+                replay.remove(0);
+            }
+            obs = next;
+            if step.done {
+                break;
+            }
+        }
+        curve.push(total);
+        // Learner: prioritized minibatches.
+        for _ in 0..4 {
+            let batch = 32.min(replay.len());
+            if batch == 0 {
+                break;
+            }
+            let total_p: f32 = replay.iter().map(|e| e.4).sum();
+            for _ in 0..batch {
+                let mut pick = rng.gen::<f32>() * total_p;
+                let mut idx = 0;
+                for (i, e) in replay.iter().enumerate() {
+                    pick -= e.4;
+                    if pick <= 0.0 {
+                        idx = i;
+                        break;
+                    }
+                }
+                let (s, a, r, s2, _) = replay[idx].clone();
+                let max_next = target
+                    .forward(&s2)
+                    .into_iter()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let tgt = r + cfg.gamma * max_next;
+                let (qs, acts) = q.forward_full(&s);
+                let td = qs[a] - tgt;
+                let mut dq = vec![0.0; n_actions];
+                dq[a] = 2.0 * td;
+                q.backward(&acts, &dq);
+                replay[idx].4 = td.abs() + 1e-3;
+            }
+            q.step(cfg.lr);
+        }
+        if ep % 10 == 9 {
+            target = q.clone();
+        }
+    }
+    Ok((Policy { net: q }, curve))
+}
+
+/// Trains an IMPALA-style off-policy actor–critic: trajectories are
+/// generated by a stale behaviour-policy snapshot and corrected with
+/// truncated importance weights (ρ̄ = 1), as in V-trace.
+///
+/// # Errors
+/// Propagates environment failures.
+pub fn train_impala(
+    env: &mut dyn Env,
+    feat_dim: usize,
+    cfg: &TrainConfig,
+) -> Result<(Policy, Vec<f64>), cg_core::CgError> {
+    let n_actions = env.num_actions();
+    let mut learner = Policy { net: Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed) };
+    let mut actor = learner.clone(); // stale behaviour snapshot
+    let mut value = Mlp::new(&[feat_dim, cfg.hidden, 1], cfg.seed ^ 0xF00D);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut curve = Vec::new();
+    for ep in 0..cfg.episodes {
+        // The actor lags the learner (refreshed every 5 episodes).
+        if ep % 5 == 0 {
+            actor = learner.clone();
+        }
+        let traj = rollout(env, &actor, cfg.steps, &mut rng)?;
+        if traj.is_empty() {
+            curve.push(0.0);
+            continue;
+        }
+        curve.push(traj.iter().map(|t| t.reward).sum::<f64>());
+        let rets = returns(&traj, cfg.gamma);
+        for (i, t) in traj.iter().enumerate() {
+            let (logits, acts) = learner.net.forward_full(&t.features);
+            let probs = softmax(&logits);
+            let logp_pi = probs[t.action].max(1e-8).ln();
+            // Truncated IS weight ρ = min(1, π/μ).
+            let rho = (logp_pi - t.logp).exp().min(1.0);
+            let adv = rets[i] - value.forward(&t.features)[0];
+            let mut dlogits = probs.clone();
+            for (j, d) in dlogits.iter_mut().enumerate() {
+                let onehot = if j == t.action { 1.0 } else { 0.0 };
+                *d = -rho * adv * (onehot - *d);
+            }
+            learner.net.backward(&acts, &dlogits);
+            let (v, vacts) = value.forward_full(&t.features);
+            value.backward(&vacts, &[2.0 * rho * (v[0] - rets[i])]);
+        }
+        learner.net.step(cfg.lr);
+        value.step(cfg.lr);
+    }
+    Ok((learner, curve))
+}
+
+/// The four algorithms of Table VI, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Advantage actor–critic.
+    A2c,
+    /// ApeX-style DQN with prioritized replay.
+    Apex,
+    /// IMPALA-style off-policy actor–critic.
+    Impala,
+    /// Proximal policy optimization.
+    Ppo,
+}
+
+impl Algo {
+    /// Trains the selected algorithm.
+    ///
+    /// # Errors
+    /// Propagates environment failures.
+    pub fn train(
+        self,
+        env: &mut dyn Env,
+        feat_dim: usize,
+        cfg: &TrainConfig,
+    ) -> Result<(Policy, Vec<f64>), cg_core::CgError> {
+        match self {
+            Algo::A2c => train_a2c(env, feat_dim, cfg),
+            Algo::Apex => train_dqn(env, feat_dim, cfg),
+            Algo::Impala => train_impala(env, feat_dim, cfg),
+            Algo::Ppo => train_ppo(env, feat_dim, cfg),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::A2c => "A2C",
+            Algo::Apex => "APEX",
+            Algo::Impala => "IMPALA",
+            Algo::Ppo => "PPO",
+        }
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}

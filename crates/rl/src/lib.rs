@@ -1,0 +1,14 @@
+//! # cg-rl: reinforcement learning on CompilerGym environments
+//!
+//! From-scratch implementations of the algorithms the paper trains through
+//! RLlib — [`algo::train_ppo`], [`algo::train_a2c`], an ApeX-style
+//! [`algo::train_dqn`] and an IMPALA-style [`algo::train_impala`] — plus
+//! the [`nn`] micro-framework they share and the [`ggnn`] cost model of
+//! §VII-F. Tabular Q-learning and a minimal actor–critic live in the
+//! `examples/` directory, mirroring the paper's documentation samples.
+
+pub mod algo;
+pub mod ggnn;
+pub mod nn;
+
+pub use algo::{featurize, geomean, Algo, Policy, TrainConfig};

@@ -1,0 +1,232 @@
+//! A small dense neural-network library with manual backpropagation and
+//! Adam — enough to train the policy/value/Q networks of the RL algorithms
+//! and the readout of the GGNN cost model, with zero dependencies.
+
+/// One fully connected layer with Adam state.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Input width.
+    pub fan_in: usize,
+    /// Output width.
+    pub fan_out: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    mw: Vec<f32>,
+    vw: Vec<f32>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+/// A deterministic xorshift float stream for weight init.
+fn init_stream(seed: u64) -> impl FnMut() -> f32 {
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+    move || {
+        z ^= z << 13;
+        z ^= z >> 7;
+        z ^= z << 17;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) as f32 - 0.5
+    }
+}
+
+impl Linear {
+    /// Creates a layer with scaled uniform init.
+    pub fn new(fan_in: usize, fan_out: usize, seed: u64) -> Linear {
+        let mut rnd = init_stream(seed);
+        let scale = (2.0 / fan_in as f32).sqrt();
+        Linear {
+            fan_in,
+            fan_out,
+            w: (0..fan_in * fan_out).map(|_| rnd() * 2.0 * scale).collect(),
+            b: vec![0.0; fan_out],
+            gw: vec![0.0; fan_in * fan_out],
+            gb: vec![0.0; fan_out],
+            mw: vec![0.0; fan_in * fan_out],
+            vw: vec![0.0; fan_in * fan_out],
+            mb: vec![0.0; fan_out],
+            vb: vec![0.0; fan_out],
+        }
+    }
+
+    fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.b.clone();
+        for o in 0..self.fan_out {
+            let row = &self.w[o * self.fan_in..(o + 1) * self.fan_in];
+            let mut acc = 0.0;
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            y[o] += acc;
+        }
+        y
+    }
+
+    /// Accumulates grads for dL/dy, returning dL/dx.
+    fn backward(&mut self, x: &[f32], dy: &[f32]) -> Vec<f32> {
+        let mut dx = vec![0.0; self.fan_in];
+        for o in 0..self.fan_out {
+            let g = dy[o];
+            self.gb[o] += g;
+            let row = o * self.fan_in;
+            for i in 0..self.fan_in {
+                self.gw[row + i] += g * x[i];
+                dx[i] += g * self.w[row + i];
+            }
+        }
+        dx
+    }
+
+    fn adam(&mut self, lr: f32, t: u64) {
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        for i in 0..self.w.len() {
+            self.mw[i] = b1 * self.mw[i] + (1.0 - b1) * self.gw[i];
+            self.vw[i] = b2 * self.vw[i] + (1.0 - b2) * self.gw[i] * self.gw[i];
+            self.w[i] -= lr * (self.mw[i] / bc1) / ((self.vw[i] / bc2).sqrt() + eps);
+            self.gw[i] = 0.0;
+        }
+        for i in 0..self.b.len() {
+            self.mb[i] = b1 * self.mb[i] + (1.0 - b1) * self.gb[i];
+            self.vb[i] = b2 * self.vb[i] + (1.0 - b2) * self.gb[i] * self.gb[i];
+            self.b[i] -= lr * (self.mb[i] / bc1) / ((self.vb[i] / bc2).sqrt() + eps);
+            self.gb[i] = 0.0;
+        }
+    }
+}
+
+/// A multi-layer perceptron with tanh hidden activations and a linear head.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    t: u64,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths (at least in/out).
+    pub fn new(sizes: &[usize], seed: u64) -> Mlp {
+        assert!(sizes.len() >= 2);
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(w[0], w[1], seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        Mlp { layers, t: 0 }
+    }
+
+    /// Forward pass, returning (output, per-layer inputs for backward).
+    pub fn forward_full(&self, x: &[f32]) -> (Vec<f32>, Vec<Vec<f32>>) {
+        let mut acts = vec![x.to_vec()];
+        let mut cur = x.to_vec();
+        let n = self.layers.len();
+        for (i, l) in self.layers.iter().enumerate() {
+            let mut y = l.forward(&cur);
+            if i + 1 < n {
+                for v in &mut y {
+                    *v = v.tanh();
+                }
+            }
+            acts.push(y.clone());
+            cur = y;
+        }
+        (cur, acts)
+    }
+
+    /// Forward pass (output only).
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        self.forward_full(x).0
+    }
+
+    /// Backward pass for one sample: `acts` from [`Mlp::forward_full`],
+    /// `dout` = dL/d(output). Gradients accumulate until [`Mlp::step`].
+    pub fn backward(&mut self, acts: &[Vec<f32>], dout: &[f32]) {
+        let n = self.layers.len();
+        let mut dy = dout.to_vec();
+        for i in (0..n).rev() {
+            // Undo the tanh of hidden layers: dy *= 1 - y².
+            if i + 1 < n {
+                for (d, y) in dy.iter_mut().zip(&acts[i + 1]) {
+                    *d *= 1.0 - y * y;
+                }
+            }
+            dy = self.layers[i].backward(&acts[i], &dy);
+        }
+    }
+
+    /// Applies accumulated gradients with Adam and clears them.
+    pub fn step(&mut self, lr: f32) {
+        self.t += 1;
+        for l in &mut self.layers {
+            l.adam(lr, self.t);
+        }
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").fan_out
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|l| (l - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z.max(1e-12)).collect()
+}
+
+/// Samples an index from a probability vector.
+pub fn sample_categorical(probs: &[f32], u: f32) -> usize {
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_learns_xor() {
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut net = Mlp::new(&[2, 16, 1], 3);
+        for _ in 0..800 {
+            for (x, y) in &data {
+                let (out, acts) = net.forward_full(x);
+                let d = 2.0 * (out[0] - y);
+                net.backward(&acts, &[d]);
+            }
+            net.step(0.01);
+        }
+        for (x, y) in &data {
+            let out = net.forward(x)[0];
+            assert!((out - y).abs() < 0.2, "xor({x:?}) = {out}, want {y}");
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let p = vec![0.0, 1.0, 0.0];
+        for u in [0.0, 0.5, 0.99] {
+            assert_eq!(sample_categorical(&p, u), 1);
+        }
+    }
+}

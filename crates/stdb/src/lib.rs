@@ -1,0 +1,307 @@
+//! # cg-stdb: the state transition database (§III-F, Figure 4)
+//!
+//! A relational store of environment trajectories: a `Steps` table records
+//! every action sequence and the hash of the state it reaches; an
+//! `Observations` table stores representations per unique state; a
+//! `StateTransitions` table encodes the deduplicated `(state, action) →
+//! (state', reward)` edges. A wrapper environment populates `Steps` and
+//! `Observations` asynchronously on every step; [`Database::post_process`]
+//! fills `StateTransitions`. The paper releases a 50+ GB instance with >1M
+//! states for offline learning; [`generate_database`] builds instances of
+//! any size on demand, and §VII-F's cost model (Figure 8) trains from them.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One row of the `Steps` table: an action sequence on a benchmark and the
+/// state (hash) it produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRow {
+    /// Benchmark URI.
+    pub benchmark: String,
+    /// The action-name sequence applied.
+    pub actions: Vec<String>,
+    /// Hash of the state before the last action.
+    pub from_state: u64,
+    /// Hash of the state after the last action.
+    pub state: u64,
+    /// Reward of the last action.
+    pub reward: f64,
+}
+
+/// One row of the `Observations` table: representations of a unique state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservationRow {
+    /// The state hash (primary key).
+    pub state: u64,
+    /// Autophase features.
+    pub autophase: Vec<i64>,
+    /// InstCount features.
+    pub inst_count: Vec<i64>,
+    /// IR instruction count (the cost-model target).
+    pub ir_instruction_count: f64,
+    /// The serialized IR of the state (the paper's Observations table keeps
+    /// multiple representations per state; the text lets consumers derive
+    /// graph representations offline).
+    pub ir_text: String,
+}
+
+/// One row of the `StateTransitions` table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransitionRow {
+    /// Source state hash.
+    pub from_state: u64,
+    /// Action name.
+    pub action: String,
+    /// Destination state hash.
+    pub to_state: u64,
+    /// Reward in milli-units (fixed point, so the row is hashable).
+    pub reward_milli: i64,
+}
+
+/// The in-memory database with JSON persistence.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Database {
+    /// The `Steps` table.
+    pub steps: Vec<StepRow>,
+    /// The `Observations` table, keyed by state hash.
+    pub observations: HashMap<u64, ObservationRow>,
+    /// The `StateTransitions` table (after [`Database::post_process`]).
+    pub transitions: Vec<TransitionRow>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Deduplicates steps and populates the `StateTransitions` table (the
+    /// paper's post-processing script).
+    pub fn post_process(&mut self) {
+        let mut seen: HashSet<TransitionRow> = HashSet::new();
+        for s in &self.steps {
+            if let Some(action) = s.actions.last() {
+                seen.insert(TransitionRow {
+                    from_state: s.from_state,
+                    action: action.clone(),
+                    to_state: s.state,
+                    reward_milli: (s.reward * 1000.0).round() as i64,
+                });
+            }
+        }
+        let mut v: Vec<TransitionRow> = seen.into_iter().collect();
+        v.sort_by(|a, b| {
+            (a.from_state, &a.action, a.to_state).cmp(&(b.from_state, &b.action, b.to_state))
+        });
+        self.transitions = v;
+    }
+
+    /// Number of unique states observed.
+    pub fn unique_states(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("database serializes")
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    /// Returns the serde error message.
+    pub fn from_json(s: &str) -> Result<Database, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// Asynchronously populates a shared [`Database`] from environment steps: a
+/// writer thread drains a channel so logging never blocks the environment
+/// loop (the paper's wrapper "asynchronously populates the Steps and
+/// Observations tables ... upon every step").
+pub struct AsyncLogger {
+    tx: Option<mpsc::Sender<(StepRow, Option<ObservationRow>)>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    db: Arc<Mutex<Database>>,
+}
+
+impl AsyncLogger {
+    /// Starts the writer thread over a shared database.
+    pub fn new(db: Arc<Mutex<Database>>) -> AsyncLogger {
+        let (tx, rx) = mpsc::channel::<(StepRow, Option<ObservationRow>)>();
+        let db2 = Arc::clone(&db);
+        let handle = std::thread::spawn(move || {
+            while let Ok((step, obs)) = rx.recv() {
+                let mut d = db2.lock();
+                if let Some(o) = obs {
+                    d.observations.entry(o.state).or_insert(o);
+                }
+                d.steps.push(step);
+            }
+        });
+        AsyncLogger { tx: Some(tx), handle: Some(handle), db }
+    }
+
+    /// Enqueues one step (non-blocking).
+    pub fn log(&self, step: StepRow, obs: Option<ObservationRow>) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send((step, obs));
+        }
+    }
+
+    /// Flushes and stops the writer, returning the shared database handle.
+    pub fn finish(mut self) -> Arc<Mutex<Database>> {
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        Arc::clone(&self.db)
+    }
+}
+
+impl Drop for AsyncLogger {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Generates a state-transition database by running seeded random
+/// trajectories of `steps` actions over `benchmarks` (the process that
+/// produced the paper's released instance, at configurable scale).
+///
+/// # Errors
+/// Propagates environment failures.
+pub fn generate_database(
+    benchmarks: &[String],
+    episodes_per_benchmark: usize,
+    steps: usize,
+    seed: u64,
+) -> Result<Database, cg_core::CgError> {
+    use rand::{Rng, SeedableRng};
+    let db = Arc::new(Mutex::new(Database::new()));
+    let logger = AsyncLogger::new(Arc::clone(&db));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut env = cg_core::make("llvm-v0")?;
+    for bench in benchmarks {
+        env.set_benchmark(bench);
+        for _ in 0..episodes_per_benchmark {
+            env.reset()?;
+            let mut actions: Vec<String> = Vec::new();
+            let mut prev_hash = state_hash(&mut env)?;
+            log_observation(&mut env, prev_hash, &logger)?;
+            for _ in 0..steps {
+                let a = rng.gen_range(0..env.action_space().len());
+                let name = env.action_space().actions[a].clone();
+                let r = env.step(a)?;
+                actions.push(name);
+                let h = state_hash(&mut env)?;
+                log_observation(&mut env, h, &logger)?;
+                logger.log(
+                    StepRow {
+                        benchmark: bench.clone(),
+                        actions: actions.clone(),
+                        from_state: prev_hash,
+                        state: h,
+                        reward: r.reward,
+                    },
+                    None,
+                );
+                prev_hash = h;
+            }
+        }
+    }
+    let db = logger.finish();
+    let mut out = db.lock().clone();
+    out.post_process();
+    Ok(out)
+}
+
+fn state_hash(env: &mut cg_core::CompilerEnv) -> Result<u64, cg_core::CgError> {
+    let ir = env.observe("Ir")?;
+    Ok(cg_ir::fnv1a(ir.as_text().unwrap_or("").as_bytes()))
+}
+
+fn log_observation(
+    env: &mut cg_core::CompilerEnv,
+    state: u64,
+    logger: &AsyncLogger,
+) -> Result<(), cg_core::CgError> {
+    let autophase = env.observe("Autophase")?.as_int_vector().unwrap_or(&[]).to_vec();
+    let inst_count = env.observe("InstCount")?.as_int_vector().unwrap_or(&[]).to_vec();
+    let count = env.observe("IrInstructionCount")?.as_scalar().unwrap_or(0.0);
+    let ir_text = env.observe("Ir")?.as_text().unwrap_or("").to_string();
+    logger.log(
+        StepRow {
+            benchmark: String::new(),
+            actions: Vec::new(),
+            from_state: state,
+            state,
+            reward: 0.0,
+        },
+        Some(ObservationRow { state, autophase, inst_count, ir_instruction_count: count, ir_text }),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_and_post_process() {
+        let db = generate_database(
+            &["benchmark://cbench-v1/crc32".to_string()],
+            2,
+            5,
+            7,
+        )
+        .unwrap();
+        assert!(db.unique_states() >= 2, "states: {}", db.unique_states());
+        assert!(!db.transitions.is_empty());
+        // Transitions are deduplicated.
+        let set: HashSet<&TransitionRow> = db.transitions.iter().collect();
+        assert_eq!(set.len(), db.transitions.len());
+        // Every transition's endpoints have observations.
+        for t in &db.transitions {
+            assert!(db.observations.contains_key(&t.from_state));
+            assert!(db.observations.contains_key(&t.to_state));
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let db = generate_database(&["benchmark://cbench-v1/sha".to_string()], 1, 3, 1).unwrap();
+        let j = db.to_json();
+        let back = Database::from_json(&j).unwrap();
+        assert_eq!(back.steps.len(), db.steps.len());
+        assert_eq!(back.unique_states(), db.unique_states());
+    }
+
+    #[test]
+    fn async_logger_is_lossless() {
+        let db = Arc::new(Mutex::new(Database::new()));
+        let logger = AsyncLogger::new(Arc::clone(&db));
+        for i in 0..100 {
+            logger.log(
+                StepRow {
+                    benchmark: "b".into(),
+                    actions: vec!["a".into()],
+                    from_state: i,
+                    state: i + 1,
+                    reward: 1.0,
+                },
+                None,
+            );
+        }
+        let db = logger.finish();
+        assert_eq!(db.lock().steps.len(), 100);
+    }
+}

@@ -1,0 +1,50 @@
+//! Autotuning the LLVM phase-ordering task: greedy search versus random
+//! search versus the Nevergrad-style ensemble on a cBench program, reported
+//! against the -Oz baseline (the Table IV workflow at example scale).
+//!
+//! Run with: `cargo run --example autotune_llvm [benchmark]`
+
+use cg_autotune as at;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "benchmark://cbench-v1/crc32".to_string());
+
+    let mut env = cg_core::make("llvm-v0")?;
+    env.set_benchmark(&benchmark);
+    env.reset()?;
+    let init = env.observe("IrInstructionCount")?.as_scalar().unwrap();
+    let oz = env.observe("IrInstructionCountOz")?.as_scalar().unwrap();
+    println!("{benchmark}: {init} instructions unoptimized, {oz} at -Oz");
+
+    // Greedy search (the 7-line technique).
+    let cands: Vec<usize> = cg_llvm::action_space::autophase_subset()
+        .iter()
+        .map(|n| env.action_space().index_of(n).unwrap())
+        .collect();
+    let (actions, reward) = at::greedy_search(&mut env, &cands, 16)?;
+    let greedy_size = init - reward;
+    println!(
+        "greedy:    {} passes -> {} instructions ({:.3}x vs -Oz)",
+        actions.len(),
+        greedy_size,
+        oz / greedy_size
+    );
+
+    // Random and ensemble search over 16-pass sequences.
+    for (name, which) in [("random", 0), ("nevergrad", 1)] {
+        let mut fresh = cg_core::make("llvm-v0")?;
+        fresh.set_benchmark(&benchmark);
+        let mut problem = at::PassSequenceProblem::new(fresh, 16);
+        let mut rng = at::rng(7);
+        let res = if which == 0 {
+            at::random_search(&mut problem, 60, &mut rng)
+        } else {
+            at::nevergrad_style(&mut problem, 60, &mut rng)
+        };
+        let size = init - res.score;
+        println!("{name:<10} 60 evals -> {} instructions ({:.3}x vs -Oz)", size, oz / size);
+    }
+    Ok(())
+}

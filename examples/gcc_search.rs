@@ -1,0 +1,34 @@
+//! Tuning GCC command-line flags with hill climbing (the Table V workflow
+//! at example scale): 502 options, object-size objective, -Os baseline.
+//!
+//! Run with: `cargo run --example gcc_search [benchmark]`
+
+use cg_autotune as at;
+use cg_autotune::SearchProblem as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "benchmark://chstone-v0/adpcm".to_string());
+    let mut problem = at::GccChoicesProblem::new(cg_gcc::GccSpec::v11_2(), &benchmark)?;
+    let os_size = problem.baseline_os_size()?;
+    println!("{benchmark}: -Os object size = {os_size} bytes");
+
+    let mut rng = at::rng(1);
+    let res = at::hill_climb(&mut problem, 150, &mut rng);
+    let best = -res.score;
+    println!(
+        "hill climbing, 150 compilations: {best} bytes ({:.3}x vs -Os)",
+        os_size / best
+    );
+    // Show the winning command line.
+    let space = cg_gcc::OptionSpace::for_version(&cg_gcc::GccSpec::v11_2());
+    let mut cmd = space.command_line(&res.best);
+    if cmd.len() > 160 {
+        cmd.truncate(160);
+        cmd.push_str(" …");
+    }
+    println!("best command line: {cmd}");
+    let _ = problem.evaluate(&res.best);
+    Ok(())
+}

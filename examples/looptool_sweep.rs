@@ -1,0 +1,27 @@
+//! Interacting with the loop_tool CUDA environment: threading the loop,
+//! splitting it, and sweeping inner sizes (the §VII-E workflow).
+//!
+//! Run with: `cargo run --example looptool_sweep`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut env = cg_core::make("loop_tool-v0")?;
+    env.set_benchmark("benchmark://loop_tool-v0/1048576");
+    env.reset()?;
+    let space = env.action_space().clone();
+    let act = |name: &str| space.index_of(name).unwrap();
+
+    println!("initial loop tree:\n{}", env.observe("LoopTree")?.as_text().unwrap());
+    let before = env.observe("Flops")?.as_scalar().unwrap();
+
+    // Thread the outer loop.
+    let step = env.step(act("toggle_thread"))?;
+    let after = env.observe("Flops")?.as_scalar().unwrap();
+    println!(
+        "threaded the outer loop: {:.2} -> {:.2} GFLOPs (reward {:+.2e})",
+        before / 1e9,
+        after / 1e9,
+        step.reward
+    );
+    println!("tuned loop tree:\n{}", env.observe("LoopTree")?.as_text().unwrap());
+    Ok(())
+}

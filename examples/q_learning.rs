@@ -1,0 +1,68 @@
+//! Tabular Q-learning on the loop_tool environment — the paper's
+//! documentation includes Q-learning and Actor-Critic samples (§VI); the
+//! loop-nest task has a small discrete state space, making it the natural
+//! tabular playground.
+//!
+//! Run with: `cargo run --release --example q_learning`
+
+use std::collections::HashMap;
+
+use rand::{Rng as _, SeedableRng as _};
+
+/// Discretized state: (cursor, mode, #loops, log2-bucketed thread count).
+fn state_key(obs: &cg_core::Observation) -> (i64, i64, i64, i64) {
+    let v = obs.as_int_vector().expect("ActionState is an int vector");
+    (v[0], v[1], v[2], (v[3].max(1) as f64).log2() as i64)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut env = cg_core::make("loop_tool-v0")?;
+    env.set_benchmark("benchmark://loop_tool-v0/1048576");
+    let n_actions = {
+        env.reset()?;
+        env.action_space().len()
+    };
+
+    let mut q: HashMap<(i64, i64, i64, i64), Vec<f64>> = HashMap::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let (alpha, gamma) = (0.3, 0.9);
+    let episodes = 60;
+    let steps = 12;
+    let mut best = f64::NEG_INFINITY;
+    for ep in 0..episodes {
+        let eps = 1.0 - ep as f64 / episodes as f64;
+        let mut obs = env.reset()?;
+        let mut s = state_key(&obs);
+        for _ in 0..steps {
+            let qs = q.entry(s).or_insert_with(|| vec![0.0; n_actions]);
+            let a = if rng.gen_bool(eps) {
+                rng.gen_range(0..n_actions)
+            } else {
+                qs.iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap()
+            };
+            let step = env.step(a)?;
+            obs = step.observation;
+            let s2 = state_key(&obs);
+            let max_next = q
+                .get(&s2)
+                .map(|v| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+                .unwrap_or(0.0);
+            let entry = q.get_mut(&s).expect("inserted above");
+            // Rewards are FLOPs deltas: squash to keep the table stable.
+            let r = (step.reward / 1e9).clamp(-100.0, 100.0);
+            entry[a] += alpha * (r + gamma * max_next - entry[a]);
+            s = s2;
+        }
+        let flops = env.observe("Flops")?.as_scalar().unwrap();
+        if flops > best {
+            best = flops;
+            println!("episode {ep:>3}: new best {:.2} GFLOPs", best / 1e9);
+        }
+    }
+    println!("learned table has {} states; best configuration: {:.2} GFLOPs", q.len(), best / 1e9);
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! The Listing 1 quickstart: create an environment, take random actions,
+//! watch rewards, save the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rand::Rng as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Create a new environment, selecting the compiler to use, the program
+    // to compile, the feature vector, and the optimization target.
+    let mut env = cg_core::make("llvm-v0")?;
+    env.set_benchmark("benchmark://cbench-v1/qsort");
+    env.set_observation_space("Autophase");
+    env.set_reward_space("IrInstructionCount");
+
+    // Start a new compilation session.
+    let mut observation = env.reset()?;
+    println!("initial observation: {} features", observation.as_int_vector().unwrap().len());
+
+    // Run a hundred random optimizations. Each step produces a new state
+    // observation and reward.
+    let mut rng = rand::thread_rng();
+    let n = env.action_space().len();
+    for i in 0..100 {
+        let action = rng.gen_range(0..n);
+        let step = env.step(action)?;
+        observation = step.observation;
+        if step.reward != 0.0 {
+            println!(
+                "step {i:>3}: {:<24} reward {:+.0}",
+                env.action_space().actions[action], step.reward
+            );
+        }
+        if step.done {
+            observation = env.reset()?;
+        }
+    }
+    let _ = observation;
+
+    // Save the output program (the analogue of env.write_bitcode).
+    let ir = env.observe("Ir")?;
+    std::fs::write("/tmp/output.ir", ir.as_text().unwrap())?;
+    println!(
+        "episode reward: {:+.0} instructions; final IR written to /tmp/output.ir",
+        env.episode_reward()
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! State serialization, replay and validation (§III-B2/B3): save an
+//! episode, reload it, prove it reproducible — the machinery behind the
+//! public leaderboards.
+//!
+//! Run with: `cargo run --example state_validation`
+
+use cg_core::EnvState;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut env = cg_core::make("llvm-v0")?;
+    env.set_benchmark("benchmark://cbench-v1/sha");
+    env.reset()?;
+    for name in ["mem2reg", "gvn", "instcombine", "dce", "simplifycfg"] {
+        let idx = env.action_space().index_of(name).unwrap();
+        env.step(idx)?;
+    }
+    let state = env.state();
+    let json = state.to_json();
+    println!("serialized episode state:\n{json}\n");
+
+    // A leaderboard server would replay and validate the submission:
+    let parsed = EnvState::from_json(&json)?;
+    parsed.validate()?;
+    println!("validation passed: the result is reproducible");
+
+    // Tampering is caught.
+    let mut forged = parsed.clone();
+    forged.reward *= 2.0;
+    match forged.validate() {
+        Err(e) => println!("forged submission rejected: {e}"),
+        Ok(()) => println!("BUG: forged submission accepted!"),
+    }
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Property-based tests (proptest): universal invariants over randomly
+//! generated programs and pass sequences — the repository-side analogue of
+//! the paper's daily fuzz jobs (§VI).
+
+use proptest::prelude::*;
+
+use cg_ir::interp::{run_main, ExecLimits};
+use cg_ir::verify::verify_module;
+
+fn csmith(seed: u32) -> cg_ir::Module {
+    cg_datasets::benchmark(&format!("benchmark://csmith-v0/{seed}")).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every generator output verifies, and generation is a pure function of
+    /// the seed.
+    #[test]
+    fn generated_modules_verify_and_are_deterministic(seed in 0u32..1_000_000) {
+        let a = csmith(seed);
+        verify_module(&a).unwrap();
+        let b = csmith(seed);
+        prop_assert_eq!(cg_ir::module_hash(&a), cg_ir::module_hash(&b));
+    }
+
+    /// print → parse → print is a fixpoint on arbitrary generated programs.
+    #[test]
+    fn printer_parser_roundtrip(seed in 0u32..1_000_000) {
+        let m = csmith(seed);
+        let text = cg_ir::printer::print_module(&m);
+        let back = cg_ir::parser::parse_module(&text).unwrap();
+        prop_assert_eq!(text, cg_ir::printer::print_module(&back));
+    }
+
+    /// Csmith programs are runnable: no traps, deterministic results.
+    #[test]
+    fn csmith_runs_trap_free_and_deterministically(seed in 0u32..1_000_000) {
+        let m = csmith(seed);
+        let limits = ExecLimits::default();
+        let a = run_main(&m, &limits).unwrap();
+        let b = run_main(&m, &limits).unwrap();
+        prop_assert_eq!(a.ret, b.ret);
+        prop_assert_eq!(a.globals_hash, b.globals_hash);
+    }
+
+    /// Any sequence of actions preserves validity AND observable behaviour —
+    /// the master invariant of the whole system.
+    #[test]
+    fn random_pass_sequences_preserve_semantics(
+        seed in 0u32..100_000,
+        actions in proptest::collection::vec(0usize..124, 1..10),
+    ) {
+        let space = cg_llvm::action_space::ActionSpace::new();
+        let m = csmith(seed);
+        let limits = ExecLimits::default();
+        let reference = run_main(&m, &limits).unwrap();
+        let mut opt = m.clone();
+        for a in actions {
+            space.apply(&mut opt, a);
+        }
+        verify_module(&opt).unwrap();
+        let out = run_main(&opt, &limits).unwrap();
+        prop_assert_eq!(out.ret, reference.ret);
+    }
+
+    /// The -Oz pipeline never grows a module and never breaks it.
+    #[test]
+    fn oz_is_monotone_and_sound(seed in 0u32..100_000) {
+        let m = csmith(seed);
+        let before = m.inst_count();
+        let reference = run_main(&m, &ExecLimits::default()).unwrap();
+        let mut opt = m;
+        cg_llvm::pipeline::run_oz(&mut opt);
+        verify_module(&opt).unwrap();
+        prop_assert!(opt.inst_count() <= before);
+        let out = run_main(&opt, &ExecLimits::default()).unwrap();
+        prop_assert_eq!(out.ret, reference.ret);
+    }
+
+    /// GCC compilation is deterministic in (module, choices), and -O levels
+    /// never beat the unoptimized build at being *larger* (sizes stay
+    /// positive and finite).
+    #[test]
+    fn gcc_compile_total_and_deterministic(
+        seed in 0u32..100_000,
+        level in 0usize..6,
+    ) {
+        let space = cg_gcc::OptionSpace::for_version(&cg_gcc::GccSpec::v11_2());
+        let m = csmith(seed);
+        let choices = space.choices_for_level(level);
+        let a = cg_gcc::compile(&m, &space, &choices);
+        let b = cg_gcc::compile(&m, &space, &choices);
+        prop_assert_eq!(a.obj_size, b.obj_size);
+        prop_assert!(a.obj_size > 0);
+        prop_assert_eq!(a.asm_text, b.asm_text);
+    }
+
+    /// Arbitrary flat-action sequences keep GCC choice vectors in range.
+    #[test]
+    fn gcc_flat_actions_stay_in_range(
+        picks in proptest::collection::vec(0usize..2281, 0..64),
+    ) {
+        let space = cg_gcc::OptionSpace::for_version(&cg_gcc::GccSpec::v11_2());
+        let actions = space.flat_actions();
+        let mut choices = space.default_choices();
+        for p in picks {
+            let a = actions[p % actions.len()];
+            space.apply_flat(&mut choices, &a);
+        }
+        for (c, o) in choices.iter().zip(space.options()) {
+            prop_assert!(*c < o.cardinality);
+        }
+    }
+
+    /// Arbitrary loop_tool action sequences keep the nest covering the
+    /// problem (outer × inner ≥ n) and never crash.
+    #[test]
+    fn looptool_actions_preserve_coverage(
+        ops in proptest::collection::vec(0usize..5, 0..64),
+    ) {
+        use cg_looptool::{Action, LoopNest};
+        let mut nest = LoopNest::pointwise_add(10_000);
+        for o in ops {
+            nest.apply(Action::extended()[o]);
+        }
+        let covered: u64 = nest.loops.iter().map(|l| l.size.max(1)).product();
+        prop_assert!(covered >= 10_000);
+        prop_assert!(nest.flops_deterministic() > 0.0);
+        prop_assert!(nest.cursor < nest.loops.len());
+    }
+}
