@@ -1,8 +1,12 @@
 //! Figure 6: the distribution of step times across the 23 cBench programs
 //! (per-program medians; the paper reports a 560x spread between crc32 and
 //! ghostscript).
+//!
+//! Timing comes from the telemetry layer's step-latency histogram rather
+//! than an ad-hoc stopwatch, so the numbers here match what `cg stats`
+//! reports for the same workload.
 
-use cg_bench::{rng, scaled, WallStats};
+use cg_bench::{rng, scaled, telemetry_begin, telemetry_snapshot};
 use rand::Rng as _;
 
 fn main() {
@@ -10,19 +14,30 @@ fn main() {
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     let mut env = cg_core::make("llvm-v0").unwrap();
     let n_actions = env.action_space().len();
+    let (mut restarts, mut panics) = (0u64, 0u64);
     for name in cg_datasets::CBENCH {
         let mut r = rng(cg_ir::fnv1a(name.as_bytes()));
         env.set_benchmark(&format!("benchmark://cbench-v1/{name}"));
         env.reset().unwrap();
-        let mut s = WallStats::new();
+        // Isolate this program's histogram; service health accumulates
+        // across programs in the local sums.
+        telemetry_begin();
         for i in 0..steps {
             if i % 25 == 24 {
                 env.reset().unwrap();
             }
             let a = r.gen_range(0..n_actions);
-            s.time(|| env.step(a).unwrap());
+            env.step(a).unwrap();
         }
-        rows.push((name.to_string(), s.percentile(50.0), s.percentile(99.0)));
+        let snap = telemetry_snapshot();
+        restarts += snap.restarts;
+        panics += snap.panics;
+        let sw = &snap.episode.step_wall;
+        rows.push((
+            name.to_string(),
+            sw.p50_micros as f64 / 1e3,
+            sw.p99_micros as f64 / 1e3,
+        ));
     }
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     println!("Figure 6: per-program step-time distribution (cBench)");
@@ -37,4 +52,5 @@ fn main() {
         rows[0].0,
         rows.last().unwrap().0
     );
+    println!("service health: restarts={restarts} panics={panics}");
 }

@@ -90,13 +90,13 @@ fn main() {
     }
 
     println!("Table II: computational costs (p50 / p99 / mean per operation)");
-    println!("{:<22} {}", "-- service startup --", "");
+    println!("{:<22} ", "-- service startup --");
     println!("{:<22} {}", "CompilerGym", startup.row());
-    println!("{:<22} {}", "-- env init --", "");
+    println!("{:<22} ", "-- env init --");
     println!("{:<22} {}", "Autophase-style", init_autophase.row());
     println!("{:<22} {}", "OpenTuner-style", init_opentuner.row());
     println!("{:<22} {}  (cold: {:.3}ms mean)", "CompilerGym (warm)", init_warm.row(), init_cold.mean());
-    println!("{:<22} {}", "-- env step --", "");
+    println!("{:<22} ", "-- env step --");
     println!("{:<22} {}", "Autophase-style", ap_step.row());
     println!("{:<22} {}", "OpenTuner-style", ot_step.row());
     println!("{:<22} {}", "CompilerGym", cg_step.row());

@@ -2,10 +2,11 @@
 //! every dataset family (geomean code-size reduction vs -Oz).
 
 use cg_bench::rl_common::{evaluate_geomean, feat_dim, rl_env, uris};
-use cg_bench::scaled;
+use cg_bench::{print_telemetry_footer, scaled, telemetry_begin};
 use cg_rl::{Algo, TrainConfig};
 
 fn main() {
+    telemetry_begin();
     let train_benchmarks = uris("csmith-v0", scaled(8, 50), 0);
     let episodes = scaled(300, 100_000);
     let eval_per_dataset = scaled(4, 50);
@@ -51,4 +52,5 @@ fn main() {
         println!();
     }
     println!("(paper: most entries below 1.0x; PPO positive on csmith + 2 others — generalization is hard)");
+    print_telemetry_footer();
 }

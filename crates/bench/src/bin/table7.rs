@@ -2,10 +2,11 @@
 //! train/test cross-validation over Csmith, GitHub and TensorFlow.
 
 use cg_bench::rl_common::{evaluate_geomean, feat_dim, rl_env, uris};
-use cg_bench::scaled;
+use cg_bench::{print_telemetry_footer, scaled, telemetry_begin};
 use cg_rl::{Algo, TrainConfig};
 
 fn main() {
+    telemetry_begin();
     let families = ["csmith-v0", "github-v0", "tensorflow-v0"];
     let episodes = scaled(300, 100_000);
     let n_train = scaled(8, 50);
@@ -33,4 +34,5 @@ fn main() {
         println!();
     }
     println!("(paper: the diagonal dominates — agents do best on their own training domain)");
+    print_telemetry_footer();
 }

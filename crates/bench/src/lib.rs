@@ -90,6 +90,36 @@ impl WallStats {
     }
 }
 
+/// Resets the global telemetry registry. Harness binaries call this at the
+/// top of `main` so their report reflects only their own run.
+pub fn telemetry_begin() {
+    cg_telemetry::global().reset();
+}
+
+/// Captures the global telemetry registry.
+pub fn telemetry_snapshot() -> cg_telemetry::TelemetrySnapshot {
+    cg_telemetry::global().snapshot()
+}
+
+/// Prints the standard harness footer: environment step latency and service
+/// health, sourced from the telemetry layer rather than ad-hoc timers.
+pub fn print_telemetry_footer() {
+    let s = telemetry_snapshot();
+    let sw = &s.episode.step_wall;
+    println!(
+        "telemetry: steps={} step p50={:.3}ms p90={:.3}ms p99={:.3}ms max={:.3}ms",
+        sw.count,
+        sw.p50_micros as f64 / 1e3,
+        sw.p90_micros as f64 / 1e3,
+        sw.p99_micros as f64 / 1e3,
+        sw.max_micros as f64 / 1e3,
+    );
+    println!(
+        "           episodes={} restarts={} panics={} timeouts={}",
+        s.episode.episodes, s.restarts, s.panics, s.timeouts
+    );
+}
+
 /// Geometric mean of positive values.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

@@ -8,6 +8,8 @@
 //! cg replay <state.json>                    replay a saved state
 //! cg validate <state.json>                  validate reproducibility
 //! cg datasets                               list benchmark datasets
+//! cg stats [--json] <env> <benchmark> <steps>   episode + telemetry report
+//! cg trace <env> <benchmark> <steps>        episode + JSONL trace dump
 //! ```
 
 use std::process::ExitCode;
@@ -15,7 +17,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cg describe <env>\n  cg random <env> <benchmark> <steps>\n  \
-         cg replay <state.json>\n  cg validate <state.json>\n  cg datasets"
+         cg replay <state.json>\n  cg validate <state.json>\n  cg datasets\n  \
+         cg stats [--json] <env> <benchmark> <steps>\n  cg trace <env> <benchmark> <steps>"
     );
     ExitCode::FAILURE
 }
@@ -35,6 +38,23 @@ fn main() -> ExitCode {
         }
         Some("replay") => replay(args.get(1).map(String::as_str), false),
         Some("validate") => replay(args.get(1).map(String::as_str), true),
+        Some("stats") | Some("trace") => {
+            let as_trace = args[0] == "trace";
+            let rest: Vec<&String> = args[1..].iter().filter(|a| *a != "--json").collect();
+            let json = args.iter().any(|a| a == "--json");
+            let env = rest.first().map(|s| s.as_str()).unwrap_or("llvm-v0").to_string();
+            let bench = rest
+                .get(1)
+                .map(|s| s.as_str())
+                .unwrap_or("benchmark://cbench-v1/qsort")
+                .to_string();
+            let steps = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+            if as_trace {
+                trace(&env, &bench, steps)
+            } else {
+                stats(&env, &bench, steps, json)
+            }
+        }
         Some("datasets") => {
             for d in cg_datasets::datasets() {
                 println!(
@@ -107,6 +127,138 @@ fn random(env_id: &str, benchmark: &str, steps: usize) -> Result<(), Box<dyn std
     }
     println!("episode reward: {:+.4}", env.episode_reward());
     println!("state:\n{}", env.state().to_json());
+    Ok(())
+}
+
+/// Drives one random episode so the telemetry layer has something to report.
+fn run_episode(
+    env_id: &str,
+    benchmark: &str,
+    steps: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use rand::Rng as _;
+    let mut env = cg_core::make(env_id)?;
+    env.set_benchmark(benchmark);
+    env.reset()?;
+    let mut rng = rand::thread_rng();
+    let n = env.action_space().len();
+    for _ in 0..steps {
+        let a = rng.gen_range(0..n);
+        if env.step(a)?.done {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Renders microseconds human-readably (µs / ms / s).
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+fn stats(
+    env_id: &str,
+    benchmark: &str,
+    steps: usize,
+    json: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let tel = cg_telemetry::global();
+    tel.reset();
+    run_episode(env_id, benchmark, steps)?;
+    let snap = tel.snapshot();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&snap)?);
+        return Ok(());
+    }
+    println!("telemetry for {env_id} on {benchmark} ({steps} random steps)\n");
+    println!("service requests:");
+    println!(
+        "  {:<14} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "kind", "count", "p50", "p90", "p99", "max", "errors"
+    );
+    for (kind, h) in &snap.requests {
+        let errors = snap.request_errors.get(kind).copied().unwrap_or(0);
+        println!(
+            "  {:<14} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            kind,
+            h.count,
+            fmt_us(h.p50_micros),
+            fmt_us(h.p90_micros),
+            fmt_us(h.p99_micros),
+            fmt_us(h.max_micros),
+            errors
+        );
+    }
+    println!(
+        "\nservice health: restarts={} panics={} timeouts={} in-flight={}",
+        snap.restarts, snap.panics, snap.timeouts, snap.in_flight
+    );
+    let ep = &snap.episode;
+    let changed_pct = if ep.actions_total == 0 {
+        0.0
+    } else {
+        100.0 * ep.actions_changed as f64 / ep.actions_total as f64
+    };
+    println!(
+        "\nepisode: episodes={} steps={} actions={} changed={:.0}% reward={:+.4}",
+        ep.episodes, ep.steps, ep.actions_total, changed_pct, ep.reward_sum
+    );
+    println!(
+        "  reset  p50={} max={}",
+        fmt_us(ep.reset_wall.p50_micros),
+        fmt_us(ep.reset_wall.max_micros)
+    );
+    println!(
+        "  step   p50={} p99={} max={}",
+        fmt_us(ep.step_wall.p50_micros),
+        fmt_us(ep.step_wall.p99_micros),
+        fmt_us(ep.step_wall.max_micros)
+    );
+    if !snap.observations.is_empty() {
+        println!("\nobservations:");
+        for (name, h) in &snap.observations {
+            println!(
+                "  {:<24} count={:<5} p50={} p99={}",
+                name,
+                h.count,
+                fmt_us(h.p50_micros),
+                fmt_us(h.p99_micros)
+            );
+        }
+    }
+    if !snap.passes.is_empty() {
+        println!("\ntop passes by total time:");
+        let mut passes: Vec<_> = snap.passes.iter().collect();
+        passes.sort_by_key(|(_, p)| std::cmp::Reverse(p.total_micros));
+        for (name, p) in passes.iter().take(15) {
+            println!(
+                "  {:<28} calls={:<4} total={:<9} changed={:<4} Δinst={:+}",
+                name,
+                p.calls,
+                fmt_us(p.total_micros),
+                p.changed,
+                p.inst_delta
+            );
+        }
+    }
+    println!(
+        "\ntrace: {} buffered event(s), {} dropped (see `cg trace`)",
+        snap.trace_events, snap.trace_dropped
+    );
+    Ok(())
+}
+
+fn trace(env_id: &str, benchmark: &str, steps: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let tel = cg_telemetry::global();
+    tel.reset();
+    run_episode(env_id, benchmark, steps)?;
+    print!("{}", tel.trace.export_jsonl());
     Ok(())
 }
 

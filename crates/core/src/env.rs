@@ -95,6 +95,23 @@ impl CompilerEnv {
         });
         // Validate eagerly so a bad id fails here, not inside the thread.
         create_session(backend).map_err(CgError::Unknown)?;
+        Self::with_factory(env_id, factory, benchmark, observation_space, reward_space, timeout)
+    }
+
+    /// Builds an environment around an arbitrary session factory. This is
+    /// the extension point for custom backends and for fault-injection
+    /// tests that need a deliberately misbehaving session.
+    ///
+    /// # Errors
+    /// Fails when the backend cannot describe its spaces.
+    pub fn with_factory(
+        env_id: &str,
+        factory: crate::service::SessionFactory,
+        benchmark: &str,
+        observation_space: &str,
+        reward_space: &str,
+        timeout: Duration,
+    ) -> Result<CompilerEnv, CgError> {
         let client = ServiceClient::spawn(factory, timeout);
         let (action_spaces, observation_spaces, reward_spaces) =
             match client.call(Request::GetSpaces)? {
@@ -199,6 +216,8 @@ impl CompilerEnv {
     /// # Errors
     /// Dataset errors, unknown spaces, or service failure after retries.
     pub fn reset(&mut self) -> Result<Observation, CgError> {
+        let tel = cg_telemetry::global();
+        let timer = cg_telemetry::Timer::start();
         if let Some(sid) = self.session.take() {
             // Best effort: the old session may be gone if the service died.
             let _ = self.client.call(Request::EndSession { session_id: sid });
@@ -212,10 +231,22 @@ impl CompilerEnv {
             benchmark: self.benchmark.clone(),
             action_space: self.action_space_index,
         };
+        let restarts_before = self.client.restarts();
         let sid = match self.client.call_with_retries(req, 2)? {
             Response::SessionStarted { session_id } => session_id,
             r => return Err(CgError::ServiceFailure(format!("bad StartSession reply: {r:?}"))),
         };
+        let recovered = self.client.restarts() - restarts_before;
+        if recovered > 0 {
+            // The service died or hung and was transparently replaced.
+            // ServiceClient::restart() already bumped the restart counter;
+            // record that an episode recovered, with its benchmark.
+            tel.trace.emit(
+                "env:transparent-restart",
+                format!("{} after {} restart(s)", self.benchmark, recovered),
+                Duration::ZERO,
+            );
+        }
         self.session = Some(sid);
         let resp = self.client.call(Request::Step {
             session_id: sid,
@@ -236,6 +267,9 @@ impl CompilerEnv {
         self.baseline_metric = it.next().and_then(|o| o.as_scalar());
         self.episode_reward = 0.0;
         self.actions.clear();
+        tel.episode.episodes.inc();
+        let dur = timer.observe(&tel.episode.reset_wall);
+        tel.trace.emit("reset", format!("{} {}", self.env_id, self.benchmark), dur);
         Ok(obs)
     }
 
@@ -270,6 +304,8 @@ impl CompilerEnv {
         extra_observations: &[&str],
     ) -> Result<(Vec<Observation>, StepResult), CgError> {
         let sid = self.session.ok_or(CgError::Usage("step before reset".into()))?;
+        let tel = cg_telemetry::global();
+        let timer = cg_telemetry::Timer::start();
         let reward_info = self.reward_info()?;
         let mut spaces: Vec<String> = extra_observations.iter().map(|s| s.to_string()).collect();
         let want_default_obs = extra_observations.is_empty();
@@ -302,6 +338,18 @@ impl CompilerEnv {
         self.prev_metric = metric;
         self.episode_reward += reward;
         self.actions.extend_from_slice(actions);
+        tel.episode.steps.inc();
+        tel.episode.actions_total.add(actions.len() as u64);
+        if changed {
+            tel.episode.actions_changed.add(actions.len() as u64);
+        }
+        tel.episode.reward_sum.add(reward);
+        let dur = timer.observe(&tel.episode.step_wall);
+        tel.trace.emit(
+            "step",
+            format!("{} actions={actions:?} reward={reward:.6}", self.env_id),
+            dur,
+        );
         Ok((
             observations,
             StepResult { observation, reward, done: end_of_episode, changed },
@@ -335,10 +383,14 @@ impl CompilerEnv {
     /// See [`CompilerEnv::step`].
     pub fn fork(&mut self) -> Result<CompilerEnv, CgError> {
         let sid = self.session.ok_or(CgError::Usage("fork before reset".into()))?;
+        let tel = cg_telemetry::global();
+        let timer = cg_telemetry::Timer::start();
         let forked = match self.client.call(Request::Fork { session_id: sid })? {
             Response::Forked { session_id } => session_id,
             r => return Err(CgError::ServiceFailure(format!("bad Fork reply: {r:?}"))),
         };
+        let dur = timer.observe(&tel.episode.fork_wall);
+        tel.trace.emit("fork", format!("{} {}", self.env_id, self.benchmark), dur);
         Ok(CompilerEnv {
             env_id: self.env_id.clone(),
             client: self.client.clone(),

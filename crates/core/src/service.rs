@@ -69,6 +69,21 @@ pub enum Request {
     Shutdown,
 }
 
+impl Request {
+    /// The variant name, used to key per-request telemetry.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "Ping",
+            Request::GetSpaces => "GetSpaces",
+            Request::StartSession { .. } => "StartSession",
+            Request::Step { .. } => "Step",
+            Request::Fork { .. } => "Fork",
+            Request::EndSession { .. } => "EndSession",
+            Request::Shutdown => "Shutdown",
+        }
+    }
+}
+
 /// A response from the compiler service.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Response {
@@ -118,7 +133,26 @@ struct ServiceState {
 }
 
 impl ServiceState {
+    /// Dispatches one request, recording latency, in-flight, error, and
+    /// panic telemetry. Both transports funnel through here, so service
+    /// metrics cover in-process and TCP alike.
     fn handle(&mut self, req: Request) -> Response {
+        let tel = cg_telemetry::global();
+        let kind = req.kind();
+        tel.in_flight.inc();
+        let timer = cg_telemetry::Timer::start();
+        let resp = self.dispatch(req);
+        let dur = timer.elapsed();
+        tel.in_flight.dec();
+        tel.requests.get(kind).record_duration(dur);
+        if let Response::Error(e) = &resp {
+            tel.request_errors.get(kind).inc();
+            tel.trace.emit(format!("service:error:{kind}"), e.clone(), dur);
+        }
+        resp
+    }
+
+    fn dispatch(&mut self, req: Request) -> Response {
         match req {
             Request::Ping => Response::Pong,
             Request::GetSpaces => {
@@ -160,7 +194,11 @@ impl ServiceState {
                     }
                     let mut observations = Vec::with_capacity(observation_spaces.len());
                     for s in &observation_spaces {
+                        let timer = cg_telemetry::Timer::start();
                         observations.push(session.observe(s)?);
+                        let tel = cg_telemetry::global();
+                        let dur = timer.observe(&tel.observations.get(s));
+                        tel.trace.emit(format!("observation:{s}"), "", dur);
                     }
                     Ok::<_, String>((end, changed, observations))
                 }));
@@ -172,6 +210,13 @@ impl ServiceState {
                     Err(_) => {
                         // The session may be corrupt: drop it.
                         self.sessions.remove(&session_id);
+                        let tel = cg_telemetry::global();
+                        tel.panics.inc();
+                        tel.trace.emit(
+                            "service:panic",
+                            format!("session {session_id} destroyed"),
+                            Duration::ZERO,
+                        );
                         Response::Error("session panicked; session destroyed".into())
                     }
                 }
@@ -252,10 +297,13 @@ impl ServiceClient {
         match reply_rx.recv_timeout(self.timeout) {
             Ok(Response::Error(e)) => Err(CgError::Session(e)),
             Ok(resp) => Ok(resp),
-            Err(_) => Err(CgError::ServiceFailure(format!(
-                "service call exceeded {:?} (hung or crashed)",
-                self.timeout
-            ))),
+            Err(_) => {
+                cg_telemetry::global().timeouts.inc();
+                Err(CgError::ServiceFailure(format!(
+                    "service call exceeded {:?} (hung or crashed)",
+                    self.timeout
+                )))
+            }
         }
     }
 
@@ -282,7 +330,10 @@ impl ServiceClient {
     /// Sessions are lost; callers re-establish them via `reset()`.
     pub fn restart(&mut self) {
         self.tx = spawn_worker(Arc::clone(&self.factory));
-        self.generation.fetch_add(1, Ordering::SeqCst);
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let tel = cg_telemetry::global();
+        tel.restarts.inc();
+        tel.trace.emit("service:restart", format!("generation {generation}"), Duration::ZERO);
     }
 
     /// How many times this client has restarted its service.
@@ -322,8 +373,7 @@ pub fn serve_tcp(listener: TcpListener, factory: SessionFactory) {
         let f = Arc::clone(&factory);
         std::thread::spawn(move || {
             let mut state = ServiceState { factory: f, sessions: HashMap::new(), next_id: 0 };
-            loop {
-                let Ok(frame) = read_frame(&mut stream) else { break };
+            while let Ok(frame) = read_frame(&mut stream) {
                 let req: Request = match serde_json::from_slice(&frame) {
                     Ok(r) => r,
                     Err(e) => {
@@ -374,8 +424,12 @@ impl TcpClient {
         let bytes = serde_json::to_vec(req).map_err(|e| CgError::ServiceFailure(e.to_string()))?;
         write_frame(&mut self.stream, &bytes)
             .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
-        let frame = read_frame(&mut self.stream)
-            .map_err(|e| CgError::ServiceFailure(format!("recv: {e}")))?;
+        let frame = read_frame(&mut self.stream).map_err(|e| {
+            if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+                cg_telemetry::global().timeouts.inc();
+            }
+            CgError::ServiceFailure(format!("recv: {e}"))
+        })?;
         let resp: Response =
             serde_json::from_slice(&frame).map_err(|e| CgError::ServiceFailure(e.to_string()))?;
         match resp {

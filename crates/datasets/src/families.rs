@@ -89,6 +89,12 @@ impl DatasetInfo {
         }
     }
 
+    /// True when the dataset has a finite, zero-length member list (never,
+    /// for shipped datasets; present for API completeness alongside `len`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
     /// True for generator datasets with no finite member list.
     pub fn is_generator(&self) -> bool {
         self.size == DatasetSize::Seeded
@@ -315,7 +321,7 @@ fn build_mibench(path: &str, index: u64) -> Result<Module, DatasetError> {
         6 => k::single(path, |mb| k::emit_hash_probe(mb, "patricia", 256 << (v % 3), 9)),
         7 => k::single(path, |mb| k::emit_stringsearch(mb, "search", 1024, 8 + v)),
         8 => k::single(path, |mb| k::emit_sha_mix(mb, "sha", 32 + 16 * v)),
-        _ => k::single(path, |mb| k::emit_adpcm(mb, "adpcm", 512 << (v % 3), v % 2 == 0)),
+        _ => k::single(path, |mb| k::emit_adpcm(mb, "adpcm", 512 << (v % 3), v.is_multiple_of(2))),
     };
     Ok(with_uri_name(m, "mibench-v1", path))
 }

@@ -62,6 +62,9 @@ pub fn counted_loop(
     accs
 }
 
+/// A boxed kernel-emitter closure, as accepted by [`compose`].
+pub type KernelEmit<'a> = Box<dyn FnOnce(&mut ModuleBuilder) -> FuncId + 'a>;
+
 /// Wraps one emitted kernel function into a standalone runnable module:
 /// `main` calls the kernel and returns its checksum.
 pub fn single(name: &str, emit: impl FnOnce(&mut ModuleBuilder) -> FuncId) -> Module {
@@ -72,10 +75,7 @@ pub fn single(name: &str, emit: impl FnOnce(&mut ModuleBuilder) -> FuncId) -> Mo
 /// and mixes the checksums. Used for the larger cBench programs
 /// (`ghostscript`, `jpeg`, `lame`, …), which in reality are multi-module
 /// applications rather than single kernels.
-pub fn compose(
-    name: &str,
-    emits: Vec<Box<dyn FnOnce(&mut ModuleBuilder) -> FuncId + '_>>,
-) -> Module {
+pub fn compose(name: &str, emits: Vec<KernelEmit<'_>>) -> Module {
     let mut mb = ModuleBuilder::new(name);
     let fids: Vec<FuncId> = emits.into_iter().map(|e| e(&mut mb)).collect();
     let mut fb = mb.begin_function("main", &[], Type::I64);
@@ -255,7 +255,8 @@ pub fn emit_sha_mix(mb: &mut ModuleBuilder, fname: &str, blocks: u32) -> FuncId 
         ],
         |fb, blk, accs| {
             let off = fb.bin(BinOp::Mul, blk, Operand::const_int(16));
-            let inner = counted_loop(
+            
+            counted_loop(
                 fb,
                 Operand::const_int(16),
                 &[
@@ -282,8 +283,7 @@ pub fn emit_sha_mix(mb: &mut ModuleBuilder, fname: &str, blocks: u32) -> FuncId 
                     let a2 = fb.bin(BinOp::Add, s2, Operand::const_int(0x5A82_7999));
                     vec![a2, a, b]
                 },
-            );
-            inner
+            )
         },
     );
     let x = fb.bin(BinOp::Xor, out[0], out[1]);
@@ -631,7 +631,8 @@ pub fn emit_dct8x8(mb: &mut ModuleBuilder, fname: &str, n_blocks: u32) -> FuncId
         &[(Type::F64, Operand::const_float(0.0))],
         |fb, b, accs| {
             let off = fb.bin(BinOp::Mul, b, Operand::const_int(64));
-            let acc = counted_loop(
+            
+            counted_loop(
                 fb,
                 Operand::const_int(8),
                 &[(Type::F64, accs[0])],
@@ -660,8 +661,7 @@ pub fn emit_dct8x8(mb: &mut ModuleBuilder, fname: &str, n_blocks: u32) -> FuncId
                     );
                     vec![fb.bin(BinOp::FAdd, st[0], inner[0])]
                 },
-            );
-            acc
+            )
         },
     );
     let i = fb.cast(CastKind::FloatToInt, out[0]);
@@ -1007,7 +1007,8 @@ pub fn emit_sad_search(mb: &mut ModuleBuilder, fname: &str, block: u32, search: 
         Operand::const_int(search as i64),
         &[(Type::I64, Operand::const_int(i64::MAX / 4))],
         |fb, dy, best_out| {
-            let inner = counted_loop(
+            
+            counted_loop(
                 fb,
                 Operand::const_int(search as i64),
                 &[(Type::I64, best_out[0])],
@@ -1017,7 +1018,8 @@ pub fn emit_sad_search(mb: &mut ModuleBuilder, fname: &str, block: u32, search: 
                         Operand::const_int(block as i64),
                         &[(Type::I64, Operand::const_int(0))],
                         |fb, y, acc| {
-                            let row_sad = counted_loop(
+                            
+                            counted_loop(
                                 fb,
                                 Operand::const_int(block as i64),
                                 &[(Type::I64, acc[0])],
@@ -1038,16 +1040,14 @@ pub fn emit_sad_search(mb: &mut ModuleBuilder, fname: &str, block: u32, search: 
                                     let ad = fb.select(Type::I64, neg, nd, d);
                                     vec![fb.bin(BinOp::Add, acc2[0], ad)]
                                 },
-                            );
-                            row_sad
+                            )
                         },
                     );
                     let better = fb.icmp(Pred::Lt, sad[0], best[0]);
                     let nb = fb.select(Type::I64, better, sad[0], best[0]);
                     vec![nb]
                 },
-            );
-            inner
+            )
         },
     );
     fb.ret(Some(out[0]));

@@ -55,18 +55,16 @@ fn level_defaults(level: usize) -> (MidEndConfig, BackendConfig) {
         be.peephole = true;
         be.registers = 10;
     }
-    if level >= 2 && level != 4 || level == 4 {
-        if level >= 2 {
-            mid.sroa = true;
-            mid.gvn = true;
-            mid.dse = true;
-            mid.licm = true;
-            mid.ipsccp = true;
-            be.schedule = true;
-            be.good_regalloc = true;
-            be.omit_frame_pointer = true;
-            be.rtl_dce = true;
-        }
+    if level >= 2 {
+        mid.sroa = true;
+        mid.gvn = true;
+        mid.dse = true;
+        mid.licm = true;
+        mid.ipsccp = true;
+        be.schedule = true;
+        be.good_regalloc = true;
+        be.omit_frame_pointer = true;
+        be.rtl_dce = true;
     }
     match level {
         2 => {
@@ -97,10 +95,6 @@ fn level_defaults(level: usize) -> (MidEndConfig, BackendConfig) {
         }
         _ => {}
     }
-    be
-        .section_anchors
-        .then_some(())
-        .unwrap_or(());
     (mid, be)
 }
 

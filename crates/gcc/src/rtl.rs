@@ -542,11 +542,10 @@ fn spill(insts: &mut Vec<Rtl>, cfg: &BackendConfig) {
                 collect(addr, &mut uses);
                 collect(val, &mut uses);
             }
-            Rtl::Jcc { cond, .. } => {
-                if spilled.contains(cond) {
+            Rtl::Jcc { cond, .. }
+                if spilled.contains(cond) => {
                     uses.push(*cond);
                 }
-            }
             _ => {}
         }
         for r in uses {

@@ -327,7 +327,7 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
     for &bid in dom.rpo() {
         let b = f.block(bid);
         let check_use = |v: ValueId, at: usize, is_phi_from: Option<BlockId>| -> Result<(), String> {
-            if types.get(&v).is_none() {
+            if !types.contains_key(&v) {
                 return Err(format!("use of undefined value {v}"));
             }
             match def_site.get(&v) {

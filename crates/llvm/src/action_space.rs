@@ -56,10 +56,24 @@ impl ActionSpace {
 
     /// Applies action `i` to the module, returning whether it changed.
     ///
+    /// Every application accrues into the global per-pass profile
+    /// (invocations, cumulative wall time, instruction-count delta) and
+    /// emits a `pass:<name>` trace event, so `cg stats` can attribute
+    /// optimization time to individual passes.
+    ///
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn apply(&self, module: &mut cg_ir::Module, i: usize) -> bool {
-        self.passes[i].run(module)
+        let pass = &self.passes[i];
+        let before = module.inst_count() as i64;
+        let timer = cg_telemetry::Timer::start();
+        let changed = pass.run(module);
+        let dur = timer.elapsed();
+        let delta = module.inst_count() as i64 - before;
+        let tel = cg_telemetry::global();
+        tel.passes.get(&pass.name()).record(dur, changed, delta);
+        tel.trace.emit(format!("pass:{}", pass.name()), format!("delta={delta}"), dur);
+        changed
     }
 }
 

@@ -38,38 +38,36 @@ pub type PassRef = Arc<dyn Pass>;
 /// action space assembled from this registry.
 pub fn registry() -> Vec<PassRef> {
     use crate::passes::*;
-    let mut v: Vec<PassRef> = Vec::new();
-
-    // Scalar cleanups (12).
-    v.push(Arc::new(scalar::Dce));
-    v.push(Arc::new(scalar::Adce));
-    v.push(Arc::new(scalar::Die));
-    v.push(Arc::new(scalar::ConstFold));
-    v.push(Arc::new(scalar::InstCombine::full()));
-    v.push(Arc::new(scalar::InstCombine::simplify_only()));
-    v.push(Arc::new(scalar::Reassociate));
-    v.push(Arc::new(scalar::EarlyCse));
-    v.push(Arc::new(scalar::EarlyCseMemssa));
-    v.push(Arc::new(scalar::Sink));
-    v.push(Arc::new(scalar::PhiSimplify));
-    v.push(Arc::new(scalar::StrengthReduce));
-
-    // CFG (9).
-    v.push(Arc::new(cfg::SimplifyCfg::default()));
-    v.push(Arc::new(cfg::SimplifyCfg::aggressive()));
-    v.push(Arc::new(cfg::RemoveUnreachable));
-    v.push(Arc::new(cfg::MergeBlocks));
-    v.push(Arc::new(cfg::FoldBranches));
-    v.push(Arc::new(cfg::LowerSwitch));
-    v.push(Arc::new(cfg::JumpThreading));
-    v.push(Arc::new(cfg::BreakCritEdges));
-    v.push(Arc::new(cfg::MergeReturn));
-
-    // Memory (4 + 8 SROA granularities).
-    v.push(Arc::new(memory::Mem2Reg));
-    v.push(Arc::new(memory::Dse));
-    v.push(Arc::new(memory::GlobalOpt));
-    v.push(Arc::new(memory::LoadElim));
+    let mut v: Vec<PassRef> = vec![
+        // Scalar cleanups (12).
+        Arc::new(scalar::Dce),
+        Arc::new(scalar::Adce),
+        Arc::new(scalar::Die),
+        Arc::new(scalar::ConstFold),
+        Arc::new(scalar::InstCombine::full()),
+        Arc::new(scalar::InstCombine::simplify_only()),
+        Arc::new(scalar::Reassociate),
+        Arc::new(scalar::EarlyCse),
+        Arc::new(scalar::EarlyCseMemssa),
+        Arc::new(scalar::Sink),
+        Arc::new(scalar::PhiSimplify),
+        Arc::new(scalar::StrengthReduce),
+        // CFG (9).
+        Arc::new(cfg::SimplifyCfg::default()),
+        Arc::new(cfg::SimplifyCfg::aggressive()),
+        Arc::new(cfg::RemoveUnreachable),
+        Arc::new(cfg::MergeBlocks),
+        Arc::new(cfg::FoldBranches),
+        Arc::new(cfg::LowerSwitch),
+        Arc::new(cfg::JumpThreading),
+        Arc::new(cfg::BreakCritEdges),
+        Arc::new(cfg::MergeReturn),
+        // Memory (4 + 8 SROA granularities below).
+        Arc::new(memory::Mem2Reg),
+        Arc::new(memory::Dse),
+        Arc::new(memory::GlobalOpt),
+        Arc::new(memory::LoadElim),
+    ];
     for max in [4u32, 6, 8, 12, 16, 24, 32, 64] {
         v.push(Arc::new(memory::Sroa::with_max_slots(max)));
     }

@@ -101,9 +101,9 @@ impl Pass for LoopSimplify {
                                     .collect(),
                             )
                         };
-                        let unified: Operand = if outside_incs.len() == 1 {
-                            outside_incs[0].1
-                        } else if outside_incs
+                        // A single incoming value (or several that agree)
+                        // needs no merge φ.
+                        let unified: Operand = if outside_incs
                             .iter()
                             .all(|(_, v)| *v == outside_incs[0].1)
                         {
@@ -1030,9 +1030,8 @@ mod tests {
 
     #[test]
     fn indvars_computes_exit_value() {
-        let mut m = counted(10);
-        // The loop's return is `acc`, not `i` — extend: return acc + i.
-        // Build a fresh module that returns i after the loop.
+        // `counted`'s loop returns `acc`, not `i` — build a module that
+        // returns `i` after the loop so indvars can rewrite the exit value.
         let mut mb = ModuleBuilder::new("t");
         let mut fb = mb.begin_function("main", &[], Type::I64);
         let entry = fb.current_block();
@@ -1051,7 +1050,7 @@ mod tests {
         fb.switch_to(exit);
         fb.ret(Some(i));
         fb.finish();
-        m = mb.finish();
+        let mut m = mb.finish();
         let before = run_main(&m, &ExecLimits::default()).unwrap();
         assert_eq!(before.ret.unwrap().as_int(), Some(10));
         assert!(IndVarSimplify.run(&mut m));

@@ -149,7 +149,7 @@ impl Pass for Adce {
                 let block = f.block_mut(bid);
                 let before = block.insts.len();
                 block.insts.retain(|inst| match inst.dest {
-                    Some(d) => !(inst.is_removable_if_unused() && !live.contains(&d)),
+                    Some(d) => !inst.is_removable_if_unused() || live.contains(&d),
                     None => true,
                 });
                 removed |= block.insts.len() != before;
@@ -257,16 +257,14 @@ impl InstCombine {
                             return Some(int(0));
                         }
                     }
-                    Div => {
-                        if yc == Some(1) {
+                    Div
+                        if yc == Some(1) => {
                             return Some(*x);
                         }
-                    }
-                    Rem => {
-                        if yc == Some(1) {
+                    Rem
+                        if yc == Some(1) => {
                             return Some(int(0));
                         }
-                    }
                     And => {
                         if x == y {
                             return Some(*x);
@@ -322,11 +320,10 @@ impl InstCombine {
                             return Some(*y);
                         }
                     }
-                    FDiv => {
-                        if y.as_const() == Some(Constant::Float(1.0)) {
+                    FDiv
+                        if y.as_const() == Some(Constant::Float(1.0)) => {
                             return Some(*x);
                         }
-                    }
                     _ => {}
                 }
                 None

@@ -126,11 +126,10 @@ fn sccp_solve(
             }
             // Mark successor edges executable.
             match &block.term {
-                Terminator::Br { target } => {
-                    if !executable.contains(target) {
+                Terminator::Br { target }
+                    if !executable.contains(target) => {
                         block_queue.push_back(*target);
                     }
-                }
                 Terminator::CondBr { cond, on_true, on_false } => {
                     match op_lattice(&values, cond) {
                         Lattice::Const(Constant::Bool(true)) => {

@@ -137,7 +137,7 @@ pub fn apply_substitutions(f: &mut Function, subs: Vec<(ValueId, Operand)>) {
     let mut resolved: HashMap<ValueId, Operand> = HashMap::new();
     #[allow(clippy::mutable_key_type)]
     let mut cyclic: std::collections::HashSet<ValueId> = std::collections::HashSet::new();
-    for (&k, _) in &map {
+    for &k in map.keys() {
         let mut seen = vec![k];
         let mut o = map[&k];
         loop {

@@ -234,7 +234,8 @@ pub fn train_dqn(
     let mut target = q.clone();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Replay: (s, a, r, s', priority).
-    let mut replay: Vec<(Vec<f32>, usize, f32, Vec<f32>, f32)> = Vec::new();
+    type Transition = (Vec<f32>, usize, f32, Vec<f32>, f32);
+    let mut replay: Vec<Transition> = Vec::new();
     let mut curve = Vec::new();
     for ep in 0..cfg.episodes {
         let eps = (1.0 - ep as f64 / cfg.episodes.max(1) as f64).max(0.05) as f32;

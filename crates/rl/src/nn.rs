@@ -51,13 +51,13 @@ impl Linear {
 
     fn forward(&self, x: &[f32]) -> Vec<f32> {
         let mut y = self.b.clone();
-        for o in 0..self.fan_out {
+        for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.w[o * self.fan_in..(o + 1) * self.fan_in];
             let mut acc = 0.0;
             for (wi, xi) in row.iter().zip(x) {
                 acc += wi * xi;
             }
-            y[o] += acc;
+            *yo += acc;
         }
         y
     }
@@ -65,8 +65,7 @@ impl Linear {
     /// Accumulates grads for dL/dy, returning dL/dx.
     fn backward(&mut self, x: &[f32], dy: &[f32]) -> Vec<f32> {
         let mut dx = vec![0.0; self.fan_in];
-        for o in 0..self.fan_out {
-            let g = dy[o];
+        for (o, &g) in dy.iter().enumerate().take(self.fan_out) {
             self.gb[o] += g;
             let row = o * self.fan_in;
             for i in 0..self.fan_in {

@@ -1,0 +1,903 @@
+//! Telemetry primitives for the CompilerGym stack.
+//!
+//! Everything here is designed for hot paths: recording a latency sample or
+//! bumping a counter is a handful of relaxed atomic operations, with no
+//! allocation and no locking once a metric handle exists. Keyed metric
+//! families take a short read-lock to resolve a name to a handle; callers on
+//! hot paths should resolve once and reuse the `Arc`.
+//!
+//! The crate exposes:
+//!
+//! - [`Counter`] / [`Gauge`] / [`FloatSum`] — scalar atomics.
+//! - [`Histogram`] — a log-linear atomic histogram over microsecond values
+//!   with ~6% worst-case quantile error (16 sub-buckets per power of two).
+//! - [`Family`] — name-keyed lazily-created metric instances.
+//! - [`PassTable`] — per-compiler-pass call counts, cumulative wall time,
+//!   and instruction-count deltas.
+//! - [`TraceBuffer`] — a bounded ring of structured [`TraceEvent`]s with
+//!   JSON-lines export.
+//! - [`Telemetry`] — the registry tying the above together, with a process
+//!   [`global`] instance, [`Telemetry::snapshot`] into the serializable
+//!   [`TelemetrySnapshot`], and [`Telemetry::reset`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Scalar metrics
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A value that can go up and down (e.g. requests currently in flight).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// A lock-free accumulating `f64` sum (compare-exchange on the bit pattern).
+#[derive(Debug, Default)]
+pub struct FloatSum(AtomicU64);
+
+impl FloatSum {
+    /// Creates a sum at `0.0` (whose bit pattern is all zeroes).
+    pub const fn new() -> FloatSum {
+        FloatSum(AtomicU64::new(0))
+    }
+
+    /// Adds `x` to the sum.
+    pub fn add(&self, x: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current sum.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Zeroes the sum.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Values below 16 get exact buckets; above, each power of two splits into
+/// `SUBBUCKETS` linear sub-buckets, bounding relative quantile error by
+/// `1/SUBBUCKETS`.
+const SUBBUCKETS: usize = 16;
+/// Bucket count covering the full `u64` range: 16 exact + 60 exponent groups.
+const BUCKETS: usize = SUBBUCKETS + (64 - 4) * SUBBUCKETS;
+
+/// A concurrent log-linear histogram of `u64` samples (microseconds by
+/// convention throughout this workspace).
+///
+/// Recording is wait-free aside from the `fetch_min`/`fetch_max` used to keep
+/// exact extremes. Quantiles are computed on demand by walking bucket counts;
+/// under concurrent recording they are a consistent-enough approximation, not
+/// a linearizable snapshot.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v < SUBBUCKETS as u64 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros() as usize; // >= 4 here
+        let sub = ((v >> (exp - 4)) & (SUBBUCKETS as u64 - 1)) as usize;
+        (exp - 3) * SUBBUCKETS + sub
+    }
+
+    /// A representative (midpoint) value for a bucket index.
+    fn bucket_value(i: usize) -> u64 {
+        if i < SUBBUCKETS {
+            return i as u64;
+        }
+        let exp = i / SUBBUCKETS + 3;
+        let sub = (i % SUBBUCKETS) as u64;
+        let base = 1u64 << exp;
+        let width = 1u64 << (exp - 4);
+        base + sub * width + width / 2
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact minimum sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Exact maximum sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), or 0 if empty. The returned
+    /// value is exact for samples below 16 and within ~6% above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max();
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Clamp into the exactly-tracked extremes so p99 never
+                // exceeds max nor p0 undercuts min.
+                return Self::bucket_value(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Zeroes all buckets and statistics.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Captures the summary statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum_micros: self.sum(),
+            mean_micros: if count == 0 { 0.0 } else { self.sum() as f64 / count as f64 },
+            min_micros: self.min(),
+            p50_micros: self.quantile(0.50),
+            p90_micros: self.quantile(0.90),
+            p99_micros: self.quantile(0.99),
+            max_micros: self.max(),
+        }
+    }
+}
+
+/// Summary statistics of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_micros: u64,
+    pub mean_micros: f64,
+    pub min_micros: u64,
+    pub p50_micros: u64,
+    pub p90_micros: u64,
+    pub p99_micros: u64,
+    pub max_micros: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Keyed families
+// ---------------------------------------------------------------------------
+
+/// A name-keyed family of metrics, created lazily on first use.
+#[derive(Debug, Default)]
+pub struct Family<T> {
+    inner: RwLock<HashMap<String, Arc<T>>>,
+}
+
+impl<T: Default> Family<T> {
+    /// Creates an empty family.
+    pub fn new() -> Family<T> {
+        Family { inner: RwLock::new(HashMap::new()) }
+    }
+
+    /// Returns the metric for `key`, creating it on first use. Hot paths
+    /// should cache the returned `Arc` rather than re-resolving per event.
+    pub fn get(&self, key: &str) -> Arc<T> {
+        if let Some(m) = self.inner.read().get(key) {
+            return Arc::clone(m);
+        }
+        let mut w = self.inner.write();
+        Arc::clone(w.entry(key.to_string()).or_insert_with(|| Arc::new(T::default())))
+    }
+
+    /// Visits every `(key, metric)` pair.
+    pub fn for_each(&self, mut f: impl FnMut(&str, &T)) {
+        for (k, v) in self.inner.read().iter() {
+            f(k, v);
+        }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-pass profiling
+// ---------------------------------------------------------------------------
+
+/// Accumulated profile of one compiler pass across all invocations.
+#[derive(Debug, Default)]
+pub struct PassStats {
+    calls: Counter,
+    total_micros: Counter,
+    changed: Counter,
+    inst_delta: AtomicI64,
+}
+
+impl PassStats {
+    /// Records one invocation: its wall time, whether it changed the module,
+    /// and the signed instruction-count delta it caused.
+    pub fn record(&self, wall: Duration, changed: bool, inst_delta: i64) {
+        self.calls.inc();
+        self.total_micros.add(wall.as_micros().min(u64::MAX as u128) as u64);
+        if changed {
+            self.changed.inc();
+        }
+        self.inst_delta.fetch_add(inst_delta, Ordering::Relaxed);
+    }
+
+    /// Captures the summary.
+    pub fn snapshot(&self) -> PassSnapshot {
+        PassSnapshot {
+            calls: self.calls.get(),
+            total_micros: self.total_micros.get(),
+            changed: self.changed.get(),
+            inst_delta: self.inst_delta.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.calls.reset();
+        self.total_micros.reset();
+        self.changed.reset();
+        self.inst_delta.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Summary of one pass in a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassSnapshot {
+    pub calls: u64,
+    pub total_micros: u64,
+    pub changed: u64,
+    pub inst_delta: i64,
+}
+
+/// Per-pass profiles keyed by pass name.
+pub type PassTable = Family<PassStats>;
+
+// ---------------------------------------------------------------------------
+// Trace events
+// ---------------------------------------------------------------------------
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Microseconds since process start when the span *ended*.
+    pub ts_micros: u64,
+    /// Span name, e.g. `step`, `observation:Autophase`, `pass:gvn`,
+    /// `service:restart`.
+    pub span: String,
+    /// Free-form context (benchmark id, action name, error text, ...).
+    pub detail: String,
+    /// Span duration in microseconds (0 for instantaneous events).
+    pub dur_micros: u64,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s. When full, the oldest events are
+/// dropped; `dropped()` reports how many.
+pub struct TraceBuffer {
+    events: Mutex<std::collections::VecDeque<TraceEvent>>,
+    capacity: usize,
+    dropped: Counter,
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> TraceBuffer {
+        TraceBuffer::with_capacity(65_536)
+    }
+}
+
+impl TraceBuffer {
+    /// Creates a ring holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            events: Mutex::new(std::collections::VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn emit(&self, span: impl Into<String>, detail: impl Into<String>, dur: Duration) {
+        let ev = TraceEvent {
+            ts_micros: now_micros(),
+            span: span.into(),
+            detail: detail.into(),
+            dur_micros: dur.as_micros().min(u64::MAX as u128) as u64,
+        };
+        let mut q = self.events.lock();
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.inc();
+        }
+        q.push_back(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Copies out the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Serializes the buffer as JSON lines (one event per line).
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&serde_json::to_string(&ev).expect("trace event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discards all buffered events and the dropped count.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+        self.dropped.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Episode-level environment statistics.
+#[derive(Debug, Default)]
+pub struct EpisodeStats {
+    /// Completed `reset()` calls.
+    pub episodes: Counter,
+    /// Completed `step()` calls.
+    pub steps: Counter,
+    /// Actions applied (one step may apply several).
+    pub actions_total: Counter,
+    /// Actions that actually mutated the program state.
+    pub actions_changed: Counter,
+    /// Sum of all step rewards.
+    pub reward_sum: FloatSum,
+    /// `reset()` wall time.
+    pub reset_wall: Histogram,
+    /// `step()` wall time.
+    pub step_wall: Histogram,
+    /// `fork()` wall time.
+    pub fork_wall: Histogram,
+}
+
+impl EpisodeStats {
+    /// Captures the summary.
+    pub fn snapshot(&self) -> EpisodeSnapshot {
+        EpisodeSnapshot {
+            episodes: self.episodes.get(),
+            steps: self.steps.get(),
+            actions_total: self.actions_total.get(),
+            actions_changed: self.actions_changed.get(),
+            reward_sum: self.reward_sum.get(),
+            reset_wall: self.reset_wall.snapshot(),
+            step_wall: self.step_wall.snapshot(),
+            fork_wall: self.fork_wall.snapshot(),
+        }
+    }
+
+    fn reset(&self) {
+        self.episodes.reset();
+        self.steps.reset();
+        self.actions_total.reset();
+        self.actions_changed.reset();
+        self.reward_sum.reset();
+        self.reset_wall.reset();
+        self.step_wall.reset();
+        self.fork_wall.reset();
+    }
+}
+
+/// Serializable form of [`EpisodeStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeSnapshot {
+    pub episodes: u64,
+    pub steps: u64,
+    pub actions_total: u64,
+    pub actions_changed: u64,
+    pub reward_sum: f64,
+    pub reset_wall: HistogramSnapshot,
+    pub step_wall: HistogramSnapshot,
+    pub fork_wall: HistogramSnapshot,
+}
+
+/// The telemetry registry for one process.
+///
+/// Most code uses the shared [`global`] instance; tests may build private
+/// instances with [`Telemetry::new`].
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Per-request-kind service latency (`Ping`, `Step`, ...).
+    pub requests: Family<Histogram>,
+    /// Per-request-kind error responses.
+    pub request_errors: Family<Counter>,
+    /// Service requests currently being processed.
+    pub in_flight: Gauge,
+    /// Requests that hit the client deadline.
+    pub timeouts: Counter,
+    /// Session panics caught by the service runtime.
+    pub panics: Counter,
+    /// Service restarts (explicit or transparent-recovery).
+    pub restarts: Counter,
+    /// Episode-level environment statistics.
+    pub episode: EpisodeStats,
+    /// Per-observation-space computation latency.
+    pub observations: Family<Histogram>,
+    /// Per-pass profiling table.
+    pub passes: PassTable,
+    /// Structured trace ring.
+    pub trace: TraceBuffer,
+}
+
+impl Telemetry {
+    /// Creates an empty registry.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Captures every metric into a serializable snapshot with deterministic
+    /// (sorted) key order.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut requests = BTreeMap::new();
+        self.requests.for_each(|k, h| {
+            requests.insert(k.to_string(), h.snapshot());
+        });
+        let mut request_errors = BTreeMap::new();
+        self.request_errors.for_each(|k, c| {
+            request_errors.insert(k.to_string(), c.get());
+        });
+        let mut observations = BTreeMap::new();
+        self.observations.for_each(|k, h| {
+            observations.insert(k.to_string(), h.snapshot());
+        });
+        let mut passes = BTreeMap::new();
+        self.passes.for_each(|k, p| {
+            passes.insert(k.to_string(), p.snapshot());
+        });
+        TelemetrySnapshot {
+            requests,
+            request_errors,
+            in_flight: self.in_flight.get(),
+            timeouts: self.timeouts.get(),
+            panics: self.panics.get(),
+            restarts: self.restarts.get(),
+            episode: self.episode.snapshot(),
+            observations,
+            passes,
+            trace_events: self.trace.len() as u64,
+            trace_dropped: self.trace.dropped(),
+        }
+    }
+
+    /// Zeroes every metric and clears the trace ring.
+    pub fn reset(&self) {
+        self.requests.for_each(|_, h| h.reset());
+        self.request_errors.for_each(|_, c| c.reset());
+        self.in_flight.reset();
+        self.timeouts.reset();
+        self.panics.reset();
+        self.restarts.reset();
+        self.episode.reset();
+        self.observations.for_each(|_, h| h.reset());
+        self.passes.for_each(|_, p| p.reset());
+        self.trace.clear();
+    }
+}
+
+/// Point-in-time capture of a [`Telemetry`] registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    pub requests: BTreeMap<String, HistogramSnapshot>,
+    pub request_errors: BTreeMap<String, u64>,
+    pub in_flight: i64,
+    pub timeouts: u64,
+    pub panics: u64,
+    pub restarts: u64,
+    pub episode: EpisodeSnapshot,
+    pub observations: BTreeMap<String, HistogramSnapshot>,
+    pub passes: BTreeMap<String, PassSnapshot>,
+    pub trace_events: u64,
+    pub trace_dropped: u64,
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+/// Microseconds elapsed since the first telemetry call in this process.
+pub fn now_micros() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Times a region and records it into a histogram (and optionally the trace
+/// ring) when dropped. Construct via [`Timer::start`].
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts timing.
+    pub fn start() -> Timer {
+        Timer { start: Instant::now() }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stops and records into `hist`, returning the elapsed duration.
+    pub fn observe(self, hist: &Histogram) -> Duration {
+        let d = self.start.elapsed();
+        hist.record_duration(d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_exact_below_sixteen() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn histogram_quantiles_on_uniform_distribution() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.50, 5_000.0), (0.90, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - want).abs() / want;
+            assert!(err < 0.07, "q={q}: got {got}, want ~{want}, err {err}");
+        }
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_and_reset() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum_micros, 400);
+        assert_eq!(s.mean_micros, 200.0);
+        assert_eq!(s.min_micros, 100);
+        assert_eq!(s.max_micros, 300);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_micros, 0);
+        assert_eq!(s.p50_micros, 0);
+    }
+
+    #[test]
+    fn histogram_concurrent_recording() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 79_999);
+        let total: u64 = (0..8u64).map(|t| (0..10_000).map(|i| t * 10_000 + i).sum::<u64>()).sum();
+        assert_eq!(h.sum(), total);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+
+        let f = FloatSum::new();
+        f.add(1.5);
+        f.add(-0.25);
+        assert!((f.get() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_sum_concurrent() {
+        let f = Arc::new(FloatSum::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        f.add(0.5);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(f.get(), 2000.0);
+    }
+
+    #[test]
+    fn family_reuses_instances() {
+        let fam: Family<Counter> = Family::new();
+        fam.get("a").inc();
+        fam.get("a").inc();
+        fam.get("b").inc();
+        assert_eq!(fam.get("a").get(), 2);
+        assert_eq!(fam.get("b").get(), 1);
+        let mut keys = Vec::new();
+        fam.for_each(|k, _| keys.push(k.to_string()));
+        keys.sort();
+        assert_eq!(keys, ["a", "b"]);
+    }
+
+    #[test]
+    fn trace_ring_bounds_and_jsonl() {
+        let t = TraceBuffer::with_capacity(4);
+        for i in 0..6 {
+            t.emit("step", format!("i={i}"), Duration::from_micros(i));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 2);
+        let events = t.events();
+        assert_eq!(events[0].detail, "i=2");
+        let jsonl = t.export_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        let back: TraceEvent = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(back, events[0]);
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrips_through_json() {
+        let t = Telemetry::new();
+        t.requests.get("Step").record(120);
+        t.request_errors.get("Step").inc();
+        t.panics.inc();
+        t.restarts.add(2);
+        t.episode.steps.add(7);
+        t.episode.reward_sum.add(3.5);
+        t.passes.get("gvn").record(Duration::from_micros(42), true, -5);
+        t.trace.emit("step", "b", Duration::from_micros(9));
+
+        let snap = t.snapshot();
+        assert_eq!(snap.requests["Step"].count, 1);
+        assert_eq!(snap.request_errors["Step"], 1);
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.restarts, 2);
+        assert_eq!(snap.episode.steps, 7);
+        assert_eq!(snap.passes["gvn"].calls, 1);
+        assert_eq!(snap.passes["gvn"].inst_delta, -5);
+        assert_eq!(snap.trace_events, 1);
+
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        t.reset();
+        let snap = t.snapshot();
+        assert_eq!(snap.panics, 0);
+        assert_eq!(snap.requests["Step"].count, 0);
+        assert_eq!(snap.passes["gvn"].calls, 0);
+        assert_eq!(snap.trace_events, 0);
+    }
+
+    #[test]
+    fn timer_observes_into_histogram() {
+        let h = Histogram::new();
+        let t = Timer::start();
+        std::thread::sleep(Duration::from_millis(1));
+        let d = t.observe(&h);
+        assert!(d >= Duration::from_millis(1));
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 1000);
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small API surface the workspace's `harness = false` bench
+//! targets use: `Criterion::benchmark_group`, `sample_size`, `bench_function`
+//! with `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Reports mean wall time per iteration; no statistics, plots, or comparison
+//! baselines. When invoked by `cargo test` (which passes `--test` to
+//! `harness = false` targets) the generated `main` exits without running
+//! benchmarks, so the test suite stays fast.
+
+use std::time::Instant;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { samples: 10 }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 0, elapsed_ns: 0 };
+        // One untimed warm-up pass, then the timed samples.
+        f(&mut b);
+        b.iters = 0;
+        b.elapsed_ns = 0;
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        let mean_ns = if b.iters == 0 { 0 } else { b.elapsed_ns / b.iters as u128 };
+        println!("  {name}: {} ns/iter ({} iters)", mean_ns, b.iters);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+    }
+}
+
+/// Best-effort optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// True when the binary was launched by `cargo test` rather than
+/// `cargo bench` (cargo passes `--test` to `harness = false` targets).
+pub fn invoked_as_test() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::invoked_as_test() {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_samples() {
+        benches();
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates registry, so the workspace vendors
+//! the API subset it uses: the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`), [`SeedableRng::seed_from_u64`], a deterministic
+//! [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), the
+//! [`rngs::mock::StepRng`] used in tests, and [`thread_rng`].
+//!
+//! Streams differ from upstream rand (which uses ChaCha12 for `StdRng`);
+//! everything in this workspace only relies on determinism-per-seed, not on
+//! specific draw values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types samplable uniformly over their whole domain (the `Standard`
+/// distribution of upstream rand).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        // 24 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[low, high)`; `high > low` checked by the caller.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                // Lemire multiply-shift: unbiased enough for simulation use.
+                let span = (high as i128 - low as i128) as u128;
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+        low + f64::sample(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: f32, high: f32) -> f32 {
+        low + f32::sample(rng) * (high - low)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_range_inclusive_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128 + 1) as u128;
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_inclusive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing extension trait: sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of `T` over its full domain (`Standard` distribution).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a range (`0..n` or `1..=k`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    pub mod mock {
+        //! Deterministic mock generators for tests.
+
+        use super::super::RngCore;
+
+        /// Yields `start`, `start + incr`, `start + 2*incr`, … (wrapping).
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            next: u64,
+            incr: u64,
+        }
+
+        impl StepRng {
+            /// Creates a stepping generator.
+            pub fn new(start: u64, incr: u64) -> StepRng {
+                StepRng { next: start, incr }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let v = self.next;
+                self.next = self.next.wrapping_add(self.incr);
+                v
+            }
+        }
+    }
+}
+
+/// A non-deterministically seeded generator (fresh stream per call).
+#[derive(Debug, Clone)]
+pub struct ThreadRng(rngs::StdRng);
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Returns a generator seeded from the clock and a process-wide counter.
+pub fn thread_rng() -> ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    ThreadRng(rngs::StdRng::seed_from_u64(nanos ^ n.rotate_left(32) ^ 0x5DEE_CE66))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, (0..8).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0usize..124);
+            assert!(v < 124);
+            let w = rng.gen_range(1u32..=4);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen();
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut r = StepRng::new(0, 1 << 40);
+        assert_eq!(r.next_u64(), 0);
+        assert_eq!(r.next_u64(), 1 << 40);
+        // Small multiply-shift ranges map early steps to 0.
+        assert_eq!(StepRng::new(0, 1 << 40).gen_range(0usize..2), 0);
+    }
+}

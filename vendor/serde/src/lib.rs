@@ -1,0 +1,498 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates registry, so the workspace vendors a
+//! minimal serialization framework with serde's surface syntax: a
+//! [`Serialize`]/[`Deserialize`] trait pair (re-exported alongside derive
+//! macros of the same names) built around an in-memory JSON value tree
+//! ([`value::Value`]) instead of serde's streaming data model. The sibling
+//! vendored `serde_json` prints and parses that tree.
+//!
+//! The wire format matches real serde_json conventions for every shape this
+//! workspace uses: structs as objects, newtype structs as their payload,
+//! unit enum variants as strings, data-carrying variants as single-key
+//! objects, `Option` as value-or-null, and integer map keys as strings.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The in-memory value tree all (de)serialization goes through.
+
+    /// A JSON-shaped value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A negative or small signed integer.
+        Int(i64),
+        /// A non-negative integer (kept exact beyond 2^53, e.g. state hashes).
+        UInt(u64),
+        /// A floating-point number.
+        Float(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object; insertion order is preserved.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// The array elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The string content, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Looks up an object key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        /// A short description of the value's kind, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Int(_) | Value::UInt(_) => "integer",
+                Value::Float(_) => "number",
+                Value::Str(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+}
+
+use value::Value;
+
+/// A deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible to the value tree.
+pub trait Serialize {
+    /// Converts to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the value tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds from a [`Value`].
+    ///
+    /// # Errors
+    /// [`DeError`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived code: extracts and deserializes an object field.
+/// A missing key deserializes from `Null` so `Option` fields default to
+/// `None`, mirroring serde's behaviour.
+///
+/// # Errors
+/// [`DeError`] naming the field on a shape mismatch or missing mandatory
+/// field.
+pub fn field<T: Deserialize>(
+    obj: &[(String, Value)],
+    key: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError(format!("field `{key}`: {e}")))
+        }
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError(format!("missing field `{key}`"))),
+    }
+}
+
+// --- primitive impls --------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::new("expected single-char string"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    other => {
+                        return Err(DeError(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    other => {
+                        return Err(DeError(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+// --- composite impls --------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError(format!("expected array, got {}", v.kind())))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), DeError> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| DeError(format!("expected tuple array, got {}", v.kind())))?;
+                const LEN: usize = [$($n),+].len();
+                if arr.len() != LEN {
+                    return Err(DeError(format!(
+                        "expected tuple of {LEN}, got array of {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Map key types: JSON object keys are strings, so integer keys round-trip
+/// through their decimal representation (serde_json's convention).
+pub trait MapKey: Sized {
+    /// Renders the key.
+    fn to_key(&self) -> String;
+    /// Parses the key.
+    ///
+    /// # Errors
+    /// [`DeError`] when the string is not a valid key of this type.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<String, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<$t, DeError> {
+                s.parse().map_err(|_| DeError(format!("bad integer key `{s}`")))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError(format!("expected map object, got {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError(format!("expected map object, got {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(_: &Value) -> Result<(), DeError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::*;
+
+    #[test]
+    fn option_and_missing_field_semantics() {
+        let obj = vec![("present".to_string(), Value::UInt(3))];
+        let p: Option<u64> = field(&obj, "present").unwrap();
+        let a: Option<u64> = field(&obj, "absent").unwrap();
+        assert_eq!(p, Some(3));
+        assert_eq!(a, None);
+        let e: Result<u64, _> = field(&obj, "absent");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let big = u64::MAX - 7;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn tuples_and_vecs_round_trip() {
+        let x: Vec<(u32, i64)> = vec![(1, -2), (3, -4)];
+        let v = x.to_value();
+        assert_eq!(<Vec<(u32, i64)>>::from_value(&v).unwrap(), x);
+    }
+
+    #[test]
+    fn hashmap_int_keys_become_strings() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(42u64, "x".to_string());
+        let v = m.to_value();
+        assert_eq!(v.get("42").and_then(Value::as_str), Some("x"));
+        let back: std::collections::HashMap<u64, String> =
+            Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,394 @@
+//! Derive macros for the vendored value-tree serde.
+//!
+//! Hand-rolled over `proc_macro` token trees (the environment has no
+//! `syn`/`quote`). Supports the shapes this workspace derives: non-generic
+//! structs (named, tuple, unit) and enums (unit, tuple and struct
+//! variants). The generated impls target the vendored `serde` crate's
+//! `to_value`/`from_value` traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serialize codegen must parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("deserialize codegen must parse")
+}
+
+// --- item model -------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// --- parsing ----------------------------------------------------------------
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(it: &mut Iter) {
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next();
+        // Outer attribute body: `[...]`.
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde derive: malformed attribute near {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(it: &mut Iter) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next(); // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it: Iter = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stub: generic type `{name}` is not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match it.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item { name, shape: Shape::Struct(fields) }
+        }
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: expected enum body, got {other:?}"),
+            };
+            Item { name, shape: Shape::Enum(parse_variants(body)) }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Consumes tokens of one type expression: everything up to a comma at
+/// zero angle-bracket depth. Grouped tokens (parens, brackets) arrive as
+/// single trees, so only `<`/`>` need counting.
+fn skip_type(it: &mut Iter) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = it.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+        it.next();
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Fields {
+    let mut names = Vec::new();
+    let mut it: Iter = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("serde derive: expected field name, got {tt:?}");
+        };
+        names.push(field.to_string());
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&mut it);
+        // Consume the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+    }
+    Fields::Named(names)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut it: Iter = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut it);
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut it: Iter = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde derive: expected variant name, got {tt:?}");
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                it.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                it.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '=' {
+                it.next();
+                skip_type(&mut it);
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+        variants.push((name.to_string(), fields));
+    }
+    variants
+}
+
+// --- codegen ----------------------------------------------------------------
+
+const V: &str = "::serde::value::Value";
+
+fn named_fields_to_object(names: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("{V}::Object(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => format!("{V}::Null"),
+        Shape::Struct(Fields::Named(fields)) => named_fields_to_object(fields, "&self."),
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("{V}::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = Vec::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => {V}::Str(::std::string::String::from(\"{vname}\"))"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(__f0) => {V}::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::to_value(__f0))])"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => {V}::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             {V}::Array(::std::vec![{}]))])",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let obj = named_fields_to_object(fs, "");
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => {V}::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {obj})])"
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {V} {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_from_object(names: &[String], obj_var: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| format!("{f}: ::serde::field({obj_var}, \"{f}\")?"))
+        .collect();
+    fields.join(", ")
+}
+
+fn tuple_from_array(n: usize, ty: &str, arr_var: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{arr_var}[{i}])?"))
+        .collect();
+    format!(
+        "if {arr_var}.len() != {n} {{ \
+         return ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+         \"expected {n} elements for {ty}, got {{}}\", {arr_var}.len()))); }} \
+         {ty}({})",
+        elems.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Shape::Struct(Fields::Named(fields)) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::new(\
+             ::std::format!(\"expected object for {name}, got {{}}\", __v.kind())))?;\n\
+             ::std::result::Result::Ok({name} {{ {} }})",
+            named_fields_from_object(fields, "__obj")
+        ),
+        Shape::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Struct(Fields::Tuple(n)) => format!(
+            "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::new(\
+             ::std::format!(\"expected array for {name}, got {{}}\", __v.kind())))?;\n\
+             ::std::result::Result::Ok({{ {} }})",
+            tuple_from_array(*n, name, "__arr")
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname})"
+                    )),
+                    Fields::Tuple(1) => data_arms.push(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__pv)?))"
+                    )),
+                    Fields::Tuple(n) => data_arms.push(format!(
+                        "\"{vname}\" => {{ \
+                         let __arr = __pv.as_array().ok_or_else(|| ::serde::DeError::new(\
+                         \"expected array payload for {name}::{vname}\"))?; \
+                         ::std::result::Result::Ok({{ {} }}) }}",
+                        tuple_from_array(*n, &format!("{name}::{vname}"), "__arr")
+                    )),
+                    Fields::Named(fs) => data_arms.push(format!(
+                        "\"{vname}\" => {{ \
+                         let __obj = __pv.as_object().ok_or_else(|| ::serde::DeError::new(\
+                         \"expected object payload for {name}::{vname}\"))?; \
+                         ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                        named_fields_from_object(fs, "__obj")
+                    )),
+                }
+            }
+            let unit_match = format!(
+                "match __s.as_str() {{ {}{} __other => ::std::result::Result::Err(\
+                 ::serde::DeError::new(::std::format!(\
+                 \"unknown {name} variant `{{__other}}`\"))) }}",
+                unit_arms.join(", "),
+                if unit_arms.is_empty() { "" } else { "," }
+            );
+            let data_match = format!(
+                "match __k.as_str() {{ {}{} __other => ::std::result::Result::Err(\
+                 ::serde::DeError::new(::std::format!(\
+                 \"unknown {name} variant `{{__other}}`\"))) }}",
+                data_arms.join(", "),
+                if data_arms.is_empty() { "" } else { "," }
+            );
+            format!(
+                "match __v {{\n\
+                 {V}::Str(__s) => {unit_match},\n\
+                 {V}::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__k, __pv) = &__o[0];\n\
+                 {data_match}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"expected {name} variant, got {{}}\", __other.kind())))\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &{V}) -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
