@@ -10,6 +10,7 @@
 //! cg datasets                               list benchmark datasets
 //! cg stats [--json] <env> <benchmark> <steps>   episode + telemetry report
 //! cg trace <env> <benchmark> <steps>        episode + JSONL trace dump
+//! cg chaos [flags]                          soak episodes under fault injection
 //! ```
 
 use std::process::ExitCode;
@@ -18,7 +19,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cg describe <env>\n  cg random <env> <benchmark> <steps>\n  \
          cg replay <state.json>\n  cg validate <state.json>\n  cg datasets\n  \
-         cg stats [--json] <env> <benchmark> <steps>\n  cg trace <env> <benchmark> <steps>"
+         cg stats [--json] <env> <benchmark> <steps>\n  cg trace <env> <benchmark> <steps>\n  \
+         cg chaos [--episodes N] [--steps N] [--seed S] [--panic P] [--hang P]\n           \
+         [--error P] [--corrupt P] [--timeout-ms MS] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -55,6 +58,7 @@ fn main() -> ExitCode {
                 stats(&env, &bench, steps, json)
             }
         }
+        Some("chaos") => chaos(&args[1..]),
         Some("datasets") => {
             for d in cg_datasets::datasets() {
                 println!(
@@ -260,6 +264,195 @@ fn trace(env_id: &str, benchmark: &str, steps: usize) -> Result<(), Box<dyn std:
     run_episode(env_id, benchmark, steps)?;
     print!("{}", tel.trace.export_jsonl());
     Ok(())
+}
+
+/// The `cg chaos` soak harness: run llvm-v0 episodes with a seeded fault
+/// load (injected panics, hangs, backend errors, corrupted replies) and
+/// report how many faults the runtime recovered from transparently. Exits
+/// non-zero when any episode failed in a way recovery should have absorbed.
+fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use cg_core::chaos::FaultPlan;
+    use cg_core::retry::splitmix64;
+    use std::time::Duration;
+
+    let mut episodes: u64 = 20;
+    let mut steps: u64 = 10;
+    let mut seed: u64 = 7;
+    let mut panic_prob = 0.04;
+    let mut hang_prob = 0.02;
+    let mut error_prob = 0.0;
+    let mut corrupt_prob = 0.0;
+    let mut timeout_ms: u64 = 400;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next().ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--episodes" => episodes = val("--episodes")?.parse()?,
+            "--steps" => steps = val("--steps")?.parse()?,
+            "--seed" => seed = val("--seed")?.parse()?,
+            "--panic" => panic_prob = val("--panic")?.parse()?,
+            "--hang" => hang_prob = val("--hang")?.parse()?,
+            "--error" => error_prob = val("--error")?.parse()?,
+            "--corrupt" => corrupt_prob = val("--corrupt")?.parse()?,
+            "--timeout-ms" => timeout_ms = val("--timeout-ms")?.parse()?,
+            "--json" => json = true,
+            other => return Err(format!("unknown chaos flag `{other}`").into()),
+        }
+    }
+
+    // Injected panics are expected here; keep their default backtrace spew
+    // out of the soak output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if !msg.starts_with("chaos:") {
+            prev_hook(info);
+        }
+    }));
+
+    let tel = cg_telemetry::global();
+    tel.reset();
+    let timeout = Duration::from_millis(timeout_ms.max(50));
+    // Hangs must exceed the client deadline to register as faults; the
+    // budget guarantees an adversarial plan eventually lets recovery win.
+    let plan = FaultPlan::seeded(seed)
+        .with_panic_prob(panic_prob)
+        .with_hang_prob(hang_prob)
+        .with_error_prob(error_prob)
+        .with_corrupt_prob(corrupt_prob)
+        .with_hang_duration(timeout * 6)
+        .with_max_faults(episodes.saturating_mul(2).max(4));
+    let inner = cg_core::envs::session_factory("llvm-v0").map_err(cg_core::CgError::Unknown)?;
+    let (factory, stats) = plan.wrap(inner);
+    let mut env = cg_core::CompilerEnv::with_factory(
+        "llvm-v0",
+        factory,
+        "benchmark://cbench-v1/qsort",
+        "Autophase",
+        "IrInstructionCount",
+        timeout,
+    )?;
+    env.set_retry_policy(
+        cg_core::RetryPolicy::default()
+            .with_max_attempts(10)
+            .with_backoff(Duration::from_millis(5), Duration::from_millis(200)),
+    );
+
+    const BENCHMARKS: [&str; 4] = [
+        "benchmark://cbench-v1/qsort",
+        "benchmark://cbench-v1/crc32",
+        "benchmark://cbench-v1/sha",
+        "benchmark://cbench-v1/bitcount",
+    ];
+    let mut completed = 0u64;
+    let mut session_errors = 0u64;
+    let mut unrecovered: Vec<String> = Vec::new();
+    for ep in 0..episodes {
+        env.set_benchmark(BENCHMARKS[(ep % BENCHMARKS.len() as u64) as usize]);
+        if let Err(e) = env.reset() {
+            unrecovered.push(format!("episode {ep}: reset: {e}"));
+            continue;
+        }
+        let n = env.action_space().len() as u64;
+        let mut ok = true;
+        for s in 0..steps {
+            let a = (splitmix64(seed ^ (ep * 1_000 + s).wrapping_mul(0x9E37)) % n) as usize;
+            match env.step(a) {
+                Ok(step) if step.done => break,
+                Ok(_) => {}
+                // Backend errors are legitimate episode outcomes, not
+                // recovery failures (only injected when --error is set).
+                Err(cg_core::CgError::Session(_)) => {
+                    session_errors += 1;
+                    ok = false;
+                    break;
+                }
+                Err(e) => {
+                    unrecovered.push(format!("episode {ep} step {s}: {e}"));
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            completed += 1;
+        }
+    }
+    let snap = tel.snapshot();
+
+    if json {
+        #[derive(serde::Serialize)]
+        struct ChaosReport {
+            episodes: u64,
+            completed: u64,
+            session_errors: u64,
+            unrecovered: Vec<String>,
+            injected_panics: u64,
+            injected_hangs: u64,
+            injected_errors: u64,
+            injected_corruptions: u64,
+            recoveries: u64,
+            restarts: u64,
+            replay_divergences: u64,
+            timeouts: u64,
+            service_panics: u64,
+        }
+        let report = ChaosReport {
+            episodes,
+            completed,
+            session_errors,
+            unrecovered: unrecovered.clone(),
+            injected_panics: stats.panics(),
+            injected_hangs: stats.hangs(),
+            injected_errors: stats.errors(),
+            injected_corruptions: stats.corruptions(),
+            recoveries: snap.recoveries,
+            restarts: snap.restarts,
+            replay_divergences: snap.replay_divergences,
+            timeouts: snap.timeouts,
+            service_panics: snap.panics,
+        };
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!("chaos soak: seed={seed} episodes={episodes} steps={steps}");
+        println!(
+            "injected faults: panics={} hangs={} errors={} corruptions={} \
+             ({} applies, {} observes)",
+            stats.panics(),
+            stats.hangs(),
+            stats.errors(),
+            stats.corruptions(),
+            stats.applies(),
+            stats.observes()
+        );
+        println!(
+            "recovery: recoveries={} restarts={} replay-divergences={} \
+             timeouts={} service-panics={}",
+            snap.recoveries, snap.restarts, snap.replay_divergences, snap.timeouts, snap.panics
+        );
+        println!(
+            "episodes: completed={completed}/{episodes} session-errors={session_errors} \
+             unrecovered={}",
+            unrecovered.len()
+        );
+        for line in &unrecovered {
+            println!("  UNRECOVERED {line}");
+        }
+    }
+    if unrecovered.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} unrecovered failure(s)", unrecovered.len()).into())
+    }
 }
 
 fn replay(path: Option<&str>, validate: bool) -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,455 @@
+//! Fault injection for the service runtime (the paper's robustness story,
+//! §IV-B, made testable): wrap *any* [`SessionFactory`] in a seeded
+//! [`FaultPlan`] that makes the underlying compiler panic, hang, error, or
+//! corrupt its replies on schedule or with configured probabilities.
+//!
+//! The wrapped factory is indistinguishable from a real backend to the rest
+//! of the stack, so the full recovery path — panic isolation, client
+//! deadlines, service restarts, and mid-episode action-replay restoration —
+//! is exercised exactly as it would be by a genuinely crashing compiler.
+//! `cg chaos` drives whole episodes under an injected fault load and reports
+//! recovery statistics from the telemetry snapshot; the integration and
+//! property tests use scheduled faults for deterministic crash points.
+//!
+//! Fault decisions are pure functions of `(seed, event index)`, so a chaos
+//! run is reproducible: the same seed injects the same faults at the same
+//! points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::retry::{splitmix64, unit_f64};
+use crate::service::SessionFactory;
+use crate::session::{ActionOutcome, CompilationSession};
+use crate::space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
+
+/// The kinds of fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside `apply_action` (a compiler crash; the service destroys
+    /// the session and answers `Fatal`).
+    Panic,
+    /// Sleep for the plan's hang duration inside `apply_action` (a wedged
+    /// compiler; the client deadline expires and the service is restarted).
+    Hang,
+    /// Return an error from `apply_action` (a compile failure; surfaced to
+    /// the caller as a session error, by design not recovered).
+    Error,
+    /// Corrupt the next observation's value (a wrong-but-well-formed reply;
+    /// detectable only by the replay consistency check).
+    CorruptReply,
+}
+
+/// A seeded description of which faults to inject and when.
+///
+/// Faults fire either at scheduled *apply indices* (the running count of
+/// `apply_action` calls across every session the wrapped factory produced —
+/// replayed actions count too) or at random with the configured per-apply
+/// probabilities. `CorruptReply` probability is evaluated per `observe`
+/// call instead.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the deterministic fault sampler.
+    pub seed: u64,
+    /// Per-apply probability of an injected panic.
+    pub panic_prob: f64,
+    /// Per-apply probability of an injected hang.
+    pub hang_prob: f64,
+    /// Per-apply probability of an injected session error.
+    pub error_prob: f64,
+    /// Per-observe probability of a corrupted reply.
+    pub corrupt_prob: f64,
+    /// How long an injected hang sleeps. Must exceed the client deadline to
+    /// be observable as a fault.
+    pub hang: Duration,
+    /// One-shot faults at exact global apply indices (0-based).
+    pub scheduled: Vec<(u64, FaultKind)>,
+    /// Total injection budget across the plan's lifetime; `None` is
+    /// unlimited. A budget guarantees an adversarial plan eventually lets
+    /// recovery succeed.
+    pub max_faults: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            panic_prob: 0.0,
+            hang_prob: 0.0,
+            error_prob: 0.0,
+            corrupt_prob: 0.0,
+            hang: Duration::from_secs(1),
+            scheduled: Vec::new(),
+            max_faults: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given sampler seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// Sets the per-apply panic probability.
+    #[must_use]
+    pub fn with_panic_prob(mut self, p: f64) -> FaultPlan {
+        self.panic_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-apply hang probability.
+    #[must_use]
+    pub fn with_hang_prob(mut self, p: f64) -> FaultPlan {
+        self.hang_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-apply session-error probability.
+    #[must_use]
+    pub fn with_error_prob(mut self, p: f64) -> FaultPlan {
+        self.error_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-observe corrupt-reply probability.
+    #[must_use]
+    pub fn with_corrupt_prob(mut self, p: f64) -> FaultPlan {
+        self.corrupt_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the injected hang duration.
+    #[must_use]
+    pub fn with_hang_duration(mut self, hang: Duration) -> FaultPlan {
+        self.hang = hang;
+        self
+    }
+
+    /// Schedules a one-shot fault at a global apply index.
+    #[must_use]
+    pub fn schedule(mut self, apply_index: u64, kind: FaultKind) -> FaultPlan {
+        self.scheduled.push((apply_index, kind));
+        self
+    }
+
+    /// Caps the total number of injected faults.
+    #[must_use]
+    pub fn with_max_faults(mut self, max: u64) -> FaultPlan {
+        self.max_faults = Some(max);
+        self
+    }
+
+    /// Wraps a session factory so every session it produces injects this
+    /// plan's faults. Returns the wrapped factory and a shared [`ChaosStats`]
+    /// handle counting what was actually injected.
+    #[must_use]
+    pub fn wrap(self, inner: SessionFactory) -> (SessionFactory, Arc<ChaosStats>) {
+        chaos_factory(inner, self)
+    }
+}
+
+/// Counters for what the injector actually did, shared across every session
+/// (and fork) produced by one wrapped factory.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    applies: AtomicU64,
+    observes: AtomicU64,
+    panics: AtomicU64,
+    hangs: AtomicU64,
+    errors: AtomicU64,
+    corruptions: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Total `apply_action` calls seen (including replayed actions).
+    pub fn applies(&self) -> u64 {
+        self.applies.load(Ordering::Relaxed)
+    }
+
+    /// Total `observe` calls seen.
+    pub fn observes(&self) -> u64 {
+        self.observes.load(Ordering::Relaxed)
+    }
+
+    /// Injected panics.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Injected hangs.
+    pub fn hangs(&self) -> u64 {
+        self.hangs.load(Ordering::Relaxed)
+    }
+
+    /// Injected session errors.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Injected corrupted replies.
+    pub fn corruptions(&self) -> u64 {
+        self.corruptions.load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected, all kinds.
+    pub fn injected(&self) -> u64 {
+        self.panics() + self.hangs() + self.errors() + self.corruptions()
+    }
+}
+
+struct ChaosShared {
+    plan: FaultPlan,
+    stats: Arc<ChaosStats>,
+}
+
+impl ChaosShared {
+    fn budget_left(&self) -> bool {
+        self.plan.max_faults.is_none_or(|max| self.stats.injected() < max)
+    }
+
+    /// Decides the fault (if any) for the next `apply_action`, advancing the
+    /// global apply counter.
+    fn fault_for_apply(&self) -> Option<FaultKind> {
+        let idx = self.stats.applies.fetch_add(1, Ordering::Relaxed);
+        if !self.budget_left() {
+            return None;
+        }
+        if let Some(&(_, kind)) = self.plan.scheduled.iter().find(|&&(i, _)| i == idx) {
+            return Some(kind);
+        }
+        let r = unit_f64(splitmix64(self.plan.seed ^ idx.wrapping_mul(0x9E37_79B9)));
+        let p = &self.plan;
+        if r < p.panic_prob {
+            Some(FaultKind::Panic)
+        } else if r < p.panic_prob + p.hang_prob {
+            Some(FaultKind::Hang)
+        } else if r < p.panic_prob + p.hang_prob + p.error_prob {
+            Some(FaultKind::Error)
+        } else {
+            None
+        }
+    }
+
+    /// Decides whether the next `observe` reply is corrupted.
+    fn corrupt_next_observe(&self) -> bool {
+        let idx = self.stats.observes.fetch_add(1, Ordering::Relaxed);
+        if !self.budget_left() || self.plan.corrupt_prob <= 0.0 {
+            return false;
+        }
+        let r = unit_f64(splitmix64(self.plan.seed ^ 0x00C0_FFEE ^ idx.wrapping_mul(0x85EB_CA6B)));
+        r < self.plan.corrupt_prob
+    }
+}
+
+/// A [`CompilationSession`] that behaves exactly like its inner session
+/// except when the plan says otherwise.
+struct ChaosSession {
+    inner: Box<dyn CompilationSession>,
+    shared: Arc<ChaosShared>,
+}
+
+fn corrupt(obs: Observation) -> Observation {
+    match obs {
+        Observation::Scalar(x) => Observation::Scalar(x + 1.0),
+        Observation::IntVector(mut v) => {
+            if let Some(first) = v.first_mut() {
+                *first = first.wrapping_add(1);
+            }
+            Observation::IntVector(v)
+        }
+        Observation::FloatVector(mut v) => {
+            if let Some(first) = v.first_mut() {
+                *first += 1.0;
+            }
+            Observation::FloatVector(v)
+        }
+        Observation::Text(t) => Observation::Text(format!("{t}\n; chaos: corrupted")),
+        Observation::Bytes(mut b) => {
+            if let Some(first) = b.first_mut() {
+                *first = first.wrapping_add(1);
+            }
+            Observation::Bytes(b)
+        }
+        other => other,
+    }
+}
+
+impl CompilationSession for ChaosSession {
+    fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
+        self.inner.action_spaces()
+    }
+
+    fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
+        self.inner.observation_spaces()
+    }
+
+    fn reward_spaces(&self) -> Vec<RewardSpaceInfo> {
+        self.inner.reward_spaces()
+    }
+
+    fn init(&mut self, benchmark: &str, action_space: usize) -> Result<(), String> {
+        // Startup is fault-free by design: recovery re-establishes sessions
+        // via `StartSession`, and an injector that always kills startup
+        // would make every plan unrecoverable.
+        self.inner.init(benchmark, action_space)
+    }
+
+    fn apply_action(&mut self, action: usize) -> Result<ActionOutcome, String> {
+        match self.shared.fault_for_apply() {
+            Some(FaultKind::Panic) => {
+                self.shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                panic!("chaos: injected panic");
+            }
+            Some(FaultKind::Hang) => {
+                self.shared.stats.hangs.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.shared.plan.hang);
+                // The worker has usually been abandoned by now; finish the
+                // action anyway so a patient client sees consistent state.
+                self.inner.apply_action(action)
+            }
+            Some(FaultKind::Error) => {
+                self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Err("chaos: injected error".into())
+            }
+            Some(FaultKind::CorruptReply) | None => self.inner.apply_action(action),
+        }
+    }
+
+    fn observe(&mut self, space: &str) -> Result<Observation, String> {
+        let obs = self.inner.observe(space)?;
+        if self.shared.corrupt_next_observe() {
+            self.shared.stats.corruptions.fetch_add(1, Ordering::Relaxed);
+            Ok(corrupt(obs))
+        } else {
+            Ok(obs)
+        }
+    }
+
+    fn fork(&self) -> Box<dyn CompilationSession> {
+        Box::new(ChaosSession { inner: self.inner.fork(), shared: Arc::clone(&self.shared) })
+    }
+}
+
+/// Wraps `inner` so every session it produces injects `plan`'s faults.
+/// All sessions (across service restarts, and their forks) share one fault
+/// schedule and one [`ChaosStats`].
+#[must_use]
+pub fn chaos_factory(inner: SessionFactory, plan: FaultPlan) -> (SessionFactory, Arc<ChaosStats>) {
+    let stats = Arc::new(ChaosStats::default());
+    let shared = Arc::new(ChaosShared { plan, stats: Arc::clone(&stats) });
+    let factory: SessionFactory = Arc::new(move || {
+        Box::new(ChaosSession { inner: (inner)(), shared: Arc::clone(&shared) })
+    });
+    (factory, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial deterministic inner session: metric = number of applies.
+    struct CountSession {
+        steps: usize,
+    }
+
+    impl CompilationSession for CountSession {
+        fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
+            vec![ActionSpaceInfo { name: "count".into(), actions: vec!["a".into(); 4] }]
+        }
+        fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
+            vec![]
+        }
+        fn reward_spaces(&self) -> Vec<RewardSpaceInfo> {
+            vec![]
+        }
+        fn init(&mut self, _b: &str, _s: usize) -> Result<(), String> {
+            Ok(())
+        }
+        fn apply_action(&mut self, _a: usize) -> Result<ActionOutcome, String> {
+            self.steps += 1;
+            Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+        }
+        fn observe(&mut self, _s: &str) -> Result<Observation, String> {
+            Ok(Observation::Scalar(self.steps as f64))
+        }
+        fn fork(&self) -> Box<dyn CompilationSession> {
+            Box::new(CountSession { steps: self.steps })
+        }
+    }
+
+    fn count_factory() -> SessionFactory {
+        Arc::new(|| Box::new(CountSession { steps: 0 }))
+    }
+
+    #[test]
+    fn scheduled_fault_fires_exactly_once() {
+        let (factory, stats) =
+            FaultPlan::seeded(1).schedule(2, FaultKind::Error).wrap(count_factory());
+        let mut s = factory();
+        s.init("x", 0).unwrap();
+        assert!(s.apply_action(0).is_ok()); // apply 0
+        assert!(s.apply_action(0).is_ok()); // apply 1
+        assert!(s.apply_action(0).is_err()); // apply 2: scheduled error
+        assert!(s.apply_action(0).is_ok()); // apply 3: one-shot, passed
+        assert_eq!(stats.errors(), 1);
+        assert_eq!(stats.applies(), 4);
+    }
+
+    #[test]
+    fn fault_budget_stops_injection() {
+        let (factory, stats) = FaultPlan::seeded(9)
+            .with_error_prob(1.0)
+            .with_max_faults(2)
+            .wrap(count_factory());
+        let mut s = factory();
+        s.init("x", 0).unwrap();
+        let mut errors = 0;
+        for _ in 0..10 {
+            if s.apply_action(0).is_err() {
+                errors += 1;
+            }
+        }
+        assert_eq!(errors, 2, "budget caps injection");
+        assert_eq!(stats.injected(), 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let (factory, _) =
+                FaultPlan::seeded(seed).with_error_prob(0.5).wrap(count_factory());
+            let mut s = factory();
+            s.init("x", 0).unwrap();
+            (0..32).map(|_| s.apply_action(0).is_err()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault sequence");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn corrupt_reply_perturbs_observations() {
+        let (factory, stats) =
+            FaultPlan::seeded(3).with_corrupt_prob(1.0).wrap(count_factory());
+        let mut s = factory();
+        s.init("x", 0).unwrap();
+        s.apply_action(0).unwrap();
+        let obs = s.observe("steps").unwrap();
+        assert_eq!(obs, Observation::Scalar(2.0), "1 step, corrupted by +1");
+        assert_eq!(stats.corruptions(), 1);
+    }
+
+    #[test]
+    fn forks_share_the_fault_schedule() {
+        let (factory, stats) =
+            FaultPlan::seeded(1).schedule(1, FaultKind::Error).wrap(count_factory());
+        let mut a = factory();
+        a.init("x", 0).unwrap();
+        a.apply_action(0).unwrap(); // apply 0
+        let mut b = a.fork();
+        assert!(b.apply_action(0).is_err(), "fork draws from the same schedule (apply 1)");
+        assert_eq!(stats.applies(), 2);
+    }
+}

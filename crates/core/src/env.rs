@@ -1,10 +1,24 @@
 //! The user-facing Gym-style environment.
+//!
+//! # Fault tolerance contract
+//!
+//! An episode survives its compiler service (§IV-B): the environment records
+//! `(benchmark, action space, action history)` and, when a call fails
+//! because the service died, hung past its deadline, or the session was
+//! destroyed by a panic, it restarts the service, starts a fresh session,
+//! and **replays the action history** to restore byte-identical state before
+//! retrying the failed call — so user code observes an `Ok` step, not the
+//! crash. Replay is checked for consistency: if the restored reward metric
+//! diverges from the pre-fault value, the typed
+//! [`CgError::ReplayDivergence`] is surfaced (with a trace event) instead of
+//! silently continuing on corrupt state. Recovery effort is governed by the
+//! client's [`RetryPolicy`].
 
-use std::sync::Arc;
 use std::time::Duration;
 
-use crate::envs::create_session;
+use crate::envs::session_factory;
 use crate::error::CgError;
+use crate::retry::RetryPolicy;
 use crate::service::{Request, Response, ServiceClient};
 use crate::space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
 use crate::state::EnvState;
@@ -76,6 +90,17 @@ pub fn make(env_id: &str) -> Result<CompilerEnv, CgError> {
     CompilerEnv::with_service(env_id, &backend, benchmark, obs, rew, Duration::from_secs(300))
 }
 
+/// Like [`make`], but with an explicit recovery policy instead of the
+/// default one.
+///
+/// # Errors
+/// See [`make`].
+pub fn make_with_policy(env_id: &str, policy: RetryPolicy) -> Result<CompilerEnv, CgError> {
+    let mut env = make(env_id)?;
+    env.set_retry_policy(policy);
+    Ok(env)
+}
+
 impl CompilerEnv {
     /// Builds an environment around a freshly spawned service for `backend`.
     ///
@@ -89,18 +114,15 @@ impl CompilerEnv {
         reward_space: &str,
         timeout: Duration,
     ) -> Result<CompilerEnv, CgError> {
-        let backend_owned = backend.to_string();
-        let factory: crate::service::SessionFactory = Arc::new(move || {
-            create_session(&backend_owned).expect("backend id was validated by make()")
-        });
-        // Validate eagerly so a bad id fails here, not inside the thread.
-        create_session(backend).map_err(CgError::Unknown)?;
+        // Validated eagerly so a bad id fails here, not inside the thread.
+        let factory = session_factory(backend).map_err(CgError::Unknown)?;
         Self::with_factory(env_id, factory, benchmark, observation_space, reward_space, timeout)
     }
 
     /// Builds an environment around an arbitrary session factory. This is
     /// the extension point for custom backends and for fault-injection
-    /// tests that need a deliberately misbehaving session.
+    /// harnesses (see [`crate::chaos`]) that need a deliberately
+    /// misbehaving session.
     ///
     /// # Errors
     /// Fails when the backend cannot describe its spaces.
@@ -142,6 +164,17 @@ impl CompilerEnv {
     /// The environment id this was made as.
     pub fn env_id(&self) -> &str {
         &self.env_id
+    }
+
+    /// The recovery policy in effect for this environment's service client.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        self.client.policy()
+    }
+
+    /// Replaces the recovery policy (attempts, backoff, deadlines) governing
+    /// transparent fault recovery.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.client.set_policy(policy);
     }
 
     /// The active action space.
@@ -220,7 +253,9 @@ impl CompilerEnv {
         let timer = cg_telemetry::Timer::start();
         if let Some(sid) = self.session.take() {
             // Best effort: the old session may be gone if the service died.
-            let _ = self.client.call(Request::EndSession { session_id: sid });
+            // A short teardown deadline keeps a hung service from stalling
+            // the new episode (and its expiry is not a telemetry timeout).
+            let _ = self.client.call_teardown(Request::EndSession { session_id: sid });
         }
         let reward_info = self.reward_info()?;
         let mut spaces = vec![self.observation_space.clone(), reward_info.metric.clone()];
@@ -232,7 +267,7 @@ impl CompilerEnv {
             action_space: self.action_space_index,
         };
         let restarts_before = self.client.restarts();
-        let sid = match self.client.call_with_retries(req, 2)? {
+        let sid = match self.client.call_with_policy(req)? {
             Response::SessionStarted { session_id } => session_id,
             r => return Err(CgError::ServiceFailure(format!("bad StartSession reply: {r:?}"))),
         };
@@ -273,7 +308,124 @@ impl CompilerEnv {
         Ok(obs)
     }
 
+    /// Whether an error means the episode's backing session is gone (dead
+    /// or hung service, or a panic-destroyed session) and transparent
+    /// recovery should be attempted. Backend errors ([`CgError::Session`])
+    /// are legitimate results and are never retried.
+    fn recoverable(e: &CgError) -> bool {
+        matches!(e, CgError::ServiceFailure(_) | CgError::SessionLost(_))
+    }
+
+    /// Issues a session-scoped request, transparently recovering the episode
+    /// on service failure: the service is restarted, a fresh session is
+    /// established, the action history is replayed (with a consistency
+    /// check), and the failed call is retried — up to the policy's attempt
+    /// count and budget.
+    fn call_recovering(&mut self, build: impl Fn(u64) -> Request) -> Result<Response, CgError> {
+        let sid = self
+            .session
+            .ok_or_else(|| CgError::Usage("no active episode; call reset()".into()))?;
+        let mut last = match self.client.call(build(sid)) {
+            Err(e) if Self::recoverable(&e) => e,
+            other => return other,
+        };
+        // The session id now points into a dead or wedged worker: drop it
+        // immediately so nothing can address the ghost session.
+        self.session = None;
+        let policy = self.client.policy().clone();
+        let start = std::time::Instant::now();
+        for attempt in 1..policy.max_attempts.max(1) {
+            if policy.budget.is_some_and(|b| start.elapsed() >= b) {
+                break;
+            }
+            std::thread::sleep(policy.backoff_for(attempt));
+            match self.replay_episode() {
+                Ok(new_sid) => match self.client.call(build(new_sid)) {
+                    Err(e) if Self::recoverable(&e) => {
+                        self.session = None;
+                        last = e;
+                    }
+                    other => return other,
+                },
+                // A divergent replay is a correctness finding, not a
+                // transient fault: surface it instead of retrying.
+                Err(e @ CgError::ReplayDivergence { .. }) => return Err(e),
+                Err(e) if Self::recoverable(&e) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Restores the episode after a fault: restarts the service, starts a
+    /// fresh session, replays the recorded action history in one batched
+    /// step, and checks that the restored reward metric matches the
+    /// pre-fault `prev_metric`.
+    fn replay_episode(&mut self) -> Result<u64, CgError> {
+        let tel = cg_telemetry::global();
+        let timer = cg_telemetry::Timer::start();
+        self.client.restart();
+        let reward_info = self.reward_info()?;
+        let resp = self.client.call(Request::StartSession {
+            benchmark: self.benchmark.clone(),
+            action_space: self.action_space_index,
+        })?;
+        let sid = match resp {
+            Response::SessionStarted { session_id } => session_id,
+            r => {
+                return Err(CgError::ServiceFailure(format!(
+                    "bad StartSession reply during replay: {r:?}"
+                )))
+            }
+        };
+        let resp = self.client.call(Request::Step {
+            session_id: sid,
+            actions: self.actions.clone(),
+            observation_spaces: vec![reward_info.metric.clone()],
+        })?;
+        let Response::Stepped { mut observations, .. } = resp else {
+            return Err(CgError::ServiceFailure("bad Step reply during replay".into()));
+        };
+        let metric = observations
+            .pop()
+            .and_then(|o| o.as_scalar())
+            .ok_or(CgError::ServiceFailure("missing metric during replay".into()))?;
+        let tolerance = 1e-6 * self.prev_metric.abs().max(1.0);
+        if (metric - self.prev_metric).abs() > tolerance {
+            tel.replay_divergences.inc();
+            tel.trace.emit(
+                "env:replay-divergence",
+                format!(
+                    "{}: expected metric {} but replay produced {metric}",
+                    self.benchmark, self.prev_metric
+                ),
+                timer.elapsed(),
+            );
+            return Err(CgError::ReplayDivergence {
+                benchmark: self.benchmark.clone(),
+                expected: self.prev_metric,
+                actual: metric,
+            });
+        }
+        self.session = Some(sid);
+        tel.recoveries.inc();
+        tel.trace.emit(
+            "env:replay",
+            format!(
+                "{}: {} action(s) replayed to metric {metric}",
+                self.benchmark,
+                self.actions.len()
+            ),
+            timer.elapsed(),
+        );
+        Ok(sid)
+    }
+
     /// Applies one action (see [`CompilerEnv::step_batched`] for several).
+    ///
+    /// Recovers transparently from a mid-episode service fault by replaying
+    /// the episode's action history on a fresh service (see the module-level
+    /// fault tolerance contract).
     ///
     /// # Errors
     /// [`CgError::Usage`] before `reset`; session or service failures.
@@ -303,7 +455,6 @@ impl CompilerEnv {
         actions: &[usize],
         extra_observations: &[&str],
     ) -> Result<(Vec<Observation>, StepResult), CgError> {
-        let sid = self.session.ok_or(CgError::Usage("step before reset".into()))?;
         let tel = cg_telemetry::global();
         let timer = cg_telemetry::Timer::start();
         let reward_info = self.reward_info()?;
@@ -313,10 +464,11 @@ impl CompilerEnv {
             spaces.push(self.observation_space.clone());
         }
         spaces.push(reward_info.metric.clone());
-        let resp = self.client.call(Request::Step {
+        let actions_owned = actions.to_vec();
+        let resp = self.call_recovering(|sid| Request::Step {
             session_id: sid,
-            actions: actions.to_vec(),
-            observation_spaces: spaces,
+            actions: actions_owned.clone(),
+            observation_spaces: spaces.clone(),
         })?;
         let Response::Stepped { end_of_episode, changed, mut observations } = resp else {
             return Err(CgError::ServiceFailure("bad Step reply".into()));
@@ -361,11 +513,11 @@ impl CompilerEnv {
     /// # Errors
     /// See [`CompilerEnv::step`].
     pub fn observe(&mut self, space: &str) -> Result<Observation, CgError> {
-        let sid = self.session.ok_or(CgError::Usage("observe before reset".into()))?;
-        let resp = self.client.call(Request::Step {
+        let space_owned = space.to_string();
+        let resp = self.call_recovering(|sid| Request::Step {
             session_id: sid,
             actions: vec![],
-            observation_spaces: vec![space.to_string()],
+            observation_spaces: vec![space_owned.clone()],
         })?;
         match resp {
             Response::Stepped { mut observations, .. } => observations
@@ -382,10 +534,9 @@ impl CompilerEnv {
     /// # Errors
     /// See [`CompilerEnv::step`].
     pub fn fork(&mut self) -> Result<CompilerEnv, CgError> {
-        let sid = self.session.ok_or(CgError::Usage("fork before reset".into()))?;
         let tel = cg_telemetry::global();
         let timer = cg_telemetry::Timer::start();
-        let forked = match self.client.call(Request::Fork { session_id: sid })? {
+        let forked = match self.call_recovering(|sid| Request::Fork { session_id: sid })? {
             Response::Forked { session_id } => session_id,
             r => return Err(CgError::ServiceFailure(format!("bad Fork reply: {r:?}"))),
         };
@@ -426,7 +577,9 @@ impl CompilerEnv {
     /// Ends the episode and releases the backend session.
     pub fn close(&mut self) {
         if let Some(sid) = self.session.take() {
-            let _ = self.client.call(Request::EndSession { session_id: sid });
+            // Best effort with a short teardown deadline: a wedged service
+            // must not stall the caller (or Drop) for the full call timeout.
+            let _ = self.client.call_teardown(Request::EndSession { session_id: sid });
         }
     }
 

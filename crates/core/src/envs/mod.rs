@@ -5,7 +5,9 @@ pub mod gcc;
 pub mod llvm;
 pub mod looptool;
 
+use crate::service::SessionFactory;
 use crate::session::CompilationSession;
+use std::sync::Arc;
 
 /// Creates a fresh backend session for a registered environment family.
 ///
@@ -23,4 +25,16 @@ pub fn create_session(env: &str) -> Result<Box<dyn CompilationSession>, String> 
         "loop_tool-v0" => Ok(Box::new(looptool::LoopToolSession::new())),
         other => Err(format!("unknown environment `{other}`")),
     }
+}
+
+/// A reusable [`SessionFactory`] for a registered environment family. The
+/// id is validated eagerly so an unknown backend fails at construction, not
+/// inside the service worker thread.
+///
+/// # Errors
+/// Returns an error string for unknown environment ids.
+pub fn session_factory(env: &str) -> Result<SessionFactory, String> {
+    create_session(env)?; // validate the id up front
+    let env = env.to_string();
+    Ok(Arc::new(move || create_session(&env).expect("backend id validated at construction")))
 }

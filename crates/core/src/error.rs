@@ -14,6 +14,22 @@ pub enum CgError {
     Session(String),
     /// The compiler service crashed, hung past its timeout, or disconnected.
     ServiceFailure(String),
+    /// The backend session was destroyed mid-episode (e.g. a compiler panic
+    /// took it down) while the service itself survived. Recoverable by
+    /// replaying the episode's action history on a fresh session.
+    SessionLost(String),
+    /// Action-replay session restoration reached a state whose reward metric
+    /// diverges from the pre-fault value: the compiler is nondeterministic
+    /// (or a fault corrupted state), so the episode cannot be transparently
+    /// recovered and must be reset.
+    ReplayDivergence {
+        /// The benchmark being replayed.
+        benchmark: String,
+        /// The metric recorded before the fault.
+        expected: f64,
+        /// The metric the replayed session produced.
+        actual: f64,
+    },
     /// Validation found a mismatch (reproducibility or semantics bug).
     Validation(String),
     /// The environment is not in a state where the operation is legal
@@ -28,6 +44,13 @@ impl fmt::Display for CgError {
             CgError::Unknown(m) => write!(f, "unknown name: {m}"),
             CgError::Session(m) => write!(f, "session error: {m}"),
             CgError::ServiceFailure(m) => write!(f, "compiler service failure: {m}"),
+            CgError::SessionLost(m) => write!(f, "session lost: {m}"),
+            CgError::ReplayDivergence { benchmark, expected, actual } => write!(
+                f,
+                "replay divergence on {benchmark}: expected metric {expected}, \
+                 replayed session produced {actual} (nondeterministic compiler \
+                 or corrupted state)"
+            ),
             CgError::Validation(m) => write!(f, "validation failed: {m}"),
             CgError::Usage(m) => write!(f, "usage error: {m}"),
         }

@@ -13,7 +13,12 @@
 //!   transports (in-process and TCP), timeouts, panic isolation, retries,
 //!   and the parsed-benchmark cache
 //! * [`env`] — the user-facing [`env::CompilerEnv`] with `reset`/`step`/
-//!   `fork`, batched and lazy stepping
+//!   `fork`, batched and lazy stepping, and transparent mid-episode fault
+//!   recovery by action replay
+//! * [`retry`] — the [`retry::RetryPolicy`] governing attempts, backoff
+//!   with deterministic jitter, per-request deadlines, and budgets
+//! * [`chaos`] — seeded fault injection for any session factory, used by
+//!   the `cg chaos` soak harness
 //! * [`wrappers`] — TimeLimit, CycleOverBenchmarks, action subsets, and
 //!   observation composition
 //! * [`state`] — environment state (de)serialization and replay validation
@@ -34,8 +39,10 @@
 //! # Ok::<(), cg_core::CgError>(())
 //! ```
 
+pub mod chaos;
 pub mod env;
 pub mod envs;
+pub mod retry;
 pub mod service;
 pub mod session;
 pub mod space;
@@ -45,8 +52,9 @@ pub mod wrappers;
 
 mod error;
 
-pub use env::{make, CompilerEnv, StepResult};
+pub use env::{make, make_with_policy, CompilerEnv, StepResult};
 pub use error::CgError;
+pub use retry::RetryPolicy;
 pub use session::CompilationSession;
 pub use space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
 pub use state::EnvState;

@@ -10,10 +10,12 @@
 //!   compilation on a different machine than the frontend.
 //!
 //! Fault tolerance: every session call runs under `catch_unwind`, so a
-//! crashing "compiler" yields an error response instead of killing the
-//! service; calls that exceed the client timeout surface as
-//! [`CgError::ServiceFailure`] and the environment transparently restarts
-//! the service on the next `reset()`.
+//! crashing "compiler" yields a [`Response::Fatal`] instead of killing the
+//! service; calls that exceed the client deadline surface as
+//! [`CgError::ServiceFailure`]. Recovery behaviour (attempts, backoff,
+//! per-request deadlines) is configured by a [`RetryPolicy`]; the
+//! environment layer additionally restores lost sessions mid-episode by
+//! replaying the action history (see `CompilerEnv`).
 
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
@@ -27,6 +29,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CgError;
+use crate::retry::RetryPolicy;
 use crate::session::CompilationSession;
 use crate::space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
 
@@ -119,8 +122,13 @@ pub enum Response {
     },
     /// Session ended / shutdown acknowledged.
     Ok,
-    /// The request failed.
+    /// The request failed; the session (if any) is still usable.
     Error(String),
+    /// The request failed fatally: the session it addressed was destroyed
+    /// (e.g. a compiler panic) and its id is no longer valid. The service
+    /// itself survives. Surfaced to clients as [`CgError::SessionLost`] so
+    /// the environment can restore the episode by action replay.
+    Fatal(String),
 }
 
 /// Factory producing fresh sessions for this service's environment.
@@ -145,7 +153,7 @@ impl ServiceState {
         let dur = timer.elapsed();
         tel.in_flight.dec();
         tel.requests.get(kind).record_duration(dur);
-        if let Response::Error(e) = &resp {
+        if let Response::Error(e) | Response::Fatal(e) = &resp {
             tel.request_errors.get(kind).inc();
             tel.trace.emit(format!("service:error:{kind}"), e.clone(), dur);
         }
@@ -165,14 +173,30 @@ impl ServiceState {
             }
             Request::StartSession { benchmark, action_space } => {
                 let mut session = (self.factory)();
-                match session.init(&benchmark, action_space) {
-                    Ok(()) => {
+                // Panic isolation also covers episode startup: a benchmark
+                // that crashes the compiler's loader must not kill the
+                // service.
+                let init = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    session.init(&benchmark, action_space)
+                }));
+                match init {
+                    Ok(Ok(())) => {
                         let id = self.next_id;
                         self.next_id += 1;
                         self.sessions.insert(id, session);
                         Response::SessionStarted { session_id: id }
                     }
-                    Err(e) => Response::Error(e),
+                    Ok(Err(e)) => Response::Error(e),
+                    Err(_) => {
+                        let tel = cg_telemetry::global();
+                        tel.panics.inc();
+                        tel.trace.emit(
+                            "service:panic",
+                            format!("init on {benchmark} panicked"),
+                            Duration::ZERO,
+                        );
+                        Response::Fatal(format!("session init on {benchmark} panicked"))
+                    }
                 }
             }
             Request::Step { session_id, actions, observation_spaces } => {
@@ -217,7 +241,7 @@ impl ServiceState {
                             format!("session {session_id} destroyed"),
                             Duration::ZERO,
                         );
-                        Response::Error("session panicked; session destroyed".into())
+                        Response::Fatal(format!("session {session_id} panicked and was destroyed"))
                     }
                 }
             }
@@ -246,12 +270,16 @@ pub struct ServiceClient {
     tx: Sender<(Request, Sender<Response>)>,
     factory: SessionFactory,
     timeout: Duration,
+    policy: RetryPolicy,
     generation: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for ServiceClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServiceClient").field("timeout", &self.timeout).finish()
+        f.debug_struct("ServiceClient")
+            .field("timeout", &self.timeout)
+            .field("policy", &self.policy)
+            .finish()
     }
 }
 
@@ -278,52 +306,123 @@ fn spawn_worker(factory: SessionFactory) -> Sender<(Request, Sender<Response>)> 
 
 impl ServiceClient {
     /// Spawns a fresh in-process compiler service (the "service startup"
-    /// cost of Table II) and returns a client for it.
+    /// cost of Table II) with the default [`RetryPolicy`] and returns a
+    /// client for it.
     pub fn spawn(factory: SessionFactory, timeout: Duration) -> ServiceClient {
-        let tx = spawn_worker(Arc::clone(&factory));
-        ServiceClient { tx, factory, timeout, generation: Arc::new(AtomicU64::new(0)) }
+        Self::spawn_with_policy(factory, timeout, RetryPolicy::default())
     }
 
-    /// Issues one request, waiting up to the client timeout.
-    ///
-    /// # Errors
-    /// [`CgError::ServiceFailure`] when the service is dead or the call
-    /// exceeded the timeout; [`CgError::Session`] for backend errors.
-    pub fn call(&self, req: Request) -> Result<Response, CgError> {
+    /// Spawns a fresh service with an explicit recovery policy.
+    pub fn spawn_with_policy(
+        factory: SessionFactory,
+        timeout: Duration,
+        policy: RetryPolicy,
+    ) -> ServiceClient {
+        let tx = spawn_worker(Arc::clone(&factory));
+        ServiceClient { tx, factory, timeout, policy, generation: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// The recovery policy in effect.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Replaces the recovery policy.
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    fn call_inner(
+        &self,
+        req: Request,
+        deadline: Duration,
+        count_timeout: bool,
+    ) -> Result<Response, CgError> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send((req, reply_tx))
             .map_err(|_| CgError::ServiceFailure("service disconnected".into()))?;
-        match reply_rx.recv_timeout(self.timeout) {
+        match reply_rx.recv_timeout(deadline) {
             Ok(Response::Error(e)) => Err(CgError::Session(e)),
+            Ok(Response::Fatal(e)) => Err(CgError::SessionLost(e)),
             Ok(resp) => Ok(resp),
-            Err(_) => {
-                cg_telemetry::global().timeouts.inc();
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(
+                CgError::ServiceFailure("service worker died (reply channel closed)".into()),
+            ),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if count_timeout {
+                    cg_telemetry::global().timeouts.inc();
+                }
                 Err(CgError::ServiceFailure(format!(
-                    "service call exceeded {:?} (hung or crashed)",
-                    self.timeout
+                    "service call exceeded {deadline:?} (hung or crashed)"
                 )))
             }
         }
     }
 
-    /// Issues a request, restarting the service and retrying (up to
-    /// `retries` times) on service failure — the runtime's "retry loop".
+    /// Issues one request, waiting up to the policy's per-kind deadline (or
+    /// the client timeout when no override is configured).
     ///
     /// # Errors
-    /// The final error when all retries were exhausted.
-    pub fn call_with_retries(&mut self, req: Request, retries: u32) -> Result<Response, CgError> {
-        let mut last = self.call(req.clone());
-        for _ in 0..retries {
-            match &last {
-                Err(CgError::ServiceFailure(_)) => {
+    /// [`CgError::ServiceFailure`] when the service is dead or the call
+    /// exceeded the deadline; [`CgError::SessionLost`] when the session was
+    /// destroyed by a panic; [`CgError::Session`] for backend errors.
+    pub fn call(&self, req: Request) -> Result<Response, CgError> {
+        let deadline = self.policy.deadline_for(req.kind()).unwrap_or(self.timeout);
+        self.call_inner(req, deadline, true)
+    }
+
+    /// Issues a best-effort teardown request (e.g. `EndSession` against a
+    /// service that may be hung or dead) bounded by the policy's short
+    /// teardown deadline. Expiry is expected and is *not* counted as a
+    /// timeout in telemetry.
+    ///
+    /// # Errors
+    /// Same as [`ServiceClient::call`]; callers typically ignore the result.
+    pub fn call_teardown(&self, req: Request) -> Result<Response, CgError> {
+        let deadline = self.policy.teardown_deadline.min(self.timeout);
+        self.call_inner(req, deadline, false)
+    }
+
+    /// Issues a request under the recovery policy: on service failure the
+    /// service is restarted and the call retried after an exponential,
+    /// deterministically jittered backoff, until the policy's attempt count
+    /// or wall-clock budget is exhausted — the runtime's "retry loop".
+    ///
+    /// The request is passed by value: the happy path (and the final
+    /// attempt) never clone it; a clone is taken only when a later retry is
+    /// still possible.
+    ///
+    /// # Errors
+    /// The final error when all attempts were exhausted.
+    pub fn call_with_policy(&mut self, req: Request) -> Result<Response, CgError> {
+        let policy = self.policy.clone();
+        let start = std::time::Instant::now();
+        let max = policy.max_attempts.max(1);
+        let mut req = Some(req);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let budget_spent = policy.budget.is_some_and(|b| start.elapsed() >= b);
+            let last = attempt >= max || budget_spent;
+            let this = if last {
+                req.take().expect("request is held until the final attempt")
+            } else {
+                req.as_ref().expect("request is held until the final attempt").clone()
+            };
+            match self.call(this) {
+                Err(CgError::ServiceFailure(_)) if !last => {
                     self.restart();
-                    last = self.call(req.clone());
+                    std::thread::sleep(policy.backoff_for(attempt));
                 }
-                _ => break,
+                // A session destroyed at birth (init panic) is retryable on
+                // a fresh session without restarting the whole service.
+                Err(CgError::SessionLost(_)) if !last => {
+                    std::thread::sleep(policy.backoff_for(attempt));
+                }
+                other => return other,
             }
         }
-        last
     }
 
     /// Abandons the (possibly hung) service thread and spawns a fresh one.
@@ -395,32 +494,53 @@ pub fn serve_tcp(listener: TcpListener, factory: SessionFactory) {
     }
 }
 
-/// A TCP client for a remote compiler service.
+/// A TCP client for a remote compiler service, with reconnect-on-I/O-error
+/// governed by its [`RetryPolicy`].
 #[derive(Debug)]
 pub struct TcpClient {
     stream: TcpStream,
+    addr: String,
+    timeout: Duration,
+    policy: RetryPolicy,
 }
 
 impl TcpClient {
-    /// Connects to a remote service.
+    /// Connects to a remote service with the default [`RetryPolicy`].
     ///
     /// # Errors
     /// Propagates connection failures as [`CgError::ServiceFailure`].
     pub fn connect(addr: &str, timeout: Duration) -> Result<TcpClient, CgError> {
+        Self::connect_with_policy(addr, timeout, RetryPolicy::default())
+    }
+
+    /// Connects with an explicit recovery policy.
+    ///
+    /// # Errors
+    /// Propagates connection failures as [`CgError::ServiceFailure`].
+    pub fn connect_with_policy(
+        addr: &str,
+        timeout: Duration,
+        policy: RetryPolicy,
+    ) -> Result<TcpClient, CgError> {
+        let stream = Self::open(addr, timeout)?;
+        Ok(TcpClient { stream, addr: addr.to_string(), timeout, policy })
+    }
+
+    fn open(addr: &str, timeout: Duration) -> Result<TcpStream, CgError> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| CgError::ServiceFailure(format!("connect {addr}: {e}")))?;
         stream
             .set_read_timeout(Some(timeout))
             .map_err(|e| CgError::ServiceFailure(e.to_string()))?;
-        Ok(TcpClient { stream })
+        Ok(stream)
     }
 
-    /// Issues one request over the socket.
-    ///
-    /// # Errors
-    /// [`CgError::ServiceFailure`] on I/O or timeout; [`CgError::Session`]
-    /// for backend errors.
-    pub fn call(&mut self, req: &Request) -> Result<Response, CgError> {
+    /// The recovery policy in effect.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn call_once(&mut self, req: &Request) -> Result<Response, CgError> {
         let bytes = serde_json::to_vec(req).map_err(|e| CgError::ServiceFailure(e.to_string()))?;
         write_frame(&mut self.stream, &bytes)
             .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
@@ -434,7 +554,51 @@ impl TcpClient {
             serde_json::from_slice(&frame).map_err(|e| CgError::ServiceFailure(e.to_string()))?;
         match resp {
             Response::Error(e) => Err(CgError::Session(e)),
+            Response::Fatal(e) => Err(CgError::SessionLost(e)),
             ok => Ok(ok),
+        }
+    }
+
+    /// Issues one request over the socket. On an I/O error the connection is
+    /// re-established (with backoff) and the request re-sent, up to the
+    /// policy's attempt count.
+    ///
+    /// Note that the server executes a request as soon as it is fully
+    /// received: a retried mutating `Step` whose first reply was lost to a
+    /// connection drop may be applied twice. Remote sessions needing exact
+    /// state should be restored by action replay (as `CompilerEnv` does)
+    /// rather than resumed blindly after an I/O error.
+    ///
+    /// # Errors
+    /// [`CgError::ServiceFailure`] on I/O or timeout after all attempts;
+    /// [`CgError::SessionLost`] when the remote session was destroyed;
+    /// [`CgError::Session`] for backend errors.
+    pub fn call(&mut self, req: &Request) -> Result<Response, CgError> {
+        let start = std::time::Instant::now();
+        let max = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let budget_spent = self.policy.budget.is_some_and(|b| start.elapsed() >= b);
+            let last = attempt >= max || budget_spent;
+            match self.call_once(req) {
+                Err(CgError::ServiceFailure(e)) if !last => {
+                    std::thread::sleep(self.policy.backoff_for(attempt));
+                    // On reconnect failure, keep the old stream; the next
+                    // attempt retries the connect from scratch.
+                    if let Ok(stream) = Self::open(&self.addr, self.timeout) {
+                        self.stream = stream;
+                        let tel = cg_telemetry::global();
+                        tel.reconnects.inc();
+                        tel.trace.emit(
+                            "tcp:reconnect",
+                            format!("{} after: {e}", self.addr),
+                            Duration::ZERO,
+                        );
+                    }
+                }
+                other => return other,
+            }
         }
     }
 }
@@ -442,19 +606,18 @@ impl TcpClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{FaultKind, FaultPlan};
     use crate::session::ActionOutcome;
 
-    /// A deliberately broken session for fault-tolerance tests: panics or
-    /// hangs on command.
-    struct FlakySession {
-        panic_on_action: Option<usize>,
-        hang_on_action: Option<usize>,
+    /// A minimal well-behaved session counting its applies. All misbehaviour
+    /// in these tests is injected around it by [`crate::chaos`].
+    struct CountingSession {
         steps: usize,
     }
 
-    impl CompilationSession for FlakySession {
+    impl CompilationSession for CountingSession {
         fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
-            vec![ActionSpaceInfo { name: "flaky".into(), actions: vec!["a".into(); 8] }]
+            vec![ActionSpaceInfo { name: "count".into(), actions: vec!["a".into(); 8] }]
         }
         fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
             vec![]
@@ -465,13 +628,7 @@ mod tests {
         fn init(&mut self, _b: &str, _s: usize) -> Result<(), String> {
             Ok(())
         }
-        fn apply_action(&mut self, action: usize) -> Result<ActionOutcome, String> {
-            if self.panic_on_action == Some(action) {
-                panic!("simulated compiler crash");
-            }
-            if self.hang_on_action == Some(action) {
-                std::thread::sleep(Duration::from_secs(3600));
-            }
+        fn apply_action(&mut self, _action: usize) -> Result<ActionOutcome, String> {
             self.steps += 1;
             Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
         }
@@ -479,19 +636,17 @@ mod tests {
             Ok(Observation::Scalar(self.steps as f64))
         }
         fn fork(&self) -> Box<dyn CompilationSession> {
-            Box::new(FlakySession {
-                panic_on_action: self.panic_on_action,
-                hang_on_action: self.hang_on_action,
-                steps: self.steps,
-            })
+            Box::new(CountingSession { steps: self.steps })
         }
     }
 
-    fn flaky_factory(panic_on: Option<usize>, hang_on: Option<usize>) -> SessionFactory {
-        Arc::new(move || {
-            Box::new(FlakySession { panic_on_action: panic_on, hang_on_action: hang_on, steps: 0 })
-        })
+    fn counting_factory() -> SessionFactory {
+        Arc::new(|| Box::new(CountingSession { steps: 0 }))
     }
+
+    /// Serializes the tests that make assertions about the process-global
+    /// `timeouts` counter, so they cannot race each other's increments.
+    static TIMEOUT_COUNTER: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn start(client: &ServiceClient) -> u64 {
         match client.call(Request::StartSession { benchmark: "x".into(), action_space: 0 }).unwrap()
@@ -503,18 +658,20 @@ mod tests {
 
     #[test]
     fn panicking_session_is_isolated() {
-        let client = ServiceClient::spawn(flaky_factory(Some(3), None), Duration::from_secs(5));
+        let (factory, _) =
+            FaultPlan::seeded(1).schedule(2, FaultKind::Panic).wrap(counting_factory());
+        let client = ServiceClient::spawn(factory, Duration::from_secs(5));
         let sid = start(&client);
-        // Normal steps work.
+        // Normal steps work (applies 0 and 1).
         let r = client
             .call(Request::Step { session_id: sid, actions: vec![0, 1], observation_spaces: vec![] })
             .unwrap();
         assert!(matches!(r, Response::Stepped { .. }));
-        // The crashing action yields an error, not a dead service.
+        // The crashing apply destroys the session, not the service.
         let e = client
             .call(Request::Step { session_id: sid, actions: vec![3], observation_spaces: vec![] })
             .unwrap_err();
-        assert!(matches!(e, CgError::Session(_)));
+        assert!(matches!(e, CgError::SessionLost(_)));
         // The service is still alive for new sessions.
         assert!(matches!(client.call(Request::Ping).unwrap(), Response::Pong));
         let sid2 = start(&client);
@@ -522,23 +679,76 @@ mod tests {
     }
 
     #[test]
+    fn injected_backend_error_is_a_session_error() {
+        let (factory, stats) =
+            FaultPlan::seeded(1).schedule(0, FaultKind::Error).wrap(counting_factory());
+        let client = ServiceClient::spawn(factory, Duration::from_secs(5));
+        let sid = start(&client);
+        let e = client
+            .call(Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] })
+            .unwrap_err();
+        // Backend errors are legitimate results, never retried or recovered.
+        assert!(matches!(e, CgError::Session(_)));
+        assert_eq!(stats.errors(), 1);
+    }
+
+    #[test]
     fn hung_session_times_out_and_restarts() {
-        let mut client =
-            ServiceClient::spawn(flaky_factory(None, Some(2)), Duration::from_millis(100));
+        let _guard = TIMEOUT_COUNTER.lock().unwrap_or_else(|e| e.into_inner());
+        let (factory, _) = FaultPlan::seeded(2)
+            .schedule(0, FaultKind::Hang)
+            .with_hang_duration(Duration::from_millis(500))
+            .wrap(counting_factory());
+        let mut client = ServiceClient::spawn(factory, Duration::from_millis(100));
         let sid = start(&client);
         let e = client
             .call(Request::Step { session_id: sid, actions: vec![2], observation_spaces: vec![] })
             .unwrap_err();
         assert!(matches!(e, CgError::ServiceFailure(_)));
-        // The retry wrapper restarts the service; Ping succeeds again.
-        let r = client.call_with_retries(Request::Ping, 2).unwrap();
+        // The policy-driven retry restarts the service; Ping succeeds again.
+        let r = client.call_with_policy(Request::Ping).unwrap();
         assert!(matches!(r, Response::Pong));
         assert!(client.restarts() >= 1);
     }
 
     #[test]
+    fn teardown_deadline_bounds_end_session_against_a_hung_service() {
+        let _guard = TIMEOUT_COUNTER.lock().unwrap_or_else(|e| e.into_inner());
+        let (factory, _) = FaultPlan::seeded(3)
+            .schedule(0, FaultKind::Hang)
+            .with_hang_duration(Duration::from_secs(2))
+            .wrap(counting_factory());
+        let mut client = ServiceClient::spawn(factory, Duration::from_secs(30));
+        client.set_policy(
+            RetryPolicy::default().with_teardown_deadline(Duration::from_millis(50)),
+        );
+        let sid = start(&client);
+        // Wedge the worker without waiting for the (long) call deadline.
+        let (reply_tx, _reply_rx) = bounded(1);
+        client
+            .tx
+            .send((
+                Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] },
+                reply_tx,
+            ))
+            .unwrap();
+        let timeouts_before = cg_telemetry::global().timeouts.get();
+        let t = std::time::Instant::now();
+        let e = client.call_teardown(Request::EndSession { session_id: sid }).unwrap_err();
+        assert!(matches!(e, CgError::ServiceFailure(_)));
+        assert!(
+            t.elapsed() < Duration::from_secs(1),
+            "teardown must not block for the full 30s call timeout, took {:?}",
+            t.elapsed()
+        );
+        // Expected expiry of a best-effort teardown is not a telemetry
+        // timeout event.
+        assert_eq!(cg_telemetry::global().timeouts.get(), timeouts_before);
+    }
+
+    #[test]
     fn fork_duplicates_state() {
-        let client = ServiceClient::spawn(flaky_factory(None, None), Duration::from_secs(5));
+        let client = ServiceClient::spawn(counting_factory(), Duration::from_secs(5));
         let sid = start(&client);
         client
             .call(Request::Step { session_id: sid, actions: vec![0, 0], observation_spaces: vec![] })
@@ -565,7 +775,7 @@ mod tests {
     fn tcp_round_trip() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
-        std::thread::spawn(move || serve_tcp(listener, flaky_factory(None, None)));
+        std::thread::spawn(move || serve_tcp(listener, counting_factory()));
         let mut client = TcpClient::connect(&addr, Duration::from_secs(5)).unwrap();
         assert!(matches!(client.call(&Request::Ping).unwrap(), Response::Pong));
         let sid = match client
@@ -588,6 +798,64 @@ mod tests {
             }
             r => panic!("{r:?}"),
         }
+        let _ = client.call(&Request::Shutdown);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            // A header claiming a 1 GiB frame, no body. Hold the connection
+            // open so the reader fails on the size check, not on EOF.
+            conn.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let err = read_frame(&mut stream).unwrap_err();
+        assert!(err.to_string().contains("frame too large"), "{err}");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn truncated_frame_fails_cleanly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            // Promise 64 bytes, deliver 3, then drop the connection.
+            conn.write_all(&64u32.to_le_bytes()).unwrap();
+            conn.write_all(b"abc").unwrap();
+        });
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let err = read_frame(&mut stream).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_reconnects_after_peer_drop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            // Accept and immediately drop the first connection, then serve
+            // normally: the client's first call dies mid-flight and must
+            // transparently reconnect under its policy.
+            let (first, _) = listener.accept().unwrap();
+            drop(first);
+            serve_tcp(listener, counting_factory());
+        });
+        let tel = cg_telemetry::global();
+        let reconnects_before = tel.reconnects.get();
+        let mut client = TcpClient::connect_with_policy(
+            &addr,
+            Duration::from_secs(5),
+            RetryPolicy::default().with_max_attempts(4),
+        )
+        .unwrap();
+        assert!(matches!(client.call(&Request::Ping).unwrap(), Response::Pong));
+        assert!(tel.reconnects.get() > reconnects_before, "a reconnect was recorded");
         let _ = client.call(&Request::Shutdown);
     }
 }

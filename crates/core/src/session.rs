@@ -22,6 +22,21 @@ pub struct ActionOutcome {
 /// else — RPC, process isolation, timeouts, caching, the Gym API — is
 /// provided by the shared runtime, so adding a compiler means implementing
 /// exactly this trait (see `examples/custom_compiler.rs`).
+///
+/// # Fault tolerance contract
+///
+/// Implementations may panic, hang, or return errors; the runtime absorbs
+/// all three. A panic destroys only the session (the service survives and
+/// answers `Fatal`); a hang trips the client deadline and the service is
+/// restarted. In both cases the environment transparently restores the
+/// episode by replaying its action history on a fresh session — which is
+/// sound only if the implementation is **deterministic**: the same
+/// `init` + action sequence must reproduce the same state and metrics.
+/// Nondeterministic compilers are detected at recovery time by the replay
+/// consistency check and surfaced as `CgError::ReplayDivergence`. `Err`
+/// returns from `apply_action`/`observe` are ordinary results (compile
+/// failures, invalid actions): they are reported to the caller and never
+/// retried. See `crate::chaos` for injecting these fault classes in tests.
 pub trait CompilationSession: Send {
     /// The action spaces this compiler exposes.
     fn action_spaces(&self) -> Vec<ActionSpaceInfo>;

@@ -130,8 +130,13 @@ fn panicking_session_is_counted_and_traced() {
     .unwrap();
     env.reset().unwrap();
     env.step(0).unwrap();
+    // The session panics on action 1 *every* time, so replay-based recovery
+    // retries (restart → replay `[0]` → re-apply 1) until the policy is
+    // exhausted, then surfaces the typed session-loss error.
+    let recoveries_before = tel.recoveries.get();
     let err = env.step(1).unwrap_err();
-    assert!(matches!(err, CgError::Session(_)), "panic surfaces as a session error: {err:?}");
+    assert!(matches!(err, CgError::SessionLost(_)), "deterministic panic surfaces: {err:?}");
+    assert!(tel.recoveries.get() > recoveries_before, "recovery replays not counted");
 
     // The panic was counted and traced, and the error response tallied.
     assert!(tel.panics.get() > panics_before, "panic counter did not grow");

@@ -595,6 +595,14 @@ pub struct Telemetry {
     pub panics: Counter,
     /// Service restarts (explicit or transparent-recovery).
     pub restarts: Counter,
+    /// Episodes transparently restored mid-flight by action replay after a
+    /// service fault.
+    pub recoveries: Counter,
+    /// Replays whose reward metric diverged from the pre-fault value
+    /// (surfaced to callers as a typed error rather than silent corruption).
+    pub replay_divergences: Counter,
+    /// TCP client reconnects after an I/O error on the service socket.
+    pub reconnects: Counter,
     /// Episode-level environment statistics.
     pub episode: EpisodeStats,
     /// Per-observation-space computation latency.
@@ -637,6 +645,9 @@ impl Telemetry {
             timeouts: self.timeouts.get(),
             panics: self.panics.get(),
             restarts: self.restarts.get(),
+            recoveries: self.recoveries.get(),
+            replay_divergences: self.replay_divergences.get(),
+            reconnects: self.reconnects.get(),
             episode: self.episode.snapshot(),
             observations,
             passes,
@@ -653,6 +664,9 @@ impl Telemetry {
         self.timeouts.reset();
         self.panics.reset();
         self.restarts.reset();
+        self.recoveries.reset();
+        self.replay_divergences.reset();
+        self.reconnects.reset();
         self.episode.reset();
         self.observations.for_each(|_, h| h.reset());
         self.passes.for_each(|_, p| p.reset());
@@ -669,6 +683,9 @@ pub struct TelemetrySnapshot {
     pub timeouts: u64,
     pub panics: u64,
     pub restarts: u64,
+    pub recoveries: u64,
+    pub replay_divergences: u64,
+    pub reconnects: u64,
     pub episode: EpisodeSnapshot,
     pub observations: BTreeMap<String, HistogramSnapshot>,
     pub passes: BTreeMap<String, PassSnapshot>,

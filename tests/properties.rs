@@ -2,8 +2,12 @@
 //! generated programs and pass sequences — the repository-side analogue of
 //! the paper's daily fuzz jobs (§VI).
 
+use std::time::Duration;
+
 use proptest::prelude::*;
 
+use cg_core::chaos::{FaultKind, FaultPlan};
+use cg_core::envs::session_factory;
 use cg_ir::interp::{run_main, ExecLimits};
 use cg_ir::verify::verify_module;
 
@@ -128,5 +132,48 @@ proptest! {
         prop_assert!(covered >= 10_000);
         prop_assert!(nest.flops_deterministic() > 0.0);
         prop_assert!(nest.cursor < nest.loops.len());
+    }
+}
+
+proptest! {
+    // Each case spawns two services and runs a full episode twice; keep the
+    // case count low.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The fault-tolerance master invariant: killing the compiler service at
+    /// an arbitrary point of an arbitrary episode and replaying the action
+    /// history yields byte-identical state — same observation vector, same
+    /// cumulative reward — as the uninterrupted episode.
+    #[test]
+    fn kill_and_replay_matches_uninterrupted(
+        seed in 0u32..10_000,
+        actions in proptest::collection::vec(0usize..124, 1..8),
+        fault_pos in 0usize..8,
+    ) {
+        let fault_at = (fault_pos % actions.len()) as u64;
+        let bench = format!("benchmark://csmith-v0/{seed}");
+        let mk = |factory| cg_core::CompilerEnv::with_factory(
+            "llvm-v0", factory, &bench, "Autophase", "IrInstructionCount",
+            Duration::from_secs(30),
+        ).unwrap();
+        // Uninterrupted reference episode.
+        let mut a = mk(session_factory("llvm-v0").unwrap());
+        a.reset().unwrap();
+        for &x in &actions {
+            a.step(x).unwrap();
+        }
+        // The same episode, with the service panicking mid-flight.
+        let (factory, stats) = FaultPlan::seeded(u64::from(seed))
+            .schedule(fault_at, FaultKind::Panic)
+            .wrap(session_factory("llvm-v0").unwrap());
+        let mut b = mk(factory);
+        b.reset().unwrap();
+        for &x in &actions {
+            b.step(x).unwrap();
+        }
+        prop_assert_eq!(stats.panics(), 1);
+        prop_assert!(b.service_restarts() >= 1);
+        prop_assert!((a.episode_reward() - b.episode_reward()).abs() < 1e-9);
+        prop_assert_eq!(a.observe("Autophase").unwrap(), b.observe("Autophase").unwrap());
     }
 }
