@@ -11,6 +11,7 @@
 //! cg stats [--json] <env> <benchmark> <steps>   episode + telemetry report
 //! cg trace <env> <benchmark> <steps>        episode + JSONL trace dump
 //! cg chaos [flags]                          soak episodes under fault injection
+//! cg fuzz [flags]                           differential pass-pipeline fuzzing
 //! ```
 
 use std::process::ExitCode;
@@ -21,7 +22,10 @@ fn usage() -> ExitCode {
          cg replay <state.json>\n  cg validate <state.json>\n  cg datasets\n  \
          cg stats [--json] <env> <benchmark> <steps>\n  cg trace <env> <benchmark> <steps>\n  \
          cg chaos [--episodes N] [--steps N] [--seed S] [--panic P] [--hang P]\n           \
-         [--error P] [--corrupt P] [--timeout-ms MS] [--json]"
+         [--error P] [--corrupt P] [--timeout-ms MS] [--json]\n  \
+         cg fuzz [--seed-range A..B] [--jobs N] [--profile NAME] [--max-passes N]\n          \
+         [--inputs N] [--corpus DIR] [--no-corpus] [--budget-secs N]\n          \
+         [--reduce-budget N] [--smoke] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -59,6 +63,7 @@ fn main() -> ExitCode {
             }
         }
         Some("chaos") => chaos(&args[1..]),
+        Some("fuzz") => fuzz(&args[1..]),
         Some("datasets") => {
             for d in cg_datasets::datasets() {
                 println!(
@@ -251,6 +256,21 @@ fn stats(
             );
         }
     }
+    if snap.fuzz.cases > 0 {
+        println!(
+            "\nfuzz: cases={} divergences={} shrunk={} verifier-rejects={} pass-panics={}",
+            snap.fuzz.cases,
+            snap.fuzz.divergences,
+            snap.fuzz.shrunk,
+            snap.fuzz.verifier_rejects,
+            snap.fuzz.pass_panics
+        );
+        let mut blame: Vec<_> = snap.fuzz.blame.iter().collect();
+        blame.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+        for (pass, n) in blame.iter().take(10) {
+            println!("  blame {pass:<26} {n}");
+        }
+    }
     println!(
         "\ntrace: {} buffered event(s), {} dropped (see `cg trace`)",
         snap.trace_events, snap.trace_dropped
@@ -263,6 +283,161 @@ fn trace(env_id: &str, benchmark: &str, steps: usize) -> Result<(), Box<dyn std:
     tel.reset();
     run_episode(env_id, benchmark, steps)?;
     print!("{}", tel.trace.export_jsonl());
+    Ok(())
+}
+
+/// The `cg fuzz` surface: differential pass-pipeline fuzzing with the
+/// `cg-difftest` engine. Samples random programs and random pipelines over
+/// the full action space, judges each with the interpreter oracle, shrinks
+/// any divergence to a minimal reproducer in the corpus directory, and
+/// exits non-zero if anything diverged. `--smoke` is the CI configuration:
+/// a fixed seed range under a strict wall-clock budget.
+fn fuzz(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use cg_difftest::{run_fuzz, FuzzConfig};
+    use std::time::Duration;
+
+    let mut cfg = FuzzConfig {
+        jobs: 4,
+        corpus_dir: Some(cg_difftest::repro::default_corpus_dir()),
+        ..FuzzConfig::default()
+    };
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next().ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--seed-range" => {
+                let raw = val("--seed-range")?;
+                let (a, b) = raw
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seed-range wants A..B, got `{raw}`"))?;
+                cfg.seed_start = a.parse()?;
+                cfg.seed_end = b.parse()?;
+            }
+            "--jobs" => cfg.jobs = val("--jobs")?.parse()?,
+            "--profile" => {
+                let name = val("--profile")?.clone();
+                if cg_datasets::synth::Profile::named(&name).is_none() {
+                    return Err(format!(
+                        "unknown profile `{name}` (available: {})",
+                        cg_datasets::synth::FUZZ_PROFILES.join(", ")
+                    )
+                    .into());
+                }
+                cfg.profile = Some(name);
+            }
+            "--max-passes" => cfg.max_passes = val("--max-passes")?.parse()?,
+            "--inputs" => cfg.extra_inputs = val("--inputs")?.parse()?,
+            "--corpus" => cfg.corpus_dir = Some(val("--corpus")?.into()),
+            "--no-corpus" => cfg.corpus_dir = None,
+            "--budget-secs" => {
+                cfg.budget = Some(Duration::from_secs(val("--budget-secs")?.parse()?));
+            }
+            "--reduce-budget" => cfg.reduce_budget = val("--reduce-budget")?.parse()?,
+            "--smoke" => {
+                // The CI configuration: fixed seeds, bounded wall-clock.
+                cfg.seed_start = 0;
+                cfg.seed_end = 500;
+                cfg.budget = Some(Duration::from_secs(60));
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown fuzz flag `{other}`").into()),
+        }
+    }
+
+    let tel = cg_telemetry::global();
+    tel.reset();
+    let report = run_fuzz(&cfg);
+    let snap = tel.snapshot();
+
+    if json {
+        #[derive(serde::Serialize)]
+        struct DivJson {
+            seed: u64,
+            profile: String,
+            deopt: bool,
+            pipeline: Vec<String>,
+            failure: String,
+            ir_lines: usize,
+            repro: Option<String>,
+        }
+        #[derive(serde::Serialize)]
+        struct FuzzJson {
+            cases: u64,
+            skipped: u64,
+            elapsed_ms: u64,
+            divergences: Vec<DivJson>,
+            telemetry: cg_telemetry::FuzzSnapshot,
+        }
+        let out = FuzzJson {
+            cases: report.cases,
+            skipped: report.skipped,
+            elapsed_ms: report.elapsed.as_millis() as u64,
+            divergences: report
+                .divergences
+                .iter()
+                .map(|d| DivJson {
+                    seed: d.seed,
+                    profile: d.profile.clone(),
+                    deopt: d.deopt,
+                    pipeline: d.pipeline.clone(),
+                    failure: d.failure.clone(),
+                    ir_lines: d.ir_lines,
+                    repro: d.repro_path.as_ref().map(|p| p.display().to_string()),
+                })
+                .collect(),
+            telemetry: snap.fuzz.clone(),
+        };
+        println!("{}", serde_json::to_string_pretty(&out)?);
+    } else {
+        println!(
+            "fuzz: {} case(s) over seeds {}..{} ({} job(s)) in {:.1}s{}",
+            report.cases,
+            cfg.seed_start,
+            cfg.seed_end,
+            cfg.jobs,
+            report.elapsed.as_secs_f64(),
+            if report.skipped > 0 {
+                format!(", {} seed(s) skipped on budget", report.skipped)
+            } else {
+                String::new()
+            }
+        );
+        println!(
+            "  oracle comparisons={} verifier-rejects={} pass-panics={} divergences={} shrunk={}",
+            snap.fuzz.oracle_runs,
+            snap.fuzz.verifier_rejects,
+            snap.fuzz.pass_panics,
+            snap.fuzz.divergences,
+            snap.fuzz.shrunk
+        );
+        println!(
+            "  case wall p50={} p99={}",
+            fmt_us(snap.fuzz.case_wall.p50_micros),
+            fmt_us(snap.fuzz.case_wall.p99_micros)
+        );
+        if !snap.fuzz.blame.is_empty() {
+            println!("\nper-pass blame (appearances in minimal pipelines):");
+            let mut blame: Vec<_> = snap.fuzz.blame.iter().collect();
+            blame.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+            for (pass, n) in blame.iter().take(15) {
+                println!("  {pass:<28} {n}");
+            }
+        }
+        for d in &report.divergences {
+            println!("\nseed {} [{}{}]: {}", d.seed, d.profile, if d.deopt { ", deopt" } else { "" }, d.failure);
+            println!("  pipeline: {} (sampled {})", d.pipeline.join(" "), d.original_pipeline.len());
+            println!("  reduced IR: {} line(s)", d.ir_lines);
+            if let Some(p) = &d.repro_path {
+                println!("  reproducer: {}", p.display());
+            }
+        }
+    }
+    if !report.clean() {
+        return Err(format!("{} divergence(s) found", report.divergences.len()).into());
+    }
     Ok(())
 }
 

@@ -5,8 +5,16 @@
 //! miscompiled the program. This is the analogue of the paper's differential
 //! testing regime plus sanitizer integration (traps during execution are
 //! reported as logic errors, like UBSan findings).
+//!
+//! The comparison itself is the shared `cg-difftest` oracle — the same
+//! engine behind `cg fuzz` — so episode validation and the fuzzer agree on
+//! what "behaviour preserved" means: matching return values *and* final
+//! global memory, across a multi-input corpus that perturbs mutable global
+//! initializers, with fuel-exhaustion handled as its own failure mode
+//! rather than a trap.
 
-use cg_ir::interp::{run_main, ExecError, ExecLimits};
+use cg_difftest::oracle::{compare_modules, OracleConfig, OracleFailure};
+use cg_ir::interp::{run_main, ExecLimits};
 use cg_ir::Module;
 
 use crate::error::CgError;
@@ -14,18 +22,63 @@ use crate::error::CgError;
 /// The result of a semantics-validation run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SemanticsVerdict {
-    /// Results match: the optimization preserved behaviour.
-    Ok,
+    /// Results match on every corpus input: the optimization preserved
+    /// behaviour. Carries the number of compared executions.
+    Ok {
+        /// (reference, optimized) run pairs compared.
+        runs: u32,
+    },
     /// The benchmark is not runnable, so semantics cannot be checked
     /// (matches the paper: only runnable datasets support this validation).
     NotRunnable(String),
 }
 
+/// Why validation failed, in machine-matchable form.
+///
+/// Wraps the oracle's typed failure so environment code can distinguish a
+/// verifier rejection (broken IR) from a behavioural divergence (miscompile)
+/// from a resource divergence (optimized program stopped terminating).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationFailure {
+    /// The underlying oracle verdict.
+    pub failure: OracleFailure,
+}
+
+impl ValidationFailure {
+    /// True if the failure is a sanitizer-style finding: the optimized
+    /// program trapped or failed to finish where the reference ran cleanly.
+    pub fn is_runtime_error(&self) -> bool {
+        matches!(
+            self.failure,
+            OracleFailure::TrapIntroduced { .. } | OracleFailure::FuelDiverged { .. }
+        )
+    }
+}
+
+/// Differentially tests `optimized` against `reference` with the shared
+/// difftest oracle and reports a typed verdict.
+///
+/// # Errors
+/// The typed [`ValidationFailure`] describing the divergence.
+pub fn validate_semantics_typed(
+    reference: &Module,
+    optimized: &Module,
+) -> Result<SemanticsVerdict, ValidationFailure> {
+    // Benchmarks without a runnable entry point (no nullary `main`, or a
+    // reference that itself traps on the base input) cannot be judged.
+    if let Err(e) = run_main(reference, &ExecLimits::default()) {
+        return Ok(SemanticsVerdict::NotRunnable(e.to_string()));
+    }
+    match compare_modules(reference, optimized, &OracleConfig::default()) {
+        Ok(runs) => Ok(SemanticsVerdict::Ok { runs }),
+        Err(failure) => Err(ValidationFailure { failure }),
+    }
+}
+
 /// Differentially tests `optimized` against `reference`.
 ///
-/// Both modules are executed; the verdict compares return values. A trap in
-/// the optimized module that the reference does not exhibit is a
-/// miscompilation; mismatched outputs likewise.
+/// Convenience wrapper over [`validate_semantics_typed`] for callers that
+/// only need an error string.
 ///
 /// # Errors
 /// [`CgError::Validation`] describing the divergence.
@@ -33,28 +86,14 @@ pub fn validate_semantics(
     reference: &Module,
     optimized: &Module,
 ) -> Result<SemanticsVerdict, CgError> {
-    // Structural validity first — the cheapest bug detector.
-    cg_ir::verify::verify_module(optimized)
-        .map_err(|e| CgError::Validation(format!("optimized module is invalid: {e}")))?;
-    let limits = ExecLimits::default();
-    let ref_out = match run_main(reference, &limits) {
-        Ok(o) => o,
-        Err(ExecError::Malformed(m)) => return Ok(SemanticsVerdict::NotRunnable(m)),
-        Err(e) => return Ok(SemanticsVerdict::NotRunnable(e.to_string())),
-    };
-    let opt_out = run_main(optimized, &limits).map_err(|e| {
-        CgError::Validation(format!(
-            "optimized binary trapped ({e}) where the reference ran cleanly — \
-             sanitizer-detected logic error"
-        ))
-    })?;
-    if ref_out.ret != opt_out.ret {
-        return Err(CgError::Validation(format!(
-            "differential test failed: reference returned {:?}, optimized returned {:?}",
-            ref_out.ret, opt_out.ret
-        )));
-    }
-    Ok(SemanticsVerdict::Ok)
+    validate_semantics_typed(reference, optimized).map_err(|vf| {
+        let prefix = if vf.is_runtime_error() {
+            "sanitizer-detected logic error"
+        } else {
+            "differential test failed"
+        };
+        CgError::Validation(format!("{prefix}: {}", vf.failure))
+    })
 }
 
 #[cfg(test)]
@@ -67,10 +106,8 @@ mod tests {
         let reference = cg_datasets::benchmark("cbench-v1/gsm").unwrap();
         let mut optimized = reference.clone();
         pipeline::run_oz(&mut optimized);
-        assert_eq!(
-            validate_semantics(&reference, &optimized).unwrap(),
-            SemanticsVerdict::Ok
-        );
+        let verdict = validate_semantics(&reference, &optimized).unwrap();
+        assert!(matches!(verdict, SemanticsVerdict::Ok { runs } if runs >= 1), "{verdict:?}");
     }
 
     #[test]
@@ -98,6 +135,26 @@ mod tests {
         }
         let r = validate_semantics(&reference, &broken);
         assert!(matches!(r, Err(CgError::Validation(_))), "got {r:?}");
+    }
+
+    #[test]
+    fn typed_verdict_distinguishes_traps() {
+        use cg_ir::builder::ModuleBuilder;
+        use cg_ir::{BinOp, Operand, Type};
+        // Reference returns 1; "optimized" divides by zero.
+        let mut mb = ModuleBuilder::new("ref");
+        let mut fb = mb.begin_function("main", &[], Type::I64);
+        fb.ret(Some(Operand::const_int(1)));
+        fb.finish();
+        let reference = mb.finish();
+        let mut mb = ModuleBuilder::new("opt");
+        let mut fb = mb.begin_function("main", &[], Type::I64);
+        let v = fb.bin(BinOp::Div, Operand::const_int(1), Operand::const_int(0));
+        fb.ret(Some(v));
+        fb.finish();
+        let optimized = mb.finish();
+        let err = validate_semantics_typed(&reference, &optimized).unwrap_err();
+        assert!(err.is_runtime_error(), "{err:?}");
     }
 
     #[test]

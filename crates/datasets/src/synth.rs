@@ -72,7 +72,109 @@ impl Profile {
             weirdness: 0.05,
         }
     }
+
+    /// Deep counted-loop nests with long bodies: stresses the loop
+    /// pipeline (licm, unroll, peel, indvars) and fuel accounting.
+    pub fn deep_loops() -> Profile {
+        Profile {
+            functions: (1, 3),
+            stmts: (14, 30),
+            loop_prob: 0.45,
+            nested_loop_prob: 0.80,
+            if_prob: 0.08,
+            switch_prob: 0.02,
+            mem_prob: 0.12,
+            call_prob: 0.04,
+            float_ratio: 0.08,
+            global_arrays: (1, 3),
+            array_size_pow2: (4, 7),
+            max_trip: 12,
+            runnable: true,
+            weirdness: 0.03,
+        }
+    }
+
+    /// Branch- and switch-heavy control flow producing dense φ webs at join
+    /// points: stresses simplifycfg, jump-threading, gvn and sccp.
+    pub fn phi_web() -> Profile {
+        Profile {
+            functions: (2, 4),
+            stmts: (16, 36),
+            loop_prob: 0.10,
+            nested_loop_prob: 0.20,
+            if_prob: 0.38,
+            switch_prob: 0.14,
+            mem_prob: 0.08,
+            call_prob: 0.05,
+            float_ratio: 0.06,
+            global_arrays: (1, 2),
+            array_size_pow2: (4, 6),
+            max_trip: 16,
+            runnable: true,
+            weirdness: 0.04,
+        }
+    }
+
+    /// Heavy memory traffic through a couple of small shared arrays, so
+    /// loads and stores alias constantly: stresses gvn load-elimination,
+    /// dse, memcpyopt and sroa against may-alias reasoning.
+    pub fn aliasing() -> Profile {
+        Profile {
+            functions: (1, 4),
+            stmts: (14, 32),
+            loop_prob: 0.18,
+            nested_loop_prob: 0.30,
+            if_prob: 0.10,
+            switch_prob: 0.03,
+            mem_prob: 0.48,
+            call_prob: 0.06,
+            float_ratio: 0.04,
+            global_arrays: (1, 2),
+            array_size_pow2: (3, 4),
+            max_trip: 16,
+            runnable: true,
+            weirdness: 0.03,
+        }
+    }
+
+    /// Many small helpers calling each other densely: stresses the inliner
+    /// thresholds, deadargelim, globaldce and ipsccp.
+    pub fn call_web() -> Profile {
+        Profile {
+            functions: (6, 12),
+            stmts: (6, 16),
+            loop_prob: 0.10,
+            nested_loop_prob: 0.20,
+            if_prob: 0.12,
+            switch_prob: 0.04,
+            mem_prob: 0.12,
+            call_prob: 0.40,
+            float_ratio: 0.06,
+            global_arrays: (1, 3),
+            array_size_pow2: (4, 6),
+            max_trip: 12,
+            runnable: true,
+            weirdness: 0.04,
+        }
+    }
+
+    /// Looks up a fuzz profile by registry name (see [`FUZZ_PROFILES`]).
+    pub fn named(name: &str) -> Option<Profile> {
+        match name {
+            "balanced" => Some(Profile::balanced()),
+            "deep-loops" => Some(Profile::deep_loops()),
+            "phi-web" => Some(Profile::phi_web()),
+            "aliasing" => Some(Profile::aliasing()),
+            "call-web" => Some(Profile::call_web()),
+            _ => None,
+        }
+    }
 }
+
+/// Registry of named profiles sampled by the differential fuzzer. Reproducer
+/// files record one of these names so a failure regenerates byte-identically
+/// from `(profile, seed)` alone.
+pub const FUZZ_PROFILES: &[&str] = &["balanced", "deep-loops", "phi-web", "aliasing", "call-web"];
 
 /// Generates a module for `profile` from `seed`, named `name`.
 ///

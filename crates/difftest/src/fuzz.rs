@@ -1,0 +1,292 @@
+//! The seeded fuzzing driver.
+//!
+//! Each case is a pure function of its seed: the seed picks a generator
+//! profile (unless pinned), generates a module, optionally deoptimizes it,
+//! samples a random pipeline over the full action space, and judges the
+//! result with [`run_case`]. Failures are shrunk on both axes
+//! ([`shrink_case`]) and written to the reproducer corpus.
+//!
+//! Work is fanned out over `--jobs` worker threads. Seeds are striped
+//! statically (worker `i` takes seeds `start+i`, `start+i+jobs`, …) so a
+//! run's case set is independent of scheduling; divergence reports flow back
+//! over a crossbeam channel. A wall-clock budget stops workers from starting
+//! new cases past the deadline — used by the CI smoke mode, where coverage
+//! is bounded by time rather than seed count.
+//!
+//! Every case feeds the global [`cg_telemetry`] registry (`fuzz.*` metrics:
+//! case counts, failure kinds, per-pass blame, case wall time), which `cg
+//! stats` renders.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cg_datasets::rng::{derive_seed, SplitMix64};
+use cg_datasets::synth::{self, Profile, FUZZ_PROFILES};
+use cg_ir::printer::print_module;
+use cg_llvm::action_space::ActionSpace;
+use crossbeam::channel;
+
+use crate::oracle::OracleConfig;
+use crate::repro::Reproducer;
+use crate::shrink::{run_case, shrink_case, FailureKind};
+
+/// Configuration for one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive).
+    pub seed_end: u64,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Pin every case to this profile; `None` samples per seed.
+    pub profile: Option<String>,
+    /// Maximum pipeline length sampled per case.
+    pub max_passes: usize,
+    /// Extra perturbed-initializer inputs per oracle comparison.
+    pub extra_inputs: u32,
+    /// Probability a case deoptimizes the generated module first.
+    pub deopt_chance: f64,
+    /// Directory for emitted reproducers; `None` disables writing.
+    pub corpus_dir: Option<PathBuf>,
+    /// Wall-clock budget: workers start no new case past the deadline.
+    pub budget: Option<Duration>,
+    /// Program-reduction candidate budget per shrink.
+    pub reduce_budget: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed_start: 0,
+            seed_end: 200,
+            jobs: 1,
+            profile: None,
+            max_passes: 12,
+            extra_inputs: 3,
+            deopt_chance: 0.3,
+            corpus_dir: None,
+            budget: None,
+            reduce_budget: 4000,
+        }
+    }
+}
+
+/// One shrunk divergence found during a run.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// Case seed.
+    pub seed: u64,
+    /// Profile the case generated with.
+    pub profile: String,
+    /// Whether the module was deoptimized before fuzzing.
+    pub deopt: bool,
+    /// The pipeline as originally sampled.
+    pub original_pipeline: Vec<String>,
+    /// The delta-debugged minimal pipeline.
+    pub pipeline: Vec<String>,
+    /// The failure the minimal case exhibits.
+    pub failure: String,
+    /// Line count of the reduced IR.
+    pub ir_lines: usize,
+    /// Where the reproducer was written, if a corpus dir was configured.
+    pub repro_path: Option<PathBuf>,
+}
+
+/// Aggregate result of a fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Seeds skipped because the wall-clock budget expired.
+    pub skipped: u64,
+    /// All divergences found, shrunk.
+    pub divergences: Vec<DivergenceReport>,
+    /// Total wall time.
+    pub elapsed: Duration,
+}
+
+impl FuzzReport {
+    /// True if no case failed.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// The deterministic per-case inputs derived from a seed.
+struct Case {
+    profile_name: String,
+    profile: Profile,
+    deopt: bool,
+    pipeline: Vec<String>,
+}
+
+fn plan_case(seed: u64, cfg: &FuzzConfig, space: &ActionSpace) -> Case {
+    let mut rng = SplitMix64::new(derive_seed("difftest", seed));
+    let profile_name = match &cfg.profile {
+        Some(p) => p.clone(),
+        None => FUZZ_PROFILES[rng.index(FUZZ_PROFILES.len())].to_string(),
+    };
+    let profile = Profile::named(&profile_name)
+        .unwrap_or_else(|| panic!("unknown fuzz profile `{profile_name}`"));
+    let deopt = rng.chance(cfg.deopt_chance);
+    let n_passes = 1 + rng.index(cfg.max_passes.max(1));
+    let names = space.names();
+    let pipeline: Vec<String> = (0..n_passes)
+        .map(|_| names[rng.index(names.len())].to_string())
+        .collect();
+    Case { profile_name, profile, deopt, pipeline }
+}
+
+/// Runs one fuzz case end-to-end; returns a shrunk report on failure.
+fn fuzz_one(seed: u64, cfg: &FuzzConfig, space: &ActionSpace) -> Option<DivergenceReport> {
+    let tel = cg_telemetry::global();
+    let started = Instant::now();
+    let case = plan_case(seed, cfg, space);
+    let mut module = synth::generate(&case.profile, seed, &format!("fuzz-{seed}"));
+    if case.deopt {
+        cg_datasets::deopt::deoptimize(&mut module);
+    }
+    let oracle = OracleConfig {
+        extra_inputs: cfg.extra_inputs,
+        seed: derive_seed("difftest-oracle", seed),
+        ..OracleConfig::default()
+    };
+    tel.fuzz.cases.inc();
+    tel.fuzz.oracle_runs.inc();
+    let failure = run_case(&module, &case.pipeline, &oracle);
+    tel.fuzz.case_wall.record_duration(started.elapsed());
+    let failure = failure?;
+    match &failure {
+        FailureKind::PassPanic { .. } => tel.fuzz.pass_panics.inc(),
+        FailureKind::VerifierReject { .. } => tel.fuzz.verifier_rejects.inc(),
+        FailureKind::Divergence(_) => tel.fuzz.divergences.inc(),
+    }
+    // Shrink both axes. The unshrinkable fallback (shrink_case returning
+    // None can only happen if the failure is flaky) reports the raw case.
+    let (pipeline, reduced, failure) =
+        match shrink_case(&module, &case.pipeline, &oracle, cfg.reduce_budget) {
+            Some(s) => {
+                tel.fuzz.shrunk.inc();
+                (s.pipeline, s.module, s.failure)
+            }
+            None => (case.pipeline.clone(), module.clone(), failure),
+        };
+    for pass in &pipeline {
+        tel.fuzz.blame.get(pass).inc();
+    }
+    let ir = print_module(&reduced);
+    let repro = Reproducer {
+        version: crate::repro::REPRO_VERSION,
+        seed,
+        profile: case.profile_name.clone(),
+        deopt: case.deopt,
+        pipeline: pipeline.clone(),
+        failure: failure.to_string(),
+        ir: ir.clone(),
+    };
+    let repro_path = cfg.corpus_dir.as_ref().and_then(|dir| repro.save(dir).ok());
+    Some(DivergenceReport {
+        seed,
+        profile: case.profile_name,
+        deopt: case.deopt,
+        original_pipeline: case.pipeline,
+        pipeline,
+        failure: failure.to_string(),
+        ir_lines: ir.lines().count(),
+        repro_path,
+    })
+}
+
+/// Runs the fuzzer over `cfg`'s seed range.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let started = Instant::now();
+    let deadline = cfg.budget.map(|b| started + b);
+    let jobs = cfg.jobs.max(1);
+    let (tx, rx) = channel::unbounded::<Result<DivergenceReport, u64>>();
+    let space = ActionSpace::new();
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let tx = tx.clone();
+            let cfg = &*cfg;
+            let space = &space;
+            scope.spawn(move || {
+                let mut seed = cfg.seed_start + worker as u64;
+                while seed < cfg.seed_end {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        // Budget expired: report remaining seeds as skipped.
+                        let _ = tx.send(Err(seed));
+                        return;
+                    }
+                    if let Some(report) = fuzz_one(seed, cfg, space) {
+                        let _ = tx.send(Ok(report));
+                    }
+                    seed += jobs as u64;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut divergences = Vec::new();
+    let mut skipped = 0u64;
+    let stride = jobs as u64;
+    for msg in rx.iter() {
+        match msg {
+            Ok(report) => divergences.push(report),
+            Err(first_unrun) => {
+                skipped += (cfg.seed_end.saturating_sub(first_unrun)).div_ceil(stride);
+            }
+        }
+    }
+    divergences.sort_by_key(|d| d.seed);
+    let total = cfg.seed_end.saturating_sub(cfg.seed_start);
+    FuzzReport {
+        cases: total.saturating_sub(skipped),
+        skipped,
+        divergences,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_planning_is_deterministic() {
+        let cfg = FuzzConfig::default();
+        let space = ActionSpace::new();
+        let a = plan_case(17, &cfg, &space);
+        let b = plan_case(17, &cfg, &space);
+        assert_eq!(a.profile_name, b.profile_name);
+        assert_eq!(a.pipeline, b.pipeline);
+        assert_eq!(a.deopt, b.deopt);
+    }
+
+    #[test]
+    fn small_run_is_clean_and_counts_cases() {
+        let cfg = FuzzConfig { seed_start: 0, seed_end: 6, jobs: 2, ..FuzzConfig::default() };
+        let report = run_fuzz(&cfg);
+        assert_eq!(report.cases, 6);
+        assert_eq!(report.skipped, 0);
+        assert!(
+            report.clean(),
+            "unexpected divergences: {:#?}",
+            report.divergences
+        );
+    }
+
+    #[test]
+    fn budget_zero_skips_everything() {
+        let cfg = FuzzConfig {
+            seed_start: 0,
+            seed_end: 40,
+            jobs: 4,
+            budget: Some(Duration::ZERO),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        assert_eq!(report.cases + report.skipped, 40);
+        assert_eq!(report.cases, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cg-difftest: the differential pass-pipeline fuzzer
+//!
+//! The paper's central robustness claim is that compiler environments are
+//! only trustworthy when transformations are continuously verified (§IV.D,
+//! §VI). This crate is that verification engine for the simulated LLVM
+//! optimizer: it hunts miscompilations across the 124-entry action space by
+//! comparing optimized programs against the fuel-limited reference
+//! interpreter, and shrinks any divergence it finds to a minimal reproducer.
+//!
+//! The subsystem has four parts:
+//!
+//! * [`oracle`] — the differential oracle: verifies the optimized module,
+//!   then executes reference and optimized variants over a deterministic
+//!   multi-input corpus (perturbing mutable global initializers identically
+//!   on both sides) and compares return values and final global memory.
+//! * [`fuzz`] — the seeded fuzzing driver: generates programs from
+//!   aggressive [`cg_datasets::synth::Profile`]s, samples random pipelines,
+//!   applies them pass-by-pass under the verifier, and fans cases out over
+//!   worker threads.
+//! * [`shrink`] — two-axis minimization: delta-debugs the failing pipeline
+//!   to a minimal subsequence, then reduces the program with
+//!   [`cg_ir::reduce`] while re-checking the failure after every step.
+//! * [`repro`] — self-contained JSON reproducers (seed, profile, pipeline,
+//!   reduced IR) written to `difftest-corpus/` and replayed by the
+//!   regression runner so every fixed miscompile stays fixed.
+//!
+//! The `cg fuzz` subcommand is the user-facing surface; per-pass blame
+//! counters flow through `cg-telemetry` into `cg stats`.
+
+pub mod fuzz;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+
+pub use fuzz::{run_fuzz, DivergenceReport, FuzzConfig, FuzzReport};
+pub use oracle::{compare_modules, OracleConfig, OracleFailure};
+pub use repro::Reproducer;

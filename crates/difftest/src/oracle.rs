@@ -1,0 +1,276 @@
+//! The differential oracle.
+//!
+//! Given a reference module and an optimized module derived from it, the
+//! oracle decides whether the optimization preserved observable behaviour.
+//! Observable behaviour is what the interpreter reports: the value returned
+//! by `main` and the final contents of global memory (`globals_hash`), for
+//! the original program *and* for a corpus of input variants that perturb
+//! mutable global initializers.
+//!
+//! ## The input corpus and its soundness contract
+//!
+//! Programs here take no external input; their "input" is the initial state
+//! of global memory. To exercise more than one path, the oracle re-runs both
+//! modules with the initializers of some globals replaced by seeded random
+//! values — applied *identically* on both sides.
+//!
+//! Only globals marked non-`constant` in **both** modules may be perturbed:
+//! `globalopt` marks never-stored globals constant and folds their loads, so
+//! an initializer baked into folded code must never be changed afterwards.
+//! This is the semantic contract passes rely on — *a pass may only assume
+//! the initial value of a global it has proven (and marked) constant* — and
+//! the oracle enforces exactly that boundary.
+//!
+//! ## Traps and fuel
+//!
+//! A reference trap (or fuel exhaustion) on some input makes that input's
+//! behaviour unobservable — optimizations are free to change what a trapping
+//! program does — so the comparison is skipped. The optimized module runs
+//! with a generous fuel multiple of the reference limit: passes like full
+//! unrolling legitimately change dynamic instruction counts, but an
+//! optimized program that *cannot finish* where the reference did is a
+//! divergence ([`OracleFailure::FuelDiverged`]).
+
+use std::fmt;
+
+use cg_ir::interp::{run_main, ExecError, ExecLimits, Value};
+use cg_ir::verify::verify_module;
+use cg_ir::Module;
+use cg_datasets::rng::SplitMix64;
+
+/// Configuration for one oracle comparison.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Number of perturbed-initializer input variants beyond the base run.
+    pub extra_inputs: u32,
+    /// Seed for deriving the input corpus.
+    pub seed: u64,
+    /// Execution limits for the reference module.
+    pub limits: ExecLimits,
+    /// Fuel multiplier granted to the optimized module (≥ 1).
+    pub opt_fuel_factor: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            extra_inputs: 3,
+            seed: 0x9e3779b97f4a7c15,
+            limits: ExecLimits::default(),
+            opt_fuel_factor: 4,
+        }
+    }
+}
+
+/// A behavioural divergence between reference and optimized modules.
+///
+/// `input` identifies the corpus entry: 0 is the unperturbed program,
+/// `1..=extra_inputs` are the perturbed-initializer variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleFailure {
+    /// The optimized module no longer satisfies the IR verifier.
+    InvalidIr {
+        /// Verifier diagnostic.
+        error: String,
+    },
+    /// The optimized module trapped on an input the reference completed.
+    TrapIntroduced {
+        /// Corpus input index.
+        input: u32,
+        /// The trap.
+        error: ExecError,
+    },
+    /// The optimized module exhausted its (already multiplied) fuel budget
+    /// on an input the reference completed within budget.
+    FuelDiverged {
+        /// Corpus input index.
+        input: u32,
+    },
+    /// `main` returned different values.
+    ReturnMismatch {
+        /// Corpus input index.
+        input: u32,
+        /// Reference return value.
+        reference: Option<Value>,
+        /// Optimized return value.
+        optimized: Option<Value>,
+    },
+    /// Final global memory differs.
+    MemoryMismatch {
+        /// Corpus input index.
+        input: u32,
+        /// Reference globals hash.
+        reference: u64,
+        /// Optimized globals hash.
+        optimized: u64,
+    },
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleFailure::InvalidIr { error } => write!(f, "verifier rejected optimized IR: {error}"),
+            OracleFailure::TrapIntroduced { input, error } => {
+                write!(f, "input {input}: optimized module trapped ({error}) where reference completed")
+            }
+            OracleFailure::FuelDiverged { input } => {
+                write!(f, "input {input}: optimized module exhausted fuel where reference completed")
+            }
+            OracleFailure::ReturnMismatch { input, reference, optimized } => {
+                write!(f, "input {input}: return mismatch (reference {reference:?}, optimized {optimized:?})")
+            }
+            OracleFailure::MemoryMismatch { input, reference, optimized } => {
+                write!(
+                    f,
+                    "input {input}: global memory mismatch (reference {reference:#x}, optimized {optimized:#x})"
+                )
+            }
+        }
+    }
+}
+
+/// Indices of globals whose initializers the oracle may perturb: present in
+/// both modules under the same name and non-constant in both.
+fn perturbable(reference: &Module, optimized: &Module) -> Vec<usize> {
+    let n = reference.globals().len().min(optimized.globals().len());
+    (0..n)
+        .filter(|&i| {
+            let r = &reference.globals()[i];
+            let o = &optimized.globals()[i];
+            r.name == o.name && !r.constant && !o.constant
+        })
+        .collect()
+}
+
+/// Overwrites the initializers of globals `targets` in `m` with values drawn
+/// from a clone of `rng`. Both sides of a comparison call this with equal
+/// rng state, so perturbation is identical.
+fn perturb(m: &mut Module, targets: &[usize], rng: &mut SplitMix64) {
+    for &gi in targets {
+        let g = &mut m.globals_mut()[gi];
+        let slots = g.slots as usize;
+        g.init = (0..slots).map(|_| rng.range_i64(-1000, 1000)).collect();
+    }
+}
+
+/// Compares `optimized` against `reference` over the full input corpus.
+///
+/// Returns the number of executed (reference, optimized) run pairs on
+/// success — callers feed this into telemetry — or the first divergence.
+pub fn compare_modules(
+    reference: &Module,
+    optimized: &Module,
+    cfg: &OracleConfig,
+) -> Result<u32, OracleFailure> {
+    if let Err(e) = verify_module(optimized) {
+        return Err(OracleFailure::InvalidIr { error: e.to_string() });
+    }
+    let opt_limits = ExecLimits {
+        max_insts: cfg.limits.max_insts.saturating_mul(cfg.opt_fuel_factor.max(1)),
+        ..cfg.limits
+    };
+    let targets = perturbable(reference, optimized);
+    let mut runs = 0u32;
+    for input in 0..=cfg.extra_inputs {
+        let (ref_m, opt_m);
+        let (ref_view, opt_view): (&Module, &Module) = if input == 0 {
+            (reference, optimized)
+        } else {
+            if targets.is_empty() {
+                break; // nothing to vary; extra inputs would repeat input 0
+            }
+            let mut rng_r = SplitMix64::new(cfg.seed.wrapping_add(u64::from(input)));
+            let mut rng_o = SplitMix64::new(cfg.seed.wrapping_add(u64::from(input)));
+            let mut r = reference.clone();
+            let mut o = optimized.clone();
+            perturb(&mut r, &targets, &mut rng_r);
+            perturb(&mut o, &targets, &mut rng_o);
+            ref_m = r;
+            opt_m = o;
+            (&ref_m, &opt_m)
+        };
+        let ref_out = match run_main(ref_view, &cfg.limits) {
+            Ok(out) => out,
+            // Reference trapped or ran out of fuel: this input's behaviour
+            // is unobservable (optimizations may remove dead trapping code),
+            // so it cannot be compared.
+            Err(_) => continue,
+        };
+        runs += 1;
+        let opt_out = match run_main(opt_view, &opt_limits) {
+            Ok(out) => out,
+            Err(ExecError::FuelExhausted) => return Err(OracleFailure::FuelDiverged { input }),
+            Err(error) => return Err(OracleFailure::TrapIntroduced { input, error }),
+        };
+        if ref_out.ret != opt_out.ret {
+            return Err(OracleFailure::ReturnMismatch {
+                input,
+                reference: ref_out.ret,
+                optimized: opt_out.ret,
+            });
+        }
+        if ref_out.globals_hash != opt_out.globals_hash {
+            return Err(OracleFailure::MemoryMismatch {
+                input,
+                reference: ref_out.globals_hash,
+                optimized: opt_out.globals_hash,
+            });
+        }
+    }
+    Ok(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_datasets::synth::{generate, Profile};
+
+    #[test]
+    fn identical_modules_compare_equal() {
+        let m = generate(&Profile::balanced(), 7, "t");
+        let runs = compare_modules(&m, &m, &OracleConfig::default()).unwrap();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn perturbed_inputs_are_deterministic() {
+        let m = generate(&Profile::aliasing(), 11, "t");
+        let cfg = OracleConfig::default();
+        assert_eq!(compare_modules(&m, &m, &cfg), compare_modules(&m, &m, &cfg));
+    }
+
+    #[test]
+    fn detects_wrong_return() {
+        // main returns a load of g[0]; sabotage the optimized side's
+        // initializer — equivalent to a pass illegally folding a mutable
+        // global.
+        use cg_ir::builder::ModuleBuilder;
+        use cg_ir::{Operand, Type};
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 1, vec![5]);
+        let mut fb = mb.begin_function("main", &[], Type::I64);
+        let v = fb.load(Type::I64, Operand::Global(g));
+        fb.ret(Some(v));
+        fb.finish();
+        let m = mb.finish();
+        let mut bad = m.clone();
+        bad.globals_mut()[0].init[0] = 6;
+        let err = compare_modules(&m, &bad, &OracleConfig::default()).unwrap_err();
+        match err {
+            OracleFailure::ReturnMismatch { .. } | OracleFailure::MemoryMismatch { .. } => {}
+            other => panic!("unexpected failure kind: {other}"),
+        }
+    }
+
+    #[test]
+    fn constant_globals_are_never_perturbed() {
+        let mut m = generate(&Profile::balanced(), 5, "t");
+        for g in m.globals_mut() {
+            g.constant = true;
+        }
+        // With every global constant there are no perturbable targets; the
+        // corpus collapses to the base input only.
+        let runs = compare_modules(&m, &m, &OracleConfig::default()).unwrap();
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Self-contained reproducer files.
+//!
+//! A reproducer captures everything needed to regenerate and re-judge a
+//! shrunk failure: the generator coordinates (profile name, seed, whether
+//! the module was deoptimized), the minimal pipeline, the reduced IR text,
+//! and a human-readable description of the failure observed when it was
+//! recorded. Files live in `difftest-corpus/` at the repository root and are
+//! committed alongside the pass fix; the regression runner
+//! (`crates/difftest/tests/corpus_replay.rs`) replays each on every test run
+//! and fails if any divergence resurfaces.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use cg_ir::verify::verify_module;
+use serde::{Deserialize, Serialize};
+
+use crate::oracle::OracleConfig;
+use crate::shrink::run_case;
+
+/// Current reproducer file format version.
+pub const REPRO_VERSION: u32 = 1;
+
+/// A checked-in reproducer for a (formerly) failing fuzz case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// File format version ([`REPRO_VERSION`]).
+    pub version: u32,
+    /// Fuzz case seed.
+    pub seed: u64,
+    /// Generator profile name (see [`cg_datasets::synth::FUZZ_PROFILES`]).
+    pub profile: String,
+    /// Whether the generated module was deoptimized before fuzzing.
+    pub deopt: bool,
+    /// Minimal failing pass pipeline.
+    pub pipeline: Vec<String>,
+    /// Failure observed when the reproducer was recorded.
+    pub failure: String,
+    /// Reduced program, in textual IR form.
+    pub ir: String,
+}
+
+impl Reproducer {
+    /// Replays the reproducer: parses and verifies the IR, applies the
+    /// pipeline, and runs the oracle. Returns `Err` describing the failure
+    /// if the case *still* fails — i.e. `Ok(())` means the underlying bug
+    /// remains fixed.
+    pub fn replay(&self) -> Result<(), String> {
+        let module = cg_ir::parser::parse_module(&self.ir)
+            .map_err(|e| format!("reproducer IR does not parse: {e}"))?;
+        verify_module(&module).map_err(|e| format!("reproducer IR does not verify: {e}"))?;
+        for name in &self.pipeline {
+            if cg_llvm::pass::find_pass(name).is_none() {
+                return Err(format!("reproducer references unknown pass `{name}`"));
+            }
+        }
+        let oracle = OracleConfig { seed: self.seed, ..OracleConfig::default() };
+        match run_case(&module, &self.pipeline, &oracle) {
+            None => Ok(()),
+            Some(failure) => Err(format!(
+                "case regressed (recorded: {}): {failure}",
+                self.failure
+            )),
+        }
+    }
+
+    /// The deterministic file name for this reproducer.
+    pub fn file_name(&self) -> String {
+        let mut tag = String::new();
+        tag.push_str(&self.ir);
+        for p in &self.pipeline {
+            tag.push('|');
+            tag.push_str(p);
+        }
+        format!("repro-{:06}-{:08x}.json", self.seed, cg_ir::fnv1a(tag.as_bytes()) as u32)
+    }
+
+    /// Serializes into `dir` (created if absent). Returns the written path.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Loads a reproducer from a JSON file.
+    pub fn load(path: &Path) -> Result<Reproducer, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let repro: Reproducer =
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if repro.version != REPRO_VERSION {
+            return Err(format!(
+                "{}: unsupported reproducer version {} (expected {REPRO_VERSION})",
+                path.display(),
+                repro.version
+            ));
+        }
+        Ok(repro)
+    }
+}
+
+/// Loads every `*.json` reproducer under `dir`, sorted by file name. A
+/// missing directory is an empty corpus, not an error.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, Reproducer)>, String> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let repro = Reproducer::load(&path)?;
+        out.push((path, repro));
+    }
+    Ok(out)
+}
+
+/// The default corpus directory: `difftest-corpus/` at the workspace root.
+pub fn default_corpus_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR points at crates/difftest; the corpus lives two
+    // levels up, next to Cargo.toml. Fall back to a relative path for
+    // non-cargo invocations (the installed `cg` binary).
+    match option_env!("CARGO_MANIFEST_DIR") {
+        Some(dir) => Path::new(dir).join("../../difftest-corpus"),
+        None => PathBuf::from("difftest-corpus"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_datasets::synth::{generate, Profile};
+
+    fn sample() -> Reproducer {
+        let m = generate(&Profile::balanced(), 42, "r");
+        Reproducer {
+            version: REPRO_VERSION,
+            seed: 42,
+            profile: "balanced".into(),
+            deopt: false,
+            pipeline: vec!["instcombine".into(), "dce".into()],
+            failure: "none (test fixture)".into(),
+            ir: cg_ir::printer::print_module(&m),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Reproducer = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn healthy_case_replays_green() {
+        sample().replay().unwrap();
+    }
+
+    #[test]
+    fn unknown_pass_is_reported() {
+        let mut r = sample();
+        r.pipeline.push("no-such-pass".into());
+        let err = r.replay().unwrap_err();
+        assert!(err.contains("no-such-pass"), "{err}");
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let r = sample();
+        let dir = std::env::temp_dir().join("cg-difftest-repro-test");
+        let path = r.save(&dir).unwrap();
+        let back = Reproducer::load(&path).unwrap();
+        assert_eq!(r, back);
+        let corpus = load_corpus(&dir).unwrap();
+        assert!(corpus.iter().any(|(p, _)| *p == path));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,52 @@
+//! The reproducer regression runner: every reproducer checked into
+//! `difftest-corpus/` is replayed on every test run. A reproducer is
+//! committed together with the pass fix for the miscompile it captured, so
+//! replay must come back green — a red replay means the bug resurfaced.
+
+use cg_difftest::repro::{default_corpus_dir, load_corpus};
+
+#[test]
+fn all_checked_in_reproducers_replay_green() {
+    let dir = default_corpus_dir();
+    let corpus = load_corpus(&dir).unwrap_or_else(|e| panic!("corpus unreadable: {e}"));
+    // An empty corpus is healthy (no fixed miscompiles yet); a directory
+    // full of reproducers must replay clean, case by case.
+    let mut regressions = Vec::new();
+    for (path, repro) in &corpus {
+        if let Err(e) = repro.replay() {
+            regressions.push(format!("{}: {e}", path.display()));
+        }
+    }
+    assert!(
+        regressions.is_empty(),
+        "{} reproducer(s) regressed:\n{}",
+        regressions.len(),
+        regressions.join("\n")
+    );
+}
+
+#[test]
+fn corpus_files_are_well_formed() {
+    let corpus = load_corpus(&default_corpus_dir()).unwrap();
+    for (path, repro) in &corpus {
+        // The acceptance bar for committed reproducers: small enough to
+        // debug by eye.
+        assert!(
+            repro.ir.lines().count() <= 40,
+            "{}: reduced IR exceeds 40 lines",
+            path.display()
+        );
+        assert!(
+            repro.pipeline.len() <= 4,
+            "{}: minimal pipeline exceeds 4 passes",
+            path.display()
+        );
+        assert!(!repro.failure.is_empty(), "{}: missing failure description", path.display());
+        assert!(
+            cg_datasets::synth::Profile::named(&repro.profile).is_some(),
+            "{}: unknown profile `{}`",
+            path.display(),
+            repro.profile
+        );
+    }
+}

@@ -37,6 +37,7 @@ pub mod builder;
 pub mod interp;
 pub mod parser;
 pub mod printer;
+pub mod reduce;
 pub mod verify;
 
 mod inst;

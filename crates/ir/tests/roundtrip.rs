@@ -1,0 +1,60 @@
+//! Property test: the textual format is lossless for generated programs —
+//! `parse(print(m))` verifies and is *structurally equal* to `m` (derived
+//! `PartialEq` over the arena representation, not just an equal re-print).
+//! Structural equality is what state serialization, episode replay, and the
+//! difftest reproducer format all rely on.
+
+use proptest::prelude::*;
+
+use cg_datasets::synth::{generate, Profile, FUZZ_PROFILES};
+use cg_ir::verify::verify_module;
+
+fn roundtrip(m: &cg_ir::Module) {
+    let text = cg_ir::printer::print_module(m);
+    let back = cg_ir::parser::parse_module(&text)
+        .unwrap_or_else(|e| panic!("printed module does not re-parse: {e}\n{text}"));
+    verify_module(&back).unwrap_or_else(|e| panic!("re-parsed module does not verify: {e}"));
+    assert_eq!(*m, back, "parse(print(m)) is not structurally equal to m");
+    assert_eq!(cg_ir::module_hash(m), cg_ir::module_hash(&back));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Round-trip over every fuzz profile × random seeds.
+    #[test]
+    fn parse_print_is_structural_identity(
+        seed in 0u64..1_000_000,
+        profile_idx in 0usize..5,
+    ) {
+        let profile = Profile::named(FUZZ_PROFILES[profile_idx % FUZZ_PROFILES.len()]).unwrap();
+        let m = generate(&profile, seed, "roundtrip");
+        verify_module(&m).unwrap();
+        roundtrip(&m);
+    }
+
+    /// Round-trip survives deoptimization (the noisiest IR the repo emits:
+    /// extra allocas, redundant loads, split blocks).
+    #[test]
+    fn parse_print_survives_deoptimized_modules(seed in 0u64..1_000_000) {
+        let mut m = generate(&Profile::balanced(), seed, "roundtrip-deopt");
+        cg_datasets::deopt::deoptimize(&mut m);
+        verify_module(&m).unwrap();
+        roundtrip(&m);
+    }
+}
+
+/// Non-random anchors: the reduction utilities delete blocks and leave
+/// arena holes; round-trip must survive sparse ids too.
+#[test]
+fn roundtrip_survives_reduced_modules() {
+    let mut m = generate(&Profile::phi_web(), 7, "roundtrip-reduced");
+    cg_ir::reduce::reduce_module(&mut m, |c| verify_module(c).is_ok(), 2_000);
+    verify_module(&m).unwrap();
+    let text = cg_ir::printer::print_module(&m);
+    let back = cg_ir::parser::parse_module(&text).unwrap();
+    verify_module(&back).unwrap();
+    // Arena *shapes* may legitimately differ after hole-punching (the parser
+    // rebuilds dense arenas), so compare the canonical form, not structure.
+    assert_eq!(text, cg_ir::printer::print_module(&back));
+}

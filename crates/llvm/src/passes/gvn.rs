@@ -93,6 +93,13 @@ impl Pass for Gvn {
                         // Block-local load table (cleared per block).
                         let mut loads: HashMap<Operand, ValueId> = HashMap::new();
                         for inst in &f.block(b).insts {
+                            // Clobber check FIRST: stores and void calls have
+                            // no dest, so an early dest-guard would skip them
+                            // and leave stale entries in the load table —
+                            // forwarding a pre-store value past the store.
+                            if inst.op.writes_memory() {
+                                loads.clear();
+                            }
                             let Some(d) = inst.dest else { continue };
                             match &inst.op {
                                 Op::Load { ptr } if with_loads => {
@@ -121,11 +128,7 @@ impl Pass for Gvn {
                                         }
                                     }
                                 }
-                                op => {
-                                    if op.writes_memory() {
-                                        loads.clear();
-                                    }
-                                }
+                                _ => {}
                             }
                         }
                         stack.push(Ev::Exit(added));
@@ -344,6 +347,28 @@ mod tests {
         assert!(Gvn::with_loads().run(&mut m));
         verify_module(&m).unwrap();
         assert_eq!(m.inst_count(), 3);
+    }
+
+    #[test]
+    fn gvn_pre_does_not_forward_loads_across_stores() {
+        // Found by cg fuzz (difftest-corpus/repro-000208-*): stores have no
+        // dest, so a dest-guard placed before the clobber check skipped them
+        // and the second load was "redundant" with the first despite the
+        // intervening overwrite.
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 1, vec![5]);
+        let mut fb = mb.begin_function("f", &[], Type::I64);
+        let p = Operand::Global(g);
+        let a = fb.load(Type::I64, p);
+        fb.store(p, Operand::const_int(9));
+        let b = fb.load(Type::I64, p); // NOT redundant: must observe the 9
+        let s = fb.bin(BinOp::Add, a, b);
+        fb.ret(Some(s));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(!Gvn::with_loads().run(&mut m), "no load may be forwarded here");
+        verify_module(&m).unwrap();
+        assert_eq!(m.inst_count(), 5);
     }
 
     #[test]

@@ -127,6 +127,21 @@ pub fn run_passes(module: &mut Module, names: &[&str]) -> bool {
     changed
 }
 
+/// Runs a sequence of named passes, failing fast instead of panicking.
+///
+/// Used by reproducer replay (`cg-difftest`), where pipelines come from
+/// checked-in JSON files rather than compile-time constants: an unknown pass
+/// name (e.g. after a registry rename) must surface as an error the
+/// regression runner can report, not a panic.
+pub fn try_run_passes(module: &mut Module, names: &[String]) -> Result<bool, String> {
+    let mut changed = false;
+    for name in names {
+        let pass = find_pass(name).ok_or_else(|| format!("unknown pass `{name}`"))?;
+        changed |= pass.run(module);
+    }
+    Ok(changed)
+}
+
 /// Runs the pipeline for `level` over a module.
 pub fn run_level(module: &mut Module, level: OptLevel) -> bool {
     run_passes(module, &level.pass_names())

@@ -409,6 +409,80 @@ pub struct PassSnapshot {
 pub type PassTable = Family<PassStats>;
 
 // ---------------------------------------------------------------------------
+// Differential-fuzzing statistics
+// ---------------------------------------------------------------------------
+
+/// Counters for the differential pass-pipeline fuzzer (`cg fuzz`).
+///
+/// `blame` attributes divergences to individual passes: every pass that
+/// survives pipeline shrinking (i.e. is a member of a minimal failing
+/// subsequence) gets one count, so persistent offenders surface in
+/// `cg stats` even across many fuzz runs.
+#[derive(Debug, Default)]
+pub struct FuzzStats {
+    /// Fuzz cases executed (one generated module + one sampled pipeline).
+    pub cases: Counter,
+    /// Cases whose oracle comparison diverged (miscompilations found).
+    pub divergences: Counter,
+    /// Divergences successfully shrunk to a minimal reproducer.
+    pub shrunk: Counter,
+    /// Cases where the IR verifier rejected the module after a pass.
+    pub verifier_rejects: Counter,
+    /// Cases where a pass panicked.
+    pub pass_panics: Counter,
+    /// Oracle executions (reference + optimized runs, all corpus inputs).
+    pub oracle_runs: Counter,
+    /// Per-pass blame counts (membership in a minimal failing pipeline).
+    pub blame: Family<Counter>,
+    /// Wall time per fuzz case, including shrinking.
+    pub case_wall: Histogram,
+}
+
+impl FuzzStats {
+    /// Captures the summary.
+    pub fn snapshot(&self) -> FuzzSnapshot {
+        let mut blame = BTreeMap::new();
+        self.blame.for_each(|k, c| {
+            blame.insert(k.to_string(), c.get());
+        });
+        FuzzSnapshot {
+            cases: self.cases.get(),
+            divergences: self.divergences.get(),
+            shrunk: self.shrunk.get(),
+            verifier_rejects: self.verifier_rejects.get(),
+            pass_panics: self.pass_panics.get(),
+            oracle_runs: self.oracle_runs.get(),
+            blame,
+            case_wall: self.case_wall.snapshot(),
+        }
+    }
+
+    fn reset(&self) {
+        self.cases.reset();
+        self.divergences.reset();
+        self.shrunk.reset();
+        self.verifier_rejects.reset();
+        self.pass_panics.reset();
+        self.oracle_runs.reset();
+        self.blame.for_each(|_, c| c.reset());
+        self.case_wall.reset();
+    }
+}
+
+/// Serializable form of [`FuzzStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzSnapshot {
+    pub cases: u64,
+    pub divergences: u64,
+    pub shrunk: u64,
+    pub verifier_rejects: u64,
+    pub pass_panics: u64,
+    pub oracle_runs: u64,
+    pub blame: BTreeMap<String, u64>,
+    pub case_wall: HistogramSnapshot,
+}
+
+// ---------------------------------------------------------------------------
 // Trace events
 // ---------------------------------------------------------------------------
 
@@ -609,6 +683,8 @@ pub struct Telemetry {
     pub observations: Family<Histogram>,
     /// Per-pass profiling table.
     pub passes: PassTable,
+    /// Differential-fuzzer statistics (`cg fuzz`).
+    pub fuzz: FuzzStats,
     /// Structured trace ring.
     pub trace: TraceBuffer,
 }
@@ -651,6 +727,7 @@ impl Telemetry {
             episode: self.episode.snapshot(),
             observations,
             passes,
+            fuzz: self.fuzz.snapshot(),
             trace_events: self.trace.len() as u64,
             trace_dropped: self.trace.dropped(),
         }
@@ -670,6 +747,7 @@ impl Telemetry {
         self.episode.reset();
         self.observations.for_each(|_, h| h.reset());
         self.passes.for_each(|_, p| p.reset());
+        self.fuzz.reset();
         self.trace.clear();
     }
 }
@@ -689,6 +767,7 @@ pub struct TelemetrySnapshot {
     pub episode: EpisodeSnapshot,
     pub observations: BTreeMap<String, HistogramSnapshot>,
     pub passes: BTreeMap<String, PassSnapshot>,
+    pub fuzz: FuzzSnapshot,
     pub trace_events: u64,
     pub trace_dropped: u64,
 }

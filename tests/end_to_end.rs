@@ -24,7 +24,10 @@ fn full_episode_with_validation_on_every_cbench_program() {
         let ir = env.observe("Ir").unwrap();
         let optimized = cg_ir::parser::parse_module(ir.as_text().unwrap()).unwrap();
         let verdict = cg_core::validation::validate_semantics(&reference, &optimized).unwrap();
-        assert_eq!(verdict, cg_core::validation::SemanticsVerdict::Ok, "{name}");
+        assert!(
+            matches!(verdict, cg_core::validation::SemanticsVerdict::Ok { runs } if runs >= 1),
+            "{name}: {verdict:?}"
+        );
     }
 }
 
