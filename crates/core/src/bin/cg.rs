@@ -22,7 +22,9 @@ fn usage() -> ExitCode {
          cg replay <state.json>\n  cg validate <state.json>\n  cg datasets\n  \
          cg stats [--json] <env> <benchmark> <steps>\n  cg trace <env> <benchmark> <steps>\n  \
          cg chaos [--episodes N] [--steps N] [--seed S] [--panic P] [--hang P]\n           \
-         [--error P] [--corrupt P] [--timeout-ms MS] [--json]\n  \
+         [--error P] [--corrupt P] [--wedge P] [--slow-growth P] [--faults LIST]\n           \
+         [--timeout-ms MS] [--checkpoint-k K] [--budget-wall-ms MS] [--max-growth F]\n           \
+         [--watchdog-ms MS] [--breaker N] [--breaker-cooldown-ms MS] [--json]\n  \
          cg fuzz [--seed-range A..B] [--jobs N] [--profile NAME] [--max-passes N]\n          \
          [--inputs N] [--corpus DIR] [--no-corpus] [--budget-secs N]\n          \
          [--reduce-budget N] [--smoke] [--json]"
@@ -207,6 +209,17 @@ fn stats(
     println!(
         "\nservice health: restarts={} panics={} timeouts={} in-flight={}",
         snap.restarts, snap.panics, snap.timeouts, snap.in_flight
+    );
+    println!(
+        "containment: checkpoints={} restores={} budget-kills={} watchdog-restarts={} \
+         breaker trips={} half-opens={} fast-fails={}",
+        snap.checkpoints_taken,
+        snap.checkpoint_restores,
+        snap.budget_kills,
+        snap.watchdog_restarts,
+        snap.breaker_trips,
+        snap.breaker_half_opens,
+        snap.breaker_fast_fails
     );
     let ep = &snap.episode;
     let changed_pct = if ep.actions_total == 0 {
@@ -457,7 +470,16 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut hang_prob = 0.02;
     let mut error_prob = 0.0;
     let mut corrupt_prob = 0.0;
+    let mut wedge_prob = 0.0;
+    let mut slow_growth_prob = 0.0;
     let mut timeout_ms: u64 = 400;
+    // Containment knobs (the server-side half of the recovery ladder).
+    let mut checkpoint_k: u64 = 10;
+    let mut budget_wall_ms: u64 = 0;
+    let mut max_growth: f64 = 0.0;
+    let mut watchdog_ms: u64 = 0;
+    let mut breaker_threshold: u32 = 0;
+    let mut breaker_cooldown_ms: u64 = 250;
     let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -472,10 +494,54 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--hang" => hang_prob = val("--hang")?.parse()?,
             "--error" => error_prob = val("--error")?.parse()?,
             "--corrupt" => corrupt_prob = val("--corrupt")?.parse()?,
+            "--wedge" => wedge_prob = val("--wedge")?.parse()?,
+            "--slow-growth" => slow_growth_prob = val("--slow-growth")?.parse()?,
+            // Fault-kind matrix selector: zero every probability, then give
+            // each listed kind its default load.
+            "--faults" => {
+                panic_prob = 0.0;
+                hang_prob = 0.0;
+                error_prob = 0.0;
+                corrupt_prob = 0.0;
+                wedge_prob = 0.0;
+                slow_growth_prob = 0.0;
+                for kind in val("--faults")?.split(',').filter(|s| !s.is_empty()) {
+                    match kind {
+                        "panic" => panic_prob = 0.05,
+                        "hang" => hang_prob = 0.04,
+                        "error" => error_prob = 0.05,
+                        "corrupt" => corrupt_prob = 0.04,
+                        "wedge" => wedge_prob = 0.03,
+                        "slow-growth" => slow_growth_prob = 0.10,
+                        other => {
+                            return Err(format!("unknown fault kind `{other}`").into())
+                        }
+                    }
+                }
+            }
             "--timeout-ms" => timeout_ms = val("--timeout-ms")?.parse()?,
+            "--checkpoint-k" => checkpoint_k = val("--checkpoint-k")?.parse()?,
+            "--budget-wall-ms" => budget_wall_ms = val("--budget-wall-ms")?.parse()?,
+            "--max-growth" => max_growth = val("--max-growth")?.parse()?,
+            "--watchdog-ms" => watchdog_ms = val("--watchdog-ms")?.parse()?,
+            "--breaker" => breaker_threshold = val("--breaker")?.parse()?,
+            "--breaker-cooldown-ms" => {
+                breaker_cooldown_ms = val("--breaker-cooldown-ms")?.parse()?;
+            }
             "--json" => json = true,
             other => return Err(format!("unknown chaos flag `{other}`").into()),
         }
+    }
+    // Each fault kind needs its matching containment rung; wire the default
+    // when the user selected the fault but no explicit limit.
+    if slow_growth_prob > 0.0 && max_growth == 0.0 {
+        max_growth = 2.0;
+    }
+    if hang_prob > 0.0 && budget_wall_ms == 0 {
+        budget_wall_ms = timeout_ms / 2;
+    }
+    if wedge_prob > 0.0 && watchdog_ms == 0 {
+        watchdog_ms = timeout_ms / 4;
     }
 
     // Injected panics are expected here; keep their default backtrace spew
@@ -504,6 +570,8 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .with_hang_prob(hang_prob)
         .with_error_prob(error_prob)
         .with_corrupt_prob(corrupt_prob)
+        .with_wedge_prob(wedge_prob)
+        .with_slow_growth_prob(slow_growth_prob)
         .with_hang_duration(timeout * 6)
         .with_max_faults(episodes.saturating_mul(2).max(4));
     let inner = cg_core::envs::session_factory("llvm-v0").map_err(cg_core::CgError::Unknown)?;
@@ -521,6 +589,38 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             .with_max_attempts(10)
             .with_backoff(Duration::from_millis(5), Duration::from_millis(200)),
     );
+    // Containment wiring. The default checkpoint interval is already K=10;
+    // only replace the store for a non-default K (replacing restarts the
+    // service, which would pollute the restart counters below).
+    if checkpoint_k != cg_core::checkpoint::DEFAULT_CHECKPOINT_INTERVAL {
+        env.set_checkpoint_interval(checkpoint_k);
+    }
+    if budget_wall_ms > 0 || max_growth > 0.0 {
+        let mut budget = cg_core::ResourceBudget::default();
+        if budget_wall_ms > 0 {
+            budget = budget.with_step_wall(Duration::from_millis(budget_wall_ms));
+        }
+        if max_growth > 0.0 {
+            budget = budget.with_max_growth(max_growth);
+        }
+        env.set_resource_budget(budget)?;
+    }
+    if watchdog_ms > 0 {
+        env.enable_watchdog(cg_core::WatchdogConfig {
+            interval: Duration::from_millis(watchdog_ms),
+            probe_deadline: Duration::from_millis((watchdog_ms / 2).max(10)),
+            misses: 2,
+        });
+    }
+    let breaker = (breaker_threshold > 0).then(|| {
+        cg_core::CircuitBreaker::new(
+            breaker_threshold,
+            Duration::from_millis(breaker_cooldown_ms),
+        )
+    });
+    if let Some(br) = &breaker {
+        env.set_circuit_breaker(br.clone());
+    }
 
     const BENCHMARKS: [&str; 4] = [
         "benchmark://cbench-v1/qsort",
@@ -530,6 +630,7 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     ];
     let mut completed = 0u64;
     let mut session_errors = 0u64;
+    let mut circuit_rejections = 0u64;
     let mut unrecovered: Vec<String> = Vec::new();
     for ep in 0..episodes {
         env.set_benchmark(BENCHMARKS[(ep % BENCHMARKS.len() as u64) as usize]);
@@ -551,6 +652,11 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     ok = false;
                     break;
                 }
+                // A quarantined pair fast-failing is the breaker doing its
+                // job, not a recovery failure: skip the action and go on.
+                Err(cg_core::CgError::CircuitOpen { .. }) => {
+                    circuit_rejections += 1;
+                }
                 Err(e) => {
                     unrecovered.push(format!("episode {ep} step {s}: {e}"));
                     ok = false;
@@ -562,6 +668,19 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             completed += 1;
         }
     }
+    // The breaker contract requires open circuits to eventually allow a
+    // half-open probe. If the soak never demonstrated it, drive it: wait
+    // out the cooldown and probe every quarantined pair.
+    let mut breaker_never_half_opened = false;
+    if let Some(br) = &breaker {
+        if br.trips() > 0 && br.half_opens() == 0 {
+            std::thread::sleep(Duration::from_millis(breaker_cooldown_ms + 50));
+            for (b, a) in br.open_circuits() {
+                let _ = br.admit(&b, a);
+            }
+            breaker_never_half_opened = br.half_opens() == 0;
+        }
+    }
     let snap = tel.snapshot();
 
     if json {
@@ -570,42 +689,66 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             episodes: u64,
             completed: u64,
             session_errors: u64,
+            circuit_rejections: u64,
             unrecovered: Vec<String>,
             injected_panics: u64,
             injected_hangs: u64,
             injected_errors: u64,
             injected_corruptions: u64,
+            injected_wedges: u64,
+            injected_slow_growths: u64,
             recoveries: u64,
             restarts: u64,
             replay_divergences: u64,
             timeouts: u64,
             service_panics: u64,
+            checkpoints_taken: u64,
+            checkpoint_restores: u64,
+            budget_kills: u64,
+            watchdog_restarts: u64,
+            breaker_trips: u64,
+            breaker_half_opens: u64,
+            breaker_fast_fails: u64,
+            breaker_never_half_opened: bool,
         }
         let report = ChaosReport {
             episodes,
             completed,
             session_errors,
+            circuit_rejections,
             unrecovered: unrecovered.clone(),
             injected_panics: stats.panics(),
             injected_hangs: stats.hangs(),
             injected_errors: stats.errors(),
             injected_corruptions: stats.corruptions(),
+            injected_wedges: stats.wedges(),
+            injected_slow_growths: stats.slow_growths(),
             recoveries: snap.recoveries,
             restarts: snap.restarts,
             replay_divergences: snap.replay_divergences,
             timeouts: snap.timeouts,
             service_panics: snap.panics,
+            checkpoints_taken: snap.checkpoints_taken,
+            checkpoint_restores: snap.checkpoint_restores,
+            budget_kills: snap.budget_kills,
+            watchdog_restarts: snap.watchdog_restarts,
+            breaker_trips: snap.breaker_trips,
+            breaker_half_opens: snap.breaker_half_opens,
+            breaker_fast_fails: snap.breaker_fast_fails,
+            breaker_never_half_opened,
         };
         println!("{}", serde_json::to_string_pretty(&report)?);
     } else {
         println!("chaos soak: seed={seed} episodes={episodes} steps={steps}");
         println!(
-            "injected faults: panics={} hangs={} errors={} corruptions={} \
-             ({} applies, {} observes)",
+            "injected faults: panics={} hangs={} errors={} corruptions={} wedges={} \
+             slow-growths={} ({} applies, {} observes)",
             stats.panics(),
             stats.hangs(),
             stats.errors(),
             stats.corruptions(),
+            stats.wedges(),
+            stats.slow_growths(),
             stats.applies(),
             stats.observes()
         );
@@ -615,19 +758,35 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             snap.recoveries, snap.restarts, snap.replay_divergences, snap.timeouts, snap.panics
         );
         println!(
+            "containment: checkpoints={} restores={} budget-kills={} watchdog-restarts={} \
+             breaker trips={} half-opens={} fast-fails={}",
+            snap.checkpoints_taken,
+            snap.checkpoint_restores,
+            snap.budget_kills,
+            snap.watchdog_restarts,
+            snap.breaker_trips,
+            snap.breaker_half_opens,
+            snap.breaker_fast_fails
+        );
+        println!(
             "episodes: completed={completed}/{episodes} session-errors={session_errors} \
-             unrecovered={}",
+             circuit-rejections={circuit_rejections} unrecovered={}",
             unrecovered.len()
         );
         for line in &unrecovered {
             println!("  UNRECOVERED {line}");
         }
+        if breaker_never_half_opened {
+            println!("  BREAKER tripped but never reached half-open");
+        }
     }
-    if unrecovered.is_empty() {
-        Ok(())
-    } else {
-        Err(format!("{} unrecovered failure(s)", unrecovered.len()).into())
+    if !unrecovered.is_empty() {
+        return Err(format!("{} unrecovered failure(s)", unrecovered.len()).into());
     }
+    if breaker_never_half_opened {
+        return Err("breaker tripped but never allowed a half-open probe".into());
+    }
+    Ok(())
 }
 
 fn replay(path: Option<&str>, validate: bool) -> Result<(), Box<dyn std::error::Error>> {

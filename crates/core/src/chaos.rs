@@ -39,6 +39,17 @@ pub enum FaultKind {
     /// Corrupt the next observation's value (a wrong-but-well-formed reply;
     /// detectable only by the replay consistency check).
     CorruptReply,
+    /// Inflate the session's reported state size by the plan's growth
+    /// increment on this and every later apply (a pass that blows up the
+    /// module; caught by the resource budget's size cap, which kills the
+    /// session in-band — the fresh session after recovery starts
+    /// uninflated).
+    SlowGrowth,
+    /// Stop answering forever: this and every later `apply_action` and
+    /// `observe` on the session blocks indefinitely without panicking or
+    /// erroring. Caught only by the step wall budget or the watchdog
+    /// heartbeat.
+    Wedge,
 }
 
 /// A seeded description of which faults to inject and when.
@@ -60,9 +71,16 @@ pub struct FaultPlan {
     pub error_prob: f64,
     /// Per-observe probability of a corrupted reply.
     pub corrupt_prob: f64,
+    /// Per-apply probability of a slow-growth injection.
+    pub slow_growth_prob: f64,
+    /// Per-apply probability of wedging the session.
+    pub wedge_prob: f64,
     /// How long an injected hang sleeps. Must exceed the client deadline to
     /// be observable as a fault.
     pub hang: Duration,
+    /// How much each `SlowGrowth` fault inflates the session's reported
+    /// state size.
+    pub growth_increment: u64,
     /// One-shot faults at exact global apply indices (0-based).
     pub scheduled: Vec<(u64, FaultKind)>,
     /// Total injection budget across the plan's lifetime; `None` is
@@ -79,7 +97,10 @@ impl Default for FaultPlan {
             hang_prob: 0.0,
             error_prob: 0.0,
             corrupt_prob: 0.0,
+            slow_growth_prob: 0.0,
+            wedge_prob: 0.0,
             hang: Duration::from_secs(1),
+            growth_increment: 1_000,
             scheduled: Vec::new(),
             max_faults: None,
         }
@@ -121,10 +142,31 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the per-apply slow-growth probability.
+    #[must_use]
+    pub fn with_slow_growth_prob(mut self, p: f64) -> FaultPlan {
+        self.slow_growth_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-apply wedge probability.
+    #[must_use]
+    pub fn with_wedge_prob(mut self, p: f64) -> FaultPlan {
+        self.wedge_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
     /// Sets the injected hang duration.
     #[must_use]
     pub fn with_hang_duration(mut self, hang: Duration) -> FaultPlan {
         self.hang = hang;
+        self
+    }
+
+    /// Sets the per-fault state-size inflation of `SlowGrowth`.
+    #[must_use]
+    pub fn with_growth_increment(mut self, increment: u64) -> FaultPlan {
+        self.growth_increment = increment;
         self
     }
 
@@ -161,6 +203,8 @@ pub struct ChaosStats {
     hangs: AtomicU64,
     errors: AtomicU64,
     corruptions: AtomicU64,
+    slow_growths: AtomicU64,
+    wedges: AtomicU64,
 }
 
 impl ChaosStats {
@@ -194,9 +238,24 @@ impl ChaosStats {
         self.corruptions.load(Ordering::Relaxed)
     }
 
+    /// Injected slow-growth inflations.
+    pub fn slow_growths(&self) -> u64 {
+        self.slow_growths.load(Ordering::Relaxed)
+    }
+
+    /// Injected wedges.
+    pub fn wedges(&self) -> u64 {
+        self.wedges.load(Ordering::Relaxed)
+    }
+
     /// Total faults injected, all kinds.
     pub fn injected(&self) -> u64 {
-        self.panics() + self.hangs() + self.errors() + self.corruptions()
+        self.panics()
+            + self.hangs()
+            + self.errors()
+            + self.corruptions()
+            + self.slow_growths()
+            + self.wedges()
     }
 }
 
@@ -222,15 +281,27 @@ impl ChaosShared {
         }
         let r = unit_f64(splitmix64(self.plan.seed ^ idx.wrapping_mul(0x9E37_79B9)));
         let p = &self.plan;
-        if r < p.panic_prob {
-            Some(FaultKind::Panic)
-        } else if r < p.panic_prob + p.hang_prob {
-            Some(FaultKind::Hang)
-        } else if r < p.panic_prob + p.hang_prob + p.error_prob {
-            Some(FaultKind::Error)
-        } else {
-            None
+        let mut acc = p.panic_prob;
+        if r < acc {
+            return Some(FaultKind::Panic);
         }
+        acc += p.hang_prob;
+        if r < acc {
+            return Some(FaultKind::Hang);
+        }
+        acc += p.error_prob;
+        if r < acc {
+            return Some(FaultKind::Error);
+        }
+        acc += p.slow_growth_prob;
+        if r < acc {
+            return Some(FaultKind::SlowGrowth);
+        }
+        acc += p.wedge_prob;
+        if r < acc {
+            return Some(FaultKind::Wedge);
+        }
+        None
     }
 
     /// Decides whether the next `observe` reply is corrupted.
@@ -249,6 +320,21 @@ impl ChaosShared {
 struct ChaosSession {
     inner: Box<dyn CompilationSession>,
     shared: Arc<ChaosShared>,
+    /// Extra state size reported on top of the inner session's, accumulated
+    /// by `SlowGrowth` faults. Not captured by `save_state`, so a session
+    /// restored from a checkpoint (or started fresh) is uninflated — the
+    /// recovery path escapes the growth.
+    inflation: u64,
+    /// Set by a `Wedge` fault: every later call blocks forever.
+    wedged: bool,
+}
+
+/// Blocks the calling thread forever (a wedged compiler: alive, consuming a
+/// worker, answering nothing).
+fn wedge_forever() -> ! {
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
 }
 
 fn corrupt(obs: Observation) -> Observation {
@@ -298,6 +384,9 @@ impl CompilationSession for ChaosSession {
     }
 
     fn apply_action(&mut self, action: usize) -> Result<ActionOutcome, String> {
+        if self.wedged {
+            wedge_forever();
+        }
         match self.shared.fault_for_apply() {
             Some(FaultKind::Panic) => {
                 self.shared.stats.panics.fetch_add(1, Ordering::Relaxed);
@@ -314,11 +403,24 @@ impl CompilationSession for ChaosSession {
                 self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 Err("chaos: injected error".into())
             }
+            Some(FaultKind::SlowGrowth) => {
+                self.shared.stats.slow_growths.fetch_add(1, Ordering::Relaxed);
+                self.inflation += self.shared.plan.growth_increment;
+                self.inner.apply_action(action)
+            }
+            Some(FaultKind::Wedge) => {
+                self.shared.stats.wedges.fetch_add(1, Ordering::Relaxed);
+                self.wedged = true;
+                wedge_forever();
+            }
             Some(FaultKind::CorruptReply) | None => self.inner.apply_action(action),
         }
     }
 
     fn observe(&mut self, space: &str) -> Result<Observation, String> {
+        if self.wedged {
+            wedge_forever();
+        }
         let obs = self.inner.observe(space)?;
         if self.shared.corrupt_next_observe() {
             self.shared.stats.corruptions.fetch_add(1, Ordering::Relaxed);
@@ -329,7 +431,31 @@ impl CompilationSession for ChaosSession {
     }
 
     fn fork(&self) -> Box<dyn CompilationSession> {
-        Box::new(ChaosSession { inner: self.inner.fork(), shared: Arc::clone(&self.shared) })
+        Box::new(ChaosSession {
+            inner: self.inner.fork(),
+            shared: Arc::clone(&self.shared),
+            inflation: self.inflation,
+            wedged: self.wedged,
+        })
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // Inflation is deliberately not captured: restoring a checkpoint
+        // (like starting fresh) sheds the injected growth, which is exactly
+        // how a real module-inflating pass behaves under recovery.
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        self.inner.load_state(state)
+    }
+
+    fn state_size(&self) -> Option<u64> {
+        self.inner.state_size().map(|s| s + self.inflation)
+    }
+
+    fn apply_budget(&mut self, budget: &crate::budget::ResourceBudget) {
+        self.inner.apply_budget(budget);
     }
 }
 
@@ -341,7 +467,12 @@ pub fn chaos_factory(inner: SessionFactory, plan: FaultPlan) -> (SessionFactory,
     let stats = Arc::new(ChaosStats::default());
     let shared = Arc::new(ChaosShared { plan, stats: Arc::clone(&stats) });
     let factory: SessionFactory = Arc::new(move || {
-        Box::new(ChaosSession { inner: (inner)(), shared: Arc::clone(&shared) })
+        Box::new(ChaosSession {
+            inner: (inner)(),
+            shared: Arc::clone(&shared),
+            inflation: 0,
+            wedged: false,
+        })
     });
     (factory, stats)
 }
@@ -377,6 +508,17 @@ mod tests {
         }
         fn fork(&self) -> Box<dyn CompilationSession> {
             Box::new(CountSession { steps: self.steps })
+        }
+        fn state_size(&self) -> Option<u64> {
+            Some(self.steps as u64)
+        }
+        fn save_state(&self) -> Option<Vec<u8>> {
+            Some((self.steps as u64).to_le_bytes().to_vec())
+        }
+        fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+            let bytes: [u8; 8] = state.try_into().map_err(|_| "bad snapshot".to_string())?;
+            self.steps = u64::from_le_bytes(bytes) as usize;
+            Ok(())
         }
     }
 
@@ -439,6 +581,27 @@ mod tests {
         let obs = s.observe("steps").unwrap();
         assert_eq!(obs, Observation::Scalar(2.0), "1 step, corrupted by +1");
         assert_eq!(stats.corruptions(), 1);
+    }
+
+    #[test]
+    fn slow_growth_inflates_reported_size_but_not_snapshots() {
+        let (factory, stats) = FaultPlan::seeded(5)
+            .schedule(1, FaultKind::SlowGrowth)
+            .with_growth_increment(500)
+            .wrap(count_factory());
+        let mut s = factory();
+        s.init("x", 0).unwrap();
+        s.apply_action(0).unwrap(); // apply 0: clean
+        assert_eq!(s.state_size(), Some(1));
+        s.apply_action(0).unwrap(); // apply 1: slow growth
+        assert_eq!(s.state_size(), Some(2 + 500), "reported size is inflated");
+        assert_eq!(stats.slow_growths(), 1);
+        // A snapshot round trip sheds the inflation: recovery escapes it.
+        let snap = s.save_state().unwrap();
+        let mut fresh = factory();
+        fresh.init("x", 0).unwrap();
+        fresh.load_state(&snap).unwrap();
+        assert_eq!(fresh.state_size(), Some(2));
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Session checkpointing: O(K) recovery instead of O(episode) replay.
+//!
+//! The service worker serializes each session's state every K applied
+//! actions (configurable, default 10) into a [`CheckpointStore`] owned by
+//! the *client* side of the RPC boundary — the store must outlive the
+//! service worker, because its whole purpose is surviving worker death.
+//! On recovery, `CompilerEnv::replay_episode` asks the store for the
+//! latest checkpoint whose action prefix matches the episode's action
+//! history, restores it into a fresh session with
+//! `CompilationSession::load_state`, and replays only the ≤K-action
+//! suffix.
+//!
+//! # Soundness
+//!
+//! A checkpoint records the full action prefix that produced it, and the
+//! store only ever serves a checkpoint whose `(benchmark, action_space,
+//! actions)` is a *prefix* of the episode being recovered. For a
+//! deterministic session, state is a pure function of that triple, so a
+//! matching checkpoint is valid no matter which episode or worker
+//! generation wrote it — stale ring entries are harmless and the ring is
+//! never cleared on reset.
+//!
+//! The in-memory ring is bounded; an optional [`CheckpointSink`] callback
+//! mirrors every checkpoint to external storage (cg-stdb provides a
+//! crash-safe temp-file+rename disk sink).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default checkpoint interval: serialize every K = 10 applied actions.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 10;
+
+/// Default in-memory ring capacity.
+pub const DEFAULT_RING_CAPACITY: usize = 16;
+
+/// One serialized session snapshot, self-describing: the `(benchmark,
+/// action_space, actions)` triple fully determines the state for a
+/// deterministic session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The benchmark URI the episode runs on.
+    pub benchmark: String,
+    /// The action space index selected at `init`.
+    pub action_space: usize,
+    /// The full action prefix applied before this snapshot was taken.
+    pub actions: Vec<usize>,
+    /// The serialized session state (`CompilationSession::save_state`).
+    pub state: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Number of actions captured by this checkpoint.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+/// Destination for mirroring checkpoints outside the in-memory ring
+/// (e.g. cg-stdb's crash-safe disk sink). Failures are the sink's problem:
+/// checkpointing must never fail the step that triggered it.
+pub type CheckpointSink = Arc<dyn Fn(&Checkpoint) + Send + Sync>;
+
+#[derive(Default)]
+struct StoreInner {
+    ring: VecDeque<Checkpoint>,
+    taken: u64,
+    restores: u64,
+}
+
+/// A bounded ring of recent checkpoints, shared between the service worker
+/// (writer) and the environment's recovery path (reader). Cheaply
+/// cloneable; clones share the same ring.
+#[derive(Clone)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<StoreInner>>,
+    capacity: usize,
+    interval: u64,
+    sink: Option<CheckpointSink>,
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("CheckpointStore")
+            .field("capacity", &self.capacity)
+            .field("interval", &self.interval)
+            .field("len", &inner.ring.len())
+            .field("taken", &inner.taken)
+            .field("restores", &inner.restores)
+            .field("has_sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Default for CheckpointStore {
+    fn default() -> CheckpointStore {
+        CheckpointStore::new(DEFAULT_RING_CAPACITY, DEFAULT_CHECKPOINT_INTERVAL)
+    }
+}
+
+impl CheckpointStore {
+    /// Creates a store holding up to `capacity` checkpoints, taken every
+    /// `interval` applied actions (`interval == 0` disables checkpointing).
+    #[must_use]
+    pub fn new(capacity: usize, interval: u64) -> CheckpointStore {
+        CheckpointStore {
+            inner: Arc::new(Mutex::new(StoreInner::default())),
+            capacity: capacity.max(1),
+            interval,
+            sink: None,
+        }
+    }
+
+    /// Returns a copy of this store that mirrors every checkpoint to
+    /// `sink` in addition to the shared in-memory ring.
+    #[must_use]
+    pub fn with_sink(mut self, sink: CheckpointSink) -> CheckpointStore {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The checkpoint interval K (0 = disabled).
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Returns a copy of this store with a different interval. The ring is
+    /// shared with the original.
+    #[must_use]
+    pub fn with_interval(mut self, interval: u64) -> CheckpointStore {
+        self.interval = interval;
+        self
+    }
+
+    /// Whether a session at `depth` applied actions is due for a
+    /// checkpoint.
+    #[must_use]
+    pub fn due(&self, depth: u64) -> bool {
+        self.interval != 0 && depth > 0 && depth.is_multiple_of(self.interval)
+    }
+
+    /// Records a checkpoint, evicting the oldest entry when full, and
+    /// mirrors it to the sink if one is attached.
+    pub fn put(&self, checkpoint: Checkpoint) {
+        if let Some(sink) = &self.sink {
+            sink(&checkpoint);
+        }
+        let mut inner = self.inner.lock();
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.taken += 1;
+        inner.ring.push_back(checkpoint);
+        cg_telemetry::global().checkpoints_taken.inc();
+    }
+
+    /// Returns the deepest checkpoint whose `(benchmark, action_space,
+    /// actions)` is a prefix of the given episode — the restore point that
+    /// minimizes the replay suffix. Records a restore in the store's
+    /// counters; only call when actually restoring.
+    #[must_use]
+    pub fn latest_matching(
+        &self,
+        benchmark: &str,
+        action_space: usize,
+        actions: &[usize],
+    ) -> Option<Checkpoint> {
+        let mut inner = self.inner.lock();
+        let best = inner
+            .ring
+            .iter()
+            .filter(|c| {
+                c.benchmark == benchmark
+                    && c.action_space == action_space
+                    && !c.actions.is_empty()
+                    && c.actions.len() <= actions.len()
+                    && actions[..c.actions.len()] == c.actions[..]
+            })
+            .max_by_key(|c| c.depth())
+            .cloned();
+        if best.is_some() {
+            inner.restores += 1;
+        }
+        best
+    }
+
+    /// Total checkpoints recorded through this ring.
+    #[must_use]
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.inner.lock().taken
+    }
+
+    /// Total successful `latest_matching` lookups (checkpoint restores).
+    #[must_use]
+    pub fn restores(&self) -> u64 {
+        self.inner.lock().restores
+    }
+
+    /// Number of checkpoints currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().ring.len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ck(benchmark: &str, actions: &[usize]) -> Checkpoint {
+        Checkpoint {
+            benchmark: benchmark.into(),
+            action_space: 0,
+            actions: actions.to_vec(),
+            state: actions.iter().map(|a| *a as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn due_respects_interval() {
+        let store = CheckpointStore::new(4, 10);
+        assert!(!store.due(0));
+        assert!(!store.due(9));
+        assert!(store.due(10));
+        assert!(store.due(20));
+        let off = CheckpointStore::new(4, 0);
+        assert!(!off.due(10));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let store = CheckpointStore::new(2, 1);
+        store.put(ck("b", &[1]));
+        store.put(ck("b", &[1, 2]));
+        store.put(ck("b", &[1, 2, 3]));
+        assert_eq!(store.len(), 2);
+        // The depth-1 checkpoint was evicted.
+        assert!(store.latest_matching("b", 0, &[1]).is_none());
+        assert_eq!(store.latest_matching("b", 0, &[1, 2]).unwrap().depth(), 2);
+    }
+
+    #[test]
+    fn latest_matching_picks_deepest_prefix() {
+        let store = CheckpointStore::new(8, 1);
+        store.put(ck("b", &[1, 2]));
+        store.put(ck("b", &[1, 2, 3, 4]));
+        store.put(ck("b", &[9, 9, 9])); // different episode: not a prefix
+        store.put(ck("other", &[1, 2, 3, 4, 5])); // different benchmark
+        let hit = store.latest_matching("b", 0, &[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(hit.actions, vec![1, 2, 3, 4]);
+        assert_eq!(store.restores(), 1);
+        // An episode that diverged after step 2 can still use the depth-2
+        // checkpoint but not the depth-4 one.
+        let hit = store.latest_matching("b", 0, &[1, 2, 7]).unwrap();
+        assert_eq!(hit.actions, vec![1, 2]);
+    }
+
+    #[test]
+    fn action_space_must_match() {
+        let store = CheckpointStore::new(8, 1);
+        store.put(ck("b", &[1, 2]));
+        assert!(store.latest_matching("b", 1, &[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn sink_sees_every_checkpoint() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let store = CheckpointStore::new(4, 1)
+            .with_sink(Arc::new(move |c: &Checkpoint| seen2.lock().push(c.depth())));
+        store.put(ck("b", &[1]));
+        store.put(ck("b", &[1, 2]));
+        assert_eq!(*seen.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn checkpoint_serde_round_trip() {
+        let c = ck("benchmark://cbench-v1/qsort", &[3, 1, 4, 1, 5]);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -10,18 +10,39 @@
 //! retrying the failed call — so user code observes an `Ok` step, not the
 //! crash. Replay is checked for consistency: if the restored reward metric
 //! diverges from the pre-fault value, the typed
-//! [`CgError::ReplayDivergence`] is surfaced (with a trace event) instead of
-//! silently continuing on corrupt state. Recovery effort is governed by the
-//! client's [`RetryPolicy`].
+//! [`CgError::ReplayDivergence`] is surfaced (with a trace event and a
+//! self-contained JSON reproducer) instead of silently continuing on corrupt
+//! state. Recovery effort is governed by the client's [`RetryPolicy`].
+//!
+//! # Recovery ladder
+//!
+//! Faults are handled at the cheapest rung that contains them:
+//!
+//! 1. **in-band budget error** — a pass exceeding its
+//!    [`crate::budget::ResourceBudget`] is killed inside the service and
+//!    answered as a typed error (no hang, no restart);
+//! 2. **checkpoint restore + suffix replay** — recovery restores the latest
+//!    matching snapshot from the client-owned
+//!    [`crate::checkpoint::CheckpointStore`] and replays only the ≤K-action
+//!    suffix (O(K) instead of O(episode));
+//! 3. **full replay** — when no checkpoint matches (or restore fails), the
+//!    whole action history is replayed as before;
+//! 4. **hard failure** — replay divergence or retry exhaustion surfaces as
+//!    a typed error; the per-(benchmark, action)
+//!    [`crate::breaker::CircuitBreaker`] (if attached) quarantines pairs
+//!    that keep killing services so later episodes fail fast.
 
 use std::time::Duration;
 
+use crate::breaker::{Admission, CircuitBreaker};
+use crate::budget::ResourceBudget;
 use crate::envs::session_factory;
 use crate::error::CgError;
 use crate::retry::RetryPolicy;
 use crate::service::{Request, Response, ServiceClient};
 use crate::space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
 use crate::state::EnvState;
+use crate::watchdog::{Watchdog, WatchdogConfig};
 
 /// The result of one `step()`.
 #[derive(Debug, Clone)]
@@ -57,6 +78,19 @@ pub struct CompilerEnv {
     baseline_metric: Option<f64>,
     episode_reward: f64,
     actions: Vec<usize>,
+    /// Optional per-(benchmark, action) quarantine, shared between forks.
+    breaker: Option<CircuitBreaker>,
+    /// Optional heartbeat supervisor for the backing service.
+    watchdog: Option<Watchdog>,
+}
+
+/// Records a service-kill fault against every action in the faulting step.
+fn record_faults(breaker: &Option<CircuitBreaker>, benchmark: &str, actions: &[usize]) {
+    if let Some(br) = breaker {
+        for &action in actions {
+            br.record_fault(benchmark, action);
+        }
+    }
 }
 
 /// Instantiates a registered environment:
@@ -158,6 +192,8 @@ impl CompilerEnv {
             baseline_metric: None,
             episode_reward: 0.0,
             actions: Vec::new(),
+            breaker: None,
+            watchdog: None,
         })
     }
 
@@ -175,6 +211,72 @@ impl CompilerEnv {
     /// transparent fault recovery.
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.client.set_policy(policy);
+    }
+
+    /// Sets the in-service [`ResourceBudget`] (rung 1 of the recovery
+    /// ladder): runaway steps are killed inside the worker and answered
+    /// with a typed [`CgError::BudgetExceeded`] instead of hanging until
+    /// the client deadline. The budget survives service restarts.
+    ///
+    /// # Errors
+    /// Service failure delivering the new budget to the live worker (the
+    /// budget is still recorded and re-applied on the next restart).
+    pub fn set_resource_budget(&mut self, budget: ResourceBudget) -> Result<(), CgError> {
+        self.client.set_resource_budget(budget)
+    }
+
+    /// The in-service resource budget currently configured.
+    pub fn resource_budget(&self) -> ResourceBudget {
+        self.client.resource_budget()
+    }
+
+    /// Sets the checkpoint interval K: the service snapshots each session
+    /// every K applied actions, and recovery replays only the ≤K-action
+    /// suffix (rung 2 of the ladder). `0` disables checkpointing.
+    ///
+    /// Replaces the checkpoint store (existing snapshots are kept — the
+    /// ring is shared) and restarts the service so the worker picks up the
+    /// new interval; call this before `reset`, not mid-episode.
+    pub fn set_checkpoint_interval(&mut self, every_k_actions: u64) {
+        let store = self.client.checkpoint_store().clone().with_interval(every_k_actions);
+        self.client.set_checkpoint_store(store);
+    }
+
+    /// The client-owned checkpoint store (shared with the service worker).
+    pub fn checkpoint_store(&self) -> crate::checkpoint::CheckpointStore {
+        self.client.checkpoint_store().clone()
+    }
+
+    /// Attaches a per-(benchmark, action) [`CircuitBreaker`]: pairs that
+    /// repeatedly kill compiler services fail fast with
+    /// [`CgError::CircuitOpen`] instead of burning a retry budget per
+    /// episode. Forked environments share the breaker (and its quarantine).
+    pub fn set_circuit_breaker(&mut self, breaker: CircuitBreaker) {
+        self.breaker = Some(breaker);
+    }
+
+    /// The attached circuit breaker, if any.
+    pub fn circuit_breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
+    }
+
+    /// Starts a [`Watchdog`] heartbeating this environment's service:
+    /// silently-wedged workers are detected between calls and proactively
+    /// restarted (in-flight calls abort into the normal recovery path).
+    /// Replaces any previous watchdog.
+    pub fn enable_watchdog(&mut self, config: WatchdogConfig) {
+        self.watchdog = Some(Watchdog::spawn(self.client.clone(), config));
+    }
+
+    /// Stops the watchdog, if one is running.
+    pub fn disable_watchdog(&mut self) {
+        self.watchdog = None;
+    }
+
+    /// Number of restarts the watchdog has triggered (0 when none is
+    /// attached).
+    pub fn watchdog_restarts(&self) -> u64 {
+        self.watchdog.as_ref().map_or(0, Watchdog::restarts)
     }
 
     /// The active action space.
@@ -309,28 +411,74 @@ impl CompilerEnv {
     }
 
     /// Whether an error means the episode's backing session is gone (dead
-    /// or hung service, or a panic-destroyed session) and transparent
-    /// recovery should be attempted. Backend errors ([`CgError::Session`])
-    /// are legitimate results and are never retried.
+    /// or hung service, a panic-destroyed session, or a budget-killed
+    /// session) and transparent recovery should be attempted. Backend
+    /// errors ([`CgError::Session`]) are legitimate results and are never
+    /// retried.
     fn recoverable(e: &CgError) -> bool {
-        matches!(e, CgError::ServiceFailure(_) | CgError::SessionLost(_))
+        matches!(
+            e,
+            CgError::ServiceFailure(_) | CgError::SessionLost(_) | CgError::BudgetExceeded(_)
+        )
+    }
+
+    /// Whether recovering from `e` requires replacing the service worker.
+    /// A budget kill is an in-band answer from a *healthy* worker — only
+    /// the session died, so recovery skips the restart rung.
+    fn needs_restart(e: &CgError) -> bool {
+        !matches!(e, CgError::BudgetExceeded(_))
     }
 
     /// Issues a session-scoped request, transparently recovering the episode
-    /// on service failure: the service is restarted, a fresh session is
-    /// established, the action history is replayed (with a consistency
-    /// check), and the failed call is retried — up to the policy's attempt
-    /// count and budget.
-    fn call_recovering(&mut self, build: impl Fn(u64) -> Request) -> Result<Response, CgError> {
+    /// on service failure: the service is restarted (unless the fault was an
+    /// in-band budget kill), a fresh session is established from the latest
+    /// matching checkpoint (or from scratch), the unreplayed action suffix
+    /// is replayed (with a consistency check), and the failed call is
+    /// retried — up to the policy's attempt count and budget.
+    ///
+    /// `fault_actions` attributes faults for the circuit breaker: the
+    /// actions this request applies. Rejected pairs fail fast with
+    /// [`CgError::CircuitOpen`] before touching the service.
+    fn call_recovering(
+        &mut self,
+        fault_actions: &[usize],
+        build: impl Fn(u64) -> Request,
+    ) -> Result<Response, CgError> {
+        let breaker = self.breaker.clone();
+        if let Some(br) = &breaker {
+            for &action in fault_actions {
+                if let Admission::Reject { retry_in } = br.admit(&self.benchmark, action) {
+                    return Err(CgError::CircuitOpen {
+                        benchmark: self.benchmark.clone(),
+                        action,
+                        retry_in_ms: retry_in.as_millis().min(u128::from(u64::MAX)) as u64,
+                    });
+                }
+            }
+        }
         let sid = self
             .session
             .ok_or_else(|| CgError::Usage("no active episode; call reset()".into()))?;
         let mut last = match self.client.call(build(sid)) {
-            Err(e) if Self::recoverable(&e) => e,
-            other => return other,
+            Err(e) if Self::recoverable(&e) => {
+                record_faults(&breaker, &self.benchmark, fault_actions);
+                e
+            }
+            other => {
+                if other.is_ok() {
+                    // A clean call: close half-open probes, reset counts.
+                    if let Some(br) = &breaker {
+                        for &action in fault_actions {
+                            br.record_success(&self.benchmark, action);
+                        }
+                    }
+                }
+                return other;
+            }
         };
-        // The session id now points into a dead or wedged worker: drop it
-        // immediately so nothing can address the ghost session.
+        // The session id now points into a dead, wedged, or budget-killed
+        // worker session: drop it immediately so nothing can address the
+        // ghost session.
         self.session = None;
         let policy = self.client.policy().clone();
         let start = std::time::Instant::now();
@@ -339,10 +487,11 @@ impl CompilerEnv {
                 break;
             }
             std::thread::sleep(policy.backoff_for(attempt));
-            match self.replay_episode() {
+            match self.replay_episode(Self::needs_restart(&last)) {
                 Ok(new_sid) => match self.client.call(build(new_sid)) {
                     Err(e) if Self::recoverable(&e) => {
                         self.session = None;
+                        record_faults(&breaker, &self.benchmark, fault_actions);
                         last = e;
                     }
                     other => return other,
@@ -357,41 +506,98 @@ impl CompilerEnv {
         Err(last)
     }
 
-    /// Restores the episode after a fault: restarts the service, starts a
-    /// fresh session, replays the recorded action history in one batched
-    /// step, and checks that the restored reward metric matches the
-    /// pre-fault `prev_metric`.
-    fn replay_episode(&mut self) -> Result<u64, CgError> {
+    /// Restores the episode after a fault, climbing down the recovery
+    /// ladder: restarts the service (when the fault requires it), restores
+    /// the deepest matching checkpoint and replays only the unreplayed
+    /// action suffix — falling back to a full-history replay when no
+    /// checkpoint matches (or the restored state diverges) — and checks
+    /// that the restored reward metric matches the pre-fault `prev_metric`.
+    fn replay_episode(&mut self, restart: bool) -> Result<u64, CgError> {
         let tel = cg_telemetry::global();
         let timer = cg_telemetry::Timer::start();
-        self.client.restart();
+        if restart {
+            self.client.restart();
+        }
         let reward_info = self.reward_info()?;
-        let resp = self.client.call(Request::StartSession {
-            benchmark: self.benchmark.clone(),
-            action_space: self.action_space_index,
-        })?;
-        let sid = match resp {
-            Response::SessionStarted { session_id } => session_id,
-            r => {
-                return Err(CgError::ServiceFailure(format!(
-                    "bad StartSession reply during replay: {r:?}"
-                )))
+        let mut try_checkpoint = true;
+        loop {
+            let restored = if try_checkpoint { self.restore_latest_checkpoint() } else { None };
+            let (sid, replay_from) = match restored {
+                Some(pair) => pair,
+                None => {
+                    let resp = self.client.call(Request::StartSession {
+                        benchmark: self.benchmark.clone(),
+                        action_space: self.action_space_index,
+                    })?;
+                    match resp {
+                        Response::SessionStarted { session_id } => (session_id, 0),
+                        r => {
+                            return Err(CgError::ServiceFailure(format!(
+                                "bad StartSession reply during replay: {r:?}"
+                            )))
+                        }
+                    }
+                }
+            };
+            let resp = self.client.call(Request::Step {
+                session_id: sid,
+                actions: self.actions[replay_from..].to_vec(),
+                observation_spaces: vec![reward_info.metric.clone()],
+            })?;
+            let Response::Stepped { mut observations, .. } = resp else {
+                return Err(CgError::ServiceFailure("bad Step reply during replay".into()));
+            };
+            let metric = observations
+                .pop()
+                .and_then(|o| o.as_scalar())
+                .ok_or(CgError::ServiceFailure("missing metric during replay".into()))?;
+            let tolerance = 1e-6 * self.prev_metric.abs().max(1.0);
+            if (metric - self.prev_metric).abs() <= tolerance {
+                self.session = Some(sid);
+                if replay_from > 0 {
+                    tel.checkpoint_restores.inc();
+                    tel.trace.emit(
+                        "env:checkpoint-restore",
+                        format!(
+                            "{}: restored checkpoint at depth {replay_from}, replayed \
+                             {}-action suffix of {}",
+                            self.benchmark,
+                            self.actions.len() - replay_from,
+                            self.actions.len()
+                        ),
+                        timer.elapsed(),
+                    );
+                }
+                tel.recoveries.inc();
+                tel.trace.emit(
+                    "env:replay",
+                    format!(
+                        "{}: {} action(s) replayed to metric {metric}",
+                        self.benchmark,
+                        self.actions.len() - replay_from
+                    ),
+                    timer.elapsed(),
+                );
+                return Ok(sid);
             }
-        };
-        let resp = self.client.call(Request::Step {
-            session_id: sid,
-            actions: self.actions.clone(),
-            observation_spaces: vec![reward_info.metric.clone()],
-        })?;
-        let Response::Stepped { mut observations, .. } = resp else {
-            return Err(CgError::ServiceFailure("bad Step reply during replay".into()));
-        };
-        let metric = observations
-            .pop()
-            .and_then(|o| o.as_scalar())
-            .ok_or(CgError::ServiceFailure("missing metric during replay".into()))?;
-        let tolerance = 1e-6 * self.prev_metric.abs().max(1.0);
-        if (metric - self.prev_metric).abs() > tolerance {
+            // The restored metric diverges from the pre-fault value. If a
+            // checkpoint was involved it may itself be the culprit (stale
+            // or corrupt snapshot): drop down one rung and replay the whole
+            // history before declaring a divergence.
+            let _ = self.client.call_teardown(Request::EndSession { session_id: sid });
+            if replay_from > 0 {
+                tel.trace.emit(
+                    "env:checkpoint-divergence",
+                    format!(
+                        "{}: checkpoint at depth {replay_from} replayed to {metric}, expected \
+                         {}; falling back to full replay",
+                        self.benchmark, self.prev_metric
+                    ),
+                    timer.elapsed(),
+                );
+                try_checkpoint = false;
+                continue;
+            }
             tel.replay_divergences.inc();
             tel.trace.emit(
                 "env:replay-divergence",
@@ -401,24 +607,59 @@ impl CompilerEnv {
                 ),
                 timer.elapsed(),
             );
+            let repro = self.dump_divergence_repro(&reward_info.metric, metric);
             return Err(CgError::ReplayDivergence {
                 benchmark: self.benchmark.clone(),
                 expected: self.prev_metric,
                 actual: metric,
+                repro,
             });
         }
-        self.session = Some(sid);
-        tel.recoveries.inc();
-        tel.trace.emit(
-            "env:replay",
-            format!(
-                "{}: {} action(s) replayed to metric {metric}",
-                self.benchmark,
-                self.actions.len()
-            ),
-            timer.elapsed(),
-        );
-        Ok(sid)
+    }
+
+    /// Rung 2 of the recovery ladder: restores the deepest stored checkpoint
+    /// whose (benchmark, action space, action prefix) matches this episode.
+    /// Returns the fresh session id and the checkpoint depth, or `None` when
+    /// no checkpoint matches or the restore fails (the caller falls back to
+    /// a full replay — a lost checkpoint is never an error).
+    fn restore_latest_checkpoint(&mut self) -> Option<(u64, usize)> {
+        let cp = self.client.checkpoint_store().latest_matching(
+            &self.benchmark,
+            self.action_space_index,
+            &self.actions,
+        )?;
+        let depth = cp.depth();
+        match self.client.call(Request::RestoreSession {
+            benchmark: cp.benchmark,
+            action_space: cp.action_space,
+            actions: cp.actions,
+            state: cp.state,
+        }) {
+            Ok(Response::SessionStarted { session_id }) => Some((session_id, depth)),
+            _ => None,
+        }
+    }
+
+    /// Writes a self-contained JSON reproducer for a replay divergence
+    /// (benchmark, full action history, expected/actual metric) so the
+    /// nondeterminism can be re-judged offline, in the same format family
+    /// as the fuzzer's miscompilation reproducers. Returns the written
+    /// path, or `None` when the dump itself fails (the divergence error is
+    /// surfaced either way).
+    fn dump_divergence_repro(&self, metric_space: &str, actual: f64) -> Option<String> {
+        cg_difftest::DivergenceRepro {
+            version: cg_difftest::repro::REPRO_VERSION,
+            env: self.env_id.clone(),
+            benchmark: self.benchmark.clone(),
+            action_space: self.action_space_index,
+            actions: self.actions.clone(),
+            metric_space: metric_space.to_string(),
+            expected: self.prev_metric,
+            actual,
+        }
+        .save(&cg_difftest::repro::default_divergence_dir())
+        .ok()
+        .map(|p| p.display().to_string())
     }
 
     /// Applies one action (see [`CompilerEnv::step_batched`] for several).
@@ -465,7 +706,7 @@ impl CompilerEnv {
         }
         spaces.push(reward_info.metric.clone());
         let actions_owned = actions.to_vec();
-        let resp = self.call_recovering(|sid| Request::Step {
+        let resp = self.call_recovering(actions, |sid| Request::Step {
             session_id: sid,
             actions: actions_owned.clone(),
             observation_spaces: spaces.clone(),
@@ -514,7 +755,7 @@ impl CompilerEnv {
     /// See [`CompilerEnv::step`].
     pub fn observe(&mut self, space: &str) -> Result<Observation, CgError> {
         let space_owned = space.to_string();
-        let resp = self.call_recovering(|sid| Request::Step {
+        let resp = self.call_recovering(&[], |sid| Request::Step {
             session_id: sid,
             actions: vec![],
             observation_spaces: vec![space_owned.clone()],
@@ -536,7 +777,7 @@ impl CompilerEnv {
     pub fn fork(&mut self) -> Result<CompilerEnv, CgError> {
         let tel = cg_telemetry::global();
         let timer = cg_telemetry::Timer::start();
-        let forked = match self.call_recovering(|sid| Request::Fork { session_id: sid })? {
+        let forked = match self.call_recovering(&[], |sid| Request::Fork { session_id: sid })? {
             Response::Forked { session_id } => session_id,
             r => return Err(CgError::ServiceFailure(format!("bad Fork reply: {r:?}"))),
         };
@@ -558,6 +799,10 @@ impl CompilerEnv {
             baseline_metric: self.baseline_metric,
             episode_reward: self.episode_reward,
             actions: self.actions.clone(),
+            // Forks share the quarantine: a pair that kills services is
+            // pathological for every episode that touches it.
+            breaker: self.breaker.clone(),
+            watchdog: None,
         })
     }
 

@@ -80,6 +80,9 @@ pub struct LlvmSession {
     module: Option<Module>,
     benchmark: String,
     measurement_counter: u64,
+    /// Interpreter limits for runtime observations; the fuel cap is
+    /// tightened by `apply_budget` (in-service resource budgets).
+    limits: ExecLimits,
 }
 
 impl Default for LlvmSession {
@@ -103,6 +106,7 @@ impl LlvmSession {
             module: None,
             benchmark: String::new(),
             measurement_counter: 0,
+            limits: ExecLimits::default(),
         }
     }
 
@@ -223,7 +227,7 @@ impl CompilationSession for LlvmSession {
                 self.measurement_counter += 1;
                 let seed = cg_ir::fnv1a(uri.as_bytes()) ^ self.measurement_counter;
                 let m = self.module()?;
-                let t = reward::runtime_measurement(m, &ExecLimits::default(), seed)
+                let t = reward::runtime_measurement(m, &self.limits, seed)
                     .map_err(|e| format!("benchmark is not runnable: {e}"))?;
                 Observation::Scalar(t)
             }
@@ -243,7 +247,34 @@ impl CompilationSession for LlvmSession {
             module: self.module.clone(),
             benchmark: self.benchmark.clone(),
             measurement_counter: self.measurement_counter,
+            limits: self.limits,
         })
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // Textual IR is the canonical snapshot: print/parse round-trips
+        // byte-identically (the checkpoint contract), and the format is
+        // stable across service restarts.
+        self.module.as_ref().map(|m| cg_ir::printer::print_module(m).into_bytes())
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let text =
+            std::str::from_utf8(state).map_err(|e| format!("checkpoint is not UTF-8: {e}"))?;
+        let m = cg_ir::parser::parse_module(text)
+            .map_err(|e| format!("checkpoint does not parse: {e}"))?;
+        self.module = Some(m);
+        Ok(())
+    }
+
+    fn state_size(&self) -> Option<u64> {
+        self.module.as_ref().map(|m| reward::ir_instruction_count(m) as u64)
+    }
+
+    fn apply_budget(&mut self, budget: &crate::budget::ResourceBudget) {
+        if let Some(fuel) = budget.interp_fuel {
+            self.limits.max_insts = fuel;
+        }
     }
 }
 

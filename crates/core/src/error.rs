@@ -29,6 +29,27 @@ pub enum CgError {
         expected: f64,
         /// The metric the replayed session produced.
         actual: f64,
+        /// Path of the self-contained JSON reproducer dumped for this
+        /// divergence (benchmark, action history, both metrics), when the
+        /// dump succeeded.
+        repro: Option<String>,
+    },
+    /// The session exceeded its in-service resource budget (wall-clock
+    /// deadline or state-size cap) and was destroyed by the service worker.
+    /// The service itself survived; the episode is recoverable by
+    /// checkpoint restore / replay like [`CgError::SessionLost`].
+    BudgetExceeded(crate::budget::BudgetViolation),
+    /// The per-(benchmark, action) circuit breaker is open: this pair has
+    /// repeatedly killed compiler services and is quarantined until the
+    /// cooldown allows a half-open probe. Fail-fast — the service was not
+    /// contacted.
+    CircuitOpen {
+        /// The quarantined benchmark.
+        benchmark: String,
+        /// The quarantined action.
+        action: usize,
+        /// Milliseconds until a probe will be allowed.
+        retry_in_ms: u64,
     },
     /// Validation found a mismatch (reproducibility or semantics bug).
     Validation(String),
@@ -45,11 +66,23 @@ impl fmt::Display for CgError {
             CgError::Session(m) => write!(f, "session error: {m}"),
             CgError::ServiceFailure(m) => write!(f, "compiler service failure: {m}"),
             CgError::SessionLost(m) => write!(f, "session lost: {m}"),
-            CgError::ReplayDivergence { benchmark, expected, actual } => write!(
+            CgError::ReplayDivergence { benchmark, expected, actual, repro } => {
+                write!(
+                    f,
+                    "replay divergence on {benchmark}: expected metric {expected}, \
+                     replayed session produced {actual} (nondeterministic compiler \
+                     or corrupted state)"
+                )?;
+                match repro {
+                    Some(path) => write!(f, "; reproducer written to {path}"),
+                    None => Ok(()),
+                }
+            }
+            CgError::BudgetExceeded(v) => write!(f, "resource budget exceeded: {v}"),
+            CgError::CircuitOpen { benchmark, action, retry_in_ms } => write!(
                 f,
-                "replay divergence on {benchmark}: expected metric {expected}, \
-                 replayed session produced {actual} (nondeterministic compiler \
-                 or corrupted state)"
+                "circuit open for {benchmark} action {action}: this pair repeatedly \
+                 killed compiler services; next probe allowed in ~{retry_in_ms}ms"
             ),
             CgError::Validation(m) => write!(f, "validation failed: {m}"),
             CgError::Usage(m) => write!(f, "usage error: {m}"),

@@ -17,6 +17,14 @@
 //!   recovery by action replay
 //! * [`retry`] — the [`retry::RetryPolicy`] governing attempts, backoff
 //!   with deterministic jitter, per-request deadlines, and budgets
+//! * [`checkpoint`] — session snapshots every K actions into a
+//!   client-owned ring, making recovery O(K) instead of O(episode)
+//! * [`budget`] — in-service resource budgets (step wall-clock, state-size
+//!   growth, interpreter fuel) answered as typed in-band errors
+//! * [`watchdog`] — a supervisor heartbeating the service and proactively
+//!   restarting silently-wedged workers
+//! * [`breaker`] — a per-(benchmark, action) circuit breaker quarantining
+//!   pairs that repeatedly kill services
 //! * [`chaos`] — seeded fault injection for any session factory, used by
 //!   the `cg chaos` soak harness
 //! * [`wrappers`] — TimeLimit, CycleOverBenchmarks, action subsets, and
@@ -39,7 +47,10 @@
 //! # Ok::<(), cg_core::CgError>(())
 //! ```
 
+pub mod breaker;
+pub mod budget;
 pub mod chaos;
+pub mod checkpoint;
 pub mod env;
 pub mod envs;
 pub mod retry;
@@ -48,13 +59,18 @@ pub mod session;
 pub mod space;
 pub mod state;
 pub mod validation;
+pub mod watchdog;
 pub mod wrappers;
 
 mod error;
 
+pub use breaker::{Admission, BreakerState, CircuitBreaker};
+pub use budget::{BudgetKind, BudgetViolation, ResourceBudget};
+pub use checkpoint::{Checkpoint, CheckpointSink, CheckpointStore};
 pub use env::{make, make_with_policy, CompilerEnv, StepResult};
 pub use error::CgError;
 pub use retry::RetryPolicy;
+pub use watchdog::{Watchdog, WatchdogConfig};
 pub use session::CompilationSession;
 pub use space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
 pub use state::EnvState;

@@ -16,6 +16,21 @@
 //! per-request deadlines) is configured by a [`RetryPolicy`]; the
 //! environment layer additionally restores lost sessions mid-episode by
 //! replaying the action history (see `CompilerEnv`).
+//!
+//! Server-side containment (the other half of the ladder) lives here too:
+//!
+//! * **checkpointing** — the worker serializes each session every K applied
+//!   actions into a client-owned [`CheckpointStore`], and
+//!   [`Request::RestoreSession`] rebuilds a session from a snapshot so
+//!   recovery replays only the ≤K-action suffix;
+//! * **resource budgets** — `Step` runs under a [`ResourceBudget`]
+//!   (wall-clock deadline via a supervised runner thread, state-size cap
+//!   checked after every action), answering a typed [`Response::Budget`]
+//!   in-band instead of hanging until the client deadline;
+//! * **watchdog hooks** — [`ServiceClient::restart`] takes `&self` and
+//!   propagates to all clones, and in-flight calls poll the restart
+//!   generation so a watchdog restart aborts them quickly (see
+//!   `crate::watchdog`).
 
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
@@ -26,8 +41,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::budget::{BudgetKind, BudgetViolation, ResourceBudget};
+use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::error::CgError;
 use crate::retry::RetryPolicy;
 use crate::session::CompilationSession;
@@ -68,6 +86,26 @@ pub enum Request {
         /// Session to end.
         session_id: u64,
     },
+    /// Rebuild a session from a checkpoint: `init` on the benchmark, then
+    /// `CompilationSession::load_state`. The recovery fast path — restoring
+    /// replaces replaying the `actions` prefix the snapshot captured.
+    RestoreSession {
+        /// Benchmark URI.
+        benchmark: String,
+        /// Index into the advertised action spaces.
+        action_space: usize,
+        /// The action prefix the snapshot captured (becomes the restored
+        /// session's history for subsequent checkpoints).
+        actions: Vec<usize>,
+        /// Serialized state from `CompilationSession::save_state`.
+        state: Vec<u8>,
+    },
+    /// Update the service's resource budget; applies to existing sessions
+    /// and everything started afterwards.
+    Configure {
+        /// The new budget.
+        budget: ResourceBudget,
+    },
     /// Stop the service.
     Shutdown,
 }
@@ -82,6 +120,8 @@ impl Request {
             Request::Step { .. } => "Step",
             Request::Fork { .. } => "Fork",
             Request::EndSession { .. } => "EndSession",
+            Request::RestoreSession { .. } => "RestoreSession",
+            Request::Configure { .. } => "Configure",
             Request::Shutdown => "Shutdown",
         }
     }
@@ -122,6 +162,11 @@ pub enum Response {
     },
     /// Session ended / shutdown acknowledged.
     Ok,
+    /// The session exceeded its resource budget and was destroyed by the
+    /// worker (a "budget kill"); the service itself survives. Surfaced to
+    /// clients as [`CgError::BudgetExceeded`] — a fast typed in-band error
+    /// replacing the hang → client timeout → restart cascade.
+    Budget(BudgetViolation),
     /// The request failed; the session (if any) is still usable.
     Error(String),
     /// The request failed fatally: the session it addressed was destroyed
@@ -134,13 +179,170 @@ pub enum Response {
 /// Factory producing fresh sessions for this service's environment.
 pub type SessionFactory = Arc<dyn Fn() -> Box<dyn CompilationSession> + Send + Sync>;
 
+/// Book-keeping the worker holds alongside each session to drive
+/// checkpointing and budget enforcement.
+struct SessionMeta {
+    benchmark: String,
+    action_space: usize,
+    /// The action history known to be fully applied to the session.
+    actions: Vec<usize>,
+    /// State size right after `init`, the baseline for the growth cap.
+    initial_size: Option<u64>,
+    /// An action errored mid-application: the state may no longer equal
+    /// `f(benchmark, action_space, actions)`, so stop checkpointing it.
+    dirty: bool,
+    /// Depth (action count) of the last checkpoint taken, for detecting
+    /// interval-boundary crossings in batched steps.
+    checkpointed_at: usize,
+}
+
+/// What one `Step` execution did to the session, separated from the
+/// transport reply so the inline and budget-supervised paths share it.
+enum StepVerdict {
+    Done { end: bool, changed: bool, observations: Vec<Observation> },
+    SizeExceeded { observed: u64, limit: u64 },
+    Error(String),
+    Panicked,
+}
+
+struct StepRun {
+    /// Leading actions known to be fully applied.
+    applied: usize,
+    /// An apply errored or panicked: state beyond `applied` is suspect.
+    poisoned: bool,
+    verdict: StepVerdict,
+}
+
+/// Applies actions and computes observations under panic isolation and an
+/// optional state-size limit. Runs either inline on the worker thread or on
+/// an ephemeral runner thread when a wall-clock budget is set.
+fn execute_step(
+    session: &mut Box<dyn CompilationSession>,
+    actions: &[usize],
+    observation_spaces: &[String],
+    size_limit: Option<u64>,
+) -> StepRun {
+    let mut applied = 0usize;
+    let mut poisoned = false;
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut end = false;
+        let mut changed = false;
+        for a in actions {
+            match session.apply_action(*a) {
+                Ok(out) => {
+                    applied += 1;
+                    end |= out.end_of_episode;
+                    changed |= out.changed;
+                }
+                Err(e) => {
+                    poisoned = true;
+                    return StepVerdict::Error(e);
+                }
+            }
+            if let (Some(limit), Some(size)) = (size_limit, session.state_size()) {
+                if size > limit {
+                    return StepVerdict::SizeExceeded { observed: size, limit };
+                }
+            }
+            if end {
+                break;
+            }
+        }
+        let mut observations = Vec::with_capacity(observation_spaces.len());
+        for s in observation_spaces {
+            let timer = cg_telemetry::Timer::start();
+            match session.observe(s) {
+                Ok(o) => {
+                    let tel = cg_telemetry::global();
+                    let dur = timer.observe(&tel.observations.get(s));
+                    tel.trace.emit(format!("observation:{s}"), "", dur);
+                    observations.push(o);
+                }
+                Err(e) => return StepVerdict::Error(e),
+            }
+        }
+        StepVerdict::Done { end, changed, observations }
+    }));
+    match result {
+        Ok(verdict) => StepRun { applied, poisoned, verdict },
+        Err(_) => StepRun { applied, poisoned: true, verdict: StepVerdict::Panicked },
+    }
+}
+
 struct ServiceState {
     factory: SessionFactory,
     sessions: HashMap<u64, Box<dyn CompilationSession>>,
+    meta: HashMap<u64, SessionMeta>,
     next_id: u64,
+    budget: ResourceBudget,
+    checkpoints: CheckpointStore,
 }
 
 impl ServiceState {
+    fn new(
+        factory: SessionFactory,
+        budget: ResourceBudget,
+        checkpoints: CheckpointStore,
+    ) -> ServiceState {
+        ServiceState {
+            factory,
+            sessions: HashMap::new(),
+            meta: HashMap::new(),
+            next_id: 0,
+            budget,
+            checkpoints,
+        }
+    }
+
+    fn insert_session(&mut self, session: Box<dyn CompilationSession>, meta: SessionMeta) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(id, session);
+        self.meta.insert(id, meta);
+        id
+    }
+
+    /// Serializes the session into the checkpoint ring when its history
+    /// crossed a K-action boundary since the last snapshot. Best-effort:
+    /// a panicking or non-serializing `save_state` never fails the step.
+    fn maybe_checkpoint(&mut self, session_id: u64) {
+        let interval = self.checkpoints.interval() as usize;
+        if interval == 0 {
+            return;
+        }
+        let Some(meta) = self.meta.get_mut(&session_id) else { return };
+        let depth = meta.actions.len();
+        if meta.dirty || depth == 0 || depth / interval <= meta.checkpointed_at / interval {
+            return;
+        }
+        let Some(session) = self.sessions.get(&session_id) else { return };
+        match std::panic::catch_unwind(AssertUnwindSafe(|| session.save_state())) {
+            Ok(Some(state)) => {
+                meta.checkpointed_at = depth;
+                self.checkpoints.put(Checkpoint {
+                    benchmark: meta.benchmark.clone(),
+                    action_space: meta.action_space,
+                    actions: meta.actions.clone(),
+                    state,
+                });
+            }
+            Ok(None) => {}
+            Err(_) => meta.dirty = true,
+        }
+    }
+
+    fn budget_kill(&mut self, session_id: u64, violation: &BudgetViolation) {
+        self.sessions.remove(&session_id);
+        self.meta.remove(&session_id);
+        let tel = cg_telemetry::global();
+        tel.budget_kills.inc();
+        tel.trace.emit(
+            "service:budget-kill",
+            format!("session {session_id}: {violation}"),
+            Duration::ZERO,
+        );
+    }
+
     /// Dispatches one request, recording latency, in-flight, error, and
     /// panic telemetry. Both transports funnel through here, so service
     /// metrics cover in-process and TCP alike.
@@ -176,14 +378,25 @@ impl ServiceState {
                 // Panic isolation also covers episode startup: a benchmark
                 // that crashes the compiler's loader must not kill the
                 // service.
+                let budget = self.budget.clone();
                 let init = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    session.init(&benchmark, action_space)
+                    session.init(&benchmark, action_space)?;
+                    session.apply_budget(&budget);
+                    Ok::<_, String>(session.state_size())
                 }));
                 match init {
-                    Ok(Ok(())) => {
-                        let id = self.next_id;
-                        self.next_id += 1;
-                        self.sessions.insert(id, session);
+                    Ok(Ok(initial_size)) => {
+                        let id = self.insert_session(
+                            session,
+                            SessionMeta {
+                                benchmark,
+                                action_space,
+                                actions: Vec::new(),
+                                initial_size,
+                                dirty: false,
+                                checkpointed_at: 0,
+                            },
+                        );
                         Response::SessionStarted { session_id: id }
                     }
                     Ok(Err(e)) => Response::Error(e),
@@ -199,41 +412,147 @@ impl ServiceState {
                     }
                 }
             }
-            Request::Step { session_id, actions, observation_spaces } => {
-                let Some(session) = self.sessions.get_mut(&session_id) else {
-                    return Response::Error(format!("no session {session_id}"));
-                };
-                // Panic isolation: a crashing pass must not take down the
-                // service (the paper's "resilient to failures, crashes").
-                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    let mut end = false;
-                    let mut changed = false;
-                    for a in &actions {
-                        let out = session.apply_action(*a)?;
-                        end |= out.end_of_episode;
-                        changed |= out.changed;
-                        if end {
-                            break;
-                        }
-                    }
-                    let mut observations = Vec::with_capacity(observation_spaces.len());
-                    for s in &observation_spaces {
-                        let timer = cg_telemetry::Timer::start();
-                        observations.push(session.observe(s)?);
-                        let tel = cg_telemetry::global();
-                        let dur = timer.observe(&tel.observations.get(s));
-                        tel.trace.emit(format!("observation:{s}"), "", dur);
-                    }
-                    Ok::<_, String>((end, changed, observations))
+            Request::RestoreSession { benchmark, action_space, actions, state } => {
+                let mut session = (self.factory)();
+                let budget = self.budget.clone();
+                let restore = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    session.init(&benchmark, action_space)?;
+                    session.apply_budget(&budget);
+                    // The growth baseline is the *episode-initial* size —
+                    // measured after init, before the snapshot overwrites it.
+                    let initial_size = session.state_size();
+                    session.load_state(&state)?;
+                    Ok::<_, String>(initial_size)
                 }));
-                match result {
-                    Ok(Ok((end_of_episode, changed, observations))) => {
-                        Response::Stepped { end_of_episode, changed, observations }
+                match restore {
+                    Ok(Ok(initial_size)) => {
+                        let depth = actions.len();
+                        let id = self.insert_session(
+                            session,
+                            SessionMeta {
+                                benchmark,
+                                action_space,
+                                actions,
+                                initial_size,
+                                dirty: false,
+                                checkpointed_at: depth,
+                            },
+                        );
+                        Response::SessionStarted { session_id: id }
                     }
                     Ok(Err(e)) => Response::Error(e),
                     Err(_) => {
+                        let tel = cg_telemetry::global();
+                        tel.panics.inc();
+                        tel.trace.emit(
+                            "service:panic",
+                            format!("restore on {benchmark} panicked"),
+                            Duration::ZERO,
+                        );
+                        Response::Fatal(format!("session restore on {benchmark} panicked"))
+                    }
+                }
+            }
+            Request::Configure { budget } => {
+                self.budget = budget;
+                for session in self.sessions.values_mut() {
+                    let b = self.budget.clone();
+                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        session.apply_budget(&b);
+                    }));
+                }
+                Response::Ok
+            }
+            Request::Step { session_id, actions, observation_spaces } => {
+                // The session leaves the map for the duration of the step so
+                // a wall-budget kill can abandon it to the runner thread.
+                let Some(mut session) = self.sessions.remove(&session_id) else {
+                    return Response::Error(format!("no session {session_id}"));
+                };
+                let size_limit = self
+                    .budget
+                    .size_limit(self.meta.get(&session_id).and_then(|m| m.initial_size));
+                // Panic isolation: a crashing pass must not take down the
+                // service (the paper's "resilient to failures, crashes").
+                let (session, run) = if let Some(wall) = self.budget.step_wall() {
+                    // Supervised path: run on an ephemeral thread so the
+                    // worker can abandon a pass that blows its deadline and
+                    // answer in-band instead of wedging the whole service.
+                    let (done_tx, done_rx) = bounded(1);
+                    let acts = actions.clone();
+                    let spaces = observation_spaces.clone();
+                    std::thread::Builder::new()
+                        .name("cg-step-runner".into())
+                        .stack_size(16 << 20)
+                        .spawn(move || {
+                            let run = execute_step(&mut session, &acts, &spaces, size_limit);
+                            let _ = done_tx.send((session, run));
+                        })
+                        .expect("spawn step runner thread");
+                    match done_rx.recv_timeout(wall) {
+                        Ok((session, run)) => (Some(session), run),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            // The session stays with the abandoned runner and
+                            // is dropped whenever (if ever) it finishes.
+                            let limit = wall.as_micros() as u64;
+                            let violation = BudgetViolation {
+                                kind: BudgetKind::Wall,
+                                limit,
+                                observed: limit,
+                                detail: format!(
+                                    "step of {} action(s) still running at the {wall:?} deadline",
+                                    actions.len()
+                                ),
+                            };
+                            self.budget_kill(session_id, &violation);
+                            return Response::Budget(violation);
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => (
+                            None,
+                            StepRun {
+                                applied: 0,
+                                poisoned: true,
+                                verdict: StepVerdict::Panicked,
+                            },
+                        ),
+                    }
+                } else {
+                    let run = execute_step(&mut session, &actions, &observation_spaces, size_limit);
+                    (Some(session), run)
+                };
+                if let Some(meta) = self.meta.get_mut(&session_id) {
+                    meta.actions.extend_from_slice(&actions[..run.applied]);
+                    meta.dirty |= run.poisoned;
+                }
+                match run.verdict {
+                    StepVerdict::Done { end, changed, observations } => {
+                        if let Some(session) = session {
+                            self.sessions.insert(session_id, session);
+                        }
+                        self.maybe_checkpoint(session_id);
+                        Response::Stepped { end_of_episode: end, changed, observations }
+                    }
+                    StepVerdict::SizeExceeded { observed, limit } => {
+                        let violation = BudgetViolation {
+                            kind: BudgetKind::Growth,
+                            limit,
+                            observed,
+                            detail: format!(
+                                "state grew to {observed} (limit {limit}) applying actions {actions:?}"
+                            ),
+                        };
+                        self.budget_kill(session_id, &violation);
+                        Response::Budget(violation)
+                    }
+                    StepVerdict::Error(e) => {
+                        if let Some(session) = session {
+                            self.sessions.insert(session_id, session);
+                        }
+                        Response::Error(e)
+                    }
+                    StepVerdict::Panicked => {
                         // The session may be corrupt: drop it.
-                        self.sessions.remove(&session_id);
+                        self.meta.remove(&session_id);
                         let tel = cg_telemetry::global();
                         tel.panics.inc();
                         tel.trace.emit(
@@ -248,15 +567,27 @@ impl ServiceState {
             Request::Fork { session_id } => match self.sessions.get(&session_id) {
                 Some(s) => {
                     let copy = s.fork();
+                    let meta = self.meta.get(&session_id).map(|m| SessionMeta {
+                        benchmark: m.benchmark.clone(),
+                        action_space: m.action_space,
+                        actions: m.actions.clone(),
+                        initial_size: m.initial_size,
+                        dirty: m.dirty,
+                        checkpointed_at: m.checkpointed_at,
+                    });
                     let id = self.next_id;
                     self.next_id += 1;
                     self.sessions.insert(id, copy);
+                    if let Some(meta) = meta {
+                        self.meta.insert(id, meta);
+                    }
                     Response::Forked { session_id: id }
                 }
                 None => Response::Error(format!("no session {session_id}")),
             },
             Request::EndSession { session_id } => {
                 self.sessions.remove(&session_id);
+                self.meta.remove(&session_id);
                 Response::Ok
             }
             Request::Shutdown => Response::Ok,
@@ -265,13 +596,19 @@ impl ServiceState {
 }
 
 /// A handle to a running in-process compiler service.
+///
+/// Clones share the service: the worker channel, restart generation,
+/// checkpoint store, and budget all live behind `Arc`s, so a restart issued
+/// through any clone (including the watchdog's) is seen by all of them.
 #[derive(Clone)]
 pub struct ServiceClient {
-    tx: Sender<(Request, Sender<Response>)>,
+    tx: Arc<Mutex<RequestSender>>,
     factory: SessionFactory,
     timeout: Duration,
     policy: RetryPolicy,
     generation: Arc<AtomicU64>,
+    checkpoints: CheckpointStore,
+    budget: Arc<Mutex<ResourceBudget>>,
 }
 
 impl std::fmt::Debug for ServiceClient {
@@ -283,14 +620,24 @@ impl std::fmt::Debug for ServiceClient {
     }
 }
 
-fn spawn_worker(factory: SessionFactory) -> Sender<(Request, Sender<Response>)> {
-    let (tx, rx): (Sender<(Request, Sender<Response>)>, Receiver<_>) = unbounded();
+/// Granularity at which in-flight calls notice a concurrent restart.
+const GENERATION_POLL: Duration = Duration::from_millis(50);
+
+/// The worker's request channel: each request travels with its reply sender.
+type RequestSender = Sender<(Request, Sender<Response>)>;
+
+fn spawn_worker(
+    factory: SessionFactory,
+    budget: ResourceBudget,
+    checkpoints: CheckpointStore,
+) -> RequestSender {
+    let (tx, rx): (RequestSender, Receiver<_>) = unbounded();
     let f = Arc::clone(&factory);
     std::thread::Builder::new()
         .name("cg-compiler-service".into())
         .stack_size(16 << 20)
         .spawn(move || {
-            let mut state = ServiceState { factory: f, sessions: HashMap::new(), next_id: 0 };
+            let mut state = ServiceState::new(f, budget, checkpoints);
             while let Ok((req, reply)) = rx.recv() {
                 let shutdown = matches!(req, Request::Shutdown);
                 let resp = state.handle(req);
@@ -318,8 +665,18 @@ impl ServiceClient {
         timeout: Duration,
         policy: RetryPolicy,
     ) -> ServiceClient {
-        let tx = spawn_worker(Arc::clone(&factory));
-        ServiceClient { tx, factory, timeout, policy, generation: Arc::new(AtomicU64::new(0)) }
+        let checkpoints = CheckpointStore::default();
+        let budget = ResourceBudget::default();
+        let tx = spawn_worker(Arc::clone(&factory), budget.clone(), checkpoints.clone());
+        ServiceClient {
+            tx: Arc::new(Mutex::new(tx)),
+            factory,
+            timeout,
+            policy,
+            generation: Arc::new(AtomicU64::new(0)),
+            checkpoints,
+            budget: Arc::new(Mutex::new(budget)),
+        }
     }
 
     /// The recovery policy in effect.
@@ -332,30 +689,78 @@ impl ServiceClient {
         self.policy = policy;
     }
 
+    /// The checkpoint store shared with the service worker. Client-owned,
+    /// so it survives worker restarts — that is the point.
+    pub fn checkpoint_store(&self) -> &CheckpointStore {
+        &self.checkpoints
+    }
+
+    /// Replaces the checkpoint store (interval, capacity, disk sink). The
+    /// *current* worker keeps writing to the old ring until the next
+    /// restart; call before starting sessions for full coverage.
+    pub fn set_checkpoint_store(&mut self, store: CheckpointStore) {
+        self.checkpoints = store;
+        self.restart();
+    }
+
+    /// The resource budget currently applied to the service.
+    pub fn resource_budget(&self) -> ResourceBudget {
+        self.budget.lock().clone()
+    }
+
+    /// Sets the service's resource budget: configures the live worker and
+    /// remembers the budget so every restarted worker inherits it.
+    ///
+    /// # Errors
+    /// Propagates the `Configure` call failure; the budget is remembered
+    /// for future workers regardless.
+    pub fn set_resource_budget(&self, budget: ResourceBudget) -> Result<(), CgError> {
+        *self.budget.lock() = budget.clone();
+        self.call(Request::Configure { budget }).map(|_| ())
+    }
+
     fn call_inner(
         &self,
         req: Request,
         deadline: Duration,
         count_timeout: bool,
     ) -> Result<Response, CgError> {
+        let generation = self.generation.load(Ordering::SeqCst);
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send((req, reply_tx))
+        let tx = self.tx.lock().clone();
+        tx.send((req, reply_tx))
             .map_err(|_| CgError::ServiceFailure("service disconnected".into()))?;
-        match reply_rx.recv_timeout(deadline) {
-            Ok(Response::Error(e)) => Err(CgError::Session(e)),
-            Ok(Response::Fatal(e)) => Err(CgError::SessionLost(e)),
-            Ok(resp) => Ok(resp),
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(
-                CgError::ServiceFailure("service worker died (reply channel closed)".into()),
-            ),
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+        let start = std::time::Instant::now();
+        loop {
+            let remaining = deadline.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
                 if count_timeout {
                     cg_telemetry::global().timeouts.inc();
                 }
-                Err(CgError::ServiceFailure(format!(
+                return Err(CgError::ServiceFailure(format!(
                     "service call exceeded {deadline:?} (hung or crashed)"
-                )))
+                )));
+            }
+            match reply_rx.recv_timeout(remaining.min(GENERATION_POLL)) {
+                Ok(Response::Error(e)) => return Err(CgError::Session(e)),
+                Ok(Response::Fatal(e)) => return Err(CgError::SessionLost(e)),
+                Ok(Response::Budget(v)) => return Err(CgError::BudgetExceeded(v)),
+                Ok(resp) => return Ok(resp),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(CgError::ServiceFailure(
+                        "service worker died (reply channel closed)".into(),
+                    ));
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    // A restart (e.g. by the watchdog) abandoned the worker
+                    // this call was sent to: abort now rather than waiting
+                    // out the full deadline for a reply that cannot come.
+                    if self.generation.load(Ordering::SeqCst) != generation {
+                        return Err(CgError::ServiceFailure(
+                            "service restarted while the call was in flight".into(),
+                        ));
+                    }
+                }
             }
         }
     }
@@ -426,9 +831,18 @@ impl ServiceClient {
     }
 
     /// Abandons the (possibly hung) service thread and spawns a fresh one.
-    /// Sessions are lost; callers re-establish them via `reset()`.
-    pub fn restart(&mut self) {
-        self.tx = spawn_worker(Arc::clone(&self.factory));
+    /// Sessions are lost; callers re-establish them via `reset()`. Takes
+    /// `&self` and propagates through all clones, so a supervisor (the
+    /// watchdog) can restart a service other threads are using; their
+    /// in-flight calls notice the generation change and abort with
+    /// [`CgError::ServiceFailure`].
+    pub fn restart(&self) {
+        let fresh = spawn_worker(
+            Arc::clone(&self.factory),
+            self.budget.lock().clone(),
+            self.checkpoints.clone(),
+        );
+        *self.tx.lock() = fresh;
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let tel = cg_telemetry::global();
         tel.restarts.inc();
@@ -438,6 +852,15 @@ impl ServiceClient {
     /// How many times this client has restarted its service.
     pub fn restarts(&self) -> u64 {
         self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Liveness probe: a `Ping` bounded by `deadline`, not counted as a
+    /// timeout in telemetry. Used by the watchdog heartbeat. Note that a
+    /// worker busy with a long legitimate request also misses heartbeats —
+    /// pick a probe deadline comfortably above the expected step time, or
+    /// set a step wall budget so no request can hold the worker that long.
+    pub fn probe(&self, deadline: Duration) -> bool {
+        matches!(self.call_inner(Request::Ping, deadline, false), Ok(Response::Pong))
     }
 }
 
@@ -471,24 +894,43 @@ pub fn serve_tcp(listener: TcpListener, factory: SessionFactory) {
         let Ok(mut stream) = stream else { continue };
         let f = Arc::clone(&factory);
         std::thread::spawn(move || {
-            let mut state = ServiceState { factory: f, sessions: HashMap::new(), next_id: 0 };
-            while let Ok(frame) = read_frame(&mut stream) {
-                let req: Request = match serde_json::from_slice(&frame) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        let resp = Response::Error(format!("bad request frame: {e}"));
-                        let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
-                        continue;
+            // Panic containment per connection: `handle` already isolates
+            // session code, but a poisoned frame or a bug in the dispatch
+            // layer itself must at worst kill *this* connection, never the
+            // accept loop or sibling connections.
+            let serve = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut state = ServiceState::new(
+                    f,
+                    ResourceBudget::default(),
+                    CheckpointStore::default(),
+                );
+                while let Ok(frame) = read_frame(&mut stream) {
+                    let req: Request = match serde_json::from_slice(&frame) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            let resp = Response::Error(format!("bad request frame: {e}"));
+                            let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
+                            continue;
+                        }
+                    };
+                    let shutdown = matches!(req, Request::Shutdown);
+                    let resp = state.handle(req);
+                    if write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap()).is_err() {
+                        break;
                     }
-                };
-                let shutdown = matches!(req, Request::Shutdown);
-                let resp = state.handle(req);
-                if write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap()).is_err() {
-                    break;
+                    if shutdown {
+                        break;
+                    }
                 }
-                if shutdown {
-                    break;
-                }
+            }));
+            if serve.is_err() {
+                let tel = cg_telemetry::global();
+                tel.panics.inc();
+                tel.trace.emit(
+                    "service:panic",
+                    "tcp connection handler panicked; connection dropped",
+                    Duration::ZERO,
+                );
             }
         });
     }
@@ -555,6 +997,7 @@ impl TcpClient {
         match resp {
             Response::Error(e) => Err(CgError::Session(e)),
             Response::Fatal(e) => Err(CgError::SessionLost(e)),
+            Response::Budget(v) => Err(CgError::BudgetExceeded(v)),
             ok => Ok(ok),
         }
     }
@@ -637,6 +1080,17 @@ mod tests {
         }
         fn fork(&self) -> Box<dyn CompilationSession> {
             Box::new(CountingSession { steps: self.steps })
+        }
+        fn save_state(&self) -> Option<Vec<u8>> {
+            Some((self.steps as u64).to_le_bytes().to_vec())
+        }
+        fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+            let bytes: [u8; 8] = state.try_into().map_err(|_| "bad snapshot".to_string())?;
+            self.steps = u64::from_le_bytes(bytes) as usize;
+            Ok(())
+        }
+        fn state_size(&self) -> Option<u64> {
+            Some(self.steps as u64 * 10)
         }
     }
 
@@ -727,6 +1181,7 @@ mod tests {
         let (reply_tx, _reply_rx) = bounded(1);
         client
             .tx
+            .lock()
             .send((
                 Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] },
                 reply_tx,
@@ -769,6 +1224,145 @@ mod tests {
             r => panic!("{r:?}"),
         };
         assert_eq!(obs(sid), obs(forked));
+    }
+
+    #[test]
+    fn wall_budget_kills_in_band_without_restart() {
+        // A 2s hang against a 100ms wall budget: the worker must answer a
+        // typed budget error well within 2x the budget — no client-side
+        // timeout, no service restart.
+        let (factory, _) = FaultPlan::seeded(4)
+            .schedule(0, FaultKind::Hang)
+            .with_hang_duration(Duration::from_secs(2))
+            .wrap(counting_factory());
+        let client = ServiceClient::spawn(factory, Duration::from_secs(10));
+        client
+            .set_resource_budget(
+                ResourceBudget::default().with_step_wall(Duration::from_millis(100)),
+            )
+            .unwrap();
+        let sid = start(&client);
+        let kills_before = cg_telemetry::global().budget_kills.get();
+        let t = std::time::Instant::now();
+        let e = client
+            .call(Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] })
+            .unwrap_err();
+        let elapsed = t.elapsed();
+        match e {
+            CgError::BudgetExceeded(v) => assert_eq!(v.kind, crate::budget::BudgetKind::Wall),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_millis(1000),
+            "typed error must arrive promptly, took {elapsed:?}"
+        );
+        assert_eq!(client.restarts(), 0, "budget kill must not restart the service");
+        assert!(cg_telemetry::global().budget_kills.get() > kills_before);
+        // The service survives and serves new sessions immediately.
+        assert!(matches!(client.call(Request::Ping).unwrap(), Response::Pong));
+        let sid2 = start(&client);
+        assert_ne!(sid, sid2);
+    }
+
+    #[test]
+    fn growth_budget_kills_in_band() {
+        // CountingSession reports size = steps * 10; cap at 25 so the third
+        // apply (size 30) trips the growth check mid-batch.
+        let client = ServiceClient::spawn(counting_factory(), Duration::from_secs(5));
+        client
+            .set_resource_budget(ResourceBudget::default().with_max_state_size(25))
+            .unwrap();
+        let sid = start(&client);
+        let e = client
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![0, 0, 0, 0, 0],
+                observation_spaces: vec![],
+            })
+            .unwrap_err();
+        match e {
+            CgError::BudgetExceeded(v) => {
+                assert_eq!(v.kind, crate::budget::BudgetKind::Growth);
+                assert_eq!(v.limit, 25);
+                assert_eq!(v.observed, 30);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // The session was destroyed; the service survives.
+        let e = client
+            .call(Request::Step { session_id: sid, actions: vec![], observation_spaces: vec![] })
+            .unwrap_err();
+        assert!(matches!(e, CgError::Session(_)));
+        assert_eq!(client.restarts(), 0);
+    }
+
+    #[test]
+    fn worker_checkpoints_every_k_actions_and_restores() {
+        let client = ServiceClient::spawn(counting_factory(), Duration::from_secs(5));
+        let sid = start(&client);
+        for _ in 0..25 {
+            client
+                .call(Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] })
+                .unwrap();
+        }
+        // Default interval K=10: snapshots at depths 10 and 20.
+        let store = client.checkpoint_store();
+        assert_eq!(store.checkpoints_taken(), 2);
+        let ck = store.latest_matching("x", 0, &[0; 25]).unwrap();
+        assert_eq!(ck.depth(), 20);
+        // Restore into a fresh session and confirm the state came back.
+        let restored = match client
+            .call(Request::RestoreSession {
+                benchmark: ck.benchmark,
+                action_space: ck.action_space,
+                actions: ck.actions,
+                state: ck.state,
+            })
+            .unwrap()
+        {
+            Response::SessionStarted { session_id } => session_id,
+            r => panic!("{r:?}"),
+        };
+        let r = client
+            .call(Request::Step {
+                session_id: restored,
+                actions: vec![],
+                observation_spaces: vec!["steps".into()],
+            })
+            .unwrap();
+        match r {
+            Response::Stepped { observations, .. } => {
+                assert_eq!(observations[0].as_scalar(), Some(20.0));
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_store_survives_restart() {
+        let client = ServiceClient::spawn(counting_factory(), Duration::from_secs(5));
+        let sid = start(&client);
+        client
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![0; 10],
+                observation_spaces: vec![],
+            })
+            .unwrap();
+        assert_eq!(client.checkpoint_store().len(), 1);
+        client.restart();
+        // The ring is client-owned: worker death does not empty it, and the
+        // fresh worker keeps writing into the same ring.
+        assert_eq!(client.checkpoint_store().len(), 1);
+        let sid2 = start(&client);
+        client
+            .call(Request::Step {
+                session_id: sid2,
+                actions: vec![0; 10],
+                observation_spaces: vec![],
+            })
+            .unwrap();
+        assert_eq!(client.checkpoint_store().len(), 2);
     }
 
     #[test]
@@ -832,6 +1426,58 @@ mod tests {
         let err = read_frame(&mut stream).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_connection_panic_does_not_kill_the_server() {
+        /// A session whose *space description* panics: `GetSpaces` probes the
+        /// factory outside the per-session `catch_unwind`, so this panics the
+        /// connection-handler layer itself — exactly the hole the
+        /// per-connection containment covers.
+        struct PoisonedSpaces;
+        impl CompilationSession for PoisonedSpaces {
+            fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
+                panic!("chaos: poisoned space description")
+            }
+            fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
+                vec![]
+            }
+            fn reward_spaces(&self) -> Vec<RewardSpaceInfo> {
+                vec![]
+            }
+            fn init(&mut self, _b: &str, _s: usize) -> Result<(), String> {
+                Ok(())
+            }
+            fn apply_action(&mut self, _a: usize) -> Result<ActionOutcome, String> {
+                Ok(ActionOutcome {
+                    end_of_episode: false,
+                    action_space_changed: false,
+                    changed: false,
+                })
+            }
+            fn observe(&mut self, _s: &str) -> Result<Observation, String> {
+                Ok(Observation::Scalar(0.0))
+            }
+            fn fork(&self) -> Box<dyn CompilationSession> {
+                Box::new(PoisonedSpaces)
+            }
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || serve_tcp(listener, Arc::new(|| Box::new(PoisonedSpaces))));
+        let no_retry = RetryPolicy::default().with_max_attempts(1);
+        let mut poisoned =
+            TcpClient::connect_with_policy(&addr, Duration::from_secs(5), no_retry.clone())
+                .unwrap();
+        assert!(matches!(poisoned.call(&Request::Ping).unwrap(), Response::Pong));
+        // The handler panics and this connection dies...
+        let e = poisoned.call(&Request::GetSpaces).unwrap_err();
+        assert!(matches!(e, CgError::ServiceFailure(_)));
+        // ...but the accept loop survives: a fresh connection still works.
+        let mut fresh =
+            TcpClient::connect_with_policy(&addr, Duration::from_secs(5), no_retry).unwrap();
+        assert!(matches!(fresh.call(&Request::Ping).unwrap(), Response::Pong));
+        let _ = fresh.call(&Request::Shutdown);
     }
 
     #[test]

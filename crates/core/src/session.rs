@@ -71,4 +71,47 @@ pub trait CompilationSession: Send {
     /// Creates an independent deep copy of the session state (backs the
     /// environment's `fork()`).
     fn fork(&self) -> Box<dyn CompilationSession>;
+
+    // --- Optional containment hooks (server-side fault tolerance) ---
+    //
+    // Sessions that can serialize their state participate in checkpointing
+    // (O(K) recovery instead of O(episode) replay); sessions that can
+    // measure their state participate in growth budgets. The defaults opt
+    // out: the runtime falls back to full-history replay and skips size
+    // checks, so existing integrations keep working unchanged.
+
+    /// Serializes the episode state to a portable byte string, or `None` if
+    /// this integration does not support checkpointing.
+    ///
+    /// The contract is round-trip fidelity: `load_state(save_state())` must
+    /// restore a state that is *byte-identical under re-serialization* and
+    /// behaviorally identical for all future actions and observations.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores the episode state previously produced by [`save_state`]
+    /// on a session that has been `init`-ed on the same benchmark and
+    /// action space.
+    ///
+    /// [`save_state`]: CompilationSession::save_state
+    ///
+    /// # Errors
+    /// Returns a message when the snapshot cannot be decoded or this
+    /// integration does not support checkpointing.
+    fn load_state(&mut self, _state: &[u8]) -> Result<(), String> {
+        Err("this session does not support checkpoint restore".into())
+    }
+
+    /// The current size of the episode state in integration-defined units
+    /// (for LLVM sessions, the IR instruction count), used by the resource
+    /// budget's growth cap. `None` opts out of size enforcement.
+    fn state_size(&self) -> Option<u64> {
+        None
+    }
+
+    /// Applies resource limits to the session (currently the interpreter
+    /// fuel cap for runtime observations). Called once after `init` and
+    /// again whenever the budget changes; the default ignores it.
+    fn apply_budget(&mut self, _budget: &crate::budget::ResourceBudget) {}
 }

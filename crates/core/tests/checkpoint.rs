@@ -1,0 +1,313 @@
+//! Integration tests for session checkpointing and in-service budgets: the
+//! O(K) recovery rung of the ladder (restore the latest snapshot, replay
+//! only the suffix) and the in-band budget kill (typed error, no restart).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cg_core::chaos::{FaultKind, FaultPlan};
+use cg_core::envs::llvm::LlvmSession;
+use cg_core::envs::session_factory;
+use cg_core::service::SessionFactory;
+use cg_core::session::{ActionOutcome, CompilationSession};
+use cg_core::space::{
+    ActionSpaceInfo, Observation, ObservationKind, ObservationSpaceInfo, RewardSpaceInfo,
+};
+use cg_core::{CgError, CompilerEnv, ResourceBudget, RetryPolicy};
+
+use proptest::prelude::*;
+
+/// A deterministic session whose state is a step counter, instrumented to
+/// count every apply attempt across all instances (so a test can prove how
+/// many actions recovery actually replayed) and to panic exactly once, at
+/// a scripted global apply ordinal.
+struct CountingSession {
+    steps: u64,
+    attempts: Arc<AtomicU64>,
+    panic_at: u64,
+}
+
+impl CompilationSession for CountingSession {
+    fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
+        vec![ActionSpaceInfo { name: "count".into(), actions: vec!["bump".into(); 8] }]
+    }
+    fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
+        vec![ObservationSpaceInfo {
+            name: "steps".into(),
+            kind: ObservationKind::Scalar,
+            deterministic: true,
+            platform_dependent: false,
+        }]
+    }
+    fn reward_spaces(&self) -> Vec<RewardSpaceInfo> {
+        vec![RewardSpaceInfo {
+            name: "steps".into(),
+            metric: "steps".into(),
+            sign: 1.0,
+            baseline: None,
+            deterministic: true,
+        }]
+    }
+    fn init(&mut self, _b: &str, _s: usize) -> Result<(), String> {
+        Ok(())
+    }
+    fn apply_action(&mut self, _a: usize) -> Result<ActionOutcome, String> {
+        let ordinal = self.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+        if ordinal == self.panic_at {
+            panic!("chaos: scripted fault at apply ordinal {ordinal}");
+        }
+        self.steps += 1;
+        Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+    }
+    fn observe(&mut self, _s: &str) -> Result<Observation, String> {
+        Ok(Observation::Scalar(self.steps as f64))
+    }
+    fn fork(&self) -> Box<dyn CompilationSession> {
+        Box::new(CountingSession {
+            steps: self.steps,
+            attempts: Arc::clone(&self.attempts),
+            panic_at: self.panic_at,
+        })
+    }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.steps.to_le_bytes().to_vec())
+    }
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let bytes: [u8; 8] = state.try_into().map_err(|_| "bad checkpoint".to_string())?;
+        self.steps = u64::from_le_bytes(bytes);
+        Ok(())
+    }
+}
+
+fn counting_factory(panic_at: u64) -> (SessionFactory, Arc<AtomicU64>) {
+    let attempts = Arc::new(AtomicU64::new(0));
+    let attempts2 = Arc::clone(&attempts);
+    let factory: SessionFactory = Arc::new(move || {
+        Box::new(CountingSession {
+            steps: 0,
+            attempts: Arc::clone(&attempts2),
+            panic_at,
+        })
+    });
+    (factory, attempts)
+}
+
+/// The acceptance scenario: a 200-step episode whose 196th apply (episode
+/// step index 195) panics the session away. With the default checkpoint
+/// interval K = 10 the worker has a depth-190 snapshot, so recovery must
+/// replay exactly the 5-action suffix — not the 195-action history.
+#[test]
+fn fault_at_step_195_of_200_replays_at_most_k_actions() {
+    const STEPS: u64 = 200;
+    const FAULT_AT: u64 = 196; // apply ordinal (1-based): episode step 195
+    let (factory, attempts) = counting_factory(FAULT_AT);
+    let mut env = CompilerEnv::with_factory(
+        "count-v0",
+        factory,
+        "benchmark://count",
+        "steps",
+        "steps",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    env.set_retry_policy(
+        RetryPolicy::default().with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    env.reset().unwrap();
+    for s in 0..STEPS {
+        let step = env.step((s % 8) as usize).unwrap();
+        assert_eq!(step.observation, Observation::Scalar((s + 1) as f64));
+    }
+    // Restored state is byte-identical: the counter arrived at exactly 200.
+    assert_eq!(env.observe("steps").unwrap(), Observation::Scalar(STEPS as f64));
+    assert!(env.service_restarts() >= 1, "panic recovery restarts the service");
+    assert_eq!(env.checkpoint_store().restores(), 1, "recovery used a checkpoint");
+    // Apply-attempt accounting: 195 pre-fault successes + 1 panic + the
+    // replayed suffix + 1 retried action + 4 remaining actions. The suffix
+    // is everything between; prove it was ≤ K (and exactly 5 for K = 10).
+    let total = attempts.load(Ordering::SeqCst);
+    let replayed = total - (195 + 1 + 1 + 4);
+    assert!(replayed <= 10, "recovery replayed {replayed} actions, more than K=10");
+    assert_eq!(replayed, 5, "depth-190 checkpoint implies a 5-action suffix");
+}
+
+/// Without checkpoint support (`save_state` returns `None`) the same fault
+/// is still recovered — by full replay.
+#[test]
+fn fault_recovery_without_checkpoints_replays_everything() {
+    struct NoCkpt(CountingSession);
+    impl CompilationSession for NoCkpt {
+        fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
+            self.0.action_spaces()
+        }
+        fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
+            self.0.observation_spaces()
+        }
+        fn reward_spaces(&self) -> Vec<RewardSpaceInfo> {
+            self.0.reward_spaces()
+        }
+        fn init(&mut self, b: &str, s: usize) -> Result<(), String> {
+            self.0.init(b, s)
+        }
+        fn apply_action(&mut self, a: usize) -> Result<ActionOutcome, String> {
+            self.0.apply_action(a)
+        }
+        fn observe(&mut self, s: &str) -> Result<Observation, String> {
+            self.0.observe(s)
+        }
+        fn fork(&self) -> Box<dyn CompilationSession> {
+            unimplemented!("not forked in this test")
+        }
+    }
+    const FAULT_AT: u64 = 26; // episode step 25 of 30
+    let attempts = Arc::new(AtomicU64::new(0));
+    let attempts2 = Arc::clone(&attempts);
+    let factory: SessionFactory = Arc::new(move || {
+        Box::new(NoCkpt(CountingSession {
+            steps: 0,
+            attempts: Arc::clone(&attempts2),
+            panic_at: FAULT_AT,
+        }))
+    });
+    let mut env = CompilerEnv::with_factory(
+        "count-v0",
+        factory,
+        "benchmark://count",
+        "steps",
+        "steps",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    env.set_retry_policy(
+        RetryPolicy::default().with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    env.reset().unwrap();
+    for s in 0..30 {
+        env.step((s % 8) as usize).unwrap();
+    }
+    assert_eq!(env.observe("steps").unwrap(), Observation::Scalar(30.0));
+    assert_eq!(env.checkpoint_store().restores(), 0, "nothing to restore from");
+    // 25 pre-fault + 1 panic + 25 full replay + 1 retry + 4 remaining.
+    assert_eq!(attempts.load(Ordering::SeqCst), 56);
+}
+
+/// Rung 1 end to end: a hang contained by the step wall budget surfaces as
+/// a typed `BudgetExceeded` within ~2× the budget — no client timeout, no
+/// service restart — when recovery cannot outrun a deterministic hang.
+#[test]
+fn budget_violation_is_typed_and_prompt_without_restart() {
+    const WALL: Duration = Duration::from_millis(100);
+    // Every apply hangs far past the wall budget; the client deadline is
+    // far past both, so only the in-service budget can answer quickly.
+    let (factory, _stats) = FaultPlan::seeded(21)
+        .with_hang_prob(1.0)
+        .with_hang_duration(Duration::from_secs(5))
+        .wrap(session_factory("llvm-v0").unwrap());
+    let mut env = CompilerEnv::with_factory(
+        "llvm-v0",
+        factory,
+        "benchmark://cbench-v1/crc32",
+        "Autophase",
+        "IrInstructionCount",
+        Duration::from_secs(60),
+    )
+    .unwrap();
+    env.set_retry_policy(
+        RetryPolicy::default()
+            .with_max_attempts(2)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    env.set_resource_budget(ResourceBudget::default().with_step_wall(WALL)).unwrap();
+    env.reset().unwrap();
+    let started = Instant::now();
+    let err = env.step(0).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, CgError::BudgetExceeded(_)),
+        "expected a typed budget violation, got {err:?}"
+    );
+    // Two attempts, each killed at the wall: comfortably under 2× budget
+    // per attempt (the 2s margin absorbs scheduler noise in CI).
+    assert!(
+        elapsed < 2 * WALL * 2 + Duration::from_secs(2),
+        "budget kill took {elapsed:?}, not in-band"
+    );
+    assert_eq!(env.service_restarts(), 0, "budget kills must not restart the service");
+}
+
+/// A budget-killed step on a *recoverable* episode is absorbed: the session
+/// is rebuilt from a checkpoint and the episode continues, still without a
+/// service restart.
+#[test]
+fn budget_kill_recovers_via_checkpoint_without_restart() {
+    // One scheduled hang at apply ordinal 25 (episode step 24); every other
+    // apply is clean, so the retry succeeds.
+    let (factory, stats) = FaultPlan::seeded(22)
+        .schedule(24, FaultKind::Hang)
+        .with_hang_duration(Duration::from_secs(5))
+        .wrap(session_factory("llvm-v0").unwrap());
+    let mut env = CompilerEnv::with_factory(
+        "llvm-v0",
+        factory,
+        "benchmark://cbench-v1/crc32",
+        "Autophase",
+        "IrInstructionCount",
+        Duration::from_secs(60),
+    )
+    .unwrap();
+    env.set_retry_policy(
+        RetryPolicy::default().with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    env.set_resource_budget(ResourceBudget::default().with_step_wall(Duration::from_millis(250)))
+        .unwrap();
+    env.reset().unwrap();
+    let pool = ["instcombine", "dce", "gvn", "sroa"];
+    for s in 0..30u64 {
+        let name = pool[(s % 4) as usize];
+        let a = env.action_space().index_of(name).unwrap();
+        env.step(a).unwrap();
+    }
+    assert_eq!(stats.hangs(), 1, "the scheduled hang fired");
+    assert_eq!(env.service_restarts(), 0, "contained in-band: no restart");
+    assert!(
+        env.checkpoint_store().restores() >= 1,
+        "recovery should have used the depth-20 checkpoint"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The checkpoint contract for the LLVM backend: `save_state` →
+    /// `load_state` into a *fresh* session re-serializes byte-identically
+    /// and behaves identically, for arbitrary action prefixes.
+    #[test]
+    fn llvm_save_load_round_trips_byte_identical(
+        actions in proptest::collection::vec(0usize..124, 0..6),
+        probe in 0usize..124,
+    ) {
+        let mut s = LlvmSession::new();
+        s.init("benchmark://cbench-v1/crc32", 0).unwrap();
+        for &a in &actions {
+            let _ = s.apply_action(a);
+        }
+        let snap = s.save_state().expect("llvm sessions support checkpoints");
+
+        let mut restored = LlvmSession::new();
+        restored.init("benchmark://cbench-v1/crc32", 0).unwrap();
+        restored.load_state(&snap).unwrap();
+        let resnap = restored.save_state().unwrap();
+        prop_assert_eq!(&snap, &resnap, "re-serialization must be byte-identical");
+        prop_assert_eq!(s.state_size(), restored.state_size());
+
+        // Behaviorally identical: one more arbitrary action lands both
+        // sessions on the same metric.
+        let _ = s.apply_action(probe);
+        let _ = restored.apply_action(probe);
+        prop_assert_eq!(
+            s.observe("IrInstructionCount").unwrap(),
+            restored.observe("IrInstructionCount").unwrap()
+        );
+    }
+}

@@ -179,10 +179,18 @@ fn nondeterministic_replay_surfaces_typed_divergence() {
     env.step(1).unwrap(); // apply 1
     let divergences_before = tel.replay_divergences.get();
     let err = env.step(2).unwrap_err(); // apply 2 panics; replay diverges
-    assert!(
-        matches!(err, CgError::ReplayDivergence { .. }),
-        "divergent replay must be typed, got {err:?}"
-    );
+    let CgError::ReplayDivergence { repro, .. } = &err else {
+        panic!("divergent replay must be typed, got {err:?}");
+    };
+    // The error carries a self-contained reproducer on disk.
+    let path = repro.as_deref().expect("divergence should dump a reproducer");
+    let dump = cg_difftest::DivergenceRepro::load(std::path::Path::new(path)).unwrap();
+    // The committed history that diverged on replay (the panicked action
+    // itself was never committed).
+    assert_eq!(dump.actions, vec![0, 1]);
+    assert_eq!(dump.metric_space, "Metric");
+    assert!(err.to_string().contains(path), "error message should point at the reproducer");
+    let _ = std::fs::remove_file(path);
     assert!(tel.replay_divergences.get() > divergences_before, "divergence not counted");
     assert!(
         tel.trace.events().iter().any(|e| e.span == "env:replay-divergence"),

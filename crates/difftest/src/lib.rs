@@ -34,4 +34,4 @@ pub mod shrink;
 
 pub use fuzz::{run_fuzz, DivergenceReport, FuzzConfig, FuzzReport};
 pub use oracle::{compare_modules, OracleConfig, OracleFailure};
-pub use repro::Reproducer;
+pub use repro::{DivergenceRepro, Reproducer};

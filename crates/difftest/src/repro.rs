@@ -102,6 +102,84 @@ impl Reproducer {
     }
 }
 
+/// A self-contained reproducer for a **replay divergence**: mid-episode
+/// recovery replayed an episode's action history and the restored reward
+/// metric did not match the pre-fault value — a typed verdict that the
+/// compiler (or a fault) is nondeterministic.
+///
+/// Follows the same conventions as [`Reproducer`] (versioned pretty JSON,
+/// deterministic content-hashed file name, `save`/`load` pair) but lives in
+/// its own directory ([`default_divergence_dir`]): these capture *episode*
+/// nondeterminism, not pipeline miscompilations, and must not enter the
+/// miscompilation regression corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceRepro {
+    /// File format version ([`REPRO_VERSION`]).
+    pub version: u32,
+    /// Environment id the episode ran under (e.g. `llvm-v0`).
+    pub env: String,
+    /// The benchmark being replayed.
+    pub benchmark: String,
+    /// Index of the action space the episode used.
+    pub action_space: usize,
+    /// The full action history that was replayed, as indices into the
+    /// action space.
+    pub actions: Vec<usize>,
+    /// The reward-metric observation space the check compared.
+    pub metric_space: String,
+    /// The metric recorded before the fault.
+    pub expected: f64,
+    /// The metric the replayed episode produced.
+    pub actual: f64,
+}
+
+impl DivergenceRepro {
+    /// The deterministic file name for this reproducer.
+    pub fn file_name(&self) -> String {
+        let mut tag = format!("{}|{}|{}", self.env, self.benchmark, self.action_space);
+        for a in &self.actions {
+            tag.push('|');
+            tag.push_str(&a.to_string());
+        }
+        format!("divergence-{:08x}.json", cg_ir::fnv1a(tag.as_bytes()) as u32)
+    }
+
+    /// Serializes into `dir` (created if absent). Returns the written path.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Loads a divergence reproducer from a JSON file.
+    pub fn load(path: &Path) -> Result<DivergenceRepro, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let repro: DivergenceRepro =
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if repro.version != REPRO_VERSION {
+            return Err(format!(
+                "{}: unsupported reproducer version {} (expected {REPRO_VERSION})",
+                path.display(),
+                repro.version
+            ));
+        }
+        Ok(repro)
+    }
+}
+
+/// The default divergence-reproducer directory: `divergence-corpus/` at the
+/// workspace root, deliberately separate from the miscompilation corpus so
+/// the corpus replay runner never tries to re-judge an episode dump.
+pub fn default_divergence_dir() -> PathBuf {
+    match option_env!("CARGO_MANIFEST_DIR") {
+        Some(dir) => Path::new(dir).join("../../divergence-corpus"),
+        None => PathBuf::from("divergence-corpus"),
+    }
+}
+
 /// Loads every `*.json` reproducer under `dir`, sorted by file name. A
 /// missing directory is an empty corpus, not an error.
 pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, Reproducer)>, String> {
@@ -171,6 +249,27 @@ mod tests {
         r.pipeline.push("no-such-pass".into());
         let err = r.replay().unwrap_err();
         assert!(err.contains("no-such-pass"), "{err}");
+    }
+
+    #[test]
+    fn divergence_repro_roundtrip() {
+        let r = DivergenceRepro {
+            version: REPRO_VERSION,
+            env: "llvm-v0".into(),
+            benchmark: "benchmark://cbench-v1/qsort".into(),
+            action_space: 0,
+            actions: vec![3, 1, 4, 1, 5],
+            metric_space: "IrInstructionCount".into(),
+            expected: 120.0,
+            actual: 121.0,
+        };
+        let dir = std::env::temp_dir().join("cg-difftest-divergence-test");
+        let path = r.save(&dir).unwrap();
+        let back = DivergenceRepro::load(&path).unwrap();
+        assert_eq!(r, back);
+        // Same content, same deterministic file name.
+        assert_eq!(r.save(&dir).unwrap(), path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Crash-safe disk persistence for session checkpoints.
+//!
+//! The in-memory [`CheckpointStore`] ring dies with the client process; a
+//! [`DiskCheckpoints`] directory survives it. Every checkpoint mirrored
+//! through [`DiskCheckpoints::sink`] is written with the temp-file+rename
+//! protocol — serialize to `<name>.tmp`, `fsync`-free atomic
+//! `rename` into place — so a crash mid-write leaves either the previous
+//! complete file or a stray `.tmp`, never a torn checkpoint. Loading
+//! ignores `.tmp` strays and skips unreadable files (a corrupt checkpoint
+//! costs a longer replay, never an error).
+//!
+//! File names are content-addressed by `(benchmark, action_space, actions)`
+//! — the triple that fully determines a deterministic session's state — so
+//! re-writing the same checkpoint is idempotent and two episodes on the
+//! same prefix share one file.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cg_core::checkpoint::{Checkpoint, CheckpointSink, CheckpointStore};
+
+/// A directory of persisted checkpoints.
+#[derive(Debug, Clone)]
+pub struct DiskCheckpoints {
+    dir: PathBuf,
+}
+
+/// The deterministic file name for a checkpoint: content-addressed by the
+/// state-determining triple, not by the state bytes (the triple implies
+/// the state for a deterministic session).
+fn file_name(c: &Checkpoint) -> String {
+    let mut tag = format!("{}|{}", c.benchmark, c.action_space);
+    for a in &c.actions {
+        tag.push('|');
+        tag.push_str(&a.to_string());
+    }
+    format!("checkpoint-{:016x}.json", cg_ir::fnv1a(tag.as_bytes()))
+}
+
+impl DiskCheckpoints {
+    /// Opens (creating if absent) a checkpoint directory.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCheckpoints> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCheckpoints { dir })
+    }
+
+    /// The directory backing this store.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes one checkpoint crash-safely (temp file + atomic rename).
+    ///
+    /// # Errors
+    /// Propagates serialization and filesystem failures.
+    pub fn write(&self, c: &Checkpoint) -> io::Result<PathBuf> {
+        let path = self.dir.join(file_name(c));
+        let tmp = path.with_extension("json.tmp");
+        let json = serde_json::to_string(c)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads every complete checkpoint in the directory, shallowest first
+    /// (so seeding a bounded ring keeps the deepest). Strays (`.tmp` files
+    /// from an interrupted write) and unreadable or torn files are skipped,
+    /// not errors: a lost checkpoint only costs a longer replay.
+    #[must_use]
+    pub fn load_all(&self) -> Vec<Checkpoint> {
+        let Ok(entries) = fs::read_dir(&self.dir) else { return Vec::new() };
+        let mut out: Vec<Checkpoint> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .filter_map(|p| {
+                let text = fs::read_to_string(&p).ok()?;
+                serde_json::from_str::<Checkpoint>(&text).ok()
+            })
+            .collect();
+        out.sort_by_key(Checkpoint::depth);
+        out
+    }
+
+    /// A [`CheckpointSink`] that mirrors every checkpoint into this
+    /// directory. Write failures are swallowed (checkpointing must never
+    /// fail the step that triggered it); the in-memory ring still has the
+    /// checkpoint.
+    #[must_use]
+    pub fn sink(&self) -> CheckpointSink {
+        let this = self.clone();
+        Arc::new(move |c: &Checkpoint| {
+            let _ = this.write(c);
+        })
+    }
+
+    /// Builds a [`CheckpointStore`] that persists to this directory and is
+    /// pre-seeded with every checkpoint already on disk — the one-call path
+    /// for resuming after a process crash.
+    #[must_use]
+    pub fn store(&self, capacity: usize, interval: u64) -> CheckpointStore {
+        let store = CheckpointStore::new(capacity, interval).with_sink(self.sink());
+        for c in self.load_all() {
+            // Re-writing through the sink is idempotent (same name, same
+            // bytes), so seeding does not churn the directory.
+            store.put(c);
+        }
+        store
+    }
+
+    /// Removes every persisted checkpoint (and stray temp files).
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn clear(&self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let ext = path.extension().and_then(|x| x.to_str());
+            if matches!(ext, Some("json" | "tmp")) {
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ck(actions: &[usize]) -> Checkpoint {
+        Checkpoint {
+            benchmark: "benchmark://cbench-v1/qsort".into(),
+            action_space: 0,
+            actions: actions.to_vec(),
+            state: actions.iter().map(|a| (*a as u8) ^ 0x5a).collect(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cg-stdb-ckpt-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let disk = DiskCheckpoints::open(tmpdir("roundtrip")).unwrap();
+        disk.write(&ck(&[1, 2, 3])).unwrap();
+        disk.write(&ck(&[1, 2, 3, 4, 5])).unwrap();
+        let loaded = disk.load_all();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0], ck(&[1, 2, 3]), "shallowest first");
+        assert_eq!(loaded[1], ck(&[1, 2, 3, 4, 5]));
+        disk.clear().unwrap();
+        assert!(disk.load_all().is_empty());
+    }
+
+    #[test]
+    fn rewrite_is_idempotent() {
+        let disk = DiskCheckpoints::open(tmpdir("idempotent")).unwrap();
+        let p1 = disk.write(&ck(&[7, 8])).unwrap();
+        let p2 = disk.write(&ck(&[7, 8])).unwrap();
+        assert_eq!(p1, p2, "same triple, same file");
+        assert_eq!(disk.load_all().len(), 1);
+    }
+
+    #[test]
+    fn torn_and_stray_files_are_skipped() {
+        let disk = DiskCheckpoints::open(tmpdir("torn")).unwrap();
+        disk.write(&ck(&[1])).unwrap();
+        // A crash mid-write leaves a stray temp file...
+        fs::write(disk.dir().join("checkpoint-dead.json.tmp"), "{\"trunc").unwrap();
+        // ...and a torn .json (e.g. non-atomic copy) must not poison loads.
+        fs::write(disk.dir().join("checkpoint-torn.json"), "{\"benchmark\":").unwrap();
+        let loaded = disk.load_all();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0], ck(&[1]));
+    }
+
+    #[test]
+    fn store_is_seeded_from_disk_and_persists_new_checkpoints() {
+        let dir = tmpdir("seed");
+        {
+            let disk = DiskCheckpoints::open(&dir).unwrap();
+            let store = disk.store(8, 5);
+            store.put(ck(&[1, 2, 3, 4, 5]));
+        }
+        // A fresh process: the ring is empty until seeded from disk.
+        let disk = DiskCheckpoints::open(&dir).unwrap();
+        let store = disk.store(8, 5);
+        let hit = store.latest_matching(
+            "benchmark://cbench-v1/qsort",
+            0,
+            &[1, 2, 3, 4, 5, 6, 7],
+        );
+        assert_eq!(hit.unwrap().depth(), 5, "checkpoint survived the 'crash'");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

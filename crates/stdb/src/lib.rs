@@ -9,6 +9,13 @@
 //! fills `StateTransitions`. The paper releases a 50+ GB instance with >1M
 //! states for offline learning; [`generate_database`] builds instances of
 //! any size on demand, and §VII-F's cost model (Figure 8) trains from them.
+//!
+//! The [`checkpoints`] module is the durable half of session checkpointing:
+//! a crash-safe (temp-file + rename) on-disk mirror of the in-memory
+//! checkpoint ring, so episodes can resume across *process* crashes, not
+//! just service-worker crashes.
+
+pub mod checkpoints;
 
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;

@@ -677,6 +677,23 @@ pub struct Telemetry {
     pub replay_divergences: Counter,
     /// TCP client reconnects after an I/O error on the service socket.
     pub reconnects: Counter,
+    /// Session checkpoints serialized by the service worker.
+    pub checkpoints_taken: Counter,
+    /// Recoveries that restored from a checkpoint (suffix replay) instead of
+    /// replaying the full action history.
+    pub checkpoint_restores: Counter,
+    /// Sessions destroyed in-service for exceeding a resource budget
+    /// (wall-clock or state-size), answered with a typed in-band error.
+    pub budget_kills: Counter,
+    /// Services proactively restarted by the watchdog after missed
+    /// heartbeats.
+    pub watchdog_restarts: Counter,
+    /// Circuit-breaker transitions to the open state.
+    pub breaker_trips: Counter,
+    /// Calls rejected fast because a circuit was open.
+    pub breaker_fast_fails: Counter,
+    /// Circuit-breaker transitions from open to half-open (probe allowed).
+    pub breaker_half_opens: Counter,
     /// Episode-level environment statistics.
     pub episode: EpisodeStats,
     /// Per-observation-space computation latency.
@@ -724,6 +741,13 @@ impl Telemetry {
             recoveries: self.recoveries.get(),
             replay_divergences: self.replay_divergences.get(),
             reconnects: self.reconnects.get(),
+            checkpoints_taken: self.checkpoints_taken.get(),
+            checkpoint_restores: self.checkpoint_restores.get(),
+            budget_kills: self.budget_kills.get(),
+            watchdog_restarts: self.watchdog_restarts.get(),
+            breaker_trips: self.breaker_trips.get(),
+            breaker_fast_fails: self.breaker_fast_fails.get(),
+            breaker_half_opens: self.breaker_half_opens.get(),
             episode: self.episode.snapshot(),
             observations,
             passes,
@@ -744,6 +768,13 @@ impl Telemetry {
         self.recoveries.reset();
         self.replay_divergences.reset();
         self.reconnects.reset();
+        self.checkpoints_taken.reset();
+        self.checkpoint_restores.reset();
+        self.budget_kills.reset();
+        self.watchdog_restarts.reset();
+        self.breaker_trips.reset();
+        self.breaker_fast_fails.reset();
+        self.breaker_half_opens.reset();
         self.episode.reset();
         self.observations.for_each(|_, h| h.reset());
         self.passes.for_each(|_, p| p.reset());
@@ -764,6 +795,13 @@ pub struct TelemetrySnapshot {
     pub recoveries: u64,
     pub replay_divergences: u64,
     pub reconnects: u64,
+    pub checkpoints_taken: u64,
+    pub checkpoint_restores: u64,
+    pub budget_kills: u64,
+    pub watchdog_restarts: u64,
+    pub breaker_trips: u64,
+    pub breaker_fast_fails: u64,
+    pub breaker_half_opens: u64,
     pub episode: EpisodeSnapshot,
     pub observations: BTreeMap<String, HistogramSnapshot>,
     pub passes: BTreeMap<String, PassSnapshot>,
