@@ -9,10 +9,12 @@
 //! that a standard interface makes integrating search techniques a
 //! few-lines affair.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use cg_core::CompilerEnv;
+use cg_core::{ActionSeq, CompilerEnv, EnvPool};
 
 /// A black-box search problem over points of type `Point`, maximizing
 /// [`SearchProblem::evaluate`].
@@ -38,6 +40,26 @@ pub trait SearchProblem {
     fn initial_point(&mut self, rng: &mut StdRng) -> Self::Point {
         self.random_point(rng)
     }
+
+    /// Evaluates a batch of points, returning scores in order. The default
+    /// is serial; pool-backed problems override this to fan evaluations out
+    /// across worker environments. Searchers that batch are careful to
+    /// generate candidates *before* evaluating them, so any problem whose
+    /// candidate generation does not depend on in-batch scores (random
+    /// search, GA) produces byte-identical results at every batch size.
+    fn evaluate_many(&mut self, points: &[Self::Point]) -> Vec<f64> {
+        points.iter().map(|p| self.evaluate(p)).collect()
+    }
+
+    /// How many points the problem would like per [`evaluate_many`] call
+    /// (typically a small multiple of the backing pool's worker count).
+    /// `1` — the default — makes every batching searcher degenerate to its
+    /// serial behavior.
+    ///
+    /// [`evaluate_many`]: SearchProblem::evaluate_many
+    fn preferred_batch(&mut self) -> usize {
+        1
+    }
 }
 
 /// The outcome of a search.
@@ -52,23 +74,31 @@ pub struct SearchResult<P> {
 }
 
 /// Pure random search (2 lines in the paper's accounting): sample, keep the
-/// best.
+/// best. Candidates are generated up front in chunks of the problem's
+/// preferred batch and evaluated via [`SearchProblem::evaluate_many`]; the
+/// result is byte-identical to serial search at every batch size (sampling
+/// never looks at scores).
 pub fn random_search<P: SearchProblem>(
     problem: &mut P,
     budget: u64,
     rng: &mut StdRng,
 ) -> SearchResult<P::Point> {
-    let mut best = problem.random_point(rng);
-    let mut score = problem.evaluate(&best);
-    for _ in 1..budget {
-        let cand = problem.random_point(rng);
-        let s = problem.evaluate(&cand);
-        if s > score {
-            score = s;
-            best = cand;
+    let batch = problem.preferred_batch().max(1) as u64;
+    let mut best: Option<(P::Point, f64)> = None;
+    let mut remaining = budget.max(1);
+    while remaining > 0 {
+        let k = batch.min(remaining) as usize;
+        let cands: Vec<P::Point> = (0..k).map(|_| problem.random_point(rng)).collect();
+        let scores = problem.evaluate_many(&cands);
+        for (cand, s) in cands.into_iter().zip(scores) {
+            if best.as_ref().map(|(_, bs)| s > *bs).unwrap_or(true) {
+                best = Some((cand, s));
+            }
         }
+        remaining -= k as u64;
     }
-    SearchResult { best, score, evaluations: budget }
+    let (best, score) = best.expect("budget >= 1");
+    SearchResult { best, score, evaluations: budget.max(1) }
 }
 
 /// Hill climbing: mutate the incumbent; accept improvements.
@@ -92,6 +122,11 @@ pub fn hill_climb<P: SearchProblem>(
 
 /// A plain generational genetic algorithm: tournament selection, crossover,
 /// mutation, elitism.
+/// A plain generational genetic algorithm: tournament selection, crossover,
+/// mutation, elitism. Children are bred in chunks of the problem's
+/// preferred batch and scored via [`SearchProblem::evaluate_many`]; because
+/// breeding draws from the *previous* generation only, results are
+/// byte-identical to the serial GA at every batch size.
 pub fn genetic_algorithm<P: SearchProblem>(
     problem: &mut P,
     budget: u64,
@@ -99,13 +134,16 @@ pub fn genetic_algorithm<P: SearchProblem>(
     rng: &mut StdRng,
 ) -> SearchResult<P::Point> {
     let population = population.max(4);
+    let batch = problem.preferred_batch().max(1);
     let mut pop: Vec<(P::Point, f64)> = Vec::with_capacity(population);
     let mut evals = 0u64;
-    for _ in 0..population.min(budget as usize) {
-        let p = problem.random_point(rng);
-        let s = problem.evaluate(&p);
-        evals += 1;
-        pop.push((p, s));
+    let seed_n = population.min(budget as usize);
+    while pop.len() < seed_n {
+        let k = batch.min(seed_n - pop.len());
+        let cands: Vec<P::Point> = (0..k).map(|_| problem.random_point(rng)).collect();
+        let scores = problem.evaluate_many(&cands);
+        evals += k as u64;
+        pop.extend(cands.into_iter().zip(scores));
     }
     let by_score = |a: &(P::Point, f64), b: &(P::Point, f64)| {
         b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
@@ -114,20 +152,26 @@ pub fn genetic_algorithm<P: SearchProblem>(
     while evals < budget {
         let mut next: Vec<(P::Point, f64)> = pop.iter().take(population / 8 + 1).cloned().collect();
         while next.len() < population && evals < budget {
-            let pick = |rng: &mut StdRng, pop: &[(P::Point, f64)]| {
-                let a = rng.gen_range(0..pop.len());
-                let b = rng.gen_range(0..pop.len());
-                pop[a.min(b)].0.clone() // sorted: lower index = fitter
-            };
-            let a = pick(rng, &pop);
-            let b = pick(rng, &pop);
-            let mut child = problem.crossover(&a, &b, rng);
-            if rng.gen_bool(0.6) {
-                child = problem.mutate(&child, rng);
-            }
-            let s = problem.evaluate(&child);
-            evals += 1;
-            next.push((child, s));
+            let k = batch.min(population - next.len()).min((budget - evals) as usize);
+            let children: Vec<P::Point> = (0..k)
+                .map(|_| {
+                    let pick = |rng: &mut StdRng, pop: &[(P::Point, f64)]| {
+                        let a = rng.gen_range(0..pop.len());
+                        let b = rng.gen_range(0..pop.len());
+                        pop[a.min(b)].0.clone() // sorted: lower index = fitter
+                    };
+                    let a = pick(rng, &pop);
+                    let b = pick(rng, &pop);
+                    let mut child = problem.crossover(&a, &b, rng);
+                    if rng.gen_bool(0.6) {
+                        child = problem.mutate(&child, rng);
+                    }
+                    child
+                })
+                .collect();
+            let scores = problem.evaluate_many(&children);
+            evals += k as u64;
+            next.extend(children.into_iter().zip(scores));
         }
         next.sort_by(by_score);
         pop = next;
@@ -180,55 +224,74 @@ pub fn nevergrad_style<P: SearchProblem>(
 /// An OpenTuner-style ensemble: a UCB bandit allocates evaluations among
 /// operator arms (random, mutate-best, crossover-of-elites), mirroring
 /// OpenTuner's meta-technique architecture.
+/// An OpenTuner-style ensemble: a UCB bandit allocates evaluations among
+/// operator arms (random, mutate-best, crossover-of-elites), mirroring
+/// OpenTuner's meta-technique architecture. With a batching problem, arm
+/// statistics and elites are frozen for the duration of one batch (updates
+/// are applied in submission order once scores return) — at batch size 1
+/// this degenerates to the classic serial loop.
 pub fn opentuner_style<P: SearchProblem>(
     problem: &mut P,
     budget: u64,
     rng: &mut StdRng,
 ) -> SearchResult<P::Point> {
+    let batch = problem.preferred_batch().max(1) as u64;
     let mut elites: Vec<(P::Point, f64)> = Vec::new();
     let mut arms = [(0u64, 0.0f64); 3]; // (pulls, total improvement)
     let mut best = problem.random_point(rng);
     let mut score = problem.evaluate(&best);
     elites.push((best.clone(), score));
-    for t in 1..budget {
-        // UCB1 arm selection.
-        let arm = (0..3)
-            .max_by(|&a, &b| {
-                let ucb = |i: usize| {
-                    let (n, tot) = arms[i];
-                    if n == 0 {
-                        return f64::INFINITY;
+    let mut t = 1u64;
+    while t < budget {
+        let k = batch.min(budget - t);
+        // Plan the chunk against the frozen bandit state.
+        let picks: Vec<(usize, P::Point)> = (0..k)
+            .map(|i| {
+                let step = t + i;
+                let arm = (0..3)
+                    .max_by(|&a, &b| {
+                        let ucb = |i: usize| {
+                            let (n, tot) = arms[i];
+                            if n == 0 {
+                                return f64::INFINITY;
+                            }
+                            tot / n as f64 + (2.0 * (step as f64).ln() / n as f64).sqrt()
+                        };
+                        ucb(a).partial_cmp(&ucb(b)).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0);
+                let cand = match arm {
+                    0 => problem.random_point(rng),
+                    1 => problem.mutate(&best, rng),
+                    _ => {
+                        if elites.len() >= 2 {
+                            let i = rng.gen_range(0..elites.len());
+                            let j = rng.gen_range(0..elites.len());
+                            let (a, b) = (elites[i].0.clone(), elites[j].0.clone());
+                            problem.crossover(&a, &b, rng)
+                        } else {
+                            problem.mutate(&best, rng)
+                        }
                     }
-                    tot / n as f64 + (2.0 * (t as f64).ln() / n as f64).sqrt()
                 };
-                ucb(a).partial_cmp(&ucb(b)).unwrap_or(std::cmp::Ordering::Equal)
+                (arm, cand)
             })
-            .unwrap_or(0);
-        let cand = match arm {
-            0 => problem.random_point(rng),
-            1 => problem.mutate(&best, rng),
-            _ => {
-                if elites.len() >= 2 {
-                    let i = rng.gen_range(0..elites.len());
-                    let j = rng.gen_range(0..elites.len());
-                    let (a, b) = (elites[i].0.clone(), elites[j].0.clone());
-                    problem.crossover(&a, &b, rng)
-                } else {
-                    problem.mutate(&best, rng)
-                }
+            .collect();
+        let points: Vec<P::Point> = picks.iter().map(|(_, c)| c.clone()).collect();
+        let scores = problem.evaluate_many(&points);
+        for ((arm, cand), s) in picks.into_iter().zip(scores) {
+            let improvement = (s - score).max(0.0);
+            arms[arm].0 += 1;
+            arms[arm].1 += improvement;
+            if s > score {
+                score = s;
+                best = cand.clone();
             }
-        };
-        let s = problem.evaluate(&cand);
-        let improvement = (s - score).max(0.0);
-        arms[arm].0 += 1;
-        arms[arm].1 += improvement;
-        if s > score {
-            score = s;
-            best = cand.clone();
+            elites.push((cand, s));
+            elites.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            elites.truncate(8);
         }
-        elites.push((cand, s));
-        elites.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        elites.truncate(8);
+        t += k;
     }
     SearchResult { best, score, evaluations: budget }
 }
@@ -256,72 +319,87 @@ where
     let mut best: Vec<usize> = (0..length).map(|_| rng.gen_range(0..num_actions)).collect();
     let mut score = problem.evaluate(&best);
     let branch = num_actions.min(12);
-    for _ in 1..budget {
-        // Select.
-        let mut prefix = Vec::new();
-        let mut cur = 0usize;
-        loop {
-            if prefix.len() >= length {
-                break;
-            }
-            if nodes[cur].children.len() < branch {
-                // Expand with an unexplored random action.
-                let a = rng.gen_range(0..num_actions);
-                let idx = nodes.len();
-                nodes.push(Node { children: Vec::new(), visits: 0, total: 0.0 });
-                nodes[cur].children.push((a, idx));
-                prefix.push(a);
-                break;
-            }
-            let parent_visits = nodes[cur].visits.max(1);
-            let (a, next) = *nodes[cur]
-                .children
-                .iter()
-                .max_by(|(_, x), (_, y)| {
-                    let ucb = |i: usize| {
-                        let n = &nodes[i];
-                        if n.visits == 0 {
-                            return f64::INFINITY;
-                        }
-                        n.total / n.visits as f64
-                            + 0.8 * ((parent_visits as f64).ln() / n.visits as f64).sqrt()
-                    };
-                    ucb(*x).partial_cmp(&ucb(*y)).unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("children nonempty");
-            prefix.push(a);
-            cur = next;
-        }
-        // Rollout: complete the prefix, biased toward the incumbent best
-        // (LaMCTS-style focus on the promising region).
-        let mut point = prefix.clone();
-        while point.len() < length {
-            let i = point.len();
-            if rng.gen_bool(0.6) && i < best.len() {
-                point.push(best[i]);
-            } else {
-                point.push(rng.gen_range(0..num_actions));
-            }
-        }
-        let s = problem.evaluate(&point);
-        if s > score {
-            score = s;
-            best = point;
-        }
-        // Backprop along the selected path.
-        let mut cur = 0usize;
-        nodes[cur].visits += 1;
-        nodes[cur].total += s;
-        for &a in &prefix {
-            match nodes[cur].children.iter().find(|(act, _)| *act == a) {
-                Some(&(_, next)) => {
-                    cur = next;
-                    nodes[cur].visits += 1;
-                    nodes[cur].total += s;
+    let batch = problem.preferred_batch().max(1) as u64;
+    let mut done = 1u64;
+    while done < budget {
+        let k = batch.min(budget - done);
+        // Plan `k` rollouts against frozen visit statistics (tree structure
+        // still grows during planning: each selection may expand a child,
+        // which steers siblings within the chunk toward unexplored
+        // branches). At batch size 1 this is the classic serial loop.
+        let mut pending: Vec<(Vec<usize>, Vec<usize>)> = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            // Select.
+            let mut prefix = Vec::new();
+            let mut cur = 0usize;
+            loop {
+                if prefix.len() >= length {
+                    break;
                 }
-                None => break,
+                if nodes[cur].children.len() < branch {
+                    // Expand with an unexplored random action.
+                    let a = rng.gen_range(0..num_actions);
+                    let idx = nodes.len();
+                    nodes.push(Node { children: Vec::new(), visits: 0, total: 0.0 });
+                    nodes[cur].children.push((a, idx));
+                    prefix.push(a);
+                    break;
+                }
+                let parent_visits = nodes[cur].visits.max(1);
+                let (a, next) = *nodes[cur]
+                    .children
+                    .iter()
+                    .max_by(|(_, x), (_, y)| {
+                        let ucb = |i: usize| {
+                            let n = &nodes[i];
+                            if n.visits == 0 {
+                                return f64::INFINITY;
+                            }
+                            n.total / n.visits as f64
+                                + 0.8 * ((parent_visits as f64).ln() / n.visits as f64).sqrt()
+                        };
+                        ucb(*x).partial_cmp(&ucb(*y)).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("children nonempty");
+                prefix.push(a);
+                cur = next;
+            }
+            // Rollout: complete the prefix, biased toward the incumbent best
+            // (LaMCTS-style focus on the promising region).
+            let mut point = prefix.clone();
+            while point.len() < length {
+                let i = point.len();
+                if rng.gen_bool(0.6) && i < best.len() {
+                    point.push(best[i]);
+                } else {
+                    point.push(rng.gen_range(0..num_actions));
+                }
+            }
+            pending.push((prefix, point));
+        }
+        let points: Vec<Vec<usize>> = pending.iter().map(|(_, p)| p.clone()).collect();
+        let scores = problem.evaluate_many(&points);
+        for ((prefix, point), s) in pending.into_iter().zip(scores) {
+            if s > score {
+                score = s;
+                best = point;
+            }
+            // Backprop along the selected path.
+            let mut cur = 0usize;
+            nodes[cur].visits += 1;
+            nodes[cur].total += s;
+            for &a in &prefix {
+                match nodes[cur].children.iter().find(|(act, _)| *act == a) {
+                    Some(&(_, next)) => {
+                        cur = next;
+                        nodes[cur].visits += 1;
+                        nodes[cur].total += s;
+                    }
+                    None => break,
+                }
             }
         }
+        done += k;
     }
     SearchResult { best, score, evaluations: budget }
 }
@@ -440,6 +518,99 @@ impl SearchProblem for PassSequenceProblem {
     }
 }
 
+/// [`PassSequenceProblem`] fanned out over an [`EnvPool`]: evaluations go
+/// through [`EnvPool::evaluate_batch`], so batching searchers score a whole
+/// generation concurrently, exact repeats are answered from the pool's
+/// evaluation cache, and mutants re-use their parent's prefix snapshots.
+pub struct PoolPassSequenceProblem {
+    pool: Arc<EnvPool>,
+    benchmark: String,
+    length: usize,
+    num_actions: usize,
+    candidates: Option<Vec<usize>>,
+    batch: usize,
+}
+
+impl PoolPassSequenceProblem {
+    /// Searches fixed-`length` sequences over the full `num_actions`-sized
+    /// action space of `benchmark`, evaluated on `pool`.
+    pub fn new(
+        pool: Arc<EnvPool>,
+        benchmark: &str,
+        length: usize,
+        num_actions: usize,
+    ) -> PoolPassSequenceProblem {
+        let batch = pool.workers() * 2;
+        PoolPassSequenceProblem {
+            pool,
+            benchmark: benchmark.to_string(),
+            length,
+            num_actions,
+            candidates: None,
+            batch: batch.max(1),
+        }
+    }
+
+    /// Restricts the searched alphabet to a subset of action indices.
+    pub fn with_candidates(
+        pool: Arc<EnvPool>,
+        benchmark: &str,
+        length: usize,
+        candidates: Vec<usize>,
+    ) -> PoolPassSequenceProblem {
+        let mut p = PoolPassSequenceProblem::new(pool, benchmark, length, candidates.len());
+        p.candidates = Some(candidates);
+        p
+    }
+
+    /// Overrides the preferred evaluation batch size.
+    pub fn with_batch(mut self, batch: usize) -> PoolPassSequenceProblem {
+        self.batch = batch.max(1);
+        self
+    }
+
+    fn to_seq(&self, p: &[usize]) -> ActionSeq {
+        let actions = match &self.candidates {
+            Some(c) => p.iter().map(|&i| c[i]).collect(),
+            None => p.to_vec(),
+        };
+        ActionSeq { benchmark: self.benchmark.clone(), actions }
+    }
+}
+
+impl SearchProblem for PoolPassSequenceProblem {
+    type Point = Vec<usize>;
+
+    fn random_point(&mut self, rng: &mut StdRng) -> Vec<usize> {
+        (0..self.length).map(|_| rng.gen_range(0..self.num_actions)).collect()
+    }
+
+    fn mutate(&mut self, p: &Vec<usize>, rng: &mut StdRng) -> Vec<usize> {
+        let mut q = p.clone();
+        let i = rng.gen_range(0..q.len());
+        q[i] = rng.gen_range(0..self.num_actions);
+        q
+    }
+
+    fn crossover(&mut self, a: &Vec<usize>, b: &Vec<usize>, rng: &mut StdRng) -> Vec<usize> {
+        let cut = rng.gen_range(0..a.len());
+        a[..cut].iter().chain(b[cut..].iter()).copied().collect()
+    }
+
+    fn evaluate(&mut self, p: &Vec<usize>) -> f64 {
+        self.evaluate_many(std::slice::from_ref(p))[0]
+    }
+
+    fn evaluate_many(&mut self, points: &[Vec<usize>]) -> Vec<f64> {
+        let jobs: Vec<ActionSeq> = points.iter().map(|p| self.to_seq(p)).collect();
+        self.pool.evaluate_batch(jobs).into_iter().map(|o| o.score).collect()
+    }
+
+    fn preferred_batch(&mut self) -> usize {
+        self.batch
+    }
+}
+
 /// The GCC flag-tuning problem (§VII-D): points are full choice vectors;
 /// the objective is negated object size. Evaluations drive the compiler
 /// session directly (each evaluation is "one compilation").
@@ -545,6 +716,136 @@ mod tests {
         fn evaluate(&mut self, p: &Vec<usize>) -> f64 {
             p.iter().filter(|&&x| x == 0).count() as f64
         }
+    }
+
+    /// `Toy` behind a forced batch size, recording every batch it sees.
+    struct BatchedToy {
+        batch: usize,
+        seen: Vec<usize>,
+    }
+
+    impl SearchProblem for BatchedToy {
+        type Point = Vec<usize>;
+        fn random_point(&mut self, rng: &mut StdRng) -> Vec<usize> {
+            Toy.random_point(rng)
+        }
+        fn mutate(&mut self, p: &Vec<usize>, rng: &mut StdRng) -> Vec<usize> {
+            Toy.mutate(p, rng)
+        }
+        fn crossover(&mut self, a: &Vec<usize>, b: &Vec<usize>, rng: &mut StdRng) -> Vec<usize> {
+            Toy.crossover(a, b, rng)
+        }
+        fn evaluate(&mut self, p: &Vec<usize>) -> f64 {
+            Toy.evaluate(p)
+        }
+        fn evaluate_many(&mut self, points: &[Vec<usize>]) -> Vec<f64> {
+            self.seen.push(points.len());
+            points.iter().map(|p| Toy.evaluate(p)).collect()
+        }
+        fn preferred_batch(&mut self) -> usize {
+            self.batch
+        }
+    }
+
+    #[test]
+    fn batched_random_search_is_byte_identical_to_serial() {
+        let serial = random_search(&mut Toy, 111, &mut rng(9));
+        for batch in [2, 5, 16, 200] {
+            let mut p = BatchedToy { batch, seen: Vec::new() };
+            let batched = random_search(&mut p, 111, &mut rng(9));
+            assert_eq!(batched.best, serial.best, "batch {batch} changed the winner");
+            assert_eq!(batched.score.to_bits(), serial.score.to_bits());
+            assert_eq!(batched.evaluations, serial.evaluations);
+            assert!(p.seen.iter().any(|&k| k > 1), "batching never kicked in");
+            assert_eq!(p.seen.iter().sum::<usize>(), 111, "evaluation count drifted");
+        }
+    }
+
+    #[test]
+    fn batched_ga_is_byte_identical_to_serial() {
+        let serial = genetic_algorithm(&mut Toy, 150, 24, &mut rng(13));
+        for batch in [3, 8, 24] {
+            let mut p = BatchedToy { batch, seen: Vec::new() };
+            let batched = genetic_algorithm(&mut p, 150, 24, &mut rng(13));
+            assert_eq!(batched.best, serial.best, "batch {batch} changed the winner");
+            assert_eq!(batched.score.to_bits(), serial.score.to_bits());
+            assert_eq!(batched.evaluations, serial.evaluations);
+            assert_eq!(p.seen.iter().sum::<usize>(), 150, "evaluation count drifted");
+        }
+    }
+
+    #[test]
+    fn batched_opentuner_and_mcts_respect_budget_and_batch() {
+        // Bandit/tree searchers use frozen statistics within a batch, so
+        // results legitimately differ across batch sizes — but the budget
+        // accounting and batch plumbing must hold, and batch size 1 must
+        // reproduce the serial trajectory exactly.
+        let serial_ot = opentuner_style(&mut Toy, 80, &mut rng(21));
+        let mut one = BatchedToy { batch: 1, seen: Vec::new() };
+        let ot_one = opentuner_style(&mut one, 80, &mut rng(21));
+        assert_eq!(ot_one.best, serial_ot.best);
+        assert_eq!(ot_one.score.to_bits(), serial_ot.score.to_bits());
+
+        let serial_mcts = mcts_search(&mut Toy, 80, 8, 16, &mut rng(22));
+        let mut one = BatchedToy { batch: 1, seen: Vec::new() };
+        let mcts_one = mcts_search(&mut one, 80, 8, 16, &mut rng(22));
+        assert_eq!(mcts_one.best, serial_mcts.best);
+        assert_eq!(mcts_one.score.to_bits(), serial_mcts.score.to_bits());
+
+        for batch in [4, 11] {
+            let mut p = BatchedToy { batch, seen: Vec::new() };
+            let r = opentuner_style(&mut p, 80, &mut rng(21));
+            assert!(r.score >= 2.0);
+            // The seed point goes through `evaluate`; the remaining 79
+            // evaluations arrive in chunks.
+            assert_eq!(p.seen.iter().sum::<usize>(), 79);
+            assert!(p.seen.iter().any(|&k| k > 1));
+
+            let mut p = BatchedToy { batch, seen: Vec::new() };
+            let r = mcts_search(&mut p, 80, 8, 16, &mut rng(22));
+            assert!(r.score >= 2.0);
+            assert_eq!(p.seen.iter().sum::<usize>(), 79);
+            assert!(p.seen.iter().any(|&k| k > 1));
+        }
+    }
+
+    #[test]
+    fn pool_problem_matches_serial_problem_and_saves_work() {
+        use std::time::Duration;
+        let factory: cg_core::EnvFactory = Arc::new(|_| {
+            cg_core::CompilerEnv::with_factory(
+                "llvm-v0",
+                cg_core::envs::session_factory("llvm-v0")
+                    .map_err(cg_core::CgError::ServiceFailure)?,
+                "benchmark://cbench-v1/crc32",
+                "Autophase",
+                "IrInstructionCount",
+                Duration::from_secs(30),
+            )
+        });
+        let mut env = cg_core::make("llvm-v0").unwrap();
+        env.set_benchmark("benchmark://cbench-v1/crc32");
+        let names = ["mem2reg", "sroa", "instcombine", "gvn", "dce", "simplifycfg", "sccp", "licm"];
+        let cands: Vec<usize> =
+            names.iter().map(|n| env.action_space().index_of(n).unwrap()).collect();
+
+        let mut serial = PassSequenceProblem::with_candidates(env, 5, cands.clone());
+        let serial_ga = genetic_algorithm(&mut serial, 40, 8, &mut rng(5));
+
+        let pool = Arc::new(EnvPool::new(2, factory));
+        let mut pooled = PoolPassSequenceProblem::with_candidates(
+            Arc::clone(&pool),
+            "benchmark://cbench-v1/crc32",
+            5,
+            cands,
+        );
+        let pool_ga = genetic_algorithm(&mut pooled, 40, 8, &mut rng(5));
+        // Same rng stream + deterministic evaluations = same search outcome.
+        assert_eq!(pool_ga.best, serial_ga.best);
+        assert_eq!(pool_ga.score.to_bits(), serial_ga.score.to_bits());
+        // Elites survive generations unchanged: the cache must have
+        // answered some evaluations without touching an environment.
+        assert!(!pool.cache().is_empty());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Criterion benchmarks for the parallel-evaluation layer: `EnvPool` batch
+//! throughput, the evaluation cache's exact and prefix-reuse paths, and
+//! the incremental feature extractors that make post-pass observations
+//! cheap (dirty-function recompute vs whole-module recompute).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cg_core::{ActionSeq, EnvFactory, EnvPool, EvalCache};
+use cg_llvm::observation;
+use cg_llvm::pass::Touched;
+
+const BENCH: &str = "benchmark://cbench-v1/sha";
+
+fn factory() -> EnvFactory {
+    Arc::new(|_| {
+        cg_core::CompilerEnv::with_factory(
+            "llvm-v0",
+            cg_core::envs::session_factory("llvm-v0").map_err(cg_core::CgError::Unknown)?,
+            BENCH,
+            "Autophase",
+            "IrInstructionCount",
+            Duration::from_secs(60),
+        )
+    })
+}
+
+fn jobs(n: usize, length: usize) -> Vec<ActionSeq> {
+    // Deterministic pseudo-random sequences over a useful pass alphabet.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let probe = factory()(0).unwrap();
+    let alphabet: Vec<usize> = ["mem2reg", "instcombine", "gvn", "simplifycfg", "sccp", "dce", "licm", "adce"]
+        .iter()
+        .map(|p| probe.action_space().index_of(p).unwrap())
+        .collect();
+    (0..n)
+        .map(|_| ActionSeq {
+            benchmark: BENCH.into(),
+            actions: (0..length).map(|_| alphabet[(next() % alphabet.len() as u64) as usize]).collect(),
+        })
+        .collect()
+}
+
+fn bench_pool_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_evaluate_batch");
+    g.sample_size(10);
+    let batch = jobs(16, 8);
+    for workers in [1usize, 2, 4] {
+        // Disabled cache: every iteration pays full evaluation cost.
+        let pool = EnvPool::with_cache(workers, factory(), Arc::new(EvalCache::disabled()));
+        let _ = pool.evaluate_batch(batch.clone()); // warm worker envs
+        g.bench_function(&format!("cold_{workers}w"), |b| {
+            b.iter(|| pool.evaluate_batch(batch.clone()));
+        });
+    }
+    // Warm exact cache: the same batch is answered without running passes.
+    let pool = EnvPool::new(2, factory());
+    let _ = pool.evaluate_batch(batch.clone());
+    g.bench_function("exact_hit_2w", |b| {
+        b.iter(|| pool.evaluate_batch(batch.clone()));
+    });
+    g.finish();
+}
+
+fn bench_incremental_observation(c: &mut Criterion) {
+    // A many-function module: the incremental path recomputes one dirty
+    // function and folds cached per-function vectors, while the full path
+    // re-walks every instruction.
+    let m = cg_datasets::benchmark("benchmark://cbench-v1/ghostscript").unwrap();
+    let mut g = c.benchmark_group("incremental_observation");
+
+    g.bench_function("instcount_full", |b| {
+        b.iter(|| observation::inst_count(&m));
+    });
+    g.bench_function("autophase_full", |b| {
+        b.iter(|| observation::autophase(&m));
+    });
+
+    // Incremental: one function dirty per recompute (the common post-pass
+    // state for function-local passes).
+    let dirty = Touched::Funcs(vec![*m.func_ids().first().expect("nonempty module")]);
+    let mut feats = observation::IncrementalFeatures::new();
+    let _ = feats.inst_count(&m);
+    let _ = feats.autophase(&m);
+    g.bench_function("instcount_one_dirty_func", |b| {
+        b.iter(|| {
+            feats.invalidate(&dirty);
+            feats.inst_count(&m)
+        });
+    });
+    g.bench_function("autophase_one_dirty_func", |b| {
+        b.iter(|| {
+            feats.invalidate(&dirty);
+            feats.autophase(&m)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_throughput, bench_incremental_observation);
+criterion_main!(benches);

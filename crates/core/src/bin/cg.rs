@@ -12,6 +12,7 @@
 //! cg trace <env> <benchmark> <steps>        episode + JSONL trace dump
 //! cg chaos [flags]                          soak episodes under fault injection
 //! cg fuzz [flags]                           differential pass-pipeline fuzzing
+//! cg bench-pool [flags]                     parallel-evaluation throughput report
 //! ```
 
 use std::process::ExitCode;
@@ -27,7 +28,9 @@ fn usage() -> ExitCode {
          [--watchdog-ms MS] [--breaker N] [--breaker-cooldown-ms MS] [--json]\n  \
          cg fuzz [--seed-range A..B] [--jobs N] [--profile NAME] [--max-passes N]\n          \
          [--inputs N] [--corpus DIR] [--no-corpus] [--budget-secs N]\n          \
-         [--reduce-budget N] [--smoke] [--json]"
+         [--reduce-budget N] [--smoke] [--json]\n  \
+         cg bench-pool [--workers LIST] [--evaluations N] [--length N] [--benchmark URI]\n                \
+         [--ga-budget N] [--ga-pop N] [--seed S] [--out PATH] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
         }
         Some("chaos") => chaos(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
+        Some("bench-pool") => bench_pool(&args[1..]),
         Some("datasets") => {
             for d in cg_datasets::datasets() {
                 println!(
@@ -242,6 +246,34 @@ fn stats(
         fmt_us(ep.step_wall.p99_micros),
         fmt_us(ep.step_wall.max_micros)
     );
+    let pool = &snap.pool;
+    let total_actions = pool.actions_executed + pool.actions_saved;
+    let saved_pct = if total_actions == 0 {
+        0.0
+    } else {
+        100.0 * pool.actions_saved as f64 / total_actions as f64
+    };
+    println!(
+        "\npool: workers={} jobs={} errors={} panics={} queue-depth={}",
+        pool.workers, pool.jobs, pool.job_errors, pool.job_panics, pool.queue_depth
+    );
+    println!(
+        "  cache: hits={} misses={} prefix-hits={} evictions={}",
+        pool.cache_hits, pool.cache_misses, pool.prefix_hits, pool.evictions
+    );
+    println!(
+        "  actions: executed={} saved={} ({saved_pct:.0}% saved)",
+        pool.actions_executed, pool.actions_saved
+    );
+    if pool.jobs > 0 {
+        println!(
+            "  batch p50={} max={}  job p50={} p99={}",
+            fmt_us(pool.batch_wall.p50_micros),
+            fmt_us(pool.batch_wall.max_micros),
+            fmt_us(pool.job_wall.p50_micros),
+            fmt_us(pool.job_wall.p99_micros)
+        );
+    }
     if !snap.observations.is_empty() {
         println!("\nobservations:");
         for (name, h) in &snap.observations {
@@ -785,6 +817,299 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if breaker_never_half_opened {
         return Err("breaker tripped but never allowed a half-open probe".into());
+    }
+    Ok(())
+}
+
+/// The `cg bench-pool` surface: measure parallel-evaluation throughput
+/// (batch evaluation and vectorized RL stepping) at each requested worker
+/// count, and quantify how much raw pass-pipeline work the evaluation
+/// cache saves a genetic-algorithm search at equal budget. Writes the
+/// machine-readable report to `BENCH_pool.json` (override with `--out`).
+fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use cg_core::{ActionSeq, EnvFactory, EnvPool, EvalCache};
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let mut worker_counts: Vec<usize> = vec![1, 2, 4, 8];
+    let mut evaluations: usize = 64;
+    let mut length: usize = 8;
+    let mut benchmark = "benchmark://cbench-v1/crc32".to_string();
+    let mut ga_budget: u64 = 240;
+    let mut ga_pop: usize = 16;
+    let mut seed: u64 = 7;
+    let mut out_path = "BENCH_pool.json".to_string();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next().ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--workers" => {
+                worker_counts = val("--workers")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()?;
+                if worker_counts.is_empty() {
+                    return Err("--workers wants a list like 1,2,4,8".into());
+                }
+            }
+            "--evaluations" => evaluations = val("--evaluations")?.parse()?,
+            "--length" => length = val("--length")?.parse::<usize>()?.max(1),
+            "--benchmark" => benchmark = val("--benchmark")?.clone(),
+            "--ga-budget" => ga_budget = val("--ga-budget")?.parse()?,
+            "--ga-pop" => ga_pop = val("--ga-pop")?.parse()?,
+            "--seed" => seed = val("--seed")?.parse()?,
+            "--out" => out_path = val("--out")?.clone(),
+            "--json" => json = true,
+            other => return Err(format!("unknown bench-pool flag `{other}`").into()),
+        }
+    }
+
+    let factory: EnvFactory = {
+        let benchmark = benchmark.clone();
+        Arc::new(move |_widx| {
+            cg_core::CompilerEnv::with_factory(
+                "llvm-v0",
+                cg_core::envs::session_factory("llvm-v0").map_err(cg_core::CgError::Unknown)?,
+                &benchmark,
+                "Autophase",
+                "IrInstructionCount",
+                std::time::Duration::from_secs(60),
+            )
+        })
+    };
+    let probe = factory(0)?;
+    let num_actions = probe.action_space().len();
+    drop(probe);
+
+    // The same deterministic job set for every worker count.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs: Vec<ActionSeq> = (0..evaluations)
+        .map(|_| ActionSeq {
+            benchmark: benchmark.clone(),
+            actions: (0..length).map(|_| rng.gen_range(0..num_actions)).collect(),
+        })
+        .collect();
+
+    #[derive(serde::Serialize)]
+    struct WorkerPoint {
+        workers: usize,
+        evaluations: usize,
+        evals_per_sec: f64,
+        batch_wall_ms: f64,
+        episodes: usize,
+        episodes_per_sec: f64,
+        errors: usize,
+    }
+    #[derive(serde::Serialize)]
+    struct GaReport {
+        budget: u64,
+        population: usize,
+        best_cached: f64,
+        best_uncached: f64,
+        executed_cached: u64,
+        executed_uncached: u64,
+        saved: u64,
+        cache_hits: u64,
+        prefix_hits: u64,
+        savings_pct: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct Report {
+        cpus: usize,
+        benchmark: String,
+        length: usize,
+        workers: Vec<WorkerPoint>,
+        ga: GaReport,
+    }
+
+    let tel = cg_telemetry::global();
+    let mut points = Vec::new();
+    for &w in &worker_counts {
+        // Cache disabled: pure evaluation throughput, no reuse between
+        // worker counts.
+        let pool = EnvPool::with_cache(w, Arc::clone(&factory), Arc::new(EvalCache::disabled()));
+        // Warm the workers (spawn threads, build envs, parse the benchmark)
+        // outside the timed region.
+        let warm: Vec<ActionSeq> = jobs.iter().take(w).cloned().collect();
+        let _ = pool.evaluate_batch(warm);
+        let start = Instant::now();
+        let outcomes = pool.evaluate_batch(jobs.clone());
+        let wall = start.elapsed();
+        let errors = outcomes.iter().filter(|o| o.error.is_some()).count();
+
+        // Vectorized RL stepping: one lockstep episode per worker, repeated.
+        let rounds = (evaluations / w.max(1)).clamp(1, 8);
+        let ep_start = Instant::now();
+        let mut ep_rng = StdRng::seed_from_u64(seed ^ 0xE915);
+        for _ in 0..rounds {
+            for r in pool.reset_all() {
+                r?;
+            }
+            for _ in 0..length {
+                let actions: Vec<usize> =
+                    (0..w).map(|_| ep_rng.gen_range(0..num_actions)).collect();
+                for s in pool.step_all(&actions) {
+                    s?;
+                }
+            }
+        }
+        let ep_wall = ep_start.elapsed();
+        let episodes = rounds * w;
+        points.push(WorkerPoint {
+            workers: w,
+            evaluations,
+            evals_per_sec: evaluations as f64 / wall.as_secs_f64(),
+            batch_wall_ms: wall.as_secs_f64() * 1e3,
+            episodes,
+            episodes_per_sec: episodes as f64 / ep_wall.as_secs_f64(),
+            errors,
+        });
+    }
+
+    // GA at equal budget, cached vs uncached: identical rng stream, so the
+    // uncached run executes every action the cached run either executes or
+    // saves. The workload mirrors `cg_autotune::genetic_algorithm` over a
+    // pool-backed problem (elitist, tournament selection, 0.6 mutation).
+    let ga_workers = worker_counts.iter().copied().max().unwrap_or(2);
+    // (best score, actions executed, actions saved, cache hits, prefix hits)
+    type GaOutcome = (f64, u64, u64, u64, u64);
+    let run_ga = |cache: EvalCache| -> Result<GaOutcome, Box<dyn std::error::Error>> {
+        let pool = EnvPool::with_cache(ga_workers, Arc::clone(&factory), Arc::new(cache));
+        let executed_before = tel.pool.actions_executed.get();
+        let saved_before = tel.pool.actions_saved.get();
+        let hits_before = tel.pool.cache_hits.get();
+        let prefix_before = tel.pool.prefix_hits.get();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6A);
+        let eval_many = |pool: &EnvPool, pts: &[Vec<usize>]| -> Vec<f64> {
+            let seqs = pts
+                .iter()
+                .map(|p| ActionSeq { benchmark: benchmark.clone(), actions: p.clone() })
+                .collect();
+            pool.evaluate_batch(seqs).into_iter().map(|o| o.score).collect()
+        };
+        let population = ga_pop.max(4);
+        let batch = ga_workers * 2;
+        let mut pop: Vec<(Vec<usize>, f64)> = Vec::new();
+        let mut evals = 0u64;
+        let seed_n = population.min(ga_budget as usize);
+        while pop.len() < seed_n {
+            let k = batch.min(seed_n - pop.len());
+            let cands: Vec<Vec<usize>> = (0..k)
+                .map(|_| (0..length).map(|_| rng.gen_range(0..num_actions)).collect())
+                .collect();
+            let scores = eval_many(&pool, &cands);
+            evals += k as u64;
+            pop.extend(cands.into_iter().zip(scores));
+        }
+        let by_score = |a: &(Vec<usize>, f64), b: &(Vec<usize>, f64)| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+        };
+        pop.sort_by(by_score);
+        while evals < ga_budget {
+            let mut next: Vec<(Vec<usize>, f64)> =
+                pop.iter().take(population / 8 + 1).cloned().collect();
+            while next.len() < population && evals < ga_budget {
+                let k = batch.min(population - next.len()).min((ga_budget - evals) as usize);
+                let children: Vec<Vec<usize>> = (0..k)
+                    .map(|_| {
+                        let pick = |rng: &mut StdRng, pop: &[(Vec<usize>, f64)]| {
+                            let a = rng.gen_range(0..pop.len());
+                            let b = rng.gen_range(0..pop.len());
+                            pop[a.min(b)].0.clone()
+                        };
+                        let a = pick(&mut rng, &pop);
+                        let b = pick(&mut rng, &pop);
+                        let cut = rng.gen_range(0..a.len());
+                        let mut child: Vec<usize> =
+                            a[..cut].iter().chain(b[cut..].iter()).copied().collect();
+                        if rng.gen_bool(0.6) {
+                            let i = rng.gen_range(0..child.len());
+                            child[i] = rng.gen_range(0..num_actions);
+                        }
+                        child
+                    })
+                    .collect();
+                let scores = eval_many(&pool, &children);
+                evals += k as u64;
+                next.extend(children.into_iter().zip(scores));
+            }
+            next.sort_by(by_score);
+            pop = next;
+        }
+        Ok((
+            pop[0].1,
+            tel.pool.actions_executed.get() - executed_before,
+            tel.pool.actions_saved.get() - saved_before,
+            tel.pool.cache_hits.get() - hits_before,
+            tel.pool.prefix_hits.get() - prefix_before,
+        ))
+    };
+    let (best_cached, executed_cached, saved, cache_hits, prefix_hits) =
+        run_ga(EvalCache::default())?;
+    let (best_uncached, executed_uncached, _, _, _) = run_ga(EvalCache::disabled())?;
+    let savings_pct = if executed_uncached == 0 {
+        0.0
+    } else {
+        100.0 * (executed_uncached - executed_cached.min(executed_uncached)) as f64
+            / executed_uncached as f64
+    };
+
+    let report = Report {
+        cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        benchmark,
+        length,
+        workers: points,
+        ga: GaReport {
+            budget: ga_budget,
+            population: ga_pop,
+            best_cached,
+            best_uncached,
+            executed_cached,
+            executed_uncached,
+            saved,
+            cache_hits,
+            prefix_hits,
+            savings_pct,
+        },
+    };
+    let rendered = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&out_path, &rendered)?;
+    if json {
+        println!("{rendered}");
+    } else {
+        println!("bench-pool on {} ({} cpus), {} evaluations of length {}:", report.benchmark, report.cpus, evaluations, report.length);
+        println!(
+            "  {:>7} {:>14} {:>14} {:>14} {:>7}",
+            "workers", "evals/sec", "batch wall", "episodes/sec", "errors"
+        );
+        for p in &report.workers {
+            println!(
+                "  {:>7} {:>14.1} {:>12.0}ms {:>14.1} {:>7}",
+                p.workers, p.evals_per_sec, p.batch_wall_ms, p.episodes_per_sec, p.errors
+            );
+        }
+        println!(
+            "\nGA at budget {} (population {}, {} workers):",
+            report.ga.budget, report.ga.population, ga_workers
+        );
+        println!(
+            "  raw actions executed: cached={} uncached={} saved={} ({:.1}% fewer)",
+            report.ga.executed_cached,
+            report.ga.executed_uncached,
+            report.ga.saved,
+            report.ga.savings_pct
+        );
+        println!(
+            "  cache hits={} prefix hits={} best: cached={:+.4} uncached={:+.4}",
+            report.ga.cache_hits, report.ga.prefix_hits, report.ga.best_cached, report.ga.best_uncached
+        );
+        println!("\nreport written to {out_path}");
     }
     Ok(())
 }

@@ -58,6 +58,33 @@ pub struct StepResult {
     pub changed: bool,
 }
 
+/// A portable snapshot of a live episode: the serialized compiler state
+/// plus the client-side bookkeeping (metrics, reward, action history)
+/// needed to resume rewards seamlessly. Produced by
+/// [`CompilerEnv::episode_snapshot`], consumed by
+/// [`CompilerEnv::restore_snapshot`] — possibly in a *different*
+/// environment over the same backend, which is how the evaluation cache
+/// hands shared action prefixes to pool workers without replaying them.
+#[derive(Debug, Clone)]
+pub struct EpisodeSnapshot {
+    /// Benchmark URI the episode runs on.
+    pub benchmark: String,
+    /// Index into the advertised action spaces.
+    pub action_space_index: usize,
+    /// Actions applied so far (the prefix this snapshot captures).
+    pub actions: Vec<usize>,
+    /// Serialized backend state (`CompilationSession::save_state`).
+    pub state: Vec<u8>,
+    /// Reward metric after the last action.
+    pub prev_metric: f64,
+    /// Reward metric at episode start.
+    pub init_metric: f64,
+    /// Baseline metric for scaled reward spaces, if any.
+    pub baseline_metric: Option<f64>,
+    /// Cumulative episode reward.
+    pub episode_reward: f64,
+}
+
 /// A compiler optimization environment: the Gym interaction loop (Figure 1)
 /// over a [`crate::session::CompilationSession`] living behind the service
 /// RPC boundary (Figure 2).
@@ -328,6 +355,12 @@ impl CompilerEnv {
     /// Cumulative reward of the episode so far.
     pub fn episode_reward(&self) -> f64 {
         self.episode_reward
+    }
+
+    /// The reward metric observed after the most recent action (or at
+    /// reset): the raw value episode rewards are deltas of.
+    pub fn last_metric(&self) -> f64 {
+        self.prev_metric
     }
 
     /// Actions taken this episode.
@@ -804,6 +837,65 @@ impl CompilerEnv {
             breaker: self.breaker.clone(),
             watchdog: None,
         })
+    }
+
+    /// Captures the live episode as a portable [`EpisodeSnapshot`]:
+    /// serialized backend state plus the client-side reward bookkeeping.
+    /// Unlike [`CompilerEnv::fork`] the result is plain data — it can be
+    /// cached, sent across threads, and restored into any environment that
+    /// shares the backend.
+    ///
+    /// # Errors
+    /// [`CgError::Usage`] before `reset`; service failures; backends
+    /// without state serialization.
+    pub fn episode_snapshot(&mut self) -> Result<EpisodeSnapshot, CgError> {
+        let resp = self.call_recovering(&[], |sid| Request::ExportState { session_id: sid })?;
+        let Response::State { state } = resp else {
+            return Err(CgError::ServiceFailure(format!("bad ExportState reply: {resp:?}")));
+        };
+        let state = state
+            .ok_or_else(|| CgError::ServiceFailure("session has no exportable state".into()))?;
+        Ok(EpisodeSnapshot {
+            benchmark: self.benchmark.clone(),
+            action_space_index: self.action_space_index,
+            actions: self.actions.clone(),
+            state,
+            prev_metric: self.prev_metric,
+            init_metric: self.init_metric,
+            baseline_metric: self.baseline_metric,
+            episode_reward: self.episode_reward,
+        })
+    }
+
+    /// Replaces the current episode (if any) with the one captured in
+    /// `snap`: the backend session is rebuilt via `RestoreSession` and the
+    /// client-side metrics are adopted, so subsequent `step` rewards
+    /// continue exactly where the snapshot left off.
+    ///
+    /// # Errors
+    /// Service failures; a backend that rejects the serialized state.
+    pub fn restore_snapshot(&mut self, snap: &EpisodeSnapshot) -> Result<(), CgError> {
+        if let Some(sid) = self.session.take() {
+            let _ = self.client.call_teardown(Request::EndSession { session_id: sid });
+        }
+        let resp = self.client.call_with_policy(Request::RestoreSession {
+            benchmark: snap.benchmark.clone(),
+            action_space: snap.action_space_index,
+            actions: snap.actions.clone(),
+            state: snap.state.clone(),
+        })?;
+        let Response::SessionStarted { session_id } = resp else {
+            return Err(CgError::ServiceFailure(format!("bad RestoreSession reply: {resp:?}")));
+        };
+        self.session = Some(session_id);
+        self.benchmark = snap.benchmark.clone();
+        self.action_space_index = snap.action_space_index;
+        self.actions = snap.actions.clone();
+        self.prev_metric = snap.prev_metric;
+        self.init_metric = snap.init_metric;
+        self.baseline_metric = snap.baseline_metric;
+        self.episode_reward = snap.episode_reward;
+        Ok(())
     }
 
     /// Serializes the episode state (§III-B2): benchmark, action names,

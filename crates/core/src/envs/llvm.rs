@@ -83,6 +83,14 @@ pub struct LlvmSession {
     /// Interpreter limits for runtime observations; the fuel cap is
     /// tightened by `apply_budget` (in-service resource budgets).
     limits: ExecLimits,
+    /// Per-function feature cache; invalidated by the `Touched` set each
+    /// applied pass reports, so `InstCount`/`Autophase` only re-scan dirty
+    /// functions.
+    features: observation::IncrementalFeatures,
+    /// Reusable IR-print buffer for `Ir` observations and checkpoints
+    /// (interior mutability because `save_state` takes `&self`; sessions
+    /// are `Send` but never shared, so `RefCell` suffices).
+    print_buf: std::cell::RefCell<String>,
 }
 
 impl Default for LlvmSession {
@@ -96,7 +104,7 @@ impl LlvmSession {
     pub fn new() -> LlvmSession {
         let space = ActionSpace::new();
         let subset = autophase_subset()
-            .into_iter()
+            .iter()
             .map(|n| space.index_of(n).expect("subset names are registry names"))
             .collect();
         LlvmSession {
@@ -107,6 +115,8 @@ impl LlvmSession {
             benchmark: String::new(),
             measurement_counter: 0,
             limits: ExecLimits::default(),
+            features: observation::IncrementalFeatures::new(),
+            print_buf: std::cell::RefCell::new(String::new()),
         }
     }
 
@@ -182,6 +192,7 @@ impl CompilationSession for LlvmSession {
         self.module = Some((*m).clone());
         self.benchmark = benchmark.to_string();
         self.measurement_counter = 0;
+        self.features.clear();
         Ok(())
     }
 
@@ -198,17 +209,50 @@ impl CompilationSession for LlvmSession {
             action
         };
         let m = self.module.as_mut().ok_or("session not initialized")?;
-        let changed = self.space.apply(m, index);
-        Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed })
+        let effect = self.space.apply_tracked(m, index);
+        self.features.invalidate(&effect.touched);
+        Ok(ActionOutcome {
+            end_of_episode: false,
+            action_space_changed: false,
+            changed: effect.changed,
+        })
     }
 
     fn observe(&mut self, space: &str) -> Result<Observation, String> {
         let uri = self.benchmark.clone();
+        // The feature spaces go through the per-function cache (mutable)
+        // alongside the module, so handle them on disjoint field borrows
+        // before the read-only arms.
+        match space {
+            "InstCount" => {
+                let m = self.module.as_ref().ok_or("session not initialized")?;
+                let v = self.features.inst_count(m);
+                debug_assert_eq!(
+                    v,
+                    observation::inst_count(m),
+                    "incremental InstCount diverged from full recompute"
+                );
+                return Ok(Observation::IntVector(v));
+            }
+            "Autophase" => {
+                let m = self.module.as_ref().ok_or("session not initialized")?;
+                let v = self.features.autophase(m);
+                debug_assert_eq!(
+                    v,
+                    observation::autophase(m),
+                    "incremental Autophase diverged from full recompute"
+                );
+                return Ok(Observation::IntVector(v));
+            }
+            _ => {}
+        }
         let m = self.module()?;
         Ok(match space {
-            "Ir" => Observation::Text(observation::ir_text(m)),
-            "InstCount" => Observation::IntVector(observation::inst_count(m)),
-            "Autophase" => Observation::IntVector(observation::autophase(m)),
+            "Ir" => {
+                let mut buf = self.print_buf.borrow_mut();
+                observation::ir_text_into(&mut buf, m);
+                Observation::Text(buf.clone())
+            }
             "Inst2vec" => Observation::FloatVector(observation::inst2vec(m)),
             "Programl" => Observation::Graph(observation::programl(m)),
             "IrInstructionCount" => {
@@ -248,14 +292,22 @@ impl CompilationSession for LlvmSession {
             benchmark: self.benchmark.clone(),
             measurement_counter: self.measurement_counter,
             limits: self.limits,
+            features: self.features.clone(),
+            print_buf: std::cell::RefCell::new(String::new()),
         })
     }
 
     fn save_state(&self) -> Option<Vec<u8>> {
         // Textual IR is the canonical snapshot: print/parse round-trips
         // byte-identically (the checkpoint contract), and the format is
-        // stable across service restarts.
-        self.module.as_ref().map(|m| cg_ir::printer::print_module(m).into_bytes())
+        // stable across service restarts. Printed into the session's
+        // reusable buffer so per-step checkpointing doesn't re-grow a fresh
+        // string every time.
+        self.module.as_ref().map(|m| {
+            let mut buf = self.print_buf.borrow_mut();
+            cg_ir::printer::print_module_into(&mut buf, m);
+            buf.as_bytes().to_vec()
+        })
     }
 
     fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
@@ -264,6 +316,9 @@ impl CompilationSession for LlvmSession {
         let m = cg_ir::parser::parse_module(text)
             .map_err(|e| format!("checkpoint does not parse: {e}"))?;
         self.module = Some(m);
+        // Function ids restart from zero in a re-parsed module; the cache
+        // keys would silently collide, so drop everything.
+        self.features.clear();
         Ok(())
     }
 

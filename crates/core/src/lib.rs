@@ -53,6 +53,8 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod env;
 pub mod envs;
+pub mod evalcache;
+pub mod pool;
 pub mod retry;
 pub mod service;
 pub mod session;
@@ -67,8 +69,10 @@ mod error;
 pub use breaker::{Admission, BreakerState, CircuitBreaker};
 pub use budget::{BudgetKind, BudgetViolation, ResourceBudget};
 pub use checkpoint::{Checkpoint, CheckpointSink, CheckpointStore};
-pub use env::{make, make_with_policy, CompilerEnv, StepResult};
+pub use env::{make, make_with_policy, CompilerEnv, EpisodeSnapshot, StepResult};
 pub use error::CgError;
+pub use evalcache::EvalCache;
+pub use pool::{ActionSeq, EnvFactory, EnvPool, Outcome};
 pub use retry::RetryPolicy;
 pub use watchdog::{Watchdog, WatchdogConfig};
 pub use session::CompilationSession;

@@ -33,7 +33,7 @@
 //!   `crate::watchdog`).
 
 use std::collections::HashMap;
-use std::io::{Read as _, Write as _};
+use std::io::Read as _;
 use std::net::{TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,6 +100,14 @@ pub enum Request {
         /// Serialized state from `CompilationSession::save_state`.
         state: Vec<u8>,
     },
+    /// Serialize a session's current state (`CompilationSession::save_state`)
+    /// without disturbing it. The dual of [`Request::RestoreSession`]: export
+    /// here, restore elsewhere — how an `EnvPool` seeds a worker's session
+    /// from a cached search-tree prefix instead of replaying actions.
+    ExportState {
+        /// Session to snapshot.
+        session_id: u64,
+    },
     /// Update the service's resource budget; applies to existing sessions
     /// and everything started afterwards.
     Configure {
@@ -121,6 +129,7 @@ impl Request {
             Request::Fork { .. } => "Fork",
             Request::EndSession { .. } => "EndSession",
             Request::RestoreSession { .. } => "RestoreSession",
+            Request::ExportState { .. } => "ExportState",
             Request::Configure { .. } => "Configure",
             Request::Shutdown => "Shutdown",
         }
@@ -162,6 +171,12 @@ pub enum Response {
     },
     /// Session ended / shutdown acknowledged.
     Ok,
+    /// Exported session state; `None` when the session has nothing to
+    /// snapshot (e.g. uninitialized).
+    State {
+        /// Serialized state, loadable via [`Request::RestoreSession`].
+        state: Option<Vec<u8>>,
+    },
     /// The session exceeded its resource budget and was destroyed by the
     /// worker (a "budget kill"); the service itself survives. Surfaced to
     /// clients as [`CgError::BudgetExceeded`] — a fast typed in-band error
@@ -450,6 +465,27 @@ impl ServiceState {
                             Duration::ZERO,
                         );
                         Response::Fatal(format!("session restore on {benchmark} panicked"))
+                    }
+                }
+            }
+            Request::ExportState { session_id } => {
+                let Some(session) = self.sessions.get(&session_id) else {
+                    return Response::Error(format!("no session {session_id}"));
+                };
+                match std::panic::catch_unwind(AssertUnwindSafe(|| session.save_state())) {
+                    Ok(state) => Response::State { state },
+                    Err(_) => {
+                        // Serialization panicked: the session may be corrupt.
+                        self.sessions.remove(&session_id);
+                        self.meta.remove(&session_id);
+                        let tel = cg_telemetry::global();
+                        tel.panics.inc();
+                        tel.trace.emit(
+                            "service:panic",
+                            format!("export_state destroyed session {session_id}"),
+                            Duration::ZERO,
+                        );
+                        Response::Fatal(format!("save_state on session {session_id} panicked"))
                     }
                 }
             }
@@ -868,9 +904,30 @@ impl ServiceClient {
 // TCP transport
 // ---------------------------------------------------------------------------
 
-fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
-    stream.write_all(bytes)
+/// Writes one `len ‖ payload` frame with a single vectored syscall in the
+/// common case. Coalescing the 4-byte length prefix and the payload into one
+/// `writev` halves the syscalls per reply and avoids the prefix landing in
+/// its own TCP segment under `TCP_NODELAY`. Short writes (the kernel took
+/// only part of the iovec) are continued manually because
+/// `write_all_vectored` is not yet stable.
+fn write_frame<W: std::io::Write>(stream: &mut W, bytes: &[u8]) -> std::io::Result<()> {
+    let prefix = (bytes.len() as u32).to_le_bytes();
+    let mut written = 0usize;
+    let total = prefix.len() + bytes.len();
+    while written < total {
+        let bufs: &[std::io::IoSlice<'_>] = if written < prefix.len() {
+            &[std::io::IoSlice::new(&prefix[written..]), std::io::IoSlice::new(bytes)]
+        } else {
+            &[std::io::IoSlice::new(&bytes[written - prefix.len()..])]
+        };
+        match stream.write_vectored(bufs) {
+            Ok(0) => return Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "frame")),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
@@ -1051,6 +1108,47 @@ mod tests {
     use super::*;
     use crate::chaos::{FaultKind, FaultPlan};
     use crate::session::ActionOutcome;
+    use std::io::Write as _;
+
+    /// A writer that takes at most `cap` bytes per call, exercising the
+    /// partial-write continuation of the vectored [`write_frame`].
+    struct DribbleWriter {
+        cap: usize,
+        data: Vec<u8>,
+    }
+
+    impl std::io::Write for DribbleWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.data.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Framing regression: the single-writev frame must be byte-identical
+    /// to the old prefix-then-payload encoding, for empty, tiny and
+    /// megabyte payloads, even when the writer accepts 1–7 bytes at a time.
+    #[test]
+    fn vectored_frames_encode_identically_under_partial_writes() {
+        let payloads: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0xAB],
+            b"abc".to_vec(),
+            (0..1_000_003u32).map(|i| i as u8).collect(),
+        ];
+        for payload in &payloads {
+            for cap in [1usize, 3, 7, 4096, usize::MAX] {
+                let mut w = DribbleWriter { cap, data: Vec::new() };
+                write_frame(&mut w, payload).unwrap();
+                let mut expect = (payload.len() as u32).to_le_bytes().to_vec();
+                expect.extend_from_slice(payload);
+                assert_eq!(w.data, expect, "cap={cap} len={}", payload.len());
+            }
+        }
+    }
 
     /// A minimal well-behaved session counting its applies. All misbehaviour
     /// in these tests is injected around it by [`crate::chaos`].

@@ -1,0 +1,220 @@
+//! Integration tests for the parallel evaluation pool: batch evaluation
+//! matches serial evaluation bit-for-bit, exact and prefix cache reuse
+//! kicks in, vectorized reset/step drives one episode per worker, and a
+//! worker blowing up mid-batch neither stalls siblings nor poisons the
+//! cache.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cg_core::envs::session_factory;
+use cg_core::{ActionSeq, CompilerEnv, EnvPool, EvalCache};
+
+const CRC32: &str = "benchmark://cbench-v1/crc32";
+const QSORT: &str = "benchmark://cbench-v1/qsort";
+
+fn llvm_env() -> CompilerEnv {
+    CompilerEnv::with_factory(
+        "llvm-v0",
+        session_factory("llvm-v0").unwrap(),
+        CRC32,
+        "Autophase",
+        "IrInstructionCount",
+        Duration::from_secs(30),
+    )
+    .unwrap()
+}
+
+fn llvm_factory() -> cg_core::EnvFactory {
+    Arc::new(|_widx| {
+        CompilerEnv::with_factory(
+            "llvm-v0",
+            session_factory("llvm-v0").unwrap(),
+            CRC32,
+            "Autophase",
+            "IrInstructionCount",
+            Duration::from_secs(30),
+        )
+    })
+}
+
+/// Serial reference evaluation: (episode reward, final metric).
+fn serial_eval(env: &mut CompilerEnv, benchmark: &str, actions: &[usize]) -> (f64, f64) {
+    env.set_benchmark(benchmark);
+    env.reset().unwrap();
+    for &a in actions {
+        env.step(a).unwrap();
+    }
+    (env.episode_reward(), env.last_metric())
+}
+
+fn named(env: &CompilerEnv, names: &[&str]) -> Vec<usize> {
+    names.iter().map(|n| env.action_space().index_of(n).expect("known action")).collect()
+}
+
+#[test]
+fn batch_matches_serial_and_repeats_hit_cache() {
+    let mut reference = llvm_env();
+    let seq_a = named(&reference, &["mem2reg", "instcombine", "gvn", "simplifycfg"]);
+    let seq_b = named(&reference, &["sroa", "sccp", "dce", "adce", "instcombine"]);
+    let seq_c = named(&reference, &["mem2reg", "licm", "gvn"]);
+    let expect: Vec<(f64, f64)> = [(CRC32, &seq_a), (QSORT, &seq_b), (CRC32, &seq_c)]
+        .iter()
+        .map(|(b, s)| serial_eval(&mut reference, b, s))
+        .collect();
+
+    let pool = EnvPool::new(2, llvm_factory());
+    let jobs: Vec<ActionSeq> = [(CRC32, &seq_a), (QSORT, &seq_b), (CRC32, &seq_c)]
+        .iter()
+        .map(|(b, s)| ActionSeq { benchmark: (*b).into(), actions: (*s).clone() })
+        .collect();
+
+    let first = pool.evaluate_batch(jobs.clone());
+    assert_eq!(first.len(), 3);
+    for (out, (score, metric)) in first.iter().zip(&expect) {
+        assert!(out.error.is_none(), "job failed: {:?}", out.error);
+        assert!(!out.cached, "first evaluation cannot be a cache hit");
+        assert_eq!(out.score.to_bits(), score.to_bits(), "pool score diverged from serial");
+        assert_eq!(out.metric.to_bits(), metric.to_bits(), "pool metric diverged from serial");
+    }
+
+    // The same batch again is answered entirely from the exact cache, with
+    // identical numbers.
+    let second = pool.evaluate_batch(jobs);
+    for (out, (score, metric)) in second.iter().zip(&expect) {
+        assert!(out.cached, "repeat evaluation must come from the cache");
+        assert_eq!(out.score.to_bits(), score.to_bits());
+        assert_eq!(out.metric.to_bits(), metric.to_bits());
+    }
+    assert_eq!(pool.cache().len(), 3);
+}
+
+#[test]
+fn prefix_snapshots_are_reused_for_novel_suffixes() {
+    let tel = cg_telemetry::global();
+    let mut reference = llvm_env();
+    // Two 8-action sequences sharing a 4-action prefix: with the default
+    // snapshot interval of 4, the second only executes its suffix.
+    let long_a = named(
+        &reference,
+        &["mem2reg", "instcombine", "gvn", "simplifycfg", "sccp", "dce", "licm", "adce"],
+    );
+    let mut long_b = long_a.clone();
+    let tail = named(&reference, &["sroa", "instcombine", "dse", "dce"]);
+    long_b.truncate(4);
+    long_b.extend(tail);
+    let expect_b = serial_eval(&mut reference, CRC32, &long_b);
+
+    let pool = EnvPool::new(1, llvm_factory());
+    let prefix_hits_before = tel.pool.prefix_hits.get();
+    let executed_before = tel.pool.actions_executed.get();
+    let a = pool
+        .evaluate_batch(vec![ActionSeq { benchmark: CRC32.into(), actions: long_a.clone() }]);
+    assert!(a[0].error.is_none());
+    assert!(pool.cache().snapshot_count() >= 1, "interval snapshots were not deposited");
+
+    let b =
+        pool.evaluate_batch(vec![ActionSeq { benchmark: CRC32.into(), actions: long_b.clone() }]);
+    assert!(b[0].error.is_none());
+    assert!(!b[0].cached, "novel suffix is not an exact hit");
+    assert_eq!(b[0].score.to_bits(), expect_b.0.to_bits(), "prefix restore changed the score");
+    assert_eq!(b[0].metric.to_bits(), expect_b.1.to_bits(), "prefix restore changed the metric");
+    assert!(tel.pool.prefix_hits.get() > prefix_hits_before, "no prefix hit recorded");
+    // 8 actions for the first sequence, only the 4-action suffix for the
+    // second (global counter: other tests may add, never subtract).
+    assert!(
+        tel.pool.actions_executed.get() - executed_before >= 12,
+        "executed-action accounting went backwards"
+    );
+}
+
+#[test]
+fn vectorized_reset_and_step() {
+    let pool = EnvPool::new(2, llvm_factory());
+    let obs = pool.reset_all();
+    assert_eq!(obs.len(), 2);
+    for o in &obs {
+        assert!(o.is_ok(), "vectorized reset failed: {o:?}");
+    }
+    let reference = llvm_env();
+    let a = reference.action_space().index_of("mem2reg").unwrap();
+    let steps = pool.step_all(&[a, a]);
+    assert_eq!(steps.len(), 2);
+    let rewards: Vec<f64> = steps
+        .into_iter()
+        .map(|s| s.expect("vectorized step failed").reward)
+        .collect();
+    // Both workers run the same benchmark, so the lockstep episodes agree.
+    assert_eq!(rewards[0].to_bits(), rewards[1].to_bits());
+    assert!(rewards[0] > 0.0, "mem2reg removes instructions on crc32");
+}
+
+#[test]
+fn worker_panic_mid_batch_spares_siblings_and_cache() {
+    let tel = cg_telemetry::global();
+    // The first environment build anywhere in the pool panics; every later
+    // build succeeds. Whichever worker grabs a job first blows up on it.
+    let built = Arc::new(AtomicUsize::new(0));
+    let factory: cg_core::EnvFactory = {
+        let built = Arc::clone(&built);
+        Arc::new(move |_widx| {
+            if built.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("chaos: first env build dies");
+            }
+            CompilerEnv::with_factory(
+                "llvm-v0",
+                session_factory("llvm-v0").unwrap(),
+                CRC32,
+                "Autophase",
+                "IrInstructionCount",
+                Duration::from_secs(30),
+            )
+        })
+    };
+    let mut reference = llvm_env();
+    let seqs: Vec<Vec<usize>> = [
+        vec!["mem2reg", "instcombine"],
+        vec!["sroa", "gvn", "dce"],
+        vec!["sccp", "adce"],
+        vec!["mem2reg", "licm", "simplifycfg"],
+    ]
+    .iter()
+    .map(|names| named(&reference, names))
+    .collect();
+    let expect: Vec<(f64, f64)> =
+        seqs.iter().map(|s| serial_eval(&mut reference, CRC32, s)).collect();
+
+    let cache = Arc::new(EvalCache::default());
+    let pool = EnvPool::with_cache(2, factory, Arc::clone(&cache));
+    let panics_before = tel.pool.job_panics.get();
+    let jobs: Vec<ActionSeq> =
+        seqs.iter().map(|s| ActionSeq { benchmark: CRC32.into(), actions: s.clone() }).collect();
+    let out = pool.evaluate_batch(jobs.clone());
+
+    let failed: Vec<usize> =
+        (0..out.len()).filter(|&i| out[i].error.is_some()).collect();
+    assert_eq!(failed.len(), 1, "exactly the poisoned build's job fails: {out:?}");
+    assert!(tel.pool.job_panics.get() > panics_before, "panic not recorded");
+    for (i, o) in out.iter().enumerate() {
+        if o.error.is_some() {
+            assert!(o.score.is_infinite() && o.score < 0.0);
+            // The failed job must not have been cached.
+            assert!(
+                cache.lookup(CRC32, &seqs[i]).is_none(),
+                "panicked evaluation leaked into the cache"
+            );
+        } else {
+            assert_eq!(o.score.to_bits(), expect[i].0.to_bits(), "sibling job corrupted");
+        }
+    }
+
+    // The pool recovers: re-running the batch succeeds everywhere, and the
+    // previously failed sequence now evaluates correctly.
+    let retry = pool.evaluate_batch(jobs);
+    for (i, o) in retry.iter().enumerate() {
+        assert!(o.error.is_none(), "pool did not recover after panic: {o:?}");
+        assert_eq!(o.score.to_bits(), expect[i].0.to_bits());
+        assert_eq!(o.metric.to_bits(), expect[i].1.to_bits());
+    }
+}

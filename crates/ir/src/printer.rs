@@ -23,6 +23,15 @@ use crate::types::Operand;
 /// Prints a whole module to its canonical textual form.
 pub fn print_module(m: &Module) -> String {
     let mut out = String::new();
+    print_module_into(&mut out, m);
+    out
+}
+
+/// Prints a whole module into a caller-supplied buffer, clearing it first.
+/// Reusing one buffer across prints avoids re-growing a fresh `String` for
+/// every IR observation or checkpoint.
+pub fn print_module_into(out: &mut String, m: &Module) {
+    out.clear();
     let _ = writeln!(out, "module \"{}\"", m.name);
     for g in m.globals() {
         let _ = write!(out, "global @{} {}", g.name, g.slots);
@@ -39,9 +48,8 @@ pub fn print_module(m: &Module) -> String {
         out.push_str("]\n");
     }
     for fid in m.func_ids() {
-        print_function(&mut out, m, m.func(fid));
+        print_function(out, m, m.func(fid));
     }
-    out
 }
 
 /// Prints one function (including its `define` header) into `out`.

@@ -6,7 +6,7 @@
 //! space, matching the paper's removal of `-gvn-sink` after state
 //! validation exposed it.
 
-use crate::pass::{registry, PassRef};
+use crate::pass::{registry, PassEffect, PassRef};
 
 /// The discrete action space: an indexed list of passes.
 #[derive(Debug, Clone)]
@@ -64,23 +64,33 @@ impl ActionSpace {
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn apply(&self, module: &mut cg_ir::Module, i: usize) -> bool {
+        self.apply_tracked(module, i).changed
+    }
+
+    /// Like [`ActionSpace::apply`], but additionally reports which functions
+    /// the pass touched (the invalidation signal for incremental
+    /// observations). Same telemetry side effects as `apply`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn apply_tracked(&self, module: &mut cg_ir::Module, i: usize) -> PassEffect {
         let pass = &self.passes[i];
         let before = module.inst_count() as i64;
         let timer = cg_telemetry::Timer::start();
-        let changed = pass.run(module);
+        let effect = pass.run_tracked(module);
         let dur = timer.elapsed();
         let delta = module.inst_count() as i64 - before;
         let tel = cg_telemetry::global();
-        tel.passes.get(&pass.name()).record(dur, changed, delta);
+        tel.passes.get(&pass.name()).record(dur, effect.changed, delta);
         tel.trace.emit(format!("pass:{}", pass.name()), format!("delta={delta}"), dur);
-        changed
+        effect
     }
 }
 
 /// The 42-action subset used to replicate the Autophase environment in the
 /// paper's RL experiments (§VII-G: "42 actions (out of 124 total)").
-pub fn autophase_subset() -> Vec<&'static str> {
-    vec![
+pub fn autophase_subset() -> &'static [&'static str] {
+    &[
         "dce",
         "adce",
         "die",

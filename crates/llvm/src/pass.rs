@@ -1,8 +1,76 @@
 //! The [`Pass`] abstraction and the pass registry.
 
-use cg_ir::Module;
+use cg_ir::{FuncId, Module};
 use std::fmt;
 use std::sync::Arc;
+
+/// Which functions a pass invocation may have modified.
+///
+/// This is the contract behind incremental observations: per-function
+/// feature vectors (`InstCount`, `Autophase`) stay valid for every function
+/// *not* named here. A pass that cannot bound its effect must report
+/// [`Touched::All`]; over-approximation is always sound, under-approximation
+/// is a correctness bug (caught by the debug-assert cross-check against full
+/// recomputation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Touched {
+    /// No function was modified (the pass was a no-op).
+    None,
+    /// Exactly these functions may have been modified. Function-local
+    /// passes report the precise set.
+    Funcs(Vec<FuncId>),
+    /// Anything may have changed, including the set of functions itself
+    /// (inlining, function deletion, global rewrites).
+    All,
+}
+
+impl Touched {
+    /// Merges another effect into this one (set union, saturating at `All`).
+    pub fn merge(&mut self, other: Touched) {
+        match (&mut *self, other) {
+            (Touched::All, _) | (_, Touched::None) => {}
+            (_, Touched::All) => *self = Touched::All,
+            (Touched::None, o) => *self = o,
+            (Touched::Funcs(a), Touched::Funcs(b)) => {
+                for id in b {
+                    if !a.contains(&id) {
+                        a.push(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The result of one tracked pass invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassEffect {
+    /// Whether the module was changed at all.
+    pub changed: bool,
+    /// Which functions may have been modified.
+    pub touched: Touched,
+}
+
+impl PassEffect {
+    /// An invocation that changed nothing.
+    pub fn unchanged() -> PassEffect {
+        PassEffect { changed: false, touched: Touched::None }
+    }
+
+    /// The conservative effect: if `changed`, anything may differ.
+    pub fn whole_module(changed: bool) -> PassEffect {
+        PassEffect { changed, touched: if changed { Touched::All } else { Touched::None } }
+    }
+
+    /// A function-local effect touching exactly `funcs` (empty → unchanged).
+    pub fn funcs(funcs: Vec<FuncId>) -> PassEffect {
+        if funcs.is_empty() {
+            PassEffect::unchanged()
+        } else {
+            PassEffect { changed: true, touched: Touched::Funcs(funcs) }
+        }
+    }
+}
 
 /// An optimization pass: a named module transformation.
 ///
@@ -10,13 +78,26 @@ use std::sync::Arc;
 /// action sequences and compares module hashes) — the deliberately broken
 /// [`crate::passes::gvn::GvnSink`] is the one exception, mirroring the
 /// `-gvn-sink` nondeterminism bug the paper found in LLVM.
+///
+/// `run` and `run_tracked` are mutually defaulted: implement exactly one.
+/// Function-local passes implement `run_tracked` to report the precise set
+/// of modified functions; module-restructuring passes (inlining, global
+/// rewrites) implement `run` and inherit the conservative
+/// [`Touched::All`]-when-changed effect.
 pub trait Pass: Send + Sync {
     /// The pass name as it appears in the action space (kebab-case, possibly
     /// with a parameter suffix, e.g. `inline-250`).
     fn name(&self) -> String;
 
     /// Runs the pass. Returns `true` if the module was changed.
-    fn run(&self, module: &mut Module) -> bool;
+    fn run(&self, module: &mut Module) -> bool {
+        self.run_tracked(module).changed
+    }
+
+    /// Runs the pass, reporting which functions it touched.
+    fn run_tracked(&self, module: &mut Module) -> PassEffect {
+        PassEffect::whole_module(self.run(module))
+    }
 
     /// A one-line description for `--help`-style listings.
     fn description(&self) -> String {

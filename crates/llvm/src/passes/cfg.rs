@@ -6,14 +6,19 @@ use std::collections::HashSet;
 use cg_ir::analysis::{unreachable_blocks, Cfg};
 use cg_ir::{BlockId, Constant, Function, Module, Op, Operand, Terminator};
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassEffect};
 
-fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> bool {
-    let mut changed = false;
+/// Runs a function-local transform over every function, recording exactly
+/// which functions changed (the invalidation set for incremental
+/// observations).
+fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> PassEffect {
+    let mut touched = Vec::new();
     for fid in m.func_ids() {
-        changed |= f(m.func_mut(fid));
+        if f(m.func_mut(fid)) {
+            touched.push(fid);
+        }
     }
-    changed
+    PassEffect::funcs(touched)
 }
 
 /// Drops the φ incoming entries for `pred` in every φ of `block`.
@@ -76,7 +81,7 @@ impl Pass for RemoveUnreachable {
         "delete blocks unreachable from the entry".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, RemoveUnreachable::run_on)
     }
 }
@@ -146,7 +151,7 @@ impl Pass for FoldBranches {
         "fold constant conditional branches and switches".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, FoldBranches::run_on)
     }
 }
@@ -223,7 +228,7 @@ impl Pass for MergeBlocks {
         "merge single-successor/single-predecessor block pairs".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, MergeBlocks::run_on)
     }
 }
@@ -316,7 +321,7 @@ impl Pass for SimplifyCfg {
         "canonicalize the CFG: fold branches, drop unreachable code, merge blocks".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         let aggressive = self.aggressive;
         for_each_function(m, |f| {
             let mut changed = false;
@@ -353,7 +358,7 @@ impl Pass for LowerSwitch {
         "lower switches to conditional branch chains".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             for bid in f.block_ids() {
@@ -438,7 +443,7 @@ impl Pass for BreakCritEdges {
         "split critical CFG edges".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
@@ -483,7 +488,7 @@ impl Pass for MergeReturn {
         "merge multiple returns into one exit block".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let rets: Vec<BlockId> = f
                 .block_ids()
@@ -538,7 +543,7 @@ impl Pass for JumpThreading {
         "thread constant branch conditions through phi blocks".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {

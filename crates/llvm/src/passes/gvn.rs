@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use cg_ir::analysis::{Cfg, DomTree};
 use cg_ir::{BlockId, Module, Op, Operand, ValueId};
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassEffect};
 
 /// Dominator-based global value numbering. A pure expression computed in a
 /// dominating block replaces any later recomputation. The `with_loads`
@@ -34,9 +34,9 @@ impl Pass for Gvn {
         "dominator-based global value numbering".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         let with_loads = self.with_loads;
-        let mut changed = false;
+        let mut touched = Vec::new();
         for fid in m.func_ids() {
             let f = m.func_mut(fid);
             let cfg = Cfg::compute(f);
@@ -146,14 +146,14 @@ impl Pass for Gvn {
             if subs.is_empty() {
                 continue;
             }
-            changed = true;
+            touched.push(fid);
             let final_subs: Vec<(ValueId, Operand)> = subs
                 .keys()
                 .map(|&k| (k, Operand::Value(resolve(&subs, k))))
                 .collect();
             crate::util::apply_substitutions(f, final_subs);
         }
-        changed
+        PassEffect::funcs(touched)
     }
 }
 
@@ -171,8 +171,8 @@ impl Pass for NewGvnAlias {
         "value numbering (alias of gvn under the newer pass name)".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
-        Gvn::default().run(m)
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+        Gvn::default().run_tracked(m)
     }
 }
 

@@ -9,14 +9,19 @@ use cg_ir::{
     BinOp, BlockId, Function, Inst, Module, Op, Operand, Pred, Terminator, Type, ValueId,
 };
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassEffect};
 
-fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> bool {
-    let mut changed = false;
+/// Runs a function-local transform over every function, recording exactly
+/// which functions changed (the invalidation set for incremental
+/// observations).
+fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> PassEffect {
+    let mut touched = Vec::new();
     for fid in m.func_ids() {
-        changed |= f(m.func_mut(fid));
+        if f(m.func_mut(fid)) {
+            touched.push(fid);
+        }
     }
-    changed
+    PassEffect::funcs(touched)
 }
 
 /// Values defined outside the loop (or constants/globals) are invariant.
@@ -64,7 +69,7 @@ impl Pass for LoopSimplify {
         "insert dedicated loop preheaders".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
@@ -156,7 +161,7 @@ impl Pass for Licm {
         "hoist loop-invariant computation to the preheader".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let cfg = Cfg::compute(f);
             let dom = DomTree::compute(f, &cfg);
@@ -533,9 +538,10 @@ impl Pass for LoopUnroll {
         "unroll counted loops (trading size for cycles)".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
-        let mut changed = false;
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+        let mut touched = Vec::new();
         for fid in m.func_ids() {
+            let mut func_changed = false;
             loop {
                 let f = m.func_mut(fid);
                 let cfg = Cfg::compute(f);
@@ -568,15 +574,18 @@ impl Pass for LoopUnroll {
                         }
                     }
                     did = true;
-                    changed = true;
+                    func_changed = true;
                     break;
                 }
                 if !did {
                     break;
                 }
             }
+            if func_changed {
+                touched.push(fid);
+            }
         }
-        changed
+        PassEffect::funcs(touched)
     }
 }
 
@@ -604,10 +613,11 @@ impl Pass for LoopPeel {
         "clone leading loop iterations into the preheader".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         let k = self.k as u64;
-        let mut changed = false;
+        let mut touched = Vec::new();
         for fid in m.func_ids() {
+            let mut func_changed = false;
             let f = m.func_mut(fid);
             let cfg = Cfg::compute(f);
             let dom = DomTree::compute(f, &cfg);
@@ -659,11 +669,14 @@ impl Pass for LoopPeel {
                         }
                     }
                 }
-                changed = true;
+                func_changed = true;
                 break; // analyses stale; one peel per function per run
             }
+            if func_changed {
+                touched.push(fid);
+            }
         }
-        changed
+        PassEffect::funcs(touched)
     }
 }
 
@@ -682,7 +695,7 @@ impl Pass for LoopDeletion {
         "delete effect-free loops whose values are unused outside".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
@@ -789,7 +802,7 @@ impl Pass for IndVarSimplify {
         "replace post-loop uses of induction variables with final values".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let cfg = Cfg::compute(f);
             let dom = DomTree::compute(f, &cfg);

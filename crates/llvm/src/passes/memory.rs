@@ -9,14 +9,19 @@ use cg_ir::{
     BlockId, Constant, Function, Inst, Module, Op, Operand, Type, ValueId,
 };
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassEffect};
 
-fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> bool {
-    let mut changed = false;
+/// Runs a function-local transform over every function, recording exactly
+/// which functions changed (the invalidation set for incremental
+/// observations).
+fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> PassEffect {
+    let mut touched = Vec::new();
     for fid in m.func_ids() {
-        changed |= f(m.func_mut(fid));
+        if f(m.func_mut(fid)) {
+            touched.push(fid);
+        }
     }
-    changed
+    PassEffect::funcs(touched)
 }
 
 fn zero_of(ty: Type) -> Option<Constant> {
@@ -363,7 +368,7 @@ impl Pass for Mem2Reg {
         "promote non-escaping single-cell allocas to SSA values".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, Mem2Reg::promote_function)
     }
 }
@@ -403,9 +408,9 @@ impl Pass for Sroa {
         "split constant-indexed aggregate allocas into scalars".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         let max_slots = self.max_slots;
-        let changed = for_each_function(m, |f| {
+        let effect = for_each_function(m, |f| {
             // alloca -> slots, plus the geps that index it.
             let mut aggs: HashMap<ValueId, u32> = HashMap::new();
             let mut banned: HashSet<ValueId> = HashSet::new();
@@ -538,7 +543,7 @@ impl Pass for Sroa {
             }
             true
         });
-        changed
+        effect
     }
 }
 
@@ -557,7 +562,7 @@ impl Pass for Dse {
         "remove stores overwritten before any possible read".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             for bid in f.block_ids() {
@@ -609,7 +614,7 @@ impl Pass for LoadElim {
         "forward stored values to subsequent loads within a block".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut subs: Vec<(ValueId, Operand)> = Vec::new();
             for bid in f.block_ids() {
@@ -679,7 +684,7 @@ impl Pass for GlobalOpt {
         "constant-promote globals and fold constant-offset loads".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         let mut changed = false;
         // 1. A global never stored through (directly or via gep) is constant.
         let mut stored: HashSet<u32> = HashSet::new();
@@ -743,7 +748,7 @@ impl Pass for GlobalOpt {
             .iter()
             .map(|g| (g.constant, g.init.clone(), g.slots))
             .collect();
-        changed |= for_each_function(m, |f| {
+        let fold = for_each_function(m, |f| {
             // gep value -> (global, const offset)
             let mut gep_const: HashMap<ValueId, (u32, i64)> = HashMap::new();
             for bid in f.block_ids() {
@@ -790,7 +795,9 @@ impl Pass for GlobalOpt {
             }
             true
         });
-        changed
+        // Constant-marking only mutates module-level global metadata, never
+        // a function body, so the touched set is exactly the fold step's.
+        PassEffect { changed: changed || fold.changed, touched: fold.touched }
     }
 }
 

@@ -7,15 +7,20 @@ use std::collections::{HashMap, HashSet};
 use cg_ir::analysis::{Cfg, DomTree};
 use cg_ir::{BinOp, BlockId, Constant, Function, Module, Op, Operand, Pred, Type, ValueId};
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassEffect};
 use crate::util::{fold_op, use_counts};
 
-fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> bool {
-    let mut changed = false;
+/// Runs a function-local transform over every function, recording exactly
+/// which functions changed — the precise invalidation set for incremental
+/// observations.
+fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> PassEffect {
+    let mut touched = Vec::new();
     for fid in m.func_ids() {
-        changed |= f(m.func_mut(fid));
+        if f(m.func_mut(fid)) {
+            touched.push(fid);
+        }
     }
-    changed
+    PassEffect::funcs(touched)
 }
 
 /// Dead code elimination: iteratively removes pure instructions whose
@@ -32,7 +37,7 @@ impl Pass for Dce {
         "remove pure instructions with unused results".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
@@ -73,7 +78,7 @@ impl Pass for Die {
         "single-sweep dead instruction elimination".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let uses = use_counts(f);
             let mut removed = false;
@@ -105,7 +110,7 @@ impl Pass for Adce {
         "aggressive DCE that removes dead phi cycles".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             // Roots: operands of side-effecting instructions and terminators.
             let mut live: HashSet<ValueId> = HashSet::new();
@@ -173,7 +178,7 @@ impl Pass for ConstFold {
         "fold instructions with all-constant operands".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
@@ -363,7 +368,7 @@ impl Pass for InstCombine {
         "algebraic simplification of instructions".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         let rewrite = self.rewrite;
         for_each_function(m, |f| {
             let mut changed = false;
@@ -478,7 +483,7 @@ impl Pass for Reassociate {
         "fold constant chains of commutative operations".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
@@ -542,7 +547,7 @@ impl Pass for EarlyCse {
         "dominator-scoped CSE of pure expressions".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let cfg = Cfg::compute(f);
             let dom = DomTree::compute(f, &cfg);
@@ -637,10 +642,12 @@ impl Pass for EarlyCseMemssa {
         "CSE of pure expressions plus store-to-load forwarding".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
-        let a = EarlyCse.run(m);
-        let b = crate::passes::memory::LoadElim.run(m);
-        a || b
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+        let mut a = EarlyCse.run_tracked(m);
+        let b = crate::passes::memory::LoadElim.run_tracked(m);
+        a.changed |= b.changed;
+        a.touched.merge(b.touched);
+        a
     }
 }
 
@@ -658,7 +665,7 @@ impl Pass for Sink {
         "sink single-use pure instructions toward their use".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let cfg = Cfg::compute(f);
             let dom = DomTree::compute(f, &cfg);
@@ -727,7 +734,7 @@ impl Pass for PhiSimplify {
         "remove trivial phi nodes".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
@@ -785,7 +792,7 @@ impl Pass for StrengthReduce {
         "rewrite multiplications by powers of two into shifts".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             for bid in f.block_ids() {

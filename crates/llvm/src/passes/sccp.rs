@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use cg_ir::{BlockId, Constant, FuncId, Function, Module, Op, Operand, Terminator, ValueId};
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassEffect};
 use crate::util::fold_op;
 
 /// The SCCP lattice.
@@ -242,14 +242,16 @@ impl Pass for Sccp {
         "sparse conditional constant propagation".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
-        let mut changed = false;
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+        let mut touched = Vec::new();
         for fid in m.func_ids() {
             let f = m.func_mut(fid);
             let (values, executable) = sccp_solve(f, &HashMap::new());
-            changed |= sccp_apply(f, &values, &executable);
+            if sccp_apply(f, &values, &executable) {
+                touched.push(fid);
+            }
         }
-        changed
+        PassEffect::funcs(touched)
     }
 }
 
@@ -267,7 +269,7 @@ impl Pass for IpSccp {
         "interprocedural constant propagation into parameters".into()
     }
 
-    fn run(&self, m: &mut Module) -> bool {
+    fn run_tracked(&self, m: &mut Module) -> PassEffect {
         // Gather, per function parameter, the meet of all actual arguments.
         let mut param_lattice: HashMap<FuncId, Vec<Lattice>> = HashMap::new();
         let mut called: HashSet<FuncId> = HashSet::new();
@@ -290,7 +292,7 @@ impl Pass for IpSccp {
                 }
             }
         }
-        let mut changed = false;
+        let mut touched = Vec::new();
         for fid in m.func_ids() {
             // Entry points (uncalled functions, e.g. main) have unknown
             // external parameters — treat as Over.
@@ -306,17 +308,20 @@ impl Pass for IpSccp {
             };
             let f = m.func_mut(fid);
             let (values, executable) = sccp_solve(f, &seeds);
-            changed |= sccp_apply(f, &values, &executable);
+            let mut func_changed = sccp_apply(f, &values, &executable);
             // Materialize proven-constant parameters inside the callee.
             for (v, l) in &seeds {
                 if let Lattice::Const(c) = l {
                     f.replace_all_uses(*v, Operand::Const(*c));
                     let _ = values;
-                    changed = true;
+                    func_changed = true;
                 }
             }
+            if func_changed {
+                touched.push(fid);
+            }
         }
-        changed
+        PassEffect::funcs(touched)
     }
 }
 

@@ -651,6 +651,95 @@ pub struct EpisodeSnapshot {
     pub fork_wall: HistogramSnapshot,
 }
 
+/// Parallel-evaluation statistics: the `EnvPool` worker fleet and the
+/// shared evaluation cache (exact hits plus prefix-trie reuse).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Evaluation jobs completed (hit or miss, success or error).
+    pub jobs: Counter,
+    /// Jobs that finished with an error outcome (after recovery gave up).
+    pub job_errors: Counter,
+    /// Worker panics caught mid-job (the worker's env is rebuilt).
+    pub job_panics: Counter,
+    /// Exact evaluation-cache hits: the full `(benchmark, sequence)` pair
+    /// was already evaluated, so zero passes ran.
+    pub cache_hits: Counter,
+    /// Cache lookups that found no exact entry.
+    pub cache_misses: Counter,
+    /// Prefix-trie hits: a stored snapshot covered a proper prefix of the
+    /// sequence, so only the novel suffix was executed.
+    pub prefix_hits: Counter,
+    /// Raw pass applications actually executed by pool workers.
+    pub actions_executed: Counter,
+    /// Pass applications skipped thanks to exact or prefix cache reuse.
+    pub actions_saved: Counter,
+    /// Cache entries discarded to respect the capacity bound.
+    pub evictions: Counter,
+    /// Worker threads currently alive across all pools.
+    pub workers: Gauge,
+    /// Jobs queued but not yet picked up by a worker.
+    pub queue_depth: Gauge,
+    /// Wall time of whole `evaluate_batch` calls.
+    pub batch_wall: Histogram,
+    /// Wall time of individual evaluation jobs.
+    pub job_wall: Histogram,
+}
+
+impl PoolStats {
+    /// Captures the summary.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            jobs: self.jobs.get(),
+            job_errors: self.job_errors.get(),
+            job_panics: self.job_panics.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            prefix_hits: self.prefix_hits.get(),
+            actions_executed: self.actions_executed.get(),
+            actions_saved: self.actions_saved.get(),
+            evictions: self.evictions.get(),
+            workers: self.workers.get(),
+            queue_depth: self.queue_depth.get(),
+            batch_wall: self.batch_wall.snapshot(),
+            job_wall: self.job_wall.snapshot(),
+        }
+    }
+
+    fn reset(&self) {
+        self.jobs.reset();
+        self.job_errors.reset();
+        self.job_panics.reset();
+        self.cache_hits.reset();
+        self.cache_misses.reset();
+        self.prefix_hits.reset();
+        self.actions_executed.reset();
+        self.actions_saved.reset();
+        self.evictions.reset();
+        self.workers.reset();
+        self.queue_depth.reset();
+        self.batch_wall.reset();
+        self.job_wall.reset();
+    }
+}
+
+/// Serializable form of [`PoolStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolSnapshot {
+    pub jobs: u64,
+    pub job_errors: u64,
+    pub job_panics: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub prefix_hits: u64,
+    pub actions_executed: u64,
+    pub actions_saved: u64,
+    pub evictions: u64,
+    pub workers: i64,
+    pub queue_depth: i64,
+    pub batch_wall: HistogramSnapshot,
+    pub job_wall: HistogramSnapshot,
+}
+
 /// The telemetry registry for one process.
 ///
 /// Most code uses the shared [`global`] instance; tests may build private
@@ -702,6 +791,8 @@ pub struct Telemetry {
     pub passes: PassTable,
     /// Differential-fuzzer statistics (`cg fuzz`).
     pub fuzz: FuzzStats,
+    /// Parallel-evaluation pool and evaluation-cache statistics.
+    pub pool: PoolStats,
     /// Structured trace ring.
     pub trace: TraceBuffer,
 }
@@ -752,6 +843,7 @@ impl Telemetry {
             observations,
             passes,
             fuzz: self.fuzz.snapshot(),
+            pool: self.pool.snapshot(),
             trace_events: self.trace.len() as u64,
             trace_dropped: self.trace.dropped(),
         }
@@ -779,6 +871,7 @@ impl Telemetry {
         self.observations.for_each(|_, h| h.reset());
         self.passes.for_each(|_, p| p.reset());
         self.fuzz.reset();
+        self.pool.reset();
         self.trace.clear();
     }
 }
@@ -806,6 +899,7 @@ pub struct TelemetrySnapshot {
     pub observations: BTreeMap<String, HistogramSnapshot>,
     pub passes: BTreeMap<String, PassSnapshot>,
     pub fuzz: FuzzSnapshot,
+    pub pool: PoolSnapshot,
     pub trace_events: u64,
     pub trace_dropped: u64,
 }
