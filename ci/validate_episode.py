@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a `cg trace --episode <id> --json` flight-recorder dump.
+
+The input is expected to come from a faulted-and-recovered TCP episode
+(`--tcp --chaos-seed`). Checks that:
+
+ * every span's parent resolves inside the episode (connected trees);
+ * every trace has exactly one root — one span tree per step/reset;
+ * the recovery ladder is visible: `env:checkpoint-restore`, `env:replay`,
+   and `tcp:reconnect` spans are present with `recovered` status, inside
+   a step's trace (not disconnected roots of their own);
+ * remote dispatch spans (`service:Step`) parent under client `rpc:Step`
+   spans — i.e. span context actually crossed the wire;
+ * per-pass spans parent under the service dispatch.
+"""
+
+import json
+import sys
+
+
+def main(path: str) -> int:
+    with open(path, encoding="utf-8") as fh:
+        ep = json.load(fh)
+
+    spans = ep["spans"]
+    errors = []
+    ids = {s["span_id"] for s in spans}
+    by_name = {}
+    for s in spans:
+        by_name.setdefault(s["span"], []).append(s)
+
+    roots_per_trace = {}
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is None:
+            roots_per_trace[s["trace_id"]] = roots_per_trace.get(s["trace_id"], 0) + 1
+        elif parent not in ids:
+            errors.append(
+                f"span {s['span_id']} `{s['span']}` has dangling parent {parent}"
+            )
+    for trace, n in roots_per_trace.items():
+        if n != 1:
+            errors.append(f"trace {trace} has {n} roots; expected exactly one")
+
+    step_traces = {s["trace_id"] for s in by_name.get("env:step", [])}
+    if not step_traces:
+        errors.append("no env:step spans recorded")
+    for name in ("env:checkpoint-restore", "env:replay", "tcp:reconnect"):
+        found = by_name.get(name, [])
+        if not found:
+            errors.append(f"no `{name}` span — recovery did not happen?")
+            continue
+        if not any(s.get("status") == "Recovered" for s in found):
+            errors.append(f"`{name}` never carried Recovered status")
+        if not any(s["trace_id"] in step_traces for s in found):
+            errors.append(f"`{name}` is not inside any step's span tree")
+
+    if not any(s.get("status") == "Recovered" for s in by_name.get("env:step", [])):
+        errors.append("no env:step root is marked recovered")
+
+    rpc_ids = {s["span_id"] for s in by_name.get("rpc:Step", [])}
+    if not any(
+        s.get("parent_id") in rpc_ids for s in by_name.get("service:Step", [])
+    ):
+        errors.append("no service:Step span parented under rpc:Step (no propagation)")
+
+    service_ids = {s["span_id"] for s in by_name.get("service:Step", [])}
+    pass_spans = [s for s in spans if s["span"].startswith("pass:")]
+    if not pass_spans:
+        errors.append("no per-pass spans recorded")
+    elif not any(s.get("parent_id") in service_ids for s in pass_spans):
+        errors.append("no pass:<name> span parented under service:Step")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        return 1
+    print(
+        f"OK episode {ep['episode_id']}: {len(spans)} spans, "
+        f"{len(roots_per_trace)} traces, all connected"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print("usage: validate_episode.py <episode.json>", file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

@@ -10,6 +10,8 @@
 //! cg datasets                               list benchmark datasets
 //! cg stats [--json] <env> <benchmark> <steps>   episode + telemetry report
 //! cg trace <env> <benchmark> <steps>        episode + JSONL trace dump
+//! cg trace --episode last [--json]          episode flight-recorder timeline
+//! cg export-metrics [env bench steps]       Prometheus / JSONL metrics dump
 //! cg chaos [flags]                          soak episodes under fault injection
 //! cg fuzz [flags]                           differential pass-pipeline fuzzing
 //! cg bench-pool [flags]                     parallel-evaluation throughput report
@@ -21,11 +23,15 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cg describe <env>\n  cg random <env> <benchmark> <steps>\n  \
          cg replay <state.json>\n  cg validate <state.json>\n  cg datasets\n  \
-         cg stats [--json] <env> <benchmark> <steps>\n  cg trace <env> <benchmark> <steps>\n  \
+         cg stats [--json] [--slo-ms MS] <env> <benchmark> <steps>\n  \
+         cg trace [--episode ID|last] [--json] [--tcp] [--chaos-seed S]\n           \
+         [<env> <benchmark> <steps>]\n  \
+         cg export-metrics [--jsonl] [--slo-ms MS] [<env> <benchmark> <steps>]\n  \
          cg chaos [--episodes N] [--steps N] [--seed S] [--panic P] [--hang P]\n           \
          [--error P] [--corrupt P] [--wedge P] [--slow-growth P] [--faults LIST]\n           \
          [--timeout-ms MS] [--checkpoint-k K] [--budget-wall-ms MS] [--max-growth F]\n           \
-         [--watchdog-ms MS] [--breaker N] [--breaker-cooldown-ms MS] [--json]\n  \
+         [--watchdog-ms MS] [--breaker N] [--breaker-cooldown-ms MS]\n           \
+         [--serve-metrics ADDR] [--linger-ms MS] [--json]\n  \
          cg fuzz [--seed-range A..B] [--jobs N] [--profile NAME] [--max-passes N]\n          \
          [--inputs N] [--corpus DIR] [--no-corpus] [--budget-secs N]\n          \
          [--reduce-budget N] [--smoke] [--json]\n  \
@@ -50,23 +56,9 @@ fn main() -> ExitCode {
         }
         Some("replay") => replay(args.get(1).map(String::as_str), false),
         Some("validate") => replay(args.get(1).map(String::as_str), true),
-        Some("stats") | Some("trace") => {
-            let as_trace = args[0] == "trace";
-            let rest: Vec<&String> = args[1..].iter().filter(|a| *a != "--json").collect();
-            let json = args.iter().any(|a| a == "--json");
-            let env = rest.first().map(|s| s.as_str()).unwrap_or("llvm-v0").to_string();
-            let bench = rest
-                .get(1)
-                .map(|s| s.as_str())
-                .unwrap_or("benchmark://cbench-v1/qsort")
-                .to_string();
-            let steps = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
-            if as_trace {
-                trace(&env, &bench, steps)
-            } else {
-                stats(&env, &bench, steps, json)
-            }
-        }
+        Some("stats") => stats(&args[1..]),
+        Some("trace") => trace(&args[1..]),
+        Some("export-metrics") => export_metrics(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
         Some("bench-pool") => bench_pool(&args[1..]),
@@ -177,14 +169,52 @@ fn fmt_us(us: u64) -> String {
     }
 }
 
-fn stats(
-    env_id: &str,
-    benchmark: &str,
+/// Splits a flag-bearing argument list into recognized flags and the
+/// positional `<env> <benchmark> <steps>` triple every reporting
+/// subcommand shares.
+struct EpisodeArgs {
+    env: String,
+    bench: String,
     steps: usize,
-    json: bool,
-) -> Result<(), Box<dyn std::error::Error>> {
+}
+
+fn episode_args(positional: &[&String]) -> EpisodeArgs {
+    EpisodeArgs {
+        env: positional.first().map(|s| s.as_str()).unwrap_or("llvm-v0").to_string(),
+        bench: positional
+            .get(1)
+            .map(|s| s.as_str())
+            .unwrap_or("benchmark://cbench-v1/qsort")
+            .to_string(),
+        steps: positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(50),
+    }
+}
+
+fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::time::Duration;
+
+    let mut json = false;
+    let mut slo_ms: Option<u64> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--slo-ms" => {
+                slo_ms =
+                    Some(it.next().ok_or("--slo-ms needs a value")?.parse()?);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let ep_args = episode_args(&positional);
+    let (env_id, benchmark, steps) = (&ep_args.env, &ep_args.bench, ep_args.steps);
+
     let tel = cg_telemetry::global();
     tel.reset();
+    if let Some(ms) = slo_ms {
+        tel.slo.configure(Duration::from_millis(ms), 0.99);
+    }
     run_episode(env_id, benchmark, steps)?;
     let snap = tel.snapshot();
     if json {
@@ -316,19 +346,296 @@ fn stats(
             println!("  blame {pass:<26} {n}");
         }
     }
+    if snap.slo.objective_micros > 0 {
+        println!(
+            "\nslo: step objective {} at {:.2}% target",
+            fmt_us(snap.slo.objective_micros),
+            100.0 * snap.slo.target
+        );
+        println!(
+            "  good={} bad={} compliance={:.2}% burn-rate={:.2}x",
+            snap.slo.good,
+            snap.slo.bad,
+            100.0 * snap.slo.compliance,
+            snap.slo.burn_rate
+        );
+    }
     println!(
         "\ntrace: {} buffered event(s), {} dropped (see `cg trace`)",
         snap.trace_events, snap.trace_dropped
     );
+    println!(
+        "  flight recorder: episodes recorded={} dropped={} span-drops={}",
+        snap.episodes_recorded, snap.episodes_dropped, snap.episode_spans_dropped
+    );
+    // Per-family event counts: the prefix before the first `:` groups span
+    // names into subsystems (env, rpc, service, pass, ...).
+    let mut families: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for ev in tel.trace.events() {
+        let family = ev.span.split(':').next().unwrap_or(&ev.span).to_string();
+        *families.entry(family).or_insert(0) += 1;
+    }
+    if !families.is_empty() {
+        let rendered: Vec<String> =
+            families.iter().map(|(f, n)| format!("{f}={n}")).collect();
+        println!("  events by family: {}", rendered.join(" "));
+    }
     Ok(())
 }
 
-fn trace(env_id: &str, benchmark: &str, steps: usize) -> Result<(), Box<dyn std::error::Error>> {
+fn trace(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut json = false;
+    let mut tcp = false;
+    let mut episode: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--tcp" => tcp = true,
+            "--episode" => {
+                episode = Some(it.next().ok_or("--episode needs an id or `last`")?.clone());
+            }
+            "--chaos-seed" => {
+                chaos_seed =
+                    Some(it.next().ok_or("--chaos-seed needs a value")?.parse()?);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let ep_args = episode_args(&positional);
+
     let tel = cg_telemetry::global();
     tel.reset();
-    run_episode(env_id, benchmark, steps)?;
-    print!("{}", tel.trace.export_jsonl());
+    let ran = if tcp || chaos_seed.is_some() {
+        run_traced_episode(&ep_args.env, &ep_args.bench, ep_args.steps, tcp, chaos_seed)?
+    } else {
+        run_episode(&ep_args.env, &ep_args.bench, ep_args.steps)?;
+        tel.trace.recorder().last_episode_id()
+    };
+
+    let Some(selector) = episode else {
+        // Legacy surface: the raw trace ring as JSONL, one event per line.
+        print!("{}", tel.trace.export_jsonl());
+        return Ok(());
+    };
+    let id = if selector == "last" {
+        ran.or_else(|| tel.trace.recorder().last_episode_id())
+            .ok_or("no episode recorded")?
+    } else {
+        selector.parse()?
+    };
+    let record = tel
+        .trace
+        .recorder()
+        .episode(id)
+        .ok_or_else(|| format!("episode {id} is not in the flight recorder"))?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&record)?);
+    } else {
+        render_episode(&record);
+    }
     Ok(())
+}
+
+/// Runs one random episode with the service reached over a loopback TCP
+/// socket (`--tcp`) and/or a seeded fault plan (`--chaos-seed`), so the
+/// recorded span trees demonstrate cross-boundary propagation and the
+/// recovery ladder. Returns the flight-recorder episode id.
+fn run_traced_episode(
+    env_id: &str,
+    benchmark: &str,
+    steps: usize,
+    tcp: bool,
+    chaos_seed: Option<u64>,
+) -> Result<Option<u64>, Box<dyn std::error::Error>> {
+    use rand::{Rng as _, SeedableRng as _};
+    use std::time::Duration;
+
+    let inner = cg_core::envs::session_factory(env_id).map_err(cg_core::CgError::Unknown)?;
+    let timeout =
+        if chaos_seed.is_some() { Duration::from_millis(400) } else { Duration::from_secs(60) };
+    let factory = match chaos_seed {
+        Some(seed) => {
+            quiet_chaos_panics();
+            // Guaranteed faults (not probabilistic sampling): a session
+            // panic at the 6th apply and, over TCP, a hang at the 10th, so
+            // a short episode demonstrably exercises the recovery ladder.
+            let mut plan = cg_core::chaos::FaultPlan::seeded(seed)
+                .schedule(5, cg_core::chaos::FaultKind::Panic)
+                .with_hang_duration(timeout * 6)
+                .with_max_faults(4);
+            if tcp && steps >= 10 {
+                plan = plan.schedule(9, cg_core::chaos::FaultKind::Hang);
+            }
+            plan.wrap(inner).0
+        }
+        None => inner,
+    };
+    let mut env = if tcp {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        std::thread::spawn(move || cg_core::service::serve_tcp(listener, factory));
+        cg_core::CompilerEnv::connect_tcp(
+            env_id,
+            &addr,
+            benchmark,
+            "Autophase",
+            "IrInstructionCount",
+            timeout,
+        )?
+    } else {
+        cg_core::CompilerEnv::with_factory(
+            env_id,
+            factory,
+            benchmark,
+            "Autophase",
+            "IrInstructionCount",
+            timeout,
+        )?
+    };
+    env.set_retry_policy(
+        cg_core::RetryPolicy::default()
+            .with_max_attempts(8)
+            .with_backoff(Duration::from_millis(5), Duration::from_millis(100)),
+    );
+    env.set_checkpoint_interval(4);
+    env.reset()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(chaos_seed.unwrap_or(7) ^ 0xCAFE);
+    let n = env.action_space().len();
+    for _ in 0..steps {
+        let a = rng.gen_range(0..n);
+        if env.step(a)?.done {
+            break;
+        }
+    }
+    env.close();
+    Ok(cg_telemetry::global().trace.recorder().last_episode_id())
+}
+
+/// Renders a recorded episode as an indented span-tree timeline: offsets
+/// relative to the episode start, one subtree per trace, children ordered
+/// by start time.
+fn render_episode(record: &cg_telemetry::EpisodeRecord) {
+    use std::collections::HashMap;
+
+    println!(
+        "episode {} — {} on {}",
+        record.episode_id, record.env_id, record.benchmark
+    );
+    let ended = if record.ended_micros == 0 {
+        "still open".to_string()
+    } else {
+        format!("{} total", fmt_us(record.ended_micros.saturating_sub(record.started_micros)))
+    };
+    println!(
+        "{} trace(s), {} span(s), {} span(s) dropped, {ended}\n",
+        record.trace_ids.len(),
+        record.spans.len(),
+        record.dropped_spans
+    );
+
+    let ids: std::collections::HashSet<u64> = record.spans.iter().map(|s| s.span_id).collect();
+    let mut children: HashMap<Option<u64>, Vec<&cg_telemetry::SpanRecord>> = HashMap::new();
+    for s in &record.spans {
+        // Spans whose parent fell out of the ring render as roots.
+        let key = s.parent_id.filter(|p| ids.contains(p));
+        children.entry(key).or_default().push(s);
+    }
+    for list in children.values_mut() {
+        list.sort_by_key(|s| (s.start_micros, s.seq));
+    }
+    let mut stack: Vec<(&cg_telemetry::SpanRecord, usize)> = Vec::new();
+    for root in children.get(&None).cloned().unwrap_or_default() {
+        stack.push((root, 0));
+        while let Some((span, depth)) = stack.pop() {
+            let offset = span.start_micros.saturating_sub(record.started_micros);
+            let status = match span.status {
+                cg_telemetry::SpanStatus::Ok => String::new(),
+                other => format!(" [{other:?}]"),
+            };
+            let detail = if span.detail.is_empty() {
+                String::new()
+            } else {
+                format!("  {}", span.detail)
+            };
+            let attrs = if span.attrs.is_empty() {
+                String::new()
+            } else {
+                let kv: Vec<String> =
+                    span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("  {{{}}}", kv.join(", "))
+            };
+            println!(
+                "{:>9} {:indent$}{} ({}){status}{detail}{attrs}",
+                format!("+{}", fmt_us(offset)),
+                "",
+                span.span,
+                fmt_us(span.dur_micros),
+                indent = depth * 2,
+            );
+            if let Some(kids) = children.get(&Some(span.span_id)) {
+                // Reverse so the earliest child pops first.
+                for kid in kids.iter().rev() {
+                    stack.push((kid, depth + 1));
+                }
+            }
+        }
+    }
+}
+
+/// The `cg export-metrics` surface: drive one random episode, then dump the
+/// full registry in Prometheus text exposition format (default) or as JSONL
+/// (`--jsonl`), for scraping-free ingestion into files and pipelines.
+fn export_metrics(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::time::Duration;
+
+    let mut jsonl = false;
+    let mut slo_ms: Option<u64> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jsonl" => jsonl = true,
+            "--slo-ms" => {
+                slo_ms =
+                    Some(it.next().ok_or("--slo-ms needs a value")?.parse()?);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let ep_args = episode_args(&positional);
+
+    let tel = cg_telemetry::global();
+    tel.reset();
+    tel.slo.configure(Duration::from_millis(slo_ms.unwrap_or(250)), 0.99);
+    run_episode(&ep_args.env, &ep_args.bench, ep_args.steps)?;
+    let snap = tel.snapshot();
+    if jsonl {
+        print!("{}", cg_telemetry::export::metrics_jsonl(&snap));
+    } else {
+        print!("{}", cg_telemetry::export::prometheus_text(&snap));
+    }
+    Ok(())
+}
+
+/// Silences the default panic backtrace for chaos-injected panics (they are
+/// the point of the exercise, not noise worth a stack trace).
+fn quiet_chaos_panics() {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if !msg.starts_with("chaos:") {
+            prev_hook(info);
+        }
+    }));
 }
 
 /// The `cg fuzz` surface: differential pass-pipeline fuzzing with the
@@ -512,6 +819,8 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut watchdog_ms: u64 = 0;
     let mut breaker_threshold: u32 = 0;
     let mut breaker_cooldown_ms: u64 = 250;
+    let mut serve_metrics_addr: Option<String> = None;
+    let mut linger_ms: u64 = 0;
     let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -560,6 +869,8 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--breaker-cooldown-ms" => {
                 breaker_cooldown_ms = val("--breaker-cooldown-ms")?.parse()?;
             }
+            "--serve-metrics" => serve_metrics_addr = Some(val("--serve-metrics")?.clone()),
+            "--linger-ms" => linger_ms = val("--linger-ms")?.parse()?,
             "--json" => json = true,
             other => return Err(format!("unknown chaos flag `{other}`").into()),
         }
@@ -578,22 +889,17 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     // Injected panics are expected here; keep their default backtrace spew
     // out of the soak output.
-    let prev_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let payload = info.payload();
-        let msg = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .map(String::from)
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_default();
-        if !msg.starts_with("chaos:") {
-            prev_hook(info);
-        }
-    }));
+    quiet_chaos_panics();
 
     let tel = cg_telemetry::global();
     tel.reset();
+    // Scrape endpoint over the live registry: up while the soak runs (and,
+    // with --linger-ms, for a grace period after), so external collectors
+    // can observe a fault-injected run end to end.
+    if let Some(addr) = &serve_metrics_addr {
+        let bound = cg_telemetry::export::spawn_metrics_server(addr)?;
+        eprintln!("serving metrics on http://{bound}/metrics");
+    }
     let timeout = Duration::from_millis(timeout_ms.max(50));
     // Hangs must exceed the client deadline to register as faults; the
     // budget guarantees an adversarial plan eventually lets recovery win.
@@ -811,6 +1117,9 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         if breaker_never_half_opened {
             println!("  BREAKER tripped but never reached half-open");
         }
+    }
+    if serve_metrics_addr.is_some() && linger_ms > 0 {
+        std::thread::sleep(Duration::from_millis(linger_ms));
     }
     if !unrecovered.is_empty() {
         return Err(format!("{} unrecovered failure(s)", unrecovered.len()).into());

@@ -155,10 +155,11 @@ impl CircuitBreaker {
             *circuit = Circuit::Open { since: Instant::now() };
             inner.trips += 1;
             cg_telemetry::global().breaker_trips.inc();
-            cg_telemetry::global().trace.emit(
+            cg_telemetry::global().trace.emit_status(
                 "breaker:open",
                 format!("{benchmark} action {action}"),
                 std::time::Duration::ZERO,
+                cg_telemetry::SpanStatus::CircuitOpen,
             );
         }
         match inner.circuits[&(benchmark.to_string(), action)] {

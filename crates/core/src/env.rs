@@ -34,12 +34,15 @@
 
 use std::time::Duration;
 
+use cg_telemetry::SpanStatus;
+
 use crate::breaker::{Admission, CircuitBreaker};
 use crate::budget::ResourceBudget;
+use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::envs::session_factory;
 use crate::error::CgError;
 use crate::retry::RetryPolicy;
-use crate::service::{Request, Response, ServiceClient};
+use crate::service::{Request, Response, ServiceClient, TcpTransport};
 use crate::space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
 use crate::state::EnvState;
 use crate::watchdog::{Watchdog, WatchdogConfig};
@@ -85,13 +88,106 @@ pub struct EpisodeSnapshot {
     pub episode_reward: f64,
 }
 
+/// The service transport an environment drives: the default in-process
+/// worker, or a remote service over TCP. Both expose the same call surface
+/// ([`ServiceClient`] / [`TcpTransport`]), so the recovery ladder above is
+/// transport-agnostic — the same replay, checkpoint-restore, and retry
+/// machinery runs whether the compiler lives in this process or on another
+/// machine.
+#[derive(Debug, Clone)]
+pub enum Transport {
+    /// In-process service worker reached over channels.
+    Local(ServiceClient),
+    /// Remote service over length-prefixed TCP frames.
+    Tcp(TcpTransport),
+}
+
+impl Transport {
+    fn call(&self, req: Request) -> Result<Response, CgError> {
+        match self {
+            Transport::Local(c) => c.call(req),
+            Transport::Tcp(c) => c.call(req),
+        }
+    }
+
+    fn call_teardown(&self, req: Request) -> Result<Response, CgError> {
+        match self {
+            Transport::Local(c) => c.call_teardown(req),
+            Transport::Tcp(c) => c.call_teardown(req),
+        }
+    }
+
+    fn call_with_policy(&mut self, req: Request) -> Result<Response, CgError> {
+        match self {
+            Transport::Local(c) => c.call_with_policy(req),
+            Transport::Tcp(c) => c.call_with_policy(req),
+        }
+    }
+
+    fn policy(&self) -> &RetryPolicy {
+        match self {
+            Transport::Local(c) => c.policy(),
+            Transport::Tcp(c) => c.policy(),
+        }
+    }
+
+    fn set_policy(&mut self, policy: RetryPolicy) {
+        match self {
+            Transport::Local(c) => c.set_policy(policy),
+            Transport::Tcp(c) => c.set_policy(policy),
+        }
+    }
+
+    fn restart(&self) {
+        match self {
+            Transport::Local(c) => c.restart(),
+            Transport::Tcp(c) => c.restart(),
+        }
+    }
+
+    fn restarts(&self) -> u64 {
+        match self {
+            Transport::Local(c) => c.restarts(),
+            Transport::Tcp(c) => c.restarts(),
+        }
+    }
+
+    fn checkpoint_store(&self) -> &CheckpointStore {
+        match self {
+            Transport::Local(c) => c.checkpoint_store(),
+            Transport::Tcp(c) => c.checkpoint_store(),
+        }
+    }
+
+    fn set_checkpoint_store(&mut self, store: CheckpointStore) {
+        match self {
+            Transport::Local(c) => c.set_checkpoint_store(store),
+            Transport::Tcp(c) => c.set_checkpoint_store(store),
+        }
+    }
+
+    fn resource_budget(&self) -> ResourceBudget {
+        match self {
+            Transport::Local(c) => c.resource_budget(),
+            Transport::Tcp(c) => c.resource_budget(),
+        }
+    }
+
+    fn set_resource_budget(&self, budget: ResourceBudget) -> Result<(), CgError> {
+        match self {
+            Transport::Local(c) => c.set_resource_budget(budget),
+            Transport::Tcp(c) => c.set_resource_budget(budget),
+        }
+    }
+}
+
 /// A compiler optimization environment: the Gym interaction loop (Figure 1)
 /// over a [`crate::session::CompilationSession`] living behind the service
 /// RPC boundary (Figure 2).
 #[derive(Debug)]
 pub struct CompilerEnv {
     env_id: String,
-    client: ServiceClient,
+    client: Transport,
     session: Option<u64>,
     benchmark: String,
     action_space_index: usize,
@@ -109,6 +205,11 @@ pub struct CompilerEnv {
     breaker: Option<CircuitBreaker>,
     /// Optional heartbeat supervisor for the backing service.
     watchdog: Option<Watchdog>,
+    /// The flight-recorder episode this env's steps bind their traces to.
+    episode_id: Option<u64>,
+    /// Whether this env opened `episode_id` (and must end it on close).
+    /// Forks borrow the parent's episode without owning it.
+    owns_episode: bool,
 }
 
 /// Records a service-kill fault against every action in the faulting step.
@@ -195,7 +296,48 @@ impl CompilerEnv {
         reward_space: &str,
         timeout: Duration,
     ) -> Result<CompilerEnv, CgError> {
-        let client = ServiceClient::spawn(factory, timeout);
+        let client = Transport::Local(ServiceClient::spawn(factory, timeout));
+        Self::with_transport(env_id, client, benchmark, observation_space, reward_space)
+    }
+
+    /// Builds an environment over a remote compiler service reached by TCP
+    /// ("running the compiler service on a remote machine"). The same
+    /// recovery ladder applies: I/O failures reconnect and replay; session
+    /// checkpoints are exported back over the wire at each K-boundary into
+    /// the transport's client-owned store, so recovery after a connection
+    /// loss replays only the suffix.
+    ///
+    /// # Errors
+    /// Connection failures, or a remote that cannot describe its spaces.
+    pub fn connect_tcp(
+        env_id: &str,
+        addr: &str,
+        benchmark: &str,
+        observation_space: &str,
+        reward_space: &str,
+        timeout: Duration,
+    ) -> Result<CompilerEnv, CgError> {
+        let transport = TcpTransport::connect(addr, timeout)?;
+        Self::with_transport(
+            env_id,
+            Transport::Tcp(transport),
+            benchmark,
+            observation_space,
+            reward_space,
+        )
+    }
+
+    /// Builds an environment over an already-connected transport.
+    ///
+    /// # Errors
+    /// Fails when the backend cannot describe its spaces.
+    pub fn with_transport(
+        env_id: &str,
+        client: Transport,
+        benchmark: &str,
+        observation_space: &str,
+        reward_space: &str,
+    ) -> Result<CompilerEnv, CgError> {
         let (action_spaces, observation_spaces, reward_spaces) =
             match client.call(Request::GetSpaces)? {
                 Response::Spaces { action_spaces, observation_spaces, reward_spaces } => {
@@ -221,6 +363,8 @@ impl CompilerEnv {
             actions: Vec::new(),
             breaker: None,
             watchdog: None,
+            episode_id: None,
+            owns_episode: false,
         })
     }
 
@@ -290,9 +434,14 @@ impl CompilerEnv {
     /// Starts a [`Watchdog`] heartbeating this environment's service:
     /// silently-wedged workers are detected between calls and proactively
     /// restarted (in-flight calls abort into the normal recovery path).
-    /// Replaces any previous watchdog.
+    /// Replaces any previous watchdog. In-process transport only: a remote
+    /// service's liveness is already surfaced by socket timeouts, and a
+    /// heartbeat sharing the single connection would interleave with real
+    /// replies.
     pub fn enable_watchdog(&mut self, config: WatchdogConfig) {
-        self.watchdog = Some(Watchdog::spawn(self.client.clone(), config));
+        if let Transport::Local(client) = &self.client {
+            self.watchdog = Some(Watchdog::spawn(client.clone(), config));
+        }
     }
 
     /// Stops the watchdog, if one is running.
@@ -386,6 +535,19 @@ impl CompilerEnv {
     pub fn reset(&mut self) -> Result<Observation, CgError> {
         let tel = cg_telemetry::global();
         let timer = cg_telemetry::Timer::start();
+        // One flight-recorder episode per reset: close the previous one and
+        // open a fresh timeline every trace this episode produces binds to.
+        if let Some(ep) = self.episode_id.take() {
+            if self.owns_episode {
+                tel.trace.end_episode(ep);
+            }
+        }
+        let episode = tel.trace.begin_episode(&self.env_id, &self.benchmark);
+        self.episode_id = Some(episode);
+        self.owns_episode = true;
+        let mut span = tel.trace.root_span("env:reset");
+        span.set_detail(format!("{} {}", self.env_id, self.benchmark));
+        tel.trace.bind_episode(span.context().trace_id, episode);
         if let Some(sid) = self.session.take() {
             // Best effort: the old session may be gone if the service died.
             // A short teardown deadline keeps a hung service from stalling
@@ -409,13 +571,15 @@ impl CompilerEnv {
         let recovered = self.client.restarts() - restarts_before;
         if recovered > 0 {
             // The service died or hung and was transparently replaced.
-            // ServiceClient::restart() already bumped the restart counter;
+            // The transport's restart() already bumped the restart counter;
             // record that an episode recovered, with its benchmark.
-            tel.trace.emit(
+            tel.trace.emit_status(
                 "env:transparent-restart",
                 format!("{} after {} restart(s)", self.benchmark, recovered),
                 Duration::ZERO,
+                SpanStatus::Recovered,
             );
+            span.set_status(SpanStatus::Recovered);
         }
         self.session = Some(sid);
         let resp = self.client.call(Request::Step {
@@ -481,6 +645,15 @@ impl CompilerEnv {
         if let Some(br) = &breaker {
             for &action in fault_actions {
                 if let Admission::Reject { retry_in } = br.admit(&self.benchmark, action) {
+                    cg_telemetry::global().trace.emit_status(
+                        "env:circuit-open",
+                        format!(
+                            "{} action {action} quarantined; retry in {retry_in:?}",
+                            self.benchmark
+                        ),
+                        Duration::ZERO,
+                        SpanStatus::CircuitOpen,
+                    );
                     return Err(CgError::CircuitOpen {
                         benchmark: self.benchmark.clone(),
                         action,
@@ -589,7 +762,7 @@ impl CompilerEnv {
                 self.session = Some(sid);
                 if replay_from > 0 {
                     tel.checkpoint_restores.inc();
-                    tel.trace.emit(
+                    tel.trace.emit_status(
                         "env:checkpoint-restore",
                         format!(
                             "{}: restored checkpoint at depth {replay_from}, replayed \
@@ -599,10 +772,11 @@ impl CompilerEnv {
                             self.actions.len()
                         ),
                         timer.elapsed(),
+                        SpanStatus::Recovered,
                     );
                 }
                 tel.recoveries.inc();
-                tel.trace.emit(
+                tel.trace.emit_status(
                     "env:replay",
                     format!(
                         "{}: {} action(s) replayed to metric {metric}",
@@ -610,6 +784,7 @@ impl CompilerEnv {
                         self.actions.len() - replay_from
                     ),
                     timer.elapsed(),
+                    SpanStatus::Recovered,
                 );
                 return Ok(sid);
             }
@@ -619,7 +794,7 @@ impl CompilerEnv {
             // history before declaring a divergence.
             let _ = self.client.call_teardown(Request::EndSession { session_id: sid });
             if replay_from > 0 {
-                tel.trace.emit(
+                tel.trace.emit_status(
                     "env:checkpoint-divergence",
                     format!(
                         "{}: checkpoint at depth {replay_from} replayed to {metric}, expected \
@@ -627,18 +802,20 @@ impl CompilerEnv {
                         self.benchmark, self.prev_metric
                     ),
                     timer.elapsed(),
+                    SpanStatus::Retried,
                 );
                 try_checkpoint = false;
                 continue;
             }
             tel.replay_divergences.inc();
-            tel.trace.emit(
+            tel.trace.emit_status(
                 "env:replay-divergence",
                 format!(
                     "{}: expected metric {} but replay produced {metric}",
                     self.benchmark, self.prev_metric
                 ),
                 timer.elapsed(),
+                SpanStatus::Error,
             );
             let repro = self.dump_divergence_repro(&reward_info.metric, metric);
             return Err(CgError::ReplayDivergence {
@@ -730,6 +907,48 @@ impl CompilerEnv {
         extra_observations: &[&str],
     ) -> Result<(Vec<Observation>, StepResult), CgError> {
         let tel = cg_telemetry::global();
+        // The root of this step's span tree: every rpc attempt, retry,
+        // reconnect, restore, replay, and per-pass span this step causes —
+        // on either side of the RPC boundary — parents under it, and the
+        // whole trace binds to the episode's flight-recorder timeline.
+        let mut span = tel.trace.root_span("env:step");
+        if let Some(ep) = self.episode_id {
+            tel.trace.bind_episode(span.context().trace_id, ep);
+        }
+        span.attr("benchmark", self.benchmark.clone());
+        span.attr("actions", format!("{actions:?}"));
+        let restarts_before = self.client.restarts();
+        let result = self.step_lazy_inner(actions, extra_observations);
+        match &result {
+            Ok(_) => {
+                if self.client.restarts() > restarts_before {
+                    // The step succeeded, but only after the recovery
+                    // ladder replaced the service under it.
+                    span.set_status(SpanStatus::Recovered);
+                }
+            }
+            Err(CgError::BudgetExceeded(v)) => {
+                span.set_status(SpanStatus::BudgetExceeded);
+                span.set_detail(v.to_string());
+            }
+            Err(CgError::CircuitOpen { benchmark, action, retry_in_ms }) => {
+                span.set_status(SpanStatus::CircuitOpen);
+                span.set_detail(format!("{benchmark} action {action} retry in {retry_in_ms}ms"));
+            }
+            Err(e) => {
+                span.set_status(SpanStatus::Error);
+                span.set_detail(e.to_string());
+            }
+        }
+        result
+    }
+
+    fn step_lazy_inner(
+        &mut self,
+        actions: &[usize],
+        extra_observations: &[&str],
+    ) -> Result<(Vec<Observation>, StepResult), CgError> {
+        let tel = cg_telemetry::global();
         let timer = cg_telemetry::Timer::start();
         let reward_info = self.reward_info()?;
         let mut spaces: Vec<String> = extra_observations.iter().map(|s| s.to_string()).collect();
@@ -770,7 +989,9 @@ impl CompilerEnv {
             tel.episode.actions_changed.add(actions.len() as u64);
         }
         tel.episode.reward_sum.add(reward);
+        self.maybe_checkpoint_tcp();
         let dur = timer.observe(&tel.episode.step_wall);
+        tel.slo.record(dur);
         tel.trace.emit(
             "step",
             format!("{} actions={actions:?} reward={reward:.6}", self.env_id),
@@ -780,6 +1001,32 @@ impl CompilerEnv {
             observations,
             StepResult { observation, reward, done: end_of_episode, changed },
         ))
+    }
+
+    /// Client-driven checkpointing for the TCP transport: a remote worker's
+    /// server-side snapshots die with its connection, so at each K-boundary
+    /// the env exports the session state back over the wire and parks it in
+    /// the transport's client-owned store, where
+    /// [`CompilerEnv::restore_latest_checkpoint`] finds it after a
+    /// reconnect. Best effort — a failed export costs a rung of recovery
+    /// speed, never the step.
+    fn maybe_checkpoint_tcp(&mut self) {
+        let Transport::Tcp(t) = &self.client else { return };
+        let store = t.checkpoint_store().clone();
+        if !store.due(self.actions.len() as u64) {
+            return;
+        }
+        let Some(sid) = self.session else { return };
+        if let Ok(Response::State { state: Some(state) }) =
+            self.client.call(Request::ExportState { session_id: sid })
+        {
+            store.put(Checkpoint {
+                benchmark: self.benchmark.clone(),
+                action_space: self.action_space_index,
+                actions: self.actions.clone(),
+                state,
+            });
+        }
     }
 
     /// Computes a single observation on demand, without taking an action.
@@ -810,6 +1057,11 @@ impl CompilerEnv {
     pub fn fork(&mut self) -> Result<CompilerEnv, CgError> {
         let tel = cg_telemetry::global();
         let timer = cg_telemetry::Timer::start();
+        let mut span = tel.trace.root_span("env:fork");
+        span.set_detail(format!("{} {}", self.env_id, self.benchmark));
+        if let Some(ep) = self.episode_id {
+            tel.trace.bind_episode(span.context().trace_id, ep);
+        }
         let forked = match self.call_recovering(&[], |sid| Request::Fork { session_id: sid })? {
             Response::Forked { session_id } => session_id,
             r => return Err(CgError::ServiceFailure(format!("bad Fork reply: {r:?}"))),
@@ -836,6 +1088,11 @@ impl CompilerEnv {
             // pathological for every episode that touches it.
             breaker: self.breaker.clone(),
             watchdog: None,
+            // The fork's steps keep binding to the parent's episode until
+            // its own reset() opens a timeline of its own — borrowed, not
+            // owned, so the fork's close never ends the parent's timeline.
+            episode_id: self.episode_id,
+            owns_episode: false,
         })
     }
 
@@ -913,6 +1170,11 @@ impl CompilerEnv {
 
     /// Ends the episode and releases the backend session.
     pub fn close(&mut self) {
+        if let Some(ep) = self.episode_id.take() {
+            if self.owns_episode {
+                cg_telemetry::global().trace.end_episode(ep);
+            }
+        }
         if let Some(sid) = self.session.take() {
             // Best effort with a short teardown deadline: a wedged service
             // must not stall the caller (or Drop) for the full call timeout.

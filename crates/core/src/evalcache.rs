@@ -128,6 +128,14 @@ impl EvalCache {
         match inner.exact.get(&(benchmark.to_string(), seq_hash(actions))) {
             Some(e) if e.actions == actions => {
                 tel.pool.cache_hits.inc();
+                // Parented under the caller's pool:job span, so a cached
+                // outcome is visible (and explains the missing env spans)
+                // when a job's trace is reconstructed.
+                tel.trace.emit(
+                    "cache:hit",
+                    format!("{benchmark} depth {}", actions.len()),
+                    std::time::Duration::ZERO,
+                );
                 Some(e.clone())
             }
             _ => {

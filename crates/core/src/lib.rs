@@ -69,7 +69,7 @@ mod error;
 pub use breaker::{Admission, BreakerState, CircuitBreaker};
 pub use budget::{BudgetKind, BudgetViolation, ResourceBudget};
 pub use checkpoint::{Checkpoint, CheckpointSink, CheckpointStore};
-pub use env::{make, make_with_policy, CompilerEnv, EpisodeSnapshot, StepResult};
+pub use env::{make, make_with_policy, CompilerEnv, EpisodeSnapshot, StepResult, Transport};
 pub use error::CgError;
 pub use evalcache::EvalCache;
 pub use pool::{ActionSeq, EnvFactory, EnvPool, Outcome};

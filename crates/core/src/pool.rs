@@ -287,6 +287,11 @@ fn run_job(
     let tel = cg_telemetry::global();
     tel.pool.queue_depth.dec();
     let timer = cg_telemetry::Timer::start();
+    // Each job is its own trace: pool workers interleave many benchmarks,
+    // so a per-job root keeps every env/rpc span it causes attributable.
+    let mut span = tel.trace.root_span("pool:job");
+    span.attr("worker", widx.to_string());
+    span.attr("benchmark", job.seq.benchmark.clone());
     let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
         evaluate_seq(env, factory, widx, cache, &job.seq)
     }));
@@ -294,6 +299,8 @@ fn run_job(
         Ok(Ok(o)) => o,
         Ok(Err(e)) => {
             tel.pool.job_errors.inc();
+            span.set_status(cg_telemetry::SpanStatus::Error);
+            span.set_detail(e.to_string());
             Outcome::failed(e.to_string())
         }
         Err(_) => {
@@ -302,6 +309,8 @@ fn run_job(
             // a successful evaluation, so a panicking job cannot poison it.
             tel.pool.job_panics.inc();
             *env = None;
+            span.set_status(cg_telemetry::SpanStatus::Error);
+            span.set_detail("evaluation panicked");
             Outcome::failed(format!("evaluation panicked on pool worker {widx}"))
         }
     };

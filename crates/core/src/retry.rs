@@ -137,6 +137,19 @@ impl RetryPolicy {
         self.deadlines.get(kind).copied()
     }
 
+    /// Records one retry decision as a `Retried`-status trace span under
+    /// the caller's current context: which request kind, which attempt,
+    /// what failed, and how long recovery backs off before re-issuing.
+    /// Shared by both transports so every retry looks the same in a trace.
+    pub fn record_retry(&self, kind: &str, attempt: u32, error: &str) {
+        cg_telemetry::global().trace.emit_status(
+            format!("rpc:retry:{kind}"),
+            format!("attempt {attempt}: {error}; backoff {:?}", self.backoff_for(attempt)),
+            Duration::ZERO,
+            cg_telemetry::SpanStatus::Retried,
+        );
+    }
+
     /// The delay to sleep before retry number `attempt` (1-based: the delay
     /// after the first failed attempt is `backoff_for(1)`). Exponential in
     /// the attempt number, capped at `max_backoff`, with deterministic

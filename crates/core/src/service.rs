@@ -40,8 +40,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use cg_telemetry::{SpanStatus, TraceContext};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 use crate::budget::{BudgetKind, BudgetViolation, ResourceBudget};
@@ -361,18 +363,34 @@ impl ServiceState {
     /// Dispatches one request, recording latency, in-flight, error, and
     /// panic telemetry. Both transports funnel through here, so service
     /// metrics cover in-process and TCP alike.
+    ///
+    /// Each request runs under a `service:{kind}` span parented to the
+    /// caller's context (installed by the transport from the channel tuple
+    /// or the codec's metadata field), so everything `dispatch` emits —
+    /// per-pass spans, observation timings, budget kills — lands in the
+    /// client's trace tree.
     fn handle(&mut self, req: Request) -> Response {
         let tel = cg_telemetry::global();
         let kind = req.kind();
         tel.in_flight.inc();
+        let mut span = tel.trace.span(format!("service:{kind}"));
         let timer = cg_telemetry::Timer::start();
         let resp = self.dispatch(req);
         let dur = timer.elapsed();
         tel.in_flight.dec();
         tel.requests.get(kind).record_duration(dur);
-        if let Response::Error(e) | Response::Fatal(e) = &resp {
-            tel.request_errors.get(kind).inc();
-            tel.trace.emit(format!("service:error:{kind}"), e.clone(), dur);
+        match &resp {
+            Response::Error(e) | Response::Fatal(e) => {
+                tel.request_errors.get(kind).inc();
+                tel.trace.emit(format!("service:error:{kind}"), e.clone(), dur);
+                span.set_status(SpanStatus::Error);
+                span.set_detail(e.clone());
+            }
+            Response::Budget(v) => {
+                span.set_status(SpanStatus::BudgetExceeded);
+                span.set_detail(v.to_string());
+            }
+            _ => {}
         }
         resp
     }
@@ -517,10 +535,15 @@ impl ServiceState {
                     let (done_tx, done_rx) = bounded(1);
                     let acts = actions.clone();
                     let spaces = observation_spaces.clone();
+                    // Thread-local trace context does not cross threads on
+                    // its own: hand the dispatch span to the runner so pass
+                    // and observation spans stay in the request's tree.
+                    let trace_ctx = cg_telemetry::current_context();
                     std::thread::Builder::new()
                         .name("cg-step-runner".into())
                         .stack_size(16 << 20)
                         .spawn(move || {
+                            let _trace_guard = trace_ctx.map(cg_telemetry::enter_context);
                             let run = execute_step(&mut session, &acts, &spaces, size_limit);
                             let _ = done_tx.send((session, run));
                         })
@@ -659,8 +682,10 @@ impl std::fmt::Debug for ServiceClient {
 /// Granularity at which in-flight calls notice a concurrent restart.
 const GENERATION_POLL: Duration = Duration::from_millis(50);
 
-/// The worker's request channel: each request travels with its reply sender.
-type RequestSender = Sender<(Request, Sender<Response>)>;
+/// The worker's request channel: each request travels with the caller's
+/// trace context (so service-side spans parent under the client call) and
+/// its reply sender.
+type RequestSender = Sender<(Request, Option<TraceContext>, Sender<Response>)>;
 
 fn spawn_worker(
     factory: SessionFactory,
@@ -674,7 +699,8 @@ fn spawn_worker(
         .stack_size(16 << 20)
         .spawn(move || {
             let mut state = ServiceState::new(f, budget, checkpoints);
-            while let Ok((req, reply)) = rx.recv() {
+            while let Ok((req, ctx, reply)) = rx.recv() {
+                let _trace_guard = ctx.map(cg_telemetry::enter_context);
                 let shutdown = matches!(req, Request::Shutdown);
                 let resp = state.handle(req);
                 let _ = reply.send(resp);
@@ -764,7 +790,7 @@ impl ServiceClient {
         let generation = self.generation.load(Ordering::SeqCst);
         let (reply_tx, reply_rx) = bounded(1);
         let tx = self.tx.lock().clone();
-        tx.send((req, reply_tx))
+        tx.send((req, cg_telemetry::current_context(), reply_tx))
             .map_err(|_| CgError::ServiceFailure("service disconnected".into()))?;
         let start = std::time::Instant::now();
         loop {
@@ -809,8 +835,22 @@ impl ServiceClient {
     /// exceeded the deadline; [`CgError::SessionLost`] when the session was
     /// destroyed by a panic; [`CgError::Session`] for backend errors.
     pub fn call(&self, req: Request) -> Result<Response, CgError> {
-        let deadline = self.policy.deadline_for(req.kind()).unwrap_or(self.timeout);
-        self.call_inner(req, deadline, true)
+        let kind = req.kind();
+        let deadline = self.policy.deadline_for(kind).unwrap_or(self.timeout);
+        let mut span = cg_telemetry::global().trace.span(format!("rpc:{kind}"));
+        let result = self.call_inner(req, deadline, true);
+        match &result {
+            Err(CgError::BudgetExceeded(v)) => {
+                span.set_status(SpanStatus::BudgetExceeded);
+                span.set_detail(v.to_string());
+            }
+            Err(e) => {
+                span.set_status(SpanStatus::Error);
+                span.set_detail(e.to_string());
+            }
+            Ok(_) => {}
+        }
+        result
     }
 
     /// Issues a best-effort teardown request (e.g. `EndSession` against a
@@ -821,8 +861,15 @@ impl ServiceClient {
     /// # Errors
     /// Same as [`ServiceClient::call`]; callers typically ignore the result.
     pub fn call_teardown(&self, req: Request) -> Result<Response, CgError> {
+        let kind = req.kind();
         let deadline = self.policy.teardown_deadline.min(self.timeout);
-        self.call_inner(req, deadline, false)
+        let mut span = cg_telemetry::global().trace.span(format!("rpc:teardown:{kind}"));
+        let result = self.call_inner(req, deadline, false);
+        if let Err(e) = &result {
+            span.set_status(SpanStatus::Error);
+            span.set_detail(e.to_string());
+        }
+        result
     }
 
     /// Issues a request under the recovery policy: on service failure the
@@ -840,6 +887,7 @@ impl ServiceClient {
         let policy = self.policy.clone();
         let start = std::time::Instant::now();
         let max = policy.max_attempts.max(1);
+        let kind = req.kind();
         let mut req = Some(req);
         let mut attempt = 0u32;
         loop {
@@ -852,13 +900,15 @@ impl ServiceClient {
                 req.as_ref().expect("request is held until the final attempt").clone()
             };
             match self.call(this) {
-                Err(CgError::ServiceFailure(_)) if !last => {
+                Err(CgError::ServiceFailure(e)) if !last => {
+                    policy.record_retry(kind, attempt, &e);
                     self.restart();
                     std::thread::sleep(policy.backoff_for(attempt));
                 }
                 // A session destroyed at birth (init panic) is retryable on
                 // a fresh session without restarting the whole service.
-                Err(CgError::SessionLost(_)) if !last => {
+                Err(CgError::SessionLost(e)) if !last => {
+                    policy.record_retry(kind, attempt, &e);
                     std::thread::sleep(policy.backoff_for(attempt));
                 }
                 other => return other,
@@ -930,6 +980,53 @@ fn write_frame<W: std::io::Write>(stream: &mut W, bytes: &[u8]) -> std::io::Resu
     Ok(())
 }
 
+/// Key under which the caller's trace context rides inside a request
+/// frame's payload object. It lives *inside* the single variant object
+/// (`{"step": {..., "__trace": [trace_id, span_id]}}`) rather than at the
+/// top level, because the enum codec requires exactly one top-level key.
+/// Both directions are version-tolerant: an old server ignores the unknown
+/// key, and an old client simply never sends it.
+const TRACE_METADATA_KEY: &str = "__trace";
+
+/// Encodes a request frame, stamping the current trace context into the
+/// variant payload when one is installed. Unit variants (`ping`, …)
+/// serialize as bare strings and carry no metadata — they are cheap probes
+/// and nothing downstream of them records spans worth parenting.
+fn encode_request(req: &Request) -> Result<Vec<u8>, CgError> {
+    let mut value = req.to_value();
+    if let Some(ctx) = cg_telemetry::current_context() {
+        if let Value::Object(entries) = &mut value {
+            if let Some((_, Value::Object(payload))) = entries.first_mut() {
+                payload.push((
+                    TRACE_METADATA_KEY.to_string(),
+                    Value::Array(vec![Value::UInt(ctx.trace_id), Value::UInt(ctx.span_id)]),
+                ));
+            }
+        }
+    }
+    serde_json::to_vec(&value).map_err(|e| CgError::ServiceFailure(e.to_string()))
+}
+
+/// Strips the trace-context metadata from a decoded request frame, if
+/// present. Returns the caller's context so the server can install it
+/// around dispatch; the value is left clean for `Request` deserialization.
+fn extract_trace_context(value: &mut Value) -> Option<TraceContext> {
+    let Value::Object(entries) = value else { return None };
+    let (_, Value::Object(payload)) = entries.first_mut()? else { return None };
+    let at = payload.iter().position(|(k, _)| k == TRACE_METADATA_KEY)?;
+    let (_, meta) = payload.remove(at);
+    let Value::Array(ids) = meta else { return None };
+    let as_id = |v: &Value| match v {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) => u64::try_from(*n).ok(),
+        _ => None,
+    };
+    match ids.as_slice() {
+        [t, s] => Some(TraceContext { trace_id: as_id(t)?, span_id: as_id(s)? }),
+        _ => None,
+    }
+}
+
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     let mut len = [0u8; 4];
     stream.read_exact(&mut len)?;
@@ -962,8 +1059,27 @@ pub fn serve_tcp(listener: TcpListener, factory: SessionFactory) {
                     CheckpointStore::default(),
                 );
                 while let Ok(frame) = read_frame(&mut stream) {
-                    let req: Request = match serde_json::from_slice(&frame) {
-                        Ok(r) => r,
+                    // Decode in two stages: parse the frame into a tree,
+                    // strip the (optional, version-tolerant) trace metadata,
+                    // then deserialize the request from the cleaned tree.
+                    let parsed = std::str::from_utf8(&frame)
+                        .map_err(|e| e.to_string())
+                        .and_then(|s| serde_json::parse_value(s).map_err(|e| e.to_string()));
+                    let (req, ctx) = match parsed {
+                        Ok(mut value) => {
+                            let ctx = extract_trace_context(&mut value);
+                            match Request::from_value(&value) {
+                                Ok(r) => (r, ctx),
+                                Err(e) => {
+                                    let resp = Response::Error(format!("bad request frame: {e}"));
+                                    let _ = write_frame(
+                                        &mut stream,
+                                        &serde_json::to_vec(&resp).unwrap(),
+                                    );
+                                    continue;
+                                }
+                            }
+                        }
                         Err(e) => {
                             let resp = Response::Error(format!("bad request frame: {e}"));
                             let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
@@ -971,7 +1087,10 @@ pub fn serve_tcp(listener: TcpListener, factory: SessionFactory) {
                         }
                     };
                     let shutdown = matches!(req, Request::Shutdown);
-                    let resp = state.handle(req);
+                    let resp = {
+                        let _trace_guard = ctx.map(cg_telemetry::enter_context);
+                        state.handle(req)
+                    };
                     if write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap()).is_err() {
                         break;
                     }
@@ -1040,7 +1159,7 @@ impl TcpClient {
     }
 
     fn call_once(&mut self, req: &Request) -> Result<Response, CgError> {
-        let bytes = serde_json::to_vec(req).map_err(|e| CgError::ServiceFailure(e.to_string()))?;
+        let bytes = encode_request(req)?;
         write_frame(&mut self.stream, &bytes)
             .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
         let frame = read_frame(&mut self.stream).map_err(|e| {
@@ -1076,6 +1195,7 @@ impl TcpClient {
     pub fn call(&mut self, req: &Request) -> Result<Response, CgError> {
         let start = std::time::Instant::now();
         let max = self.policy.max_attempts.max(1);
+        let kind = req.kind();
         let mut attempt = 0u32;
         loop {
             attempt += 1;
@@ -1083,23 +1203,251 @@ impl TcpClient {
             let last = attempt >= max || budget_spent;
             match self.call_once(req) {
                 Err(CgError::ServiceFailure(e)) if !last => {
+                    self.policy.record_retry(kind, attempt, &e);
                     std::thread::sleep(self.policy.backoff_for(attempt));
                     // On reconnect failure, keep the old stream; the next
                     // attempt retries the connect from scratch.
-                    if let Ok(stream) = Self::open(&self.addr, self.timeout) {
-                        self.stream = stream;
-                        let tel = cg_telemetry::global();
-                        tel.reconnects.inc();
-                        tel.trace.emit(
-                            "tcp:reconnect",
-                            format!("{} after: {e}", self.addr),
-                            Duration::ZERO,
-                        );
-                    }
+                    self.reconnect(&e);
                 }
                 other => return other,
             }
         }
+    }
+
+    /// Re-opens the connection after `why`; on success the reconnect is
+    /// counted and recorded as a span under the caller's current context.
+    fn reconnect(&mut self, why: &str) -> bool {
+        match Self::open(&self.addr, self.timeout) {
+            Ok(stream) => {
+                self.stream = stream;
+                let tel = cg_telemetry::global();
+                tel.reconnects.inc();
+                tel.trace.emit_status(
+                    "tcp:reconnect",
+                    format!("{} after: {why}", self.addr),
+                    Duration::ZERO,
+                    SpanStatus::Recovered,
+                );
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// A [`TcpClient`] wrapped to present the same call surface as
+/// [`ServiceClient`], so `CompilerEnv` can drive a remote service through
+/// the identical recovery ladder it uses in-process.
+///
+/// Clones share the underlying connection (the remote side keys its session
+/// table per connection, so a forked environment *must* reuse the socket its
+/// parent's sessions live on) and the restart generation. The checkpoint
+/// store is client-owned: a remote worker's server-side store dies with the
+/// connection, so the environment exports snapshots back over the wire and
+/// parks them here, where they survive reconnects.
+#[derive(Clone)]
+pub struct TcpTransport {
+    inner: Arc<Mutex<TcpClient>>,
+    policy: RetryPolicy,
+    checkpoints: CheckpointStore,
+    budget: Arc<Mutex<ResourceBudget>>,
+    restarts: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport").field("policy", &self.policy).finish()
+    }
+}
+
+impl TcpTransport {
+    /// Connects to a remote service with the default [`RetryPolicy`].
+    ///
+    /// # Errors
+    /// Propagates connection failures as [`CgError::ServiceFailure`].
+    pub fn connect(addr: &str, timeout: Duration) -> Result<TcpTransport, CgError> {
+        Self::connect_with_policy(addr, timeout, RetryPolicy::default())
+    }
+
+    /// Connects with an explicit recovery policy.
+    ///
+    /// # Errors
+    /// Propagates connection failures as [`CgError::ServiceFailure`].
+    pub fn connect_with_policy(
+        addr: &str,
+        timeout: Duration,
+        policy: RetryPolicy,
+    ) -> Result<TcpTransport, CgError> {
+        let client = TcpClient::connect_with_policy(addr, timeout, policy.clone())?;
+        Ok(TcpTransport {
+            inner: Arc::new(Mutex::new(client)),
+            policy,
+            checkpoints: CheckpointStore::default(),
+            budget: Arc::new(Mutex::new(ResourceBudget::default())),
+            restarts: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The recovery policy in effect.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Replaces the recovery policy (on this handle and the shared socket).
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.inner.lock().policy = policy.clone();
+        self.policy = policy;
+    }
+
+    /// The client-side checkpoint store snapshots are parked in.
+    pub fn checkpoint_store(&self) -> &CheckpointStore {
+        &self.checkpoints
+    }
+
+    /// Replaces the checkpoint store (interval, capacity, disk sink).
+    pub fn set_checkpoint_store(&mut self, store: CheckpointStore) {
+        self.checkpoints = store;
+    }
+
+    /// The resource budget last configured on the remote service.
+    pub fn resource_budget(&self) -> ResourceBudget {
+        self.budget.lock().clone()
+    }
+
+    /// Configures the remote service's resource budget. Unlike the
+    /// in-process transport, a remote worker survives reconnects, so the
+    /// remembered budget only matters for reporting.
+    ///
+    /// # Errors
+    /// Propagates the `Configure` call failure.
+    pub fn set_resource_budget(&self, budget: ResourceBudget) -> Result<(), CgError> {
+        *self.budget.lock() = budget.clone();
+        self.call(Request::Configure { budget }).map(|_| ())
+    }
+
+    /// Issues one request over the socket — a single attempt, recorded as an
+    /// `rpc:{kind}` span whose context rides the frame to the server, so the
+    /// remote `service:{kind}` dispatch span parents under it.
+    ///
+    /// # Errors
+    /// Same surface as [`ServiceClient::call`].
+    pub fn call(&self, req: Request) -> Result<Response, CgError> {
+        let kind = req.kind();
+        let mut span = cg_telemetry::global().trace.span(format!("rpc:{kind}"));
+        let result = self.inner.lock().call_once(&req);
+        match &result {
+            Err(CgError::BudgetExceeded(v)) => {
+                span.set_status(SpanStatus::BudgetExceeded);
+                span.set_detail(v.to_string());
+            }
+            Err(e) => {
+                span.set_status(SpanStatus::Error);
+                span.set_detail(e.to_string());
+            }
+            Ok(_) => {}
+        }
+        result
+    }
+
+    /// Best-effort teardown bounded by the policy's short teardown deadline:
+    /// the socket read timeout is temporarily shortened so a hung remote
+    /// cannot stall `close()`. A timed-out teardown leaves the stream
+    /// desynchronized (the late reply is still in flight), so the connection
+    /// is quietly re-opened before returning.
+    ///
+    /// # Errors
+    /// Same as [`TcpTransport::call`]; callers typically ignore the result.
+    pub fn call_teardown(&self, req: Request) -> Result<Response, CgError> {
+        let kind = req.kind();
+        let mut span = cg_telemetry::global().trace.span(format!("rpc:teardown:{kind}"));
+        let mut client = self.inner.lock();
+        let deadline = self.policy.teardown_deadline.min(client.timeout);
+        let _ = client.stream.set_read_timeout(Some(deadline));
+        let bytes = encode_request(&req)?;
+        let result = (|| {
+            write_frame(&mut client.stream, &bytes)
+                .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
+            let frame = read_frame(&mut client.stream)
+                .map_err(|e| CgError::ServiceFailure(format!("recv: {e}")))?;
+            let resp: Response = serde_json::from_slice(&frame)
+                .map_err(|e| CgError::ServiceFailure(e.to_string()))?;
+            match resp {
+                Response::Error(e) => Err(CgError::Session(e)),
+                Response::Fatal(e) => Err(CgError::SessionLost(e)),
+                Response::Budget(v) => Err(CgError::BudgetExceeded(v)),
+                ok => Ok(ok),
+            }
+        })();
+        let _ = client.stream.set_read_timeout(Some(client.timeout));
+        if let Err(e) = &result {
+            span.set_status(SpanStatus::Error);
+            span.set_detail(e.to_string());
+            if matches!(e, CgError::ServiceFailure(_)) {
+                if let Ok(stream) = TcpClient::open(&client.addr, client.timeout) {
+                    client.stream = stream;
+                }
+            }
+        }
+        result
+    }
+
+    /// Issues a request under the recovery policy: on I/O failure the
+    /// connection is re-established and the call retried with backoff, up to
+    /// the policy's attempt count or wall-clock budget.
+    ///
+    /// # Errors
+    /// The final error when all attempts were exhausted.
+    pub fn call_with_policy(&mut self, req: Request) -> Result<Response, CgError> {
+        let policy = self.policy.clone();
+        let start = std::time::Instant::now();
+        let max = policy.max_attempts.max(1);
+        let kind = req.kind();
+        let mut req = Some(req);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let budget_spent = policy.budget.is_some_and(|b| start.elapsed() >= b);
+            let last = attempt >= max || budget_spent;
+            let this = if last {
+                req.take().expect("request is held until the final attempt")
+            } else {
+                req.as_ref().expect("request is held until the final attempt").clone()
+            };
+            match self.call(this) {
+                Err(CgError::ServiceFailure(e)) if !last => {
+                    policy.record_retry(kind, attempt, &e);
+                    std::thread::sleep(policy.backoff_for(attempt));
+                    self.inner.lock().reconnect(&e);
+                }
+                Err(CgError::SessionLost(e)) if !last => {
+                    policy.record_retry(kind, attempt, &e);
+                    std::thread::sleep(policy.backoff_for(attempt));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// The TCP analog of [`ServiceClient::restart`]: drop the (possibly
+    /// wedged) connection and open a fresh one. Remote sessions on the old
+    /// connection are lost; callers re-establish them via replay, exactly as
+    /// after an in-process worker restart.
+    pub fn restart(&self) {
+        let reconnected = self.inner.lock().reconnect("transport restart");
+        let generation = self.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+        let tel = cg_telemetry::global();
+        tel.restarts.inc();
+        tel.trace.emit(
+            "service:restart",
+            format!("tcp generation {generation}, reconnected={reconnected}"),
+            Duration::ZERO,
+        );
+    }
+
+    /// How many times this transport has torn down and re-opened its
+    /// connection via [`TcpTransport::restart`].
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
     }
 }
 
@@ -1282,6 +1630,7 @@ mod tests {
             .lock()
             .send((
                 Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] },
+                None,
                 reply_tx,
             ))
             .unwrap();

@@ -96,7 +96,7 @@ impl Watchdog {
                     missed = 0;
                     let tel = cg_telemetry::global();
                     tel.watchdog_restarts.inc();
-                    tel.trace.emit(
+                    tel.trace.emit_status(
                         "watchdog:restart",
                         format!(
                             "service unresponsive for {} probes of {:?}",
@@ -104,6 +104,7 @@ impl Watchdog {
                             config.probe_deadline
                         ),
                         Duration::ZERO,
+                        cg_telemetry::SpanStatus::Recovered,
                     );
                     restarts_thread.fetch_add(1, Ordering::SeqCst);
                     client.restart();

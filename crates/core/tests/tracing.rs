@@ -1,0 +1,238 @@
+//! Integration tests for structured tracing: span-context propagation
+//! across the RPC boundary (both transports), and span trees that stay
+//! connected through the recovery ladder (reconnect, checkpoint restore,
+//! suffix replay).
+//!
+//! The telemetry registry is a process-wide global shared by every test in
+//! this binary, so each test uses a unique benchmark URI and makes its
+//! assertions against the episode flight recorder (which routes spans by
+//! trace binding), never against the shared ring as a whole.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cg_core::chaos::{FaultKind, FaultPlan};
+use cg_core::service::{serve_tcp, SessionFactory};
+use cg_core::session::{ActionOutcome, CompilationSession};
+use cg_core::space::{
+    ActionSpaceInfo, Observation, ObservationKind, ObservationSpaceInfo, RewardSpaceInfo,
+};
+use cg_core::CompilerEnv;
+use cg_telemetry::{EpisodeRecord, SpanStatus};
+
+/// A deterministic, serializable session: the reward metric is the number
+/// of applied actions, so replay-based recovery always reconverges.
+struct RecSession {
+    steps: usize,
+}
+
+impl CompilationSession for RecSession {
+    fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
+        vec![ActionSpaceInfo { name: "rec".into(), actions: vec!["a".into(); 8] }]
+    }
+    fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
+        vec![ObservationSpaceInfo {
+            name: "Count".into(),
+            kind: ObservationKind::Scalar,
+            deterministic: true,
+            platform_dependent: false,
+        }]
+    }
+    fn reward_spaces(&self) -> Vec<RewardSpaceInfo> {
+        vec![RewardSpaceInfo {
+            name: "Count".into(),
+            metric: "Count".into(),
+            sign: 1.0,
+            baseline: None,
+            deterministic: true,
+        }]
+    }
+    fn init(&mut self, _benchmark: &str, _action_space: usize) -> Result<(), String> {
+        Ok(())
+    }
+    fn apply_action(&mut self, _action: usize) -> Result<ActionOutcome, String> {
+        self.steps += 1;
+        Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+    }
+    fn observe(&mut self, _space: &str) -> Result<Observation, String> {
+        Ok(Observation::Scalar(self.steps as f64))
+    }
+    fn fork(&self) -> Box<dyn CompilationSession> {
+        Box::new(RecSession { steps: self.steps })
+    }
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some((self.steps as u64).to_le_bytes().to_vec())
+    }
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let bytes: [u8; 8] = state.try_into().map_err(|_| "bad snapshot".to_string())?;
+        self.steps = u64::from_le_bytes(bytes) as usize;
+        Ok(())
+    }
+    fn state_size(&self) -> Option<u64> {
+        Some(self.steps as u64)
+    }
+}
+
+fn rec_factory() -> SessionFactory {
+    Arc::new(|| Box::new(RecSession { steps: 0 }))
+}
+
+/// Every span routed to the episode must hang off another span in the same
+/// episode (or be a trace root), and every trace must have exactly one root:
+/// that is what "one connected span tree per step" means.
+fn assert_connected(ep: &EpisodeRecord) {
+    let ids: HashSet<u64> = ep.spans.iter().map(|s| s.span_id).collect();
+    let mut roots: HashMap<u64, u64> = HashMap::new();
+    for s in &ep.spans {
+        match s.parent_id {
+            Some(p) => assert!(
+                ids.contains(&p),
+                "span {} `{}` has dangling parent {p} in episode {}",
+                s.span_id,
+                s.span,
+                ep.episode_id
+            ),
+            None => *roots.entry(s.trace_id).or_insert(0) += 1,
+        }
+    }
+    for (trace, n) in roots {
+        assert_eq!(n, 1, "trace {trace} has {n} roots; expected exactly one");
+    }
+}
+
+fn episode_for(benchmark: &str) -> EpisodeRecord {
+    let recorder = cg_telemetry::global().trace.recorder();
+    let id = recorder
+        .summaries()
+        .into_iter()
+        .filter(|s| s.benchmark == benchmark)
+        .map(|s| s.episode_id)
+        .next_back()
+        .expect("episode recorded");
+    recorder.episode(id).expect("episode retained")
+}
+
+fn spans_named<'a>(
+    ep: &'a EpisodeRecord,
+    name: &'a str,
+) -> impl Iterator<Item = &'a cg_telemetry::SpanRecord> {
+    ep.spans.iter().filter(move |s| s.span == name)
+}
+
+#[test]
+fn tcp_reconnect_recovery_yields_one_connected_span_tree_per_step() {
+    let plan = FaultPlan::seeded(11)
+        .schedule(5, FaultKind::Hang)
+        .with_hang_duration(Duration::from_secs(2));
+    let (factory, _stats) = plan.wrap(rec_factory());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || serve_tcp(listener, factory));
+
+    let bench = "benchmark://tracing-v0/tcp-reconnect";
+    let mut env = CompilerEnv::connect_tcp(
+        "tcp-trace-v0",
+        &addr,
+        bench,
+        "Count",
+        "Count",
+        Duration::from_millis(300),
+    )
+    .unwrap();
+    // Client-driven checkpointing: snapshots are exported over the wire
+    // every 2 actions, so recovery restores instead of replaying from zero.
+    env.set_checkpoint_interval(2);
+    env.reset().unwrap();
+    // The 6th apply (global index 5) hangs past the socket timeout: the
+    // transport reconnects, the episode restores checkpoint depth 4,
+    // replays the 1-action suffix, and retries — all inside one step.
+    for _ in 0..6 {
+        env.step(0).unwrap();
+    }
+    assert!(env.service_restarts() >= 1, "the hang must have forced a reconnect");
+    env.close();
+
+    let ep = episode_for(bench);
+    assert_connected(&ep);
+    // The recovery rungs are present, carry `recovered` status, and sit in
+    // the faulted step's trace (not in fresh, disconnected traces).
+    let step_traces: HashSet<u64> =
+        spans_named(&ep, "env:step").map(|s| s.trace_id).collect();
+    for name in ["tcp:reconnect", "env:checkpoint-restore", "env:replay"] {
+        let span = spans_named(&ep, name).next().unwrap_or_else(|| {
+            panic!("no `{name}` span in episode {}", ep.episode_id)
+        });
+        assert_eq!(span.status, SpanStatus::Recovered, "`{name}` not marked recovered");
+        assert!(
+            step_traces.contains(&span.trace_id),
+            "`{name}` is not part of a step's span tree"
+        );
+    }
+    // The faulted-but-recovered step is marked on its root span.
+    assert!(
+        spans_named(&ep, "env:step").any(|s| s.status == SpanStatus::Recovered),
+        "no env:step root carries the recovered status"
+    );
+    // Context crossed the wire: the remote dispatch span parents under the
+    // client's rpc span within the same trace.
+    let rpc_ids: HashSet<u64> =
+        ep.spans.iter().filter(|s| s.span == "rpc:Step").map(|s| s.span_id).collect();
+    assert!(
+        spans_named(&ep, "service:Step")
+            .any(|s| s.parent_id.is_some_and(|p| rpc_ids.contains(&p))),
+        "no service:Step span parented under a client rpc:Step span"
+    );
+}
+
+#[test]
+fn checkpoint_restore_recovery_spans_stay_connected_in_process() {
+    let plan = FaultPlan::seeded(7).schedule(7, FaultKind::Panic);
+    let (factory, _stats) = plan.wrap(rec_factory());
+    let bench = "benchmark://tracing-v0/checkpoint-restore";
+    let mut env = CompilerEnv::with_factory(
+        "cp-trace-v0",
+        factory,
+        bench,
+        "Count",
+        "Count",
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    env.set_checkpoint_interval(2);
+    env.reset().unwrap();
+    // The 8th apply (global index 7) panics: the session is destroyed, the
+    // worker restarts, checkpoint depth 6 restores, the 1-action suffix
+    // replays, and the step retries.
+    for _ in 0..8 {
+        env.step(1).unwrap();
+    }
+    env.close();
+
+    let ep = episode_for(bench);
+    assert_connected(&ep);
+    for name in ["env:checkpoint-restore", "env:replay"] {
+        let span = spans_named(&ep, name).next().unwrap_or_else(|| {
+            panic!("no `{name}` span in episode {}", ep.episode_id)
+        });
+        assert_eq!(span.status, SpanStatus::Recovered, "`{name}` not marked recovered");
+    }
+    assert!(
+        spans_named(&ep, "env:step").any(|s| s.status == SpanStatus::Recovered),
+        "no env:step root carries the recovered status"
+    );
+    // Context crossed the in-process channel: service dispatch spans parent
+    // under the client's rpc spans.
+    let rpc_ids: HashSet<u64> =
+        ep.spans.iter().filter(|s| s.span.starts_with("rpc:")).map(|s| s.span_id).collect();
+    assert!(
+        spans_named(&ep, "service:Step")
+            .any(|s| s.parent_id.is_some_and(|p| rpc_ids.contains(&p))),
+        "no service:Step span parented under a client rpc span"
+    );
+    // One trace per step: 8 steps → 8 distinct step traces, each also
+    // carrying its own `step` summary event.
+    let step_traces: HashSet<u64> =
+        spans_named(&ep, "env:step").map(|s| s.trace_id).collect();
+    assert_eq!(step_traces.len(), 8, "expected one trace per step");
+}

@@ -76,13 +76,19 @@ impl ActionSpace {
     pub fn apply_tracked(&self, module: &mut cg_ir::Module, i: usize) -> PassEffect {
         let pass = &self.passes[i];
         let before = module.inst_count() as i64;
+        // A real span (not a flat emit): when the application runs under a
+        // service dispatch span, the per-pass timing lands in the step's
+        // span tree, attributable across the RPC boundary.
+        let mut span = cg_telemetry::global().trace.span(format!("pass:{}", pass.name()));
         let timer = cg_telemetry::Timer::start();
         let effect = pass.run_tracked(module);
         let dur = timer.elapsed();
         let delta = module.inst_count() as i64 - before;
+        span.set_detail(format!("delta={delta}"));
+        span.attr("changed", effect.changed.to_string());
+        span.finish();
         let tel = cg_telemetry::global();
         tel.passes.get(&pass.name()).record(dur, effect.changed, delta);
-        tel.trace.emit(format!("pass:{}", pass.name()), format!("delta={delta}"), dur);
         effect
     }
 }

@@ -28,6 +28,8 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
+pub mod export;
+
 // ---------------------------------------------------------------------------
 // Scalar metrics
 // ---------------------------------------------------------------------------
@@ -250,18 +252,23 @@ impl Histogram {
 
     /// Approximate quantile (`q` in `[0, 1]`), or 0 if empty. The returned
     /// value is exact for samples below 16 and within ~6% above.
+    ///
+    /// The edge ranks are exact regardless of bucket geometry: the lowest
+    /// rank is the recorded minimum and the highest the recorded maximum, so
+    /// `quantile(0.0)` / `quantile(1.0)` never report a bucket bound instead
+    /// of an observed sample (even when min and max share a bucket).
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
         }
-        if q >= 1.0 {
-            return self.max();
-        }
-        if q <= 0.0 {
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        if rank <= 1 {
             return self.min();
         }
-        let rank = ((q * total as f64).ceil() as u64).max(1);
+        if rank >= total {
+            return self.max();
+        }
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
@@ -483,10 +490,15 @@ pub struct FuzzSnapshot {
 }
 
 // ---------------------------------------------------------------------------
-// Trace events
+// Structured tracing: spans, context propagation, flight recorder
 // ---------------------------------------------------------------------------
 
-/// One structured trace record.
+/// One flat trace record, kept for wire compatibility with pre-span tooling.
+///
+/// [`SpanRecord`]'s serialized field set is a superset of this one, so JSONL
+/// produced by the current [`TraceBuffer`] still parses as `TraceEvent` (the
+/// extra keys are ignored), and old `TraceEvent` lines parse as `SpanRecord`
+/// (the missing span fields default).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Microseconds since process start when the span *ended*.
@@ -500,12 +512,425 @@ pub struct TraceEvent {
     pub dur_micros: u64,
 }
 
-/// A bounded ring buffer of [`TraceEvent`]s. When full, the oldest events are
-/// dropped; `dropped()` reports how many.
-pub struct TraceBuffer {
-    events: Mutex<std::collections::VecDeque<TraceEvent>>,
+/// Typed outcome of a span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanStatus {
+    /// Completed normally.
+    #[default]
+    Ok,
+    /// Completed with an error.
+    Error,
+    /// An attempt that failed and was retried by a higher layer.
+    Retried,
+    /// A fault that the recovery ladder repaired (replay / restore).
+    Recovered,
+    /// Terminated in-band by a resource budget.
+    BudgetExceeded,
+    /// Rejected fast because a circuit breaker was open.
+    CircuitOpen,
+}
+
+/// The identity a span propagates to its children — across threads via
+/// [`enter_context`] and across the RPC boundary via the codec's metadata
+/// field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Shared by every span in one logical operation (e.g. one `env.step()`).
+    pub trace_id: u64,
+    /// The span that children created under this context parent to.
+    pub span_id: u64,
+}
+
+/// One completed span. Field names are a superset of [`TraceEvent`] so the
+/// two formats interparse (see `TraceEvent` docs).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanRecord {
+    /// Microseconds since process start when the span ended.
+    pub ts_micros: u64,
+    /// Span name.
+    pub span: String,
+    /// Free-form context.
+    pub detail: String,
+    /// Span duration in microseconds.
+    pub dur_micros: u64,
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Unique id of this span.
+    pub span_id: u64,
+    /// Parent span id, or `None` for a trace root.
+    pub parent_id: Option<u64>,
+    /// Microseconds since process start when the span started.
+    pub start_micros: u64,
+    /// Typed outcome.
+    pub status: SpanStatus,
+    /// Key-value attributes.
+    pub attrs: Vec<(String, String)>,
+    /// Global record sequence number (total order across shards).
+    pub seq: u64,
+}
+
+// Hand-written so legacy [`TraceEvent`] lines (no span identity) still parse:
+// every post-`TraceEvent` field falls back to its default when absent.
+impl serde::Deserialize for SpanRecord {
+    fn from_value(v: &serde::value::Value) -> Result<SpanRecord, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::new(format!("expected object, got {}", v.kind())))?;
+        fn opt<T: serde::Deserialize>(
+            obj: &[(String, serde::value::Value)],
+            key: &str,
+        ) -> Result<Option<T>, serde::DeError> {
+            serde::field(obj, key)
+        }
+        Ok(SpanRecord {
+            ts_micros: serde::field(obj, "ts_micros")?,
+            span: serde::field(obj, "span")?,
+            detail: serde::field(obj, "detail")?,
+            dur_micros: serde::field(obj, "dur_micros")?,
+            trace_id: opt(obj, "trace_id")?.unwrap_or(0),
+            span_id: opt(obj, "span_id")?.unwrap_or(0),
+            parent_id: opt(obj, "parent_id")?,
+            start_micros: opt(obj, "start_micros")?.unwrap_or(0),
+            status: opt::<SpanStatus>(obj, "status")?.unwrap_or_default(),
+            attrs: opt(obj, "attrs")?.unwrap_or_default(),
+            seq: opt(obj, "seq")?.unwrap_or(0),
+        })
+    }
+}
+
+/// Process-wide id allocator for trace and span ids (never zero).
+fn next_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CONTEXT_STACK: std::cell::RefCell<Vec<TraceContext>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The innermost active [`TraceContext`] on this thread, if any.
+pub fn current_context() -> Option<TraceContext> {
+    CONTEXT_STACK.with(|c| c.borrow().last().copied())
+}
+
+/// Makes `ctx` the current context on this thread until the guard drops.
+/// This is how context crosses threads (worker dispatch, step runners) and
+/// how a deserialized remote context is installed on the service side.
+#[must_use]
+pub fn enter_context(ctx: TraceContext) -> ContextGuard {
+    CONTEXT_STACK.with(|c| c.borrow_mut().push(ctx));
+    ContextGuard { span_id: ctx.span_id }
+}
+
+/// Pops its context from the thread's stack on drop. Out-of-order drops are
+/// tolerated (the matching entry is removed wherever it sits).
+#[derive(Debug)]
+pub struct ContextGuard {
+    span_id: u64,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT_STACK.with(|c| {
+            let mut stack = c.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|x| x.span_id == self.span_id) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// An in-progress span. Created by [`TraceBuffer::span`]; records itself into
+/// the ring when dropped (or via [`Span::finish`]). While alive it is the
+/// current context on the creating thread, so nested `emit`s and spans
+/// parent to it automatically.
+pub struct Span<'a> {
+    buf: &'a TraceBuffer,
+    name: String,
+    detail: String,
+    attrs: Vec<(String, String)>,
+    ctx: TraceContext,
+    parent_id: Option<u64>,
+    start: Instant,
+    start_micros: u64,
+    status: SpanStatus,
+    guard: Option<ContextGuard>,
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("name", &self.name).field("ctx", &self.ctx).finish()
+    }
+}
+
+impl Span<'_> {
+    /// The context children should parent to (this span's identity).
+    pub fn context(&self) -> TraceContext {
+        self.ctx
+    }
+
+    /// Sets the typed outcome (default [`SpanStatus::Ok`]).
+    pub fn set_status(&mut self, status: SpanStatus) {
+        self.status = status;
+    }
+
+    /// Sets the free-form detail string.
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        self.detail = detail.into();
+    }
+
+    /// Appends a key-value attribute.
+    pub fn attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.attrs.push((key.into(), value.into()));
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        // Pop the context before recording so the record routes with the
+        // span's own identity but siblings created after see the parent.
+        drop(self.guard.take());
+        let dur = self.start.elapsed();
+        self.buf.record(SpanRecord {
+            ts_micros: now_micros(),
+            span: std::mem::take(&mut self.name),
+            detail: std::mem::take(&mut self.detail),
+            dur_micros: dur.as_micros().min(u64::MAX as u128) as u64,
+            trace_id: self.ctx.trace_id,
+            span_id: self.ctx.span_id,
+            parent_id: self.parent_id,
+            start_micros: self.start_micros,
+            status: self.status,
+            attrs: std::mem::take(&mut self.attrs),
+            seq: 0,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Episode flight recorder
+// ---------------------------------------------------------------------------
+
+/// Episodes retained by the flight recorder.
+pub const DEFAULT_EPISODE_CAPACITY: usize = 64;
+/// Spans retained per recorded episode.
+pub const DEFAULT_EPISODE_SPAN_CAPACITY: usize = 4096;
+
+/// One recorded episode: identity, lifetime, and every span routed to it
+/// (up to the per-episode cap, with honest drop accounting).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeRecord {
+    /// Recorder-assigned id (monotonic from 1).
+    pub episode_id: u64,
+    /// Environment id (e.g. `llvm-v0`).
+    pub env_id: String,
+    /// Benchmark URI.
+    pub benchmark: String,
+    /// When `begin_episode` was called (process-relative microseconds).
+    pub started_micros: u64,
+    /// When `end_episode` was called; 0 while the episode is open.
+    pub ended_micros: u64,
+    /// Trace ids bound to this episode (one per step, typically).
+    pub trace_ids: Vec<u64>,
+    /// Spans routed to this episode, in record order.
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded because the per-episode cap was reached.
+    pub dropped_spans: u64,
+}
+
+/// A lightweight listing entry for `cg trace` (no span payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeSummary {
+    pub episode_id: u64,
+    pub env_id: String,
+    pub benchmark: String,
+    pub started_micros: u64,
+    pub ended_micros: u64,
+    pub spans: u64,
+    pub dropped_spans: u64,
+}
+
+#[derive(Debug, Default)]
+struct RecorderInner {
+    episodes: std::collections::VecDeque<EpisodeRecord>,
+    /// trace_id → episode_id routing table.
+    bindings: HashMap<u64, u64>,
+    next_id: u64,
+}
+
+/// Last-N-episodes ring. Spans are routed here (in addition to the flat
+/// ring) when their trace id has been bound to an episode, so a whole
+/// episode's span trees can be reconstructed after the fact.
+#[derive(Debug)]
+pub struct EpisodeRecorder {
+    inner: Mutex<RecorderInner>,
     capacity: usize,
+    span_capacity: usize,
+    recorded: Counter,
+    dropped_episodes: Counter,
+    dropped_spans: Counter,
+}
+
+impl Default for EpisodeRecorder {
+    fn default() -> EpisodeRecorder {
+        EpisodeRecorder::new(DEFAULT_EPISODE_CAPACITY, DEFAULT_EPISODE_SPAN_CAPACITY)
+    }
+}
+
+impl EpisodeRecorder {
+    /// Creates a recorder keeping at most `capacity` episodes of at most
+    /// `span_capacity` spans each.
+    pub fn new(capacity: usize, span_capacity: usize) -> EpisodeRecorder {
+        EpisodeRecorder {
+            inner: Mutex::new(RecorderInner::default()),
+            capacity: capacity.max(1),
+            span_capacity: span_capacity.max(1),
+            recorded: Counter::new(),
+            dropped_episodes: Counter::new(),
+            dropped_spans: Counter::new(),
+        }
+    }
+
+    /// Opens a new episode and returns its id, evicting the oldest episode
+    /// (and its bindings) if the ring is full.
+    pub fn begin(&self, env_id: &str, benchmark: &str) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let id = inner.next_id;
+        if inner.episodes.len() == self.capacity {
+            if let Some(old) = inner.episodes.pop_front() {
+                for t in &old.trace_ids {
+                    inner.bindings.remove(t);
+                }
+                self.dropped_episodes.inc();
+            }
+        }
+        inner.episodes.push_back(EpisodeRecord {
+            episode_id: id,
+            env_id: env_id.to_string(),
+            benchmark: benchmark.to_string(),
+            started_micros: now_micros(),
+            ended_micros: 0,
+            trace_ids: Vec::new(),
+            spans: Vec::new(),
+            dropped_spans: 0,
+        });
+        self.recorded.inc();
+        id
+    }
+
+    /// Routes every span of `trace_id` to `episode_id` from now on. No-op if
+    /// the episode has been evicted.
+    pub fn bind(&self, trace_id: u64, episode_id: u64) {
+        let mut inner = self.inner.lock();
+        let Some(ep) = inner.episodes.iter_mut().find(|e| e.episode_id == episode_id) else {
+            return;
+        };
+        ep.trace_ids.push(trace_id);
+        inner.bindings.insert(trace_id, episode_id);
+    }
+
+    /// Marks an episode ended (it keeps receiving late spans until evicted).
+    pub fn end(&self, episode_id: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(ep) = inner.episodes.iter_mut().find(|e| e.episode_id == episode_id) {
+            ep.ended_micros = now_micros();
+        }
+    }
+
+    fn route(&self, rec: &SpanRecord) {
+        let mut inner = self.inner.lock();
+        let Some(&episode_id) = inner.bindings.get(&rec.trace_id) else { return };
+        let span_capacity = self.span_capacity;
+        let Some(ep) = inner.episodes.iter_mut().find(|e| e.episode_id == episode_id) else {
+            return;
+        };
+        if ep.spans.len() >= span_capacity {
+            ep.dropped_spans += 1;
+            self.dropped_spans.inc();
+        } else {
+            ep.spans.push(rec.clone());
+        }
+    }
+
+    /// Copies out one episode.
+    pub fn episode(&self, episode_id: u64) -> Option<EpisodeRecord> {
+        self.inner.lock().episodes.iter().find(|e| e.episode_id == episode_id).cloned()
+    }
+
+    /// Id of the most recently opened episode.
+    pub fn last_episode_id(&self) -> Option<u64> {
+        self.inner.lock().episodes.back().map(|e| e.episode_id)
+    }
+
+    /// Listing of retained episodes, oldest first.
+    pub fn summaries(&self) -> Vec<EpisodeSummary> {
+        self.inner
+            .lock()
+            .episodes
+            .iter()
+            .map(|e| EpisodeSummary {
+                episode_id: e.episode_id,
+                env_id: e.env_id.clone(),
+                benchmark: e.benchmark.clone(),
+                started_micros: e.started_micros,
+                ended_micros: e.ended_micros,
+                spans: e.spans.len() as u64,
+                dropped_spans: e.dropped_spans,
+            })
+            .collect()
+    }
+
+    /// Episodes opened since the last clear.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.get()
+    }
+
+    /// Episodes evicted by the capacity bound.
+    pub fn dropped_episodes(&self) -> u64 {
+        self.dropped_episodes.get()
+    }
+
+    /// Spans discarded across all episodes by the per-episode cap.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans.get()
+    }
+
+    /// Discards all episodes, bindings, and counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.episodes.clear();
+        inner.bindings.clear();
+        self.recorded.reset();
+        self.dropped_episodes.reset();
+        self.dropped_spans.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring
+// ---------------------------------------------------------------------------
+
+/// Shard count for the span ring (capped by the ring's capacity).
+const TRACE_SHARDS: usize = 8;
+
+/// A bounded, sharded ring of [`SpanRecord`]s with an embedded episode
+/// flight recorder. When a shard is full its oldest record is dropped;
+/// `dropped()` reports how many.
+///
+/// Records are spread across shards round-robin by sequence number, so
+/// concurrent recorders contend on different locks; `events()` re-sorts by
+/// the global sequence.
+pub struct TraceBuffer {
+    shards: Vec<Mutex<std::collections::VecDeque<SpanRecord>>>,
+    capacity: usize,
+    seq: AtomicU64,
     dropped: Counter,
+    recorder: EpisodeRecorder,
 }
 
 impl std::fmt::Debug for TraceBuffer {
@@ -524,66 +949,300 @@ impl Default for TraceBuffer {
 }
 
 impl TraceBuffer {
-    /// Creates a ring holding at most `capacity` events.
+    /// Creates a ring holding at most `capacity` records.
     pub fn with_capacity(capacity: usize) -> TraceBuffer {
+        let capacity = capacity.max(1);
+        let shards = TRACE_SHARDS.min(capacity);
         TraceBuffer {
-            events: Mutex::new(std::collections::VecDeque::new()),
-            capacity: capacity.max(1),
+            shards: (0..shards)
+                .map(|_| Mutex::new(std::collections::VecDeque::new()))
+                .collect(),
+            capacity,
+            seq: AtomicU64::new(0),
             dropped: Counter::new(),
+            recorder: EpisodeRecorder::default(),
         }
     }
 
-    /// Appends an event, evicting the oldest if the ring is full.
-    pub fn emit(&self, span: impl Into<String>, detail: impl Into<String>, dur: Duration) {
-        let ev = TraceEvent {
-            ts_micros: now_micros(),
-            span: span.into(),
-            detail: detail.into(),
-            dur_micros: dur.as_micros().min(u64::MAX as u128) as u64,
-        };
-        let mut q = self.events.lock();
-        if q.len() == self.capacity {
+    /// Appends a completed span record, evicting the oldest in its shard if
+    /// full, and routes it to the flight recorder when its trace is bound to
+    /// an episode.
+    pub fn record(&self, mut rec: SpanRecord) {
+        rec.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.recorder.route(&rec);
+        let shards = self.shards.len();
+        let shard = (rec.seq as usize) % shards;
+        // Spread any capacity remainder over the low shards so the total
+        // bound is exactly `capacity`.
+        let shard_capacity = self.capacity / shards + usize::from(shard < self.capacity % shards);
+        let mut q = self.shards[shard].lock();
+        if q.len() >= shard_capacity {
             q.pop_front();
             self.dropped.inc();
         }
-        q.push_back(ev);
+        q.push_back(rec);
     }
 
-    /// Number of buffered events.
+    /// Appends an instantaneous-or-timed event with [`SpanStatus::Ok`],
+    /// parented to the thread's current context (a fresh root otherwise).
+    pub fn emit(&self, span: impl Into<String>, detail: impl Into<String>, dur: Duration) {
+        self.emit_status(span, detail, dur, SpanStatus::Ok);
+    }
+
+    /// [`TraceBuffer::emit`] with an explicit status.
+    pub fn emit_status(
+        &self,
+        span: impl Into<String>,
+        detail: impl Into<String>,
+        dur: Duration,
+        status: SpanStatus,
+    ) {
+        let end = now_micros();
+        let dur_micros = dur.as_micros().min(u64::MAX as u128) as u64;
+        let (trace_id, parent_id) = match current_context() {
+            Some(ctx) => (ctx.trace_id, Some(ctx.span_id)),
+            None => (next_id(), None),
+        };
+        self.record(SpanRecord {
+            ts_micros: end,
+            span: span.into(),
+            detail: detail.into(),
+            dur_micros,
+            trace_id,
+            span_id: next_id(),
+            parent_id,
+            start_micros: end.saturating_sub(dur_micros),
+            status,
+            attrs: Vec::new(),
+            seq: 0,
+        });
+    }
+
+    /// Opens a span parented to the thread's current context (a fresh trace
+    /// root otherwise). The span is current until it drops.
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        let parent = current_context();
+        self.span_impl(name.into(), parent)
+    }
+
+    /// Opens a root span of a brand-new trace, ignoring any ambient context.
+    pub fn root_span(&self, name: impl Into<String>) -> Span<'_> {
+        self.span_impl(name.into(), None)
+    }
+
+    /// Opens a span under an explicit (e.g. remote) parent context.
+    pub fn span_with_parent(&self, name: impl Into<String>, parent: TraceContext) -> Span<'_> {
+        self.span_impl(name.into(), Some(parent))
+    }
+
+    fn span_impl(&self, name: String, parent: Option<TraceContext>) -> Span<'_> {
+        let ctx = TraceContext {
+            trace_id: parent.map_or_else(next_id, |p| p.trace_id),
+            span_id: next_id(),
+        };
+        Span {
+            buf: self,
+            name,
+            detail: String::new(),
+            attrs: Vec::new(),
+            ctx,
+            parent_id: parent.map(|p| p.span_id),
+            start: Instant::now(),
+            start_micros: now_micros(),
+            status: SpanStatus::Ok,
+            guard: Some(enter_context(ctx)),
+        }
+    }
+
+    /// Number of buffered records.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
-    /// True when no events are buffered.
+    /// True when no records are buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Number of events evicted due to the capacity bound.
+    /// Number of records evicted due to the capacity bound.
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
     }
 
-    /// Copies out the buffered events, oldest first.
-    pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().iter().cloned().collect()
+    /// Copies out the buffered records in global record order.
+    pub fn events(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            out.extend(shard.lock().iter().cloned());
+        }
+        out.sort_by_key(|r| r.seq);
+        out
     }
 
-    /// Serializes the buffer as JSON lines (one event per line).
+    /// Serializes the buffer as JSON lines (one record per line). Lines also
+    /// parse as the legacy [`TraceEvent`] (extra keys are ignored).
     pub fn export_jsonl(&self) -> String {
         let mut out = String::new();
         for ev in self.events() {
-            out.push_str(&serde_json::to_string(&ev).expect("trace event serializes"));
+            out.push_str(&serde_json::to_string(&ev).expect("span record serializes"));
             out.push('\n');
         }
         out
     }
 
-    /// Discards all buffered events and the dropped count.
-    pub fn clear(&self) {
-        self.events.lock().clear();
-        self.dropped.reset();
+    /// The episode flight recorder fed by this ring.
+    pub fn recorder(&self) -> &EpisodeRecorder {
+        &self.recorder
     }
+
+    /// Opens a flight-recorder episode (see [`EpisodeRecorder::begin`]).
+    pub fn begin_episode(&self, env_id: &str, benchmark: &str) -> u64 {
+        self.recorder.begin(env_id, benchmark)
+    }
+
+    /// Routes a trace to a recorded episode (see [`EpisodeRecorder::bind`]).
+    pub fn bind_episode(&self, trace_id: u64, episode_id: u64) {
+        self.recorder.bind(trace_id, episode_id);
+    }
+
+    /// Marks a recorded episode ended (see [`EpisodeRecorder::end`]).
+    pub fn end_episode(&self, episode_id: u64) {
+        self.recorder.end(episode_id);
+    }
+
+    /// Discards all buffered records, the dropped count, and the episode
+    /// recorder's contents.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.dropped.reset();
+        self.recorder.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SLO tracking
+// ---------------------------------------------------------------------------
+
+/// A step-latency service-level objective: steps at or under the objective
+/// are "good", the rest "bad". Disabled until [`StepSlo::configure`] sets a
+/// non-zero objective.
+#[derive(Debug)]
+pub struct StepSlo {
+    objective_micros: AtomicU64,
+    /// Availability target (e.g. 0.99) as `f64` bits.
+    target_bits: AtomicU64,
+    good: Counter,
+    bad: Counter,
+}
+
+impl Default for StepSlo {
+    fn default() -> StepSlo {
+        StepSlo {
+            objective_micros: AtomicU64::new(0),
+            target_bits: AtomicU64::new(0.99f64.to_bits()),
+            good: Counter::new(),
+            bad: Counter::new(),
+        }
+    }
+}
+
+impl StepSlo {
+    /// Sets the latency objective (0 disables) and availability target.
+    pub fn configure(&self, objective: Duration, target: f64) {
+        let micros = objective.as_micros().min(u64::MAX as u128) as u64;
+        self.objective_micros.store(micros, Ordering::Relaxed);
+        self.target_bits.store(target.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// The configured objective in microseconds (0 when disabled).
+    pub fn objective_micros(&self) -> u64 {
+        self.objective_micros.load(Ordering::Relaxed)
+    }
+
+    /// The configured availability target.
+    pub fn target(&self) -> f64 {
+        f64::from_bits(self.target_bits.load(Ordering::Relaxed))
+    }
+
+    /// Classifies one step duration against the objective. No-op while
+    /// disabled.
+    pub fn record(&self, dur: Duration) {
+        let objective = self.objective_micros();
+        if objective == 0 {
+            return;
+        }
+        if dur.as_micros().min(u64::MAX as u128) as u64 <= objective {
+            self.good.inc();
+        } else {
+            self.bad.inc();
+        }
+    }
+
+    /// Steps meeting the objective.
+    pub fn good(&self) -> u64 {
+        self.good.get()
+    }
+
+    /// Steps missing the objective.
+    pub fn bad(&self) -> u64 {
+        self.bad.get()
+    }
+
+    /// Fraction of steps meeting the objective (1.0 when no data).
+    pub fn compliance(&self) -> f64 {
+        let good = self.good();
+        let total = good + self.bad();
+        if total == 0 {
+            1.0
+        } else {
+            good as f64 / total as f64
+        }
+    }
+
+    /// Error-budget burn rate: the observed bad fraction divided by the
+    /// allowed bad fraction `1 - target`. 1.0 means burning exactly at
+    /// budget; above 1.0 the SLO will be violated if sustained.
+    pub fn burn_rate(&self) -> f64 {
+        let good = self.good();
+        let bad = self.bad();
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let allowed = (1.0 - self.target()).max(1e-9);
+        (bad as f64 / total as f64) / allowed
+    }
+
+    /// Captures the summary.
+    pub fn snapshot(&self) -> SloSnapshot {
+        SloSnapshot {
+            objective_micros: self.objective_micros(),
+            target: self.target(),
+            good: self.good(),
+            bad: self.bad(),
+            compliance: self.compliance(),
+            burn_rate: self.burn_rate(),
+        }
+    }
+
+    /// Zeroes the good/bad counters, keeping the configuration.
+    pub fn reset(&self) {
+        self.good.reset();
+        self.bad.reset();
+    }
+}
+
+/// Serializable form of [`StepSlo`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSnapshot {
+    pub objective_micros: u64,
+    pub target: f64,
+    pub good: u64,
+    pub bad: u64,
+    pub compliance: f64,
+    pub burn_rate: f64,
 }
 
 // ---------------------------------------------------------------------------
@@ -793,8 +1452,10 @@ pub struct Telemetry {
     pub fuzz: FuzzStats,
     /// Parallel-evaluation pool and evaluation-cache statistics.
     pub pool: PoolStats,
-    /// Structured trace ring.
+    /// Structured trace ring with the embedded episode flight recorder.
     pub trace: TraceBuffer,
+    /// Step-latency service-level objective tracking.
+    pub slo: StepSlo,
 }
 
 impl Telemetry {
@@ -846,6 +1507,10 @@ impl Telemetry {
             pool: self.pool.snapshot(),
             trace_events: self.trace.len() as u64,
             trace_dropped: self.trace.dropped(),
+            episodes_recorded: self.trace.recorder().recorded(),
+            episodes_dropped: self.trace.recorder().dropped_episodes(),
+            episode_spans_dropped: self.trace.recorder().dropped_spans(),
+            slo: self.slo.snapshot(),
         }
     }
 
@@ -873,6 +1538,7 @@ impl Telemetry {
         self.fuzz.reset();
         self.pool.reset();
         self.trace.clear();
+        self.slo.reset();
     }
 }
 
@@ -902,6 +1568,10 @@ pub struct TelemetrySnapshot {
     pub pool: PoolSnapshot,
     pub trace_events: u64,
     pub trace_dropped: u64,
+    pub episodes_recorded: u64,
+    pub episodes_dropped: u64,
+    pub episode_spans_dropped: u64,
+    pub slo: SloSnapshot,
 }
 
 /// The process-wide registry.
@@ -1080,8 +1750,185 @@ mod tests {
         assert_eq!(events[0].detail, "i=2");
         let jsonl = t.export_jsonl();
         assert_eq!(jsonl.lines().count(), 4);
-        let back: TraceEvent = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        let back: SpanRecord = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
         assert_eq!(back, events[0]);
+    }
+
+    #[test]
+    fn span_jsonl_parses_as_legacy_trace_event() {
+        let t = TraceBuffer::with_capacity(8);
+        t.emit("step", "x", Duration::from_micros(7));
+        let line = t.export_jsonl();
+        let legacy: TraceEvent = serde_json::from_str(line.lines().next().unwrap()).unwrap();
+        assert_eq!(legacy.span, "step");
+        assert_eq!(legacy.detail, "x");
+        assert_eq!(legacy.dur_micros, 7);
+        // And the reverse: an old flat event parses as a span record with
+        // defaulted span identity.
+        let old = serde_json::to_string(&legacy).unwrap();
+        let rec: SpanRecord = serde_json::from_str(&old).unwrap();
+        assert_eq!(rec.span, "step");
+        assert_eq!(rec.parent_id, None);
+        assert_eq!(rec.status, SpanStatus::Ok);
+    }
+
+    #[test]
+    fn histogram_quantile_edges_return_recorded_extremes() {
+        // Two samples in the same log-linear bucket: the bucket midpoint is
+        // neither of them, so only exact edge handling gets these right.
+        let h = Histogram::new();
+        h.record(1000);
+        h.record(1023);
+        assert_eq!(h.quantile(0.0), 1000);
+        assert_eq!(h.quantile(0.01), 1000);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+        // A singleton histogram reports its sample at every quantile.
+        let h = Histogram::new();
+        h.record(777);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 777);
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_propagate_context() {
+        let t = TraceBuffer::with_capacity(64);
+        {
+            let root = t.span("env:step");
+            let root_ctx = root.context();
+            {
+                let mut child = t.span("rpc:Step");
+                child.set_status(SpanStatus::Retried);
+                child.attr("attempt", "1");
+                assert_eq!(child.context().trace_id, root_ctx.trace_id);
+            }
+            t.emit("pass:gvn", "delta=-3", Duration::from_micros(5));
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        // Children record before the root (drop order), all one trace.
+        let child = &events[0];
+        let emitted = &events[1];
+        let root = &events[2];
+        assert_eq!(root.span, "env:step");
+        assert_eq!(root.parent_id, None);
+        assert_eq!(child.span, "rpc:Step");
+        assert_eq!(child.parent_id, Some(root.span_id));
+        assert_eq!(child.status, SpanStatus::Retried);
+        assert_eq!(child.attrs, vec![("attempt".to_string(), "1".to_string())]);
+        assert_eq!(emitted.parent_id, Some(root.span_id));
+        assert!(events.iter().all(|e| e.trace_id == root.trace_id));
+    }
+
+    #[test]
+    fn context_crosses_threads_via_guard() {
+        let t = Arc::new(TraceBuffer::with_capacity(64));
+        let root = t.span("root");
+        let ctx = root.context();
+        let t2 = Arc::clone(&t);
+        std::thread::spawn(move || {
+            let _g = enter_context(ctx);
+            t2.emit("remote", "", Duration::ZERO);
+        })
+        .join()
+        .unwrap();
+        drop(root);
+        let events = t.events();
+        let remote = events.iter().find(|e| e.span == "remote").unwrap();
+        let root = events.iter().find(|e| e.span == "root").unwrap();
+        assert_eq!(remote.parent_id, Some(root.span_id));
+        assert_eq!(remote.trace_id, root.trace_id);
+    }
+
+    #[test]
+    fn flight_recorder_routes_bound_traces_and_bounds_memory() {
+        let t = TraceBuffer::with_capacity(1024);
+        let rec = t.recorder();
+        let ep = t.begin_episode("llvm-v0", "benchmark://cbench-v1/qsort");
+        {
+            let root = t.span("env:step");
+            t.bind_episode(root.context().trace_id, ep);
+            t.emit("pass:gvn", "", Duration::ZERO);
+        }
+        // An unbound trace does not land in the episode.
+        t.emit("unrelated", "", Duration::ZERO);
+        t.end_episode(ep);
+        let episode = rec.episode(ep).unwrap();
+        assert_eq!(episode.spans.len(), 2);
+        assert!(episode.spans.iter().all(|s| s.span != "unrelated"));
+        assert!(episode.ended_micros >= episode.started_micros);
+        assert_eq!(rec.last_episode_id(), Some(ep));
+
+        // Per-episode span cap drops honestly.
+        let small = EpisodeRecorder::new(2, 3);
+        let id = small.begin("llvm-v0", "b");
+        small.bind(42, id);
+        for i in 0..5 {
+            small.route(&SpanRecord {
+                ts_micros: i,
+                span: "s".to_string(),
+                detail: String::new(),
+                dur_micros: 0,
+                trace_id: 42,
+                span_id: i,
+                parent_id: None,
+                start_micros: i,
+                status: SpanStatus::Ok,
+                attrs: Vec::new(),
+                seq: i,
+            });
+        }
+        let got = small.episode(id).unwrap();
+        assert_eq!(got.spans.len(), 3);
+        assert_eq!(got.dropped_spans, 2);
+        assert_eq!(small.dropped_spans(), 2);
+
+        // Episode ring eviction unbinds and counts.
+        let id2 = small.begin("llvm-v0", "b2");
+        let id3 = small.begin("llvm-v0", "b3");
+        assert!(small.episode(id).is_none());
+        assert_eq!(small.dropped_episodes(), 1);
+        assert!(small.episode(id2).is_some() && small.episode(id3).is_some());
+        // Spans of the evicted episode's trace no longer route anywhere.
+        small.route(&SpanRecord {
+            ts_micros: 0,
+            span: "late".to_string(),
+            detail: String::new(),
+            dur_micros: 0,
+            trace_id: 42,
+            span_id: 99,
+            parent_id: None,
+            start_micros: 0,
+            status: SpanStatus::Ok,
+            attrs: Vec::new(),
+            seq: 99,
+        });
+        assert!(small.episode(id2).unwrap().spans.is_empty());
+    }
+
+    #[test]
+    fn slo_tracks_good_bad_and_burn_rate() {
+        let slo = StepSlo::default();
+        // Disabled: nothing records.
+        slo.record(Duration::from_secs(10));
+        assert_eq!(slo.good() + slo.bad(), 0);
+        assert_eq!(slo.compliance(), 1.0);
+        assert_eq!(slo.burn_rate(), 0.0);
+
+        slo.configure(Duration::from_millis(2), 0.9);
+        for _ in 0..9 {
+            slo.record(Duration::from_millis(1));
+        }
+        slo.record(Duration::from_millis(50));
+        assert_eq!(slo.good(), 9);
+        assert_eq!(slo.bad(), 1);
+        assert!((slo.compliance() - 0.9).abs() < 1e-9);
+        // Bad fraction exactly at the allowed fraction: burn rate 1.0.
+        assert!((slo.burn_rate() - 1.0).abs() < 1e-9);
+        slo.reset();
+        assert_eq!(slo.good() + slo.bad(), 0);
+        assert_eq!(slo.objective_micros(), 2000);
     }
 
     #[test]

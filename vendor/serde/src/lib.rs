@@ -449,6 +449,20 @@ impl Serialize for () {
     }
 }
 
+// Identity impls so code can (de)serialize an already-built tree — e.g. a
+// codec that parses a frame, strips transport metadata, and re-renders it.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Deserialize for () {
     fn from_value(_: &Value) -> Result<(), DeError> {
         Ok(())
