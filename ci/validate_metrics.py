@@ -27,6 +27,16 @@ REQUIRED_FAMILIES = [
     "cg_slo_bad_total",
     "cg_slo_compliance",
     "cg_slo_burn_rate",
+    "cg_broker_admitted_total",
+    "cg_broker_refused_total",
+    "cg_broker_shed_total",
+    "cg_broker_quota_refusals_total",
+    "cg_broker_drains_total",
+    "cg_broker_drained_checkpoints_total",
+    "cg_broker_sessions",
+    "cg_broker_queue_depth",
+    "cg_broker_connections",
+    "cg_broker_queue_wait_micros",
 ]
 
 VALID_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}

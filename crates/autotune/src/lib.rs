@@ -98,7 +98,11 @@ pub fn random_search<P: SearchProblem>(
         remaining -= k as u64;
     }
     let (best, score) = best.expect("budget >= 1");
-    SearchResult { best, score, evaluations: budget.max(1) }
+    SearchResult {
+        best,
+        score,
+        evaluations: budget.max(1),
+    }
 }
 
 /// Hill climbing: mutate the incumbent; accept improvements.
@@ -117,7 +121,11 @@ pub fn hill_climb<P: SearchProblem>(
             best = cand;
         }
     }
-    SearchResult { best, score, evaluations: budget }
+    SearchResult {
+        best,
+        score,
+        evaluations: budget,
+    }
 }
 
 /// A plain generational genetic algorithm: tournament selection, crossover,
@@ -152,7 +160,9 @@ pub fn genetic_algorithm<P: SearchProblem>(
     while evals < budget {
         let mut next: Vec<(P::Point, f64)> = pop.iter().take(population / 8 + 1).cloned().collect();
         while next.len() < population && evals < budget {
-            let k = batch.min(population - next.len()).min((budget - evals) as usize);
+            let k = batch
+                .min(population - next.len())
+                .min((budget - evals) as usize);
             let children: Vec<P::Point> = (0..k)
                 .map(|_| {
                     let pick = |rng: &mut StdRng, pop: &[(P::Point, f64)]| {
@@ -177,7 +187,11 @@ pub fn genetic_algorithm<P: SearchProblem>(
         pop = next;
     }
     let (best, score) = pop.swap_remove(0);
-    SearchResult { best, score, evaluations: evals }
+    SearchResult {
+        best,
+        score,
+        evaluations: evals,
+    }
 }
 
 /// A Nevergrad-style portfolio: splits the budget across (1+1) evolution,
@@ -218,7 +232,11 @@ pub fn nevergrad_style<P: SearchProblem>(
         best = g.best;
         score = g.score;
     }
-    SearchResult { best, score, evaluations: budget }
+    SearchResult {
+        best,
+        score,
+        evaluations: budget,
+    }
 }
 
 /// An OpenTuner-style ensemble: a UCB bandit allocates evaluations among
@@ -257,7 +275,9 @@ pub fn opentuner_style<P: SearchProblem>(
                             }
                             tot / n as f64 + (2.0 * (step as f64).ln() / n as f64).sqrt()
                         };
-                        ucb(a).partial_cmp(&ucb(b)).unwrap_or(std::cmp::Ordering::Equal)
+                        ucb(a)
+                            .partial_cmp(&ucb(b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .unwrap_or(0);
                 let cand = match arm {
@@ -293,7 +313,11 @@ pub fn opentuner_style<P: SearchProblem>(
         }
         t += k;
     }
-    SearchResult { best, score, evaluations: budget }
+    SearchResult {
+        best,
+        score,
+        evaluations: budget,
+    }
 }
 
 /// Monte-Carlo tree search over action prefixes (after LaMCTS: the tree
@@ -315,7 +339,11 @@ where
         visits: u64,
         total: f64,
     }
-    let mut nodes = vec![Node { children: Vec::new(), visits: 0, total: 0.0 }];
+    let mut nodes = vec![Node {
+        children: Vec::new(),
+        visits: 0,
+        total: 0.0,
+    }];
     let mut best: Vec<usize> = (0..length).map(|_| rng.gen_range(0..num_actions)).collect();
     let mut score = problem.evaluate(&best);
     let branch = num_actions.min(12);
@@ -340,7 +368,11 @@ where
                     // Expand with an unexplored random action.
                     let a = rng.gen_range(0..num_actions);
                     let idx = nodes.len();
-                    nodes.push(Node { children: Vec::new(), visits: 0, total: 0.0 });
+                    nodes.push(Node {
+                        children: Vec::new(),
+                        visits: 0,
+                        total: 0.0,
+                    });
                     nodes[cur].children.push((a, idx));
                     prefix.push(a);
                     break;
@@ -358,7 +390,9 @@ where
                             n.total / n.visits as f64
                                 + 0.8 * ((parent_visits as f64).ln() / n.visits as f64).sqrt()
                         };
-                        ucb(*x).partial_cmp(&ucb(*y)).unwrap_or(std::cmp::Ordering::Equal)
+                        ucb(*x)
+                            .partial_cmp(&ucb(*y))
+                            .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .expect("children nonempty");
                 prefix.push(a);
@@ -401,7 +435,11 @@ where
         }
         done += k;
     }
-    SearchResult { best, score, evaluations: budget }
+    SearchResult {
+        best,
+        score,
+        evaluations: budget,
+    }
 }
 
 /// Greedy search over a live environment (7 lines in the paper's
@@ -454,7 +492,12 @@ impl PassSequenceProblem {
     /// Wraps an environment; `length` is the episode length searched.
     pub fn new(env: CompilerEnv, length: usize) -> PassSequenceProblem {
         let num_actions = env.action_space().len();
-        PassSequenceProblem { env, length, num_actions, candidates: None }
+        PassSequenceProblem {
+            env,
+            length,
+            num_actions,
+            candidates: None,
+        }
     }
 
     /// Restricts the searched alphabet to a subset of actions (the paper
@@ -465,7 +508,12 @@ impl PassSequenceProblem {
         length: usize,
         candidates: Vec<usize>,
     ) -> PassSequenceProblem {
-        PassSequenceProblem { env, length, num_actions: candidates.len(), candidates: Some(candidates) }
+        PassSequenceProblem {
+            env,
+            length,
+            num_actions: candidates.len(),
+            candidates: Some(candidates),
+        }
     }
 
     /// Number of candidate actions.
@@ -488,7 +536,9 @@ impl SearchProblem for PassSequenceProblem {
     type Point = Vec<usize>;
 
     fn random_point(&mut self, rng: &mut StdRng) -> Vec<usize> {
-        (0..self.length).map(|_| rng.gen_range(0..self.num_actions)).collect()
+        (0..self.length)
+            .map(|_| rng.gen_range(0..self.num_actions))
+            .collect()
     }
 
     fn mutate(&mut self, p: &Vec<usize>, rng: &mut StdRng) -> Vec<usize> {
@@ -574,7 +624,10 @@ impl PoolPassSequenceProblem {
             Some(c) => p.iter().map(|&i| c[i]).collect(),
             None => p.to_vec(),
         };
-        ActionSeq { benchmark: self.benchmark.clone(), actions }
+        ActionSeq {
+            benchmark: self.benchmark.clone(),
+            actions,
+        }
     }
 }
 
@@ -582,7 +635,9 @@ impl SearchProblem for PoolPassSequenceProblem {
     type Point = Vec<usize>;
 
     fn random_point(&mut self, rng: &mut StdRng) -> Vec<usize> {
-        (0..self.length).map(|_| rng.gen_range(0..self.num_actions)).collect()
+        (0..self.length)
+            .map(|_| rng.gen_range(0..self.num_actions))
+            .collect()
     }
 
     fn mutate(&mut self, p: &Vec<usize>, rng: &mut StdRng) -> Vec<usize> {
@@ -603,7 +658,11 @@ impl SearchProblem for PoolPassSequenceProblem {
 
     fn evaluate_many(&mut self, points: &[Vec<usize>]) -> Vec<f64> {
         let jobs: Vec<ActionSeq> = points.iter().map(|p| self.to_seq(p)).collect();
-        self.pool.evaluate_batch(jobs).into_iter().map(|o| o.score).collect()
+        self.pool
+            .evaluate_batch(jobs)
+            .into_iter()
+            .map(|o| o.score)
+            .collect()
     }
 
     fn preferred_batch(&mut self) -> usize {
@@ -627,7 +686,12 @@ impl GccChoicesProblem {
     pub fn new(spec: cg_gcc::GccSpec, benchmark: &str) -> Result<GccChoicesProblem, String> {
         let mut session = cg_core::envs::gcc::GccSession::new(spec);
         cg_core::CompilationSession::init(&mut session, benchmark, 0)?;
-        let cards = session.option_space().options().iter().map(|o| o.cardinality).collect();
+        let cards = session
+            .option_space()
+            .options()
+            .iter()
+            .map(|o| o.cardinality)
+            .collect();
         Ok(GccChoicesProblem { session, cards })
     }
 
@@ -751,13 +815,23 @@ mod tests {
     fn batched_random_search_is_byte_identical_to_serial() {
         let serial = random_search(&mut Toy, 111, &mut rng(9));
         for batch in [2, 5, 16, 200] {
-            let mut p = BatchedToy { batch, seen: Vec::new() };
+            let mut p = BatchedToy {
+                batch,
+                seen: Vec::new(),
+            };
             let batched = random_search(&mut p, 111, &mut rng(9));
-            assert_eq!(batched.best, serial.best, "batch {batch} changed the winner");
+            assert_eq!(
+                batched.best, serial.best,
+                "batch {batch} changed the winner"
+            );
             assert_eq!(batched.score.to_bits(), serial.score.to_bits());
             assert_eq!(batched.evaluations, serial.evaluations);
             assert!(p.seen.iter().any(|&k| k > 1), "batching never kicked in");
-            assert_eq!(p.seen.iter().sum::<usize>(), 111, "evaluation count drifted");
+            assert_eq!(
+                p.seen.iter().sum::<usize>(),
+                111,
+                "evaluation count drifted"
+            );
         }
     }
 
@@ -765,12 +839,22 @@ mod tests {
     fn batched_ga_is_byte_identical_to_serial() {
         let serial = genetic_algorithm(&mut Toy, 150, 24, &mut rng(13));
         for batch in [3, 8, 24] {
-            let mut p = BatchedToy { batch, seen: Vec::new() };
+            let mut p = BatchedToy {
+                batch,
+                seen: Vec::new(),
+            };
             let batched = genetic_algorithm(&mut p, 150, 24, &mut rng(13));
-            assert_eq!(batched.best, serial.best, "batch {batch} changed the winner");
+            assert_eq!(
+                batched.best, serial.best,
+                "batch {batch} changed the winner"
+            );
             assert_eq!(batched.score.to_bits(), serial.score.to_bits());
             assert_eq!(batched.evaluations, serial.evaluations);
-            assert_eq!(p.seen.iter().sum::<usize>(), 150, "evaluation count drifted");
+            assert_eq!(
+                p.seen.iter().sum::<usize>(),
+                150,
+                "evaluation count drifted"
+            );
         }
     }
 
@@ -781,19 +865,28 @@ mod tests {
         // accounting and batch plumbing must hold, and batch size 1 must
         // reproduce the serial trajectory exactly.
         let serial_ot = opentuner_style(&mut Toy, 80, &mut rng(21));
-        let mut one = BatchedToy { batch: 1, seen: Vec::new() };
+        let mut one = BatchedToy {
+            batch: 1,
+            seen: Vec::new(),
+        };
         let ot_one = opentuner_style(&mut one, 80, &mut rng(21));
         assert_eq!(ot_one.best, serial_ot.best);
         assert_eq!(ot_one.score.to_bits(), serial_ot.score.to_bits());
 
         let serial_mcts = mcts_search(&mut Toy, 80, 8, 16, &mut rng(22));
-        let mut one = BatchedToy { batch: 1, seen: Vec::new() };
+        let mut one = BatchedToy {
+            batch: 1,
+            seen: Vec::new(),
+        };
         let mcts_one = mcts_search(&mut one, 80, 8, 16, &mut rng(22));
         assert_eq!(mcts_one.best, serial_mcts.best);
         assert_eq!(mcts_one.score.to_bits(), serial_mcts.score.to_bits());
 
         for batch in [4, 11] {
-            let mut p = BatchedToy { batch, seen: Vec::new() };
+            let mut p = BatchedToy {
+                batch,
+                seen: Vec::new(),
+            };
             let r = opentuner_style(&mut p, 80, &mut rng(21));
             assert!(r.score >= 2.0);
             // The seed point goes through `evaluate`; the remaining 79
@@ -801,7 +894,10 @@ mod tests {
             assert_eq!(p.seen.iter().sum::<usize>(), 79);
             assert!(p.seen.iter().any(|&k| k > 1));
 
-            let mut p = BatchedToy { batch, seen: Vec::new() };
+            let mut p = BatchedToy {
+                batch,
+                seen: Vec::new(),
+            };
             let r = mcts_search(&mut p, 80, 8, 16, &mut rng(22));
             assert!(r.score >= 2.0);
             assert_eq!(p.seen.iter().sum::<usize>(), 79);
@@ -825,9 +921,20 @@ mod tests {
         });
         let mut env = cg_core::make("llvm-v0").unwrap();
         env.set_benchmark("benchmark://cbench-v1/crc32");
-        let names = ["mem2reg", "sroa", "instcombine", "gvn", "dce", "simplifycfg", "sccp", "licm"];
-        let cands: Vec<usize> =
-            names.iter().map(|n| env.action_space().index_of(n).unwrap()).collect();
+        let names = [
+            "mem2reg",
+            "sroa",
+            "instcombine",
+            "gvn",
+            "dce",
+            "simplifycfg",
+            "sccp",
+            "licm",
+        ];
+        let cands: Vec<usize> = names
+            .iter()
+            .map(|n| env.action_space().index_of(n).unwrap())
+            .collect();
 
         let mut serial = PassSequenceProblem::with_candidates(env, 5, cands.clone());
         let serial_ga = genetic_algorithm(&mut serial, 40, 8, &mut rng(5));
@@ -855,9 +962,18 @@ mod tests {
         for (name, score) in [
             ("random", random_search(&mut Toy, 300, &mut rng(1)).score),
             ("hill", hill_climb(&mut Toy, 300, &mut rng(2)).score),
-            ("ga", genetic_algorithm(&mut Toy, 300, 30, &mut rng(3)).score),
-            ("nevergrad", nevergrad_style(&mut Toy, 300, &mut rng(4)).score),
-            ("opentuner", opentuner_style(&mut Toy, 300, &mut rng(5)).score),
+            (
+                "ga",
+                genetic_algorithm(&mut Toy, 300, 30, &mut rng(3)).score,
+            ),
+            (
+                "nevergrad",
+                nevergrad_style(&mut Toy, 300, &mut rng(4)).score,
+            ),
+            (
+                "opentuner",
+                opentuner_style(&mut Toy, 300, &mut rng(5)).score,
+            ),
             ("mcts", mcts_search(&mut Toy, 300, 8, 16, &mut rng(6)).score),
         ] {
             assert!(
@@ -879,7 +995,14 @@ mod tests {
         env.set_benchmark("benchmark://cbench-v1/crc32");
         env.reset().unwrap();
         // Restrict candidates to a fast, useful subset to keep the test quick.
-        let names = ["mem2reg", "sroa", "instcombine", "gvn", "dce", "simplifycfg"];
+        let names = [
+            "mem2reg",
+            "sroa",
+            "instcombine",
+            "gvn",
+            "dce",
+            "simplifycfg",
+        ];
         let cands: Vec<usize> = names
             .iter()
             .map(|n| env.action_space().index_of(n).unwrap())
@@ -897,7 +1020,10 @@ mod tests {
         let again = -p.evaluate(&vec![0; p.cards.len()]);
         assert_eq!(default_size, again, "evaluation must be deterministic");
         let os = p.baseline_os_size().unwrap();
-        assert!(os < default_size, "-Os beats unoptimized: {os} vs {default_size}");
+        assert!(
+            os < default_size,
+            "-Os beats unoptimized: {os} vs {default_size}"
+        );
         // A short hill climb never returns worse than its own best sample.
         let mut r = rng(11);
         let tuned = hill_climb(&mut p, 30, &mut r);

@@ -118,11 +118,13 @@ impl OpenTunerStyleEnv {
         ));
         std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
         let source_path = dir.join("input.ir");
-        std::fs::write(&source_path, cg_ir::printer::print_module(&m)).map_err(|e| e.to_string())?;
+        std::fs::write(&source_path, cg_ir::printer::print_module(&m))
+            .map_err(|e| e.to_string())?;
         let db_path = dir.join("results.db");
         // "Create a database": seed it with a schema header and sync.
         let mut db = std::fs::File::create(&db_path).map_err(|e| e.to_string())?;
-        db.write_all(b"trial,config,objective\n").map_err(|e| e.to_string())?;
+        db.write_all(b"trial,config,objective\n")
+            .map_err(|e| e.to_string())?;
         db.sync_all().map_err(|e| e.to_string())?;
         let prev_count = m.inst_count() as f64;
         Ok(OpenTunerStyleEnv {

@@ -60,10 +60,18 @@ fn bench_observation_spaces(c: &mut Criterion) {
     let mut g = c.benchmark_group("observation_spaces");
     g.sample_size(20);
     g.bench_function("ir_text", |b| b.iter(|| cg_llvm::observation::ir_text(&m)));
-    g.bench_function("inst_count", |b| b.iter(|| cg_llvm::observation::inst_count(&m)));
-    g.bench_function("autophase", |b| b.iter(|| cg_llvm::observation::autophase(&m)));
-    g.bench_function("inst2vec", |b| b.iter(|| cg_llvm::observation::inst2vec(&m)));
-    g.bench_function("programl", |b| b.iter(|| cg_llvm::observation::programl(&m)));
+    g.bench_function("inst_count", |b| {
+        b.iter(|| cg_llvm::observation::inst_count(&m))
+    });
+    g.bench_function("autophase", |b| {
+        b.iter(|| cg_llvm::observation::autophase(&m))
+    });
+    g.bench_function("inst2vec", |b| {
+        b.iter(|| cg_llvm::observation::inst2vec(&m))
+    });
+    g.bench_function("programl", |b| {
+        b.iter(|| cg_llvm::observation::programl(&m))
+    });
     g.finish();
 }
 
@@ -71,7 +79,13 @@ fn bench_pass_pipeline(c: &mut Criterion) {
     let m = cg_datasets::benchmark("benchmark://cbench-v1/crc32").unwrap();
     let mut g = c.benchmark_group("passes");
     g.sample_size(20);
-    for name in ["mem2reg", "gvn", "sccp", "simplifycfg-aggressive", "inline-100"] {
+    for name in [
+        "mem2reg",
+        "gvn",
+        "sccp",
+        "simplifycfg-aggressive",
+        "inline-100",
+    ] {
         let pass = cg_llvm::pass::find_pass(name).unwrap();
         g.bench_function(name, |b| {
             b.iter(|| {

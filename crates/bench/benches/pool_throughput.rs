@@ -37,14 +37,25 @@ fn jobs(n: usize, length: usize) -> Vec<ActionSeq> {
         state
     };
     let probe = factory()(0).unwrap();
-    let alphabet: Vec<usize> = ["mem2reg", "instcombine", "gvn", "simplifycfg", "sccp", "dce", "licm", "adce"]
-        .iter()
-        .map(|p| probe.action_space().index_of(p).unwrap())
-        .collect();
+    let alphabet: Vec<usize> = [
+        "mem2reg",
+        "instcombine",
+        "gvn",
+        "simplifycfg",
+        "sccp",
+        "dce",
+        "licm",
+        "adce",
+    ]
+    .iter()
+    .map(|p| probe.action_space().index_of(p).unwrap())
+    .collect();
     (0..n)
         .map(|_| ActionSeq {
             benchmark: BENCH.into(),
-            actions: (0..length).map(|_| alphabet[(next() % alphabet.len() as u64) as usize]).collect(),
+            actions: (0..length)
+                .map(|_| alphabet[(next() % alphabet.len() as u64) as usize])
+                .collect(),
         })
         .collect()
 }
@@ -105,5 +116,9 @@ fn bench_incremental_observation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pool_throughput, bench_incremental_observation);
+criterion_group!(
+    benches,
+    bench_pool_throughput,
+    bench_incremental_observation
+);
 criterion_main!(benches);

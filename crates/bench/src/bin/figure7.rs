@@ -7,7 +7,10 @@ use cg_looptool::{Action, LoopNest};
 fn main() {
     let n = 1u64 << 24;
     let gpu = cg_looptool::GpuModel::gp100();
-    println!("Figure 7: loop_tool GPU sweep (N = {n}, capacity = {} threads)", gpu.resident_capacity());
+    println!(
+        "Figure 7: loop_tool GPU sweep (N = {n}, capacity = {} threads)",
+        gpu.resident_capacity()
+    );
     println!("{:>12} {:>12}", "threads", "GFLOPs");
     let mut threads = 32u64;
     while threads <= (1 << 21) {
@@ -30,7 +33,10 @@ fn main() {
         nest.loops[1].size = t;
         nest.normalize();
         nest.loops[1].threaded = true;
-        println!("{t:>12} {:>12.2}  ({frac}% of capacity)", nest.flops_deterministic() / 1e9);
+        println!(
+            "{t:>12} {:>12.2}  ({frac}% of capacity)",
+            nest.flops_deterministic() / 1e9
+        );
     }
     println!("(paper: ~73.5% of peak; performance drop near 100k threads)");
 }

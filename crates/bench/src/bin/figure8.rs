@@ -14,7 +14,11 @@ fn main() {
         .collect();
     eprintln!("generating state transition database over {n_bench} benchmarks…");
     let db = cg_stdb::generate_database(&benchmarks, episodes, steps, 1).unwrap();
-    eprintln!("database: {} steps, {} unique states", db.steps.len(), db.unique_states());
+    eprintln!(
+        "database: {} steps, {} unique states",
+        db.steps.len(),
+        db.unique_states()
+    );
 
     // Build (graph encoding, instruction count) pairs per unique state:
     // parse the stored IR back into modules, build the ProGraML graphs, and
@@ -34,14 +38,25 @@ fn main() {
     let scale = train.iter().map(|(_, t)| *t).fold(1.0f32, f32::max);
     let mut model = ggnn::CostModel::new(scale);
     let naive = ggnn::naive_mean_relative_error(train, val);
-    println!("Figure 8: cost-model convergence ({} train / {} val states)", train.len(), val.len());
+    println!(
+        "Figure 8: cost-model convergence ({} train / {} val states)",
+        train.len(),
+        val.len()
+    );
     println!("{:>8} {:>16}", "epoch", "rel. error");
-    println!("{:>8} {:>16.3}  <- naive mean baseline (paper: 1.393)", "-", naive);
+    println!(
+        "{:>8} {:>16.3}  <- naive mean baseline (paper: 1.393)",
+        "-", naive
+    );
     for epoch in 0..scaled(200, 2000) {
         model.train_epoch(train, 0.005);
         if epoch % scaled(20, 200) == 0 {
             println!("{epoch:>8} {:>16.3}", model.relative_error(val));
         }
     }
-    println!("{:>8} {:>16.3}  <- final (paper: 0.025)", "end", model.relative_error(val));
+    println!(
+        "{:>8} {:>16.3}  <- final (paper: 0.025)",
+        "end",
+        model.relative_error(val)
+    );
 }

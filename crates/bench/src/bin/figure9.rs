@@ -34,7 +34,12 @@ fn main() {
         // checkpoint with cumulative episode counts).
         for (ck, row) in rows.iter_mut().enumerate() {
             let episodes = total_episodes * (ck + 1) / checkpoints;
-            let cfg = TrainConfig { episodes, steps: 45, seed: 0x51AB, ..TrainConfig::default() };
+            let cfg = TrainConfig {
+                episodes,
+                steps: 45,
+                seed: 0x51AB,
+                ..TrainConfig::default()
+            };
             let (p, _) = Algo::Ppo.train(env.as_mut(), dim, &cfg).unwrap();
             row.push(evaluate_geomean(&p, &val, obs, histo));
         }

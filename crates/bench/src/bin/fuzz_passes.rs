@@ -5,7 +5,10 @@ use rand::{Rng as _, SeedableRng as _};
 
 fn main() {
     let space = cg_llvm::action_space::ActionSpace::new();
-    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     for seed in 0..trials {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let uri = format!("benchmark://csmith-v0/{}", rng.gen_range(0..5000));

@@ -8,7 +8,12 @@ fn main() {
             Some(n) => n.to_string(),
             None => "2^32".to_string(),
         };
-        println!("{:<18} {:>14}  {}", d.name, n, if d.runnable { "yes" } else { "no" });
+        println!(
+            "{:<18} {:>14}  {}",
+            d.name,
+            n,
+            if d.runnable { "yes" } else { "no" }
+        );
     }
     println!(
         "Total (excluding generators): {}",

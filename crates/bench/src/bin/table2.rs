@@ -67,8 +67,7 @@ fn main() {
             env.reset().unwrap();
             let mut ap = cg_baselines::AutophaseStyleEnv::new(uri).unwrap();
             let mut ot = cg_baselines::OpenTunerStyleEnv::new(uri).unwrap();
-            let episode: Vec<usize> =
-                (0..30).map(|_| r.gen_range(0..n_actions)).collect();
+            let episode: Vec<usize> = (0..30).map(|_| r.gen_range(0..n_actions)).collect();
             for &a in &episode {
                 cg_step.time(|| env.step(a).unwrap());
                 ap_step.time(|| ap.step(a));
@@ -95,7 +94,12 @@ fn main() {
     println!("{:<22} ", "-- env init --");
     println!("{:<22} {}", "Autophase-style", init_autophase.row());
     println!("{:<22} {}", "OpenTuner-style", init_opentuner.row());
-    println!("{:<22} {}  (cold: {:.3}ms mean)", "CompilerGym (warm)", init_warm.row(), init_cold.mean());
+    println!(
+        "{:<22} {}  (cold: {:.3}ms mean)",
+        "CompilerGym (warm)",
+        init_warm.row(),
+        init_cold.mean()
+    );
     println!("{:<22} ", "-- env step --");
     println!("{:<22} {}", "Autophase-style", ap_step.row());
     println!("{:<22} {}", "OpenTuner-style", ot_step.row());

@@ -48,9 +48,19 @@ fn main() {
         println!("{:<22} {}", s, stats[i].row());
     }
     for (i, s) in rewards.iter().enumerate() {
-        println!("{:<22} {}", format!("{s} (reward)"), stats[spaces.len() + i].row());
+        println!(
+            "{:<22} {}",
+            format!("{s} (reward)"),
+            stats[spaces.len() + i].row()
+        );
     }
-    let fastest = stats.iter().map(WallStats::mean).fold(f64::INFINITY, f64::min);
+    let fastest = stats
+        .iter()
+        .map(WallStats::mean)
+        .fold(f64::INFINITY, f64::min);
     let slowest = stats.iter().map(WallStats::mean).fold(0.0, f64::max);
-    println!("\nRange across spaces: {:.0}x (paper: 192x obs / 4727x rewards)", slowest / fastest.max(1e-9));
+    println!(
+        "\nRange across spaces: {:.0}x (paper: 192x obs / 4727x rewards)",
+        slowest / fastest.max(1e-9)
+    );
 }

@@ -5,12 +5,7 @@
 use cg_autotune as at;
 use cg_bench::{geomean, scaled};
 
-fn tune(
-    technique: &str,
-    benchmarks: &[&str],
-    reward_space: &str,
-    budget: u64,
-) -> f64 {
+fn tune(technique: &str, benchmarks: &[&str], reward_space: &str, budget: u64) -> f64 {
     let mut ratios = Vec::new();
     for name in benchmarks {
         let mut env = cg_core::make("llvm-v0").unwrap();
@@ -20,7 +15,12 @@ fn tune(
         let (init, baseline, best_gain);
         {
             env.reset().unwrap();
-            let ri = env.reward_spaces().iter().find(|x| x.name == reward_space).unwrap().clone();
+            let ri = env
+                .reward_spaces()
+                .iter()
+                .find(|x| x.name == reward_space)
+                .unwrap()
+                .clone();
             init = env.observe(&ri.metric).unwrap().as_scalar().unwrap();
             baseline = env
                 .observe(ri.baseline.as_deref().unwrap())

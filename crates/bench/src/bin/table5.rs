@@ -9,7 +9,10 @@ fn main() {
     let budget = scaled(120, 1000) as u64;
     let techniques: [(&str, u32); 3] = [("Random", 2), ("HillClimb", 9), ("GA", 12)];
     println!("Table V: GCC flag tuning on CHStone ({budget} compilations per benchmark)");
-    println!("{:<12} {:>5} {:>24}", "Technique", "LoC", "geomean objsize vs -Os");
+    println!(
+        "{:<12} {:>5} {:>24}",
+        "Technique", "LoC", "geomean objsize vs -Os"
+    );
     for (t, loc) in techniques {
         let mut ratios = Vec::new();
         for name in cg_datasets::CHSTONE {

@@ -37,8 +37,15 @@ fn main() {
     for algo in algos {
         eprintln!("training {}…", algo.name());
         let mut env = rl_env(train_benchmarks.clone(), "Autophase", true);
-        let cfg = TrainConfig { episodes, steps: 45, seed: 0xC0FFEE, ..TrainConfig::default() };
-        let (policy, _) = algo.train(env.as_mut(), feat_dim("Autophase", true), &cfg).unwrap();
+        let cfg = TrainConfig {
+            episodes,
+            steps: 45,
+            seed: 0xC0FFEE,
+            ..TrainConfig::default()
+        };
+        let (policy, _) = algo
+            .train(env.as_mut(), feat_dim("Autophase", true), &cfg)
+            .unwrap();
         policies.push(policy);
     }
     for ds in datasets {

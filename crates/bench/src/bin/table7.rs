@@ -21,8 +21,15 @@ fn main() {
     for train in families {
         eprintln!("training PPO on {train}…");
         let mut env = rl_env(uris(train, n_train, 0), "Autophase", true);
-        let cfg = TrainConfig { episodes, steps: 45, seed: 0xABCD, ..TrainConfig::default() };
-        let (p, _) = Algo::Ppo.train(env.as_mut(), feat_dim("Autophase", true), &cfg).unwrap();
+        let cfg = TrainConfig {
+            episodes,
+            steps: 45,
+            seed: 0xABCD,
+            ..TrainConfig::default()
+        };
+        let (p, _) = Algo::Ppo
+            .train(env.as_mut(), feat_dim("Autophase", true), &cfg)
+            .unwrap();
         policies.push(p);
     }
     for test in families {

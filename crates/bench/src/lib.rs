@@ -12,12 +12,18 @@ use std::time::Instant;
 
 /// True when `CG_BENCH_FULL=1` requests paper-scale budgets.
 pub fn full_scale() -> bool {
-    std::env::var("CG_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("CG_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Picks a budget by scale.
 pub fn scaled(small: usize, full: usize) -> usize {
-    if full_scale() { full } else { small }
+    if full_scale() {
+        full
+    } else {
+        small
+    }
 }
 
 /// Wall-time statistics in milliseconds.

@@ -14,11 +14,7 @@ pub const EPISODE_STEPS: usize = 45;
 /// benchmarks. `observation` is the base observation space name; when
 /// `histogram` is set the action histogram is concatenated (the Autophase
 /// representation).
-pub fn rl_env(
-    benchmarks: Vec<String>,
-    observation: &str,
-    histogram: bool,
-) -> Box<dyn Env> {
+pub fn rl_env(benchmarks: Vec<String>, observation: &str, histogram: bool) -> Box<dyn Env> {
     let mut env = cg_core::make("llvm-autophase-ic-v0").expect("llvm env");
     env.set_observation_space(observation);
     let subset: Vec<usize> = cg_llvm::action_space::autophase_subset()
@@ -28,7 +24,10 @@ pub fn rl_env(
     let stack = ActionSubset::new(env, subset);
     let stack = CycleOverBenchmarks::new(stack, benchmarks);
     if histogram {
-        Box::new(TimeLimit::new(ConcatActionHistogram::new(stack), EPISODE_STEPS))
+        Box::new(TimeLimit::new(
+            ConcatActionHistogram::new(stack),
+            EPISODE_STEPS,
+        ))
     } else {
         Box::new(TimeLimit::new(stack, EPISODE_STEPS))
     }
@@ -66,12 +65,7 @@ pub fn uris(dataset: &str, count: usize, offset: usize) -> Vec<String> {
 
 /// Evaluates a trained policy on one benchmark: runs a greedy 45-step
 /// episode and returns `oz_size / achieved_size` (>1 beats `-Oz`).
-pub fn evaluate_on(
-    policy: &Policy,
-    uri: &str,
-    observation: &str,
-    histogram: bool,
-) -> Option<f64> {
+pub fn evaluate_on(policy: &Policy, uri: &str, observation: &str, histogram: bool) -> Option<f64> {
     let mut env: CompilerEnv = cg_core::make("llvm-autophase-ic-v0").ok()?;
     env.set_observation_space(observation);
     env.set_benchmark(uri);

@@ -36,7 +36,14 @@ fn usage() -> ExitCode {
          [--inputs N] [--corpus DIR] [--no-corpus] [--budget-secs N]\n          \
          [--reduce-budget N] [--smoke] [--json]\n  \
          cg bench-pool [--workers LIST] [--evaluations N] [--length N] [--benchmark URI]\n                \
-         [--ga-budget N] [--ga-pop N] [--seed S] [--out PATH] [--json]"
+         [--ga-budget N] [--ga-pop N] [--seed S] [--out PATH] [--json]\n  \
+         cg serve [--addr A] [--env E|--spin-us US] [--workers N] [--max-sessions N]\n           \
+         [--tenant-sessions N] [--tenant-aps R] [--burst B] [--queue-depth N]\n           \
+         [--quantum Q] [--max-connections N] [--retry-after-ms MS]\n           \
+         [--drain-grace-ms MS] [--serve-metrics ADDR] [--drain] [--drain-after-ms MS]\n  \
+         cg loadtest [--workers N] [--victims N] [--noisy-clients N] [--tenant-sessions N]\n              \
+         [--spin-us US] [--window-ms MS] [--episode-steps N] [--retry-after-ms MS]\n              \
+         [--out PATH] [--json] [--require-shed] [--min-fairness F] [--max-p99-ratio R]"
     );
     ExitCode::FAILURE
 }
@@ -62,12 +69,16 @@ fn main() -> ExitCode {
         Some("chaos") => chaos(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
         Some("bench-pool") => bench_pool(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("loadtest") => loadtest(&args[1..]),
         Some("datasets") => {
             for d in cg_datasets::datasets() {
                 println!(
                     "{:<18} {:>12}  {}",
                     d.name,
-                    d.len().map(|n| n.to_string()).unwrap_or_else(|| "2^32".into()),
+                    d.len()
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| "2^32".into()),
                     d.description
                 );
             }
@@ -102,8 +113,16 @@ fn describe(env_id: &str) -> Result<(), Box<dyn std::error::Error>> {
             "  {:<24} {:?}{}{}",
             o.name,
             o.kind,
-            if o.deterministic { "" } else { ", nondeterministic" },
-            if o.platform_dependent { ", platform-dependent" } else { "" }
+            if o.deterministic {
+                ""
+            } else {
+                ", nondeterministic"
+            },
+            if o.platform_dependent {
+                ", platform-dependent"
+            } else {
+                ""
+            }
         );
     }
     println!("reward spaces:");
@@ -112,7 +131,10 @@ fn describe(env_id: &str) -> Result<(), Box<dyn std::error::Error>> {
             "  {:<24} metric={}{}",
             r.name,
             r.metric,
-            r.baseline.as_deref().map(|b| format!(", scaled by {b}")).unwrap_or_default()
+            r.baseline
+                .as_deref()
+                .map(|b| format!(", scaled by {b}"))
+                .unwrap_or_default()
         );
     }
     Ok(())
@@ -180,7 +202,11 @@ struct EpisodeArgs {
 
 fn episode_args(positional: &[&String]) -> EpisodeArgs {
     EpisodeArgs {
-        env: positional.first().map(|s| s.as_str()).unwrap_or("llvm-v0").to_string(),
+        env: positional
+            .first()
+            .map(|s| s.as_str())
+            .unwrap_or("llvm-v0")
+            .to_string(),
         bench: positional
             .get(1)
             .map(|s| s.as_str())
@@ -201,8 +227,7 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match a.as_str() {
             "--json" => json = true,
             "--slo-ms" => {
-                slo_ms =
-                    Some(it.next().ok_or("--slo-ms needs a value")?.parse()?);
+                slo_ms = Some(it.next().ok_or("--slo-ms needs a value")?.parse()?);
             }
             _ => positional.push(a),
         }
@@ -376,8 +401,7 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         *families.entry(family).or_insert(0) += 1;
     }
     if !families.is_empty() {
-        let rendered: Vec<String> =
-            families.iter().map(|(f, n)| format!("{f}={n}")).collect();
+        let rendered: Vec<String> = families.iter().map(|(f, n)| format!("{f}={n}")).collect();
         println!("  events by family: {}", rendered.join(" "));
     }
     Ok(())
@@ -398,8 +422,7 @@ fn trace(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 episode = Some(it.next().ok_or("--episode needs an id or `last`")?.clone());
             }
             "--chaos-seed" => {
-                chaos_seed =
-                    Some(it.next().ok_or("--chaos-seed needs a value")?.parse()?);
+                chaos_seed = Some(it.next().ok_or("--chaos-seed needs a value")?.parse()?);
             }
             _ => positional.push(a),
         }
@@ -454,8 +477,11 @@ fn run_traced_episode(
     use std::time::Duration;
 
     let inner = cg_core::envs::session_factory(env_id).map_err(cg_core::CgError::Unknown)?;
-    let timeout =
-        if chaos_seed.is_some() { Duration::from_millis(400) } else { Duration::from_secs(60) };
+    let timeout = if chaos_seed.is_some() {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(60)
+    };
     let factory = match chaos_seed {
         Some(seed) => {
             quiet_chaos_panics();
@@ -527,7 +553,10 @@ fn render_episode(record: &cg_telemetry::EpisodeRecord) {
     let ended = if record.ended_micros == 0 {
         "still open".to_string()
     } else {
-        format!("{} total", fmt_us(record.ended_micros.saturating_sub(record.started_micros)))
+        format!(
+            "{} total",
+            fmt_us(record.ended_micros.saturating_sub(record.started_micros))
+        )
     };
     println!(
         "{} trace(s), {} span(s), {} span(s) dropped, {ended}\n",
@@ -563,8 +592,7 @@ fn render_episode(record: &cg_telemetry::EpisodeRecord) {
             let attrs = if span.attrs.is_empty() {
                 String::new()
             } else {
-                let kv: Vec<String> =
-                    span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let kv: Vec<String> = span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 format!("  {{{}}}", kv.join(", "))
             };
             println!(
@@ -599,8 +627,7 @@ fn export_metrics(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match a.as_str() {
             "--jsonl" => jsonl = true,
             "--slo-ms" => {
-                slo_ms =
-                    Some(it.next().ok_or("--slo-ms needs a value")?.parse()?);
+                slo_ms = Some(it.next().ok_or("--slo-ms needs a value")?.parse()?);
             }
             _ => positional.push(a),
         }
@@ -609,7 +636,8 @@ fn export_metrics(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let tel = cg_telemetry::global();
     tel.reset();
-    tel.slo.configure(Duration::from_millis(slo_ms.unwrap_or(250)), 0.99);
+    tel.slo
+        .configure(Duration::from_millis(slo_ms.unwrap_or(250)), 0.99);
     run_episode(&ep_args.env, &ep_args.bench, ep_args.steps)?;
     let snap = tel.snapshot();
     if jsonl {
@@ -657,7 +685,8 @@ fn fuzz(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
-            it.next().ok_or_else(|| format!("{name} needs a value").into())
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value").into())
         };
         match flag.as_str() {
             "--seed-range" => {
@@ -779,8 +808,18 @@ fn fuzz(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         for d in &report.divergences {
-            println!("\nseed {} [{}{}]: {}", d.seed, d.profile, if d.deopt { ", deopt" } else { "" }, d.failure);
-            println!("  pipeline: {} (sampled {})", d.pipeline.join(" "), d.original_pipeline.len());
+            println!(
+                "\nseed {} [{}{}]: {}",
+                d.seed,
+                d.profile,
+                if d.deopt { ", deopt" } else { "" },
+                d.failure
+            );
+            println!(
+                "  pipeline: {} (sampled {})",
+                d.pipeline.join(" "),
+                d.original_pipeline.len()
+            );
             println!("  reduced IR: {} line(s)", d.ir_lines);
             if let Some(p) = &d.repro_path {
                 println!("  reproducer: {}", p.display());
@@ -821,11 +860,15 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut breaker_cooldown_ms: u64 = 250;
     let mut serve_metrics_addr: Option<String> = None;
     let mut linger_ms: u64 = 0;
+    let mut stampede = false;
+    let mut stampede_size: usize = 32;
+    let mut soak_ms: u64 = 1_500;
     let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
-            it.next().ok_or_else(|| format!("{name} needs a value").into())
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value").into())
         };
         match flag.as_str() {
             "--episodes" => episodes = val("--episodes")?.parse()?,
@@ -854,9 +897,8 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                         "corrupt" => corrupt_prob = 0.04,
                         "wedge" => wedge_prob = 0.03,
                         "slow-growth" => slow_growth_prob = 0.10,
-                        other => {
-                            return Err(format!("unknown fault kind `{other}`").into())
-                        }
+                        "stampede" => stampede = true,
+                        other => return Err(format!("unknown fault kind `{other}`").into()),
                     }
                 }
             }
@@ -871,10 +913,26 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             "--serve-metrics" => serve_metrics_addr = Some(val("--serve-metrics")?.clone()),
             "--linger-ms" => linger_ms = val("--linger-ms")?.parse()?,
+            "--stampede-size" => stampede_size = val("--stampede-size")?.parse()?,
+            "--soak-ms" => soak_ms = val("--soak-ms")?.parse()?,
             "--json" => json = true,
             other => return Err(format!("unknown chaos flag `{other}`").into()),
         }
     }
+    // `--faults stampede` switches to the front-door soak: a broker-mode
+    // server with established tenants, hit by bursts of simultaneous
+    // connects. Per-apply fault kinds don't exist there.
+    if stampede {
+        return chaos_stampede(StampedeOpts {
+            soak_ms,
+            stampede_size,
+            seed,
+            json,
+            serve_metrics_addr,
+            linger_ms,
+        });
+    }
+
     // Each fault kind needs its matching containment rung; wire the default
     // when the user selected the fault but no explicit limit.
     if slow_growth_prob > 0.0 && max_growth == 0.0 {
@@ -1154,7 +1212,8 @@ fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
-            it.next().ok_or_else(|| format!("{name} needs a value").into())
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value").into())
         };
         match flag.as_str() {
             "--workers" => {
@@ -1298,9 +1357,15 @@ fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let eval_many = |pool: &EnvPool, pts: &[Vec<usize>]| -> Vec<f64> {
             let seqs = pts
                 .iter()
-                .map(|p| ActionSeq { benchmark: benchmark.clone(), actions: p.clone() })
+                .map(|p| ActionSeq {
+                    benchmark: benchmark.clone(),
+                    actions: p.clone(),
+                })
                 .collect();
-            pool.evaluate_batch(seqs).into_iter().map(|o| o.score).collect()
+            pool.evaluate_batch(seqs)
+                .into_iter()
+                .map(|o| o.score)
+                .collect()
         };
         let population = ga_pop.max(4);
         let batch = ga_workers * 2;
@@ -1324,7 +1389,9 @@ fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             let mut next: Vec<(Vec<usize>, f64)> =
                 pop.iter().take(population / 8 + 1).cloned().collect();
             while next.len() < population && evals < ga_budget {
-                let k = batch.min(population - next.len()).min((ga_budget - evals) as usize);
+                let k = batch
+                    .min(population - next.len())
+                    .min((ga_budget - evals) as usize);
                 let children: Vec<Vec<usize>> = (0..k)
                     .map(|_| {
                         let pick = |rng: &mut StdRng, pop: &[(Vec<usize>, f64)]| {
@@ -1370,7 +1437,9 @@ fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let report = Report {
-        cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         benchmark,
         length,
         workers: points,
@@ -1392,7 +1461,10 @@ fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if json {
         println!("{rendered}");
     } else {
-        println!("bench-pool on {} ({} cpus), {} evaluations of length {}:", report.benchmark, report.cpus, evaluations, report.length);
+        println!(
+            "bench-pool on {} ({} cpus), {} evaluations of length {}:",
+            report.benchmark, report.cpus, evaluations, report.length
+        );
         println!(
             "  {:>7} {:>14} {:>14} {:>14} {:>7}",
             "workers", "evals/sec", "batch wall", "episodes/sec", "errors"
@@ -1416,7 +1488,10 @@ fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "  cache hits={} prefix hits={} best: cached={:+.4} uncached={:+.4}",
-            report.ga.cache_hits, report.ga.prefix_hits, report.ga.best_cached, report.ga.best_uncached
+            report.ga.cache_hits,
+            report.ga.prefix_hits,
+            report.ga.best_cached,
+            report.ga.best_uncached
         );
         println!("\nreport written to {out_path}");
     }
@@ -1432,7 +1507,1125 @@ fn replay(path: Option<&str>, validate: bool) -> Result<(), Box<dyn std::error::
         println!("OK: state is reproducible and the reward checks out");
     } else {
         let env = state.replay()?;
-        println!("replayed {} actions, reward {:+.4}", state.actions.len(), env.episode_reward());
+        println!(
+            "replayed {} actions, reward {:+.4}",
+            state.actions.len(),
+            env.episode_reward()
+        );
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The multi-tenant front door: `cg serve`, `cg loadtest`, and the
+// `stampede` chaos mode. All three drive `cg_core::Broker` — the bounded
+// worker fleet with admission control — over real TCP connections.
+// ---------------------------------------------------------------------------
+
+/// A synthetic compilation session that busy-spins a fixed duration per
+/// applied action. Service time is constant and CPU-bound, so front-door
+/// latency and fairness numbers measure the broker, not compiler noise.
+struct SpinSession {
+    steps: u64,
+    spin: std::time::Duration,
+}
+
+impl cg_core::CompilationSession for SpinSession {
+    fn action_spaces(&self) -> Vec<cg_core::ActionSpaceInfo> {
+        vec![cg_core::ActionSpaceInfo {
+            name: "Spin".into(),
+            actions: (0..16).map(|i| format!("spin-{i}")).collect(),
+        }]
+    }
+
+    fn observation_spaces(&self) -> Vec<cg_core::ObservationSpaceInfo> {
+        Vec::new()
+    }
+
+    fn reward_spaces(&self) -> Vec<cg_core::RewardSpaceInfo> {
+        Vec::new()
+    }
+
+    fn init(&mut self, _benchmark: &str, _action_space: usize) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn apply_action(&mut self, _action: usize) -> Result<cg_core::session::ActionOutcome, String> {
+        let until = std::time::Instant::now() + self.spin;
+        while std::time::Instant::now() < until {
+            std::hint::spin_loop();
+        }
+        self.steps += 1;
+        Ok(cg_core::session::ActionOutcome {
+            end_of_episode: false,
+            action_space_changed: false,
+            changed: true,
+        })
+    }
+
+    fn observe(&mut self, _space: &str) -> Result<cg_core::Observation, String> {
+        Ok(cg_core::Observation::Scalar(self.steps as f64))
+    }
+
+    fn fork(&self) -> Box<dyn cg_core::CompilationSession> {
+        Box::new(SpinSession {
+            steps: self.steps,
+            spin: self.spin,
+        })
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.steps.to_le_bytes().to_vec())
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let bytes: [u8; 8] = state
+            .try_into()
+            .map_err(|_| "bad spin-session snapshot".to_string())?;
+        self.steps = u64::from_le_bytes(bytes);
+        Ok(())
+    }
+}
+
+/// A factory of [`SpinSession`]s with the given per-action cost.
+fn spin_factory(spin_us: u64) -> cg_core::service::SessionFactory {
+    let spin = std::time::Duration::from_micros(spin_us);
+    std::sync::Arc::new(move || Box::new(SpinSession { steps: 0, spin }))
+}
+
+/// Calls through a raw [`cg_core::service::TcpClient`], absorbing typed
+/// `Overloaded` refusals in place: count the refusal, sleep at least the
+/// server-advised `retry_after_ms` (the policy's jittered exponential
+/// backoff applies on top), and re-issue — up to the policy's attempt
+/// count. Every other outcome is returned as-is. This is the well-behaved
+/// tenant the front door is designed for.
+fn call_absorbing_overload(
+    client: &mut cg_core::service::TcpClient,
+    req: &cg_core::service::Request,
+    policy: &cg_core::RetryPolicy,
+    refusals: &mut u64,
+) -> Result<cg_core::service::Response, cg_core::CgError> {
+    let mut attempt = 0u32;
+    loop {
+        match client.call(req) {
+            Err(cg_core::CgError::Overloaded {
+                retry_after_ms,
+                reason,
+            }) => {
+                *refusals += 1;
+                if attempt + 1 >= policy.max_attempts.max(1) {
+                    return Err(cg_core::CgError::Overloaded {
+                        retry_after_ms,
+                        reason,
+                    });
+                }
+                attempt += 1;
+                std::thread::sleep(
+                    policy.backoff_with_floor(
+                        attempt,
+                        std::time::Duration::from_millis(retry_after_ms),
+                    ),
+                );
+            }
+            other => return other,
+        }
+    }
+}
+
+/// The `p`-th percentile (0–100) of a latency sample, in the sample's
+/// units. Sorts in place; an empty sample reads as 0.
+fn percentile_us(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}
+
+/// Jain's fairness index over per-tenant throughput: `(Σx)² / (n·Σx²)`.
+/// 1.0 when perfectly even, `1/n` when one tenant takes everything.
+fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq <= f64::EPSILON {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+/// `cg serve`: run the broker front door on a TCP address; with `--drain`,
+/// ask an already-running server to checkpoint its sessions and exit.
+fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::time::Duration;
+
+    let mut addr = "127.0.0.1:4567".to_string();
+    let mut env_name = "llvm-v0".to_string();
+    let mut workers: usize = 4;
+    let mut max_sessions: usize = 512;
+    let mut tenant_sessions: usize = 8;
+    let mut tenant_aps: f64 = 0.0;
+    let mut burst: f64 = 64.0;
+    let mut queue_depth: usize = 64;
+    let mut quantum: u64 = 8;
+    let mut max_connections: usize = cg_core::service::DEFAULT_MAX_TCP_CONNECTIONS;
+    let mut retry_after_ms: u64 = 50;
+    let mut drain_grace_ms: u64 = 5_000;
+    let mut spin_us: u64 = 0;
+    let mut serve_metrics_addr: Option<String> = None;
+    let mut drain = false;
+    let mut drain_after_ms: u64 = 0;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--addr" => addr = val("--addr")?.clone(),
+            "--env" => env_name = val("--env")?.clone(),
+            "--workers" => workers = val("--workers")?.parse()?,
+            "--max-sessions" => max_sessions = val("--max-sessions")?.parse()?,
+            "--tenant-sessions" => tenant_sessions = val("--tenant-sessions")?.parse()?,
+            "--tenant-aps" => tenant_aps = val("--tenant-aps")?.parse()?,
+            "--burst" => burst = val("--burst")?.parse()?,
+            "--queue-depth" => queue_depth = val("--queue-depth")?.parse()?,
+            "--quantum" => quantum = val("--quantum")?.parse()?,
+            "--max-connections" => max_connections = val("--max-connections")?.parse()?,
+            "--retry-after-ms" => retry_after_ms = val("--retry-after-ms")?.parse()?,
+            "--drain-grace-ms" => drain_grace_ms = val("--drain-grace-ms")?.parse()?,
+            "--spin-us" => spin_us = val("--spin-us")?.parse()?,
+            "--serve-metrics" => serve_metrics_addr = Some(val("--serve-metrics")?.clone()),
+            "--drain" => drain = true,
+            "--drain-after-ms" => drain_after_ms = val("--drain-after-ms")?.parse()?,
+            other => return Err(format!("unknown serve flag `{other}`").into()),
+        }
+    }
+
+    if drain {
+        // Client mode: block until the server has checkpointed everything
+        // live and is safe to kill.
+        let mut client = cg_core::service::TcpClient::connect_with_policy(
+            &addr,
+            Duration::from_secs(600),
+            cg_core::RetryPolicy::none(),
+        )?;
+        return match client.call(&cg_core::service::Request::Shutdown)? {
+            cg_core::service::Response::Ok => {
+                println!("server at {addr} drained");
+                Ok(())
+            }
+            other => Err(format!("unexpected drain reply: {other:?}").into()),
+        };
+    }
+
+    if let Some(maddr) = &serve_metrics_addr {
+        let bound = cg_telemetry::export::spawn_metrics_server(maddr)?;
+        eprintln!("serving metrics on http://{bound}/metrics");
+    }
+    let factory: cg_core::service::SessionFactory = if spin_us > 0 {
+        spin_factory(spin_us)
+    } else {
+        cg_core::envs::session_factory(&env_name).map_err(cg_core::CgError::Unknown)?
+    };
+    let grace = Duration::from_millis(drain_grace_ms.max(1));
+    let cfg = cg_core::BrokerConfig {
+        workers,
+        max_sessions,
+        max_queue_depth: queue_depth,
+        max_connections,
+        quantum,
+        retry_after_ms,
+        drain_grace: grace,
+        quota: cg_core::TenantQuota {
+            max_sessions: tenant_sessions,
+            actions_per_sec: tenant_aps,
+            burst,
+        },
+        ..cg_core::BrokerConfig::default()
+    };
+    let listener = std::net::TcpListener::bind(&addr)?;
+    let bound = listener.local_addr()?;
+    println!(
+        "cg serve: front door on {bound} — {workers} workers, \
+         {tenant_sessions} sessions/tenant, queue depth {queue_depth}; \
+         stop with `cg serve --drain --addr {bound}`"
+    );
+    let broker = cg_core::Broker::new(factory, cfg);
+    if drain_after_ms > 0 {
+        // Test hook: self-drain after a fixed delay so scripts can exercise
+        // the full drain path without a second process.
+        let self_drain = broker.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(drain_after_ms));
+            self_drain.drain(grace);
+        });
+    }
+    broker.serve(listener)?;
+    // Serve only returns once drained; fetch the stored report.
+    let report = broker.drain(Duration::ZERO);
+    println!(
+        "cg serve: drained — {} live sessions checkpointed, {} queued requests shed",
+        report.checkpointed, report.shed_queued
+    );
+    Ok(())
+}
+
+/// What one well-behaved tenant saw during a measurement window.
+struct VictimStats {
+    latencies_us: Vec<u64>,
+    episodes: u64,
+    steps: u64,
+    refusals: u64,
+    errors: Vec<String>,
+}
+
+/// Runs episodes against the front door as one tenant until the window
+/// closes: start a session, step it `episode_steps` times, end it, repeat.
+/// Typed refusals are absorbed with server-advised backoff; anything else
+/// lands in `errors` (the loadtest treats those as unrecovered).
+fn drive_victim(
+    addr: &str,
+    tenant: &str,
+    seed: u64,
+    window: std::time::Duration,
+    episode_steps: u64,
+) -> VictimStats {
+    use cg_core::service::{Request, Response, TcpClient};
+    use std::time::{Duration, Instant};
+
+    let mut out = VictimStats {
+        latencies_us: Vec::new(),
+        episodes: 0,
+        steps: 0,
+        refusals: 0,
+        errors: Vec::new(),
+    };
+    let policy = cg_core::RetryPolicy::default()
+        .with_max_attempts(10)
+        .with_backoff(Duration::from_millis(2), Duration::from_millis(100))
+        .with_jitter(0.25, seed);
+    let mut client = match TcpClient::connect_with_policy(
+        addr,
+        Duration::from_secs(10),
+        cg_core::RetryPolicy::none(),
+    ) {
+        Ok(client) => client,
+        Err(e) => {
+            out.errors.push(format!("{tenant}: connect: {e}"));
+            return out;
+        }
+    };
+    client.set_tenant(tenant);
+    let deadline = Instant::now() + window;
+    'episodes: while Instant::now() < deadline {
+        let start = Request::StartSession {
+            benchmark: "benchmark://spin/loadtest".into(),
+            action_space: 0,
+        };
+        let sid = match call_absorbing_overload(&mut client, &start, &policy, &mut out.refusals) {
+            Ok(Response::SessionStarted { session_id }) => session_id,
+            Ok(other) => {
+                out.errors
+                    .push(format!("{tenant}: start: unexpected {other:?}"));
+                break;
+            }
+            Err(e) => {
+                out.errors.push(format!("{tenant}: start: {e}"));
+                break;
+            }
+        };
+        for _ in 0..episode_steps {
+            let step = Request::Step {
+                session_id: sid,
+                actions: vec![0],
+                observation_spaces: Vec::new(),
+            };
+            let issued = Instant::now();
+            match call_absorbing_overload(&mut client, &step, &policy, &mut out.refusals) {
+                Ok(Response::Stepped { .. }) => {
+                    out.latencies_us.push(issued.elapsed().as_micros() as u64);
+                    out.steps += 1;
+                }
+                Ok(other) => {
+                    out.errors
+                        .push(format!("{tenant}: step: unexpected {other:?}"));
+                    break 'episodes;
+                }
+                Err(e) => {
+                    out.errors.push(format!("{tenant}: step: {e}"));
+                    break 'episodes;
+                }
+            }
+        }
+        let _ = client.call(&Request::EndSession { session_id: sid });
+        out.episodes += 1;
+    }
+    out
+}
+
+/// Runs one victim tenant per thread for a measurement window.
+fn run_victim_window(
+    addr: &str,
+    victims: usize,
+    window: std::time::Duration,
+    episode_steps: u64,
+    seed_base: u64,
+) -> Vec<VictimStats> {
+    let handles: Vec<_> = (0..victims)
+        .map(|v| {
+            let addr = addr.to_string();
+            let tenant = format!("victim-{v}");
+            std::thread::spawn(move || {
+                drive_victim(&addr, &tenant, seed_base + v as u64, window, episode_steps)
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| {
+            h.join().unwrap_or_else(|_| VictimStats {
+                latencies_us: Vec::new(),
+                episodes: 0,
+                steps: 0,
+                refusals: 0,
+                errors: vec!["victim thread panicked".into()],
+            })
+        })
+        .collect()
+}
+
+/// One greedy client on the noisy tenant: hold a session whenever the door
+/// allows, hammer `Step` flat out, and retry refusals as fast as the
+/// server-advised delay permits. Returns (steps, typed refusals).
+fn drive_noisy(addr: &str, stop: &std::sync::atomic::AtomicBool) -> (u64, u64) {
+    use cg_core::service::{Request, Response, TcpClient};
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    let mut steps = 0u64;
+    let mut refusals = 0u64;
+    let Ok(mut client) =
+        TcpClient::connect_with_policy(addr, Duration::from_secs(10), cg_core::RetryPolicy::none())
+    else {
+        return (0, 0);
+    };
+    client.set_tenant("noisy");
+    let mut sid: Option<u64> = None;
+    while !stop.load(Ordering::Relaxed) {
+        match sid {
+            None => {
+                let start = Request::StartSession {
+                    benchmark: "benchmark://spin/noisy".into(),
+                    action_space: 0,
+                };
+                match client.call(&start) {
+                    Ok(Response::SessionStarted { session_id }) => sid = Some(session_id),
+                    Err(cg_core::CgError::Overloaded { retry_after_ms, .. }) => {
+                        refusals += 1;
+                        std::thread::sleep(Duration::from_millis(retry_after_ms.min(50)));
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            Some(id) => {
+                let step = Request::Step {
+                    session_id: id,
+                    actions: vec![0],
+                    observation_spaces: Vec::new(),
+                };
+                match client.call(&step) {
+                    Ok(Response::Stepped { .. }) => steps += 1,
+                    Err(cg_core::CgError::Overloaded { retry_after_ms, .. }) => {
+                        refusals += 1;
+                        std::thread::sleep(Duration::from_millis(retry_after_ms.min(50)));
+                    }
+                    _ => sid = None,
+                }
+            }
+        }
+    }
+    if let Some(id) = sid {
+        let _ = client.call(&Request::EndSession { session_id: id });
+    }
+    (steps, refusals)
+}
+
+/// `cg loadtest`: measure the front door under deliberate multi-tenant
+/// overload. Three phases against an in-process broker over real TCP:
+///
+/// * **A (uncontended)** — `--victims` well-behaved tenants run episodes
+///   alone, establishing baseline step latency;
+/// * **B (contended)** — the same victims run while `--noisy-clients`
+///   connections on one tenant hammer the door (more clients than the
+///   tenant's session quota, so typed refusals are guaranteed);
+/// * **C (drain)** — fresh sessions are parked and the broker drains,
+///   proving graceful degradation checkpoints live work.
+///
+/// Emits a JSON report (`--out`, the committed `BENCH_service.json`) with
+/// p50/p99 step latency per phase, episodes/s, refusal/shed counts, the
+/// victim p99 contended/uncontended ratio, and Jain's fairness index over
+/// victim throughput. `--require-shed`, `--min-fairness` and
+/// `--max-p99-ratio` turn the report into a pass/fail gate for CI.
+fn loadtest(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use cg_core::service::{Request, Response, TcpClient};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let mut workers: usize = 6;
+    let mut victims: usize = 3;
+    let mut noisy_clients: usize = 4;
+    let mut tenant_sessions: usize = 2;
+    let mut spin_us: u64 = 300;
+    let mut window_ms: u64 = 1_500;
+    let mut episode_steps: u64 = 20;
+    let mut retry_after_ms: u64 = 25;
+    let mut queue_depth: usize = 64;
+    let mut out_path: Option<String> = None;
+    let mut json = false;
+    let mut require_shed = false;
+    let mut min_fairness: f64 = 0.0;
+    let mut max_p99_ratio: f64 = 0.0;
+    let mut serve_metrics_addr: Option<String> = None;
+    let mut linger_ms: u64 = 0;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--workers" => workers = val("--workers")?.parse()?,
+            "--victims" => victims = val("--victims")?.parse()?,
+            "--noisy-clients" => noisy_clients = val("--noisy-clients")?.parse()?,
+            "--tenant-sessions" => tenant_sessions = val("--tenant-sessions")?.parse()?,
+            "--spin-us" => spin_us = val("--spin-us")?.parse()?,
+            "--window-ms" => window_ms = val("--window-ms")?.parse()?,
+            "--episode-steps" => episode_steps = val("--episode-steps")?.parse()?,
+            "--retry-after-ms" => retry_after_ms = val("--retry-after-ms")?.parse()?,
+            "--queue-depth" => queue_depth = val("--queue-depth")?.parse()?,
+            "--out" => out_path = Some(val("--out")?.clone()),
+            "--json" => json = true,
+            "--require-shed" => require_shed = true,
+            "--min-fairness" => min_fairness = val("--min-fairness")?.parse()?,
+            "--max-p99-ratio" => max_p99_ratio = val("--max-p99-ratio")?.parse()?,
+            "--serve-metrics" => serve_metrics_addr = Some(val("--serve-metrics")?.clone()),
+            "--linger-ms" => linger_ms = val("--linger-ms")?.parse()?,
+            other => return Err(format!("unknown loadtest flag `{other}`").into()),
+        }
+    }
+
+    let tel = cg_telemetry::global();
+    tel.reset();
+    if let Some(maddr) = &serve_metrics_addr {
+        let bound = cg_telemetry::export::spawn_metrics_server(maddr)?;
+        eprintln!("serving metrics on http://{bound}/metrics");
+    }
+
+    let cfg = cg_core::BrokerConfig {
+        workers,
+        max_queue_depth: queue_depth,
+        retry_after_ms,
+        quota: cg_core::TenantQuota {
+            max_sessions: tenant_sessions,
+            ..cg_core::TenantQuota::default()
+        },
+        ..cg_core::BrokerConfig::default()
+    };
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let broker = cg_core::Broker::new(spin_factory(spin_us), cfg);
+    let server = {
+        let broker = broker.clone();
+        std::thread::spawn(move || broker.serve(listener))
+    };
+    let window = Duration::from_millis(window_ms.max(100));
+
+    // Phase A: uncontended baseline.
+    eprintln!(
+        "loadtest: phase A — {victims} victim tenants alone for {}ms",
+        window.as_millis()
+    );
+    let baseline = run_victim_window(&addr, victims, window, episode_steps, 0xA11CE);
+
+    // Phase B: the same victims under a noisy tenant's stampede. More
+    // noisy clients than the tenant's session quota guarantees the door
+    // refuses (typed) no matter how the race lands.
+    eprintln!("loadtest: phase B — plus {noisy_clients} noisy clients on one tenant");
+    let stop = Arc::new(AtomicBool::new(false));
+    let noisy: Vec<_> = (0..noisy_clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || drive_noisy(&addr, &stop))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100)); // let the noise establish
+    let contended = run_victim_window(&addr, victims, window, episode_steps, 0xB0B);
+    stop.store(true, Ordering::Relaxed);
+    let mut noisy_steps = 0u64;
+    let mut noisy_refusals = 0u64;
+    for handle in noisy {
+        let (steps, refusals) = handle.join().unwrap_or((0, 0));
+        noisy_steps += steps;
+        noisy_refusals += refusals;
+    }
+
+    // Phase C: park fresh live sessions and drain gracefully under them.
+    eprintln!("loadtest: phase C — drain with live sessions parked");
+    let mut parked = Vec::new();
+    for v in 0..victims {
+        let Ok(mut client) = TcpClient::connect_with_policy(
+            &addr,
+            Duration::from_secs(10),
+            cg_core::RetryPolicy::none(),
+        ) else {
+            continue;
+        };
+        client.set_tenant(&format!("victim-{v}"));
+        let start = Request::StartSession {
+            benchmark: "benchmark://spin/parked".into(),
+            action_space: 0,
+        };
+        if let Ok(Response::SessionStarted { session_id }) = client.call(&start) {
+            let _ = client.call(&Request::Step {
+                session_id,
+                actions: vec![0],
+                observation_spaces: Vec::new(),
+            });
+            parked.push(client); // hold the connection open across the drain
+        }
+    }
+    let parked_sessions = parked.len();
+    let drain = broker.drain(Duration::from_secs(5));
+    let _ = server.join();
+    drop(parked);
+
+    // Distill the phases.
+    let mut base_lat: Vec<u64> = baseline
+        .iter()
+        .flat_map(|v| v.latencies_us.iter().copied())
+        .collect();
+    let mut cont_lat: Vec<u64> = contended
+        .iter()
+        .flat_map(|v| v.latencies_us.iter().copied())
+        .collect();
+    let window_secs = window.as_secs_f64();
+    let phase = |stats: &[VictimStats], lat: &mut [u64]| Phase {
+        episodes: stats.iter().map(|v| v.episodes).sum(),
+        steps: stats.iter().map(|v| v.steps).sum(),
+        episodes_per_sec: stats.iter().map(|v| v.episodes).sum::<u64>() as f64 / window_secs,
+        p50_step_us: percentile_us(lat, 50.0),
+        p99_step_us: percentile_us(lat, 99.0),
+        typed_refusals: stats.iter().map(|v| v.refusals).sum(),
+    };
+    let uncontended = phase(&baseline, &mut base_lat);
+    let contended_phase = phase(&contended, &mut cont_lat);
+    let p99_ratio = if uncontended.p99_step_us == 0 {
+        0.0
+    } else {
+        contended_phase.p99_step_us as f64 / uncontended.p99_step_us as f64
+    };
+    let fairness = jain_fairness(
+        &contended
+            .iter()
+            .map(|v| v.episodes as f64)
+            .collect::<Vec<_>>(),
+    );
+    let unrecovered: Vec<String> = baseline
+        .iter()
+        .chain(contended.iter())
+        .flat_map(|v| v.errors.clone())
+        .collect();
+
+    #[derive(serde::Serialize)]
+    struct Phase {
+        episodes: u64,
+        steps: u64,
+        episodes_per_sec: f64,
+        p50_step_us: u64,
+        p99_step_us: u64,
+        typed_refusals: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct LoadtestReport {
+        workers: usize,
+        victim_tenants: usize,
+        noisy_clients: usize,
+        tenant_sessions: usize,
+        spin_us: u64,
+        window_ms: u64,
+        episode_steps: u64,
+        uncontended: Phase,
+        contended: Phase,
+        /// Victim p99 step latency, contended over uncontended.
+        p99_ratio: f64,
+        /// Jain's fairness index over victim episode throughput under load.
+        fairness: f64,
+        noisy_steps: u64,
+        noisy_refusals: u64,
+        broker_admitted: u64,
+        broker_refused: u64,
+        broker_shed: u64,
+        broker_quota_refusals: u64,
+        parked_sessions: usize,
+        drain: cg_core::DrainReport,
+        unrecovered: Vec<String>,
+    }
+    let report = LoadtestReport {
+        workers,
+        victim_tenants: victims,
+        noisy_clients,
+        tenant_sessions,
+        spin_us,
+        window_ms,
+        episode_steps,
+        uncontended,
+        contended: contended_phase,
+        p99_ratio,
+        fairness,
+        noisy_steps,
+        noisy_refusals,
+        broker_admitted: tel.broker.admitted.get(),
+        broker_refused: tel.broker.refused.get(),
+        broker_shed: tel.broker.shed.get(),
+        broker_quota_refusals: tel.broker.quota_refusals.get(),
+        parked_sessions,
+        drain,
+        unrecovered,
+    };
+
+    let rendered = serde_json::to_string_pretty(&report)?;
+    if let Some(path) = &out_path {
+        std::fs::write(path, format!("{rendered}\n"))?;
+        eprintln!("loadtest: report written to {path}");
+    }
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "loadtest: {} victims × {}ms windows, {} noisy clients (quota {})",
+            report.victim_tenants, report.window_ms, report.noisy_clients, report.tenant_sessions
+        );
+        println!(
+            "  uncontended: {} episodes ({:.1}/s), step p50 {}µs p99 {}µs",
+            report.uncontended.episodes,
+            report.uncontended.episodes_per_sec,
+            report.uncontended.p50_step_us,
+            report.uncontended.p99_step_us
+        );
+        println!(
+            "  contended:   {} episodes ({:.1}/s), step p50 {}µs p99 {}µs — p99 ratio {:.2}",
+            report.contended.episodes,
+            report.contended.episodes_per_sec,
+            report.contended.p50_step_us,
+            report.contended.p99_step_us,
+            report.p99_ratio
+        );
+        println!(
+            "  fairness {:.3}; noisy tenant: {} steps, {} typed refusals",
+            report.fairness, report.noisy_steps, report.noisy_refusals
+        );
+        println!(
+            "  door: {} admitted, {} refused ({} quota), {} shed; drain checkpointed {} \
+             ({} parked), shed {} queued",
+            report.broker_admitted,
+            report.broker_refused,
+            report.broker_quota_refusals,
+            report.broker_shed,
+            report.drain.checkpointed,
+            report.parked_sessions,
+            report.drain.shed_queued
+        );
+        if !report.unrecovered.is_empty() {
+            println!("  unrecovered ({}):", report.unrecovered.len());
+            for e in &report.unrecovered {
+                println!("    {e}");
+            }
+        }
+    }
+
+    if linger_ms > 0 {
+        std::thread::sleep(Duration::from_millis(linger_ms));
+    }
+
+    // Gates.
+    let mut failures = Vec::new();
+    if !report.unrecovered.is_empty() {
+        failures.push(format!(
+            "{} unrecovered victim errors",
+            report.unrecovered.len()
+        ));
+    }
+    if require_shed && report.broker_refused + report.broker_shed == 0 {
+        failures.push("deliberate overload produced zero refusals or sheds".to_string());
+    }
+    if min_fairness > 0.0 && report.fairness < min_fairness {
+        failures.push(format!(
+            "fairness {:.3} below required {min_fairness:.3}",
+            report.fairness
+        ));
+    }
+    if max_p99_ratio > 0.0 && report.p99_ratio > max_p99_ratio {
+        failures.push(format!(
+            "victim p99 ratio {:.2} above allowed {max_p99_ratio:.2}",
+            report.p99_ratio
+        ));
+    }
+    if parked_sessions > 0 && report.drain.checkpointed < parked_sessions {
+        failures.push(format!(
+            "drain checkpointed {} of {parked_sessions} parked sessions",
+            report.drain.checkpointed
+        ));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; ").into())
+    }
+}
+
+/// Inputs to the stampede front-door soak, carved off `cg chaos` flags.
+struct StampedeOpts {
+    soak_ms: u64,
+    stampede_size: usize,
+    seed: u64,
+    json: bool,
+    serve_metrics_addr: Option<String>,
+    linger_ms: u64,
+}
+
+/// What happened to one stampeding connect.
+enum StampedeFate {
+    /// Refused with a typed in-band `Overloaded` frame — the contract.
+    TypedRefusal,
+    /// Admitted under the connection cap and served a `Ping`.
+    Admitted,
+    /// Anything else: a hang, a dropped connection, a garbled frame.
+    Untyped(String),
+}
+
+/// One stampeding connect, framed by hand so it can *read first*: a
+/// connection refused at the cap is answered immediately with an
+/// `Overloaded` frame and closed, while an admitted one stays silent
+/// awaiting a request — which the read timeout classifies. Admitted
+/// connects then prove they are actually served by round-tripping a Ping.
+fn stampede_connect(addr: &str) -> StampedeFate {
+    use std::io::{Read, Write};
+    use std::time::Duration;
+
+    fn read_frame_raw(stream: &mut std::net::TcpStream) -> std::io::Result<Vec<u8>> {
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len)?;
+        let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+        stream.read_exact(&mut body)?;
+        Ok(body)
+    }
+
+    let mut stream = match std::net::TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => return StampedeFate::Untyped(format!("connect: {e}")),
+    };
+    if let Err(e) = stream.set_read_timeout(Some(Duration::from_millis(500))) {
+        return StampedeFate::Untyped(format!("set timeout: {e}"));
+    }
+    match read_frame_raw(&mut stream) {
+        Ok(frame) => match serde_json::from_slice::<cg_core::service::Response>(&frame) {
+            Ok(cg_core::service::Response::Overloaded { .. }) => StampedeFate::TypedRefusal,
+            Ok(other) => StampedeFate::Untyped(format!("unsolicited reply: {other:?}")),
+            Err(e) => StampedeFate::Untyped(format!("garbled refusal frame: {e}")),
+        },
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            // Silence means admitted: the server is waiting for a request.
+            let ping = match serde_json::to_vec(&cg_core::service::Request::Ping) {
+                Ok(bytes) => bytes,
+                Err(e) => return StampedeFate::Untyped(format!("encode ping: {e}")),
+            };
+            let frame = (ping.len() as u32).to_le_bytes();
+            if let Err(e) = stream
+                .write_all(&frame)
+                .and_then(|()| stream.write_all(&ping))
+            {
+                return StampedeFate::Untyped(format!("send ping: {e}"));
+            }
+            match read_frame_raw(&mut stream) {
+                Ok(frame) => match serde_json::from_slice::<cg_core::service::Response>(&frame) {
+                    Ok(cg_core::service::Response::Pong) => StampedeFate::Admitted,
+                    Ok(cg_core::service::Response::Overloaded { .. }) => StampedeFate::TypedRefusal,
+                    Ok(other) => StampedeFate::Untyped(format!("ping answered {other:?}")),
+                    Err(e) => StampedeFate::Untyped(format!("garbled pong: {e}")),
+                },
+                Err(e) => StampedeFate::Untyped(format!("ping read: {e}")),
+            }
+        }
+        Err(e) => StampedeFate::Untyped(format!("read: {e}")),
+    }
+}
+
+/// The `stampede` front-door fault (`cg chaos --faults stampede`): a
+/// broker server with established tenant sessions is hit mid-soak by
+/// bursts of simultaneous connects. Passes when every established session
+/// keeps stepping through the bursts, every excess connect is refused with
+/// a typed `Overloaded` (no hangs, no dropped connections), and the server
+/// drains cleanly afterwards.
+fn chaos_stampede(opts: StampedeOpts) -> Result<(), Box<dyn std::error::Error>> {
+    use cg_core::service::{Request, Response, TcpClient};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const TENANTS: usize = 2;
+    const CLIENTS: usize = 4;
+
+    let tel = cg_telemetry::global();
+    tel.reset();
+    if let Some(maddr) = &opts.serve_metrics_addr {
+        let bound = cg_telemetry::export::spawn_metrics_server(maddr)?;
+        eprintln!("serving metrics on http://{bound}/metrics");
+    }
+
+    // Sized so every burst *must* shed: room for the established
+    // connections plus a couple of stampede survivors.
+    let cfg = cg_core::BrokerConfig {
+        workers: 2,
+        max_connections: CLIENTS + 2,
+        retry_after_ms: 25,
+        quota: cg_core::TenantQuota {
+            max_sessions: 2,
+            ..cg_core::TenantQuota::default()
+        },
+        ..cg_core::BrokerConfig::default()
+    };
+    let plan = cg_core::chaos::FaultPlan::seeded(opts.seed).with_stampede_size(opts.stampede_size);
+    let burst_size = plan.stampede_size;
+    let (factory, stats) = plan.wrap(spin_factory(200));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let broker = cg_core::Broker::new(factory, cfg);
+    let server = {
+        let broker = broker.clone();
+        std::thread::spawn(move || broker.serve(listener))
+    };
+
+    // Established tenants: CLIENTS long-lived sessions stepping for the
+    // whole soak, counting progress into shared counters.
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters: Vec<Arc<AtomicU64>> = (0..CLIENTS).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let drivers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let count = Arc::clone(&counters[i]);
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut refusals = 0u64;
+                let policy = cg_core::RetryPolicy::default()
+                    .with_max_attempts(20)
+                    .with_backoff(Duration::from_millis(5), Duration::from_millis(100))
+                    .with_jitter(0.25, 0xE57 + i as u64);
+                let mut client = TcpClient::connect_with_policy(
+                    &addr,
+                    Duration::from_secs(5),
+                    cg_core::RetryPolicy::none(),
+                )
+                .map_err(|e| format!("client {i}: connect: {e}"))?;
+                client.set_tenant(&format!("tenant-{}", i % TENANTS));
+                let start = Request::StartSession {
+                    benchmark: "benchmark://spin/soak".into(),
+                    action_space: 0,
+                };
+                let sid = match call_absorbing_overload(&mut client, &start, &policy, &mut refusals)
+                    .map_err(|e| format!("client {i}: start: {e}"))?
+                {
+                    Response::SessionStarted { session_id } => session_id,
+                    other => return Err(format!("client {i}: start answered {other:?}")),
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    let step = Request::Step {
+                        session_id: sid,
+                        actions: vec![0],
+                        observation_spaces: Vec::new(),
+                    };
+                    match call_absorbing_overload(&mut client, &step, &policy, &mut refusals) {
+                        Ok(Response::Stepped { .. }) => {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(other) => return Err(format!("client {i}: step answered {other:?}")),
+                        Err(e) => return Err(format!("client {i}: established session: {e}")),
+                    }
+                }
+                let _ = client.call(&Request::EndSession { session_id: sid });
+                Ok(())
+            })
+        })
+        .collect();
+
+    // Two bursts of simultaneous connects, a third of the soak apart.
+    let soak = Duration::from_millis(opts.soak_ms.max(300));
+    let started = Instant::now();
+    let mut typed_refusals = 0u64;
+    let mut admitted_connects = 0u64;
+    let mut untyped: Vec<String> = Vec::new();
+    let mut before_bursts: Vec<u64> = Vec::new();
+    for (burst, at) in [soak / 3, soak * 2 / 3].into_iter().enumerate() {
+        std::thread::sleep(at.saturating_sub(started.elapsed()));
+        if burst == 0 {
+            before_bursts = counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        }
+        stats.record_stampede();
+        eprintln!(
+            "stampede: burst {} — {burst_size} simultaneous connects",
+            burst + 1
+        );
+        let barrier = Arc::new(std::sync::Barrier::new(burst_size));
+        let connects: Vec<_> = (0..burst_size)
+            .map(|_| {
+                let addr = addr.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    stampede_connect(&addr)
+                })
+            })
+            .collect();
+        for handle in connects {
+            match handle
+                .join()
+                .unwrap_or_else(|_| StampedeFate::Untyped("connect thread panicked".into()))
+            {
+                StampedeFate::TypedRefusal => typed_refusals += 1,
+                StampedeFate::Admitted => admitted_connects += 1,
+                StampedeFate::Untyped(e) => untyped.push(e),
+            }
+        }
+    }
+    std::thread::sleep(soak.saturating_sub(started.elapsed()));
+    let after_bursts: Vec<u64> = counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    stop.store(true, Ordering::Relaxed);
+    let mut driver_errors: Vec<String> = Vec::new();
+    for driver in drivers {
+        match driver.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => driver_errors.push(e),
+            Err(_) => driver_errors.push("established client panicked".into()),
+        }
+    }
+    let drain = broker.drain(Duration::from_secs(2));
+    let _ = server.join();
+
+    let stalled: Vec<usize> = before_bursts
+        .iter()
+        .zip(after_bursts.iter())
+        .enumerate()
+        .filter(|(_, (before, after))| after <= before)
+        .map(|(i, _)| i)
+        .collect();
+    let steps_total: u64 = after_bursts.iter().sum();
+    let min_steps_during_bursts = before_bursts
+        .iter()
+        .zip(after_bursts.iter())
+        .map(|(before, after)| after.saturating_sub(*before))
+        .min()
+        .unwrap_or(0);
+
+    #[derive(serde::Serialize)]
+    struct StampedeReport {
+        soak_ms: u64,
+        bursts: u64,
+        burst_size: usize,
+        established_clients: usize,
+        steps_total: u64,
+        min_steps_during_bursts: u64,
+        typed_refusals: u64,
+        admitted_connects: u64,
+        untyped_failures: Vec<String>,
+        driver_errors: Vec<String>,
+        stalled_clients: Vec<usize>,
+        drain_checkpointed: usize,
+        drain_shed_queued: usize,
+    }
+    let report = StampedeReport {
+        soak_ms: opts.soak_ms,
+        bursts: stats.stampedes(),
+        burst_size,
+        established_clients: CLIENTS,
+        steps_total,
+        min_steps_during_bursts,
+        typed_refusals,
+        admitted_connects,
+        untyped_failures: untyped,
+        driver_errors,
+        stalled_clients: stalled,
+        drain_checkpointed: drain.checkpointed,
+        drain_shed_queued: drain.shed_queued,
+    };
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!(
+            "stampede: {} bursts × {} connects over {}ms soak",
+            report.bursts, report.burst_size, report.soak_ms
+        );
+        println!(
+            "  established: {} clients, {} steps total, min {} steps during the burst window",
+            report.established_clients, report.steps_total, report.min_steps_during_bursts
+        );
+        println!(
+            "  connects: {} typed refusals, {} admitted, {} untyped failures",
+            report.typed_refusals,
+            report.admitted_connects,
+            report.untyped_failures.len()
+        );
+        println!(
+            "  drain: {} checkpointed, {} shed",
+            report.drain_checkpointed, report.drain_shed_queued
+        );
+        for e in report
+            .untyped_failures
+            .iter()
+            .chain(report.driver_errors.iter())
+        {
+            println!("    ! {e}");
+        }
+    }
+
+    if opts.linger_ms > 0 {
+        std::thread::sleep(Duration::from_millis(opts.linger_ms));
+    }
+
+    let mut failures = Vec::new();
+    if report.typed_refusals == 0 {
+        failures.push("stampede produced no typed refusals (cap never engaged)".to_string());
+    }
+    if !report.untyped_failures.is_empty() {
+        failures.push(format!(
+            "{} connects failed without a typed refusal",
+            report.untyped_failures.len()
+        ));
+    }
+    if !report.driver_errors.is_empty() {
+        failures.push(format!(
+            "{} established clients failed",
+            report.driver_errors.len()
+        ));
+    }
+    if !report.stalled_clients.is_empty() {
+        failures.push(format!(
+            "established clients {:?} made no progress through the bursts",
+            report.stalled_clients
+        ));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; ").into())
+    }
 }

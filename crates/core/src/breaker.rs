@@ -124,14 +124,18 @@ impl CircuitBreaker {
                 } else {
                     inner.fast_fails += 1;
                     cg_telemetry::global().breaker_fast_fails.inc();
-                    Admission::Reject { retry_in: self.cooldown - elapsed }
+                    Admission::Reject {
+                        retry_in: self.cooldown - elapsed,
+                    }
                 }
             }
             // Another probe is already in flight; don't pile on.
             Some(Circuit::HalfOpen) => {
                 inner.fast_fails += 1;
                 cg_telemetry::global().breaker_fast_fails.inc();
-                Admission::Reject { retry_in: self.cooldown }
+                Admission::Reject {
+                    retry_in: self.cooldown,
+                }
             }
         }
     }
@@ -141,7 +145,10 @@ impl CircuitBreaker {
     pub fn record_fault(&self, benchmark: &str, action: usize) -> BreakerState {
         let mut inner = self.inner.lock();
         let key = (benchmark.to_string(), action);
-        let circuit = inner.circuits.entry(key).or_insert(Circuit::Closed { faults: 0 });
+        let circuit = inner
+            .circuits
+            .entry(key)
+            .or_insert(Circuit::Closed { faults: 0 });
         let opened = match circuit {
             Circuit::Closed { faults } => {
                 *faults += 1;
@@ -152,7 +159,9 @@ impl CircuitBreaker {
             Circuit::Open { .. } => false,
         };
         if opened {
-            *circuit = Circuit::Open { since: Instant::now() };
+            *circuit = Circuit::Open {
+                since: Instant::now(),
+            };
             inner.trips += 1;
             cg_telemetry::global().breaker_trips.inc();
             cg_telemetry::global().trace.emit_status(
@@ -262,7 +271,11 @@ mod tests {
         let br = CircuitBreaker::new(2, Duration::from_secs(60));
         br.record_fault(B, 1);
         br.record_success(B, 1);
-        assert_eq!(br.record_fault(B, 1), BreakerState::Closed, "count was reset");
+        assert_eq!(
+            br.record_fault(B, 1),
+            BreakerState::Closed,
+            "count was reset"
+        );
         assert_eq!(br.record_fault(B, 1), BreakerState::Open);
     }
 
@@ -297,7 +310,11 @@ mod tests {
         br.record_fault(B, 3);
         std::thread::sleep(Duration::from_millis(15));
         assert_eq!(br.admit(B, 3), Admission::Probe);
-        assert_eq!(br.record_fault(B, 3), BreakerState::Open, "probe faulted: reopen");
+        assert_eq!(
+            br.record_fault(B, 3),
+            BreakerState::Open,
+            "probe faulted: reopen"
+        );
         assert_eq!(br.trips(), 2);
         assert!(matches!(br.admit(B, 3), Admission::Reject { .. }));
     }

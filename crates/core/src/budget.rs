@@ -161,17 +161,29 @@ mod tests {
     #[test]
     fn default_budget_is_unlimited() {
         assert!(ResourceBudget::default().is_unlimited());
-        assert!(!ResourceBudget::default().with_max_growth(2.0).is_unlimited());
+        assert!(!ResourceBudget::default()
+            .with_max_growth(2.0)
+            .is_unlimited());
         let b = ResourceBudget::default().with_step_wall(Duration::from_millis(250));
         assert_eq!(b.step_wall(), Some(Duration::from_millis(250)));
     }
 
     #[test]
     fn size_limit_takes_the_tighter_cap() {
-        let b = ResourceBudget::default().with_max_state_size(500).with_max_growth(2.0);
+        let b = ResourceBudget::default()
+            .with_max_state_size(500)
+            .with_max_growth(2.0);
         assert_eq!(b.size_limit(Some(100)), Some(200), "growth cap is tighter");
-        assert_eq!(b.size_limit(Some(400)), Some(500), "absolute cap is tighter");
-        assert_eq!(b.size_limit(None), Some(500), "no initial size: absolute only");
+        assert_eq!(
+            b.size_limit(Some(400)),
+            Some(500),
+            "absolute cap is tighter"
+        );
+        assert_eq!(
+            b.size_limit(None),
+            Some(500),
+            "no initial size: absolute only"
+        );
         let g = ResourceBudget::default().with_max_growth(3.0);
         assert_eq!(g.size_limit(None), None, "growth cap needs an initial size");
     }

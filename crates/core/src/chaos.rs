@@ -50,6 +50,14 @@ pub enum FaultKind {
     /// erroring. Caught only by the step wall budget or the watchdog
     /// heartbeat.
     Wedge,
+    /// A connection stampede: a burst of simultaneous TCP connects against
+    /// the service's front door mid-soak (a fleet of clients restarting at
+    /// once). Unlike every other kind, this is not an in-session fault —
+    /// the chaos *driver* (`cg chaos --faults stampede`) opens the burst
+    /// against a broker-mode server and asserts established sessions keep
+    /// progressing while excess connects are shed with typed refusals.
+    /// Never sampled by the per-apply injector.
+    Stampede,
 }
 
 /// A seeded description of which faults to inject and when.
@@ -87,6 +95,9 @@ pub struct FaultPlan {
     /// unlimited. A budget guarantees an adversarial plan eventually lets
     /// recovery succeed.
     pub max_faults: Option<u64>,
+    /// How many simultaneous connects a [`FaultKind::Stampede`] opens.
+    /// Consumed by the chaos driver, not the in-session injector.
+    pub stampede_size: usize,
 }
 
 impl Default for FaultPlan {
@@ -103,6 +114,7 @@ impl Default for FaultPlan {
             growth_increment: 1_000,
             scheduled: Vec::new(),
             max_faults: None,
+            stampede_size: 32,
         }
     }
 }
@@ -111,7 +123,10 @@ impl FaultPlan {
     /// A fault-free plan with the given sampler seed.
     #[must_use]
     pub fn seeded(seed: u64) -> FaultPlan {
-        FaultPlan { seed, ..FaultPlan::default() }
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
     }
 
     /// Sets the per-apply panic probability.
@@ -184,6 +199,13 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the size of a connection stampede burst.
+    #[must_use]
+    pub fn with_stampede_size(mut self, connects: usize) -> FaultPlan {
+        self.stampede_size = connects.max(1);
+        self
+    }
+
     /// Wraps a session factory so every session it produces injects this
     /// plan's faults. Returns the wrapped factory and a shared [`ChaosStats`]
     /// handle counting what was actually injected.
@@ -205,6 +227,7 @@ pub struct ChaosStats {
     corruptions: AtomicU64,
     slow_growths: AtomicU64,
     wedges: AtomicU64,
+    stampedes: AtomicU64,
 }
 
 impl ChaosStats {
@@ -248,6 +271,16 @@ impl ChaosStats {
         self.wedges.load(Ordering::Relaxed)
     }
 
+    /// Connection stampedes driven against the front door.
+    pub fn stampedes(&self) -> u64 {
+        self.stampedes.load(Ordering::Relaxed)
+    }
+
+    /// Records one driver-injected connection stampede.
+    pub fn record_stampede(&self) {
+        self.stampedes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total faults injected, all kinds.
     pub fn injected(&self) -> u64 {
         self.panics()
@@ -266,7 +299,9 @@ struct ChaosShared {
 
 impl ChaosShared {
     fn budget_left(&self) -> bool {
-        self.plan.max_faults.is_none_or(|max| self.stats.injected() < max)
+        self.plan
+            .max_faults
+            .is_none_or(|max| self.stats.injected() < max)
     }
 
     /// Decides the fault (if any) for the next `apply_action`, advancing the
@@ -310,7 +345,9 @@ impl ChaosShared {
         if !self.budget_left() || self.plan.corrupt_prob <= 0.0 {
             return false;
         }
-        let r = unit_f64(splitmix64(self.plan.seed ^ 0x00C0_FFEE ^ idx.wrapping_mul(0x85EB_CA6B)));
+        let r = unit_f64(splitmix64(
+            self.plan.seed ^ 0x00C0_FFEE ^ idx.wrapping_mul(0x85EB_CA6B),
+        ));
         r < self.plan.corrupt_prob
     }
 }
@@ -404,7 +441,10 @@ impl CompilationSession for ChaosSession {
                 Err("chaos: injected error".into())
             }
             Some(FaultKind::SlowGrowth) => {
-                self.shared.stats.slow_growths.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .stats
+                    .slow_growths
+                    .fetch_add(1, Ordering::Relaxed);
                 self.inflation += self.shared.plan.growth_increment;
                 self.inner.apply_action(action)
             }
@@ -413,7 +453,11 @@ impl CompilationSession for ChaosSession {
                 self.wedged = true;
                 wedge_forever();
             }
-            Some(FaultKind::CorruptReply) | None => self.inner.apply_action(action),
+            // CorruptReply fires on observe; Stampede is a front-door
+            // fault driven outside the session entirely.
+            Some(FaultKind::CorruptReply | FaultKind::Stampede) | None => {
+                self.inner.apply_action(action)
+            }
         }
     }
 
@@ -423,7 +467,10 @@ impl CompilationSession for ChaosSession {
         }
         let obs = self.inner.observe(space)?;
         if self.shared.corrupt_next_observe() {
-            self.shared.stats.corruptions.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .corruptions
+                .fetch_add(1, Ordering::Relaxed);
             Ok(corrupt(obs))
         } else {
             Ok(obs)
@@ -465,7 +512,10 @@ impl CompilationSession for ChaosSession {
 #[must_use]
 pub fn chaos_factory(inner: SessionFactory, plan: FaultPlan) -> (SessionFactory, Arc<ChaosStats>) {
     let stats = Arc::new(ChaosStats::default());
-    let shared = Arc::new(ChaosShared { plan, stats: Arc::clone(&stats) });
+    let shared = Arc::new(ChaosShared {
+        plan,
+        stats: Arc::clone(&stats),
+    });
     let factory: SessionFactory = Arc::new(move || {
         Box::new(ChaosSession {
             inner: (inner)(),
@@ -488,7 +538,10 @@ mod tests {
 
     impl CompilationSession for CountSession {
         fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
-            vec![ActionSpaceInfo { name: "count".into(), actions: vec!["a".into(); 4] }]
+            vec![ActionSpaceInfo {
+                name: "count".into(),
+                actions: vec!["a".into(); 4],
+            }]
         }
         fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
             vec![]
@@ -501,7 +554,11 @@ mod tests {
         }
         fn apply_action(&mut self, _a: usize) -> Result<ActionOutcome, String> {
             self.steps += 1;
-            Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+            Ok(ActionOutcome {
+                end_of_episode: false,
+                action_space_changed: false,
+                changed: true,
+            })
         }
         fn observe(&mut self, _s: &str) -> Result<Observation, String> {
             Ok(Observation::Scalar(self.steps as f64))
@@ -528,8 +585,9 @@ mod tests {
 
     #[test]
     fn scheduled_fault_fires_exactly_once() {
-        let (factory, stats) =
-            FaultPlan::seeded(1).schedule(2, FaultKind::Error).wrap(count_factory());
+        let (factory, stats) = FaultPlan::seeded(1)
+            .schedule(2, FaultKind::Error)
+            .wrap(count_factory());
         let mut s = factory();
         s.init("x", 0).unwrap();
         assert!(s.apply_action(0).is_ok()); // apply 0
@@ -561,8 +619,9 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_in_the_seed() {
         let run = |seed: u64| -> Vec<bool> {
-            let (factory, _) =
-                FaultPlan::seeded(seed).with_error_prob(0.5).wrap(count_factory());
+            let (factory, _) = FaultPlan::seeded(seed)
+                .with_error_prob(0.5)
+                .wrap(count_factory());
             let mut s = factory();
             s.init("x", 0).unwrap();
             (0..32).map(|_| s.apply_action(0).is_err()).collect()
@@ -573,8 +632,9 @@ mod tests {
 
     #[test]
     fn corrupt_reply_perturbs_observations() {
-        let (factory, stats) =
-            FaultPlan::seeded(3).with_corrupt_prob(1.0).wrap(count_factory());
+        let (factory, stats) = FaultPlan::seeded(3)
+            .with_corrupt_prob(1.0)
+            .wrap(count_factory());
         let mut s = factory();
         s.init("x", 0).unwrap();
         s.apply_action(0).unwrap();
@@ -606,13 +666,17 @@ mod tests {
 
     #[test]
     fn forks_share_the_fault_schedule() {
-        let (factory, stats) =
-            FaultPlan::seeded(1).schedule(1, FaultKind::Error).wrap(count_factory());
+        let (factory, stats) = FaultPlan::seeded(1)
+            .schedule(1, FaultKind::Error)
+            .wrap(count_factory());
         let mut a = factory();
         a.init("x", 0).unwrap();
         a.apply_action(0).unwrap(); // apply 0
         let mut b = a.fork();
-        assert!(b.apply_action(0).is_err(), "fork draws from the same schedule (apply 1)");
+        assert!(
+            b.apply_action(0).is_err(),
+            "fork draws from the same schedule (apply 1)"
+        );
         assert_eq!(stats.applies(), 2);
     }
 }

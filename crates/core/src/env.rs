@@ -235,21 +235,46 @@ fn record_faults(breaker: &Option<CircuitBreaker>, benchmark: &str, actions: &[u
 /// [`CgError::Unknown`] for unregistered ids.
 pub fn make(env_id: &str) -> Result<CompilerEnv, CgError> {
     let (backend, benchmark, obs, rew): (String, &str, &str, &str) = match env_id {
-        "llvm-v0" => ("llvm-v0".into(), "benchmark://cbench-v1/qsort", "Autophase", "IrInstructionCount"),
-        "llvm-ic-v0" => ("llvm-v0".into(), "benchmark://cbench-v1/qsort", "Ir", "IrInstructionCount"),
+        "llvm-v0" => (
+            "llvm-v0".into(),
+            "benchmark://cbench-v1/qsort",
+            "Autophase",
+            "IrInstructionCount",
+        ),
+        "llvm-ic-v0" => (
+            "llvm-v0".into(),
+            "benchmark://cbench-v1/qsort",
+            "Ir",
+            "IrInstructionCount",
+        ),
         "llvm-autophase-ic-v0" => (
             "llvm-v0".into(),
             "benchmark://cbench-v1/qsort",
             "Autophase",
             "IrInstructionCountOz",
         ),
-        s if s == "gcc-v0" || s.starts_with("gcc-v0/") => {
-            (s.into(), "benchmark://chstone-v0/adpcm", "InstructionCounts", "ObjSize")
-        }
-        "loop_tool-v0" => ("loop_tool-v0".into(), "benchmark://loop_tool-v0/1048576", "ActionState", "Flops"),
+        s if s == "gcc-v0" || s.starts_with("gcc-v0/") => (
+            s.into(),
+            "benchmark://chstone-v0/adpcm",
+            "InstructionCounts",
+            "ObjSize",
+        ),
+        "loop_tool-v0" => (
+            "loop_tool-v0".into(),
+            "benchmark://loop_tool-v0/1048576",
+            "ActionState",
+            "Flops",
+        ),
         other => return Err(CgError::Unknown(format!("environment `{other}`"))),
     };
-    CompilerEnv::with_service(env_id, &backend, benchmark, obs, rew, Duration::from_secs(300))
+    CompilerEnv::with_service(
+        env_id,
+        &backend,
+        benchmark,
+        obs,
+        rew,
+        Duration::from_secs(300),
+    )
 }
 
 /// Like [`make`], but with an explicit recovery policy instead of the
@@ -278,7 +303,14 @@ impl CompilerEnv {
     ) -> Result<CompilerEnv, CgError> {
         // Validated eagerly so a bad id fails here, not inside the thread.
         let factory = session_factory(backend).map_err(CgError::Unknown)?;
-        Self::with_factory(env_id, factory, benchmark, observation_space, reward_space, timeout)
+        Self::with_factory(
+            env_id,
+            factory,
+            benchmark,
+            observation_space,
+            reward_space,
+            timeout,
+        )
     }
 
     /// Builds an environment around an arbitrary session factory. This is
@@ -340,10 +372,16 @@ impl CompilerEnv {
     ) -> Result<CompilerEnv, CgError> {
         let (action_spaces, observation_spaces, reward_spaces) =
             match client.call(Request::GetSpaces)? {
-                Response::Spaces { action_spaces, observation_spaces, reward_spaces } => {
-                    (action_spaces, observation_spaces, reward_spaces)
+                Response::Spaces {
+                    action_spaces,
+                    observation_spaces,
+                    reward_spaces,
+                } => (action_spaces, observation_spaces, reward_spaces),
+                r => {
+                    return Err(CgError::ServiceFailure(format!(
+                        "bad GetSpaces reply: {r:?}"
+                    )))
                 }
-                r => return Err(CgError::ServiceFailure(format!("bad GetSpaces reply: {r:?}"))),
             };
         Ok(CompilerEnv {
             env_id: env_id.to_string(),
@@ -409,7 +447,11 @@ impl CompilerEnv {
     /// ring is shared) and restarts the service so the worker picks up the
     /// new interval; call this before `reset`, not mid-episode.
     pub fn set_checkpoint_interval(&mut self, every_k_actions: u64) {
-        let store = self.client.checkpoint_store().clone().with_interval(every_k_actions);
+        let store = self
+            .client
+            .checkpoint_store()
+            .clone()
+            .with_interval(every_k_actions);
         self.client.set_checkpoint_store(store);
     }
 
@@ -552,7 +594,9 @@ impl CompilerEnv {
             // Best effort: the old session may be gone if the service died.
             // A short teardown deadline keeps a hung service from stalling
             // the new episode (and its expiry is not a telemetry timeout).
-            let _ = self.client.call_teardown(Request::EndSession { session_id: sid });
+            let _ = self
+                .client
+                .call_teardown(Request::EndSession { session_id: sid });
         }
         let reward_info = self.reward_info()?;
         let mut spaces = vec![self.observation_space.clone(), reward_info.metric.clone()];
@@ -566,7 +610,11 @@ impl CompilerEnv {
         let restarts_before = self.client.restarts();
         let sid = match self.client.call_with_policy(req)? {
             Response::SessionStarted { session_id } => session_id,
-            r => return Err(CgError::ServiceFailure(format!("bad StartSession reply: {r:?}"))),
+            r => {
+                return Err(CgError::ServiceFailure(format!(
+                    "bad StartSession reply: {r:?}"
+                )))
+            }
         };
         let recovered = self.client.restarts() - restarts_before;
         if recovered > 0 {
@@ -591,7 +639,9 @@ impl CompilerEnv {
             return Err(CgError::ServiceFailure("bad Step reply".into()));
         };
         let mut it = observations.into_iter();
-        let obs = it.next().ok_or(CgError::ServiceFailure("missing observation".into()))?;
+        let obs = it
+            .next()
+            .ok_or(CgError::ServiceFailure("missing observation".into()))?;
         let metric = it
             .next()
             .and_then(|o| o.as_scalar())
@@ -603,7 +653,8 @@ impl CompilerEnv {
         self.actions.clear();
         tel.episode.episodes.inc();
         let dur = timer.observe(&tel.episode.reset_wall);
-        tel.trace.emit("reset", format!("{} {}", self.env_id, self.benchmark), dur);
+        tel.trace
+            .emit("reset", format!("{} {}", self.env_id, self.benchmark), dur);
         Ok(obs)
     }
 
@@ -624,6 +675,33 @@ impl CompilerEnv {
     /// the session died, so recovery skips the restart rung.
     fn needs_restart(e: &CgError) -> bool {
         !matches!(e, CgError::BudgetExceeded(_))
+    }
+
+    /// Issues one request, absorbing typed overload refusals in place. An
+    /// [`CgError::Overloaded`] answer means a healthy front door pushed
+    /// back — the session is untouched — so the right response is to wait
+    /// at least the server-advised `retry_after_ms` (the policy's jittered
+    /// backoff never rounds below it) and re-issue the identical request.
+    /// Replay and restart are never involved: overload is not a fault.
+    fn call_patient(&self, req: Request) -> Result<Response, CgError> {
+        let policy = self.client.policy().clone();
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            match self.client.call(req.clone()) {
+                Err(CgError::Overloaded {
+                    retry_after_ms,
+                    reason,
+                }) if attempt + 1 < attempts => {
+                    attempt += 1;
+                    policy.record_retry(req.kind(), attempt, &reason);
+                    std::thread::sleep(
+                        policy.backoff_with_floor(attempt, Duration::from_millis(retry_after_ms)),
+                    );
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Issues a session-scoped request, transparently recovering the episode
@@ -665,7 +743,7 @@ impl CompilerEnv {
         let sid = self
             .session
             .ok_or_else(|| CgError::Usage("no active episode; call reset()".into()))?;
-        let mut last = match self.client.call(build(sid)) {
+        let mut last = match self.call_patient(build(sid)) {
             Err(e) if Self::recoverable(&e) => {
                 record_faults(&breaker, &self.benchmark, fault_actions);
                 e
@@ -694,7 +772,7 @@ impl CompilerEnv {
             }
             std::thread::sleep(policy.backoff_for(attempt));
             match self.replay_episode(Self::needs_restart(&last)) {
-                Ok(new_sid) => match self.client.call(build(new_sid)) {
+                Ok(new_sid) => match self.call_patient(build(new_sid)) {
                     Err(e) if Self::recoverable(&e) => {
                         self.session = None;
                         record_faults(&breaker, &self.benchmark, fault_actions);
@@ -727,7 +805,11 @@ impl CompilerEnv {
         let reward_info = self.reward_info()?;
         let mut try_checkpoint = true;
         loop {
-            let restored = if try_checkpoint { self.restore_latest_checkpoint() } else { None };
+            let restored = if try_checkpoint {
+                self.restore_latest_checkpoint()
+            } else {
+                None
+            };
             let (sid, replay_from) = match restored {
                 Some(pair) => pair,
                 None => {
@@ -750,13 +832,21 @@ impl CompilerEnv {
                 actions: self.actions[replay_from..].to_vec(),
                 observation_spaces: vec![reward_info.metric.clone()],
             })?;
-            let Response::Stepped { mut observations, .. } = resp else {
-                return Err(CgError::ServiceFailure("bad Step reply during replay".into()));
+            let Response::Stepped {
+                mut observations, ..
+            } = resp
+            else {
+                return Err(CgError::ServiceFailure(
+                    "bad Step reply during replay".into(),
+                ));
             };
-            let metric = observations
-                .pop()
-                .and_then(|o| o.as_scalar())
-                .ok_or(CgError::ServiceFailure("missing metric during replay".into()))?;
+            let metric =
+                observations
+                    .pop()
+                    .and_then(|o| o.as_scalar())
+                    .ok_or(CgError::ServiceFailure(
+                        "missing metric during replay".into(),
+                    ))?;
             let tolerance = 1e-6 * self.prev_metric.abs().max(1.0);
             if (metric - self.prev_metric).abs() <= tolerance {
                 self.session = Some(sid);
@@ -792,7 +882,9 @@ impl CompilerEnv {
             // checkpoint was involved it may itself be the culprit (stale
             // or corrupt snapshot): drop down one rung and replay the whole
             // history before declaring a divergence.
-            let _ = self.client.call_teardown(Request::EndSession { session_id: sid });
+            let _ = self
+                .client
+                .call_teardown(Request::EndSession { session_id: sid });
             if replay_from > 0 {
                 tel.trace.emit_status(
                     "env:checkpoint-divergence",
@@ -931,9 +1023,15 @@ impl CompilerEnv {
                 span.set_status(SpanStatus::BudgetExceeded);
                 span.set_detail(v.to_string());
             }
-            Err(CgError::CircuitOpen { benchmark, action, retry_in_ms }) => {
+            Err(CgError::CircuitOpen {
+                benchmark,
+                action,
+                retry_in_ms,
+            }) => {
                 span.set_status(SpanStatus::CircuitOpen);
-                span.set_detail(format!("{benchmark} action {action} retry in {retry_in_ms}ms"));
+                span.set_detail(format!(
+                    "{benchmark} action {action} retry in {retry_in_ms}ms"
+                ));
             }
             Err(e) => {
                 span.set_status(SpanStatus::Error);
@@ -963,7 +1061,12 @@ impl CompilerEnv {
             actions: actions_owned.clone(),
             observation_spaces: spaces.clone(),
         })?;
-        let Response::Stepped { end_of_episode, changed, mut observations } = resp else {
+        let Response::Stepped {
+            end_of_episode,
+            changed,
+            mut observations,
+        } = resp
+        else {
             return Err(CgError::ServiceFailure("bad Step reply".into()));
         };
         let metric = observations
@@ -971,7 +1074,9 @@ impl CompilerEnv {
             .and_then(|o| o.as_scalar())
             .ok_or(CgError::ServiceFailure("missing reward metric".into()))?;
         let observation = if want_default_obs {
-            observations.pop().ok_or(CgError::ServiceFailure("missing observation".into()))?
+            observations
+                .pop()
+                .ok_or(CgError::ServiceFailure("missing observation".into()))?
         } else {
             Observation::Scalar(metric)
         };
@@ -999,7 +1104,12 @@ impl CompilerEnv {
         );
         Ok((
             observations,
-            StepResult { observation, reward, done: end_of_episode, changed },
+            StepResult {
+                observation,
+                reward,
+                done: end_of_episode,
+                changed,
+            },
         ))
     }
 
@@ -1011,7 +1121,9 @@ impl CompilerEnv {
     /// reconnect. Best effort — a failed export costs a rung of recovery
     /// speed, never the step.
     fn maybe_checkpoint_tcp(&mut self) {
-        let Transport::Tcp(t) = &self.client else { return };
+        let Transport::Tcp(t) = &self.client else {
+            return;
+        };
         let store = t.checkpoint_store().clone();
         if !store.due(self.actions.len() as u64) {
             return;
@@ -1041,7 +1153,9 @@ impl CompilerEnv {
             observation_spaces: vec![space_owned.clone()],
         })?;
         match resp {
-            Response::Stepped { mut observations, .. } => observations
+            Response::Stepped {
+                mut observations, ..
+            } => observations
                 .pop()
                 .ok_or(CgError::ServiceFailure("missing observation".into())),
             r => Err(CgError::ServiceFailure(format!("bad reply: {r:?}"))),
@@ -1067,7 +1181,8 @@ impl CompilerEnv {
             r => return Err(CgError::ServiceFailure(format!("bad Fork reply: {r:?}"))),
         };
         let dur = timer.observe(&tel.episode.fork_wall);
-        tel.trace.emit("fork", format!("{} {}", self.env_id, self.benchmark), dur);
+        tel.trace
+            .emit("fork", format!("{} {}", self.env_id, self.benchmark), dur);
         Ok(CompilerEnv {
             env_id: self.env_id.clone(),
             client: self.client.clone(),
@@ -1108,7 +1223,9 @@ impl CompilerEnv {
     pub fn episode_snapshot(&mut self) -> Result<EpisodeSnapshot, CgError> {
         let resp = self.call_recovering(&[], |sid| Request::ExportState { session_id: sid })?;
         let Response::State { state } = resp else {
-            return Err(CgError::ServiceFailure(format!("bad ExportState reply: {resp:?}")));
+            return Err(CgError::ServiceFailure(format!(
+                "bad ExportState reply: {resp:?}"
+            )));
         };
         let state = state
             .ok_or_else(|| CgError::ServiceFailure("session has no exportable state".into()))?;
@@ -1133,7 +1250,9 @@ impl CompilerEnv {
     /// Service failures; a backend that rejects the serialized state.
     pub fn restore_snapshot(&mut self, snap: &EpisodeSnapshot) -> Result<(), CgError> {
         if let Some(sid) = self.session.take() {
-            let _ = self.client.call_teardown(Request::EndSession { session_id: sid });
+            let _ = self
+                .client
+                .call_teardown(Request::EndSession { session_id: sid });
         }
         let resp = self.client.call_with_policy(Request::RestoreSession {
             benchmark: snap.benchmark.clone(),
@@ -1142,7 +1261,9 @@ impl CompilerEnv {
             state: snap.state.clone(),
         })?;
         let Response::SessionStarted { session_id } = resp else {
-            return Err(CgError::ServiceFailure(format!("bad RestoreSession reply: {resp:?}")));
+            return Err(CgError::ServiceFailure(format!(
+                "bad RestoreSession reply: {resp:?}"
+            )));
         };
         self.session = Some(session_id);
         self.benchmark = snap.benchmark.clone();
@@ -1162,7 +1283,11 @@ impl CompilerEnv {
         EnvState {
             env: self.env_id.clone(),
             benchmark: self.benchmark.clone(),
-            actions: self.actions.iter().map(|&a| names.actions[a].clone()).collect(),
+            actions: self
+                .actions
+                .iter()
+                .map(|&a| names.actions[a].clone())
+                .collect(),
             reward: self.episode_reward,
             reward_space: self.reward_space.clone(),
         }
@@ -1178,7 +1303,9 @@ impl CompilerEnv {
         if let Some(sid) = self.session.take() {
             // Best effort with a short teardown deadline: a wedged service
             // must not stall the caller (or Drop) for the full call timeout.
-            let _ = self.client.call_teardown(Request::EndSession { session_id: sid });
+            let _ = self
+                .client
+                .call_teardown(Request::EndSession { session_id: sid });
         }
     }
 
@@ -1253,7 +1380,16 @@ mod tests {
         env.reset().unwrap();
         // Apply the whole Oz-ish recipe manually; cumulative scaled reward
         // should approach ~1.0 (the Oz gain).
-        for name in ["sroa", "mem2reg", "instcombine", "gvn", "dse", "load-elim", "adce", "simplifycfg-aggressive"] {
+        for name in [
+            "sroa",
+            "mem2reg",
+            "instcombine",
+            "gvn",
+            "dse",
+            "load-elim",
+            "adce",
+            "simplifycfg-aggressive",
+        ] {
             let idx = env.action_space().index_of(name).unwrap();
             env.step(idx).unwrap();
         }
@@ -1291,7 +1427,11 @@ mod tests {
         // Set -O to -Os via the flat action named like "set[-O]=5".
         let idx = env.action_space().index_of("set[-O]=5").unwrap();
         let step = env.step(idx).unwrap();
-        assert!(step.reward > 0.0, "-Os shrinks vs unoptimized: {}", step.reward);
+        assert!(
+            step.reward > 0.0,
+            "-Os shrinks vs unoptimized: {}",
+            step.reward
+        );
     }
 
     #[test]

@@ -188,7 +188,11 @@ impl CompilationSession for GccSession {
         if changed {
             self.cached_output = None;
         }
-        Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed })
+        Ok(ActionOutcome {
+            end_of_episode: false,
+            action_space_changed: false,
+            changed,
+        })
     }
 
     fn observe(&mut self, space: &str) -> Result<Observation, String> {
@@ -237,7 +241,15 @@ mod tests {
         let idx = s
             .flat
             .iter()
-            .position(|a| matches!(a, FlatAction::Set { option: 0, choice: 5 }))
+            .position(|a| {
+                matches!(
+                    a,
+                    FlatAction::Set {
+                        option: 0,
+                        choice: 5
+                    }
+                )
+            })
             .unwrap();
         s.apply_action(idx).unwrap();
         let after = s.observe("ObjSize").unwrap().as_scalar().unwrap();
@@ -251,7 +263,12 @@ mod tests {
         assert!(s.set_choices(&[0, 1]).is_err());
         let c = s.option_space().choices_for_level(2);
         s.set_choices(&c).unwrap();
-        assert!(s.observe("CommandLine").unwrap().as_text().unwrap().contains("-O2"));
+        assert!(s
+            .observe("CommandLine")
+            .unwrap()
+            .as_text()
+            .unwrap()
+            .contains("-O2"));
     }
 
     #[test]

@@ -121,7 +121,9 @@ impl LlvmSession {
     }
 
     fn module(&self) -> Result<&Module, String> {
-        self.module.as_ref().ok_or_else(|| "session not initialized".to_string())
+        self.module
+            .as_ref()
+            .ok_or_else(|| "session not initialized".to_string())
     }
 
     /// Direct access to the module (used by in-process tooling like the
@@ -134,10 +136,17 @@ impl LlvmSession {
 impl CompilationSession for LlvmSession {
     fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
         vec![
-            ActionSpaceInfo { name: "PassPipeline".into(), actions: self.space.names() },
+            ActionSpaceInfo {
+                name: "PassPipeline".into(),
+                actions: self.space.names(),
+            },
             ActionSpaceInfo {
                 name: "AutophaseSubset".into(),
-                actions: self.subset.iter().map(|&i| self.space.names()[i].clone()).collect(),
+                actions: self
+                    .subset
+                    .iter()
+                    .map(|&i| self.space.names()[i].clone())
+                    .collect(),
             },
         ]
     }
@@ -175,9 +184,19 @@ impl CompilationSession for LlvmSession {
         };
         vec![
             r("IrInstructionCount", "IrInstructionCount", None, true),
-            r("IrInstructionCountOz", "IrInstructionCount", Some("IrInstructionCountOz"), true),
+            r(
+                "IrInstructionCountOz",
+                "IrInstructionCount",
+                Some("IrInstructionCountOz"),
+                true,
+            ),
             r("ObjectTextSizeBytes", "ObjectTextSizeBytes", None, true),
-            r("ObjectTextSizeOz", "ObjectTextSizeBytes", Some("ObjectTextSizeOz"), true),
+            r(
+                "ObjectTextSizeOz",
+                "ObjectTextSizeBytes",
+                Some("ObjectTextSizeOz"),
+                true,
+            ),
             r("Runtime", "Runtime", None, false),
             r("RuntimeO3", "Runtime", Some("RuntimeO3"), false),
         ]
@@ -185,7 +204,9 @@ impl CompilationSession for LlvmSession {
 
     fn init(&mut self, benchmark: &str, action_space: usize) -> Result<(), String> {
         if action_space > 1 {
-            return Err(format!("llvm-v0 has 2 action spaces, got index {action_space}"));
+            return Err(format!(
+                "llvm-v0 has 2 action spaces, got index {action_space}"
+            ));
         }
         self.active_subset = action_space == 1;
         let m = cached_benchmark(benchmark)?;
@@ -204,7 +225,10 @@ impl CompilationSession for LlvmSession {
                 .ok_or_else(|| format!("action {action} out of range (subset has 42)"))?
         } else {
             if action >= self.space.len() {
-                return Err(format!("action {action} out of range ({} actions)", self.space.len()));
+                return Err(format!(
+                    "action {action} out of range ({} actions)",
+                    self.space.len()
+                ));
             }
             action
         };
@@ -255,9 +279,7 @@ impl CompilationSession for LlvmSession {
             }
             "Inst2vec" => Observation::FloatVector(observation::inst2vec(m)),
             "Programl" => Observation::Graph(observation::programl(m)),
-            "IrInstructionCount" => {
-                Observation::Scalar(reward::ir_instruction_count(m) as f64)
-            }
+            "IrInstructionCount" => Observation::Scalar(reward::ir_instruction_count(m) as f64),
             "ObjectTextSizeBytes" => Observation::Scalar(reward::binary_size(m) as f64),
             "IrInstructionCountOz" => {
                 let b = baselines_for(&uri, m);
@@ -323,7 +345,9 @@ impl CompilationSession for LlvmSession {
     }
 
     fn state_size(&self) -> Option<u64> {
-        self.module.as_ref().map(|m| reward::ir_instruction_count(m) as u64)
+        self.module
+            .as_ref()
+            .map(|m| reward::ir_instruction_count(m) as u64)
     }
 
     fn apply_budget(&mut self, budget: &crate::budget::ResourceBudget) {
@@ -341,11 +365,19 @@ mod tests {
     fn init_step_observe() {
         let mut s = LlvmSession::new();
         s.init("benchmark://cbench-v1/crc32", 0).unwrap();
-        let before = s.observe("IrInstructionCount").unwrap().as_scalar().unwrap();
+        let before = s
+            .observe("IrInstructionCount")
+            .unwrap()
+            .as_scalar()
+            .unwrap();
         let idx = s.space.index_of("mem2reg").unwrap();
         let out = s.apply_action(idx).unwrap();
         assert!(out.changed);
-        let after = s.observe("IrInstructionCount").unwrap().as_scalar().unwrap();
+        let after = s
+            .observe("IrInstructionCount")
+            .unwrap()
+            .as_scalar()
+            .unwrap();
         assert!(after < before);
     }
 
@@ -361,8 +393,16 @@ mod tests {
     fn oz_baseline_is_below_initial() {
         let mut s = LlvmSession::new();
         s.init("benchmark://cbench-v1/qsort", 0).unwrap();
-        let init = s.observe("IrInstructionCount").unwrap().as_scalar().unwrap();
-        let oz = s.observe("IrInstructionCountOz").unwrap().as_scalar().unwrap();
+        let init = s
+            .observe("IrInstructionCount")
+            .unwrap()
+            .as_scalar()
+            .unwrap();
+        let oz = s
+            .observe("IrInstructionCountOz")
+            .unwrap()
+            .as_scalar()
+            .unwrap();
         assert!(oz < init);
     }
 
@@ -373,8 +413,16 @@ mod tests {
         let mut f = s.fork();
         let idx = s.space.index_of("mem2reg").unwrap();
         s.apply_action(idx).unwrap();
-        let orig = s.observe("IrInstructionCount").unwrap().as_scalar().unwrap();
-        let forked = f.observe("IrInstructionCount").unwrap().as_scalar().unwrap();
+        let orig = s
+            .observe("IrInstructionCount")
+            .unwrap()
+            .as_scalar()
+            .unwrap();
+        let forked = f
+            .observe("IrInstructionCount")
+            .unwrap()
+            .as_scalar()
+            .unwrap();
         assert!(orig < forked, "fork kept the pre-action module");
     }
 

@@ -24,7 +24,11 @@ impl Default for LoopToolSession {
 impl LoopToolSession {
     /// Creates an uninitialized session.
     pub fn new() -> LoopToolSession {
-        LoopToolSession { nest: None, extended: false, measurement_counter: 0 }
+        LoopToolSession {
+            nest: None,
+            extended: false,
+            measurement_counter: 0,
+        }
     }
 
     fn actions(&self) -> &'static [Action] {
@@ -58,8 +62,14 @@ impl CompilationSession for LoopToolSession {
                 .collect()
         };
         vec![
-            ActionSpaceInfo { name: "Cursor".into(), actions: names(Action::basic()) },
-            ActionSpaceInfo { name: "CursorExtended".into(), actions: names(Action::extended()) },
+            ActionSpaceInfo {
+                name: "Cursor".into(),
+                actions: names(Action::basic()),
+            },
+            ActionSpaceInfo {
+                name: "CursorExtended".into(),
+                actions: names(Action::extended()),
+            },
         ]
     }
 

@@ -36,5 +36,7 @@ pub fn create_session(env: &str) -> Result<Box<dyn CompilationSession>, String> 
 pub fn session_factory(env: &str) -> Result<SessionFactory, String> {
     create_session(env)?; // validate the id up front
     let env = env.to_string();
-    Ok(Arc::new(move || create_session(&env).expect("backend id validated at construction")))
+    Ok(Arc::new(move || {
+        create_session(&env).expect("backend id validated at construction")
+    }))
 }

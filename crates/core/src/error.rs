@@ -51,6 +51,18 @@ pub enum CgError {
         /// Milliseconds until a probe will be allowed.
         retry_in_ms: u64,
     },
+    /// The service's front door refused the request under overload
+    /// (admission control, a per-tenant quota, or queue-pressure shedding)
+    /// with a typed in-band answer instead of hanging or dying. The session
+    /// (if any) is untouched; clients should retry no earlier than
+    /// `retry_after_ms` — [`crate::retry::RetryPolicy`] treats it as a
+    /// backoff floor.
+    Overloaded {
+        /// Server-advised minimum delay before retrying, in milliseconds.
+        retry_after_ms: u64,
+        /// Which rung of the admission ladder refused (for diagnostics).
+        reason: String,
+    },
     /// Validation found a mismatch (reproducibility or semantics bug).
     Validation(String),
     /// The environment is not in a state where the operation is legal
@@ -66,7 +78,12 @@ impl fmt::Display for CgError {
             CgError::Session(m) => write!(f, "session error: {m}"),
             CgError::ServiceFailure(m) => write!(f, "compiler service failure: {m}"),
             CgError::SessionLost(m) => write!(f, "session lost: {m}"),
-            CgError::ReplayDivergence { benchmark, expected, actual, repro } => {
+            CgError::ReplayDivergence {
+                benchmark,
+                expected,
+                actual,
+                repro,
+            } => {
                 write!(
                     f,
                     "replay divergence on {benchmark}: expected metric {expected}, \
@@ -79,10 +96,21 @@ impl fmt::Display for CgError {
                 }
             }
             CgError::BudgetExceeded(v) => write!(f, "resource budget exceeded: {v}"),
-            CgError::CircuitOpen { benchmark, action, retry_in_ms } => write!(
+            CgError::CircuitOpen {
+                benchmark,
+                action,
+                retry_in_ms,
+            } => write!(
                 f,
                 "circuit open for {benchmark} action {action}: this pair repeatedly \
                  killed compiler services; next probe allowed in ~{retry_in_ms}ms"
+            ),
+            CgError::Overloaded {
+                retry_after_ms,
+                reason,
+            } => write!(
+                f,
+                "service overloaded: {reason}; retry no earlier than {retry_after_ms}ms"
             ),
             CgError::Validation(m) => write!(f, "validation failed: {m}"),
             CgError::Usage(m) => write!(f, "usage error: {m}"),

@@ -159,7 +159,11 @@ impl EvalCache {
         }
         inner.exact.insert(
             (benchmark.to_string(), seq_hash(actions)),
-            CachedEval { actions: actions.to_vec(), score, metric },
+            CachedEval {
+                actions: actions.to_vec(),
+                score,
+                metric,
+            },
         );
     }
 

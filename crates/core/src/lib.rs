@@ -48,6 +48,7 @@
 //! ```
 
 pub mod breaker;
+pub mod broker;
 pub mod budget;
 pub mod chaos;
 pub mod checkpoint;
@@ -67,6 +68,7 @@ pub mod wrappers;
 mod error;
 
 pub use breaker::{Admission, BreakerState, CircuitBreaker};
+pub use broker::{Broker, BrokerConfig, DrainReport, Submitted, TenantQuota, ANONYMOUS_TENANT};
 pub use budget::{BudgetKind, BudgetViolation, ResourceBudget};
 pub use checkpoint::{Checkpoint, CheckpointSink, CheckpointStore};
 pub use env::{make, make_with_policy, CompilerEnv, EpisodeSnapshot, StepResult, Transport};
@@ -74,7 +76,7 @@ pub use error::CgError;
 pub use evalcache::EvalCache;
 pub use pool::{ActionSeq, EnvFactory, EnvPool, Outcome};
 pub use retry::RetryPolicy;
-pub use watchdog::{Watchdog, WatchdogConfig};
 pub use session::CompilationSession;
 pub use space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
 pub use state::EnvState;
+pub use watchdog::{Watchdog, WatchdogConfig};

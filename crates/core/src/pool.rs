@@ -62,7 +62,12 @@ pub struct Outcome {
 
 impl Outcome {
     fn failed(error: String) -> Outcome {
-        Outcome { score: f64::NEG_INFINITY, metric: f64::NAN, cached: false, error: Some(error) }
+        Outcome {
+            score: f64::NEG_INFINITY,
+            metric: f64::NAN,
+            cached: false,
+            error: Some(error),
+        }
     }
 }
 
@@ -75,8 +80,13 @@ struct Job {
 /// Per-worker control messages. `Wake` nudges a worker to re-scan the
 /// shared job queue (the queue itself carries no wakeup signal).
 enum Cmd {
-    Reset { reply: Sender<Result<Observation, CgError>> },
-    Step { action: usize, reply: Sender<Result<StepResult, CgError>> },
+    Reset {
+        reply: Sender<Result<Observation, CgError>>,
+    },
+    Step {
+        action: usize,
+        reply: Sender<Result<StepResult, CgError>>,
+    },
     Wake,
 }
 
@@ -116,7 +126,12 @@ impl EnvPool {
             );
         }
         cg_telemetry::global().pool.workers.set(workers as i64);
-        EnvPool { cache, queue, cmd_txs, handles }
+        EnvPool {
+            cache,
+            queue,
+            cmd_txs,
+            handles,
+        }
     }
 
     /// Number of worker threads.
@@ -142,7 +157,11 @@ impl EnvPool {
             let mut q = self.queue.lock();
             for (index, seq) in jobs.into_iter().enumerate() {
                 tel.pool.queue_depth.inc();
-                q.push_back(Job { index, seq, reply: reply_tx.clone() });
+                q.push_back(Job {
+                    index,
+                    seq,
+                    reply: reply_tx.clone(),
+                });
             }
         }
         drop(reply_tx);
@@ -171,7 +190,10 @@ impl EnvPool {
                 (rx, sent)
             })
             .collect();
-        channels.into_iter().map(|(rx, sent)| recv_worker(rx, sent)).collect()
+        channels
+            .into_iter()
+            .map(|(rx, sent)| recv_worker(rx, sent))
+            .collect()
     }
 
     /// Applies `actions[i]` on worker `i`'s episode concurrently
@@ -191,7 +213,10 @@ impl EnvPool {
                 (rx, sent)
             })
             .collect();
-        channels.into_iter().map(|(rx, sent)| recv_worker(rx, sent)).collect()
+        channels
+            .into_iter()
+            .map(|(rx, sent)| recv_worker(rx, sent))
+            .collect()
     }
 }
 
@@ -272,7 +297,9 @@ fn guarded<T>(
         Err(_) => {
             cg_telemetry::global().pool.job_panics.inc();
             *env = None;
-            Err(CgError::ServiceFailure(format!("pool worker {widx} panicked")))
+            Err(CgError::ServiceFailure(format!(
+                "pool worker {widx} panicked"
+            )))
         }
     }
 }
@@ -327,8 +354,16 @@ fn evaluate_seq(
     seq: &ActionSeq,
 ) -> Result<Outcome, CgError> {
     if let Some(hit) = cache.lookup(&seq.benchmark, &seq.actions) {
-        cg_telemetry::global().pool.actions_saved.add(seq.actions.len() as u64);
-        return Ok(Outcome { score: hit.score, metric: hit.metric, cached: true, error: None });
+        cg_telemetry::global()
+            .pool
+            .actions_saved
+            .add(seq.actions.len() as u64);
+        return Ok(Outcome {
+            score: hit.score,
+            metric: hit.metric,
+            cached: true,
+            error: None,
+        });
     }
     if env_slot.is_none() {
         *env_slot = Some(factory(widx)?);
@@ -367,5 +402,10 @@ fn evaluate_seq(
     let score = env.episode_reward();
     let metric = env.last_metric();
     cache.insert(&seq.benchmark, &seq.actions, score, metric);
-    Ok(Outcome { score, metric, cached: false, error: None })
+    Ok(Outcome {
+        score,
+        metric,
+        cached: false,
+        error: None,
+    })
 }

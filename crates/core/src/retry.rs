@@ -84,7 +84,10 @@ impl RetryPolicy {
     /// A policy that never retries (one attempt, no backoff).
     #[must_use]
     pub fn none() -> RetryPolicy {
-        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
     }
 
     /// Sets the total attempt count (min 1).
@@ -144,7 +147,10 @@ impl RetryPolicy {
     pub fn record_retry(&self, kind: &str, attempt: u32, error: &str) {
         cg_telemetry::global().trace.emit_status(
             format!("rpc:retry:{kind}"),
-            format!("attempt {attempt}: {error}; backoff {:?}", self.backoff_for(attempt)),
+            format!(
+                "attempt {attempt}: {error}; backoff {:?}",
+                self.backoff_for(attempt)
+            ),
             Duration::ZERO,
             cg_telemetry::SpanStatus::Retried,
         );
@@ -166,9 +172,21 @@ impl RetryPolicy {
             return capped;
         }
         // factor in [1 - jitter, 1 + jitter], deterministic in (seed, attempt).
-        let r = unit_f64(splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9E37)));
+        let r = unit_f64(splitmix64(
+            self.seed ^ u64::from(attempt).wrapping_mul(0x9E37),
+        ));
         let factor = 1.0 + self.jitter * (2.0 * r - 1.0);
         capped.mul_f64(factor.max(0.0)).min(self.max_backoff)
+    }
+
+    /// Like [`RetryPolicy::backoff_for`], but honoring a server-supplied
+    /// floor (e.g. the `retry_after_ms` of a typed
+    /// [`crate::CgError::Overloaded`] refusal): the client never retries
+    /// earlier than the server asked, even when the jittered exponential
+    /// delay — or the `max_backoff` cap — would round below it.
+    #[must_use]
+    pub fn backoff_with_floor(&self, attempt: u32, floor: Duration) -> Duration {
+        self.backoff_for(attempt).max(floor)
     }
 }
 
@@ -184,7 +202,11 @@ mod tests {
         assert_eq!(p.backoff_for(1), Duration::from_millis(10));
         assert_eq!(p.backoff_for(2), Duration::from_millis(20));
         assert_eq!(p.backoff_for(3), Duration::from_millis(40));
-        assert_eq!(p.backoff_for(10), Duration::from_millis(100), "capped at max");
+        assert_eq!(
+            p.backoff_for(10),
+            Duration::from_millis(100),
+            "capped at max"
+        );
         assert_eq!(p.backoff_for(0), Duration::ZERO);
     }
 
@@ -212,6 +234,34 @@ mod tests {
         assert_eq!(p.deadline_for("Ping"), Some(Duration::from_millis(50)));
         assert_eq!(p.deadline_for("Step"), Some(Duration::from_secs(30)));
         assert_eq!(p.deadline_for("Fork"), None);
+    }
+
+    #[test]
+    fn server_retry_after_is_a_backoff_floor() {
+        // Full jitter so the raw delay can land well below its nominal
+        // value: 10ms base with ±100% jitter can round down to ~0.
+        let p = RetryPolicy::default()
+            .with_backoff(Duration::from_millis(10), Duration::from_millis(80))
+            .with_jitter(1.0, 0xF100D);
+        let floor = Duration::from_millis(150);
+        for attempt in 1..=12 {
+            let d = p.backoff_with_floor(attempt, floor);
+            assert!(
+                d >= floor,
+                "attempt {attempt}: {d:?} retried earlier than the server asked ({floor:?})"
+            );
+        }
+        // The floor dominates even the max_backoff cap …
+        assert_eq!(p.backoff_with_floor(10, floor), floor);
+        // … and a floor below the computed backoff changes nothing.
+        let q = RetryPolicy::default()
+            .with_backoff(Duration::from_millis(100), Duration::from_secs(2))
+            .with_jitter(0.0, 0);
+        assert_eq!(
+            q.backoff_with_floor(3, Duration::from_millis(1)),
+            q.backoff_for(3),
+            "a tiny floor must not inflate the normal schedule"
+        );
     }
 
     #[test]

@@ -184,6 +184,17 @@ pub enum Response {
     /// clients as [`CgError::BudgetExceeded`] — a fast typed in-band error
     /// replacing the hang → client timeout → restart cascade.
     Budget(BudgetViolation),
+    /// The front door refused this request under overload — admission
+    /// control, a per-tenant quota, queue-pressure shedding, or a draining
+    /// server. A fast typed in-band refusal (surfaced to clients as
+    /// [`CgError::Overloaded`]) instead of a hang or a dropped connection;
+    /// any session the request addressed is untouched.
+    Overloaded {
+        /// Server-advised minimum delay before retrying, in milliseconds.
+        retry_after_ms: u64,
+        /// Which rung of the admission ladder refused.
+        reason: String,
+    },
     /// The request failed; the session (if any) is still usable.
     Error(String),
     /// The request failed fatally: the session it addressed was destroyed
@@ -216,8 +227,15 @@ struct SessionMeta {
 /// What one `Step` execution did to the session, separated from the
 /// transport reply so the inline and budget-supervised paths share it.
 enum StepVerdict {
-    Done { end: bool, changed: bool, observations: Vec<Observation> },
-    SizeExceeded { observed: u64, limit: u64 },
+    Done {
+        end: bool,
+        changed: bool,
+        observations: Vec<Observation>,
+    },
+    SizeExceeded {
+        observed: u64,
+        limit: u64,
+    },
     Error(String),
     Panicked,
 }
@@ -258,7 +276,10 @@ fn execute_step(
             }
             if let (Some(limit), Some(size)) = (size_limit, session.state_size()) {
                 if size > limit {
-                    return StepVerdict::SizeExceeded { observed: size, limit };
+                    return StepVerdict::SizeExceeded {
+                        observed: size,
+                        limit,
+                    };
                 }
             }
             if end {
@@ -278,15 +299,27 @@ fn execute_step(
                 Err(e) => return StepVerdict::Error(e),
             }
         }
-        StepVerdict::Done { end, changed, observations }
+        StepVerdict::Done {
+            end,
+            changed,
+            observations,
+        }
     }));
     match result {
-        Ok(verdict) => StepRun { applied, poisoned, verdict },
-        Err(_) => StepRun { applied, poisoned: true, verdict: StepVerdict::Panicked },
+        Ok(verdict) => StepRun {
+            applied,
+            poisoned,
+            verdict,
+        },
+        Err(_) => StepRun {
+            applied,
+            poisoned: true,
+            verdict: StepVerdict::Panicked,
+        },
     }
 }
 
-struct ServiceState {
+pub(crate) struct ServiceState {
     factory: SessionFactory,
     sessions: HashMap<u64, Box<dyn CompilationSession>>,
     meta: HashMap<u64, SessionMeta>,
@@ -296,7 +329,7 @@ struct ServiceState {
 }
 
 impl ServiceState {
-    fn new(
+    pub(crate) fn new(
         factory: SessionFactory,
         budget: ResourceBudget,
         checkpoints: CheckpointStore,
@@ -327,12 +360,16 @@ impl ServiceState {
         if interval == 0 {
             return;
         }
-        let Some(meta) = self.meta.get_mut(&session_id) else { return };
+        let Some(meta) = self.meta.get_mut(&session_id) else {
+            return;
+        };
         let depth = meta.actions.len();
         if meta.dirty || depth == 0 || depth / interval <= meta.checkpointed_at / interval {
             return;
         }
-        let Some(session) = self.sessions.get(&session_id) else { return };
+        let Some(session) = self.sessions.get(&session_id) else {
+            return;
+        };
         match std::panic::catch_unwind(AssertUnwindSafe(|| session.save_state())) {
             Ok(Some(state)) => {
                 meta.checkpointed_at = depth;
@@ -346,6 +383,47 @@ impl ServiceState {
             Ok(None) => {}
             Err(_) => meta.dirty = true,
         }
+    }
+
+    /// Snapshots every live session into the checkpoint store regardless of
+    /// interval boundaries — the drain path's "park everything" sweep.
+    /// Dirty sessions (whose state no longer equals their action history)
+    /// are skipped; panicking `save_state`s mark the session dirty and move
+    /// on. Returns how many sessions were checkpointed.
+    pub(crate) fn checkpoint_all(&mut self) -> usize {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        let mut saved = 0;
+        for id in ids {
+            let Some(meta) = self.meta.get_mut(&id) else {
+                continue;
+            };
+            if meta.dirty {
+                continue;
+            }
+            let Some(session) = self.sessions.get(&id) else {
+                continue;
+            };
+            match std::panic::catch_unwind(AssertUnwindSafe(|| session.save_state())) {
+                Ok(Some(state)) => {
+                    meta.checkpointed_at = meta.actions.len();
+                    self.checkpoints.put(Checkpoint {
+                        benchmark: meta.benchmark.clone(),
+                        action_space: meta.action_space,
+                        actions: meta.actions.clone(),
+                        state,
+                    });
+                    saved += 1;
+                }
+                Ok(None) => {}
+                Err(_) => meta.dirty = true,
+            }
+        }
+        saved
+    }
+
+    /// How many sessions this state is serving.
+    pub(crate) fn session_count(&self) -> usize {
+        self.sessions.len()
     }
 
     fn budget_kill(&mut self, session_id: u64, violation: &BudgetViolation) {
@@ -369,7 +447,7 @@ impl ServiceState {
     /// or the codec's metadata field), so everything `dispatch` emits —
     /// per-pass spans, observation timings, budget kills — lands in the
     /// client's trace tree.
-    fn handle(&mut self, req: Request) -> Response {
+    pub(crate) fn handle(&mut self, req: Request) -> Response {
         let tel = cg_telemetry::global();
         let kind = req.kind();
         tel.in_flight.inc();
@@ -382,7 +460,8 @@ impl ServiceState {
         match &resp {
             Response::Error(e) | Response::Fatal(e) => {
                 tel.request_errors.get(kind).inc();
-                tel.trace.emit(format!("service:error:{kind}"), e.clone(), dur);
+                tel.trace
+                    .emit(format!("service:error:{kind}"), e.clone(), dur);
                 span.set_status(SpanStatus::Error);
                 span.set_detail(e.clone());
             }
@@ -406,7 +485,10 @@ impl ServiceState {
                     reward_spaces: probe.reward_spaces(),
                 }
             }
-            Request::StartSession { benchmark, action_space } => {
+            Request::StartSession {
+                benchmark,
+                action_space,
+            } => {
                 let mut session = (self.factory)();
                 // Panic isolation also covers episode startup: a benchmark
                 // that crashes the compiler's loader must not kill the
@@ -445,7 +527,12 @@ impl ServiceState {
                     }
                 }
             }
-            Request::RestoreSession { benchmark, action_space, actions, state } => {
+            Request::RestoreSession {
+                benchmark,
+                action_space,
+                actions,
+                state,
+            } => {
                 let mut session = (self.factory)();
                 let budget = self.budget.clone();
                 let restore = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -517,7 +604,11 @@ impl ServiceState {
                 }
                 Response::Ok
             }
-            Request::Step { session_id, actions, observation_spaces } => {
+            Request::Step {
+                session_id,
+                actions,
+                observation_spaces,
+            } => {
                 // The session leaves the map for the duration of the step so
                 // a wall-budget kill can abandon it to the runner thread.
                 let Some(mut session) = self.sessions.remove(&session_id) else {
@@ -584,12 +675,20 @@ impl ServiceState {
                     meta.dirty |= run.poisoned;
                 }
                 match run.verdict {
-                    StepVerdict::Done { end, changed, observations } => {
+                    StepVerdict::Done {
+                        end,
+                        changed,
+                        observations,
+                    } => {
                         if let Some(session) = session {
                             self.sessions.insert(session_id, session);
                         }
                         self.maybe_checkpoint(session_id);
-                        Response::Stepped { end_of_episode: end, changed, observations }
+                        Response::Stepped {
+                            end_of_episode: end,
+                            changed,
+                            observations,
+                        }
                     }
                     StepVerdict::SizeExceeded { observed, limit } => {
                         let violation = BudgetViolation {
@@ -807,6 +906,15 @@ impl ServiceClient {
                 Ok(Response::Error(e)) => return Err(CgError::Session(e)),
                 Ok(Response::Fatal(e)) => return Err(CgError::SessionLost(e)),
                 Ok(Response::Budget(v)) => return Err(CgError::BudgetExceeded(v)),
+                Ok(Response::Overloaded {
+                    retry_after_ms,
+                    reason,
+                }) => {
+                    return Err(CgError::Overloaded {
+                        retry_after_ms,
+                        reason,
+                    });
+                }
                 Ok(resp) => return Ok(resp),
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                     return Err(CgError::ServiceFailure(
@@ -863,7 +971,9 @@ impl ServiceClient {
     pub fn call_teardown(&self, req: Request) -> Result<Response, CgError> {
         let kind = req.kind();
         let deadline = self.policy.teardown_deadline.min(self.timeout);
-        let mut span = cg_telemetry::global().trace.span(format!("rpc:teardown:{kind}"));
+        let mut span = cg_telemetry::global()
+            .trace
+            .span(format!("rpc:teardown:{kind}"));
         let result = self.call_inner(req, deadline, false);
         if let Err(e) = &result {
             span.set_status(SpanStatus::Error);
@@ -897,7 +1007,9 @@ impl ServiceClient {
             let this = if last {
                 req.take().expect("request is held until the final attempt")
             } else {
-                req.as_ref().expect("request is held until the final attempt").clone()
+                req.as_ref()
+                    .expect("request is held until the final attempt")
+                    .clone()
             };
             match self.call(this) {
                 Err(CgError::ServiceFailure(e)) if !last => {
@@ -910,6 +1022,18 @@ impl ServiceClient {
                 Err(CgError::SessionLost(e)) if !last => {
                     policy.record_retry(kind, attempt, &e);
                     std::thread::sleep(policy.backoff_for(attempt));
+                }
+                // A typed overload refusal comes from a healthy but busy
+                // front door: retry in place (no restart) and never earlier
+                // than the server-advised retry_after floor.
+                Err(CgError::Overloaded {
+                    retry_after_ms,
+                    reason,
+                }) if !last => {
+                    policy.record_retry(kind, attempt, &reason);
+                    std::thread::sleep(
+                        policy.backoff_with_floor(attempt, Duration::from_millis(retry_after_ms)),
+                    );
                 }
                 other => return other,
             }
@@ -932,7 +1056,11 @@ impl ServiceClient {
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let tel = cg_telemetry::global();
         tel.restarts.inc();
-        tel.trace.emit("service:restart", format!("generation {generation}"), Duration::ZERO);
+        tel.trace.emit(
+            "service:restart",
+            format!("generation {generation}"),
+            Duration::ZERO,
+        );
     }
 
     /// How many times this client has restarted its service.
@@ -946,7 +1074,10 @@ impl ServiceClient {
     /// pick a probe deadline comfortably above the expected step time, or
     /// set a step wall budget so no request can hold the worker that long.
     pub fn probe(&self, deadline: Duration) -> bool {
-        matches!(self.call_inner(Request::Ping, deadline, false), Ok(Response::Pong))
+        matches!(
+            self.call_inner(Request::Ping, deadline, false),
+            Ok(Response::Pong)
+        )
     }
 }
 
@@ -960,13 +1091,16 @@ impl ServiceClient {
 /// its own TCP segment under `TCP_NODELAY`. Short writes (the kernel took
 /// only part of the iovec) are continued manually because
 /// `write_all_vectored` is not yet stable.
-fn write_frame<W: std::io::Write>(stream: &mut W, bytes: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_frame<W: std::io::Write>(stream: &mut W, bytes: &[u8]) -> std::io::Result<()> {
     let prefix = (bytes.len() as u32).to_le_bytes();
     let mut written = 0usize;
     let total = prefix.len() + bytes.len();
     while written < total {
         let bufs: &[std::io::IoSlice<'_>] = if written < prefix.len() {
-            &[std::io::IoSlice::new(&prefix[written..]), std::io::IoSlice::new(bytes)]
+            &[
+                std::io::IoSlice::new(&prefix[written..]),
+                std::io::IoSlice::new(bytes),
+            ]
         } else {
             &[std::io::IoSlice::new(&bytes[written - prefix.len()..])]
         };
@@ -988,18 +1122,33 @@ fn write_frame<W: std::io::Write>(stream: &mut W, bytes: &[u8]) -> std::io::Resu
 /// key, and an old client simply never sends it.
 const TRACE_METADATA_KEY: &str = "__trace";
 
-/// Encodes a request frame, stamping the current trace context into the
-/// variant payload when one is installed. Unit variants (`ping`, …)
-/// serialize as bare strings and carry no metadata — they are cheap probes
-/// and nothing downstream of them records spans worth parenting.
-fn encode_request(req: &Request) -> Result<Vec<u8>, CgError> {
+/// Key under which the client's tenant identity rides inside a request
+/// frame's payload object, next to [`TRACE_METADATA_KEY`]. The broker uses
+/// it to attribute work to per-tenant queues and quotas; the legacy
+/// per-connection server strips and ignores it. Version-tolerant in both
+/// directions: an old server discards the unknown key, an old client never
+/// sends it (and is billed to the anonymous tenant).
+pub(crate) const TENANT_METADATA_KEY: &str = "__tenant";
+
+/// Encodes a request frame, stamping the current trace context (and, when
+/// set, the client's tenant identity) into the variant payload. Unit
+/// variants (`ping`, …) serialize as bare strings and carry no metadata —
+/// they are cheap probes and nothing downstream of them records spans worth
+/// parenting or work worth billing.
+fn encode_request(req: &Request, tenant: Option<&str>) -> Result<Vec<u8>, CgError> {
     let mut value = req.to_value();
-    if let Some(ctx) = cg_telemetry::current_context() {
-        if let Value::Object(entries) = &mut value {
-            if let Some((_, Value::Object(payload))) = entries.first_mut() {
+    if let Value::Object(entries) = &mut value {
+        if let Some((_, Value::Object(payload))) = entries.first_mut() {
+            if let Some(ctx) = cg_telemetry::current_context() {
                 payload.push((
                     TRACE_METADATA_KEY.to_string(),
                     Value::Array(vec![Value::UInt(ctx.trace_id), Value::UInt(ctx.span_id)]),
+                ));
+            }
+            if let Some(tenant) = tenant {
+                payload.push((
+                    TENANT_METADATA_KEY.to_string(),
+                    Value::Str(tenant.to_string()),
                 ));
             }
         }
@@ -1007,12 +1156,34 @@ fn encode_request(req: &Request) -> Result<Vec<u8>, CgError> {
     serde_json::to_vec(&value).map_err(|e| CgError::ServiceFailure(e.to_string()))
 }
 
+/// Strips the tenant-identity metadata from a decoded request frame, if
+/// present, returning it so the front door can bill the request to the
+/// right tenant. The value is left clean for `Request` deserialization.
+pub(crate) fn extract_tenant(value: &mut Value) -> Option<String> {
+    let Value::Object(entries) = value else {
+        return None;
+    };
+    let (_, Value::Object(payload)) = entries.first_mut()? else {
+        return None;
+    };
+    let at = payload.iter().position(|(k, _)| k == TENANT_METADATA_KEY)?;
+    let (_, meta) = payload.remove(at);
+    match meta {
+        Value::Str(tenant) => Some(tenant),
+        _ => None,
+    }
+}
+
 /// Strips the trace-context metadata from a decoded request frame, if
 /// present. Returns the caller's context so the server can install it
 /// around dispatch; the value is left clean for `Request` deserialization.
-fn extract_trace_context(value: &mut Value) -> Option<TraceContext> {
-    let Value::Object(entries) = value else { return None };
-    let (_, Value::Object(payload)) = entries.first_mut()? else { return None };
+pub(crate) fn extract_trace_context(value: &mut Value) -> Option<TraceContext> {
+    let Value::Object(entries) = value else {
+        return None;
+    };
+    let (_, Value::Object(payload)) = entries.first_mut()? else {
+        return None;
+    };
     let at = payload.iter().position(|(k, _)| k == TRACE_METADATA_KEY)?;
     let (_, meta) = payload.remove(at);
     let Value::Array(ids) = meta else { return None };
@@ -1022,12 +1193,15 @@ fn extract_trace_context(value: &mut Value) -> Option<TraceContext> {
         _ => None,
     };
     match ids.as_slice() {
-        [t, s] => Some(TraceContext { trace_id: as_id(t)?, span_id: as_id(s)? }),
+        [t, s] => Some(TraceContext {
+            trace_id: as_id(t)?,
+            span_id: as_id(s)?,
+        }),
         _ => None,
     }
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+pub(crate) fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     let mut len = [0u8; 4];
     stream.read_exact(&mut len)?;
     let n = u32::from_le_bytes(len) as usize;
@@ -1039,25 +1213,66 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Default cap on concurrent legacy-mode TCP connections. Generous for the
+/// thread-per-connection model it bounds; the broker front door
+/// ([`crate::broker`]) is the right tool past this scale.
+pub const DEFAULT_MAX_TCP_CONNECTIONS: usize = 256;
+
 /// Serves the compiler service over TCP. Each connection gets its own
 /// session table and worker ("support for compiling on a different system
 /// architecture than the host by running the compiler service on a remote
 /// machine"). Blocks forever; run it on a dedicated thread.
+///
+/// Concurrent connections are capped at [`DEFAULT_MAX_TCP_CONNECTIONS`]
+/// (see [`serve_tcp_with_limit`]): excess connects are answered with one
+/// typed in-band [`Response::Overloaded`] frame and closed, instead of
+/// spawning threads without bound until the process wedges.
 pub fn serve_tcp(listener: TcpListener, factory: SessionFactory) {
+    serve_tcp_with_limit(listener, factory, DEFAULT_MAX_TCP_CONNECTIONS);
+}
+
+/// [`serve_tcp`] with an explicit concurrent-connection cap (min 1). A
+/// connection at the cap is refused *in band*: the refused client's first
+/// read yields `Overloaded { retry_after_ms }` — a typed, retryable answer —
+/// rather than an unexplained reset or silent accept-queue growth.
+pub fn serve_tcp_with_limit(
+    listener: TcpListener,
+    factory: SessionFactory,
+    max_connections: usize,
+) {
+    let max_connections = max_connections.max(1);
+    let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
+        // `fetch_add` before the check keeps the cap exact under concurrent
+        // accepts; the slot is released on refusal or when the handler exits.
+        if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
+            active.fetch_sub(1, Ordering::SeqCst);
+            let tel = cg_telemetry::global();
+            tel.broker.refused.inc();
+            tel.trace.emit_status(
+                "broker:shed",
+                format!("legacy accept loop at connection cap {max_connections}"),
+                Duration::ZERO,
+                SpanStatus::Error,
+            );
+            let resp = Response::Overloaded {
+                retry_after_ms: 100,
+                reason: format!("connection cap {max_connections} reached"),
+            };
+            let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
+            continue;
+        }
         let f = Arc::clone(&factory);
+        let slots = Arc::clone(&active);
         std::thread::spawn(move || {
             // Panic containment per connection: `handle` already isolates
             // session code, but a poisoned frame or a bug in the dispatch
             // layer itself must at worst kill *this* connection, never the
             // accept loop or sibling connections.
             let serve = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                let mut state = ServiceState::new(
-                    f,
-                    ResourceBudget::default(),
-                    CheckpointStore::default(),
-                );
+                let mut state =
+                    ServiceState::new(f, ResourceBudget::default(), CheckpointStore::default());
                 while let Ok(frame) = read_frame(&mut stream) {
                     // Decode in two stages: parse the frame into a tree,
                     // strip the (optional, version-tolerant) trace metadata,
@@ -1068,6 +1283,9 @@ pub fn serve_tcp(listener: TcpListener, factory: SessionFactory) {
                     let (req, ctx) = match parsed {
                         Ok(mut value) => {
                             let ctx = extract_trace_context(&mut value);
+                            // Legacy mode has no tenant accounting; strip
+                            // the metadata so deserialization stays clean.
+                            let _ = extract_tenant(&mut value);
                             match Request::from_value(&value) {
                                 Ok(r) => (r, ctx),
                                 Err(e) => {
@@ -1099,6 +1317,7 @@ pub fn serve_tcp(listener: TcpListener, factory: SessionFactory) {
                     }
                 }
             }));
+            slots.fetch_sub(1, Ordering::SeqCst);
             if serve.is_err() {
                 let tel = cg_telemetry::global();
                 tel.panics.inc();
@@ -1120,6 +1339,9 @@ pub struct TcpClient {
     addr: String,
     timeout: Duration,
     policy: RetryPolicy,
+    /// Tenant identity stamped into every request frame (the broker's
+    /// queueing/quota key). `None` bills to the anonymous tenant.
+    tenant: Option<String>,
 }
 
 impl TcpClient {
@@ -1141,7 +1363,20 @@ impl TcpClient {
         policy: RetryPolicy,
     ) -> Result<TcpClient, CgError> {
         let stream = Self::open(addr, timeout)?;
-        Ok(TcpClient { stream, addr: addr.to_string(), timeout, policy })
+        Ok(TcpClient {
+            stream,
+            addr: addr.to_string(),
+            timeout,
+            policy,
+            tenant: None,
+        })
+    }
+
+    /// Sets the tenant identity stamped into every request frame, under
+    /// which a broker-mode server queues, schedules, and quota-bills this
+    /// client's work.
+    pub fn set_tenant(&mut self, tenant: &str) {
+        self.tenant = Some(tenant.to_string());
     }
 
     fn open(addr: &str, timeout: Duration) -> Result<TcpStream, CgError> {
@@ -1159,11 +1394,14 @@ impl TcpClient {
     }
 
     fn call_once(&mut self, req: &Request) -> Result<Response, CgError> {
-        let bytes = encode_request(req)?;
+        let bytes = encode_request(req, self.tenant.as_deref())?;
         write_frame(&mut self.stream, &bytes)
             .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
         let frame = read_frame(&mut self.stream).map_err(|e| {
-            if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
                 cg_telemetry::global().timeouts.inc();
             }
             CgError::ServiceFailure(format!("recv: {e}"))
@@ -1174,6 +1412,13 @@ impl TcpClient {
             Response::Error(e) => Err(CgError::Session(e)),
             Response::Fatal(e) => Err(CgError::SessionLost(e)),
             Response::Budget(v) => Err(CgError::BudgetExceeded(v)),
+            Response::Overloaded {
+                retry_after_ms,
+                reason,
+            } => Err(CgError::Overloaded {
+                retry_after_ms,
+                reason,
+            }),
             ok => Ok(ok),
         }
     }
@@ -1256,7 +1501,9 @@ pub struct TcpTransport {
 
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpTransport").field("policy", &self.policy).finish()
+        f.debug_struct("TcpTransport")
+            .field("policy", &self.policy)
+            .finish()
     }
 }
 
@@ -1359,11 +1606,13 @@ impl TcpTransport {
     /// Same as [`TcpTransport::call`]; callers typically ignore the result.
     pub fn call_teardown(&self, req: Request) -> Result<Response, CgError> {
         let kind = req.kind();
-        let mut span = cg_telemetry::global().trace.span(format!("rpc:teardown:{kind}"));
+        let mut span = cg_telemetry::global()
+            .trace
+            .span(format!("rpc:teardown:{kind}"));
         let mut client = self.inner.lock();
         let deadline = self.policy.teardown_deadline.min(client.timeout);
         let _ = client.stream.set_read_timeout(Some(deadline));
-        let bytes = encode_request(&req)?;
+        let bytes = encode_request(&req, client.tenant.as_deref())?;
         let result = (|| {
             write_frame(&mut client.stream, &bytes)
                 .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
@@ -1375,6 +1624,13 @@ impl TcpTransport {
                 Response::Error(e) => Err(CgError::Session(e)),
                 Response::Fatal(e) => Err(CgError::SessionLost(e)),
                 Response::Budget(v) => Err(CgError::BudgetExceeded(v)),
+                Response::Overloaded {
+                    retry_after_ms,
+                    reason,
+                } => Err(CgError::Overloaded {
+                    retry_after_ms,
+                    reason,
+                }),
                 ok => Ok(ok),
             }
         })();
@@ -1411,7 +1667,9 @@ impl TcpTransport {
             let this = if last {
                 req.take().expect("request is held until the final attempt")
             } else {
-                req.as_ref().expect("request is held until the final attempt").clone()
+                req.as_ref()
+                    .expect("request is held until the final attempt")
+                    .clone()
             };
             match self.call(this) {
                 Err(CgError::ServiceFailure(e)) if !last => {
@@ -1422,6 +1680,17 @@ impl TcpTransport {
                 Err(CgError::SessionLost(e)) if !last => {
                     policy.record_retry(kind, attempt, &e);
                     std::thread::sleep(policy.backoff_for(attempt));
+                }
+                // Overload is answered by a healthy server over a healthy
+                // socket: no reconnect, just back off at the server's floor.
+                Err(CgError::Overloaded {
+                    retry_after_ms,
+                    reason,
+                }) if !last => {
+                    policy.record_retry(kind, attempt, &reason);
+                    std::thread::sleep(
+                        policy.backoff_with_floor(attempt, Duration::from_millis(retry_after_ms)),
+                    );
                 }
                 other => return other,
             }
@@ -1489,7 +1758,10 @@ mod tests {
         ];
         for payload in &payloads {
             for cap in [1usize, 3, 7, 4096, usize::MAX] {
-                let mut w = DribbleWriter { cap, data: Vec::new() };
+                let mut w = DribbleWriter {
+                    cap,
+                    data: Vec::new(),
+                };
                 write_frame(&mut w, payload).unwrap();
                 let mut expect = (payload.len() as u32).to_le_bytes().to_vec();
                 expect.extend_from_slice(payload);
@@ -1506,7 +1778,10 @@ mod tests {
 
     impl CompilationSession for CountingSession {
         fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
-            vec![ActionSpaceInfo { name: "count".into(), actions: vec!["a".into(); 8] }]
+            vec![ActionSpaceInfo {
+                name: "count".into(),
+                actions: vec!["a".into(); 8],
+            }]
         }
         fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
             vec![]
@@ -1519,7 +1794,11 @@ mod tests {
         }
         fn apply_action(&mut self, _action: usize) -> Result<ActionOutcome, String> {
             self.steps += 1;
-            Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+            Ok(ActionOutcome {
+                end_of_episode: false,
+                action_space_changed: false,
+                changed: true,
+            })
         }
         fn observe(&mut self, _s: &str) -> Result<Observation, String> {
             Ok(Observation::Scalar(self.steps as f64))
@@ -1549,7 +1828,12 @@ mod tests {
     static TIMEOUT_COUNTER: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn start(client: &ServiceClient) -> u64 {
-        match client.call(Request::StartSession { benchmark: "x".into(), action_space: 0 }).unwrap()
+        match client
+            .call(Request::StartSession {
+                benchmark: "x".into(),
+                action_space: 0,
+            })
+            .unwrap()
         {
             Response::SessionStarted { session_id } => session_id,
             r => panic!("{r:?}"),
@@ -1558,34 +1842,51 @@ mod tests {
 
     #[test]
     fn panicking_session_is_isolated() {
-        let (factory, _) =
-            FaultPlan::seeded(1).schedule(2, FaultKind::Panic).wrap(counting_factory());
+        let (factory, _) = FaultPlan::seeded(1)
+            .schedule(2, FaultKind::Panic)
+            .wrap(counting_factory());
         let client = ServiceClient::spawn(factory, Duration::from_secs(5));
         let sid = start(&client);
         // Normal steps work (applies 0 and 1).
         let r = client
-            .call(Request::Step { session_id: sid, actions: vec![0, 1], observation_spaces: vec![] })
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![0, 1],
+                observation_spaces: vec![],
+            })
             .unwrap();
         assert!(matches!(r, Response::Stepped { .. }));
         // The crashing apply destroys the session, not the service.
         let e = client
-            .call(Request::Step { session_id: sid, actions: vec![3], observation_spaces: vec![] })
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![3],
+                observation_spaces: vec![],
+            })
             .unwrap_err();
         assert!(matches!(e, CgError::SessionLost(_)));
         // The service is still alive for new sessions.
-        assert!(matches!(client.call(Request::Ping).unwrap(), Response::Pong));
+        assert!(matches!(
+            client.call(Request::Ping).unwrap(),
+            Response::Pong
+        ));
         let sid2 = start(&client);
         assert_ne!(sid, sid2);
     }
 
     #[test]
     fn injected_backend_error_is_a_session_error() {
-        let (factory, stats) =
-            FaultPlan::seeded(1).schedule(0, FaultKind::Error).wrap(counting_factory());
+        let (factory, stats) = FaultPlan::seeded(1)
+            .schedule(0, FaultKind::Error)
+            .wrap(counting_factory());
         let client = ServiceClient::spawn(factory, Duration::from_secs(5));
         let sid = start(&client);
         let e = client
-            .call(Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] })
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![0],
+                observation_spaces: vec![],
+            })
             .unwrap_err();
         // Backend errors are legitimate results, never retried or recovered.
         assert!(matches!(e, CgError::Session(_)));
@@ -1602,7 +1903,11 @@ mod tests {
         let mut client = ServiceClient::spawn(factory, Duration::from_millis(100));
         let sid = start(&client);
         let e = client
-            .call(Request::Step { session_id: sid, actions: vec![2], observation_spaces: vec![] })
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![2],
+                observation_spaces: vec![],
+            })
             .unwrap_err();
         assert!(matches!(e, CgError::ServiceFailure(_)));
         // The policy-driven retry restarts the service; Ping succeeds again.
@@ -1619,9 +1924,7 @@ mod tests {
             .with_hang_duration(Duration::from_secs(2))
             .wrap(counting_factory());
         let mut client = ServiceClient::spawn(factory, Duration::from_secs(30));
-        client.set_policy(
-            RetryPolicy::default().with_teardown_deadline(Duration::from_millis(50)),
-        );
+        client.set_policy(RetryPolicy::default().with_teardown_deadline(Duration::from_millis(50)));
         let sid = start(&client);
         // Wedge the worker without waiting for the (long) call deadline.
         let (reply_tx, _reply_rx) = bounded(1);
@@ -1629,14 +1932,20 @@ mod tests {
             .tx
             .lock()
             .send((
-                Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] },
+                Request::Step {
+                    session_id: sid,
+                    actions: vec![0],
+                    observation_spaces: vec![],
+                },
                 None,
                 reply_tx,
             ))
             .unwrap();
         let timeouts_before = cg_telemetry::global().timeouts.get();
         let t = std::time::Instant::now();
-        let e = client.call_teardown(Request::EndSession { session_id: sid }).unwrap_err();
+        let e = client
+            .call_teardown(Request::EndSession { session_id: sid })
+            .unwrap_err();
         assert!(matches!(e, CgError::ServiceFailure(_)));
         assert!(
             t.elapsed() < Duration::from_secs(1),
@@ -1653,7 +1962,11 @@ mod tests {
         let client = ServiceClient::spawn(counting_factory(), Duration::from_secs(5));
         let sid = start(&client);
         client
-            .call(Request::Step { session_id: sid, actions: vec![0, 0], observation_spaces: vec![] })
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![0, 0],
+                observation_spaces: vec![],
+            })
             .unwrap();
         let forked = match client.call(Request::Fork { session_id: sid }).unwrap() {
             Response::Forked { session_id } => session_id,
@@ -1692,7 +2005,11 @@ mod tests {
         let kills_before = cg_telemetry::global().budget_kills.get();
         let t = std::time::Instant::now();
         let e = client
-            .call(Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] })
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![0],
+                observation_spaces: vec![],
+            })
             .unwrap_err();
         let elapsed = t.elapsed();
         match e {
@@ -1703,10 +2020,17 @@ mod tests {
             elapsed < Duration::from_millis(1000),
             "typed error must arrive promptly, took {elapsed:?}"
         );
-        assert_eq!(client.restarts(), 0, "budget kill must not restart the service");
+        assert_eq!(
+            client.restarts(),
+            0,
+            "budget kill must not restart the service"
+        );
         assert!(cg_telemetry::global().budget_kills.get() > kills_before);
         // The service survives and serves new sessions immediately.
-        assert!(matches!(client.call(Request::Ping).unwrap(), Response::Pong));
+        assert!(matches!(
+            client.call(Request::Ping).unwrap(),
+            Response::Pong
+        ));
         let sid2 = start(&client);
         assert_ne!(sid, sid2);
     }
@@ -1737,7 +2061,11 @@ mod tests {
         }
         // The session was destroyed; the service survives.
         let e = client
-            .call(Request::Step { session_id: sid, actions: vec![], observation_spaces: vec![] })
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![],
+                observation_spaces: vec![],
+            })
             .unwrap_err();
         assert!(matches!(e, CgError::Session(_)));
         assert_eq!(client.restarts(), 0);
@@ -1749,7 +2077,11 @@ mod tests {
         let sid = start(&client);
         for _ in 0..25 {
             client
-                .call(Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] })
+                .call(Request::Step {
+                    session_id: sid,
+                    actions: vec![0],
+                    observation_spaces: vec![],
+                })
                 .unwrap();
         }
         // Default interval K=10: snapshots at depths 10 and 20.
@@ -1818,9 +2150,15 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         std::thread::spawn(move || serve_tcp(listener, counting_factory()));
         let mut client = TcpClient::connect(&addr, Duration::from_secs(5)).unwrap();
-        assert!(matches!(client.call(&Request::Ping).unwrap(), Response::Pong));
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
         let sid = match client
-            .call(&Request::StartSession { benchmark: "x".into(), action_space: 0 })
+            .call(&Request::StartSession {
+                benchmark: "x".into(),
+                action_space: 0,
+            })
             .unwrap()
         {
             Response::SessionStarted { session_id } => session_id,
@@ -1916,14 +2254,20 @@ mod tests {
         let mut poisoned =
             TcpClient::connect_with_policy(&addr, Duration::from_secs(5), no_retry.clone())
                 .unwrap();
-        assert!(matches!(poisoned.call(&Request::Ping).unwrap(), Response::Pong));
+        assert!(matches!(
+            poisoned.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
         // The handler panics and this connection dies...
         let e = poisoned.call(&Request::GetSpaces).unwrap_err();
         assert!(matches!(e, CgError::ServiceFailure(_)));
         // ...but the accept loop survives: a fresh connection still works.
         let mut fresh =
             TcpClient::connect_with_policy(&addr, Duration::from_secs(5), no_retry).unwrap();
-        assert!(matches!(fresh.call(&Request::Ping).unwrap(), Response::Pong));
+        assert!(matches!(
+            fresh.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
         let _ = fresh.call(&Request::Shutdown);
     }
 
@@ -1947,8 +2291,75 @@ mod tests {
             RetryPolicy::default().with_max_attempts(4),
         )
         .unwrap();
-        assert!(matches!(client.call(&Request::Ping).unwrap(), Response::Pong));
-        assert!(tel.reconnects.get() > reconnects_before, "a reconnect was recorded");
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+        assert!(
+            tel.reconnects.get() > reconnects_before,
+            "a reconnect was recorded"
+        );
         let _ = client.call(&Request::Shutdown);
+    }
+
+    #[test]
+    fn tcp_connection_cap_refuses_in_band_and_recovers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || serve_tcp_with_limit(listener, counting_factory(), 1));
+        let no_retry = RetryPolicy::default().with_max_attempts(1);
+        let mut first =
+            TcpClient::connect_with_policy(&addr, Duration::from_secs(5), no_retry.clone())
+                .unwrap();
+        assert!(matches!(
+            first.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+
+        // The second connection is over the cap. Read before writing: the
+        // refusal arrives unsolicited as one typed `Overloaded` frame, so a
+        // refused client never has to race its request against the close.
+        let mut refused = std::net::TcpStream::connect(&addr).unwrap();
+        refused
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let frame = read_frame(&mut refused).unwrap();
+        let resp: Response = serde_json::from_slice(&frame).unwrap();
+        match resp {
+            Response::Overloaded {
+                retry_after_ms,
+                reason,
+            } => {
+                assert!(retry_after_ms > 0, "refusal must advise a retry delay");
+                assert!(reason.contains("connection cap"), "reason: {reason}");
+            }
+            other => panic!("expected a typed refusal, got {other:?}"),
+        }
+        drop(refused);
+
+        // Ending the first connection frees the slot; a later connect is
+        // admitted and served (polling, since the slot is released when the
+        // handler thread exits).
+        let _ = first.call(&Request::Shutdown);
+        drop(first);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut next =
+                TcpClient::connect_with_policy(&addr, Duration::from_secs(5), no_retry.clone())
+                    .unwrap();
+            match next.call(&Request::Ping) {
+                Ok(Response::Pong) => {
+                    let _ = next.call(&Request::Shutdown);
+                    break;
+                }
+                Ok(other) => panic!("unexpected ping reply: {other:?}"),
+                Err(CgError::Overloaded { .. } | CgError::ServiceFailure(_))
+                    if std::time::Instant::now() < deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("cap never released: {e}"),
+            }
+        }
     }
 }

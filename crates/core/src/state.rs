@@ -80,7 +80,10 @@ impl EnvState {
         // otherwise compare the final reward metric.
         let fingerprint = |env: &mut CompilerEnv| -> Result<String, CgError> {
             match env.observe("Ir") {
-                Ok(o) => Ok(format!("{:016x}", cg_ir::fnv1a(o.as_text().unwrap_or("").as_bytes()))),
+                Ok(o) => Ok(format!(
+                    "{:016x}",
+                    cg_ir::fnv1a(o.as_text().unwrap_or("").as_bytes())
+                )),
                 Err(_) => Ok(format!("{:.6}", env.episode_reward())),
             }
         };
@@ -135,7 +138,9 @@ mod tests {
         }
         let state = env.state();
         assert_eq!(state.actions.len(), 3);
-        state.validate().expect("deterministic passes must validate");
+        state
+            .validate()
+            .expect("deterministic passes must validate");
     }
 
     #[test]

@@ -107,7 +107,10 @@ mod tests {
         let mut optimized = reference.clone();
         pipeline::run_oz(&mut optimized);
         let verdict = validate_semantics(&reference, &optimized).unwrap();
-        assert!(matches!(verdict, SemanticsVerdict::Ok { runs } if runs >= 1), "{verdict:?}");
+        assert!(
+            matches!(verdict, SemanticsVerdict::Ok { runs } if runs >= 1),
+            "{verdict:?}"
+        );
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub struct Watchdog {
 
 impl std::fmt::Debug for Watchdog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Watchdog").field("restarts", &self.restarts()).finish()
+        f.debug_struct("Watchdog")
+            .field("restarts", &self.restarts())
+            .finish()
     }
 }
 
@@ -100,8 +102,7 @@ impl Watchdog {
                         "watchdog:restart",
                         format!(
                             "service unresponsive for {} probes of {:?}",
-                            config.misses,
-                            config.probe_deadline
+                            config.misses, config.probe_deadline
                         ),
                         Duration::ZERO,
                         cg_telemetry::SpanStatus::Recovered,
@@ -111,7 +112,11 @@ impl Watchdog {
                 }
             })
             .expect("spawn watchdog thread");
-        Watchdog { stop: stop_tx, handle: Some(handle), restarts }
+        Watchdog {
+            stop: stop_tx,
+            handle: Some(handle),
+            restarts,
+        }
     }
 
     /// Starts supervising `client` with the default configuration.
@@ -147,7 +152,10 @@ mod tests {
     struct Quiet;
     impl CompilationSession for Quiet {
         fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
-            vec![ActionSpaceInfo { name: "q".into(), actions: vec!["a".into(); 4] }]
+            vec![ActionSpaceInfo {
+                name: "q".into(),
+                actions: vec!["a".into(); 4],
+            }]
         }
         fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
             vec![]
@@ -159,7 +167,11 @@ mod tests {
             Ok(())
         }
         fn apply_action(&mut self, _a: usize) -> Result<ActionOutcome, String> {
-            Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+            Ok(ActionOutcome {
+                end_of_episode: false,
+                action_space_changed: false,
+                changed: true,
+            })
         }
         fn observe(&mut self, _s: &str) -> Result<Observation, String> {
             Ok(Observation::Scalar(0.0))
@@ -171,8 +183,10 @@ mod tests {
 
     #[test]
     fn healthy_service_is_left_alone() {
-        let client =
-            ServiceClient::spawn(std::sync::Arc::new(|| Box::new(Quiet)), Duration::from_secs(5));
+        let client = ServiceClient::spawn(
+            std::sync::Arc::new(|| Box::new(Quiet)),
+            Duration::from_secs(5),
+        );
         let dog = Watchdog::spawn(
             client.clone(),
             WatchdogConfig {
@@ -195,14 +209,21 @@ mod tests {
             .wrap(std::sync::Arc::new(|| Box::new(Quiet)));
         let client = ServiceClient::spawn(factory, Duration::from_secs(30));
         let sid = match client
-            .call(Request::StartSession { benchmark: "x".into(), action_space: 0 })
+            .call(Request::StartSession {
+                benchmark: "x".into(),
+                action_space: 0,
+            })
             .unwrap()
         {
             Response::SessionStarted { session_id } => session_id,
             r => panic!("{r:?}"),
         };
         client
-            .call(Request::Step { session_id: sid, actions: vec![0], observation_spaces: vec![] })
+            .call(Request::Step {
+                session_id: sid,
+                actions: vec![0],
+                observation_spaces: vec![],
+            })
             .unwrap();
         let dog = Watchdog::spawn(
             client.clone(),
@@ -232,7 +253,10 @@ mod tests {
         );
         assert!(dog.restarts() >= 1, "watchdog restarted the wedged service");
         // The fresh service answers again.
-        assert!(matches!(client.call(Request::Ping).unwrap(), Response::Pong));
+        assert!(matches!(
+            client.call(Request::Ping).unwrap(),
+            Response::Pong
+        ));
         drop(dog);
     }
 }

@@ -71,7 +71,11 @@ pub struct TimeLimit<E> {
 impl<E: Env> TimeLimit<E> {
     /// Wraps `env` with an episode limit of `limit` steps.
     pub fn new(env: E, limit: usize) -> TimeLimit<E> {
-        TimeLimit { env, limit, steps: 0 }
+        TimeLimit {
+            env,
+            limit,
+            steps: 0,
+        }
     }
 
     /// The wrapped environment.
@@ -128,7 +132,11 @@ impl<E: Env> CycleOverBenchmarks<E> {
     /// Panics if `benchmarks` is empty.
     pub fn new(env: E, benchmarks: Vec<String>) -> CycleOverBenchmarks<E> {
         assert!(!benchmarks.is_empty(), "need at least one benchmark");
-        CycleOverBenchmarks { env, benchmarks, next: 0 }
+        CycleOverBenchmarks {
+            env,
+            benchmarks,
+            next: 0,
+        }
     }
 }
 
@@ -220,7 +228,10 @@ impl<E: Env> ConcatActionHistogram<E> {
     /// Wraps `env`.
     pub fn new(env: E) -> ConcatActionHistogram<E> {
         let n = env.num_actions();
-        ConcatActionHistogram { env, histogram: vec![0; n] }
+        ConcatActionHistogram {
+            env,
+            histogram: vec![0; n],
+        }
     }
 
     fn concat(&self, obs: Observation) -> Result<Observation, CgError> {

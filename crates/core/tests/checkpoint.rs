@@ -30,7 +30,10 @@ struct CountingSession {
 
 impl CompilationSession for CountingSession {
     fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
-        vec![ActionSpaceInfo { name: "count".into(), actions: vec!["bump".into(); 8] }]
+        vec![ActionSpaceInfo {
+            name: "count".into(),
+            actions: vec!["bump".into(); 8],
+        }]
     }
     fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
         vec![ObservationSpaceInfo {
@@ -58,7 +61,11 @@ impl CompilationSession for CountingSession {
             panic!("chaos: scripted fault at apply ordinal {ordinal}");
         }
         self.steps += 1;
-        Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+        Ok(ActionOutcome {
+            end_of_episode: false,
+            action_space_changed: false,
+            changed: true,
+        })
     }
     fn observe(&mut self, _s: &str) -> Result<Observation, String> {
         Ok(Observation::Scalar(self.steps as f64))
@@ -120,16 +127,32 @@ fn fault_at_step_195_of_200_replays_at_most_k_actions() {
         assert_eq!(step.observation, Observation::Scalar((s + 1) as f64));
     }
     // Restored state is byte-identical: the counter arrived at exactly 200.
-    assert_eq!(env.observe("steps").unwrap(), Observation::Scalar(STEPS as f64));
-    assert!(env.service_restarts() >= 1, "panic recovery restarts the service");
-    assert_eq!(env.checkpoint_store().restores(), 1, "recovery used a checkpoint");
+    assert_eq!(
+        env.observe("steps").unwrap(),
+        Observation::Scalar(STEPS as f64)
+    );
+    assert!(
+        env.service_restarts() >= 1,
+        "panic recovery restarts the service"
+    );
+    assert_eq!(
+        env.checkpoint_store().restores(),
+        1,
+        "recovery used a checkpoint"
+    );
     // Apply-attempt accounting: 195 pre-fault successes + 1 panic + the
     // replayed suffix + 1 retried action + 4 remaining actions. The suffix
     // is everything between; prove it was ≤ K (and exactly 5 for K = 10).
     let total = attempts.load(Ordering::SeqCst);
     let replayed = total - (195 + 1 + 1 + 4);
-    assert!(replayed <= 10, "recovery replayed {replayed} actions, more than K=10");
-    assert_eq!(replayed, 5, "depth-190 checkpoint implies a 5-action suffix");
+    assert!(
+        replayed <= 10,
+        "recovery replayed {replayed} actions, more than K=10"
+    );
+    assert_eq!(
+        replayed, 5,
+        "depth-190 checkpoint implies a 5-action suffix"
+    );
 }
 
 /// Without checkpoint support (`save_state` returns `None`) the same fault
@@ -187,7 +210,11 @@ fn fault_recovery_without_checkpoints_replays_everything() {
         env.step((s % 8) as usize).unwrap();
     }
     assert_eq!(env.observe("steps").unwrap(), Observation::Scalar(30.0));
-    assert_eq!(env.checkpoint_store().restores(), 0, "nothing to restore from");
+    assert_eq!(
+        env.checkpoint_store().restores(),
+        0,
+        "nothing to restore from"
+    );
     // 25 pre-fault + 1 panic + 25 full replay + 1 retry + 4 remaining.
     assert_eq!(attempts.load(Ordering::SeqCst), 56);
 }
@@ -218,7 +245,8 @@ fn budget_violation_is_typed_and_prompt_without_restart() {
             .with_max_attempts(2)
             .with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
     );
-    env.set_resource_budget(ResourceBudget::default().with_step_wall(WALL)).unwrap();
+    env.set_resource_budget(ResourceBudget::default().with_step_wall(WALL))
+        .unwrap();
     env.reset().unwrap();
     let started = Instant::now();
     let err = env.step(0).unwrap_err();
@@ -233,7 +261,11 @@ fn budget_violation_is_typed_and_prompt_without_restart() {
         elapsed < 2 * WALL * 2 + Duration::from_secs(2),
         "budget kill took {elapsed:?}, not in-band"
     );
-    assert_eq!(env.service_restarts(), 0, "budget kills must not restart the service");
+    assert_eq!(
+        env.service_restarts(),
+        0,
+        "budget kills must not restart the service"
+    );
 }
 
 /// A budget-killed step on a *recoverable* episode is absorbed: the session

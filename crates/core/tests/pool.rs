@@ -50,13 +50,19 @@ fn serial_eval(env: &mut CompilerEnv, benchmark: &str, actions: &[usize]) -> (f6
 }
 
 fn named(env: &CompilerEnv, names: &[&str]) -> Vec<usize> {
-    names.iter().map(|n| env.action_space().index_of(n).expect("known action")).collect()
+    names
+        .iter()
+        .map(|n| env.action_space().index_of(n).expect("known action"))
+        .collect()
 }
 
 #[test]
 fn batch_matches_serial_and_repeats_hit_cache() {
     let mut reference = llvm_env();
-    let seq_a = named(&reference, &["mem2reg", "instcombine", "gvn", "simplifycfg"]);
+    let seq_a = named(
+        &reference,
+        &["mem2reg", "instcombine", "gvn", "simplifycfg"],
+    );
     let seq_b = named(&reference, &["sroa", "sccp", "dce", "adce", "instcombine"]);
     let seq_c = named(&reference, &["mem2reg", "licm", "gvn"]);
     let expect: Vec<(f64, f64)> = [(CRC32, &seq_a), (QSORT, &seq_b), (CRC32, &seq_c)]
@@ -67,7 +73,10 @@ fn batch_matches_serial_and_repeats_hit_cache() {
     let pool = EnvPool::new(2, llvm_factory());
     let jobs: Vec<ActionSeq> = [(CRC32, &seq_a), (QSORT, &seq_b), (CRC32, &seq_c)]
         .iter()
-        .map(|(b, s)| ActionSeq { benchmark: (*b).into(), actions: (*s).clone() })
+        .map(|(b, s)| ActionSeq {
+            benchmark: (*b).into(),
+            actions: (*s).clone(),
+        })
         .collect();
 
     let first = pool.evaluate_batch(jobs.clone());
@@ -75,8 +84,16 @@ fn batch_matches_serial_and_repeats_hit_cache() {
     for (out, (score, metric)) in first.iter().zip(&expect) {
         assert!(out.error.is_none(), "job failed: {:?}", out.error);
         assert!(!out.cached, "first evaluation cannot be a cache hit");
-        assert_eq!(out.score.to_bits(), score.to_bits(), "pool score diverged from serial");
-        assert_eq!(out.metric.to_bits(), metric.to_bits(), "pool metric diverged from serial");
+        assert_eq!(
+            out.score.to_bits(),
+            score.to_bits(),
+            "pool score diverged from serial"
+        );
+        assert_eq!(
+            out.metric.to_bits(),
+            metric.to_bits(),
+            "pool metric diverged from serial"
+        );
     }
 
     // The same batch again is answered entirely from the exact cache, with
@@ -98,7 +115,16 @@ fn prefix_snapshots_are_reused_for_novel_suffixes() {
     // snapshot interval of 4, the second only executes its suffix.
     let long_a = named(
         &reference,
-        &["mem2reg", "instcombine", "gvn", "simplifycfg", "sccp", "dce", "licm", "adce"],
+        &[
+            "mem2reg",
+            "instcombine",
+            "gvn",
+            "simplifycfg",
+            "sccp",
+            "dce",
+            "licm",
+            "adce",
+        ],
     );
     let mut long_b = long_a.clone();
     let tail = named(&reference, &["sroa", "instcombine", "dse", "dce"]);
@@ -109,18 +135,36 @@ fn prefix_snapshots_are_reused_for_novel_suffixes() {
     let pool = EnvPool::new(1, llvm_factory());
     let prefix_hits_before = tel.pool.prefix_hits.get();
     let executed_before = tel.pool.actions_executed.get();
-    let a = pool
-        .evaluate_batch(vec![ActionSeq { benchmark: CRC32.into(), actions: long_a.clone() }]);
+    let a = pool.evaluate_batch(vec![ActionSeq {
+        benchmark: CRC32.into(),
+        actions: long_a.clone(),
+    }]);
     assert!(a[0].error.is_none());
-    assert!(pool.cache().snapshot_count() >= 1, "interval snapshots were not deposited");
+    assert!(
+        pool.cache().snapshot_count() >= 1,
+        "interval snapshots were not deposited"
+    );
 
-    let b =
-        pool.evaluate_batch(vec![ActionSeq { benchmark: CRC32.into(), actions: long_b.clone() }]);
+    let b = pool.evaluate_batch(vec![ActionSeq {
+        benchmark: CRC32.into(),
+        actions: long_b.clone(),
+    }]);
     assert!(b[0].error.is_none());
     assert!(!b[0].cached, "novel suffix is not an exact hit");
-    assert_eq!(b[0].score.to_bits(), expect_b.0.to_bits(), "prefix restore changed the score");
-    assert_eq!(b[0].metric.to_bits(), expect_b.1.to_bits(), "prefix restore changed the metric");
-    assert!(tel.pool.prefix_hits.get() > prefix_hits_before, "no prefix hit recorded");
+    assert_eq!(
+        b[0].score.to_bits(),
+        expect_b.0.to_bits(),
+        "prefix restore changed the score"
+    );
+    assert_eq!(
+        b[0].metric.to_bits(),
+        expect_b.1.to_bits(),
+        "prefix restore changed the metric"
+    );
+    assert!(
+        tel.pool.prefix_hits.get() > prefix_hits_before,
+        "no prefix hit recorded"
+    );
     // 8 actions for the first sequence, only the 4-action suffix for the
     // second (global counter: other tests may add, never subtract).
     assert!(
@@ -182,20 +226,33 @@ fn worker_panic_mid_batch_spares_siblings_and_cache() {
     .iter()
     .map(|names| named(&reference, names))
     .collect();
-    let expect: Vec<(f64, f64)> =
-        seqs.iter().map(|s| serial_eval(&mut reference, CRC32, s)).collect();
+    let expect: Vec<(f64, f64)> = seqs
+        .iter()
+        .map(|s| serial_eval(&mut reference, CRC32, s))
+        .collect();
 
     let cache = Arc::new(EvalCache::default());
     let pool = EnvPool::with_cache(2, factory, Arc::clone(&cache));
     let panics_before = tel.pool.job_panics.get();
-    let jobs: Vec<ActionSeq> =
-        seqs.iter().map(|s| ActionSeq { benchmark: CRC32.into(), actions: s.clone() }).collect();
+    let jobs: Vec<ActionSeq> = seqs
+        .iter()
+        .map(|s| ActionSeq {
+            benchmark: CRC32.into(),
+            actions: s.clone(),
+        })
+        .collect();
     let out = pool.evaluate_batch(jobs.clone());
 
-    let failed: Vec<usize> =
-        (0..out.len()).filter(|&i| out[i].error.is_some()).collect();
-    assert_eq!(failed.len(), 1, "exactly the poisoned build's job fails: {out:?}");
-    assert!(tel.pool.job_panics.get() > panics_before, "panic not recorded");
+    let failed: Vec<usize> = (0..out.len()).filter(|&i| out[i].error.is_some()).collect();
+    assert_eq!(
+        failed.len(),
+        1,
+        "exactly the poisoned build's job fails: {out:?}"
+    );
+    assert!(
+        tel.pool.job_panics.get() > panics_before,
+        "panic not recorded"
+    );
     for (i, o) in out.iter().enumerate() {
         if o.error.is_some() {
             assert!(o.score.is_infinite() && o.score < 0.0);
@@ -205,7 +262,11 @@ fn worker_panic_mid_batch_spares_siblings_and_cache() {
                 "panicked evaluation leaked into the cache"
             );
         } else {
-            assert_eq!(o.score.to_bits(), expect[i].0.to_bits(), "sibling job corrupted");
+            assert_eq!(
+                o.score.to_bits(),
+                expect[i].0.to_bits(),
+                "sibling job corrupted"
+            );
         }
     }
 

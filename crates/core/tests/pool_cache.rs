@@ -79,7 +79,11 @@ fn two_hundred_random_pairs_cached_equals_fresh() {
         let fresh_score = reference.episode_reward();
         let fresh_metric = reference.last_metric();
         for (label, out) in [("first", &first[i]), ("second", &second[i])] {
-            assert!(out.error.is_none(), "{label} sweep pair {i} failed: {:?}", out.error);
+            assert!(
+                out.error.is_none(),
+                "{label} sweep pair {i} failed: {:?}",
+                out.error
+            );
             assert_eq!(
                 out.score.to_bits(),
                 fresh_score.to_bits(),
@@ -97,7 +101,10 @@ fn two_hundred_random_pairs_cached_equals_fresh() {
                 fresh_metric
             );
         }
-        assert!(second[i].cached, "pair {i} missed the exact cache on the second sweep");
+        assert!(
+            second[i].cached,
+            "pair {i} missed the exact cache on the second sweep"
+        );
     }
 }
 

@@ -33,8 +33,15 @@ const RECIPE: [&str; 10] = [
 ];
 
 fn llvm_env(factory: SessionFactory, timeout: Duration) -> CompilerEnv {
-    CompilerEnv::with_factory("llvm-v0", factory, BENCH, "Autophase", "IrInstructionCount", timeout)
-        .unwrap()
+    CompilerEnv::with_factory(
+        "llvm-v0",
+        factory,
+        BENCH,
+        "Autophase",
+        "IrInstructionCount",
+        timeout,
+    )
+    .unwrap()
 }
 
 /// Runs the recipe fault-free: (cumulative reward, final Autophase vector).
@@ -66,15 +73,28 @@ fn panic_at_step_5_of_10_is_recovered_transparently() {
         env.step(a).unwrap();
     }
     assert_eq!(stats.panics(), 1, "exactly the scheduled panic fired");
-    assert!(env.service_restarts() >= 1, "recovery restarted the service");
-    assert!(tel.recoveries.get() > recoveries_before, "replay recovery not recorded");
-    assert!(tel.trace.events().iter().any(|e| e.span == "env:replay"), "no env:replay trace");
+    assert!(
+        env.service_restarts() >= 1,
+        "recovery restarted the service"
+    );
+    assert!(
+        tel.recoveries.get() > recoveries_before,
+        "replay recovery not recorded"
+    );
+    assert!(
+        tel.trace.events().iter().any(|e| e.span == "env:replay"),
+        "no env:replay trace"
+    );
     assert!(
         (env.episode_reward() - ref_reward).abs() < 1e-9,
         "episode reward diverged after recovery: {} vs {ref_reward}",
         env.episode_reward()
     );
-    assert_eq!(env.observe("Autophase").unwrap(), ref_obs, "state diverged after recovery");
+    assert_eq!(
+        env.observe("Autophase").unwrap(),
+        ref_obs,
+        "state diverged after recovery"
+    );
 }
 
 #[test]
@@ -91,7 +111,10 @@ fn hang_at_step_5_of_10_is_recovered_transparently() {
         env.step(a).unwrap();
     }
     assert_eq!(stats.hangs(), 1, "exactly the scheduled hang fired");
-    assert!(env.service_restarts() >= 1, "the wedged service was restarted");
+    assert!(
+        env.service_restarts() >= 1,
+        "the wedged service was restarted"
+    );
     assert!((env.episode_reward() - ref_reward).abs() < 1e-9);
     assert_eq!(env.observe("Autophase").unwrap(), ref_obs);
 }
@@ -109,7 +132,10 @@ struct GenSession {
 
 impl CompilationSession for GenSession {
     fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
-        vec![ActionSpaceInfo { name: "gen".into(), actions: vec!["a".into(); 4] }]
+        vec![ActionSpaceInfo {
+            name: "gen".into(),
+            actions: vec!["a".into(); 4],
+        }]
     }
     fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
         vec![ObservationSpaceInfo {
@@ -133,13 +159,23 @@ impl CompilationSession for GenSession {
     }
     fn apply_action(&mut self, _a: usize) -> Result<ActionOutcome, String> {
         self.steps += 1;
-        Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+        Ok(ActionOutcome {
+            end_of_episode: false,
+            action_space_changed: false,
+            changed: true,
+        })
     }
     fn observe(&mut self, _s: &str) -> Result<Observation, String> {
-        Ok(Observation::Scalar((self.gen * self.gen_scale + self.steps) as f64))
+        Ok(Observation::Scalar(
+            (self.gen * self.gen_scale + self.steps) as f64,
+        ))
     }
     fn fork(&self) -> Box<dyn CompilationSession> {
-        Box::new(GenSession { gen: self.gen, gen_scale: self.gen_scale, steps: self.steps })
+        Box::new(GenSession {
+            gen: self.gen,
+            gen_scale: self.gen_scale,
+            steps: self.steps,
+        })
     }
 }
 
@@ -147,7 +183,11 @@ fn gen_factory(gen_scale: u64) -> SessionFactory {
     let built = Arc::new(AtomicU64::new(0));
     Arc::new(move || {
         let gen = built.fetch_add(1, Ordering::Relaxed);
-        Box::new(GenSession { gen, gen_scale, steps: 0 })
+        Box::new(GenSession {
+            gen,
+            gen_scale,
+            steps: 0,
+        })
     })
 }
 
@@ -168,11 +208,12 @@ fn nondeterministic_replay_surfaces_typed_divergence() {
     let tel = cg_telemetry::global();
     // Every restart shifts the metric by 1000, so a replayed episode can
     // never match the pre-fault value.
-    let (factory, _) = FaultPlan::seeded(5).schedule(2, FaultKind::Panic).wrap(gen_factory(1000));
+    let (factory, _) = FaultPlan::seeded(5)
+        .schedule(2, FaultKind::Panic)
+        .wrap(gen_factory(1000));
     let mut env = gen_env(factory);
     env.set_retry_policy(
-        RetryPolicy::default()
-            .with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
+        RetryPolicy::default().with_backoff(Duration::from_millis(1), Duration::from_millis(5)),
     );
     env.reset().unwrap();
     env.step(0).unwrap(); // apply 0
@@ -183,17 +224,28 @@ fn nondeterministic_replay_surfaces_typed_divergence() {
         panic!("divergent replay must be typed, got {err:?}");
     };
     // The error carries a self-contained reproducer on disk.
-    let path = repro.as_deref().expect("divergence should dump a reproducer");
+    let path = repro
+        .as_deref()
+        .expect("divergence should dump a reproducer");
     let dump = cg_difftest::DivergenceRepro::load(std::path::Path::new(path)).unwrap();
     // The committed history that diverged on replay (the panicked action
     // itself was never committed).
     assert_eq!(dump.actions, vec![0, 1]);
     assert_eq!(dump.metric_space, "Metric");
-    assert!(err.to_string().contains(path), "error message should point at the reproducer");
-    let _ = std::fs::remove_file(path);
-    assert!(tel.replay_divergences.get() > divergences_before, "divergence not counted");
     assert!(
-        tel.trace.events().iter().any(|e| e.span == "env:replay-divergence"),
+        err.to_string().contains(path),
+        "error message should point at the reproducer"
+    );
+    let _ = std::fs::remove_file(path);
+    assert!(
+        tel.replay_divergences.get() > divergences_before,
+        "divergence not counted"
+    );
+    assert!(
+        tel.trace
+            .events()
+            .iter()
+            .any(|e| e.span == "env:replay-divergence"),
         "no env:replay-divergence trace"
     );
     // The episode is unusable but the environment is not: reset() starts
@@ -206,7 +258,9 @@ fn nondeterministic_replay_surfaces_typed_divergence() {
 fn unrecovered_failure_leaves_no_stale_session() {
     // Every apply panics, forever: recovery replays succeed (empty history)
     // but the retried step always dies, so the failure ultimately surfaces.
-    let (factory, _) = FaultPlan::seeded(6).with_panic_prob(1.0).wrap(gen_factory(0));
+    let (factory, _) = FaultPlan::seeded(6)
+        .with_panic_prob(1.0)
+        .wrap(gen_factory(0));
     let mut env = gen_env(factory);
     env.set_retry_policy(
         RetryPolicy::default()
@@ -219,7 +273,10 @@ fn unrecovered_failure_leaves_no_stale_session() {
     // The dead worker's session id must not be retained: the next call is a
     // clean usage error, not a request addressed to a ghost session.
     let err2 = env.step(0).unwrap_err();
-    assert!(matches!(err2, CgError::Usage(_)), "stale session retained: {err2:?}");
+    assert!(
+        matches!(err2, CgError::Usage(_)),
+        "stale session retained: {err2:?}"
+    );
     // And reset() re-establishes a working episode (init is fault-free).
     env.reset().unwrap();
 }

@@ -55,7 +55,9 @@ fn llvm_steps_populate_request_and_pass_telemetry() {
     let events = tel.trace.events();
     for prefix in ["step", "observation:Autophase", "pass:mem2reg", "reset"] {
         assert!(
-            events.iter().any(|e| e.span == prefix || e.span.starts_with(prefix)),
+            events
+                .iter()
+                .any(|e| e.span == prefix || e.span.starts_with(prefix)),
             "no `{prefix}` span in trace"
         );
     }
@@ -76,7 +78,10 @@ struct PanickySession;
 
 impl CompilationSession for PanickySession {
     fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
-        vec![ActionSpaceInfo { name: "panicky".into(), actions: vec!["ok".into(), "boom".into()] }]
+        vec![ActionSpaceInfo {
+            name: "panicky".into(),
+            actions: vec!["ok".into(), "boom".into()],
+        }]
     }
     fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
         vec![ObservationSpaceInfo {
@@ -102,7 +107,11 @@ impl CompilationSession for PanickySession {
         if action == 1 {
             panic!("simulated compiler crash");
         }
-        Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: false })
+        Ok(ActionOutcome {
+            end_of_episode: false,
+            action_space_changed: false,
+            changed: false,
+        })
     }
     fn observe(&mut self, _space: &str) -> Result<Observation, String> {
         Ok(Observation::Scalar(0.0))
@@ -135,11 +144,20 @@ fn panicking_session_is_counted_and_traced() {
     // exhausted, then surfaces the typed session-loss error.
     let recoveries_before = tel.recoveries.get();
     let err = env.step(1).unwrap_err();
-    assert!(matches!(err, CgError::SessionLost(_)), "deterministic panic surfaces: {err:?}");
-    assert!(tel.recoveries.get() > recoveries_before, "recovery replays not counted");
+    assert!(
+        matches!(err, CgError::SessionLost(_)),
+        "deterministic panic surfaces: {err:?}"
+    );
+    assert!(
+        tel.recoveries.get() > recoveries_before,
+        "recovery replays not counted"
+    );
 
     // The panic was counted and traced, and the error response tallied.
-    assert!(tel.panics.get() > panics_before, "panic counter did not grow");
+    assert!(
+        tel.panics.get() > panics_before,
+        "panic counter did not grow"
+    );
     assert!(tel.request_errors.get("Step").get() > errors_before);
     assert!(tel.trace.events().iter().any(|e| e.span == "service:panic"));
 
@@ -153,7 +171,10 @@ fn hung_service_restart_is_counted() {
     struct HangOnInit;
     impl CompilationSession for HangOnInit {
         fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
-            vec![ActionSpaceInfo { name: "hang".into(), actions: vec!["a".into()] }]
+            vec![ActionSpaceInfo {
+                name: "hang".into(),
+                actions: vec!["a".into()],
+            }]
         }
         fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
             vec![ObservationSpaceInfo {
@@ -205,8 +226,15 @@ fn hung_service_restart_is_counted() {
     // attempt restarts the service and is recorded.
     let err = env.reset().unwrap_err();
     assert!(matches!(err, CgError::ServiceFailure(_)));
-    assert!(tel.restarts.get() >= restarts_before + 2, "transparent restarts not counted");
+    assert!(
+        tel.restarts.get() >= restarts_before + 2,
+        "transparent restarts not counted"
+    );
     assert!(tel.timeouts.get() > timeouts_before, "timeout not counted");
     assert!(env.service_restarts() >= 2);
-    assert!(tel.trace.events().iter().any(|e| e.span == "service:restart"));
+    assert!(tel
+        .trace
+        .events()
+        .iter()
+        .any(|e| e.span == "service:restart"));
 }

@@ -29,7 +29,10 @@ struct RecSession {
 
 impl CompilationSession for RecSession {
     fn action_spaces(&self) -> Vec<ActionSpaceInfo> {
-        vec![ActionSpaceInfo { name: "rec".into(), actions: vec!["a".into(); 8] }]
+        vec![ActionSpaceInfo {
+            name: "rec".into(),
+            actions: vec!["a".into(); 8],
+        }]
     }
     fn observation_spaces(&self) -> Vec<ObservationSpaceInfo> {
         vec![ObservationSpaceInfo {
@@ -53,7 +56,11 @@ impl CompilationSession for RecSession {
     }
     fn apply_action(&mut self, _action: usize) -> Result<ActionOutcome, String> {
         self.steps += 1;
-        Ok(ActionOutcome { end_of_episode: false, action_space_changed: false, changed: true })
+        Ok(ActionOutcome {
+            end_of_episode: false,
+            action_space_changed: false,
+            changed: true,
+        })
     }
     fn observe(&mut self, _space: &str) -> Result<Observation, String> {
         Ok(Observation::Scalar(self.steps as f64))
@@ -150,20 +157,26 @@ fn tcp_reconnect_recovery_yields_one_connected_span_tree_per_step() {
     for _ in 0..6 {
         env.step(0).unwrap();
     }
-    assert!(env.service_restarts() >= 1, "the hang must have forced a reconnect");
+    assert!(
+        env.service_restarts() >= 1,
+        "the hang must have forced a reconnect"
+    );
     env.close();
 
     let ep = episode_for(bench);
     assert_connected(&ep);
     // The recovery rungs are present, carry `recovered` status, and sit in
     // the faulted step's trace (not in fresh, disconnected traces).
-    let step_traces: HashSet<u64> =
-        spans_named(&ep, "env:step").map(|s| s.trace_id).collect();
+    let step_traces: HashSet<u64> = spans_named(&ep, "env:step").map(|s| s.trace_id).collect();
     for name in ["tcp:reconnect", "env:checkpoint-restore", "env:replay"] {
-        let span = spans_named(&ep, name).next().unwrap_or_else(|| {
-            panic!("no `{name}` span in episode {}", ep.episode_id)
-        });
-        assert_eq!(span.status, SpanStatus::Recovered, "`{name}` not marked recovered");
+        let span = spans_named(&ep, name)
+            .next()
+            .unwrap_or_else(|| panic!("no `{name}` span in episode {}", ep.episode_id));
+        assert_eq!(
+            span.status,
+            SpanStatus::Recovered,
+            "`{name}` not marked recovered"
+        );
         assert!(
             step_traces.contains(&span.trace_id),
             "`{name}` is not part of a step's span tree"
@@ -176,11 +189,14 @@ fn tcp_reconnect_recovery_yields_one_connected_span_tree_per_step() {
     );
     // Context crossed the wire: the remote dispatch span parents under the
     // client's rpc span within the same trace.
-    let rpc_ids: HashSet<u64> =
-        ep.spans.iter().filter(|s| s.span == "rpc:Step").map(|s| s.span_id).collect();
+    let rpc_ids: HashSet<u64> = ep
+        .spans
+        .iter()
+        .filter(|s| s.span == "rpc:Step")
+        .map(|s| s.span_id)
+        .collect();
     assert!(
-        spans_named(&ep, "service:Step")
-            .any(|s| s.parent_id.is_some_and(|p| rpc_ids.contains(&p))),
+        spans_named(&ep, "service:Step").any(|s| s.parent_id.is_some_and(|p| rpc_ids.contains(&p))),
         "no service:Step span parented under a client rpc:Step span"
     );
 }
@@ -212,10 +228,14 @@ fn checkpoint_restore_recovery_spans_stay_connected_in_process() {
     let ep = episode_for(bench);
     assert_connected(&ep);
     for name in ["env:checkpoint-restore", "env:replay"] {
-        let span = spans_named(&ep, name).next().unwrap_or_else(|| {
-            panic!("no `{name}` span in episode {}", ep.episode_id)
-        });
-        assert_eq!(span.status, SpanStatus::Recovered, "`{name}` not marked recovered");
+        let span = spans_named(&ep, name)
+            .next()
+            .unwrap_or_else(|| panic!("no `{name}` span in episode {}", ep.episode_id));
+        assert_eq!(
+            span.status,
+            SpanStatus::Recovered,
+            "`{name}` not marked recovered"
+        );
     }
     assert!(
         spans_named(&ep, "env:step").any(|s| s.status == SpanStatus::Recovered),
@@ -223,16 +243,18 @@ fn checkpoint_restore_recovery_spans_stay_connected_in_process() {
     );
     // Context crossed the in-process channel: service dispatch spans parent
     // under the client's rpc spans.
-    let rpc_ids: HashSet<u64> =
-        ep.spans.iter().filter(|s| s.span.starts_with("rpc:")).map(|s| s.span_id).collect();
+    let rpc_ids: HashSet<u64> = ep
+        .spans
+        .iter()
+        .filter(|s| s.span.starts_with("rpc:"))
+        .map(|s| s.span_id)
+        .collect();
     assert!(
-        spans_named(&ep, "service:Step")
-            .any(|s| s.parent_id.is_some_and(|p| rpc_ids.contains(&p))),
+        spans_named(&ep, "service:Step").any(|s| s.parent_id.is_some_and(|p| rpc_ids.contains(&p))),
         "no service:Step span parented under a client rpc span"
     );
     // One trace per step: 8 steps → 8 distinct step traces, each also
     // carrying its own `step` summary event.
-    let step_traces: HashSet<u64> =
-        spans_named(&ep, "env:step").map(|s| s.trace_id).collect();
+    let step_traces: HashSet<u64> = spans_named(&ep, "env:step").map(|s| s.trace_id).collect();
     assert_eq!(step_traces.len(), 8, "expected one trace per step");
 }

@@ -94,7 +94,13 @@ pub fn deoptimize_function(f: &mut Function) {
                         phi_stores.push((*pred, slot, *val));
                     }
                     // The φ itself becomes a load at the top of the block.
-                    out.push(Inst::new(d, inst.ty, Op::Load { ptr: Operand::Value(slot) }));
+                    out.push(Inst::new(
+                        d,
+                        inst.ty,
+                        Op::Load {
+                            ptr: Operand::Value(slot),
+                        },
+                    ));
                     continue;
                 }
                 continue; // already emitted in the φ prefix
@@ -104,7 +110,13 @@ pub fn deoptimize_function(f: &mut Function) {
                 if let Some(v) = o.as_value() {
                     if let Some(&slot) = slots.get(&v) {
                         let l = fresh();
-                        out.push(Inst::new(l, types[&v], Op::Load { ptr: Operand::Value(slot) }));
+                        out.push(Inst::new(
+                            l,
+                            types[&v],
+                            Op::Load {
+                                ptr: Operand::Value(slot),
+                            },
+                        ));
                         *o = Operand::Value(l);
                     }
                 }
@@ -129,7 +141,13 @@ pub fn deoptimize_function(f: &mut Function) {
             if let Some(v) = o.as_value() {
                 if let Some(&slot) = slots.get(&v) {
                     let l = fresh();
-                    out.push(Inst::new(l, types[&v], Op::Load { ptr: Operand::Value(slot) }));
+                    out.push(Inst::new(
+                        l,
+                        types[&v],
+                        Op::Load {
+                            ptr: Operand::Value(slot),
+                        },
+                    ));
                     *o = Operand::Value(l);
                 }
             }
@@ -147,7 +165,9 @@ pub fn deoptimize_function(f: &mut Function) {
                     f.block_mut(pred).insts.push(Inst::new(
                         l,
                         types[&v],
-                        Op::Load { ptr: Operand::Value(vslot) },
+                        Op::Load {
+                            ptr: Operand::Value(vslot),
+                        },
                     ));
                     value = Operand::Value(l);
                 }

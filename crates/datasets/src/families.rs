@@ -103,9 +103,7 @@ impl DatasetInfo {
     /// The first `limit` benchmark paths of this dataset.
     pub fn benchmark_paths(&self, limit: usize) -> Vec<String> {
         match self.size {
-            DatasetSize::Named(names) => {
-                names.iter().take(limit).map(|s| s.to_string()).collect()
-            }
+            DatasetSize::Named(names) => names.iter().take(limit).map(|s| s.to_string()).collect(),
             DatasetSize::Indexed(n) => (0..n.min(limit as u64)).map(|i| i.to_string()).collect(),
             DatasetSize::Seeded => (0..limit as u64).map(|i| i.to_string()).collect(),
         }
@@ -121,10 +119,9 @@ impl DatasetInfo {
             path: path.to_string(),
         };
         let index: u64 = match self.size {
-            DatasetSize::Named(names) => names
-                .iter()
-                .position(|n| *n == path)
-                .ok_or_else(unknown)? as u64,
+            DatasetSize::Named(names) => {
+                names.iter().position(|n| *n == path).ok_or_else(unknown)? as u64
+            }
             DatasetSize::Indexed(n) => {
                 let i: u64 = path.parse().map_err(|_| unknown())?;
                 if i >= n {
@@ -281,9 +278,15 @@ fn build_chstone(path: &str, _index: u64) -> Result<Module, DatasetError> {
         "adpcm" => k::single(path, |mb| k::emit_adpcm(mb, "adpcm_main", 1024, true)),
         "aes" => k::single(path, |mb| k::emit_feistel(mb, "aes_main", 128, 10, false)),
         "blowfish" => k::single(path, |mb| k::emit_feistel(mb, "bf_main", 128, 16, false)),
-        "dfadd" => k::single(path, |mb| k::emit_float_chain(mb, "float64_add", 2048, BinOp::FAdd)),
-        "dfdiv" => k::single(path, |mb| k::emit_float_chain(mb, "float64_div", 1024, BinOp::FDiv)),
-        "dfmul" => k::single(path, |mb| k::emit_float_chain(mb, "float64_mul", 2048, BinOp::FMul)),
+        "dfadd" => k::single(path, |mb| {
+            k::emit_float_chain(mb, "float64_add", 2048, BinOp::FAdd)
+        }),
+        "dfdiv" => k::single(path, |mb| {
+            k::emit_float_chain(mb, "float64_div", 1024, BinOp::FDiv)
+        }),
+        "dfmul" => k::single(path, |mb| {
+            k::emit_float_chain(mb, "float64_mul", 2048, BinOp::FMul)
+        }),
         "dfsin" => k::single(path, |mb| k::emit_sine_taylor(mb, "local_sin", 1024)),
         "gsm" => k::single(path, |mb| k::emit_autocorr(mb, "lpc_autocorr", 1024, 8)),
         "jpeg" => k::single(path, |mb| k::emit_dct8x8(mb, "chenidct", 24)),
@@ -314,14 +317,20 @@ fn build_mibench(path: &str, index: u64) -> Result<Module, DatasetError> {
     let m = match index % 10 {
         0 => k::single(path, |mb| k::emit_bitcount(mb, "bc", 512 << (v % 3))),
         1 => k::single(path, |mb| k::emit_crc32(mb, "crc", 1024 << (v % 3))),
-        2 => k::single(path, |mb| k::emit_fir(mb, "fft_ish", 512 << (v % 3), 8 + 4 * v)),
+        2 => k::single(path, |mb| {
+            k::emit_fir(mb, "fft_ish", 512 << (v % 3), 8 + 4 * v)
+        }),
         3 => k::single(path, |mb| k::emit_sort_kernel(mb, "qs", 128 + 64 * v)),
         4 => k::single(path, |mb| k::emit_stencil2d(mb, "susan_s", 24 + 8 * v, 24)),
         5 => k::single(path, |mb| k::emit_dijkstra(mb, "dij", 12 + 2 * v)),
-        6 => k::single(path, |mb| k::emit_hash_probe(mb, "patricia", 256 << (v % 3), 9)),
+        6 => k::single(path, |mb| {
+            k::emit_hash_probe(mb, "patricia", 256 << (v % 3), 9)
+        }),
         7 => k::single(path, |mb| k::emit_stringsearch(mb, "search", 1024, 8 + v)),
         8 => k::single(path, |mb| k::emit_sha_mix(mb, "sha", 32 + 16 * v)),
-        _ => k::single(path, |mb| k::emit_adpcm(mb, "adpcm", 512 << (v % 3), v.is_multiple_of(2))),
+        _ => k::single(path, |mb| {
+            k::emit_adpcm(mb, "adpcm", 512 << (v % 3), v.is_multiple_of(2))
+        }),
     };
     Ok(with_uri_name(m, "mibench-v1", path))
 }
@@ -333,8 +342,12 @@ fn build_blas(path: &str, index: u64) -> Result<Module, DatasetError> {
         0 => k::single(path, |mb| k::emit_matmul(mb, "gemm", n.min(24))),
         1 => k::single(path, |mb| k::emit_fir(mb, "dot", n * 16, 8)),
         2 => k::single(path, |mb| k::emit_autocorr(mb, "syrk_ish", n * 8, 8)),
-        3 => k::single(path, |mb| k::emit_float_chain(mb, "axpy", n * 32, BinOp::FAdd)),
-        _ => k::single(path, |mb| k::emit_float_chain(mb, "scal", n * 32, BinOp::FMul)),
+        3 => k::single(path, |mb| {
+            k::emit_float_chain(mb, "axpy", n * 32, BinOp::FAdd)
+        }),
+        _ => k::single(path, |mb| {
+            k::emit_float_chain(mb, "scal", n * 32, BinOp::FMul)
+        }),
     };
     Ok(with_uri_name(m, "blas-v0", path))
 }
@@ -344,7 +357,9 @@ fn build_npb(path: &str, index: u64) -> Result<Module, DatasetError> {
     let n = 8 + (index % 12) as u32 * 2;
     let m = match index % 6 {
         0 => k::single(path, |mb| k::emit_matmul(mb, "mg_resid", n.min(20))),
-        1 => k::single(path, |mb| k::emit_stencil2d(mb, "sp_rhs", 16 + n, 16 + n / 2)),
+        1 => k::single(path, |mb| {
+            k::emit_stencil2d(mb, "sp_rhs", 16 + n, 16 + n / 2)
+        }),
         2 => k::single(path, |mb| k::emit_fir(mb, "ft_ish", 256 + n * 32, 16)),
         3 => k::single(path, |mb| k::emit_sort_kernel(mb, "is_rank", 128 + n * 16)),
         4 => k::single(path, |mb| k::emit_sine_taylor(mb, "ep_pairs", 128 + n * 16)),
@@ -503,7 +518,8 @@ pub fn datasets() -> &'static [DatasetInfo] {
     &[
         DatasetInfo {
             name: "anghabench-v1",
-            description: "Compilable C functions mined from public repositories (synthetic reproduction)",
+            description:
+                "Compilable C functions mined from public repositories (synthetic reproduction)",
             size: DatasetSize::Indexed(1_041_333),
             runnable: true,
             build: build_anghabench,
@@ -687,7 +703,10 @@ mod tests {
 
     #[test]
     fn uri_errors() {
-        assert!(matches!(benchmark("nonsense"), Err(DatasetError::BadUri(_))));
+        assert!(matches!(
+            benchmark("nonsense"),
+            Err(DatasetError::BadUri(_))
+        ));
         assert!(matches!(
             benchmark("benchmark://nope-v9/x"),
             Err(DatasetError::UnknownDataset(_))

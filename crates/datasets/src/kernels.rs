@@ -14,10 +14,14 @@ use cg_ir::{BinOp, CastKind, FuncId, Module, Operand, Pred, Type};
 
 /// Deterministic pseudo-random fill for input arrays (LCG, fixed multiplier).
 fn fill(seed: u64, n: usize, modulus: i64) -> Vec<i64> {
-    let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut x = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) as i64).rem_euclid(modulus.max(1))
         })
         .collect()
@@ -49,7 +53,11 @@ pub fn counted_loop(
 
     fb.switch_to(body_b);
     let nexts = body(fb, i, &accs);
-    assert_eq!(nexts.len(), accs.len(), "body must return one value per accumulator");
+    assert_eq!(
+        nexts.len(),
+        accs.len(),
+        "body must return one value per accumulator"
+    );
     let i_next = fb.bin(BinOp::Add, i, Operand::const_int(1));
     let latch = fb.current_block();
     fb.add_phi_incoming(i, latch, i_next);
@@ -97,12 +105,20 @@ pub fn emit_crc32(mb: &mut ModuleBuilder, fname: &str, len: u32) -> FuncId {
     for n in 0u64..256 {
         let mut c = n;
         for _ in 0..8 {
-            c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB88320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
         }
         table.push(c as i64);
     }
     let tab = mb.add_const_global(format!("{fname}_crc_table"), 256, table);
-    let data = mb.add_global(format!("{fname}_data"), len, fill(0xc3c3, len as usize, 256));
+    let data = mb.add_global(
+        format!("{fname}_data"),
+        len,
+        fill(0xc3c3, len as usize, 256),
+    );
 
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let trip = Operand::const_int(len as i64);
@@ -242,7 +258,11 @@ pub fn emit_dijkstra(mb: &mut ModuleBuilder, fname: &str, n: u32) -> FuncId {
 /// SHA-like mixing rounds: rotate/xor/add chains over a message schedule
 /// (cBench `sha`, MiBench `sha`).
 pub fn emit_sha_mix(mb: &mut ModuleBuilder, fname: &str, blocks: u32) -> FuncId {
-    let msg = mb.add_global(format!("{fname}_msg"), blocks * 16, fill(0x5a5a, (blocks * 16) as usize, 1 << 30));
+    let msg = mb.add_global(
+        format!("{fname}_msg"),
+        blocks * 16,
+        fill(0x5a5a, (blocks * 16) as usize, 1 << 30),
+    );
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let base = Operand::Global(msg);
     let out = counted_loop(
@@ -255,7 +275,7 @@ pub fn emit_sha_mix(mb: &mut ModuleBuilder, fname: &str, blocks: u32) -> FuncId 
         ],
         |fb, blk, accs| {
             let off = fb.bin(BinOp::Mul, blk, Operand::const_int(16));
-            
+
             counted_loop(
                 fb,
                 Operand::const_int(16),
@@ -295,10 +315,17 @@ pub fn emit_sha_mix(mb: &mut ModuleBuilder, fname: &str, blocks: u32) -> FuncId 
 /// FIR filter: float multiply-accumulate over a sliding window (MiBench
 /// `fft`-adjacent float kernel; also used for BLAS-style dot products).
 pub fn emit_fir(mb: &mut ModuleBuilder, fname: &str, len: u32, taps: u32) -> FuncId {
-    let signal = mb.add_global(format!("{fname}_signal"), len, fill(0xf1f1, len as usize, 1000));
-    let coeff = mb.add_const_global(format!("{fname}_coeff"),
+    let signal = mb.add_global(
+        format!("{fname}_signal"),
+        len,
+        fill(0xf1f1, len as usize, 1000),
+    );
+    let coeff = mb.add_const_global(
+        format!("{fname}_coeff"),
         taps,
-        (0..taps).map(|i| ((i as f64 * 0.37).sin() * 100.0) as i64).collect(),
+        (0..taps)
+            .map(|i| ((i as f64 * 0.37).sin() * 100.0) as i64)
+            .collect(),
     );
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let sig = Operand::Global(signal);
@@ -384,7 +411,11 @@ pub fn emit_matmul(mb: &mut ModuleBuilder, fname: &str, n: u32) -> FuncId {
 
 /// Bit population counts by three methods (cBench/MiBench `bitcount`).
 pub fn emit_bitcount(mb: &mut ModuleBuilder, fname: &str, n: u32) -> FuncId {
-    let data = mb.add_global(format!("{fname}_data"), n, fill(0xb17c, n as usize, i64::MAX));
+    let data = mb.add_global(
+        format!("{fname}_data"),
+        n,
+        fill(0xb17c, n as usize, i64::MAX),
+    );
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let base = Operand::Global(data);
     let out = counted_loop(
@@ -429,12 +460,22 @@ pub fn emit_bitcount(mb: &mut ModuleBuilder, fname: &str, n: u32) -> FuncId {
 }
 
 /// Naive substring search over integer "strings" (cBench `stringsearch`).
-pub fn emit_stringsearch(mb: &mut ModuleBuilder, fname: &str, hay_len: u32, needle_len: u32) -> FuncId {
-    let hay = mb.add_const_global(format!("{fname}_hay"), hay_len, fill(0x4a11, hay_len as usize, 16));
+pub fn emit_stringsearch(
+    mb: &mut ModuleBuilder,
+    fname: &str,
+    hay_len: u32,
+    needle_len: u32,
+) -> FuncId {
+    let hay = mb.add_const_global(
+        format!("{fname}_hay"),
+        hay_len,
+        fill(0x4a11, hay_len as usize, 16),
+    );
     // Take the needle from inside the haystack so matches exist.
     let hv = fill(0x4a11, hay_len as usize, 16);
     let start = (hay_len / 3) as usize;
-    let needle = mb.add_const_global(format!("{fname}_needle"),
+    let needle = mb.add_const_global(
+        format!("{fname}_needle"),
         needle_len,
         hv[start..start + needle_len as usize].to_vec(),
     );
@@ -470,36 +511,45 @@ pub fn emit_stringsearch(mb: &mut ModuleBuilder, fname: &str, hay_len: u32, need
 
 /// 2D 3×3 smoothing stencil over a `w`×`h` image (cBench `susan`).
 pub fn emit_stencil2d(mb: &mut ModuleBuilder, fname: &str, w: u32, h: u32) -> FuncId {
-    let img = mb.add_global(format!("{fname}_img"), w * h, fill(0x1a6e, (w * h) as usize, 256));
+    let img = mb.add_global(
+        format!("{fname}_img"),
+        w * h,
+        fill(0x1a6e, (w * h) as usize, 256),
+    );
     let out_g = mb.add_global(format!("{fname}_out"), w * h, vec![0; (w * h) as usize]);
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let (pi, po) = (Operand::Global(img), Operand::Global(out_g));
     let wi = Operand::const_int(w as i64);
-    counted_loop(&mut fb, Operand::const_int((h - 2) as i64), &[], |fb, y0, _| {
-        let y = fb.bin(BinOp::Add, y0, Operand::const_int(1));
-        counted_loop(fb, Operand::const_int((w - 2) as i64), &[], |fb, x0, _| {
-            let x = fb.bin(BinOp::Add, x0, Operand::const_int(1));
-            let mut sum = Operand::const_int(0);
-            for dy in -1i64..=1 {
-                for dx in -1i64..=1 {
-                    let yy = fb.bin(BinOp::Add, y, Operand::const_int(dy));
-                    let row = fb.bin(BinOp::Mul, yy, wi);
-                    let xx = fb.bin(BinOp::Add, x, Operand::const_int(dx));
-                    let idx = fb.bin(BinOp::Add, row, xx);
-                    let p = fb.gep(pi, idx);
-                    let v = fb.load(Type::I64, p);
-                    sum = fb.bin(BinOp::Add, sum, v);
+    counted_loop(
+        &mut fb,
+        Operand::const_int((h - 2) as i64),
+        &[],
+        |fb, y0, _| {
+            let y = fb.bin(BinOp::Add, y0, Operand::const_int(1));
+            counted_loop(fb, Operand::const_int((w - 2) as i64), &[], |fb, x0, _| {
+                let x = fb.bin(BinOp::Add, x0, Operand::const_int(1));
+                let mut sum = Operand::const_int(0);
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let yy = fb.bin(BinOp::Add, y, Operand::const_int(dy));
+                        let row = fb.bin(BinOp::Mul, yy, wi);
+                        let xx = fb.bin(BinOp::Add, x, Operand::const_int(dx));
+                        let idx = fb.bin(BinOp::Add, row, xx);
+                        let p = fb.gep(pi, idx);
+                        let v = fb.load(Type::I64, p);
+                        sum = fb.bin(BinOp::Add, sum, v);
+                    }
                 }
-            }
-            let avg = fb.bin(BinOp::Div, sum, Operand::const_int(9));
-            let row = fb.bin(BinOp::Mul, y, wi);
-            let idx = fb.bin(BinOp::Add, row, x);
-            let p = fb.gep(po, idx);
-            fb.store(p, avg);
+                let avg = fb.bin(BinOp::Div, sum, Operand::const_int(9));
+                let row = fb.bin(BinOp::Mul, y, wi);
+                let idx = fb.bin(BinOp::Add, row, x);
+                let p = fb.gep(po, idx);
+                fb.store(p, avg);
+                vec![]
+            });
             vec![]
-        });
-        vec![]
-    });
+        },
+    );
     let sum = counted_loop(
         &mut fb,
         Operand::const_int((w * h) as i64),
@@ -524,9 +574,9 @@ pub fn emit_adpcm(mb: &mut ModuleBuilder, fname: &str, n: u32, encode: bool) -> 
         &mut fb,
         Operand::const_int(n as i64),
         &[
-            (Type::I64, Operand::const_int(0)),  // predicted
-            (Type::I64, Operand::const_int(7)),  // step
-            (Type::I64, Operand::const_int(0)),  // checksum
+            (Type::I64, Operand::const_int(0)), // predicted
+            (Type::I64, Operand::const_int(7)), // step
+            (Type::I64, Operand::const_int(0)), // checksum
         ],
         |fb, i, st| {
             let (pred, step, sum) = (st[0], st[1], st[2]);
@@ -571,41 +621,68 @@ pub fn emit_adpcm(mb: &mut ModuleBuilder, fname: &str, n: u32, encode: bool) -> 
 
 /// Feistel cipher rounds with S-box lookups (cBench `blowfish_*`,
 /// `rijndael_*`; `decrypt` reverses round-key order).
-pub fn emit_feistel(mb: &mut ModuleBuilder, fname: &str, n_blocks: u32, rounds: u32, decrypt: bool) -> FuncId {
+pub fn emit_feistel(
+    mb: &mut ModuleBuilder,
+    fname: &str,
+    n_blocks: u32,
+    rounds: u32,
+    decrypt: bool,
+) -> FuncId {
     let sbox = mb.add_const_global(format!("{fname}_sbox"), 256, fill(0x5b0c, 256, 1 << 32));
     let keys: Vec<i64> = fill(0x4e45, rounds as usize, 1 << 32);
-    let keys_g = mb.add_const_global(format!("{fname}_rk"), rounds, if decrypt { keys.iter().rev().copied().collect() } else { keys });
-    let data = mb.add_global(format!("{fname}_blocks"), n_blocks * 2, fill(0xb10c, (n_blocks * 2) as usize, 1 << 32));
+    let keys_g = mb.add_const_global(
+        format!("{fname}_rk"),
+        rounds,
+        if decrypt {
+            keys.iter().rev().copied().collect()
+        } else {
+            keys
+        },
+    );
+    let data = mb.add_global(
+        format!("{fname}_blocks"),
+        n_blocks * 2,
+        fill(0xb10c, (n_blocks * 2) as usize, 1 << 32),
+    );
     let mut fb = mb.begin_function(fname, &[], Type::I64);
-    let (ps, pk, pd) = (Operand::Global(sbox), Operand::Global(keys_g), Operand::Global(data));
-    counted_loop(&mut fb, Operand::const_int(n_blocks as i64), &[], |fb, b, _| {
-        let li = fb.bin(BinOp::Mul, b, Operand::const_int(2));
-        let ri = fb.bin(BinOp::Add, li, Operand::const_int(1));
-        let lp = fb.gep(pd, li);
-        let rp = fb.gep(pd, ri);
-        let l0 = fb.load(Type::I64, lp);
-        let r0 = fb.load(Type::I64, rp);
-        let fin = counted_loop(
-            fb,
-            Operand::const_int(rounds as i64),
-            &[(Type::I64, l0), (Type::I64, r0)],
-            |fb, r, st| {
-                let (l, rr) = (st[0], st[1]);
-                let kp = fb.gep(pk, r);
-                let k = fb.load(Type::I64, kp);
-                let mixed = fb.bin(BinOp::Xor, rr, k);
-                let idx = fb.bin(BinOp::And, mixed, Operand::const_int(0xFF));
-                let sp = fb.gep(ps, idx);
-                let sv = fb.load(Type::I64, sp);
-                let f = fb.bin(BinOp::Add, sv, mixed);
-                let l2 = fb.bin(BinOp::Xor, l, f);
-                vec![rr, l2] // swap halves
-            },
-        );
-        fb.store(lp, fin[0]);
-        fb.store(rp, fin[1]);
-        vec![]
-    });
+    let (ps, pk, pd) = (
+        Operand::Global(sbox),
+        Operand::Global(keys_g),
+        Operand::Global(data),
+    );
+    counted_loop(
+        &mut fb,
+        Operand::const_int(n_blocks as i64),
+        &[],
+        |fb, b, _| {
+            let li = fb.bin(BinOp::Mul, b, Operand::const_int(2));
+            let ri = fb.bin(BinOp::Add, li, Operand::const_int(1));
+            let lp = fb.gep(pd, li);
+            let rp = fb.gep(pd, ri);
+            let l0 = fb.load(Type::I64, lp);
+            let r0 = fb.load(Type::I64, rp);
+            let fin = counted_loop(
+                fb,
+                Operand::const_int(rounds as i64),
+                &[(Type::I64, l0), (Type::I64, r0)],
+                |fb, r, st| {
+                    let (l, rr) = (st[0], st[1]);
+                    let kp = fb.gep(pk, r);
+                    let k = fb.load(Type::I64, kp);
+                    let mixed = fb.bin(BinOp::Xor, rr, k);
+                    let idx = fb.bin(BinOp::And, mixed, Operand::const_int(0xFF));
+                    let sp = fb.gep(ps, idx);
+                    let sv = fb.load(Type::I64, sp);
+                    let f = fb.bin(BinOp::Add, sv, mixed);
+                    let l2 = fb.bin(BinOp::Xor, l, f);
+                    vec![rr, l2] // swap halves
+                },
+            );
+            fb.store(lp, fin[0]);
+            fb.store(rp, fin[1]);
+            vec![]
+        },
+    );
     let sum = counted_loop(
         &mut fb,
         Operand::const_int((n_blocks * 2) as i64),
@@ -622,7 +699,11 @@ pub fn emit_feistel(mb: &mut ModuleBuilder, fname: &str, n_blocks: u32, rounds: 
 
 /// 8×8 DCT-like float transform over `n_blocks` blocks (cBench `jpeg_*`).
 pub fn emit_dct8x8(mb: &mut ModuleBuilder, fname: &str, n_blocks: u32) -> FuncId {
-    let data = mb.add_global(format!("{fname}_pix"), n_blocks * 64, fill(0xdc78, (n_blocks * 64) as usize, 256));
+    let data = mb.add_global(
+        format!("{fname}_pix"),
+        n_blocks * 64,
+        fill(0xdc78, (n_blocks * 64) as usize, 256),
+    );
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let pd = Operand::Global(data);
     let out = counted_loop(
@@ -631,7 +712,7 @@ pub fn emit_dct8x8(mb: &mut ModuleBuilder, fname: &str, n_blocks: u32) -> FuncId
         &[(Type::F64, Operand::const_float(0.0))],
         |fb, b, accs| {
             let off = fb.bin(BinOp::Mul, b, Operand::const_int(64));
-            
+
             counted_loop(
                 fb,
                 Operand::const_int(8),
@@ -673,7 +754,11 @@ pub fn emit_dct8x8(mb: &mut ModuleBuilder, fname: &str, n_blocks: u32) -> FuncId
 /// `mips`; stands in for big control-heavy programs like `ghostscript`).
 pub fn emit_vm_interp(mb: &mut ModuleBuilder, fname: &str, program_len: u32, steps: u32) -> FuncId {
     // Opcodes 0..6, operands derived from the stream.
-    let prog = mb.add_const_global(format!("{fname}_prog"), program_len, fill(0x1f2e, program_len as usize, 7));
+    let prog = mb.add_const_global(
+        format!("{fname}_prog"),
+        program_len,
+        fill(0x1f2e, program_len as usize, 7),
+    );
     let mem = mb.add_global(format!("{fname}_vmmem"), 64, fill(0x33aa, 64, 1000));
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let (pp, pm) = (Operand::Global(prog), Operand::Global(mem));
@@ -697,8 +782,11 @@ pub fn emit_vm_interp(mb: &mut ModuleBuilder, fname: &str, program_len: u32, ste
             for _ in 0..6 {
                 arms.push(fb.new_block());
             }
-            let cases: Vec<(i64, cg_ir::BlockId)> =
-                arms.iter().enumerate().map(|(c, b)| (c as i64, *b)).collect();
+            let cases: Vec<(i64, cg_ir::BlockId)> = arms
+                .iter()
+                .enumerate()
+                .map(|(c, b)| (c as i64, *b))
+                .collect();
             fb.switch(opcode, cases, default);
             let mut incomings = Vec::new();
             // 0: load  acc = mem[addr]
@@ -790,7 +878,10 @@ pub fn emit_rle(mb: &mut ModuleBuilder, fname: &str, n: u32) -> FuncId {
             fb.br(join);
             fb.switch_to(join);
             let new_v = fb.phi(Type::I64, vec![(then_b, run_v), (else_b, v)]);
-            let new_len = fb.phi(Type::I64, vec![(then_b, len2), (else_b, Operand::const_int(1))]);
+            let new_len = fb.phi(
+                Type::I64,
+                vec![(then_b, len2), (else_b, Operand::const_int(1))],
+            );
             let new_cur = fb.phi(Type::I64, vec![(then_b, cur), (else_b, cur2)]);
             vec![new_v, new_len, new_cur]
         },
@@ -813,17 +904,29 @@ pub fn emit_rle(mb: &mut ModuleBuilder, fname: &str, n: u32) -> FuncId {
 
 /// Hash-table probing loop (cBench `ispell`/`patricia` stand-in: pointer-ish
 /// chasing with data-dependent exits).
-pub fn emit_hash_probe(mb: &mut ModuleBuilder, fname: &str, n_keys: u32, table_pow2: u32) -> FuncId {
+pub fn emit_hash_probe(
+    mb: &mut ModuleBuilder,
+    fname: &str,
+    n_keys: u32,
+    table_pow2: u32,
+) -> FuncId {
     let tsize = 1u32 << table_pow2;
     let mask = (tsize - 1) as i64;
     let table = mb.add_global(format!("{fname}_table"), tsize, {
         let mut t = vec![0i64; tsize as usize];
-        for (i, v) in fill(0x7ab1, (tsize / 2) as usize, 1 << 20).iter().enumerate() {
+        for (i, v) in fill(0x7ab1, (tsize / 2) as usize, 1 << 20)
+            .iter()
+            .enumerate()
+        {
             t[(v % tsize as i64) as usize] = i as i64 + 1;
         }
         t
     });
-    let keys = mb.add_const_global(format!("{fname}_keys"), n_keys, fill(0x6e1d, n_keys as usize, 1 << 20));
+    let keys = mb.add_const_global(
+        format!("{fname}_keys"),
+        n_keys,
+        fill(0x6e1d, n_keys as usize, 1 << 20),
+    );
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let (pt, pk) = (Operand::Global(table), Operand::Global(keys));
     let out = counted_loop(
@@ -838,7 +941,7 @@ pub fn emit_hash_probe(mb: &mut ModuleBuilder, fname: &str, n_keys: u32, table_p
                 fb,
                 Operand::const_int(8),
                 &[
-                    (Type::I64, k),                      // slot cursor
+                    (Type::I64, k),                     // slot cursor
                     (Type::I64, Operand::const_int(0)), // found payload
                 ],
                 |fb, _j, st2| {
@@ -864,27 +967,32 @@ pub fn emit_autocorr(mb: &mut ModuleBuilder, fname: &str, n: u32, lags: u32) -> 
     let out_g = mb.add_global(format!("{fname}_acf"), lags, vec![0; lags as usize]);
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let (ps, po) = (Operand::Global(sig), Operand::Global(out_g));
-    counted_loop(&mut fb, Operand::const_int(lags as i64), &[], |fb, lag, _| {
-        let len = fb.bin(BinOp::Sub, Operand::const_int(n as i64), lag);
-        let acc = counted_loop(
-            fb,
-            len,
-            &[(Type::I64, Operand::const_int(0))],
-            |fb, t, st| {
-                let p1 = fb.gep(ps, t);
-                let v1 = fb.load(Type::I64, p1);
-                let tl = fb.bin(BinOp::Add, t, lag);
-                let p2 = fb.gep(ps, tl);
-                let v2 = fb.load(Type::I64, p2);
-                let prod = fb.bin(BinOp::Mul, v1, v2);
-                let scaled = fb.bin(BinOp::AShr, prod, Operand::const_int(4));
-                vec![fb.bin(BinOp::Add, st[0], scaled)]
-            },
-        );
-        let op = fb.gep(po, lag);
-        fb.store(op, acc[0]);
-        vec![]
-    });
+    counted_loop(
+        &mut fb,
+        Operand::const_int(lags as i64),
+        &[],
+        |fb, lag, _| {
+            let len = fb.bin(BinOp::Sub, Operand::const_int(n as i64), lag);
+            let acc = counted_loop(
+                fb,
+                len,
+                &[(Type::I64, Operand::const_int(0))],
+                |fb, t, st| {
+                    let p1 = fb.gep(ps, t);
+                    let v1 = fb.load(Type::I64, p1);
+                    let tl = fb.bin(BinOp::Add, t, lag);
+                    let p2 = fb.gep(ps, tl);
+                    let v2 = fb.load(Type::I64, p2);
+                    let prod = fb.bin(BinOp::Mul, v1, v2);
+                    let scaled = fb.bin(BinOp::AShr, prod, Operand::const_int(4));
+                    vec![fb.bin(BinOp::Add, st[0], scaled)]
+                },
+            );
+            let op = fb.gep(po, lag);
+            fb.store(op, acc[0]);
+            vec![]
+        },
+    );
     let sum = counted_loop(
         &mut fb,
         Operand::const_int(lags as i64),
@@ -997,8 +1105,16 @@ pub fn emit_sine_taylor(mb: &mut ModuleBuilder, fname: &str, n: u32) -> FuncId {
 /// `motion`).
 pub fn emit_sad_search(mb: &mut ModuleBuilder, fname: &str, block: u32, search: u32) -> FuncId {
     let frame_len = (block + search) * (block + search);
-    let cur = mb.add_const_global(format!("{fname}_cur"), block * block, fill(0xc0de, (block * block) as usize, 256));
-    let reference = mb.add_const_global(format!("{fname}_ref"), frame_len, fill(0xfeed, frame_len as usize, 256));
+    let cur = mb.add_const_global(
+        format!("{fname}_cur"),
+        block * block,
+        fill(0xc0de, (block * block) as usize, 256),
+    );
+    let reference = mb.add_const_global(
+        format!("{fname}_ref"),
+        frame_len,
+        fill(0xfeed, frame_len as usize, 256),
+    );
     let mut fb = mb.begin_function(fname, &[], Type::I64);
     let (pc, pr) = (Operand::Global(cur), Operand::Global(reference));
     let stride = (block + search) as i64;
@@ -1007,7 +1123,6 @@ pub fn emit_sad_search(mb: &mut ModuleBuilder, fname: &str, block: u32, search: 
         Operand::const_int(search as i64),
         &[(Type::I64, Operand::const_int(i64::MAX / 4))],
         |fb, dy, best_out| {
-            
             counted_loop(
                 fb,
                 Operand::const_int(search as i64),
@@ -1018,13 +1133,13 @@ pub fn emit_sad_search(mb: &mut ModuleBuilder, fname: &str, block: u32, search: 
                         Operand::const_int(block as i64),
                         &[(Type::I64, Operand::const_int(0))],
                         |fb, y, acc| {
-                            
                             counted_loop(
                                 fb,
                                 Operand::const_int(block as i64),
                                 &[(Type::I64, acc[0])],
                                 |fb, x, acc2| {
-                                    let crow = fb.bin(BinOp::Mul, y, Operand::const_int(block as i64));
+                                    let crow =
+                                        fb.bin(BinOp::Mul, y, Operand::const_int(block as i64));
                                     let cidx = fb.bin(BinOp::Add, crow, x);
                                     let cp = fb.gep(pc, cidx);
                                     let cv = fb.load(Type::I64, cp);
@@ -1062,8 +1177,8 @@ mod tests {
 
     fn check(m: Module) -> i64 {
         verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", m.name));
-        let out = run_main(&m, &ExecLimits::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        let out =
+            run_main(&m, &ExecLimits::default()).unwrap_or_else(|e| panic!("{}: {e}", m.name));
         out.ret.unwrap().as_int().unwrap()
     }
 
@@ -1076,19 +1191,27 @@ mod tests {
         check(single("fir", |mb| emit_fir(mb, "k", 128, 16)));
         check(single("matmul", |mb| emit_matmul(mb, "k", 10)));
         check(single("bitcount", |mb| emit_bitcount(mb, "k", 64)));
-        check(single("stringsearch", |mb| emit_stringsearch(mb, "k", 256, 8)));
+        check(single("stringsearch", |mb| {
+            emit_stringsearch(mb, "k", 256, 8)
+        }));
         check(single("susan", |mb| emit_stencil2d(mb, "k", 20, 16)));
         check(single("adpcm_c", |mb| emit_adpcm(mb, "k", 128, true)));
         check(single("adpcm_d", |mb| emit_adpcm(mb, "k", 128, false)));
-        check(single("blowfish_e", |mb| emit_feistel(mb, "k", 32, 16, false)));
-        check(single("blowfish_d", |mb| emit_feistel(mb, "k", 32, 16, true)));
+        check(single("blowfish_e", |mb| {
+            emit_feistel(mb, "k", 32, 16, false)
+        }));
+        check(single("blowfish_d", |mb| {
+            emit_feistel(mb, "k", 32, 16, true)
+        }));
         check(single("jpeg_c", |mb| emit_dct8x8(mb, "k", 6)));
         check(single("mips", |mb| emit_vm_interp(mb, "k", 64, 500)));
         check(single("bzip2e", |mb| emit_rle(mb, "k", 256)));
         check(single("ispell", |mb| emit_hash_probe(mb, "k", 64, 8)));
         check(single("gsm", |mb| emit_autocorr(mb, "k", 128, 8)));
         check(single("tiff2bw", |mb| emit_histogram(mb, "k", 256)));
-        check(single("dfmul", |mb| emit_float_chain(mb, "k", 128, BinOp::FMul)));
+        check(single("dfmul", |mb| {
+            emit_float_chain(mb, "k", 128, BinOp::FMul)
+        }));
         check(single("dfsin", |mb| emit_sine_taylor(mb, "k", 64)));
         check(single("motion", |mb| emit_sad_search(mb, "k", 6, 6)));
     }
@@ -1117,7 +1240,11 @@ mod tests {
         for (i, e) in table.iter_mut().enumerate() {
             let mut c = i as u64;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -1137,7 +1264,10 @@ mod tests {
         let mut data = fill(0x50f7, n as usize, 10_000);
         data.sort();
         let expect: i64 = data.iter().enumerate().map(|(i, v)| v * i as i64).sum();
-        assert_eq!(check(single("qsort", |mb| emit_sort_kernel(mb, "k", n))), expect);
+        assert_eq!(
+            check(single("qsort", |mb| emit_sort_kernel(mb, "k", n))),
+            expect
+        );
     }
 
     #[test]

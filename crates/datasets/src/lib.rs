@@ -21,6 +21,6 @@ pub mod rng;
 pub mod synth;
 
 pub use families::{
-    benchmark, dataset, datasets, total_finite_benchmarks, DatasetError, DatasetInfo,
-    DatasetSize, CBENCH, CHSTONE,
+    benchmark, dataset, datasets, total_finite_benchmarks, DatasetError, DatasetInfo, DatasetSize,
+    CBENCH, CHSTONE,
 };

@@ -185,19 +185,30 @@ pub fn generate(profile: &Profile, seed: u64, name: &str) -> Module {
     let mut mb = ModuleBuilder::new(name);
 
     // Globals.
-    let n_globals = rng.range_i64(profile.global_arrays.0 as i64, profile.global_arrays.1 as i64) as u32;
+    let n_globals = rng.range_i64(
+        profile.global_arrays.0 as i64,
+        profile.global_arrays.1 as i64,
+    ) as u32;
     let mut globals: Vec<(GlobalId, u32)> = Vec::new();
     for gi in 0..n_globals.max(1) {
-        let pow = rng.range_i64(profile.array_size_pow2.0 as i64, profile.array_size_pow2.1 as i64) as u32;
+        let pow = rng.range_i64(
+            profile.array_size_pow2.0 as i64,
+            profile.array_size_pow2.1 as i64,
+        ) as u32;
         let slots = 1u32 << pow;
-        let init: Vec<i64> = (0..slots)
-            .map(|_| rng.range_i64(-1000, 1000))
-            .collect();
+        let init: Vec<i64> = (0..slots).map(|_| rng.range_i64(-1000, 1000)).collect();
         let id = mb.add_global(format!("g{gi}"), slots, init);
         globals.push((id, slots - 1));
     }
 
-    let mut gen = Gen { prof: profile, rng, globals, funcs: Vec::new(), costs: Vec::new(), cur_cost: 0 };
+    let mut gen = Gen {
+        prof: profile,
+        rng,
+        globals,
+        funcs: Vec::new(),
+        costs: Vec::new(),
+        cur_cost: 0,
+    };
 
     // Helper functions.
     let n_funcs = gen
@@ -267,15 +278,14 @@ impl<'p> Gen<'p> {
         }
         let mut scope = Scope {
             ints: (0..arity).map(|i| fb.param(i)).collect(),
-            floats: vec![
-                Operand::const_float(1.5),
-                Operand::const_float(0.25),
-            ],
+            floats: vec![Operand::const_float(1.5), Operand::const_float(0.25)],
         };
-        scope.ints.push(Operand::const_int(self.rng.range_i64(1, 100)));
-        let budget = self
-            .rng
-            .range_i64(self.prof.stmts.0 as i64, self.prof.stmts.1 as i64) as u32;
+        scope
+            .ints
+            .push(Operand::const_int(self.rng.range_i64(1, 100)));
+        let budget =
+            self.rng
+                .range_i64(self.prof.stmts.0 as i64, self.prof.stmts.1 as i64) as u32;
         self.emit_stmts(&mut fb, &mut scope, budget, 0, 1);
         // Combine a handful of live values into the return.
         let mut r = *self.rng.pick(&scope.ints);
@@ -332,7 +342,9 @@ impl<'p> Gen<'p> {
 
     fn emit_arith(&mut self, fb: &mut FunctionBuilder<'_>, scope: &mut Scope) {
         if self.rng.chance(self.prof.float_ratio) {
-            let op = *self.rng.pick(&[BinOp::FAdd, BinOp::FSub, BinOp::FMul, BinOp::FDiv]);
+            let op = *self
+                .rng
+                .pick(&[BinOp::FAdd, BinOp::FSub, BinOp::FMul, BinOp::FDiv]);
             let a = *self.rng.pick(&scope.floats);
             let b = *self.rng.pick(&scope.floats);
             let v = fb.bin(op, a, b);
@@ -400,7 +412,13 @@ impl<'p> Gen<'p> {
         if self.rng.chance(0.15) {
             let x = *self.rng.pick(&scope.ints);
             let y = *self.rng.pick(&scope.ints);
-            let c = fb.icmp(*self.rng.pick(&[Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge, Pred::Eq, Pred::Ne]), x, y);
+            let c = fb.icmp(
+                *self
+                    .rng
+                    .pick(&[Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge, Pred::Eq, Pred::Ne]),
+                x,
+                y,
+            );
             let s = fb.select(Type::I64, c, x, y);
             scope.ints.push(s);
         }
@@ -453,7 +471,9 @@ impl<'p> Gen<'p> {
     ) {
         let a = *self.rng.pick(&scope.ints);
         let b = *self.rng.pick(&scope.ints);
-        let pred = *self.rng.pick(&[Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge, Pred::Eq, Pred::Ne]);
+        let pred = *self
+            .rng
+            .pick(&[Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge, Pred::Eq, Pred::Ne]);
         let cond = fb.icmp(pred, a, b);
         let then_b = fb.new_block();
         let else_b = fb.new_block();
@@ -512,7 +532,13 @@ impl<'p> Gen<'p> {
         let body_budget = if nested { budget / 2 } else { budget };
         self.emit_stmts(fb, &mut body_scope, body_budget, depth + 1, inner_mult);
         if nested {
-            self.emit_loop(fb, &mut body_scope, budget - budget / 2, depth + 1, inner_mult);
+            self.emit_loop(
+                fb,
+                &mut body_scope,
+                budget - budget / 2,
+                depth + 1,
+                inner_mult,
+            );
         }
         // Accumulate and advance.
         let mixed = *self.rng.pick(&body_scope.ints);

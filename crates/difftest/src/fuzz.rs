@@ -135,7 +135,12 @@ fn plan_case(seed: u64, cfg: &FuzzConfig, space: &ActionSpace) -> Case {
     let pipeline: Vec<String> = (0..n_passes)
         .map(|_| names[rng.index(names.len())].to_string())
         .collect();
-    Case { profile_name, profile, deopt, pipeline }
+    Case {
+        profile_name,
+        profile,
+        deopt,
+        pipeline,
+    }
 }
 
 /// Runs one fuzz case end-to-end; returns a shrunk report on failure.
@@ -265,7 +270,12 @@ mod tests {
 
     #[test]
     fn small_run_is_clean_and_counts_cases() {
-        let cfg = FuzzConfig { seed_start: 0, seed_end: 6, jobs: 2, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            seed_start: 0,
+            seed_end: 6,
+            jobs: 2,
+            ..FuzzConfig::default()
+        };
         let report = run_fuzz(&cfg);
         assert_eq!(report.cases, 6);
         assert_eq!(report.skipped, 0);

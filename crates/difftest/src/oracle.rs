@@ -33,10 +33,10 @@
 
 use std::fmt;
 
+use cg_datasets::rng::SplitMix64;
 use cg_ir::interp::{run_main, ExecError, ExecLimits, Value};
 use cg_ir::verify::verify_module;
 use cg_ir::Module;
-use cg_datasets::rng::SplitMix64;
 
 /// Configuration for one oracle comparison.
 #[derive(Debug, Clone)]
@@ -109,17 +109,33 @@ pub enum OracleFailure {
 impl fmt::Display for OracleFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OracleFailure::InvalidIr { error } => write!(f, "verifier rejected optimized IR: {error}"),
+            OracleFailure::InvalidIr { error } => {
+                write!(f, "verifier rejected optimized IR: {error}")
+            }
             OracleFailure::TrapIntroduced { input, error } => {
-                write!(f, "input {input}: optimized module trapped ({error}) where reference completed")
+                write!(
+                    f,
+                    "input {input}: optimized module trapped ({error}) where reference completed"
+                )
             }
             OracleFailure::FuelDiverged { input } => {
-                write!(f, "input {input}: optimized module exhausted fuel where reference completed")
+                write!(
+                    f,
+                    "input {input}: optimized module exhausted fuel where reference completed"
+                )
             }
-            OracleFailure::ReturnMismatch { input, reference, optimized } => {
+            OracleFailure::ReturnMismatch {
+                input,
+                reference,
+                optimized,
+            } => {
                 write!(f, "input {input}: return mismatch (reference {reference:?}, optimized {optimized:?})")
             }
-            OracleFailure::MemoryMismatch { input, reference, optimized } => {
+            OracleFailure::MemoryMismatch {
+                input,
+                reference,
+                optimized,
+            } => {
                 write!(
                     f,
                     "input {input}: global memory mismatch (reference {reference:#x}, optimized {optimized:#x})"
@@ -163,10 +179,15 @@ pub fn compare_modules(
     cfg: &OracleConfig,
 ) -> Result<u32, OracleFailure> {
     if let Err(e) = verify_module(optimized) {
-        return Err(OracleFailure::InvalidIr { error: e.to_string() });
+        return Err(OracleFailure::InvalidIr {
+            error: e.to_string(),
+        });
     }
     let opt_limits = ExecLimits {
-        max_insts: cfg.limits.max_insts.saturating_mul(cfg.opt_fuel_factor.max(1)),
+        max_insts: cfg
+            .limits
+            .max_insts
+            .saturating_mul(cfg.opt_fuel_factor.max(1)),
         ..cfg.limits
     };
     let targets = perturbable(reference, optimized);

@@ -55,7 +55,10 @@ impl Reproducer {
                 return Err(format!("reproducer references unknown pass `{name}`"));
             }
         }
-        let oracle = OracleConfig { seed: self.seed, ..OracleConfig::default() };
+        let oracle = OracleConfig {
+            seed: self.seed,
+            ..OracleConfig::default()
+        };
         match run_case(&module, &self.pipeline, &oracle) {
             None => Ok(()),
             Some(failure) => Err(format!(
@@ -73,7 +76,11 @@ impl Reproducer {
             tag.push('|');
             tag.push_str(p);
         }
-        format!("repro-{:06}-{:08x}.json", self.seed, cg_ir::fnv1a(tag.as_bytes()) as u32)
+        format!(
+            "repro-{:06}-{:08x}.json",
+            self.seed,
+            cg_ir::fnv1a(tag.as_bytes()) as u32
+        )
     }
 
     /// Serializes into `dir` (created if absent). Returns the written path.
@@ -141,7 +148,10 @@ impl DivergenceRepro {
             tag.push('|');
             tag.push_str(&a.to_string());
         }
-        format!("divergence-{:08x}.json", cg_ir::fnv1a(tag.as_bytes()) as u32)
+        format!(
+            "divergence-{:08x}.json",
+            cg_ir::fnv1a(tag.as_bytes()) as u32
+        )
     }
 
     /// Serializes into `dir` (created if absent). Returns the written path.

@@ -75,7 +75,10 @@ pub fn run_case(base: &Module, pipeline: &[String], oracle: &OracleConfig) -> Op
             return Some(FailureKind::PassPanic { pass: name.clone() });
         }
         if let Err(e) = verify_module(&opt) {
-            return Some(FailureKind::VerifierReject { pass: name.clone(), error: e.to_string() });
+            return Some(FailureKind::VerifierReject {
+                pass: name.clone(),
+                error: e.to_string(),
+            });
         }
     }
     match compare_modules(base, &opt, oracle) {
@@ -179,7 +182,11 @@ pub fn shrink_case(
         reduce_budget,
     );
     let failure = run_case(&module, &minimal, oracle)?;
-    Some(Shrunk { pipeline: minimal, module, failure })
+    Some(Shrunk {
+        pipeline: minimal,
+        module,
+        failure,
+    })
 }
 
 #[cfg(test)]

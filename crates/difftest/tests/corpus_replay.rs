@@ -41,7 +41,11 @@ fn corpus_files_are_well_formed() {
             "{}: minimal pipeline exceeds 4 passes",
             path.display()
         );
-        assert!(!repro.failure.is_empty(), "{}: missing failure description", path.display());
+        assert!(
+            !repro.failure.is_empty(),
+            "{}: missing failure description",
+            path.display()
+        );
         assert!(
             cg_datasets::synth::Profile::named(&repro.profile).is_some(),
             "{}: unknown profile `{}`",

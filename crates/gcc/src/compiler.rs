@@ -195,7 +195,10 @@ fn run_midend(m: &mut Module, mid: &MidEndConfig) {
     }
     if mid.inline_threshold > 0 {
         // Snap to the nearest registry threshold.
-        let avail = [0u32, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100, 120, 140, 160, 180, 200, 225, 250, 275, 300, 400, 500, 750, 1000];
+        let avail = [
+            0u32, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100, 120, 140, 160, 180,
+            200, 225, 250, 275, 300, 400, 500, 750, 1000,
+        ];
         let t = avail
             .iter()
             .min_by_key(|a| a.abs_diff(mid.inline_threshold))
@@ -315,8 +318,18 @@ mod tests {
         let o0 = compile(&m, &space, &space.choices_for_level(0));
         let o2 = compile(&m, &space, &space.choices_for_level(2));
         let os = compile(&m, &space, &space.choices_for_level(4));
-        assert!(o2.obj_size < o0.obj_size, "O2 {} vs O0 {}", o2.obj_size, o0.obj_size);
-        assert!(os.obj_size <= o2.obj_size, "Os {} vs O2 {}", os.obj_size, o2.obj_size);
+        assert!(
+            o2.obj_size < o0.obj_size,
+            "O2 {} vs O0 {}",
+            o2.obj_size,
+            o0.obj_size
+        );
+        assert!(
+            os.obj_size <= o2.obj_size,
+            "Os {} vs O2 {}",
+            os.obj_size,
+            o2.obj_size
+        );
     }
 
     #[test]

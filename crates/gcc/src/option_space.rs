@@ -24,18 +24,30 @@ pub struct GccSpec {
 impl GccSpec {
     /// GCC 11.2.0 — the paper's reference version (502 options total).
     pub fn v11_2() -> GccSpec {
-        GccSpec { version: "11.2.0".into(), num_flags: 241, num_params: 260 }
+        GccSpec {
+            version: "11.2.0".into(),
+            num_flags: 241,
+            num_params: 260,
+        }
     }
 
     /// GCC 8.
     pub fn v8() -> GccSpec {
-        GccSpec { version: "8.5.0".into(), num_flags: 210, num_params: 180 }
+        GccSpec {
+            version: "8.5.0".into(),
+            num_flags: 210,
+            num_params: 180,
+        }
     }
 
     /// GCC 5 — reports its parameter space less completely, so the tool
     /// finds a smaller space (the paper's 10^430).
     pub fn v5() -> GccSpec {
-        GccSpec { version: "5.5.0".into(), num_flags: 170, num_params: 60 }
+        GccSpec {
+            version: "5.5.0".into(),
+            num_flags: 170,
+            num_params: 60,
+        }
     }
 
     /// Parses a docker-image-style or path-style specifier, as the paper's
@@ -216,37 +228,144 @@ fn effective_params() -> Vec<(&'static str, ParamEffect, usize)> {
 
 /// Plausible inert flag stems used to fill the documented flag count.
 const INERT_STEMS: &[&str] = &[
-    "aggressive-loop-optimizations", "branch-count-reg", "caller-saves", "code-hoisting",
-    "combine-stack-adjustments", "compare-elim", "cprop-registers", "cse-follow-jumps",
-    "defer-pop", "delayed-branch", "devirtualize", "dse", "expensive-optimizations",
-    "float-store", "forward-propagate", "gcse", "gcse-after-reload", "gcse-las", "gcse-lm",
-    "gcse-sm", "graphite", "hoist-adjacent-loads", "if-conversion", "if-conversion2",
-    "indirect-inlining", "inline-atomics", "inline-small-functions", "ipa-bit-cp",
-    "ipa-modref", "ipa-profile", "ipa-pta", "ipa-pure-const", "ipa-ra", "ipa-reference",
-    "ipa-sra", "ipa-vrp", "isolate-erroneous-paths-dereference", "ivopts",
-    "jump-tables", "keep-gc-roots-live", "lifetime-dse", "limit-function-alignment",
-    "live-range-shrinkage", "loop-interchange", "loop-nest-optimize", "loop-parallelize-all",
-    "lra-remat", "math-errno", "modulo-sched", "move-loop-invariants", "non-call-exceptions",
-    "nothrow-opt", "opt-info", "optimize-sibling-calls", "pack-struct", "partial-inlining",
-    "plt", "predictive-commoning", "prefetch-loop-arrays", "printf-return-value",
-    "profile-partial-training", "profile-reorder-functions", "reg-struct-return",
-    "rename-registers", "reorder-blocks", "reorder-functions", "rerun-cse-after-loop",
-    "rounding-math", "rtti", "sched-critical-path-heuristic", "sched-dep-count-heuristic",
-    "sched-group-heuristic", "sched-interblock", "sched-last-insn-heuristic",
-    "sched-rank-heuristic", "sched-spec", "sched-spec-insn-heuristic", "sched-stalled-insns",
-    "sel-sched-pipelining", "sel-sched-reschedule-pipelined", "shrink-wrap",
-    "shrink-wrap-separate", "signaling-nans", "signed-zeros", "single-precision-constant",
-    "split-ivs-in-unroller", "split-loops", "split-paths", "split-wide-types", "ssa-backprop",
-    "ssa-phiopt", "stack-clash-protection", "stack-protector", "stdarg-opt", "store-merging",
-    "strict-aliasing", "strict-volatile-bitfields", "tracer", "trapping-math", "trapv",
-    "tree-bit-ccp", "tree-builtin-call-dce", "tree-ch", "tree-coalesce-vars",
-    "tree-copy-prop", "tree-cselim", "tree-dominator-opts", "tree-forwprop", "tree-loop-distribute-patterns",
-    "tree-loop-distribution", "tree-loop-ivcanon", "tree-loop-optimize", "tree-loop-vectorize",
-    "tree-lrs", "tree-partial-pre", "tree-phiprop", "tree-pta", "tree-reassoc", "tree-scev-cprop",
-    "tree-sink", "tree-slp-vectorize", "tree-slsr", "tree-switch-conversion", "tree-tail-merge",
-    "tree-vectorize", "tree-vrp", "unconstrained-commons", "unit-at-a-time", "unroll-all-loops",
-    "unsafe-math-optimizations", "unswitch-loops", "unwind-tables", "variable-expansion-in-unroller",
-    "vect-cost-model", "vpt", "web", "wrapv", "zero-initialized-in-bss",
+    "aggressive-loop-optimizations",
+    "branch-count-reg",
+    "caller-saves",
+    "code-hoisting",
+    "combine-stack-adjustments",
+    "compare-elim",
+    "cprop-registers",
+    "cse-follow-jumps",
+    "defer-pop",
+    "delayed-branch",
+    "devirtualize",
+    "dse",
+    "expensive-optimizations",
+    "float-store",
+    "forward-propagate",
+    "gcse",
+    "gcse-after-reload",
+    "gcse-las",
+    "gcse-lm",
+    "gcse-sm",
+    "graphite",
+    "hoist-adjacent-loads",
+    "if-conversion",
+    "if-conversion2",
+    "indirect-inlining",
+    "inline-atomics",
+    "inline-small-functions",
+    "ipa-bit-cp",
+    "ipa-modref",
+    "ipa-profile",
+    "ipa-pta",
+    "ipa-pure-const",
+    "ipa-ra",
+    "ipa-reference",
+    "ipa-sra",
+    "ipa-vrp",
+    "isolate-erroneous-paths-dereference",
+    "ivopts",
+    "jump-tables",
+    "keep-gc-roots-live",
+    "lifetime-dse",
+    "limit-function-alignment",
+    "live-range-shrinkage",
+    "loop-interchange",
+    "loop-nest-optimize",
+    "loop-parallelize-all",
+    "lra-remat",
+    "math-errno",
+    "modulo-sched",
+    "move-loop-invariants",
+    "non-call-exceptions",
+    "nothrow-opt",
+    "opt-info",
+    "optimize-sibling-calls",
+    "pack-struct",
+    "partial-inlining",
+    "plt",
+    "predictive-commoning",
+    "prefetch-loop-arrays",
+    "printf-return-value",
+    "profile-partial-training",
+    "profile-reorder-functions",
+    "reg-struct-return",
+    "rename-registers",
+    "reorder-blocks",
+    "reorder-functions",
+    "rerun-cse-after-loop",
+    "rounding-math",
+    "rtti",
+    "sched-critical-path-heuristic",
+    "sched-dep-count-heuristic",
+    "sched-group-heuristic",
+    "sched-interblock",
+    "sched-last-insn-heuristic",
+    "sched-rank-heuristic",
+    "sched-spec",
+    "sched-spec-insn-heuristic",
+    "sched-stalled-insns",
+    "sel-sched-pipelining",
+    "sel-sched-reschedule-pipelined",
+    "shrink-wrap",
+    "shrink-wrap-separate",
+    "signaling-nans",
+    "signed-zeros",
+    "single-precision-constant",
+    "split-ivs-in-unroller",
+    "split-loops",
+    "split-paths",
+    "split-wide-types",
+    "ssa-backprop",
+    "ssa-phiopt",
+    "stack-clash-protection",
+    "stack-protector",
+    "stdarg-opt",
+    "store-merging",
+    "strict-aliasing",
+    "strict-volatile-bitfields",
+    "tracer",
+    "trapping-math",
+    "trapv",
+    "tree-bit-ccp",
+    "tree-builtin-call-dce",
+    "tree-ch",
+    "tree-coalesce-vars",
+    "tree-copy-prop",
+    "tree-cselim",
+    "tree-dominator-opts",
+    "tree-forwprop",
+    "tree-loop-distribute-patterns",
+    "tree-loop-distribution",
+    "tree-loop-ivcanon",
+    "tree-loop-optimize",
+    "tree-loop-vectorize",
+    "tree-lrs",
+    "tree-partial-pre",
+    "tree-phiprop",
+    "tree-pta",
+    "tree-reassoc",
+    "tree-scev-cprop",
+    "tree-sink",
+    "tree-slp-vectorize",
+    "tree-slsr",
+    "tree-switch-conversion",
+    "tree-tail-merge",
+    "tree-vectorize",
+    "tree-vrp",
+    "unconstrained-commons",
+    "unit-at-a-time",
+    "unroll-all-loops",
+    "unsafe-math-optimizations",
+    "unswitch-loops",
+    "unwind-tables",
+    "variable-expansion-in-unroller",
+    "vect-cost-model",
+    "vpt",
+    "web",
+    "wrapv",
+    "zero-initialized-in-bss",
 ];
 
 impl OptionSpace {
@@ -264,7 +383,11 @@ impl OptionSpace {
         // Effective flags first, then inert fill to the documented count.
         let eff = effective_flags();
         for (name, kind) in &eff {
-            options.push(OptionDef { name: (*name).into(), cardinality: 3, kind: *kind });
+            options.push(OptionDef {
+                name: (*name).into(),
+                cardinality: 3,
+                kind: *kind,
+            });
         }
         let mut i = 0usize;
         while options.len() - 1 < spec.num_flags {
@@ -274,7 +397,11 @@ impl OptionSpace {
             } else {
                 format!("-f{stem}{}", i / INERT_STEMS.len())
             };
-            options.push(OptionDef { name, cardinality: 3, kind: OptionKind::Inert });
+            options.push(OptionDef {
+                name,
+                cardinality: 3,
+                kind: OptionKind::Inert,
+            });
             i += 1;
         }
         // Effective params, then inert numeric params.
@@ -305,7 +432,10 @@ impl OptionSpace {
             n_params += 1;
             j += 1;
         }
-        OptionSpace { spec: spec.clone(), options }
+        OptionSpace {
+            spec: spec.clone(),
+            options,
+        }
     }
 
     /// The ordered option definitions.
@@ -320,7 +450,10 @@ impl OptionSpace {
 
     /// log10 of the number of distinct configurations.
     pub fn log10_size(&self) -> f64 {
-        self.options.iter().map(|o| (o.cardinality as f64).log10()).sum()
+        self.options
+            .iter()
+            .map(|o| (o.cardinality as f64).log10())
+            .sum()
     }
 
     /// The all-default configuration (every option unspecified).
@@ -377,12 +510,18 @@ impl OptionSpace {
         for (i, o) in self.options.iter().enumerate() {
             if o.cardinality < 10 {
                 for c in 0..o.cardinality {
-                    v.push(FlatAction::Set { option: i, choice: c });
+                    v.push(FlatAction::Set {
+                        option: i,
+                        choice: c,
+                    });
                 }
             } else {
                 for delta in [1i64, 10, 100, 1000] {
                     v.push(FlatAction::Add { option: i, delta });
-                    v.push(FlatAction::Add { option: i, delta: -delta });
+                    v.push(FlatAction::Add {
+                        option: i,
+                        delta: -delta,
+                    });
                 }
             }
         }
@@ -447,8 +586,14 @@ mod tests {
 
     #[test]
     fn specifier_parsing() {
-        assert_eq!(GccSpec::from_specifier("docker:gcc:11.2.0"), Some(GccSpec::v11_2()));
-        assert_eq!(GccSpec::from_specifier("/usr/bin/gcc-5"), Some(GccSpec::v5()));
+        assert_eq!(
+            GccSpec::from_specifier("docker:gcc:11.2.0"),
+            Some(GccSpec::v11_2())
+        );
+        assert_eq!(
+            GccSpec::from_specifier("/usr/bin/gcc-5"),
+            Some(GccSpec::v5())
+        );
         assert_eq!(GccSpec::from_specifier("clang"), None);
     }
 
@@ -472,7 +617,11 @@ mod tests {
         // The paper reports 2,281 actions for GCC 11.2. Our space: the -O
         // option (7) + 241 tri-state flags (3 each) + small params direct +
         // large params as 8 delta actions.
-        assert!(actions.len() > 1500 && actions.len() < 3500, "{}", actions.len());
+        assert!(
+            actions.len() > 1500 && actions.len() < 3500,
+            "{}",
+            actions.len()
+        );
         let mut choices = space.default_choices();
         for a in actions.iter().take(200) {
             space.apply_flat(&mut choices, a);
@@ -492,9 +641,21 @@ mod tests {
             .position(|o| o.cardinality >= 10)
             .unwrap();
         let mut choices = space.default_choices();
-        space.apply_flat(&mut choices, &FlatAction::Add { option: big, delta: -10 });
+        space.apply_flat(
+            &mut choices,
+            &FlatAction::Add {
+                option: big,
+                delta: -10,
+            },
+        );
         assert_eq!(choices[big], 0);
-        space.apply_flat(&mut choices, &FlatAction::Add { option: big, delta: 1000 });
+        space.apply_flat(
+            &mut choices,
+            &FlatAction::Add {
+                option: big,
+                delta: 1000,
+            },
+        );
         assert_eq!(choices[big], space.options()[big].cardinality - 1);
     }
 }

@@ -210,7 +210,10 @@ impl RtlFunction {
         let mut s = self.frame_overhead;
         for i in &self.insts {
             s += i.size();
-            if let Rtl::Label { loop_target: true, .. } = i {
+            if let Rtl::Label {
+                loop_target: true, ..
+            } = i
+            {
                 // Average padding of align/2 per aligned loop target.
                 s += cfg.align_loops / 2;
             }
@@ -275,7 +278,10 @@ fn lower_function(m: &Module, fid: cg_ir::FuncId, cfg: &BackendConfig) -> RtlFun
     }
     for &bid in &order {
         let b = f.block(bid);
-        insts.push(Rtl::Label { id: bid.0, loop_target: loop_targets.contains(&bid) });
+        insts.push(Rtl::Label {
+            id: bid.0,
+            loop_target: loop_targets.contains(&bid),
+        });
         for inst in &b.insts {
             let dst = inst.dest.map(|d| d.0);
             match &inst.op {
@@ -286,15 +292,24 @@ fn lower_function(m: &Module, fid: cg_ir::FuncId, cfg: &BackendConfig) -> RtlFun
                     a: src_of(a),
                     b: src_of(bb),
                 }),
-                Op::Icmp(_, a, bb) | Op::Fcmp(_, a, bb) => {
-                    insts.push(Rtl::Cmp { dst: dst.unwrap(), a: src_of(a), b: src_of(bb) })
-                }
-                Op::Select { cond, on_true, on_false } => {
+                Op::Icmp(_, a, bb) | Op::Fcmp(_, a, bb) => insts.push(Rtl::Cmp {
+                    dst: dst.unwrap(),
+                    a: src_of(a),
+                    b: src_of(bb),
+                }),
+                Op::Select {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
                     let c = match src_of(cond) {
                         Src::Reg(r) => r,
                         _ => {
                             let r = fresh();
-                            insts.push(Rtl::Mov { dst: r, src: src_of(cond) });
+                            insts.push(Rtl::Mov {
+                                dst: r,
+                                src: src_of(cond),
+                            });
                             r
                         }
                     };
@@ -305,13 +320,19 @@ fn lower_function(m: &Module, fid: cg_ir::FuncId, cfg: &BackendConfig) -> RtlFun
                         b: src_of(on_false),
                     });
                 }
-                Op::Alloca { .. } => {
-                    insts.push(Rtl::Lea { dst: dst.unwrap(), base: Src::Slot(0), off: Src::Imm(0) })
-                }
-                Op::Load { ptr } => insts.push(Rtl::Load { dst: dst.unwrap(), addr: src_of(ptr) }),
-                Op::Store { ptr, value } => {
-                    insts.push(Rtl::Store { addr: src_of(ptr), val: src_of(value) })
-                }
+                Op::Alloca { .. } => insts.push(Rtl::Lea {
+                    dst: dst.unwrap(),
+                    base: Src::Slot(0),
+                    off: Src::Imm(0),
+                }),
+                Op::Load { ptr } => insts.push(Rtl::Load {
+                    dst: dst.unwrap(),
+                    addr: src_of(ptr),
+                }),
+                Op::Store { ptr, value } => insts.push(Rtl::Store {
+                    addr: src_of(ptr),
+                    val: src_of(value),
+                }),
                 Op::Gep { base, offset } => insts.push(Rtl::Lea {
                     dst: dst.unwrap(),
                     base: src_of(base),
@@ -319,30 +340,44 @@ fn lower_function(m: &Module, fid: cg_ir::FuncId, cfg: &BackendConfig) -> RtlFun
                 }),
                 Op::Call { callee, args } => {
                     for (i, a) in args.iter().enumerate() {
-                        insts.push(Rtl::Mov { dst: 1_000_000 + i as u32, src: src_of(a) });
+                        insts.push(Rtl::Mov {
+                            dst: 1_000_000 + i as u32,
+                            src: src_of(a),
+                        });
                     }
                     insts.push(Rtl::Call {
                         callee: m.func(*callee).name.clone(),
                         args: args.len(),
                     });
                     if let Some(d) = dst {
-                        insts.push(Rtl::Mov { dst: d, src: Src::Reg(1_000_100) });
+                        insts.push(Rtl::Mov {
+                            dst: d,
+                            src: Src::Reg(1_000_100),
+                        });
                     }
                 }
-                Op::Cast(_, v) | Op::Not(v) | Op::Neg(v) | Op::FNeg(v) => {
-                    insts.push(Rtl::Mov { dst: dst.unwrap(), src: src_of(v) })
-                }
+                Op::Cast(_, v) | Op::Not(v) | Op::Neg(v) | Op::FNeg(v) => insts.push(Rtl::Mov {
+                    dst: dst.unwrap(),
+                    src: src_of(v),
+                }),
             }
         }
         // φ copies for successors, then terminator.
         if let Some(copies) = phi_copies.get(&bid) {
             for (dst, src) in copies {
-                insts.push(Rtl::Mov { dst: *dst, src: *src });
+                insts.push(Rtl::Mov {
+                    dst: *dst,
+                    src: *src,
+                });
             }
         }
         match &b.term {
             Terminator::Br { target } => insts.push(Rtl::Jmp { target: target.0 }),
-            Terminator::CondBr { cond, on_true, on_false } => {
+            Terminator::CondBr {
+                cond,
+                on_true,
+                on_false,
+            } => {
                 let c = match src_of(cond) {
                     Src::Reg(r) => r,
                     other => {
@@ -351,20 +386,37 @@ fn lower_function(m: &Module, fid: cg_ir::FuncId, cfg: &BackendConfig) -> RtlFun
                         r
                     }
                 };
-                insts.push(Rtl::Jcc { cond: c, target: on_true.0 });
+                insts.push(Rtl::Jcc {
+                    cond: c,
+                    target: on_true.0,
+                });
                 insts.push(Rtl::Jmp { target: on_false.0 });
             }
-            Terminator::Switch { value, cases, default } => {
+            Terminator::Switch {
+                value,
+                cases,
+                default,
+            } => {
                 for (cv, t) in cases {
                     let flag = fresh();
-                    insts.push(Rtl::Cmp { dst: flag, a: src_of(value), b: Src::Imm(*cv) });
-                    insts.push(Rtl::Jcc { cond: flag, target: t.0 });
+                    insts.push(Rtl::Cmp {
+                        dst: flag,
+                        a: src_of(value),
+                        b: Src::Imm(*cv),
+                    });
+                    insts.push(Rtl::Jcc {
+                        cond: flag,
+                        target: t.0,
+                    });
                 }
                 insts.push(Rtl::Jmp { target: default.0 });
             }
             Terminator::Ret { value } => {
                 if let Some(v) = value {
-                    insts.push(Rtl::Mov { dst: 1_000_100, src: src_of(v) });
+                    insts.push(Rtl::Mov {
+                        dst: 1_000_100,
+                        src: src_of(v),
+                    });
                 }
                 insts.push(Rtl::Ret);
             }
@@ -384,17 +436,32 @@ fn lower_function(m: &Module, fid: cg_ir::FuncId, cfg: &BackendConfig) -> RtlFun
     }
 
     let frame_overhead = if cfg.omit_frame_pointer { 4 } else { 12 };
-    RtlFunction { name: f.name.clone(), insts, frame_overhead }
+    RtlFunction {
+        name: f.name.clone(),
+        insts,
+        frame_overhead,
+    }
 }
 
 /// Peephole: drop no-op moves and identity ALU operations.
 fn peephole(insts: &mut Vec<Rtl>) {
     insts.retain(|i| match i {
-        Rtl::Mov { dst, src: Src::Reg(s) } => dst != s,
-        Rtl::Alu { op, a: _, b: Src::Imm(0), .. } => {
-            !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl)
-        }
-        Rtl::Alu { op, b: Src::Imm(1), .. } => !matches!(op, BinOp::Mul | BinOp::Div),
+        Rtl::Mov {
+            dst,
+            src: Src::Reg(s),
+        } => dst != s,
+        Rtl::Alu {
+            op,
+            a: _,
+            b: Src::Imm(0),
+            ..
+        } => !matches!(
+            op,
+            BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl
+        ),
+        Rtl::Alu {
+            op, b: Src::Imm(1), ..
+        } => !matches!(op, BinOp::Mul | BinOp::Div),
         _ => true,
     });
 }
@@ -411,7 +478,11 @@ fn rtl_dce(insts: &mut Vec<Rtl>) {
     for i in insts.iter() {
         match i {
             Rtl::Mov { src, .. } => mark(src, &mut read),
-            Rtl::Alu { a, b, .. } | Rtl::Cmp { a, b, .. } | Rtl::Lea { base: a, off: b, .. } => {
+            Rtl::Alu { a, b, .. }
+            | Rtl::Cmp { a, b, .. }
+            | Rtl::Lea {
+                base: a, off: b, ..
+            } => {
                 mark(a, &mut read);
                 mark(b, &mut read);
             }
@@ -542,18 +613,23 @@ fn spill(insts: &mut Vec<Rtl>, cfg: &BackendConfig) {
                 collect(addr, &mut uses);
                 collect(val, &mut uses);
             }
-            Rtl::Jcc { cond, .. }
-                if spilled.contains(cond) => {
-                    uses.push(*cond);
-                }
+            Rtl::Jcc { cond, .. } if spilled.contains(cond) => {
+                uses.push(*cond);
+            }
             _ => {}
         }
         for r in uses {
-            out.push(Rtl::Load { dst: r, addr: Src::Slot(r) });
+            out.push(Rtl::Load {
+                dst: r,
+                addr: Src::Slot(r),
+            });
         }
         out.push(inst);
         for r in defs {
-            out.push(Rtl::Store { addr: Src::Slot(r), val: Src::Reg(r) });
+            out.push(Rtl::Store {
+                addr: Src::Slot(r),
+                val: Src::Reg(r),
+            });
         }
     }
     *insts = out;
@@ -574,7 +650,11 @@ fn insert_hazard_nops(insts: &mut Vec<Rtl>) {
             };
             match &inst {
                 Rtl::Mov { src, .. } => check(src, &mut uses_loaded),
-                Rtl::Alu { a, b, .. } | Rtl::Cmp { a, b, .. } | Rtl::Lea { base: a, off: b, .. } => {
+                Rtl::Alu { a, b, .. }
+                | Rtl::Cmp { a, b, .. }
+                | Rtl::Lea {
+                    base: a, off: b, ..
+                } => {
                     check(a, &mut uses_loaded);
                     check(b, &mut uses_loaded);
                 }
@@ -704,8 +784,14 @@ mod tests {
             align_loops: 16,
             ..BackendConfig::default()
         };
-        let a: u64 = lower_module(&m, &plain).iter().map(|f| f.size(&plain)).sum();
-        let b: u64 = lower_module(&m, &aligned).iter().map(|f| f.size(&aligned)).sum();
+        let a: u64 = lower_module(&m, &plain)
+            .iter()
+            .map(|f| f.size(&plain))
+            .sum();
+        let b: u64 = lower_module(&m, &aligned)
+            .iter()
+            .map(|f| f.size(&aligned))
+            .sum();
         assert!(b > a);
     }
 

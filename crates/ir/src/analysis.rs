@@ -78,7 +78,10 @@ pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
 /// Blocks *not* reachable from the entry.
 pub fn unreachable_blocks(f: &Function) -> Vec<BlockId> {
     let reach: HashSet<BlockId> = reverse_postorder(f).into_iter().collect();
-    f.block_ids().into_iter().filter(|b| !reach.contains(b)).collect()
+    f.block_ids()
+        .into_iter()
+        .filter(|b| !reach.contains(b))
+        .collect()
 }
 
 /// Dominator tree (plus dominance frontiers) of a function.
@@ -277,10 +280,7 @@ pub fn find_loops(f: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<Loop> {
         }
         loops[i].exits = exits;
         let header = loops[i].header;
-        let depth = loops
-            .iter()
-            .filter(|l| l.blocks.contains(&header))
-            .count();
+        let depth = loops.iter().filter(|l| l.blocks.contains(&header)).count();
         loops[i].depth = depth;
     }
     loops.sort_by(|a, b| b.depth.cmp(&a.depth).then(a.header.cmp(&b.header)));

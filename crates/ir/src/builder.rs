@@ -109,7 +109,11 @@ impl<'a> FunctionBuilder<'a> {
 
     /// Number of parameters.
     pub fn param_count(&self) -> usize {
-        self.func.as_ref().expect("function already finished").params.len()
+        self.func
+            .as_ref()
+            .expect("function already finished")
+            .params
+            .len()
     }
 
     /// Marks the function with an inline hint.
@@ -157,8 +161,21 @@ impl<'a> FunctionBuilder<'a> {
     }
 
     /// Appends a select.
-    pub fn select(&mut self, ty: Type, cond: Operand, on_true: Operand, on_false: Operand) -> Operand {
-        self.push_valued(ty, Op::Select { cond, on_true, on_false })
+    pub fn select(
+        &mut self,
+        ty: Type,
+        cond: Operand,
+        on_true: Operand,
+        on_false: Operand,
+    ) -> Operand {
+        self.push_valued(
+            ty,
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            },
+        )
     }
 
     /// Appends a stack allocation of `slots` cells.
@@ -206,7 +223,9 @@ impl<'a> FunctionBuilder<'a> {
         let cur = self.current;
         let block = self.f().block_mut(cur);
         let at = block.phi_count();
-        block.insts.insert(at, Inst::new(dest, ty, Op::Phi(incomings)));
+        block
+            .insts
+            .insert(at, Inst::new(dest, ty, Op::Phi(incomings)));
         Operand::Value(dest)
     }
 
@@ -241,13 +260,21 @@ impl<'a> FunctionBuilder<'a> {
     /// Terminates the current block with a conditional branch.
     pub fn cond_br(&mut self, cond: Operand, on_true: BlockId, on_false: BlockId) {
         let cur = self.current;
-        self.f().block_mut(cur).term = Terminator::CondBr { cond, on_true, on_false };
+        self.f().block_mut(cur).term = Terminator::CondBr {
+            cond,
+            on_true,
+            on_false,
+        };
     }
 
     /// Terminates the current block with a switch.
     pub fn switch(&mut self, value: Operand, cases: Vec<(i64, BlockId)>, default: BlockId) {
         let cur = self.current;
-        self.f().block_mut(cur).term = Terminator::Switch { value, cases, default };
+        self.f().block_mut(cur).term = Terminator::Switch {
+            value,
+            cases,
+            default,
+        };
     }
 
     /// Terminates the current block with a return.
@@ -342,7 +369,13 @@ mod tests {
         verify_module(&m).unwrap();
 
         // And it computes the right thing.
-        let out = crate::interp::run_function(&m, m.find_func("sum_to_n").unwrap(), &[crate::interp::Value::Int(10)], &crate::interp::ExecLimits::default()).unwrap();
+        let out = crate::interp::run_function(
+            &m,
+            m.find_func("sum_to_n").unwrap(),
+            &[crate::interp::Value::Int(10)],
+            &crate::interp::ExecLimits::default(),
+        )
+        .unwrap();
         assert_eq!(out.ret, Some(crate::interp::Value::Int(45)));
     }
 

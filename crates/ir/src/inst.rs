@@ -298,11 +298,18 @@ impl Op {
     /// Visits every operand of this operation.
     pub fn for_each_operand(&self, mut f: impl FnMut(&Operand)) {
         match self {
-            Op::Bin(_, a, b) | Op::Icmp(_, a, b) | Op::Fcmp(_, a, b) | Op::Gep { base: a, offset: b } => {
+            Op::Bin(_, a, b)
+            | Op::Icmp(_, a, b)
+            | Op::Fcmp(_, a, b)
+            | Op::Gep { base: a, offset: b } => {
                 f(a);
                 f(b);
             }
-            Op::Select { cond, on_true, on_false } => {
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
                 f(cond);
                 f(on_true);
                 f(on_false);
@@ -330,11 +337,18 @@ impl Op {
     /// Visits every operand of this operation mutably.
     pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
         match self {
-            Op::Bin(_, a, b) | Op::Icmp(_, a, b) | Op::Fcmp(_, a, b) | Op::Gep { base: a, offset: b } => {
+            Op::Bin(_, a, b)
+            | Op::Icmp(_, a, b)
+            | Op::Fcmp(_, a, b)
+            | Op::Gep { base: a, offset: b } => {
                 f(a);
                 f(b);
             }
-            Op::Select { cond, on_true, on_false } => {
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
                 f(cond);
                 f(on_true);
                 f(on_false);
@@ -381,7 +395,7 @@ impl Op {
     /// A coarse opcode index used by feature extractors (70-way).
     pub fn opcode_index(&self) -> usize {
         match self {
-            Op::Bin(b, _, _) => *b as usize, // 0..15
+            Op::Bin(b, _, _) => *b as usize,       // 0..15
             Op::Icmp(p, _, _) => 15 + *p as usize, // 15..21
             Op::Fcmp(p, _, _) => 21 + *p as usize, // 21..27
             Op::Select { .. } => 27,
@@ -434,12 +448,20 @@ pub struct Inst {
 impl Inst {
     /// Creates an instruction with a destination value.
     pub fn new(dest: ValueId, ty: Type, op: Op) -> Inst {
-        Inst { dest: Some(dest), ty, op }
+        Inst {
+            dest: Some(dest),
+            ty,
+            op,
+        }
     }
 
     /// Creates a void instruction (store / void call).
     pub fn new_void(op: Op) -> Inst {
-        Inst { dest: None, ty: Type::Void, op }
+        Inst {
+            dest: None,
+            ty: Type::Void,
+            op,
+        }
     }
 
     /// True if removing this instruction cannot change program behaviour
@@ -489,7 +511,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Br { target } => vec![*target],
-            Terminator::CondBr { on_true, on_false, .. } => vec![*on_true, *on_false],
+            Terminator::CondBr {
+                on_true, on_false, ..
+            } => vec![*on_true, *on_false],
             Terminator::Switch { cases, default, .. } => {
                 let mut v: Vec<BlockId> = cases.iter().map(|(_, b)| *b).collect();
                 v.push(*default);
@@ -507,7 +531,9 @@ impl Terminator {
                     *target = to;
                 }
             }
-            Terminator::CondBr { on_true, on_false, .. } => {
+            Terminator::CondBr {
+                on_true, on_false, ..
+            } => {
                 if *on_true == from {
                     *on_true = to;
                 }
@@ -598,12 +624,19 @@ mod tests {
             ops.push(Op::Icmp(p, x, x));
             ops.push(Op::Fcmp(p, x, x));
         }
-        ops.push(Op::Select { cond: x, on_true: x, on_false: x });
+        ops.push(Op::Select {
+            cond: x,
+            on_true: x,
+            on_false: x,
+        });
         ops.push(Op::Alloca { slots: 1 });
         ops.push(Op::Load { ptr: x });
         ops.push(Op::Store { ptr: x, value: x });
         ops.push(Op::Gep { base: x, offset: x });
-        ops.push(Op::Call { callee: FuncId(0), args: vec![] });
+        ops.push(Op::Call {
+            callee: FuncId(0),
+            args: vec![],
+        });
         ops.push(Op::Phi(vec![]));
         for k in [
             CastKind::IntToFloat,

@@ -213,9 +213,7 @@ impl<'a> Machine<'a> {
         let mut global_base = Vec::with_capacity(module.globals().len());
         for g in module.globals() {
             global_base.push(base);
-            base = base
-                .checked_add(g.slots)
-                .ok_or(ExecError::OutOfMemory)?;
+            base = base.checked_add(g.slots).ok_or(ExecError::OutOfMemory)?;
         }
         if base > limits.memory_slots {
             return Err(ExecError::OutOfMemory);
@@ -253,7 +251,12 @@ impl<'a> Machine<'a> {
         Ok(addr as usize)
     }
 
-    fn call(&mut self, fid: FuncId, args: &[Value], depth: u32) -> Result<Option<Value>, ExecError> {
+    fn call(
+        &mut self,
+        fid: FuncId,
+        args: &[Value],
+        depth: u32,
+    ) -> Result<Option<Value>, ExecError> {
         if depth > self.limits.max_call_depth {
             return Err(ExecError::StackOverflow);
         }
@@ -310,7 +313,9 @@ impl<'a> Machine<'a> {
                 })?;
                 let mut staged: Vec<(ValueId, Value)> = Vec::with_capacity(phi_n);
                 for inst in &block.insts[..phi_n] {
-                    let Op::Phi(incs) = &inst.op else { unreachable!() };
+                    let Op::Phi(incs) = &inst.op else {
+                        unreachable!()
+                    };
                     let (_, o) = incs
                         .iter()
                         .find(|(b, _)| *b == prev)
@@ -348,18 +353,23 @@ impl<'a> Machine<'a> {
                         };
                         Some(Value::Bool(eval_fcmp(*p, a, b)))
                     }
-                    Op::Select { cond, on_true, on_false } => {
+                    Op::Select {
+                        cond,
+                        on_true,
+                        on_false,
+                    } => {
                         let Value::Bool(c) = read!(&regs, cond)? else {
                             return Err(ExecError::Malformed("select on non-bool".into()));
                         };
-                        Some(if c { read!(&regs, on_true)? } else { read!(&regs, on_false)? })
+                        Some(if c {
+                            read!(&regs, on_true)?
+                        } else {
+                            read!(&regs, on_false)?
+                        })
                     }
                     Op::Alloca { slots } => {
                         let addr = self.sp;
-                        let new_sp = self
-                            .sp
-                            .checked_add(*slots)
-                            .ok_or(ExecError::OutOfMemory)?;
+                        let new_sp = self.sp.checked_add(*slots).ok_or(ExecError::OutOfMemory)?;
                         if new_sp > self.limits.memory_slots {
                             return Err(ExecError::OutOfMemory);
                         }
@@ -396,7 +406,10 @@ impl<'a> Machine<'a> {
                         };
                         Some(Value::Ptr((b as i64).wrapping_add(o) as u32))
                     }
-                    Op::Call { callee, args: call_args } => {
+                    Op::Call {
+                        callee,
+                        args: call_args,
+                    } => {
                         let mut vals = Vec::with_capacity(call_args.len());
                         for a in call_args {
                             vals.push(read!(&regs, a)?);
@@ -443,14 +456,22 @@ impl<'a> Machine<'a> {
                     previous = Some(current);
                     current = *target;
                 }
-                Terminator::CondBr { cond, on_true, on_false } => {
+                Terminator::CondBr {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
                     let Value::Bool(c) = read!(&regs, cond)? else {
                         return Err(ExecError::Malformed("condbr on non-bool".into()));
                     };
                     previous = Some(current);
                     current = if c { *on_true } else { *on_false };
                 }
-                Terminator::Switch { value, cases, default } => {
+                Terminator::Switch {
+                    value,
+                    cases,
+                    default,
+                } => {
                     let Value::Int(v) = read!(&regs, value)? else {
                         return Err(ExecError::Malformed("switch on non-int".into()));
                     };
@@ -597,7 +618,10 @@ mod tests {
         fb.ret(Some(d));
         fb.finish();
         let m = mb.finish();
-        assert_eq!(run_main(&m, &ExecLimits::default()), Err(ExecError::DivByZero));
+        assert_eq!(
+            run_main(&m, &ExecLimits::default()),
+            Err(ExecError::DivByZero)
+        );
     }
 
     #[test]
@@ -612,7 +636,10 @@ mod tests {
         let _ = b;
         fb.finish();
         let m = mb.finish();
-        let limits = ExecLimits { max_insts: 1000, ..ExecLimits::default() };
+        let limits = ExecLimits {
+            max_insts: 1000,
+            ..ExecLimits::default()
+        };
         assert_eq!(run_main(&m, &limits), Err(ExecError::FuelExhausted));
     }
 
@@ -626,7 +653,10 @@ mod tests {
         fb.ret(Some(r));
         fb.finish();
         let m = mb.finish();
-        assert_eq!(run_main(&m, &ExecLimits::default()), Err(ExecError::StackOverflow));
+        assert_eq!(
+            run_main(&m, &ExecLimits::default()),
+            Err(ExecError::StackOverflow)
+        );
     }
 
     #[test]
@@ -638,7 +668,10 @@ mod tests {
         fb.ret(Some(v));
         fb.finish();
         let m = mb.finish();
-        assert_eq!(run_main(&m, &ExecLimits::default()), Err(ExecError::OutOfBounds));
+        assert_eq!(
+            run_main(&m, &ExecLimits::default()),
+            Err(ExecError::OutOfBounds)
+        );
     }
 
     #[test]

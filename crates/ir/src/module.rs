@@ -180,7 +180,11 @@ impl Function {
     /// The caller is responsible for first rewriting all references to the
     /// block (branches and φ incomings).
     pub fn remove_block(&mut self, id: BlockId) {
-        assert_ne!(Some(id), self.layout.first().copied(), "cannot remove the entry block");
+        assert_ne!(
+            Some(id),
+            self.layout.first().copied(),
+            "cannot remove the entry block"
+        );
         self.blocks[id.0 as usize] = None;
         self.layout.retain(|b| *b != id);
     }
@@ -354,7 +358,9 @@ impl Module {
 
     /// Finds a function by name.
     pub fn find_func(&self, name: &str) -> Option<FuncId> {
-        self.func_ids().into_iter().find(|id| self.func(*id).name == name)
+        self.func_ids()
+            .into_iter()
+            .find(|id| self.func(*id).name == name)
     }
 
     /// Takes a function out of the module, leaving a hole (used by the
@@ -396,7 +402,10 @@ impl Module {
     /// Total instruction count across all functions (the `IrInstructionCount`
     /// metric / "code size" reward of the LLVM environment).
     pub fn inst_count(&self) -> usize {
-        self.func_ids().into_iter().map(|id| self.func(id).inst_count()).sum()
+        self.func_ids()
+            .into_iter()
+            .map(|id| self.func(id).inst_count())
+            .sum()
     }
 
     /// Number of live functions.

@@ -41,8 +41,8 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
     Ident(String),
-    Value(u32),    // %n
-    Global(String), // @name
+    Value(u32),      // %n
+    Global(String),  // @name
     FuncRef(String), // &name
     Int(i64),
     FloatBits(u64),
@@ -58,11 +58,18 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Parser<'a> {
-        Parser { toks: Vec::new(), pos: 0, text }
+        Parser {
+            toks: Vec::new(),
+            pos: 0,
+            text,
+        }
     }
 
     fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line, message: msg.into() })
+        Err(ParseError {
+            line,
+            message: msg.into(),
+        })
     }
 
     fn lex(&mut self) -> Result<(), ParseError> {
@@ -100,8 +107,10 @@ impl<'a> Parser<'a> {
                 }
                 '%' => {
                     chars.next();
-                    let n = lex_u32(&mut chars)
-                        .ok_or(ParseError { line, message: "bad value id".into() })?;
+                    let n = lex_u32(&mut chars).ok_or(ParseError {
+                        line,
+                        message: "bad value id".into(),
+                    })?;
                     self.toks.push((Tok::Value(n), line));
                 }
                 '@' | '&' => {
@@ -111,7 +120,11 @@ impl<'a> Parser<'a> {
                     if name.is_empty() {
                         return self.err(line, "expected symbol name");
                     }
-                    let t = if sigil == '@' { Tok::Global(name) } else { Tok::FuncRef(name) };
+                    let t = if sigil == '@' {
+                        Tok::Global(name)
+                    } else {
+                        Tok::FuncRef(name)
+                    };
                     self.toks.push((t, line));
                 }
                 '-' => {
@@ -234,11 +247,19 @@ impl<'a> Parser<'a> {
         let line = self.line();
         let name = match self.next() {
             Some(Tok::Str(s)) => s,
-            other => return self.err(line, format!("expected module name string, found {other:?}")),
+            other => {
+                return self.err(
+                    line,
+                    format!("expected module name string, found {other:?}"),
+                )
+            }
         };
         let mut module = Module::new(name);
 
-        let ctx = NameCtx { funcs: func_names, globals: global_names };
+        let ctx = NameCtx {
+            funcs: func_names,
+            globals: global_names,
+        };
 
         loop {
             match self.peek() {
@@ -253,7 +274,9 @@ impl<'a> Parser<'a> {
                     let line = self.line();
                     let slots = match self.next() {
                         Some(Tok::Int(n)) if n >= 0 => n as u32,
-                        other => return self.err(line, format!("expected slot count, found {other:?}")),
+                        other => {
+                            return self.err(line, format!("expected slot count, found {other:?}"))
+                        }
                     };
                     let constant = matches!(self.peek(), Some(Tok::Ident(i)) if i == "const");
                     if constant {
@@ -267,7 +290,8 @@ impl<'a> Parser<'a> {
                             match self.next() {
                                 Some(Tok::Int(v)) => init.push(v),
                                 other => {
-                                    return self.err(line, format!("expected init value, found {other:?}"))
+                                    return self
+                                        .err(line, format!("expected init value, found {other:?}"))
                                 }
                             }
                             if matches!(self.peek(), Some(Tok::Punct(','))) {
@@ -278,7 +302,12 @@ impl<'a> Parser<'a> {
                         }
                     }
                     self.expect_punct(']')?;
-                    module.add_global(Global { name: gname, slots, init, constant });
+                    module.add_global(Global {
+                        name: gname,
+                        slots,
+                        init,
+                        constant,
+                    });
                 }
                 Some(Tok::Ident(i)) if i == "define" => {
                     let f = self.parse_function(&ctx)?;
@@ -286,7 +315,10 @@ impl<'a> Parser<'a> {
                 }
                 other => {
                     let line = self.line();
-                    return self.err(line, format!("expected `global` or `define`, found {other:?}"));
+                    return self.err(
+                        line,
+                        format!("expected `global` or `define`, found {other:?}"),
+                    );
                 }
             }
         }
@@ -346,7 +378,10 @@ impl<'a> Parser<'a> {
                     self.next();
                     break;
                 }
-                Some(Tok::Ident(id)) if id.starts_with("bb") && matches!(self.toks.get(self.pos + 1), Some((Tok::Punct(':'), _))) => {
+                Some(Tok::Ident(id))
+                    if id.starts_with("bb")
+                        && matches!(self.toks.get(self.pos + 1), Some((Tok::Punct(':'), _))) =>
+                {
                     let line = self.line();
                     let n: u32 = match id[2..].parse() {
                         Ok(n) => n,
@@ -453,7 +488,10 @@ impl<'a> Parser<'a> {
             let x = self.parse_operand(ctx, max_value)?;
             self.expect_punct(',')?;
             let y = self.parse_operand(ctx, max_value)?;
-            let dest = dest.ok_or(ParseError { line, message: "binop needs a destination".into() })?;
+            let dest = dest.ok_or(ParseError {
+                line,
+                message: "binop needs a destination".into(),
+            })?;
             return Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Bin(b, x, y))));
         }
 
@@ -463,8 +501,15 @@ impl<'a> Parser<'a> {
                 let x = self.parse_operand(ctx, max_value)?;
                 self.expect_punct(',')?;
                 let y = self.parse_operand(ctx, max_value)?;
-                let dest = dest.ok_or(ParseError { line, message: "cmp needs a destination".into() })?;
-                let op = if mnem == "icmp" { Op::Icmp(p, x, y) } else { Op::Fcmp(p, x, y) };
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "cmp needs a destination".into(),
+                })?;
+                let op = if mnem == "icmp" {
+                    Op::Icmp(p, x, y)
+                } else {
+                    Op::Fcmp(p, x, y)
+                };
                 Ok(InstOrTerm::Inst(Inst::new(dest, Type::I1, op)))
             }
             "select" => {
@@ -474,22 +519,45 @@ impl<'a> Parser<'a> {
                 let t = self.parse_operand(ctx, max_value)?;
                 self.expect_punct(',')?;
                 let e = self.parse_operand(ctx, max_value)?;
-                let dest = dest.ok_or(ParseError { line, message: "select needs a destination".into() })?;
-                Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Select { cond: c, on_true: t, on_false: e })))
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "select needs a destination".into(),
+                })?;
+                Ok(InstOrTerm::Inst(Inst::new(
+                    dest,
+                    ty,
+                    Op::Select {
+                        cond: c,
+                        on_true: t,
+                        on_false: e,
+                    },
+                )))
             }
             "alloca" => {
                 let line = self.line();
                 let slots = match self.next() {
                     Some(Tok::Int(n)) if n >= 0 => n as u32,
-                    other => return self.err(line, format!("expected slot count, found {other:?}")),
+                    other => {
+                        return self.err(line, format!("expected slot count, found {other:?}"))
+                    }
                 };
-                let dest = dest.ok_or(ParseError { line, message: "alloca needs a destination".into() })?;
-                Ok(InstOrTerm::Inst(Inst::new(dest, Type::Ptr, Op::Alloca { slots })))
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "alloca needs a destination".into(),
+                })?;
+                Ok(InstOrTerm::Inst(Inst::new(
+                    dest,
+                    Type::Ptr,
+                    Op::Alloca { slots },
+                )))
             }
             "load" => {
                 let ty = self.parse_type()?;
                 let ptr = self.parse_operand(ctx, max_value)?;
-                let dest = dest.ok_or(ParseError { line, message: "load needs a destination".into() })?;
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "load needs a destination".into(),
+                })?;
                 Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Load { ptr })))
             }
             "store" => {
@@ -502,8 +570,15 @@ impl<'a> Parser<'a> {
                 let base = self.parse_operand(ctx, max_value)?;
                 self.expect_punct(',')?;
                 let offset = self.parse_operand(ctx, max_value)?;
-                let dest = dest.ok_or(ParseError { line, message: "gep needs a destination".into() })?;
-                Ok(InstOrTerm::Inst(Inst::new(dest, Type::Ptr, Op::Gep { base, offset })))
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "gep needs a destination".into(),
+                })?;
+                Ok(InstOrTerm::Inst(Inst::new(
+                    dest,
+                    Type::Ptr,
+                    Op::Gep { base, offset },
+                )))
             }
             "call" => {
                 let ty = self.parse_type()?;
@@ -512,10 +587,10 @@ impl<'a> Parser<'a> {
                     Some(Tok::Global(n)) => n,
                     other => return self.err(line, format!("expected @callee, found {other:?}")),
                 };
-                let callee = *ctx
-                    .funcs
-                    .get(&callee_name)
-                    .ok_or(ParseError { line, message: format!("unknown function @{callee_name}") })?;
+                let callee = *ctx.funcs.get(&callee_name).ok_or(ParseError {
+                    line,
+                    message: format!("unknown function @{callee_name}"),
+                })?;
                 self.expect_punct('(')?;
                 let mut args = Vec::new();
                 if !matches!(self.peek(), Some(Tok::Punct(')'))) {
@@ -545,7 +620,10 @@ impl<'a> Parser<'a> {
                     self.expect_punct(']')?;
                     incomings.push((b, v));
                 }
-                let dest = dest.ok_or(ParseError { line, message: "phi needs a destination".into() })?;
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "phi needs a destination".into(),
+                })?;
                 Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Phi(incomings))))
             }
             "cast" => {
@@ -563,23 +641,39 @@ impl<'a> Parser<'a> {
                     other => return self.err(line, format!("expected cast kind, found {other:?}")),
                 };
                 let v = self.parse_operand(ctx, max_value)?;
-                let dest = dest.ok_or(ParseError { line, message: "cast needs a destination".into() })?;
-                Ok(InstOrTerm::Inst(Inst::new(dest, kind.signature().1, Op::Cast(kind, v))))
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "cast needs a destination".into(),
+                })?;
+                Ok(InstOrTerm::Inst(Inst::new(
+                    dest,
+                    kind.signature().1,
+                    Op::Cast(kind, v),
+                )))
             }
             "not" => {
                 let ty = self.parse_type()?;
                 let v = self.parse_operand(ctx, max_value)?;
-                let dest = dest.ok_or(ParseError { line, message: "not needs a destination".into() })?;
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "not needs a destination".into(),
+                })?;
                 Ok(InstOrTerm::Inst(Inst::new(dest, ty, Op::Not(v))))
             }
             "neg" => {
                 let v = self.parse_operand(ctx, max_value)?;
-                let dest = dest.ok_or(ParseError { line, message: "neg needs a destination".into() })?;
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "neg needs a destination".into(),
+                })?;
                 Ok(InstOrTerm::Inst(Inst::new(dest, Type::I64, Op::Neg(v))))
             }
             "fneg" => {
                 let v = self.parse_operand(ctx, max_value)?;
-                let dest = dest.ok_or(ParseError { line, message: "fneg needs a destination".into() })?;
+                let dest = dest.ok_or(ParseError {
+                    line,
+                    message: "fneg needs a destination".into(),
+                })?;
                 Ok(InstOrTerm::Inst(Inst::new(dest, Type::F64, Op::FNeg(v))))
             }
             // Terminators.
@@ -593,7 +687,11 @@ impl<'a> Parser<'a> {
                 let t = self.parse_block_ref()?;
                 self.expect_punct(',')?;
                 let e = self.parse_block_ref()?;
-                Ok(InstOrTerm::Term(Terminator::CondBr { cond: c, on_true: t, on_false: e }))
+                Ok(InstOrTerm::Term(Terminator::CondBr {
+                    cond: c,
+                    on_true: t,
+                    on_false: e,
+                }))
             }
             "switch" => {
                 let v = self.parse_operand(ctx, max_value)?;
@@ -606,14 +704,20 @@ impl<'a> Parser<'a> {
                     let line = self.line();
                     let cv = match self.next() {
                         Some(Tok::Int(n)) => n,
-                        other => return self.err(line, format!("expected case value, found {other:?}")),
+                        other => {
+                            return self.err(line, format!("expected case value, found {other:?}"))
+                        }
                     };
                     self.expect_punct(':')?;
                     let b = self.parse_block_ref()?;
                     self.expect_punct(']')?;
                     cases.push((cv, b));
                 }
-                Ok(InstOrTerm::Term(Terminator::Switch { value: v, cases, default }))
+                Ok(InstOrTerm::Term(Terminator::Switch {
+                    value: v,
+                    cases,
+                    default,
+                }))
             }
             "ret" => {
                 if matches!(self.peek(), Some(Tok::Ident(i)) if i == "void") {
@@ -707,7 +811,11 @@ bb0:
         assert_eq!(m.globals().len(), 1);
         let printed = print_module(&m);
         let m2 = parse_module(&printed).unwrap();
-        assert_eq!(printed, print_module(&m2), "print→parse→print is a fixpoint");
+        assert_eq!(
+            printed,
+            print_module(&m2),
+            "print→parse→print is a fixpoint"
+        );
     }
 
     #[test]
@@ -733,7 +841,8 @@ bb0:
 
     #[test]
     fn comments_are_skipped() {
-        let text = "module \"x\" ; trailing\n; full line\ndefine void @f() {\nbb0:\n  ret void\n}\n";
+        let text =
+            "module \"x\" ; trailing\n; full line\ndefine void @f() {\nbb0:\n  ret void\n}\n";
         let m = parse_module(text).unwrap();
         assert_eq!(m.num_functions(), 1);
     }

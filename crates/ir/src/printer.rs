@@ -123,7 +123,11 @@ pub fn print_inst(out: &mut String, m: &Module, inst: &Inst) {
             out.push_str(", ");
             operand(out, m, y);
         }
-        Op::Select { cond, on_true, on_false } => {
+        Op::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
             let _ = write!(out, "select {} ", inst.ty);
             operand(out, m, cond);
             out.push_str(", ");
@@ -193,7 +197,11 @@ pub fn print_terminator(out: &mut String, t: &Terminator) {
         Terminator::Br { target } => {
             let _ = write!(out, "br {target}");
         }
-        Terminator::CondBr { cond, on_true, on_false } => {
+        Terminator::CondBr {
+            cond,
+            on_true,
+            on_false,
+        } => {
             out.push_str("condbr ");
             // Conditions never reference globals/functions, so a module is
             // not needed; print values and constants directly.
@@ -208,7 +216,11 @@ pub fn print_terminator(out: &mut String, t: &Terminator) {
             }
             let _ = write!(out, ", {on_true}, {on_false}");
         }
-        Terminator::Switch { value, cases, default } => {
+        Terminator::Switch {
+            value,
+            cases,
+            default,
+        } => {
             out.push_str("switch ");
             match value {
                 Operand::Value(v) => {

@@ -86,7 +86,12 @@ pub fn prune_unreachable_blocks(f: &mut crate::module::Function) {
 
 /// Replaces every use of `v` in `f` with a default operand of type `ty`.
 /// Returns `false` (leaving `f` untouched) when no default operand exists.
-fn replace_uses_with_default(m: &Module, f: &mut crate::module::Function, v: ValueId, ty: Type) -> bool {
+fn replace_uses_with_default(
+    m: &Module,
+    f: &mut crate::module::Function,
+    v: ValueId,
+    ty: Type,
+) -> bool {
     match default_operand(m, ty) {
         Some(op) => {
             f.replace_all_uses(v, op);
@@ -152,7 +157,9 @@ mod candidates {
         if succs.len() < 2 || which >= succs.len() {
             return false;
         }
-        f.block_mut(bid).term = Terminator::Br { target: succs[which] };
+        f.block_mut(bid).term = Terminator::Br {
+            target: succs[which],
+        };
         prune_phi_incomings(f);
         prune_unreachable_blocks(f);
         true
@@ -375,7 +382,9 @@ mod tests {
         fb.ret(Some(x));
         let helper = fb.finish();
         let mut fb = mb.begin_function("main", &[], Type::I64);
-        let a = fb.call(helper, Type::I64, vec![Operand::const_int(5)]).unwrap();
+        let a = fb
+            .call(helper, Type::I64, vec![Operand::const_int(5)])
+            .unwrap();
         let c = fb.icmp(Pred::Lt, a, Operand::const_int(10));
         let t = fb.new_block();
         let e = fb.new_block();
@@ -414,9 +423,9 @@ mod tests {
         let has_call = |c: &Module| {
             verify_module(c).is_ok()
                 && c.func_ids().iter().any(|fid| {
-                    c.func(*fid).blocks().any(|b| {
-                        b.insts.iter().any(|i| matches!(i.op, Op::Call { .. }))
-                    })
+                    c.func(*fid)
+                        .blocks()
+                        .any(|b| b.insts.iter().any(|i| matches!(i.op, Op::Call { .. })))
                 })
         };
         reduce_module(&mut m, has_call, 10_000);

@@ -95,9 +95,15 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                 }
                 def_site.insert(d, (bid, i));
             } else if inst.ty != Type::Void {
-                return Err(err(Some(bid), "instruction without destination must be void".into()));
+                return Err(err(
+                    Some(bid),
+                    "instruction without destination must be void".into(),
+                ));
             } else if !matches!(inst.op, Op::Store { .. } | Op::Call { .. }) {
-                return Err(err(Some(bid), format!("op `{}` must produce a value", inst.op.mnemonic())));
+                return Err(err(
+                    Some(bid),
+                    format!("op `{}` must produce a value", inst.op.mnemonic()),
+                ));
             }
         }
         // Terminator target existence.
@@ -173,7 +179,11 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                         check(x, Type::F64)?;
                         check(y, Type::F64)?;
                     }
-                    Op::Select { cond, on_true, on_false } => {
+                    Op::Select {
+                        cond,
+                        on_true,
+                        on_false,
+                    } => {
                         check(cond, Type::I1)?;
                         check(on_true, inst.ty)?;
                         check(on_false, inst.ty)?;
@@ -243,7 +253,9 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                         if dom.is_reachable(bid) {
                             for p in &preds {
                                 if !seen.contains(p) {
-                                    return Err(format!("phi missing incoming for predecessor {p}"));
+                                    return Err(format!(
+                                        "phi missing incoming for predecessor {p}"
+                                    ));
                                 }
                             }
                         }
@@ -326,41 +338,42 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
     // this respect; passes delete it rather than fix it, as LLVM does).
     for &bid in dom.rpo() {
         let b = f.block(bid);
-        let check_use = |v: ValueId, at: usize, is_phi_from: Option<BlockId>| -> Result<(), String> {
-            if !types.contains_key(&v) {
-                return Err(format!("use of undefined value {v}"));
-            }
-            match def_site.get(&v) {
-                None => Ok(()), // parameter: dominates everything
-                Some(&(db, di)) => {
-                    let ok = match is_phi_from {
-                        // φ use: treated as a use at the end of the incoming
-                        // predecessor block. Edges from unreachable
-                        // predecessors can never execute, so (like LLVM) no
-                        // dominance is required along them.
-                        Some(pred) => {
-                            if !dom.is_reachable(pred) || db == pred {
-                                true
-                            } else {
-                                dom.dominates(db, pred)
+        let check_use =
+            |v: ValueId, at: usize, is_phi_from: Option<BlockId>| -> Result<(), String> {
+                if !types.contains_key(&v) {
+                    return Err(format!("use of undefined value {v}"));
+                }
+                match def_site.get(&v) {
+                    None => Ok(()), // parameter: dominates everything
+                    Some(&(db, di)) => {
+                        let ok = match is_phi_from {
+                            // φ use: treated as a use at the end of the incoming
+                            // predecessor block. Edges from unreachable
+                            // predecessors can never execute, so (like LLVM) no
+                            // dominance is required along them.
+                            Some(pred) => {
+                                if !dom.is_reachable(pred) || db == pred {
+                                    true
+                                } else {
+                                    dom.dominates(db, pred)
+                                }
                             }
-                        }
-                        None => {
-                            if db == bid {
-                                di < at
-                            } else {
-                                dom.dominates(db, bid)
+                            None => {
+                                if db == bid {
+                                    di < at
+                                } else {
+                                    dom.dominates(db, bid)
+                                }
                             }
+                        };
+                        if ok {
+                            Ok(())
+                        } else {
+                            Err(format!("use of {v} not dominated by its definition"))
                         }
-                    };
-                    if ok {
-                        Ok(())
-                    } else {
-                        Err(format!("use of {v} not dominated by its definition"))
                     }
                 }
-            }
-        };
+            };
         for (i, inst) in b.insts.iter().enumerate() {
             let mut bad: Option<String> = None;
             if let Op::Phi(incs) = &inst.op {

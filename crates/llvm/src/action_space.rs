@@ -79,7 +79,9 @@ impl ActionSpace {
         // A real span (not a flat emit): when the application runs under a
         // service dispatch span, the per-pass timing lands in the step's
         // span tree, attributable across the RPC boundary.
-        let mut span = cg_telemetry::global().trace.span(format!("pass:{}", pass.name()));
+        let mut span = cg_telemetry::global()
+            .trace
+            .span(format!("pass:{}", pass.name()));
         let timer = cg_telemetry::Timer::start();
         let effect = pass.run_tracked(module);
         let dur = timer.elapsed();
@@ -88,7 +90,9 @@ impl ActionSpace {
         span.attr("changed", effect.changed.to_string());
         span.finish();
         let tel = cg_telemetry::global();
-        tel.passes.get(&pass.name()).record(dur, effect.changed, delta);
+        tel.passes
+            .get(&pass.name())
+            .record(dur, effect.changed, delta);
         effect
     }
 }

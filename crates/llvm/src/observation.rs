@@ -188,7 +188,7 @@ pub fn autophase(m: &Module) -> Vec<i64> {
     for fid in m.func_ids() {
         let f = m.func(fid);
         v[2] += 1; // functions
-        // Per-block pred counts.
+                   // Per-block pred counts.
         let mut preds: HashMap<BlockId, i64> = HashMap::new();
         let mut succs: HashMap<BlockId, i64> = HashMap::new();
         for b in f.blocks() {
@@ -203,7 +203,7 @@ pub fn autophase(m: &Module) -> Vec<i64> {
             let np = preds.get(&b.id).copied().unwrap_or(0);
             let ns = succs.get(&b.id).copied().unwrap_or(0);
             v[3] += ns; // edges
-            // Critical edges: multi-succ source to multi-pred target.
+                        // Critical edges: multi-succ source to multi-pred target.
             if ns > 1 {
                 for s in b.term.successors() {
                     if preds.get(&s).copied().unwrap_or(0) > 1 {
@@ -327,7 +327,7 @@ pub fn autophase_func(m: &Module, fid: FuncId) -> Vec<i64> {
     let mut v = vec![0i64; AUTOPHASE_DIM];
     let f = m.func(fid);
     v[2] += 1; // functions
-    // Per-block pred counts.
+               // Per-block pred counts.
     let mut preds: HashMap<BlockId, i64> = HashMap::new();
     let mut succs: HashMap<BlockId, i64> = HashMap::new();
     for b in f.blocks() {
@@ -342,7 +342,7 @@ pub fn autophase_func(m: &Module, fid: FuncId) -> Vec<i64> {
         let np = preds.get(&b.id).copied().unwrap_or(0);
         let ns = succs.get(&b.id).copied().unwrap_or(0);
         v[3] += ns; // edges
-        // Critical edges: multi-succ source to multi-pred target.
+                    // Critical edges: multi-succ source to multi-pred target.
         if ns > 1 {
             for s in b.term.successors() {
                 if preds.get(&s).copied().unwrap_or(0) > 1 {
@@ -562,14 +562,12 @@ pub fn inst2vec(m: &Module) -> Vec<f32> {
                 key ^= (inst.ty as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 let mut arity = 0u64;
                 inst.op.for_each_operand(|o| {
-                    arity = arity
-                        .wrapping_mul(31)
-                        .wrapping_add(match o {
-                            Operand::Value(_) => 1,
-                            Operand::Const(_) => 2,
-                            Operand::Global(_) => 3,
-                            Operand::Func(_) => 4,
-                        });
+                    arity = arity.wrapping_mul(31).wrapping_add(match o {
+                        Operand::Value(_) => 1,
+                        Operand::Const(_) => 2,
+                        Operand::Global(_) => 3,
+                        Operand::Func(_) => 4,
+                    });
                 });
                 key ^= arity.wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 let embedding = inst2vec_embedding(key);

@@ -54,12 +54,18 @@ pub struct PassEffect {
 impl PassEffect {
     /// An invocation that changed nothing.
     pub fn unchanged() -> PassEffect {
-        PassEffect { changed: false, touched: Touched::None }
+        PassEffect {
+            changed: false,
+            touched: Touched::None,
+        }
     }
 
     /// The conservative effect: if `changed`, anything may differ.
     pub fn whole_module(changed: bool) -> PassEffect {
-        PassEffect { changed, touched: if changed { Touched::All } else { Touched::None } }
+        PassEffect {
+            changed,
+            touched: if changed { Touched::All } else { Touched::None },
+        }
     }
 
     /// A function-local effect touching exactly `funcs` (empty → unchanged).
@@ -67,7 +73,10 @@ impl PassEffect {
         if funcs.is_empty() {
             PassEffect::unchanged()
         } else {
-            PassEffect { changed: true, touched: Touched::Funcs(funcs) }
+            PassEffect {
+                changed: true,
+                touched: Touched::Funcs(funcs),
+            }
         }
     }
 }
@@ -170,7 +179,9 @@ pub fn registry() -> Vec<PassRef> {
     for factor in [2u32, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 32] {
         v.push(Arc::new(loops::LoopUnroll::partial(factor)));
     }
-    for cap in [8u64, 12, 16, 24, 32, 48, 64, 80, 96, 128, 160, 192, 256, 384, 512, 1024] {
+    for cap in [
+        8u64, 12, 16, 24, 32, 48, 64, 80, 96, 128, 160, 192, 256, 384, 512, 1024,
+    ] {
         v.push(Arc::new(loops::LoopUnroll::full(cap)));
     }
     for k in 1u32..=16 {
@@ -184,8 +195,8 @@ pub fn registry() -> Vec<PassRef> {
     v.push(Arc::new(ipo::GlobalDce));
     v.push(Arc::new(ipo::MergeFunc));
     for threshold in [
-        0u32, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100, 120, 140, 160, 180,
-        200, 225, 250, 275, 300, 400, 500, 750, 1000,
+        0u32, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100, 120, 140, 160, 180, 200,
+        225, 250, 275, 300, 400, 500, 750, 1000,
     ] {
         v.push(Arc::new(ipo::Inline::with_threshold(threshold)));
     }

@@ -97,9 +97,17 @@ impl FoldBranches {
         for bid in f.block_ids() {
             let term = f.block(bid).term.clone();
             let (new_term, lost_edges): (Terminator, Vec<BlockId>) = match term {
-                Terminator::CondBr { cond, on_true, on_false } => {
+                Terminator::CondBr {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
                     if let Some(Constant::Bool(b)) = cond.as_const() {
-                        let (taken, lost) = if b { (on_true, on_false) } else { (on_false, on_true) };
+                        let (taken, lost) = if b {
+                            (on_true, on_false)
+                        } else {
+                            (on_false, on_true)
+                        };
                         let lost_edges = if lost != taken { vec![lost] } else { vec![] };
                         (Terminator::Br { target: taken }, lost_edges)
                     } else if on_true == on_false {
@@ -108,7 +116,11 @@ impl FoldBranches {
                         continue;
                     }
                 }
-                Terminator::Switch { value, cases, default } => {
+                Terminator::Switch {
+                    value,
+                    cases,
+                    default,
+                } => {
                     if let Some(Constant::Int(v)) = value.as_const() {
                         let taken = cases
                             .iter()
@@ -277,7 +289,8 @@ impl SimplifyCfg {
                 // skip in that case.
                 let target_has_phis = f.block(target).phi_count() > 0;
                 if target_has_phis {
-                    let target_preds: HashSet<BlockId> = cfg.preds(target).iter().copied().collect();
+                    let target_preds: HashSet<BlockId> =
+                        cfg.preds(target).iter().copied().collect();
                     if preds.iter().any(|p| target_preds.contains(p)) {
                         continue;
                     }
@@ -314,7 +327,11 @@ impl SimplifyCfg {
 
 impl Pass for SimplifyCfg {
     fn name(&self) -> String {
-        if self.aggressive { "simplifycfg-aggressive".into() } else { "simplifycfg".into() }
+        if self.aggressive {
+            "simplifycfg-aggressive".into()
+        } else {
+            "simplifycfg".into()
+        }
     }
 
     fn description(&self) -> String {
@@ -362,7 +379,12 @@ impl Pass for LowerSwitch {
         for_each_function(m, |f| {
             let mut changed = false;
             for bid in f.block_ids() {
-                let Terminator::Switch { value, cases, default } = f.block(bid).term.clone() else {
+                let Terminator::Switch {
+                    value,
+                    cases,
+                    default,
+                } = f.block(bid).term.clone()
+                else {
                     continue;
                 };
                 if cases.is_empty() {
@@ -560,7 +582,12 @@ impl Pass for JumpThreading {
                     else {
                         continue;
                     };
-                    let Terminator::CondBr { cond, on_true, on_false } = block.term else {
+                    let Terminator::CondBr {
+                        cond,
+                        on_true,
+                        on_false,
+                    } = block.term
+                    else {
                         continue;
                     };
                     if cond.as_value() != Some(phi_d) {

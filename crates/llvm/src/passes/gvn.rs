@@ -27,7 +27,11 @@ impl Gvn {
 
 impl Pass for Gvn {
     fn name(&self) -> String {
-        if self.with_loads { "gvn-pre".into() } else { "gvn".into() }
+        if self.with_loads {
+            "gvn-pre".into()
+        } else {
+            "gvn".into()
+        }
     }
 
     fn description(&self) -> String {
@@ -273,13 +277,12 @@ impl Pass for GvnSink {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cg_ir::BinOp;
     use cg_ir::builder::ModuleBuilder;
     use cg_ir::verify::verify_module;
+    use cg_ir::BinOp;
     use cg_ir::{Pred, Type};
 
     #[test]
@@ -366,7 +369,10 @@ mod tests {
         fb.ret(Some(s));
         fb.finish();
         let mut m = mb.finish();
-        assert!(!Gvn::with_loads().run(&mut m), "no load may be forwarded here");
+        assert!(
+            !Gvn::with_loads().run(&mut m),
+            "no load may be forwarded here"
+        );
         verify_module(&m).unwrap();
         assert_eq!(m.inst_count(), 5);
     }

@@ -26,7 +26,12 @@ fn find_call_sites(m: &Module) -> Vec<CallSite> {
         for bid in f.block_ids() {
             for (index, inst) in f.block(bid).insts.iter().enumerate() {
                 if let Op::Call { callee, .. } = &inst.op {
-                    sites.push(CallSite { caller, block: bid, index, callee: *callee });
+                    sites.push(CallSite {
+                        caller,
+                        block: bid,
+                        index,
+                        callee: *callee,
+                    });
                 }
             }
         }
@@ -110,7 +115,11 @@ fn inline_site(m: &mut Module, site: CallSite) {
                 }
             }
             let dest = inst.dest.map(|d| vmap[&d].as_value().expect("fresh value"));
-            caller.block_mut(nb).insts.push(Inst { dest, ty: inst.ty, op });
+            caller.block_mut(nb).insts.push(Inst {
+                dest,
+                ty: inst.ty,
+                op,
+            });
         }
         let mut term = callee.block(b).term.clone();
         term.for_each_operand_mut(|o| {
@@ -126,16 +135,26 @@ fn inline_site(m: &mut Module, site: CallSite) {
                 caller.block_mut(nb).term = Terminator::Br { target: cont };
             }
             Terminator::Br { target } => {
-                caller.block_mut(nb).term = Terminator::Br { target: bmap[&target] };
+                caller.block_mut(nb).term = Terminator::Br {
+                    target: bmap[&target],
+                };
             }
-            Terminator::CondBr { cond, on_true, on_false } => {
+            Terminator::CondBr {
+                cond,
+                on_true,
+                on_false,
+            } => {
                 caller.block_mut(nb).term = Terminator::CondBr {
                     cond,
                     on_true: bmap[&on_true],
                     on_false: bmap[&on_false],
                 };
             }
-            Terminator::Switch { value, cases, default } => {
+            Terminator::Switch {
+                value,
+                cases,
+                default,
+            } => {
                 caller.block_mut(nb).term = Terminator::Switch {
                     value,
                     cases: cases.into_iter().map(|(v, b)| (v, bmap[&b])).collect(),
@@ -149,7 +168,9 @@ fn inline_site(m: &mut Module, site: CallSite) {
     }
     // Jump from the call block into the cloned entry.
     let clone_entry = bmap[&callee.entry()];
-    caller.block_mut(site.block).term = Terminator::Br { target: clone_entry };
+    caller.block_mut(site.block).term = Terminator::Br {
+        target: clone_entry,
+    };
 
     // Wire the return value.
     if let Some(d) = call_dest {
@@ -466,10 +487,10 @@ impl Pass for MergeFunc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cg_ir::Type;
     use cg_ir::builder::ModuleBuilder;
     use cg_ir::interp::{run_main, ExecLimits};
     use cg_ir::verify::verify_module;
+    use cg_ir::Type;
     use cg_ir::{BinOp, Pred};
 
     fn caller_callee(hint: InlineHint) -> Module {
@@ -493,8 +514,20 @@ mod tests {
         fb.ret(Some(r2));
         let callee = fb.finish();
         let mut fb = mb.begin_function("main", &[], Type::I64);
-        let a = fb.call(callee, Type::I64, vec![Operand::const_int(-5), Operand::const_int(2)]).unwrap();
-        let b = fb.call(callee, Type::I64, vec![Operand::const_int(3), Operand::const_int(1)]).unwrap();
+        let a = fb
+            .call(
+                callee,
+                Type::I64,
+                vec![Operand::const_int(-5), Operand::const_int(2)],
+            )
+            .unwrap();
+        let b = fb
+            .call(
+                callee,
+                Type::I64,
+                vec![Operand::const_int(3), Operand::const_int(1)],
+            )
+            .unwrap();
         let s = fb.bin(BinOp::Add, a, b);
         fb.ret(Some(s));
         fb.finish();
@@ -526,11 +559,17 @@ mod tests {
     #[test]
     fn inline_respects_threshold_and_hints() {
         let mut m = caller_callee(InlineHint::None);
-        assert!(!Inline::with_threshold(2).run(&mut m), "callee above threshold");
+        assert!(
+            !Inline::with_threshold(2).run(&mut m),
+            "callee above threshold"
+        );
         let mut m = caller_callee(InlineHint::Never);
         assert!(!Inline::with_threshold(1000).run(&mut m), "hint(never)");
         let mut m = caller_callee(InlineHint::Always);
-        assert!(Inline::with_threshold(0).run(&mut m), "hint(always) bypasses");
+        assert!(
+            Inline::with_threshold(0).run(&mut m),
+            "hint(always) bypasses"
+        );
         let mut m2 = caller_callee(InlineHint::Always);
         assert!(AlwaysInline.run(&mut m2));
     }
@@ -567,11 +606,15 @@ mod tests {
         let callee = fb.finish();
         let mut fb = mb.begin_function("main", &[], Type::I64);
         let r = fb
-            .call(callee, Type::I64, vec![
-                Operand::const_int(1),
-                Operand::const_int(2),
-                Operand::const_int(3),
-            ])
+            .call(
+                callee,
+                Type::I64,
+                vec![
+                    Operand::const_int(1),
+                    Operand::const_int(2),
+                    Operand::const_int(3),
+                ],
+            )
             .unwrap();
         fb.ret(Some(r));
         fb.finish();
@@ -612,8 +655,12 @@ mod tests {
             ids.push(fb.finish());
         }
         let mut fb = mb.begin_function("main", &[], Type::I64);
-        let a = fb.call(ids[0], Type::I64, vec![Operand::const_int(3)]).unwrap();
-        let b = fb.call(ids[1], Type::I64, vec![Operand::const_int(4)]).unwrap();
+        let a = fb
+            .call(ids[0], Type::I64, vec![Operand::const_int(3)])
+            .unwrap();
+        let b = fb
+            .call(ids[1], Type::I64, vec![Operand::const_int(4)])
+            .unwrap();
         let s = fb.bin(BinOp::Add, a, b);
         fb.ret(Some(s));
         fb.finish();

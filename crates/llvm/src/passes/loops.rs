@@ -5,9 +5,7 @@
 use std::collections::{HashMap, HashSet};
 
 use cg_ir::analysis::{find_loops, Cfg, DomTree, Loop};
-use cg_ir::{
-    BinOp, BlockId, Function, Inst, Module, Op, Operand, Pred, Terminator, Type, ValueId,
-};
+use cg_ir::{BinOp, BlockId, Function, Inst, Module, Op, Operand, Pred, Terminator, Type, ValueId};
 
 use crate::pass::{Pass, PassEffect};
 
@@ -97,7 +95,9 @@ impl Pass for LoopSimplify {
                         // Collect the incomings from outside preds.
                         let (ty, outside_incs): (Type, Vec<(BlockId, Operand)>) = {
                             let inst = &f.block(l.header).insts[i];
-                            let Op::Phi(incs) = &inst.op else { unreachable!() };
+                            let Op::Phi(incs) = &inst.op else {
+                                unreachable!()
+                            };
                             (
                                 inst.ty,
                                 incs.iter()
@@ -108,20 +108,18 @@ impl Pass for LoopSimplify {
                         };
                         // A single incoming value (or several that agree)
                         // needs no merge φ.
-                        let unified: Operand = if outside_incs
-                            .iter()
-                            .all(|(_, v)| *v == outside_incs[0].1)
-                        {
-                            outside_incs[0].1
-                        } else {
-                            // Build a φ in the preheader merging the values.
-                            let v = f.fresh_value();
-                            let at = f.block(pre).phi_count();
-                            f.block_mut(pre)
-                                .insts
-                                .insert(at, Inst::new(v, ty, Op::Phi(outside_incs.clone())));
-                            Operand::Value(v)
-                        };
+                        let unified: Operand =
+                            if outside_incs.iter().all(|(_, v)| *v == outside_incs[0].1) {
+                                outside_incs[0].1
+                            } else {
+                                // Build a φ in the preheader merging the values.
+                                let v = f.fresh_value();
+                                let at = f.block(pre).phi_count();
+                                f.block_mut(pre)
+                                    .insts
+                                    .insert(at, Inst::new(v, ty, Op::Phi(outside_incs.clone())));
+                                Operand::Value(v)
+                            };
                         let Op::Phi(incs) = &mut f.block_mut(l.header).insts[i].op else {
                             unreachable!()
                         };
@@ -168,7 +166,9 @@ impl Pass for Licm {
             let loops = find_loops(f, &cfg, &dom);
             let mut changed = false;
             for l in &loops {
-                let Some(pre) = preheader(f, &cfg, l) else { continue };
+                let Some(pre) = preheader(f, &cfg, l) else {
+                    continue;
+                };
                 let loop_writes = l.blocks.iter().any(|b| {
                     f.block(*b)
                         .insts
@@ -275,7 +275,12 @@ fn recognize_counted(f: &Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
         cg_ir::Constant::Int(n) => *n,
         _ => return None,
     };
-    let Terminator::CondBr { cond, on_true, on_false } = &hblock.term else {
+    let Terminator::CondBr {
+        cond,
+        on_true,
+        on_false,
+    } = &hblock.term
+    else {
         return None;
     };
     if cond.as_value() != cmp.dest || *on_true != body || l.contains(*on_false) {
@@ -311,7 +316,9 @@ fn recognize_counted(f: &Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
     // The induction φ.
     let mut found: Option<(ValueId, i64, ValueId)> = None;
     for inst in &hblock.insts[..phi_n] {
-        let (Some(d), Op::Phi(incs)) = (inst.dest, &inst.op) else { continue };
+        let (Some(d), Op::Phi(incs)) = (inst.dest, &inst.op) else {
+            continue;
+        };
         if d != *iv {
             continue;
         }
@@ -361,7 +368,17 @@ fn recognize_counted(f: &Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
             return None;
         }
     }
-    Some(CountedLoop { header, body, exit, pre, phi_i, init, step, limit, trip })
+    Some(CountedLoop {
+        header,
+        body,
+        exit,
+        pre,
+        phi_i,
+        init,
+        step,
+        limit,
+        trip,
+    })
 }
 
 /// Clones `insts` appending to `dst`, remapping operands through `map` and
@@ -391,7 +408,11 @@ fn clone_insts_into(
             map.insert(d, Operand::Value(nd));
             nd
         });
-        f.block_mut(dst).insts.push(Inst { dest: new_dest, ty: inst.ty, op });
+        f.block_mut(dst).insts.push(Inst {
+            dest: new_dest,
+            ty: inst.ty,
+            op,
+        });
     }
 }
 
@@ -413,7 +434,10 @@ impl LoopUnroll {
 
     /// Unrolls by a fixed factor (trip count must divide evenly).
     pub fn partial(factor: u32) -> LoopUnroll {
-        LoopUnroll { factor: Some(factor), cap: 4096 }
+        LoopUnroll {
+            factor: Some(factor),
+            cap: 4096,
+        }
     }
 
     fn unroll_full(f: &mut Function, cl: &CountedLoop) {
@@ -424,7 +448,9 @@ impl LoopUnroll {
             .iter()
             .take_while(|i| matches!(i.op, Op::Phi(_)))
             .map(|inst| {
-                let Op::Phi(incs) = &inst.op else { unreachable!() };
+                let Op::Phi(incs) = &inst.op else {
+                    unreachable!()
+                };
                 let init = incs.iter().find(|(b, _)| *b == cl.pre).unwrap().1;
                 let fed = incs.iter().find(|(b, _)| *b == cl.body).unwrap().1;
                 (inst.dest.unwrap(), init, fed)
@@ -466,7 +492,9 @@ impl LoopUnroll {
             .iter()
             .take_while(|i| matches!(i.op, Op::Phi(_)))
             .map(|inst| {
-                let Op::Phi(incs) = &inst.op else { unreachable!() };
+                let Op::Phi(incs) = &inst.op else {
+                    unreachable!()
+                };
                 let fed = incs.iter().find(|(b, _)| *b == cl.body).unwrap().1;
                 (inst.dest.unwrap(), fed)
             })
@@ -495,9 +523,11 @@ impl LoopUnroll {
                     map.insert(d, Operand::Value(nd));
                     nd
                 });
-                f.block_mut(cl.body)
-                    .insts
-                    .push(Inst { dest: new_dest, ty: inst.ty, op });
+                f.block_mut(cl.body).insts.push(Inst {
+                    dest: new_dest,
+                    ty: inst.ty,
+                    op,
+                });
             }
             let mut next = HashMap::new();
             for (d, fed) in &phis {
@@ -549,7 +579,9 @@ impl Pass for LoopUnroll {
                 let loops = find_loops(f, &cfg, &dom);
                 let mut did = false;
                 for l in &loops {
-                    let Some(cl) = recognize_counted(f, &cfg, l) else { continue };
+                    let Some(cl) = recognize_counted(f, &cfg, l) else {
+                        continue;
+                    };
                     match self.factor {
                         None => {
                             let body_size = (f.block(cl.body).insts.len() + 1) as u64;
@@ -559,7 +591,10 @@ impl Pass for LoopUnroll {
                             LoopUnroll::unroll_full(f, &cl);
                         }
                         Some(k) => {
-                            if k < 2 || cl.trip == 0 || cl.trip % k as u64 != 0 || cl.trip == k as u64
+                            if k < 2
+                                || cl.trip == 0
+                                || cl.trip % k as u64 != 0
+                                || cl.trip == k as u64
                             {
                                 continue;
                             }
@@ -623,7 +658,9 @@ impl Pass for LoopPeel {
             let dom = DomTree::compute(f, &cfg);
             let loops = find_loops(f, &cfg, &dom);
             for l in &loops {
-                let Some(cl) = recognize_counted(f, &cfg, l) else { continue };
+                let Some(cl) = recognize_counted(f, &cfg, l) else {
+                    continue;
+                };
                 if cl.trip < k || k == 0 {
                     continue;
                 }
@@ -634,7 +671,9 @@ impl Pass for LoopPeel {
                     .iter()
                     .take_while(|i| matches!(i.op, Op::Phi(_)))
                     .map(|inst| {
-                        let Op::Phi(incs) = &inst.op else { unreachable!() };
+                        let Op::Phi(incs) = &inst.op else {
+                            unreachable!()
+                        };
                         let init = incs.iter().find(|(b, _)| *b == cl.pre).unwrap().1;
                         let fed = incs.iter().find(|(b, _)| *b == cl.body).unwrap().1;
                         (inst.dest.unwrap(), init, fed)
@@ -704,18 +743,18 @@ impl Pass for LoopDeletion {
                 let loops = find_loops(f, &cfg, &dom);
                 let mut did = false;
                 for l in &loops {
-                    let Some(pre) = preheader(f, &cfg, l) else { continue };
+                    let Some(pre) = preheader(f, &cfg, l) else {
+                        continue;
+                    };
                     if l.exits.len() != 1 {
                         continue;
                     }
                     let exit = l.exits[0];
                     // Effect-free?
-                    let effectful = l.blocks.iter().any(|b| {
-                        f.block(*b)
-                            .insts
-                            .iter()
-                            .any(|i| i.op.has_side_effects())
-                    });
+                    let effectful = l
+                        .blocks
+                        .iter()
+                        .any(|b| f.block(*b).insts.iter().any(|i| i.op.has_side_effects()));
                     if effectful {
                         continue;
                     }
@@ -809,7 +848,9 @@ impl Pass for IndVarSimplify {
             let loops = find_loops(f, &cfg, &dom);
             let mut changed = false;
             for l in &loops {
-                let Some(cl) = recognize_counted(f, &cfg, l) else { continue };
+                let Some(cl) = recognize_counted(f, &cfg, l) else {
+                    continue;
+                };
                 let fin = cl.init.wrapping_add((cl.trip as i64).wrapping_mul(cl.step));
                 let _ = cl.limit;
                 // Replace uses of φ_i in blocks outside the loop.
@@ -895,7 +936,10 @@ mod tests {
     #[test]
     fn full_unroll_respects_cap() {
         let mut m = counted(1000);
-        assert!(!LoopUnroll::full(64).run(&mut m), "1000 iterations over cap");
+        assert!(
+            !LoopUnroll::full(64).run(&mut m),
+            "1000 iterations over cap"
+        );
     }
 
     #[test]
@@ -909,8 +953,15 @@ mod tests {
         let f = m.func(m.find_func("main").unwrap());
         let cfg = Cfg::compute(f);
         let dom = DomTree::compute(f, &cfg);
-        assert_eq!(find_loops(f, &cfg, &dom).len(), 1, "loop survives partial unroll");
-        assert!(after.dyn_insts < before.dyn_insts, "fewer compare/branch executions");
+        assert_eq!(
+            find_loops(f, &cfg, &dom).len(),
+            1,
+            "loop survives partial unroll"
+        );
+        assert!(
+            after.dyn_insts < before.dyn_insts,
+            "fewer compare/branch executions"
+        );
     }
 
     #[test]
@@ -956,7 +1007,10 @@ mod tests {
         verify_module(&m).unwrap();
         let after = run_main(&m, &ExecLimits::default()).unwrap();
         assert_eq!(before.ret, after.ret);
-        assert!(after.dyn_insts < before.dyn_insts, "mul moved out of the loop");
+        assert!(
+            after.dyn_insts < before.dyn_insts,
+            "mul moved out of the loop"
+        );
         // The body no longer contains a multiply.
         let f = m.func(m.find_func("main").unwrap());
         assert!(!f

@@ -5,9 +5,7 @@
 use std::collections::{HashMap, HashSet};
 
 use cg_ir::analysis::{Cfg, DomTree};
-use cg_ir::{
-    BlockId, Constant, Function, Inst, Module, Op, Operand, Type, ValueId,
-};
+use cg_ir::{BlockId, Constant, Function, Inst, Module, Op, Operand, Type, ValueId};
 
 use crate::pass::{Pass, PassEffect};
 
@@ -59,7 +57,11 @@ impl Mem2Reg {
                 if let (Some(d), Op::Alloca { slots: 1 }) = (inst.dest, &inst.op) {
                     direct.insert(
                         d,
-                        Cand { alloca: d, ty: Type::Void, def_blocks: HashSet::new() },
+                        Cand {
+                            alloca: d,
+                            ty: Type::Void,
+                            def_blocks: HashSet::new(),
+                        },
                     );
                 }
             }
@@ -146,7 +148,8 @@ impl Mem2Reg {
         let mut cands: Vec<Cand> = direct
             .into_iter()
             .filter(|(v, c)| {
-                !banned.contains(v) && zero_of(if c.ty == Type::Void { Type::I64 } else { c.ty }).is_some()
+                !banned.contains(v)
+                    && zero_of(if c.ty == Type::Void { Type::I64 } else { c.ty }).is_some()
             })
             .map(|(_, mut c)| {
                 if c.ty == Type::Void {
@@ -197,8 +200,11 @@ impl Mem2Reg {
 
         // 3. Rename: DFS over the dominator tree carrying the current value
         //    of each candidate.
-        let alloca_index: HashMap<ValueId, usize> =
-            cands.iter().enumerate().map(|(i, c)| (c.alloca, i)).collect();
+        let alloca_index: HashMap<ValueId, usize> = cands
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.alloca, i))
+            .collect();
         let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
         for &b in dom.rpo() {
             if let Some(p) = dom.idom(b) {
@@ -797,7 +803,10 @@ impl Pass for GlobalOpt {
         });
         // Constant-marking only mutates module-level global metadata, never
         // a function body, so the touched set is exactly the fold step's.
-        PassEffect { changed: changed || fold.changed, touched: fold.touched }
+        PassEffect {
+            changed: changed || fold.changed,
+            touched: fold.touched,
+        }
     }
 }
 
@@ -847,7 +856,10 @@ mod tests {
             for b in m.func(fid).blocks() {
                 for inst in &b.insts {
                     assert!(
-                        !matches!(inst.op, Op::Alloca { .. } | Op::Load { .. } | Op::Store { .. }),
+                        !matches!(
+                            inst.op,
+                            Op::Alloca { .. } | Op::Load { .. } | Op::Store { .. }
+                        ),
                         "memory op survived: {:?}",
                         inst.op
                     );
@@ -939,7 +951,11 @@ mod tests {
         verify_module(&m).unwrap();
         assert_eq!(m.inst_count(), before - 1);
         assert_eq!(
-            run_main(&m, &ExecLimits::default()).unwrap().ret.unwrap().as_int(),
+            run_main(&m, &ExecLimits::default())
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_int(),
             Some(2)
         );
     }
@@ -973,7 +989,11 @@ mod tests {
         assert!(LoadElim.run(&mut m));
         verify_module(&m).unwrap();
         assert_eq!(
-            run_main(&m, &ExecLimits::default()).unwrap().ret.unwrap().as_int(),
+            run_main(&m, &ExecLimits::default())
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_int(),
             Some(7)
         );
         // Only the store and ret remain.
@@ -994,7 +1014,11 @@ mod tests {
         verify_module(&m).unwrap();
         assert!(m.globals()[0].constant, "never-stored global becomes const");
         assert_eq!(
-            run_main(&m, &ExecLimits::default()).unwrap().ret.unwrap().as_int(),
+            run_main(&m, &ExecLimits::default())
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_int(),
             Some(30)
         );
     }

@@ -47,9 +47,7 @@ impl Pass for Dce {
                     let block = f.block_mut(bid);
                     let before = block.insts.len();
                     block.insts.retain(|inst| match inst.dest {
-                        Some(d) => {
-                            !(inst.is_removable_if_unused() && uses[d.0 as usize] == 0)
-                        }
+                        Some(d) => !(inst.is_removable_if_unused() && uses[d.0 as usize] == 0),
                         None => true,
                     });
                     removed |= block.insts.len() != before;
@@ -196,7 +194,9 @@ impl Pass for ConstFold {
                 changed = true;
                 crate::util::apply_substitutions(
                     f,
-                    subs.into_iter().map(|(d, c)| (d, Operand::Const(c))).collect(),
+                    subs.into_iter()
+                        .map(|(d, c)| (d, Operand::Const(c)))
+                        .collect(),
                 );
             }
             changed
@@ -262,14 +262,12 @@ impl InstCombine {
                             return Some(int(0));
                         }
                     }
-                    Div
-                        if yc == Some(1) => {
-                            return Some(*x);
-                        }
-                    Rem
-                        if yc == Some(1) => {
-                            return Some(int(0));
-                        }
+                    Div if yc == Some(1) => {
+                        return Some(*x);
+                    }
+                    Rem if yc == Some(1) => {
+                        return Some(int(0));
+                    }
                     And => {
                         if x == y {
                             return Some(*x);
@@ -325,21 +323,27 @@ impl InstCombine {
                             return Some(*y);
                         }
                     }
-                    FDiv
-                        if y.as_const() == Some(Constant::Float(1.0)) => {
-                            return Some(*x);
-                        }
+                    FDiv if y.as_const() == Some(Constant::Float(1.0)) => {
+                        return Some(*x);
+                    }
                     _ => {}
                 }
                 None
             }
             Op::Icmp(p, x, y) => {
                 if x == y {
-                    return Some(Operand::const_bool(matches!(p, Pred::Eq | Pred::Le | Pred::Ge)));
+                    return Some(Operand::const_bool(matches!(
+                        p,
+                        Pred::Eq | Pred::Le | Pred::Ge
+                    )));
                 }
                 None
             }
-            Op::Select { cond, on_true, on_false } => {
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
                 if on_true == on_false {
                     return Some(*on_true);
                 }
@@ -361,7 +365,11 @@ impl InstCombine {
 
 impl Pass for InstCombine {
     fn name(&self) -> String {
-        if self.rewrite { "instcombine".into() } else { "instsimplify".into() }
+        if self.rewrite {
+            "instcombine".into()
+        } else {
+            "instsimplify".into()
+        }
     }
 
     fn description(&self) -> String {
@@ -510,7 +518,9 @@ impl Pass for Reassociate {
                         if b_in != b {
                             continue;
                         }
-                        let Some(c1) = y_in.as_const_int() else { continue };
+                        let Some(c1) = y_in.as_const_int() else {
+                            continue;
+                        };
                         let folded = match b {
                             BinOp::Add => c1.wrapping_add(c2),
                             BinOp::Mul => c1.wrapping_mul(c2),
@@ -1016,7 +1026,11 @@ mod tests {
         let f = m.func(m.find_func("f").unwrap());
         assert_eq!(
             f.block(f.entry()).insts[0].op,
-            Op::Bin(BinOp::Shl, Operand::Value(ValueId(0)), Operand::const_int(3))
+            Op::Bin(
+                BinOp::Shl,
+                Operand::Value(ValueId(0)),
+                Operand::const_int(3)
+            )
         );
         // Not a power of two: untouched.
         let mut m2 = build_with(|fb| {

@@ -38,10 +38,7 @@ fn sccp_solve(
 ) -> (HashMap<ValueId, Lattice>, HashSet<BlockId>) {
     let mut values: HashMap<ValueId, Lattice> = HashMap::new();
     for (v, _) in &f.params {
-        values.insert(
-            *v,
-            arg_consts.get(v).copied().unwrap_or(Lattice::Over),
-        );
+        values.insert(*v, arg_consts.get(v).copied().unwrap_or(Lattice::Over));
     }
     let mut executable: HashSet<BlockId> = HashSet::new();
     let mut block_queue: VecDeque<BlockId> = VecDeque::new();
@@ -95,15 +92,13 @@ fn sccp_solve(
                         let mut k = op.clone();
                         let mut all_known = true;
                         let mut any_over = false;
-                        k.for_each_operand_mut(|o| {
-                            match op_lattice(&values, o) {
-                                Lattice::Const(c) => *o = Operand::Const(c),
-                                Lattice::Over => {
-                                    any_over = true;
-                                    all_known = false;
-                                }
-                                Lattice::Unknown => all_known = false,
+                        k.for_each_operand_mut(|o| match op_lattice(&values, o) {
+                            Lattice::Const(c) => *o = Operand::Const(c),
+                            Lattice::Over => {
+                                any_over = true;
+                                all_known = false;
                             }
+                            Lattice::Unknown => all_known = false,
                         });
                         if all_known {
                             match fold_op(&k) {
@@ -126,57 +121,60 @@ fn sccp_solve(
             }
             // Mark successor edges executable.
             match &block.term {
-                Terminator::Br { target }
-                    if !executable.contains(target) => {
-                        block_queue.push_back(*target);
-                    }
-                Terminator::CondBr { cond, on_true, on_false } => {
-                    match op_lattice(&values, cond) {
-                        Lattice::Const(Constant::Bool(true)) => {
-                            if !executable.contains(on_true) {
-                                block_queue.push_back(*on_true);
-                            }
-                        }
-                        Lattice::Const(Constant::Bool(false)) => {
-                            if !executable.contains(on_false) {
-                                block_queue.push_back(*on_false);
-                            }
-                        }
-                        Lattice::Unknown => {}
-                        _ => {
-                            for t in [on_true, on_false] {
-                                if !executable.contains(t) {
-                                    block_queue.push_back(*t);
-                                }
-                            }
-                        }
-                    }
+                Terminator::Br { target } if !executable.contains(target) => {
+                    block_queue.push_back(*target);
                 }
-                Terminator::Switch { value, cases, default } => {
-                    match op_lattice(&values, value) {
-                        Lattice::Const(Constant::Int(v)) => {
-                            let t = cases
-                                .iter()
-                                .find(|(c, _)| *c == v)
-                                .map(|(_, b)| *b)
-                                .unwrap_or(*default);
-                            if !executable.contains(&t) {
-                                block_queue.push_back(t);
-                            }
+                Terminator::CondBr {
+                    cond,
+                    on_true,
+                    on_false,
+                } => match op_lattice(&values, cond) {
+                    Lattice::Const(Constant::Bool(true)) => {
+                        if !executable.contains(on_true) {
+                            block_queue.push_back(*on_true);
                         }
-                        Lattice::Unknown => {}
-                        _ => {
-                            for (_, t) in cases {
-                                if !executable.contains(t) {
-                                    block_queue.push_back(*t);
-                                }
-                            }
-                            if !executable.contains(default) {
-                                block_queue.push_back(*default);
+                    }
+                    Lattice::Const(Constant::Bool(false)) => {
+                        if !executable.contains(on_false) {
+                            block_queue.push_back(*on_false);
+                        }
+                    }
+                    Lattice::Unknown => {}
+                    _ => {
+                        for t in [on_true, on_false] {
+                            if !executable.contains(t) {
+                                block_queue.push_back(*t);
                             }
                         }
                     }
-                }
+                },
+                Terminator::Switch {
+                    value,
+                    cases,
+                    default,
+                } => match op_lattice(&values, value) {
+                    Lattice::Const(Constant::Int(v)) => {
+                        let t = cases
+                            .iter()
+                            .find(|(c, _)| *c == v)
+                            .map(|(_, b)| *b)
+                            .unwrap_or(*default);
+                        if !executable.contains(&t) {
+                            block_queue.push_back(t);
+                        }
+                    }
+                    Lattice::Unknown => {}
+                    _ => {
+                        for (_, t) in cases {
+                            if !executable.contains(t) {
+                                block_queue.push_back(*t);
+                            }
+                        }
+                        if !executable.contains(default) {
+                            block_queue.push_back(*default);
+                        }
+                    }
+                },
                 _ => {}
             }
         }
@@ -186,7 +184,11 @@ fn sccp_solve(
 
 /// Applies a solved SCCP result to the function: proven constants replace
 /// their instructions, and branches into non-executable blocks are folded.
-fn sccp_apply(f: &mut Function, values: &HashMap<ValueId, Lattice>, executable: &HashSet<BlockId>) -> bool {
+fn sccp_apply(
+    f: &mut Function,
+    values: &HashMap<ValueId, Lattice>,
+    executable: &HashSet<BlockId>,
+) -> bool {
     let mut changed = false;
     // Replace constant values.
     let consts: Vec<(ValueId, Constant)> = values
@@ -199,7 +201,10 @@ fn sccp_apply(f: &mut Function, values: &HashMap<ValueId, Lattice>, executable: 
     if !consts.is_empty() {
         crate::util::apply_substitutions(
             f,
-            consts.into_iter().map(|(v, c)| (v, Operand::Const(c))).collect(),
+            consts
+                .into_iter()
+                .map(|(v, c)| (v, Operand::Const(c)))
+                .collect(),
         );
         changed = true;
     }
@@ -209,7 +214,12 @@ fn sccp_apply(f: &mut Function, values: &HashMap<ValueId, Lattice>, executable: 
             continue;
         }
         let term = f.block(bid).term.clone();
-        if let Terminator::CondBr { cond: _, on_true, on_false } = term {
+        if let Terminator::CondBr {
+            cond: _,
+            on_true,
+            on_false,
+        } = term
+        {
             let t_dead = !executable.contains(&on_true);
             let e_dead = !executable.contains(&on_false);
             if t_dead != e_dead {
@@ -354,10 +364,7 @@ mod tests {
         verify_module(&m).unwrap();
         // The false branch is proven dead: terminator folded to br t.
         let f = m.func(m.find_func("f").unwrap());
-        assert!(matches!(
-            f.block(f.entry()).term,
-            Terminator::Br { .. }
-        ));
+        assert!(matches!(f.block(f.entry()).term, Terminator::Br { .. }));
     }
 
     #[test]
@@ -376,7 +383,10 @@ mod tests {
         fb.switch_to(e);
         fb.br(j);
         fb.switch_to(j);
-        let phi = fb.phi(Type::I64, vec![(t, Operand::const_int(7)), (e, Operand::const_int(7))]);
+        let phi = fb.phi(
+            Type::I64,
+            vec![(t, Operand::const_int(7)), (e, Operand::const_int(7))],
+        );
         let r = fb.bin(BinOp::Add, phi, Operand::const_int(1));
         fb.ret(Some(r));
         fb.finish();
@@ -405,7 +415,9 @@ mod tests {
         fb.ret(Some(r));
         let helper = fb.finish();
         let mut fb = mb.begin_function("main", &[], Type::I64);
-        let a = fb.call(helper, Type::I64, vec![Operand::const_int(21)]).unwrap();
+        let a = fb
+            .call(helper, Type::I64, vec![Operand::const_int(21)])
+            .unwrap();
         fb.ret(Some(a));
         fb.finish();
         let mut m = mb.finish();

@@ -165,9 +165,18 @@ mod tests {
 
     #[test]
     fn all_pipeline_pass_names_resolve() {
-        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz] {
+        for level in [
+            OptLevel::O0,
+            OptLevel::O1,
+            OptLevel::O2,
+            OptLevel::O3,
+            OptLevel::Oz,
+        ] {
             for name in level.pass_names() {
-                assert!(find_pass(name).is_some(), "{level:?} references unknown `{name}`");
+                assert!(
+                    find_pass(name).is_some(),
+                    "{level:?} references unknown `{name}`"
+                );
             }
         }
     }
@@ -219,8 +228,7 @@ mod tests {
             for level in [OptLevel::O1, OptLevel::O2, OptLevel::Oz] {
                 let mut opt = m.clone();
                 run_level(&mut opt, level);
-                verify_module(&opt)
-                    .unwrap_or_else(|e| panic!("{name} under {level:?}: {e}"));
+                verify_module(&opt).unwrap_or_else(|e| panic!("{name} under {level:?}: {e}"));
                 let out = run_main(&opt, &limits)
                     .unwrap_or_else(|e| panic!("{name} under {level:?} trapped: {e}"));
                 assert_eq!(out.ret, reference.ret, "{name} under {level:?}");

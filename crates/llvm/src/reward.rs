@@ -24,7 +24,7 @@ fn encoded_size(op: &Op) -> u64 {
             Some(v) if !(-2048..2048).contains(&v) => 4,
             Some(_) => 0,
             None => match o {
-                Operand::Const(_) => 4, // float immediates are materialized
+                Operand::Const(_) => 4,  // float immediates are materialized
                 Operand::Global(_) => 4, // address relocation
                 _ => 0,
             },

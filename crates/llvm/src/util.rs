@@ -5,7 +5,6 @@ use std::collections::HashMap;
 use cg_ir::interp::{eval_bin, eval_cast, eval_fcmp, eval_icmp, Value};
 use cg_ir::{Constant, Function, Module, Op, Operand, Type, ValueId};
 
-
 /// Dense per-value use counts (indexed by `ValueId.0`), counting uses in
 /// instructions and terminators.
 pub fn use_counts(f: &Function) -> Vec<u32> {
@@ -87,9 +86,19 @@ pub fn fold_op(op: &Op) -> Option<Constant> {
             };
             Some(Constant::Bool(eval_fcmp(*p, a, b)))
         }
-        Op::Select { cond, on_true, on_false } => {
-            let Constant::Bool(b) = c(cond)? else { return None };
-            if b { c(on_true) } else { c(on_false) }
+        Op::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let Constant::Bool(b) = c(cond)? else {
+                return None;
+            };
+            if b {
+                c(on_true)
+            } else {
+                c(on_false)
+            }
         }
         Op::Cast(kind, v) => {
             let v = c(v)?;
@@ -157,8 +166,11 @@ pub fn apply_substitutions(f: &mut Function, subs: Vec<(ValueId, Operand)>) {
             }
         }
     }
-    let dead: std::collections::HashSet<ValueId> =
-        resolved.keys().copied().filter(|k| !cyclic.contains(k)).collect();
+    let dead: std::collections::HashSet<ValueId> = resolved
+        .keys()
+        .copied()
+        .filter(|k| !cyclic.contains(k))
+        .collect();
     resolved.retain(|k, _| dead.contains(k));
     // One sweep over the function rewrites every use (per-substitution
     // `replace_all_uses` would be quadratic on large modules).
@@ -230,7 +242,11 @@ mod tests {
 
     #[test]
     fn fold_partial_constants_returns_none() {
-        let op = Op::Bin(BinOp::Add, Operand::Value(ValueId(0)), Operand::const_int(3));
+        let op = Op::Bin(
+            BinOp::Add,
+            Operand::Value(ValueId(0)),
+            Operand::const_int(3),
+        );
         assert_eq!(fold_op(&op), None);
     }
 }

@@ -10,8 +10,7 @@
 //! little-endian bytes) plus node/edge counts for ProGraML.
 
 use cg_llvm::observation::{
-    autophase, inst2vec, inst_count, ir_text, programl, AUTOPHASE_DIM, INST2VEC_DIM,
-    INST_COUNT_DIM,
+    autophase, inst2vec, inst_count, ir_text, programl, AUTOPHASE_DIM, INST2VEC_DIM, INST_COUNT_DIM,
 };
 
 struct Golden {
@@ -30,13 +29,13 @@ const CRC32: Golden = Golden {
     ir_hash: 0x283dec03bf347912,
     ir_lines: 81,
     inst_count: [
-        1, 0, 0, 0, 0, 1, 0, 4, 1, 0, 1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 14,
-        22, 16, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 1, 0, 2, 0, 69, 5, 2, 2, 2, 30, 0, 16, 9,
-        65, 2, 0, 0, 0, 29, 4, 0, 4352, 1, 56, 1, 0,
+        1, 0, 0, 0, 0, 1, 0, 4, 1, 0, 1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 14, 22,
+        16, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 1, 0, 2, 0, 69, 5, 2, 2, 2, 30, 0, 16, 9, 65, 2,
+        0, 0, 0, 29, 4, 0, 4352, 1, 56, 1, 0,
     ],
     autophase: [
-        5, 64, 2, 4, 0, 2, 1, 0, 2, 1, 0, 1, 0, 0, 1, 0, 1, 4, 2, 1, 0, 2, 0, 0, 0, 5, 0, 0, 0,
-        8, 5, 1, 0, 0, 0, 1, 0, 4, 1, 1, 0, 1, 0, 0, 22, 16, 2, 14, 1, 0, 0, 0, 9, 2, 2, 38,
+        5, 64, 2, 4, 0, 2, 1, 0, 2, 1, 0, 1, 0, 0, 1, 0, 1, 4, 2, 1, 0, 2, 0, 0, 0, 5, 0, 0, 0, 8,
+        5, 1, 0, 0, 0, 1, 0, 4, 1, 1, 0, 1, 0, 0, 22, 16, 2, 14, 1, 0, 0, 0, 9, 2, 2, 38,
     ],
     inst2vec_hash: 0x08abf846e3b7046f,
     programl_nodes: 125,
@@ -54,8 +53,8 @@ const CSMITH_12345: Golden = Golden {
     ],
     autophase: [
         93, 1017, 5, 120, 0, 60, 26, 2, 60, 26, 2, 50, 7, 7, 17, 4, 9, 80, 60, 26, 2, 5, 0, 0, 0,
-        93, 0, 0, 0, 98, 60, 27, 7, 2, 4, 17, 8, 19, 5, 6, 3, 32, 0, 4, 378, 260, 10, 211, 15,
-        17, 4, 5, 114, 11, 16, 638,
+        93, 0, 0, 0, 98, 60, 27, 7, 2, 4, 17, 8, 19, 5, 6, 3, 32, 0, 4, 378, 260, 10, 211, 15, 17,
+        4, 5, 114, 11, 16, 638,
     ],
     inst2vec_hash: 0x67bc3e96ef854f57,
     programl_nodes: 1917,
@@ -74,7 +73,12 @@ fn check(golden: &Golden) {
         ir.lines().count(),
         golden.ir_lines
     );
-    assert_eq!(ir.lines().count(), golden.ir_lines, "{}: IR line count drifted", golden.uri);
+    assert_eq!(
+        ir.lines().count(),
+        golden.ir_lines,
+        "{}: IR line count drifted",
+        golden.uri
+    );
 
     let ic = inst_count(&m);
     assert_eq!(ic.len(), INST_COUNT_DIM);
@@ -96,8 +100,18 @@ fn check(golden: &Golden) {
     );
 
     let g = programl(&m);
-    assert_eq!(g.node_count(), golden.programl_nodes, "{}: ProGraML node count drifted", golden.uri);
-    assert_eq!(g.edge_count(), golden.programl_edges, "{}: ProGraML edge count drifted", golden.uri);
+    assert_eq!(
+        g.node_count(),
+        golden.programl_nodes,
+        "{}: ProGraML node count drifted",
+        golden.uri
+    );
+    assert_eq!(
+        g.edge_count(),
+        golden.programl_edges,
+        "{}: ProGraML edge count drifted",
+        golden.uri
+    );
 }
 
 #[test]

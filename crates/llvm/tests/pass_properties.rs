@@ -31,7 +31,11 @@ fn all_actions_preserve_validity_and_determinism() {
         let mut b = base.clone();
         space.apply(&mut a, i);
         verify_module(&a).unwrap_or_else(|e| {
-            panic!("action {} (`{}`) broke the verifier: {e}", i, space.pass(i).name())
+            panic!(
+                "action {} (`{}`) broke the verifier: {e}",
+                i,
+                space.pass(i).name()
+            )
         });
         space.apply(&mut b, i);
         assert_eq!(

@@ -67,7 +67,12 @@ pub enum Action {
 impl Action {
     /// The basic action space (no `Split`).
     pub fn basic() -> &'static [Action] {
-        &[Action::ToggleMode, Action::Up, Action::Down, Action::ToggleThread]
+        &[
+            Action::ToggleMode,
+            Action::Up,
+            Action::Down,
+            Action::ToggleThread,
+        ]
     }
 
     /// The extended action space (with `Split`).
@@ -104,7 +109,10 @@ impl LoopNest {
     pub fn pointwise_add(n: u64) -> LoopNest {
         LoopNest {
             n,
-            loops: vec![LoopDim { size: n, threaded: false }],
+            loops: vec![LoopDim {
+                size: n,
+                threaded: false,
+            }],
             cursor: 0,
             mode: Mode::Move,
             gpu: GpuModel::gp100(),
@@ -149,8 +157,13 @@ impl LoopNest {
                 self.loops[self.cursor].threaded = !t;
             }
             (Action::Split, _) => {
-                self.loops
-                    .insert(self.cursor + 1, LoopDim { size: 1, threaded: false });
+                self.loops.insert(
+                    self.cursor + 1,
+                    LoopDim {
+                        size: 1,
+                        threaded: false,
+                    },
+                );
                 self.normalize();
             }
         }
@@ -176,7 +189,13 @@ impl LoopNest {
         for (i, l) in self.loops.iter().enumerate() {
             let indent = " ".repeat(i);
             let annot = if l.threaded { " [thread]" } else { "" };
-            let _ = writeln!(s, "{indent}for a{} in {} : L{}{annot}", "'".repeat(i), l.size, i);
+            let _ = writeln!(
+                s,
+                "{indent}for a{} in {} : L{}{annot}",
+                "'".repeat(i),
+                l.size,
+                i
+            );
         }
         let indent = " ".repeat(self.loops.len());
         let _ = writeln!(s, "{indent}%0[a] <- read()");

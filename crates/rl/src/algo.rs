@@ -73,7 +73,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> TrainConfig {
-        TrainConfig { episodes: 200, steps: 45, hidden: 64, lr: 3e-3, gamma: 0.99, seed: 0 }
+        TrainConfig {
+            episodes: 200,
+            steps: 45,
+            hidden: 64,
+            lr: 3e-3,
+            gamma: 0.99,
+            seed: 0,
+        }
     }
 }
 
@@ -131,7 +138,9 @@ pub fn train_ppo(
     cfg: &TrainConfig,
 ) -> Result<(Policy, Vec<f64>), cg_core::CgError> {
     let n_actions = env.num_actions();
-    let mut policy = Policy { net: Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed) };
+    let mut policy = Policy {
+        net: Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed),
+    };
     let mut value = Mlp::new(&[feat_dim, cfg.hidden, 1], cfg.seed ^ 0xDEAD);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut curve = Vec::with_capacity(cfg.episodes);
@@ -157,7 +166,11 @@ pub fn train_ppo(
                 let ratio = (logp_new - t.logp).exp();
                 let adv = advs[i];
                 // d(-min(r·A, clip(r)·A))/dlogp_new.
-                let active = if adv >= 0.0 { ratio <= 1.2 } else { ratio >= 0.8 };
+                let active = if adv >= 0.0 {
+                    ratio <= 1.2
+                } else {
+                    ratio >= 0.8
+                };
                 let coeff = if active { -adv * ratio } else { 0.0 };
                 if coeff != 0.0 {
                     let mut dlogits = probs.clone();
@@ -188,7 +201,9 @@ pub fn train_a2c(
     cfg: &TrainConfig,
 ) -> Result<(Policy, Vec<f64>), cg_core::CgError> {
     let n_actions = env.num_actions();
-    let mut policy = Policy { net: Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed) };
+    let mut policy = Policy {
+        net: Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed),
+    };
     let mut value = Mlp::new(&[feat_dim, cfg.hidden, 1], cfg.seed ^ 0xBEEF);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut curve = Vec::new();
@@ -316,7 +331,9 @@ pub fn train_impala(
     cfg: &TrainConfig,
 ) -> Result<(Policy, Vec<f64>), cg_core::CgError> {
     let n_actions = env.num_actions();
-    let mut learner = Policy { net: Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed) };
+    let mut learner = Policy {
+        net: Mlp::new(&[feat_dim, cfg.hidden, n_actions], cfg.seed),
+    };
     let mut actor = learner.clone(); // stale behaviour snapshot
     let mut value = Mlp::new(&[feat_dim, cfg.hidden, 1], cfg.seed ^ 0xF00D);
     let mut rng = StdRng::seed_from_u64(cfg.seed);

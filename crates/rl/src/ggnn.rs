@@ -39,7 +39,13 @@ pub fn encode(graph: &ProgramGraph) -> Vec<f32> {
     let mut h: Vec<Vec<f32>> = graph
         .nodes
         .iter()
-        .map(|node| hash_vec(0x1000 + node.opcode as u64 * 31 + node.kind as u64, HIDDEN, 0.5))
+        .map(|node| {
+            hash_vec(
+                0x1000 + node.opcode as u64 * 31 + node.kind as u64,
+                HIDDEN,
+                0.5,
+            )
+        })
         .collect();
     // Fixed propagation matrices (per edge kind, per direction) as hash
     // vectors applied elementwise-rotated — cheap but direction- and
@@ -107,7 +113,11 @@ pub struct CostModel {
 impl CostModel {
     /// A zero-initialized model.
     pub fn new(target_scale: f32) -> CostModel {
-        CostModel { w: vec![0.0; HIDDEN], b: 0.0, target_scale: target_scale.max(1.0) }
+        CostModel {
+            w: vec![0.0; HIDDEN],
+            b: 0.0,
+            target_scale: target_scale.max(1.0),
+        }
     }
 
     /// Predicts the instruction count for an encoded graph.
@@ -156,8 +166,7 @@ impl CostModel {
 
 /// The naive baseline: always predict the training-set mean.
 pub fn naive_mean_relative_error(train: &[(Vec<f32>, f32)], val: &[(Vec<f32>, f32)]) -> f64 {
-    let mean: f32 =
-        train.iter().map(|(_, t)| *t).sum::<f32>() / train.len().max(1) as f32;
+    let mean: f32 = train.iter().map(|(_, t)| *t).sum::<f32>() / train.len().max(1) as f32;
     val.iter()
         .map(|(_, t)| ((mean - t).abs() / t.max(1.0)) as f64)
         .sum::<f64>()
@@ -184,7 +193,9 @@ mod tests {
         // Train on a small corpus of benchmarks at several optimization
         // states; validate on held-out ones.
         let mut data: Vec<(Vec<f32>, f32)> = Vec::new();
-        for name in ["crc32", "sha", "bitcount", "qsort", "gsm", "tiff2bw", "dijkstra"] {
+        for name in [
+            "crc32", "sha", "bitcount", "qsort", "gsm", "tiff2bw", "dijkstra",
+        ] {
             let mut m = cg_datasets::benchmark(&format!("cbench-v1/{name}")).unwrap();
             data.push((encode(&programl(&m)), m.inst_count() as f32));
             cg_llvm::pipeline::run_oz(&mut m);
@@ -199,7 +210,10 @@ mod tests {
         }
         let after = model.relative_error(val);
         let naive = naive_mean_relative_error(train, val);
-        assert!(after < before, "training reduced error: {before} -> {after}");
+        assert!(
+            after < before,
+            "training reduced error: {before} -> {after}"
+        );
         assert!(after < naive, "beats naive mean: {after} vs {naive}");
         assert!(after < 0.5, "converged to a useful model: {after}");
     }

@@ -76,7 +76,9 @@ impl DiskCheckpoints {
     /// not errors: a lost checkpoint only costs a longer replay.
     #[must_use]
     pub fn load_all(&self) -> Vec<Checkpoint> {
-        let Ok(entries) = fs::read_dir(&self.dir) else { return Vec::new() };
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
         let mut out: Vec<Checkpoint> = entries
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|x| x == "json"))
@@ -196,11 +198,7 @@ mod tests {
         // A fresh process: the ring is empty until seeded from disk.
         let disk = DiskCheckpoints::open(&dir).unwrap();
         let store = disk.store(8, 5);
-        let hit = store.latest_matching(
-            "benchmark://cbench-v1/qsort",
-            0,
-            &[1, 2, 3, 4, 5, 6, 7],
-        );
+        let hit = store.latest_matching("benchmark://cbench-v1/qsort", 0, &[1, 2, 3, 4, 5, 6, 7]);
         assert_eq!(hit.unwrap().depth(), 5, "checkpoint survived the 'crash'");
         let _ = fs::remove_dir_all(&dir);
     }

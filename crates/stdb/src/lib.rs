@@ -151,7 +151,11 @@ impl AsyncLogger {
                 d.steps.push(step);
             }
         });
-        AsyncLogger { tx: Some(tx), handle: Some(handle), db }
+        AsyncLogger {
+            tx: Some(tx),
+            handle: Some(handle),
+            db,
+        }
     }
 
     /// Enqueues one step (non-blocking).
@@ -241,9 +245,20 @@ fn log_observation(
     state: u64,
     logger: &AsyncLogger,
 ) -> Result<(), cg_core::CgError> {
-    let autophase = env.observe("Autophase")?.as_int_vector().unwrap_or(&[]).to_vec();
-    let inst_count = env.observe("InstCount")?.as_int_vector().unwrap_or(&[]).to_vec();
-    let count = env.observe("IrInstructionCount")?.as_scalar().unwrap_or(0.0);
+    let autophase = env
+        .observe("Autophase")?
+        .as_int_vector()
+        .unwrap_or(&[])
+        .to_vec();
+    let inst_count = env
+        .observe("InstCount")?
+        .as_int_vector()
+        .unwrap_or(&[])
+        .to_vec();
+    let count = env
+        .observe("IrInstructionCount")?
+        .as_scalar()
+        .unwrap_or(0.0);
     let ir_text = env.observe("Ir")?.as_text().unwrap_or("").to_string();
     logger.log(
         StepRow {
@@ -253,7 +268,13 @@ fn log_observation(
             state,
             reward: 0.0,
         },
-        Some(ObservationRow { state, autophase, inst_count, ir_instruction_count: count, ir_text }),
+        Some(ObservationRow {
+            state,
+            autophase,
+            inst_count,
+            ir_instruction_count: count,
+            ir_text,
+        }),
     );
     Ok(())
 }
@@ -264,13 +285,7 @@ mod tests {
 
     #[test]
     fn generate_and_post_process() {
-        let db = generate_database(
-            &["benchmark://cbench-v1/crc32".to_string()],
-            2,
-            5,
-            7,
-        )
-        .unwrap();
+        let db = generate_database(&["benchmark://cbench-v1/crc32".to_string()], 2, 5, 7).unwrap();
         assert!(db.unique_states() >= 2, "states: {}", db.unique_states());
         assert!(!db.transitions.is_empty());
         // Transitions are deduplicated.

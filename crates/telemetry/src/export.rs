@@ -44,7 +44,11 @@ fn counter(name: &str, help: &'static str, value: u64) -> MetricFamily {
         name: name.to_string(),
         help,
         kind: "counter",
-        samples: vec![Sample { suffix: "", labels: Vec::new(), value: value as f64 }],
+        samples: vec![Sample {
+            suffix: "",
+            labels: Vec::new(),
+            value: value as f64,
+        }],
     }
 }
 
@@ -53,7 +57,11 @@ fn gauge(name: &str, help: &'static str, value: f64) -> MetricFamily {
         name: name.to_string(),
         help,
         kind: "gauge",
-        samples: vec![Sample { suffix: "", labels: Vec::new(), value }],
+        samples: vec![Sample {
+            suffix: "",
+            labels: Vec::new(),
+            value,
+        }],
     }
 }
 
@@ -65,7 +73,11 @@ fn summary_samples(h: &HistogramSnapshot, labels: &[(String, String)]) -> Vec<Sa
     let quantile = |q: &str, v: u64| {
         let mut l = labels.to_vec();
         l.push(("quantile".to_string(), q.to_string()));
-        Sample { suffix: "", labels: l, value: v as f64 }
+        Sample {
+            suffix: "",
+            labels: l,
+            value: v as f64,
+        }
     };
     vec![
         quantile("0", h.min_micros),
@@ -73,8 +85,16 @@ fn summary_samples(h: &HistogramSnapshot, labels: &[(String, String)]) -> Vec<Sa
         quantile("0.9", h.p90_micros),
         quantile("0.99", h.p99_micros),
         quantile("1", h.max_micros),
-        Sample { suffix: "_sum", labels: labels.to_vec(), value: h.sum_micros as f64 },
-        Sample { suffix: "_count", labels: labels.to_vec(), value: h.count as f64 },
+        Sample {
+            suffix: "_sum",
+            labels: labels.to_vec(),
+            value: h.sum_micros as f64,
+        },
+        Sample {
+            suffix: "_count",
+            labels: labels.to_vec(),
+            value: h.count as f64,
+        },
     ]
 }
 
@@ -137,41 +157,97 @@ pub fn collect(snap: &TelemetrySnapshot) -> Vec<MetricFamily> {
 
     // Fault-tolerance counters.
     for (name, help, v) in [
-        ("cg_timeouts_total", "Requests that hit the client deadline.", snap.timeouts),
-        ("cg_panics_total", "Session panics caught by the service runtime.", snap.panics),
+        (
+            "cg_timeouts_total",
+            "Requests that hit the client deadline.",
+            snap.timeouts,
+        ),
+        (
+            "cg_panics_total",
+            "Session panics caught by the service runtime.",
+            snap.panics,
+        ),
         ("cg_restarts_total", "Service restarts.", snap.restarts),
-        ("cg_recoveries_total", "Episodes transparently recovered by replay.", snap.recoveries),
+        (
+            "cg_recoveries_total",
+            "Episodes transparently recovered by replay.",
+            snap.recoveries,
+        ),
         (
             "cg_replay_divergences_total",
             "Replays whose reward metric diverged.",
             snap.replay_divergences,
         ),
-        ("cg_reconnects_total", "TCP client reconnects.", snap.reconnects),
-        ("cg_checkpoints_taken_total", "Session checkpoints serialized.", snap.checkpoints_taken),
+        (
+            "cg_reconnects_total",
+            "TCP client reconnects.",
+            snap.reconnects,
+        ),
+        (
+            "cg_checkpoints_taken_total",
+            "Session checkpoints serialized.",
+            snap.checkpoints_taken,
+        ),
         (
             "cg_checkpoint_restores_total",
             "Recoveries restored from a checkpoint.",
             snap.checkpoint_restores,
         ),
-        ("cg_budget_kills_total", "Sessions killed in-band by a resource budget.", snap.budget_kills),
-        ("cg_watchdog_restarts_total", "Watchdog-initiated restarts.", snap.watchdog_restarts),
-        ("cg_breaker_trips_total", "Circuit-breaker open transitions.", snap.breaker_trips),
-        ("cg_breaker_fast_fails_total", "Calls rejected by an open circuit.", snap.breaker_fast_fails),
-        ("cg_breaker_half_opens_total", "Circuit-breaker half-open probes.", snap.breaker_half_opens),
+        (
+            "cg_budget_kills_total",
+            "Sessions killed in-band by a resource budget.",
+            snap.budget_kills,
+        ),
+        (
+            "cg_watchdog_restarts_total",
+            "Watchdog-initiated restarts.",
+            snap.watchdog_restarts,
+        ),
+        (
+            "cg_breaker_trips_total",
+            "Circuit-breaker open transitions.",
+            snap.breaker_trips,
+        ),
+        (
+            "cg_breaker_fast_fails_total",
+            "Calls rejected by an open circuit.",
+            snap.breaker_fast_fails,
+        ),
+        (
+            "cg_breaker_half_opens_total",
+            "Circuit-breaker half-open probes.",
+            snap.breaker_half_opens,
+        ),
     ] {
         out.push(counter(name, help, v));
     }
 
     // Episode statistics.
-    out.push(counter("cg_episodes_total", "Completed reset() calls.", snap.episode.episodes));
-    out.push(counter("cg_steps_total", "Completed step() calls.", snap.episode.steps));
-    out.push(counter("cg_actions_total", "Actions applied.", snap.episode.actions_total));
+    out.push(counter(
+        "cg_episodes_total",
+        "Completed reset() calls.",
+        snap.episode.episodes,
+    ));
+    out.push(counter(
+        "cg_steps_total",
+        "Completed step() calls.",
+        snap.episode.steps,
+    ));
+    out.push(counter(
+        "cg_actions_total",
+        "Actions applied.",
+        snap.episode.actions_total,
+    ));
     out.push(counter(
         "cg_actions_changed_total",
         "Actions that mutated program state.",
         snap.episode.actions_changed,
     ));
-    out.push(gauge("cg_reward_sum", "Sum of all step rewards.", snap.episode.reward_sum));
+    out.push(gauge(
+        "cg_reward_sum",
+        "Sum of all step rewards.",
+        snap.episode.reward_sum,
+    ));
     out.push(summary(
         "cg_reset_latency_micros",
         "reset() wall time in microseconds.",
@@ -207,14 +283,26 @@ pub fn collect(snap: &TelemetrySnapshot) -> Vec<MetricFamily> {
     let mut pass_delta = Vec::new();
     for (pass, p) in &snap.passes {
         let labels = labeled("pass", pass);
-        pass_calls.push(Sample { suffix: "", labels: labels.clone(), value: p.calls as f64 });
+        pass_calls.push(Sample {
+            suffix: "",
+            labels: labels.clone(),
+            value: p.calls as f64,
+        });
         pass_wall.push(Sample {
             suffix: "",
             labels: labels.clone(),
             value: p.total_micros as f64,
         });
-        pass_changed.push(Sample { suffix: "", labels: labels.clone(), value: p.changed as f64 });
-        pass_delta.push(Sample { suffix: "", labels, value: p.inst_delta as f64 });
+        pass_changed.push(Sample {
+            suffix: "",
+            labels: labels.clone(),
+            value: p.changed as f64,
+        });
+        pass_delta.push(Sample {
+            suffix: "",
+            labels,
+            value: p.inst_delta as f64,
+        });
     }
     out.push(MetricFamily {
         name: "cg_pass_calls_total".to_string(),
@@ -243,20 +331,64 @@ pub fn collect(snap: &TelemetrySnapshot) -> Vec<MetricFamily> {
 
     // Pool and cache.
     for (name, help, v) in [
-        ("cg_pool_jobs_total", "Evaluation jobs completed.", snap.pool.jobs),
-        ("cg_pool_job_errors_total", "Jobs that finished with an error.", snap.pool.job_errors),
-        ("cg_pool_job_panics_total", "Worker panics caught mid-job.", snap.pool.job_panics),
-        ("cg_cache_hits_total", "Exact evaluation-cache hits.", snap.pool.cache_hits),
-        ("cg_cache_misses_total", "Evaluation-cache misses.", snap.pool.cache_misses),
-        ("cg_cache_prefix_hits_total", "Prefix-trie snapshot hits.", snap.pool.prefix_hits),
-        ("cg_actions_executed_total", "Pass applications executed by workers.", snap.pool.actions_executed),
-        ("cg_actions_saved_total", "Pass applications skipped via cache reuse.", snap.pool.actions_saved),
-        ("cg_cache_evictions_total", "Cache entries evicted.", snap.pool.evictions),
+        (
+            "cg_pool_jobs_total",
+            "Evaluation jobs completed.",
+            snap.pool.jobs,
+        ),
+        (
+            "cg_pool_job_errors_total",
+            "Jobs that finished with an error.",
+            snap.pool.job_errors,
+        ),
+        (
+            "cg_pool_job_panics_total",
+            "Worker panics caught mid-job.",
+            snap.pool.job_panics,
+        ),
+        (
+            "cg_cache_hits_total",
+            "Exact evaluation-cache hits.",
+            snap.pool.cache_hits,
+        ),
+        (
+            "cg_cache_misses_total",
+            "Evaluation-cache misses.",
+            snap.pool.cache_misses,
+        ),
+        (
+            "cg_cache_prefix_hits_total",
+            "Prefix-trie snapshot hits.",
+            snap.pool.prefix_hits,
+        ),
+        (
+            "cg_actions_executed_total",
+            "Pass applications executed by workers.",
+            snap.pool.actions_executed,
+        ),
+        (
+            "cg_actions_saved_total",
+            "Pass applications skipped via cache reuse.",
+            snap.pool.actions_saved,
+        ),
+        (
+            "cg_cache_evictions_total",
+            "Cache entries evicted.",
+            snap.pool.evictions,
+        ),
     ] {
         out.push(counter(name, help, v));
     }
-    out.push(gauge("cg_pool_workers", "Worker threads alive.", snap.pool.workers as f64));
-    out.push(gauge("cg_pool_queue_depth", "Jobs queued, not yet running.", snap.pool.queue_depth as f64));
+    out.push(gauge(
+        "cg_pool_workers",
+        "Worker threads alive.",
+        snap.pool.workers as f64,
+    ));
+    out.push(gauge(
+        "cg_pool_queue_depth",
+        "Jobs queued, not yet running.",
+        snap.pool.queue_depth as f64,
+    ));
     out.push(summary(
         "cg_pool_batch_latency_micros",
         "evaluate_batch wall time in microseconds.",
@@ -268,15 +400,95 @@ pub fn collect(snap: &TelemetrySnapshot) -> Vec<MetricFamily> {
         &snap.pool.job_wall,
     ));
 
+    // Session-broker front door.
+    for (name, help, v) in [
+        (
+            "cg_broker_admitted_total",
+            "Sessions admitted through the front door.",
+            snap.broker.admitted,
+        ),
+        (
+            "cg_broker_refused_total",
+            "Requests refused by admission control with a typed Overloaded.",
+            snap.broker.refused,
+        ),
+        (
+            "cg_broker_shed_total",
+            "Queued work shed under overload.",
+            snap.broker.shed,
+        ),
+        (
+            "cg_broker_quota_refusals_total",
+            "Refusals due to a per-tenant quota.",
+            snap.broker.quota_refusals,
+        ),
+        (
+            "cg_broker_drains_total",
+            "Graceful drains initiated.",
+            snap.broker.drains,
+        ),
+        (
+            "cg_broker_drained_checkpoints_total",
+            "Live sessions checkpointed during drain.",
+            snap.broker.drained_checkpoints,
+        ),
+    ] {
+        out.push(counter(name, help, v));
+    }
+    out.push(gauge(
+        "cg_broker_sessions",
+        "Live broker sessions.",
+        snap.broker.sessions as f64,
+    ));
+    out.push(gauge(
+        "cg_broker_queue_depth",
+        "Requests queued in tenant FIFOs.",
+        snap.broker.queue_depth as f64,
+    ));
+    out.push(gauge(
+        "cg_broker_connections",
+        "Open front-door TCP connections.",
+        snap.broker.connections as f64,
+    ));
+    out.push(summary(
+        "cg_broker_queue_wait_micros",
+        "Time requests spend queued before dispatch, in microseconds.",
+        &snap.broker.queue_wait,
+    ));
+
     // Fuzzer.
-    out.push(counter("cg_fuzz_cases_total", "Fuzz cases executed.", snap.fuzz.cases));
-    out.push(counter("cg_fuzz_divergences_total", "Fuzz divergences found.", snap.fuzz.divergences));
+    out.push(counter(
+        "cg_fuzz_cases_total",
+        "Fuzz cases executed.",
+        snap.fuzz.cases,
+    ));
+    out.push(counter(
+        "cg_fuzz_divergences_total",
+        "Fuzz divergences found.",
+        snap.fuzz.divergences,
+    ));
 
     // Trace ring and flight recorder.
-    out.push(gauge("cg_trace_spans", "Span records currently buffered.", snap.trace_events as f64));
-    out.push(counter("cg_trace_dropped_total", "Span records evicted from the ring.", snap.trace_dropped));
-    out.push(counter("cg_episodes_recorded_total", "Flight-recorder episodes opened.", snap.episodes_recorded));
-    out.push(counter("cg_episodes_evicted_total", "Flight-recorder episodes evicted.", snap.episodes_dropped));
+    out.push(gauge(
+        "cg_trace_spans",
+        "Span records currently buffered.",
+        snap.trace_events as f64,
+    ));
+    out.push(counter(
+        "cg_trace_dropped_total",
+        "Span records evicted from the ring.",
+        snap.trace_dropped,
+    ));
+    out.push(counter(
+        "cg_episodes_recorded_total",
+        "Flight-recorder episodes opened.",
+        snap.episodes_recorded,
+    ));
+    out.push(counter(
+        "cg_episodes_evicted_total",
+        "Flight-recorder episodes evicted.",
+        snap.episodes_dropped,
+    ));
     out.push(counter(
         "cg_episode_spans_dropped_total",
         "Spans dropped by per-episode caps.",
@@ -289,11 +501,31 @@ pub fn collect(snap: &TelemetrySnapshot) -> Vec<MetricFamily> {
         "Configured step-latency objective (0 = disabled).",
         snap.slo.objective_micros as f64,
     ));
-    out.push(gauge("cg_slo_target", "Configured availability target.", snap.slo.target));
-    out.push(counter("cg_slo_good_total", "Steps meeting the latency objective.", snap.slo.good));
-    out.push(counter("cg_slo_bad_total", "Steps missing the latency objective.", snap.slo.bad));
-    out.push(gauge("cg_slo_compliance", "Fraction of steps meeting the objective.", snap.slo.compliance));
-    out.push(gauge("cg_slo_burn_rate", "Error-budget burn rate (1.0 = at budget).", snap.slo.burn_rate));
+    out.push(gauge(
+        "cg_slo_target",
+        "Configured availability target.",
+        snap.slo.target,
+    ));
+    out.push(counter(
+        "cg_slo_good_total",
+        "Steps meeting the latency objective.",
+        snap.slo.good,
+    ));
+    out.push(counter(
+        "cg_slo_bad_total",
+        "Steps missing the latency objective.",
+        snap.slo.bad,
+    ));
+    out.push(gauge(
+        "cg_slo_compliance",
+        "Fraction of steps meeting the objective.",
+        snap.slo.compliance,
+    ));
+    out.push(gauge(
+        "cg_slo_burn_rate",
+        "Error-budget burn rate (1.0 = at budget).",
+        snap.slo.burn_rate,
+    ));
 
     out
 }
@@ -354,7 +586,10 @@ pub fn metrics_jsonl(snap: &TelemetrySnapshot) -> String {
     for family in collect(snap) {
         for s in &family.samples {
             let line = Value::Object(vec![
-                ("name".to_string(), Value::Str(format!("{}{}", family.name, s.suffix))),
+                (
+                    "name".to_string(),
+                    Value::Str(format!("{}{}", family.name, s.suffix)),
+                ),
                 ("kind".to_string(), Value::Str(family.kind.to_string())),
                 (
                     "labels".to_string(),
@@ -434,7 +669,9 @@ mod tests {
         t.episode.episodes.inc();
         t.episode.steps.add(3);
         t.episode.step_wall.record(250);
-        t.passes.get("gvn").record(Duration::from_micros(42), true, -5);
+        t.passes
+            .get("gvn")
+            .record(Duration::from_micros(42), true, -5);
         t.slo.configure(Duration::from_millis(1), 0.9);
         t.slo.record(Duration::from_micros(500));
         t.slo.record(Duration::from_millis(5));
@@ -461,12 +698,14 @@ mod tests {
             let name = series.split('{').next().unwrap();
             assert!(
                 name.starts_with("cg_")
-                    && name
-                        .chars()
-                        .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
                 "bad metric name in: {line}"
             );
-            seen.insert(name.trim_end_matches("_sum").trim_end_matches("_count").to_string());
+            seen.insert(
+                name.trim_end_matches("_sum")
+                    .trim_end_matches("_count")
+                    .to_string(),
+            );
         }
         for required in [
             "cg_requests_total",

@@ -298,7 +298,11 @@ impl Histogram {
         HistogramSnapshot {
             count,
             sum_micros: self.sum(),
-            mean_micros: if count == 0 { 0.0 } else { self.sum() as f64 / count as f64 },
+            mean_micros: if count == 0 {
+                0.0
+            } else {
+                self.sum() as f64 / count as f64
+            },
             min_micros: self.min(),
             p50_micros: self.quantile(0.50),
             p90_micros: self.quantile(0.90),
@@ -334,7 +338,9 @@ pub struct Family<T> {
 impl<T: Default> Family<T> {
     /// Creates an empty family.
     pub fn new() -> Family<T> {
-        Family { inner: RwLock::new(HashMap::new()) }
+        Family {
+            inner: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Returns the metric for `key`, creating it on first use. Hot paths
@@ -344,7 +350,10 @@ impl<T: Default> Family<T> {
             return Arc::clone(m);
         }
         let mut w = self.inner.write();
-        Arc::clone(w.entry(key.to_string()).or_insert_with(|| Arc::new(T::default())))
+        Arc::clone(
+            w.entry(key.to_string())
+                .or_insert_with(|| Arc::new(T::default())),
+        )
     }
 
     /// Visits every `(key, metric)` pair.
@@ -378,7 +387,8 @@ impl PassStats {
     /// and the signed instruction-count delta it caused.
     pub fn record(&self, wall: Duration, changed: bool, inst_delta: i64) {
         self.calls.inc();
-        self.total_micros.add(wall.as_micros().min(u64::MAX as u128) as u64);
+        self.total_micros
+            .add(wall.as_micros().min(u64::MAX as u128) as u64);
         if changed {
             self.changed.inc();
         }
@@ -620,7 +630,9 @@ pub fn current_context() -> Option<TraceContext> {
 #[must_use]
 pub fn enter_context(ctx: TraceContext) -> ContextGuard {
     CONTEXT_STACK.with(|c| c.borrow_mut().push(ctx));
-    ContextGuard { span_id: ctx.span_id }
+    ContextGuard {
+        span_id: ctx.span_id,
+    }
 }
 
 /// Pops its context from the thread's stack on drop. Out-of-order drops are
@@ -660,7 +672,10 @@ pub struct Span<'a> {
 
 impl std::fmt::Debug for Span<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Span").field("name", &self.name).field("ctx", &self.ctx).finish()
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("ctx", &self.ctx)
+            .finish()
     }
 }
 
@@ -827,7 +842,11 @@ impl EpisodeRecorder {
     /// the episode has been evicted.
     pub fn bind(&self, trace_id: u64, episode_id: u64) {
         let mut inner = self.inner.lock();
-        let Some(ep) = inner.episodes.iter_mut().find(|e| e.episode_id == episode_id) else {
+        let Some(ep) = inner
+            .episodes
+            .iter_mut()
+            .find(|e| e.episode_id == episode_id)
+        else {
             return;
         };
         ep.trace_ids.push(trace_id);
@@ -837,16 +856,26 @@ impl EpisodeRecorder {
     /// Marks an episode ended (it keeps receiving late spans until evicted).
     pub fn end(&self, episode_id: u64) {
         let mut inner = self.inner.lock();
-        if let Some(ep) = inner.episodes.iter_mut().find(|e| e.episode_id == episode_id) {
+        if let Some(ep) = inner
+            .episodes
+            .iter_mut()
+            .find(|e| e.episode_id == episode_id)
+        {
             ep.ended_micros = now_micros();
         }
     }
 
     fn route(&self, rec: &SpanRecord) {
         let mut inner = self.inner.lock();
-        let Some(&episode_id) = inner.bindings.get(&rec.trace_id) else { return };
+        let Some(&episode_id) = inner.bindings.get(&rec.trace_id) else {
+            return;
+        };
         let span_capacity = self.span_capacity;
-        let Some(ep) = inner.episodes.iter_mut().find(|e| e.episode_id == episode_id) else {
+        let Some(ep) = inner
+            .episodes
+            .iter_mut()
+            .find(|e| e.episode_id == episode_id)
+        else {
             return;
         };
         if ep.spans.len() >= span_capacity {
@@ -859,7 +888,12 @@ impl EpisodeRecorder {
 
     /// Copies out one episode.
     pub fn episode(&self, episode_id: u64) -> Option<EpisodeRecord> {
-        self.inner.lock().episodes.iter().find(|e| e.episode_id == episode_id).cloned()
+        self.inner
+            .lock()
+            .episodes
+            .iter()
+            .find(|e| e.episode_id == episode_id)
+            .cloned()
     }
 
     /// Id of the most recently opened episode.
@@ -1153,7 +1187,8 @@ impl StepSlo {
     pub fn configure(&self, objective: Duration, target: f64) {
         let micros = objective.as_micros().min(u64::MAX as u128) as u64;
         self.objective_micros.store(micros, Ordering::Relaxed);
-        self.target_bits.store(target.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+        self.target_bits
+            .store(target.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
     }
 
     /// The configured objective in microseconds (0 when disabled).
@@ -1399,6 +1434,81 @@ pub struct PoolSnapshot {
     pub job_wall: HistogramSnapshot,
 }
 
+/// Session-broker front-door statistics: admission control, per-tenant
+/// quotas, queueing, load shedding, and graceful drain.
+#[derive(Debug, Default)]
+pub struct BrokerStats {
+    /// Sessions admitted through the front door (quota reserved).
+    pub admitted: Counter,
+    /// Requests refused by the admission ladder (capacity or drain), each
+    /// answered with a typed in-band `Overloaded` carrying `retry_after_ms`.
+    pub refused: Counter,
+    /// Queued work shed under queue pressure (newest non-established first).
+    pub shed: Counter,
+    /// Refusals attributable to a per-tenant quota (concurrent sessions or
+    /// actions-per-second), a subset of `refused`.
+    pub quota_refusals: Counter,
+    /// Graceful drains initiated.
+    pub drains: Counter,
+    /// Live sessions checkpointed during drain.
+    pub drained_checkpoints: Counter,
+    /// Live sessions across all broker workers (including reservations for
+    /// admitted-but-not-yet-started sessions).
+    pub sessions: Gauge,
+    /// Requests queued in tenant FIFOs, not yet dispatched to a worker.
+    pub queue_depth: Gauge,
+    /// Open front-door TCP connections.
+    pub connections: Gauge,
+    /// Time requests spend queued before a worker picks them up.
+    pub queue_wait: Histogram,
+}
+
+impl BrokerStats {
+    /// Captures the summary.
+    pub fn snapshot(&self) -> BrokerSnapshot {
+        BrokerSnapshot {
+            admitted: self.admitted.get(),
+            refused: self.refused.get(),
+            shed: self.shed.get(),
+            quota_refusals: self.quota_refusals.get(),
+            drains: self.drains.get(),
+            drained_checkpoints: self.drained_checkpoints.get(),
+            sessions: self.sessions.get(),
+            queue_depth: self.queue_depth.get(),
+            connections: self.connections.get(),
+            queue_wait: self.queue_wait.snapshot(),
+        }
+    }
+
+    fn reset(&self) {
+        self.admitted.reset();
+        self.refused.reset();
+        self.shed.reset();
+        self.quota_refusals.reset();
+        self.drains.reset();
+        self.drained_checkpoints.reset();
+        self.sessions.reset();
+        self.queue_depth.reset();
+        self.connections.reset();
+        self.queue_wait.reset();
+    }
+}
+
+/// Serializable form of [`BrokerStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrokerSnapshot {
+    pub admitted: u64,
+    pub refused: u64,
+    pub shed: u64,
+    pub quota_refusals: u64,
+    pub drains: u64,
+    pub drained_checkpoints: u64,
+    pub sessions: i64,
+    pub queue_depth: i64,
+    pub connections: i64,
+    pub queue_wait: HistogramSnapshot,
+}
+
 /// The telemetry registry for one process.
 ///
 /// Most code uses the shared [`global`] instance; tests may build private
@@ -1452,6 +1562,8 @@ pub struct Telemetry {
     pub fuzz: FuzzStats,
     /// Parallel-evaluation pool and evaluation-cache statistics.
     pub pool: PoolStats,
+    /// Multi-tenant session-broker front-door statistics.
+    pub broker: BrokerStats,
     /// Structured trace ring with the embedded episode flight recorder.
     pub trace: TraceBuffer,
     /// Step-latency service-level objective tracking.
@@ -1505,6 +1617,7 @@ impl Telemetry {
             passes,
             fuzz: self.fuzz.snapshot(),
             pool: self.pool.snapshot(),
+            broker: self.broker.snapshot(),
             trace_events: self.trace.len() as u64,
             trace_dropped: self.trace.dropped(),
             episodes_recorded: self.trace.recorder().recorded(),
@@ -1537,6 +1650,7 @@ impl Telemetry {
         self.passes.for_each(|_, p| p.reset());
         self.fuzz.reset();
         self.pool.reset();
+        self.broker.reset();
         self.trace.clear();
         self.slo.reset();
     }
@@ -1566,6 +1680,7 @@ pub struct TelemetrySnapshot {
     pub passes: BTreeMap<String, PassSnapshot>,
     pub fuzz: FuzzSnapshot,
     pub pool: PoolSnapshot,
+    pub broker: BrokerSnapshot,
     pub trace_events: u64,
     pub trace_dropped: u64,
     pub episodes_recorded: u64,
@@ -1583,7 +1698,11 @@ pub fn global() -> &'static Telemetry {
 /// Microseconds elapsed since the first telemetry call in this process.
 pub fn now_micros() -> u64 {
     static START: OnceLock<Instant> = OnceLock::new();
-    START.get_or_init(Instant::now).elapsed().as_micros().min(u64::MAX as u128) as u64
+    START
+        .get_or_init(Instant::now)
+        .elapsed()
+        .as_micros()
+        .min(u64::MAX as u128) as u64
 }
 
 /// Times a region and records it into a histogram (and optionally the trace
@@ -1595,7 +1714,9 @@ pub struct Timer {
 impl Timer {
     /// Starts timing.
     pub fn start() -> Timer {
-        Timer { start: Instant::now() }
+        Timer {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time so far.
@@ -1680,7 +1801,9 @@ mod tests {
         assert_eq!(h.count(), 80_000);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 79_999);
-        let total: u64 = (0..8u64).map(|t| (0..10_000).map(|i| t * 10_000 + i).sum::<u64>()).sum();
+        let total: u64 = (0..8u64)
+            .map(|t| (0..10_000).map(|i| t * 10_000 + i).sum::<u64>())
+            .sum();
         assert_eq!(h.sum(), total);
     }
 
@@ -1940,7 +2063,9 @@ mod tests {
         t.restarts.add(2);
         t.episode.steps.add(7);
         t.episode.reward_sum.add(3.5);
-        t.passes.get("gvn").record(Duration::from_micros(42), true, -5);
+        t.passes
+            .get("gvn")
+            .record(Duration::from_micros(42), true, -5);
         t.trace.emit("step", "b", Duration::from_micros(9));
 
         let snap = t.snapshot();

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             at::nevergrad_style(&mut problem, 60, &mut rng)
         };
         let size = init - res.score;
-        println!("{name:<10} 60 evals -> {} instructions ({:.3}x vs -Oz)", size, oz / size);
+        println!(
+            "{name:<10} 60 evals -> {} instructions ({:.3}x vs -Oz)",
+            size,
+            oz / size
+        );
     }
     Ok(())
 }

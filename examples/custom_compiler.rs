@@ -93,14 +93,19 @@ impl CompilationSession for ParenSession {
     }
 
     fn fork(&self) -> Box<dyn CompilationSession> {
-        Box::new(ParenSession { program: self.program.clone() })
+        Box::new(ParenSession {
+            program: self.program.clone(),
+        })
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // createAndRunService: hand the session type to the shared runtime.
-    let factory: cg_core::service::SessionFactory =
-        Arc::new(|| Box::new(ParenSession { program: String::new() }));
+    let factory: cg_core::service::SessionFactory = Arc::new(|| {
+        Box::new(ParenSession {
+            program: String::new(),
+        })
+    });
     let client = ServiceClient::spawn(factory, Duration::from_secs(10));
 
     let sid = match client.call(Request::StartSession {

@@ -10,7 +10,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = env.action_space().clone();
     let act = |name: &str| space.index_of(name).unwrap();
 
-    println!("initial loop tree:\n{}", env.observe("LoopTree")?.as_text().unwrap());
+    println!(
+        "initial loop tree:\n{}",
+        env.observe("LoopTree")?.as_text().unwrap()
+    );
     let before = env.observe("Flops")?.as_scalar().unwrap();
 
     // Thread the outer loop.
@@ -22,6 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         after / 1e9,
         step.reward
     );
-    println!("tuned loop tree:\n{}", env.observe("LoopTree")?.as_text().unwrap());
+    println!(
+        "tuned loop tree:\n{}",
+        env.observe("LoopTree")?.as_text().unwrap()
+    );
     Ok(())
 }

@@ -63,6 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("episode {ep:>3}: new best {:.2} GFLOPs", best / 1e9);
         }
     }
-    println!("learned table has {} states; best configuration: {:.2} GFLOPs", q.len(), best / 1e9);
+    println!(
+        "learned table has {} states; best configuration: {:.2} GFLOPs",
+        q.len(),
+        best / 1e9
+    );
     Ok(())
 }

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Start a new compilation session.
     let mut observation = env.reset()?;
-    println!("initial observation: {} features", observation.as_int_vector().unwrap().len());
+    println!(
+        "initial observation: {} features",
+        observation.as_int_vector().unwrap().len()
+    );
 
     // Run a hundred random optimizations. Each step produces a new state
     // observation and reward.
@@ -28,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if step.reward != 0.0 {
             println!(
                 "step {i:>3}: {:<24} reward {:+.0}",
-                env.action_space().actions[action], step.reward
+                env.action_space().actions[action],
+                step.reward
             );
         }
         if step.done {

@@ -10,7 +10,9 @@ use cg_rl::{Algo, TrainConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train on a handful of Csmith programs.
-    let train: Vec<String> = (0..6).map(|i| format!("benchmark://csmith-v0/{}", 100 + i)).collect();
+    let train: Vec<String> = (0..6)
+        .map(|i| format!("benchmark://csmith-v0/{}", 100 + i))
+        .collect();
     let env = cg_core::make("llvm-autophase-ic-v0")?;
     let subset: Vec<usize> = cg_llvm::action_space::autophase_subset()
         .iter()
@@ -20,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut stack = TimeLimit::new(ConcatActionHistogram::new(stack), 45);
 
     let feat_dim = cg_llvm::observation::AUTOPHASE_DIM + 42;
-    let cfg = TrainConfig { episodes: 40, steps: 45, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        episodes: 40,
+        steps: 45,
+        ..TrainConfig::default()
+    };
     println!("training PPO for {} episodes…", cfg.episodes);
     let (_policy, curve) = Algo::Ppo.train(&mut stack, feat_dim, &cfg)?;
     let early: f64 = curve.iter().take(10).sum::<f64>() / 10.0;

@@ -57,7 +57,10 @@ fn validation_catches_gvn_sink_nondeterminism() {
          if this fails the quarantined-pass reproduction lost its bug"
     );
     // And the action space correctly refuses to expose it.
-    assert_eq!(cg_llvm::action_space::ActionSpace::new().index_of("gvn-sink"), None);
+    assert_eq!(
+        cg_llvm::action_space::ActionSpace::new().index_of("gvn-sink"),
+        None
+    );
 }
 
 #[test]
@@ -67,7 +70,14 @@ fn deterministic_passes_replay_identically() {
     let base = cg_datasets::benchmark("benchmark://cbench-v1/qsort").unwrap();
     let space = cg_llvm::action_space::ActionSpace::new();
     let mut ballast: Vec<Vec<u8>> = Vec::new();
-    for name in ["mem2reg", "gvn", "early-cse", "sccp", "inline-100", "loop-unroll-4"] {
+    for name in [
+        "mem2reg",
+        "gvn",
+        "early-cse",
+        "sccp",
+        "inline-100",
+        "loop-unroll-4",
+    ] {
         let idx = space.index_of(name).unwrap();
         let mut hashes = std::collections::HashSet::new();
         for i in 0..5 {
@@ -88,8 +98,16 @@ fn oz_beats_random_and_autotuning_beats_oz() {
     let mut env = cg_core::make("llvm-v0").unwrap();
     env.set_benchmark(uri);
     env.reset().unwrap();
-    let init = env.observe("IrInstructionCount").unwrap().as_scalar().unwrap();
-    let oz = env.observe("IrInstructionCountOz").unwrap().as_scalar().unwrap();
+    let init = env
+        .observe("IrInstructionCount")
+        .unwrap()
+        .as_scalar()
+        .unwrap();
+    let oz = env
+        .observe("IrInstructionCountOz")
+        .unwrap()
+        .as_scalar()
+        .unwrap();
     assert!(oz < init);
     let cands: Vec<usize> = cg_llvm::action_space::autophase_subset()
         .iter()
@@ -120,7 +138,11 @@ fn rl_training_loop_runs_and_produces_policy() {
     let mut stack = TimeLimit::new(ConcatActionHistogram::new(stack), 15);
     let feat = cg_llvm::observation::AUTOPHASE_DIM + 42;
     for algo in [Algo::Ppo, Algo::A2c, Algo::Apex, Algo::Impala] {
-        let cfg = TrainConfig { episodes: 4, steps: 15, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            episodes: 4,
+            steps: 15,
+            ..TrainConfig::default()
+        };
         let (policy, curve) = algo.train(&mut stack, feat, &cfg).unwrap();
         assert_eq!(curve.len(), 4, "{}", algo.name());
         // The policy must produce valid actions.
@@ -133,11 +155,9 @@ fn rl_training_loop_runs_and_produces_policy() {
 #[test]
 fn gcc_and_looptool_envs_integrate_with_search() {
     // GCC: 30 compilations of hill climbing never end worse than start.
-    let mut p = cg_autotune::GccChoicesProblem::new(
-        cg_gcc::GccSpec::v5(),
-        "benchmark://chstone-v0/gsm",
-    )
-    .unwrap();
+    let mut p =
+        cg_autotune::GccChoicesProblem::new(cg_gcc::GccSpec::v5(), "benchmark://chstone-v0/gsm")
+            .unwrap();
     let mut rng = cg_autotune::rng(3);
     let res = cg_autotune::hill_climb(&mut p, 30, &mut rng);
     assert!(res.score.is_finite());
@@ -152,7 +172,10 @@ fn gcc_and_looptool_envs_integrate_with_search() {
 #[test]
 fn state_transition_database_feeds_cost_model() {
     let db = cg_stdb::generate_database(
-        &["benchmark://cbench-v1/crc32".to_string(), "benchmark://cbench-v1/sha".to_string()],
+        &[
+            "benchmark://cbench-v1/crc32".to_string(),
+            "benchmark://cbench-v1/sha".to_string(),
+        ],
         1,
         6,
         9,
@@ -160,7 +183,10 @@ fn state_transition_database_feeds_cost_model() {
     .unwrap();
     assert!(db.unique_states() >= 4);
     // Observations carry the regression target.
-    assert!(db.observations.values().all(|o| o.ir_instruction_count > 0.0));
+    assert!(db
+        .observations
+        .values()
+        .all(|o| o.ir_instruction_count > 0.0));
     // Transitions reference known states and are deduplicated.
     let json = db.to_json();
     let back = cg_stdb::Database::from_json(&json).unwrap();

@@ -42,7 +42,10 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iters: 0, elapsed_ns: 0 };
+        let mut b = Bencher {
+            iters: 0,
+            elapsed_ns: 0,
+        };
         // One untimed warm-up pass, then the timed samples.
         f(&mut b);
         b.iters = 0;
@@ -50,7 +53,11 @@ impl BenchmarkGroup {
         for _ in 0..self.samples {
             f(&mut b);
         }
-        let mean_ns = if b.iters == 0 { 0 } else { b.elapsed_ns / b.iters as u128 };
+        let mean_ns = if b.iters == 0 {
+            0
+        } else {
+            b.elapsed_ns / b.iters as u128
+        };
         println!("  {name}: {} ns/iter ({} iters)", mean_ns, b.iters);
         self
     }

@@ -19,7 +19,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
     }
 }
 
@@ -32,7 +35,9 @@ pub struct TestRng {
 impl TestRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> TestRng {
-        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// The next 64 random bits.

@@ -246,7 +246,9 @@ pub fn thread_rng() -> ThreadRng {
         .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
         .unwrap_or(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    ThreadRng(rngs::StdRng::seed_from_u64(nanos ^ n.rotate_left(32) ^ 0x5DEE_CE66))
+    ThreadRng(rngs::StdRng::seed_from_u64(
+        nanos ^ n.rotate_left(32) ^ 0x5DEE_CE66,
+    ))
 }
 
 #[cfg(test)]

@@ -65,7 +65,10 @@ pub mod value {
 
         /// Looks up an object key.
         pub fn get(&self, key: &str) -> Option<&Value> {
-            self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            self.as_object()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
         }
 
         /// A short description of the value's kind, for error messages.
@@ -126,16 +129,10 @@ pub trait Deserialize: Sized {
 /// # Errors
 /// [`DeError`] naming the field on a shape mismatch or missing mandatory
 /// field.
-pub fn field<T: Deserialize>(
-    obj: &[(String, Value)],
-    key: &str,
-) -> Result<T, DeError> {
+pub fn field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, DeError> {
     match obj.iter().find(|(k, _)| k == key) {
-        Some((_, v)) => {
-            T::from_value(v).map_err(|e| DeError(format!("field `{key}`: {e}")))
-        }
-        None => T::from_value(&Value::Null)
-            .map_err(|_| DeError(format!("missing field `{key}`"))),
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{key}`: {e}"))),
+        None => T::from_value(&Value::Null).map_err(|_| DeError(format!("missing field `{key}`"))),
     }
 }
 
@@ -185,7 +182,9 @@ impl Serialize for char {
 
 impl Deserialize for char {
     fn from_value(v: &Value) -> Result<char, DeError> {
-        let s = v.as_str().ok_or_else(|| DeError::new("expected single-char string"))?;
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::new("expected single-char string"))?;
         let mut it = s.chars();
         match (it.next(), it.next()) {
             (Some(c), None) => Ok(c),
@@ -407,7 +406,11 @@ where
     S: std::hash::BuildHasher,
 {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -428,7 +431,11 @@ where
 
 impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -505,8 +512,7 @@ mod tests {
         m.insert(42u64, "x".to_string());
         let v = m.to_value();
         assert_eq!(v.get("42").and_then(Value::as_str), Some("x"));
-        let back: std::collections::HashMap<u64, String> =
-            Deserialize::from_value(&v).unwrap();
+        let back: std::collections::HashMap<u64, String> = Deserialize::from_value(&v).unwrap();
         assert_eq!(back, m);
     }
 }

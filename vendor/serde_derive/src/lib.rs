@@ -12,14 +12,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("serialize codegen must parse")
+    gen_serialize(&item)
+        .parse()
+        .expect("serialize codegen must parse")
 }
 
 /// Derives `serde::Deserialize` (value-tree flavour).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("deserialize codegen must parse")
+    gen_deserialize(&item)
+        .parse()
+        .expect("deserialize codegen must parse")
 }
 
 // --- item model -------------------------------------------------------------
@@ -99,14 +103,20 @@ fn parse_item(input: TokenStream) -> Item {
                 }
                 _ => Fields::Unit,
             };
-            Item { name, shape: Shape::Struct(fields) }
+            Item {
+                name,
+                shape: Shape::Struct(fields),
+            }
         }
         "enum" => {
             let body = match it.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
                 other => panic!("serde derive: expected enum body, got {other:?}"),
             };
-            Item { name, shape: Shape::Enum(parse_variants(body)) }
+            Item {
+                name,
+                shape: Shape::Enum(parse_variants(body)),
+            }
         }
         other => panic!("serde derive: cannot derive for `{other}` items"),
     }
@@ -238,8 +248,9 @@ fn gen_serialize(item: &Item) -> String {
         Shape::Struct(Fields::Named(fields)) => named_fields_to_object(fields, "&self."),
         Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Struct(Fields::Tuple(n)) => {
-            let elems: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
             format!("{V}::Array(::std::vec![{}])", elems.join(", "))
         }
         Shape::Enum(variants) => {
@@ -320,9 +331,9 @@ fn gen_deserialize(item: &Item) -> String {
              ::std::result::Result::Ok({name} {{ {} }})",
             named_fields_from_object(fields, "__obj")
         ),
-        Shape::Struct(Fields::Tuple(1)) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         Shape::Struct(Fields::Tuple(n)) => format!(
             "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::new(\
              ::std::format!(\"expected array for {name}, got {{}}\", __v.kind())))?;\n\

@@ -156,7 +156,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(s: &'a str) -> Parser<'a> {
-        Parser { bytes: s.as_bytes(), pos: 0 }
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, msg: &str) -> Error {
@@ -330,9 +333,7 @@ impl<'a> Parser<'a> {
                             } else {
                                 cp
                             };
-                            out.push(
-                                char::from_u32(c).ok_or_else(|| self.error("bad codepoint"))?,
-                            );
+                            out.push(char::from_u32(c).ok_or_else(|| self.error("bad codepoint"))?);
                         }
                         _ => return Err(self.error("unknown escape")),
                     }
@@ -375,7 +376,9 @@ impl<'a> Parser<'a> {
                 return Ok(Value::Int(i));
             }
         }
-        text.parse::<f64>().map(Value::Float).map_err(|_| self.error("invalid number"))
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
     }
 }
 
