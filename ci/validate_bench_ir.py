@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Validate a `cg bench-ir` report (BENCH_ir.json).
+
+Gates the analysis-cache PR's two load-bearing claims on every CI run:
+
+ * the cache actually hits (hit rate > 0) and the no-op pass memo fires
+   on a converged episode (noop_skips > 0);
+ * the session-shaped episode workload is at least 1.5x faster with the
+   cache than in always-recompute (`--no-analysis-cache`) mode, and raw
+   analysis fetches at least 5x.
+
+Thresholds are deliberately below the committed BENCH_ir.json numbers
+(~2.5x episode, >100x fetch) so CI machine noise does not flake the gate
+while a real regression still trips it.
+"""
+
+import json
+import sys
+
+EPISODE_MIN_SPEEDUP = 1.5
+FETCH_MIN_SPEEDUP = 5.0
+
+
+def main(path: str) -> int:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    errors = []
+    for key in ("benchmark", "iters", "scenarios", "cache"):
+        if key not in report:
+            errors.append(f"missing top-level key `{key}`")
+    if errors:
+        print("\n".join(errors))
+        return 1
+
+    cache = report["cache"]
+    for key in ("hits", "misses", "invalidations", "hit_rate", "noop_skips"):
+        if key not in cache:
+            errors.append(f"cache counters missing `{key}`")
+    if not errors:
+        if cache["hits"] <= 0:
+            errors.append(f"analysis cache never hit: {cache}")
+        if not 0.0 < cache["hit_rate"] <= 1.0:
+            errors.append(f"hit_rate out of range: {cache['hit_rate']}")
+        if cache["noop_skips"] <= 0:
+            errors.append(f"no-op memo never fired on a converged episode: {cache}")
+
+    by_name = {s["name"]: s for s in report["scenarios"]}
+    episode = next((s for n, s in by_name.items() if n.startswith("episode")), None)
+    if episode is None:
+        errors.append("no episode scenario in report")
+    elif episode["speedup"] < EPISODE_MIN_SPEEDUP:
+        errors.append(
+            f"episode cached speedup {episode['speedup']:.2f}x "
+            f"< required {EPISODE_MIN_SPEEDUP}x ({episode})"
+        )
+    fetch = by_name.get("analysis_fetch")
+    if fetch is None:
+        errors.append("no analysis_fetch scenario in report")
+    elif fetch["speedup"] < FETCH_MIN_SPEEDUP:
+        errors.append(
+            f"analysis_fetch cached speedup {fetch['speedup']:.2f}x "
+            f"< required {FETCH_MIN_SPEEDUP}x ({fetch})"
+        )
+
+    if errors:
+        print("\n".join(errors))
+        return 1
+    print(
+        f"bench-ir ok: episode {episode['speedup']:.2f}x, "
+        f"fetch {fetch['speedup']:.2f}x, hit-rate {100 * cache['hit_rate']:.1f}%, "
+        f"noop-skips {cache['noop_skips']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_ir.json"))

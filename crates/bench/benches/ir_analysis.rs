@@ -1,0 +1,125 @@
+//! Criterion benchmarks for the analysis cache: cached vs always-recompute
+//! dominators/loops/liveness, and whole pass pipelines run with a live
+//! [`cg_ir::AnalysisManager`] vs a disabled one (every request recomputes,
+//! the pre-arena behavior). `cg bench-ir` re-measures the same scenarios
+//! and writes the committed `BENCH_ir.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cg_ir::AnalysisManager;
+use cg_llvm::action_space::ActionSpace;
+
+const BENCH: &str = "benchmark://cbench-v1/sha";
+
+/// Direct analysis requests on an unchanged module: a warm manager answers
+/// from cache (an `Arc` clone); a disabled one recomputes every time. This
+/// is the raw price of one redundant recompute, the unit the pipeline
+/// numbers below are made of.
+fn bench_analysis_fetch(c: &mut Criterion) {
+    let m = cg_datasets::benchmark(BENCH).unwrap();
+    let mut g = c.benchmark_group("analysis_fetch");
+    g.sample_size(20);
+
+    let mut warm = AnalysisManager::new();
+    for &fid in m.func_ids() {
+        warm.liveness(fid, m.func(fid));
+        warm.loops(fid, m.func(fid));
+        warm.frontiers(fid, m.func(fid));
+    }
+    g.bench_function("dom_loops_liveness_cached", |b| {
+        b.iter(|| {
+            for &fid in m.func_ids() {
+                let f = m.func(fid);
+                criterion::black_box(warm.dom(fid, f));
+                criterion::black_box(warm.loops(fid, f));
+                criterion::black_box(warm.liveness(fid, f));
+            }
+        });
+    });
+
+    let mut cold = AnalysisManager::disabled();
+    g.bench_function("dom_loops_liveness_recompute", |b| {
+        b.iter(|| {
+            for &fid in m.func_ids() {
+                let f = m.func(fid);
+                criterion::black_box(cold.dom(fid, f));
+                criterion::black_box(cold.loops(fid, f));
+                criterion::black_box(cold.liveness(fid, f));
+            }
+        });
+    });
+    g.finish();
+}
+
+/// Full `-Oz` pipeline with the manager the runner actually uses vs one
+/// that always recomputes. The gap is exactly what stamp-based
+/// invalidation plus `preserved()` declarations buy on real pipelines.
+fn bench_pipeline_cache(c: &mut Criterion) {
+    let m = cg_datasets::benchmark(BENCH).unwrap();
+    let names = cg_llvm::pipeline::OptLevel::Oz.pass_names();
+    let mut g = c.benchmark_group("pipeline_cache");
+    g.sample_size(20);
+    g.bench_function("oz_cached", |b| {
+        b.iter(|| {
+            let mut x = m.clone();
+            let mut am = AnalysisManager::new();
+            cg_llvm::pipeline::run_passes_with(&mut x, &names, &mut am)
+        });
+    });
+    g.bench_function("oz_no_cache", |b| {
+        b.iter(|| {
+            let mut x = m.clone();
+            let mut am = AnalysisManager::disabled();
+            cg_llvm::pipeline::run_passes_with(&mut x, &names, &mut am)
+        });
+    });
+    g.finish();
+}
+
+/// Session-shaped workload: a long action episode against one module with
+/// the per-session manager (what `LlvmSession` holds) vs always-recompute.
+/// Late-episode actions mostly no-op, so this is where cache reuse
+/// compounds — the RL step-throughput case the paper's Table 6 cares about.
+fn bench_episode_cache(c: &mut Criterion) {
+    let space = ActionSpace::new();
+    let names = [
+        "mem2reg", "gvn", "licm", "early-cse", "sccp", "instcombine", "dce",
+        "jump-threading", "adce",
+    ];
+    let seq: Vec<usize> = names
+        .iter()
+        .cycle()
+        .take(100)
+        .map(|n| space.index_of(n).unwrap())
+        .collect();
+    let m = cg_datasets::benchmark(BENCH).unwrap();
+    let mut g = c.benchmark_group("episode_cache");
+    g.sample_size(20);
+    g.bench_function("episode100_cached", |b| {
+        b.iter(|| {
+            let mut x = m.clone();
+            let mut am = AnalysisManager::new();
+            for &a in &seq {
+                space.apply_with(&mut x, a, &mut am);
+            }
+        });
+    });
+    g.bench_function("episode100_no_cache", |b| {
+        b.iter(|| {
+            let mut x = m.clone();
+            let mut am = AnalysisManager::disabled();
+            for &a in &seq {
+                space.apply_with(&mut x, a, &mut am);
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_analysis_fetch,
+    bench_pipeline_cache,
+    bench_episode_cache
+);
+criterion_main!(benches);

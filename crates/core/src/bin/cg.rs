@@ -23,7 +23,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cg describe <env>\n  cg random <env> <benchmark> <steps>\n  \
          cg replay <state.json>\n  cg validate <state.json>\n  cg datasets\n  \
-         cg stats [--json] [--slo-ms MS] <env> <benchmark> <steps>\n  \
+         cg stats [--json] [--slo-ms MS] [--no-analysis-cache] <env> <benchmark> <steps>\n  \
+         cg bench-ir [--benchmark URI] [--iters N] [--episode-len N] [--out PATH] [--json]\n  \
          cg trace [--episode ID|last] [--json] [--tcp] [--chaos-seed S]\n           \
          [<env> <benchmark> <steps>]\n  \
          cg export-metrics [--jsonl] [--slo-ms MS] [<env> <benchmark> <steps>]\n  \
@@ -68,6 +69,7 @@ fn main() -> ExitCode {
         Some("export-metrics") => export_metrics(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
+        Some("bench-ir") => bench_ir(&args[1..]),
         Some("bench-pool") => bench_pool(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("loadtest") => loadtest(&args[1..]),
@@ -229,6 +231,7 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--slo-ms" => {
                 slo_ms = Some(it.next().ok_or("--slo-ms needs a value")?.parse()?);
             }
+            "--no-analysis-cache" => cg_ir::am::set_cache_disabled(true),
             _ => positional.push(a),
         }
     }
@@ -237,13 +240,33 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let tel = cg_telemetry::global();
     tel.reset();
+    cg_ir::am::reset_cache_stats();
     if let Some(ms) = slo_ms {
         tel.slo.configure(Duration::from_millis(ms), 0.99);
     }
     run_episode(env_id, benchmark, steps)?;
     let snap = tel.snapshot();
+    let cache = cg_ir::am::cache_stats();
     if json {
-        println!("{}", serde_json::to_string_pretty(&snap)?);
+        use serde::value::Value;
+        use serde::Serialize;
+        let mut v = snap.to_value();
+        if let Value::Object(fields) = &mut v {
+            fields.push((
+                "analysis_cache".to_string(),
+                Value::Object(vec![
+                    ("hits".to_string(), Value::UInt(cache.hits)),
+                    ("misses".to_string(), Value::UInt(cache.misses)),
+                    (
+                        "invalidations".to_string(),
+                        Value::UInt(cache.invalidations),
+                    ),
+                    ("hit_rate".to_string(), Value::Float(cache.hit_rate())),
+                    ("noop_skips".to_string(), Value::UInt(cache.noop_skips)),
+                ]),
+            ));
+        }
+        println!("{}", serde_json::to_string_pretty(&v)?);
         return Ok(());
     }
     println!("telemetry for {env_id} on {benchmark} ({steps} random steps)\n");
@@ -347,15 +370,25 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         passes.sort_by_key(|(_, p)| std::cmp::Reverse(p.total_micros));
         for (name, p) in passes.iter().take(15) {
             println!(
-                "  {:<28} calls={:<4} total={:<9} changed={:<4} Δinst={:+}",
+                "  {:<28} calls={:<4} total={:<9} p50={:<8} p99={:<8} changed={:<4} Δinst={:+}",
                 name,
                 p.calls,
                 fmt_us(p.total_micros),
+                fmt_us(p.p50_micros),
+                fmt_us(p.p99_micros),
                 p.changed,
                 p.inst_delta
             );
         }
     }
+    println!(
+        "\nanalysis cache: hits={} misses={} invalidations={} hit-rate={:.1}% noop-skips={}",
+        cache.hits,
+        cache.misses,
+        cache.invalidations,
+        100.0 * cache.hit_rate(),
+        cache.noop_skips
+    );
     if snap.fuzz.cases > 0 {
         println!(
             "\nfuzz: cases={} divergences={} shrunk={} verifier-rejects={} pass-panics={}",
@@ -1184,6 +1217,230 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if breaker_never_half_opened {
         return Err("breaker tripped but never allowed a half-open probe".into());
+    }
+    Ok(())
+}
+
+/// The `cg bench-ir` surface: measure the analysis cache against
+/// always-recompute on three workloads — raw dom/loops/liveness requests,
+/// a full `-Oz` pipeline, and a 100-action episode against a persistent
+/// per-session manager (the RL stepping shape). Medians over `--iters`
+/// timed runs; writes the machine-readable report to `BENCH_ir.json`
+/// (override with `--out`). The no-cache arm is exactly the
+/// `--no-analysis-cache` behavior: every analysis request recomputes and
+/// no pass application is memoized.
+fn bench_ir(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use cg_ir::AnalysisManager;
+    use std::time::Instant;
+
+    let mut benchmark = "benchmark://cbench-v1/sha".to_string();
+    let mut iters: usize = 30;
+    let mut episode_len: usize = 100;
+    let mut out_path = "BENCH_ir.json".to_string();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--benchmark" => benchmark = val("--benchmark")?.clone(),
+            "--iters" => iters = val("--iters")?.parse::<usize>()?.max(3),
+            "--episode-len" => episode_len = val("--episode-len")?.parse::<usize>()?.max(1),
+            "--out" => out_path = val("--out")?.clone(),
+            "--json" => json = true,
+            other => return Err(format!("unknown bench-ir flag `{other}`").into()),
+        }
+    }
+
+    let m = cg_datasets::benchmark(&benchmark)?;
+    let median_ns = |f: &mut dyn FnMut()| -> u64 {
+        f(); // warm-up (page in the dataset, fill allocator pools)
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            f();
+            samples.push(t.elapsed().as_nanos() as u64);
+        }
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+
+    #[derive(serde::Serialize)]
+    struct Scenario {
+        name: String,
+        cached_ns: u64,
+        no_cache_ns: u64,
+        speedup: f64,
+    }
+    let scenario = |name: &str, cached: &mut dyn FnMut(), no_cache: &mut dyn FnMut()| {
+        let cached_ns = median_ns(cached).max(1);
+        let no_cache_ns = median_ns(no_cache).max(1);
+        Scenario {
+            name: name.to_string(),
+            cached_ns,
+            no_cache_ns,
+            speedup: no_cache_ns as f64 / cached_ns as f64,
+        }
+    };
+
+    let mut scenarios = Vec::new();
+
+    // 1. Raw analysis requests on an unchanged module.
+    {
+        let mut warm = AnalysisManager::new();
+        let mut cold = AnalysisManager::disabled();
+        scenarios.push(scenario(
+            "analysis_fetch",
+            &mut || {
+                for &fid in m.func_ids() {
+                    let f = m.func(fid);
+                    std::hint::black_box(warm.dom(fid, f));
+                    std::hint::black_box(warm.loops(fid, f));
+                    std::hint::black_box(warm.liveness(fid, f));
+                }
+            },
+            &mut || {
+                for &fid in m.func_ids() {
+                    let f = m.func(fid);
+                    std::hint::black_box(cold.dom(fid, f));
+                    std::hint::black_box(cold.loops(fid, f));
+                    std::hint::black_box(cold.liveness(fid, f));
+                }
+            },
+        ));
+    }
+
+    // 2. One fresh -Oz pipeline per iteration.
+    {
+        let names = cg_llvm::pipeline::OptLevel::Oz.pass_names();
+        scenarios.push(scenario(
+            "oz_pipeline",
+            &mut || {
+                let mut x = m.clone();
+                let mut am = AnalysisManager::new();
+                cg_llvm::pipeline::run_passes_with(&mut x, &names, &mut am);
+            },
+            &mut || {
+                let mut x = m.clone();
+                let mut am = AnalysisManager::disabled();
+                cg_llvm::pipeline::run_passes_with(&mut x, &names, &mut am);
+            },
+        ));
+    }
+
+    // 3. An episode with a persistent per-session manager (the counters
+    // below come from the cached arm of this scenario).
+    let space = cg_llvm::action_space::ActionSpace::new();
+    let episode_seq: Vec<usize> = [
+        "mem2reg",
+        "gvn",
+        "licm",
+        "early-cse",
+        "sccp",
+        "instcombine",
+        "dce",
+        "jump-threading",
+        "adce",
+    ]
+    .iter()
+    .cycle()
+    .take(episode_len)
+    .map(|n| {
+        space
+            .index_of(n)
+            .unwrap_or_else(|| panic!("unknown pass `{n}`"))
+    })
+    .collect();
+    let episode_name = format!("episode{episode_len}");
+    scenarios.push(scenario(
+        &episode_name,
+        &mut || {
+            let mut x = m.clone();
+            let mut am = AnalysisManager::new();
+            for &a in &episode_seq {
+                space.apply_with(&mut x, a, &mut am);
+            }
+        },
+        &mut || {
+            let mut x = m.clone();
+            let mut am = AnalysisManager::disabled();
+            for &a in &episode_seq {
+                space.apply_with(&mut x, a, &mut am);
+            }
+        },
+    ));
+
+    // One instrumented cached episode for the counters (the timed arms
+    // above interleave cached and disabled runs, so their totals mix).
+    cg_ir::am::reset_cache_stats();
+    {
+        let mut x = m.clone();
+        let mut am = AnalysisManager::new();
+        for &a in &episode_seq {
+            space.apply_with(&mut x, a, &mut am);
+        }
+    }
+    let cache = cg_ir::am::cache_stats();
+
+    #[derive(serde::Serialize)]
+    struct CacheCounters {
+        hits: u64,
+        misses: u64,
+        invalidations: u64,
+        hit_rate: f64,
+        noop_skips: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct Report {
+        benchmark: String,
+        iters: usize,
+        episode_len: usize,
+        scenarios: Vec<Scenario>,
+        cache: CacheCounters,
+    }
+    let report = Report {
+        benchmark,
+        iters,
+        episode_len,
+        scenarios,
+        cache: CacheCounters {
+            hits: cache.hits,
+            misses: cache.misses,
+            invalidations: cache.invalidations,
+            hit_rate: cache.hit_rate(),
+            noop_skips: cache.noop_skips,
+        },
+    };
+    let rendered = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&out_path, &rendered)?;
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "bench-ir on {} (median of {} iters):",
+            report.benchmark, report.iters
+        );
+        println!(
+            "  {:<16} {:>12} {:>12} {:>9}",
+            "scenario", "cached", "no-cache", "speedup"
+        );
+        for s in &report.scenarios {
+            println!(
+                "  {:<16} {:>10}ns {:>10}ns {:>8.2}x",
+                s.name, s.cached_ns, s.no_cache_ns, s.speedup
+            );
+        }
+        println!(
+            "  cache: hits={} misses={} invalidations={} hit-rate={:.1}% noop-skips={}",
+            report.cache.hits,
+            report.cache.misses,
+            report.cache.invalidations,
+            100.0 * report.cache.hit_rate,
+            report.cache.noop_skips
+        );
+        println!("\nreport written to {out_path}");
     }
     Ok(())
 }

@@ -91,6 +91,10 @@ pub struct LlvmSession {
     /// (interior mutability because `save_state` takes `&self`; sessions
     /// are `Send` but never shared, so `RefCell` suffices).
     print_buf: std::cell::RefCell<String>,
+    /// Analysis cache shared across the episode's actions: a pass reuses
+    /// the dominator tree or loop forest of any function the previous
+    /// actions left untouched (stamp-checked, reconciled per pass effect).
+    analyses: cg_ir::AnalysisManager,
 }
 
 impl Default for LlvmSession {
@@ -117,6 +121,7 @@ impl LlvmSession {
             limits: ExecLimits::default(),
             features: observation::IncrementalFeatures::new(),
             print_buf: std::cell::RefCell::new(String::new()),
+            analyses: cg_ir::AnalysisManager::new(),
         }
     }
 
@@ -214,6 +219,7 @@ impl CompilationSession for LlvmSession {
         self.benchmark = benchmark.to_string();
         self.measurement_counter = 0;
         self.features.clear();
+        self.analyses = cg_ir::AnalysisManager::new();
         Ok(())
     }
 
@@ -233,7 +239,7 @@ impl CompilationSession for LlvmSession {
             action
         };
         let m = self.module.as_mut().ok_or("session not initialized")?;
-        let effect = self.space.apply_tracked(m, index);
+        let effect = self.space.apply_with(m, index, &mut self.analyses);
         self.features.invalidate(&effect.touched);
         Ok(ActionOutcome {
             end_of_episode: false,
@@ -316,6 +322,9 @@ impl CompilationSession for LlvmSession {
             limits: self.limits,
             features: self.features.clone(),
             print_buf: std::cell::RefCell::new(String::new()),
+            // Forks start with an empty cache: entries repopulate on first
+            // use, and the parent keeps its own.
+            analyses: cg_ir::AnalysisManager::new(),
         })
     }
 
@@ -341,6 +350,7 @@ impl CompilationSession for LlvmSession {
         // Function ids restart from zero in a re-parsed module; the cache
         // keys would silently collide, so drop everything.
         self.features.clear();
+        self.analyses = cg_ir::AnalysisManager::new();
         Ok(())
     }
 

@@ -119,7 +119,7 @@ mod tests {
         let mut broken = reference.clone();
         // Simulate a miscompilation: flip a constant in some instruction.
         let fid = broken.func_ids()[0];
-        'outer: for bid in broken.func(fid).block_ids() {
+        'outer: for bid in broken.func(fid).block_ids_vec() {
             let f = broken.func_mut(fid);
             for inst in &mut f.block_mut(bid).insts {
                 let mut changed = false;

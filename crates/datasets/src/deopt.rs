@@ -15,7 +15,7 @@ use cg_ir::{BlockId, Function, Inst, Module, Op, Operand, Type, ValueId};
 
 /// Demotes scalar SSA values in every function of `m` to stack slots.
 pub fn deoptimize(m: &mut Module) {
-    for fid in m.func_ids() {
+    for fid in m.func_ids_vec() {
         deoptimize_function(m.func_mut(fid));
     }
 }
@@ -27,7 +27,7 @@ pub fn deoptimize_function(f: &mut Function) {
     for (v, t) in &f.params {
         types.insert(*v, *t);
     }
-    for bid in f.block_ids() {
+    for &bid in f.block_ids() {
         for inst in &f.block(bid).insts {
             if let Some(d) = inst.dest {
                 types.insert(d, inst.ty);
@@ -64,7 +64,7 @@ pub fn deoptimize_function(f: &mut Function) {
         }
     }
 
-    for bid in f.block_ids() {
+    for bid in f.block_ids_vec() {
         let mut out: Vec<Inst> = Vec::new();
         let insts = std::mem::take(&mut f.block_mut(bid).insts);
         // φ handling: each φ becomes a load from its slot here, with stores
@@ -221,7 +221,7 @@ mod tests {
             d.inst_count()
         );
         // No φ of scalar type survives.
-        for fid in d.func_ids() {
+        for &fid in d.func_ids() {
             for b in d.func(fid).blocks() {
                 for inst in &b.insts {
                     if let Op::Phi(_) = inst.op {

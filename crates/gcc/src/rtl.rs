@@ -229,8 +229,8 @@ impl RtlFunction {
 /// scheduling.
 pub fn lower_module(m: &Module, cfg: &BackendConfig) -> Vec<RtlFunction> {
     m.func_ids()
-        .into_iter()
-        .map(|fid| lower_function(m, fid, cfg))
+        .iter()
+        .map(|&fid| lower_function(m, fid, cfg))
         .collect()
 }
 
@@ -255,7 +255,7 @@ fn lower_function(m: &Module, fid: cg_ir::FuncId, cfg: &BackendConfig) -> RtlFun
     };
     // Loop targets: labels that are targets of backward jumps in layout
     // order.
-    let order: Vec<BlockId> = f.block_ids();
+    let order: Vec<BlockId> = f.block_ids().to_vec();
     let pos: HashMap<BlockId, usize> = order.iter().enumerate().map(|(i, b)| (*b, i)).collect();
     let mut loop_targets: Vec<BlockId> = Vec::new();
     for (i, b) in order.iter().enumerate() {

@@ -11,7 +11,7 @@ use crate::inst::Op;
 use crate::module::{BlockId, Function, ValueId};
 
 /// Predecessor/successor maps for a function's CFG.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cfg {
     preds: Vec<Vec<BlockId>>,
     succs: Vec<Vec<BlockId>>,
@@ -23,7 +23,7 @@ impl Cfg {
         let n = f.block_bound() as usize;
         let mut preds = vec![Vec::new(); n];
         let mut succs = vec![Vec::new(); n];
-        for id in f.block_ids() {
+        for &id in f.block_ids() {
             let mut seen = HashSet::new();
             for s in f.block(id).term.successors() {
                 succs[id.0 as usize].push(s);
@@ -79,13 +79,14 @@ pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
 pub fn unreachable_blocks(f: &Function) -> Vec<BlockId> {
     let reach: HashSet<BlockId> = reverse_postorder(f).into_iter().collect();
     f.block_ids()
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|b| !reach.contains(b))
         .collect()
 }
 
 /// Dominator tree (plus dominance frontiers) of a function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DomTree {
     /// Immediate dominator per block; `idom[entry] == entry`. `None` for
     /// unreachable or deleted blocks.
@@ -218,7 +219,7 @@ fn intersect(
 
 /// A natural loop: a header plus the set of blocks that reach a latch without
 /// leaving the header's dominance region.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Loop {
     /// The loop header (dominates every block in the loop).
     pub header: BlockId,
@@ -321,7 +322,7 @@ pub fn loop_depths(f: &Function, loops: &[Loop]) -> Vec<usize> {
 
 /// Per-block liveness of SSA values (live-in and live-out sets), computed by
 /// iterative backward dataflow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Liveness {
     live_in: Vec<HashSet<ValueId>>,
     live_out: Vec<HashSet<ValueId>>,
@@ -337,7 +338,7 @@ impl Liveness {
         // φ inputs are treated as uses at the end of the predecessor block,
         // which is the standard SSA liveness convention.
         let mut phi_uses: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
-        for id in f.block_ids() {
+        for &id in f.block_ids() {
             let b = f.block(id);
             let i = id.0 as usize;
             for inst in &b.insts {
@@ -374,7 +375,7 @@ impl Liveness {
         let mut changed = true;
         while changed {
             changed = false;
-            for id in f.block_ids().into_iter().rev() {
+            for &id in f.block_ids().iter().rev() {
                 let i = id.0 as usize;
                 let mut out: HashSet<ValueId> = phi_uses[i].clone();
                 for &s in cfg.succs(id) {
@@ -406,6 +407,73 @@ impl Liveness {
     /// Values live on exit from `b`.
     pub fn live_out(&self, b: BlockId) -> &HashSet<ValueId> {
         &self.live_out[b.0 as usize]
+    }
+}
+
+/// Instruction index marking a use inside a block's terminator (terminators
+/// have no index in `Block::insts`).
+pub const TERM_INDEX: u32 = u32::MAX;
+
+/// Def-use maps: for every SSA value, where it is defined and every site
+/// that reads it, with O(1) lookup per value. Built in one sweep; use sites
+/// within a φ record the φ's own position (not the predecessor edge — see
+/// [`Liveness`] for edge-accurate φ semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefUse {
+    /// Defining site per value, indexed by `ValueId.0`. `None` for function
+    /// parameters (defined on entry) and never-defined ids.
+    def: Vec<Option<(BlockId, u32)>>,
+    /// Use sites per value, indexed by `ValueId.0`, in layout/program order.
+    /// The `u32` is the instruction index, or [`TERM_INDEX`] for a use in
+    /// the block's terminator.
+    uses: Vec<Vec<(BlockId, u32)>>,
+}
+
+impl DefUse {
+    /// Computes def-use maps for `f`.
+    pub fn compute(f: &Function) -> DefUse {
+        let n = f.value_bound() as usize;
+        let mut def: Vec<Option<(BlockId, u32)>> = vec![None; n];
+        let mut uses: Vec<Vec<(BlockId, u32)>> = vec![Vec::new(); n];
+        for &bid in f.block_ids() {
+            let b = f.block(bid);
+            for (i, inst) in b.insts.iter().enumerate() {
+                if let Some(d) = inst.dest {
+                    def[d.0 as usize] = Some((bid, i as u32));
+                }
+                inst.op.for_each_operand(|o| {
+                    if let Some(v) = o.as_value() {
+                        uses[v.0 as usize].push((bid, i as u32));
+                    }
+                });
+            }
+            b.term.for_each_operand(|o| {
+                if let Some(v) = o.as_value() {
+                    uses[v.0 as usize].push((bid, TERM_INDEX));
+                }
+            });
+        }
+        DefUse { def, uses }
+    }
+
+    /// The defining site of `v`, or `None` for parameters/undefined ids.
+    pub fn def(&self, v: ValueId) -> Option<(BlockId, u32)> {
+        self.def.get(v.0 as usize).copied().flatten()
+    }
+
+    /// All use sites of `v` in layout/program order.
+    pub fn uses(&self, v: ValueId) -> &[(BlockId, u32)] {
+        self.uses.get(v.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of uses of `v`.
+    pub fn use_count(&self, v: ValueId) -> usize {
+        self.uses(v).len()
+    }
+
+    /// True if nothing reads `v`.
+    pub fn is_unused(&self, v: ValueId) -> bool {
+        self.uses(v).is_empty()
     }
 }
 
@@ -518,6 +586,31 @@ mod tests {
         let depths = loop_depths(f, &loops);
         assert_eq!(depths[header.0 as usize], 1);
         assert_eq!(depths[exit.0 as usize], 0);
+    }
+
+    #[test]
+    fn def_use_maps() {
+        let (m, fid) = diamond();
+        let f = m.func(fid);
+        let du = DefUse::compute(f);
+        // The parameter has no def site but is used in both arms and the
+        // compare.
+        assert_eq!(du.def(ValueId(0)), None);
+        assert!(du.use_count(ValueId(0)) >= 3);
+        // Every non-param value with a destination has a def site.
+        for b in f.blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if let Some(d) = inst.dest {
+                    assert_eq!(du.def(d), Some((b.id, i as u32)));
+                }
+            }
+        }
+        // The φ result is used only by the return terminator.
+        let ids = f.block_ids();
+        let join = ids[3];
+        let phi_dest = f.block(join).insts[0].dest.unwrap();
+        assert_eq!(du.uses(phi_dest), &[(join, TERM_INDEX)]);
+        assert!(!du.is_unused(phi_dest));
     }
 
     #[test]

@@ -295,7 +295,7 @@ impl<'a> FunctionBuilder<'a> {
     pub fn add_phi_incoming(&mut self, phi: Operand, from: BlockId, value: Operand) {
         let phi_id = phi.as_value().expect("phi operand must be a value");
         let f = self.f();
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             let block = f.block_mut(bid);
             for inst in &mut block.insts {
                 if inst.dest == Some(phi_id) {

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::module::{BlockId, FuncId, ValueId};
+use crate::smallvec::SmallVec;
 use crate::types::{Operand, Type};
 
 /// Binary arithmetic and bitwise opcodes.
@@ -508,19 +509,29 @@ pub enum Terminator {
 
 impl Terminator {
     /// Successor block ids, in order (may contain duplicates for switches).
-    pub fn successors(&self) -> Vec<BlockId> {
+    ///
+    /// Returns a [`SmallVec`] with two inline slots: every terminator but
+    /// `Switch` fits without allocating, which matters because CFG
+    /// construction and RPO walks call this per block visited.
+    pub fn successors(&self) -> SmallVec<BlockId, 2> {
+        let mut v = SmallVec::new();
         match self {
-            Terminator::Br { target } => vec![*target],
+            Terminator::Br { target } => v.push(*target),
             Terminator::CondBr {
                 on_true, on_false, ..
-            } => vec![*on_true, *on_false],
-            Terminator::Switch { cases, default, .. } => {
-                let mut v: Vec<BlockId> = cases.iter().map(|(_, b)| *b).collect();
-                v.push(*default);
-                v
+            } => {
+                v.push(*on_true);
+                v.push(*on_false);
             }
-            Terminator::Ret { .. } | Terminator::Unreachable => vec![],
+            Terminator::Switch { cases, default, .. } => {
+                for (_, b) in cases {
+                    v.push(*b);
+                }
+                v.push(*default);
+            }
+            Terminator::Ret { .. } | Terminator::Unreachable => {}
         }
+        v
     }
 
     /// Replaces every successor equal to `from` with `to`.

@@ -14,7 +14,9 @@
 //! * a fuel-limited [`interp`]-reter used for runtime rewards and
 //!   differential testing of optimizations
 //! * CFG [`analysis`]: predecessors/successors, reverse postorder,
-//!   dominator trees, dominance frontiers, natural loops, liveness
+//!   dominator trees, dominance frontiers, natural loops, liveness, def-use
+//! * an [`am::AnalysisManager`] caching per-function analyses, invalidated
+//!   by function modification stamps (see [`Stamp`])
 //!
 //! # Example
 //!
@@ -32,20 +34,26 @@
 //! assert!(cg_ir::verify::verify_module(&module).is_ok());
 //! ```
 
+pub mod am;
 pub mod analysis;
 pub mod builder;
 pub mod interp;
 pub mod parser;
 pub mod printer;
 pub mod reduce;
+pub mod smallvec;
 pub mod verify;
 
 mod inst;
 mod module;
 mod types;
 
+pub use am::AnalysisManager;
 pub use inst::{BinOp, CastKind, Inst, Op, Pred, Terminator};
-pub use module::{Block, BlockId, FuncId, Function, Global, GlobalId, InlineHint, Module, ValueId};
+pub use module::{
+    Block, BlockId, FuncId, Function, Global, GlobalId, InlineHint, Module, Stamp, ValueId,
+};
+pub use smallvec::SmallVec;
 pub use types::{Constant, Operand, Type};
 
 /// A stable 64-bit hash of a module's canonical textual form.

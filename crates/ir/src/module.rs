@@ -1,7 +1,22 @@
 //! Modules, functions, blocks and the value/block/function id spaces.
+//!
+//! Storage layout: blocks and functions live in **dense arenas** (`Vec<T>`
+//! with no holes) indexed through a *slot map* (`id → dense index`, with
+//! `u32::MAX` marking a dead id). Ids are allocated from a monotonically
+//! increasing watermark and never recycled, so `BlockId`/`FuncId` stay
+//! stable across deletion exactly as they did under the historical
+//! `Vec<Option<T>>` representation — but iteration walks contiguous memory
+//! and removal is `swap_remove` instead of leaving a hole.
+//!
+//! Every structural mutation of a [`Function`] advances its [`Stamp`], a
+//! globally unique modification counter. Analyses cached by
+//! [`crate::am::AnalysisManager`] record the stamp they were computed at and
+//! are discarded when it no longer matches, which makes cache invalidation a
+//! single integer compare instead of a guess.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::inst::{Inst, Op, Terminator};
 use crate::types::Type;
@@ -18,7 +33,7 @@ impl fmt::Display for ValueId {
 }
 
 /// Identifies a basic block within a function. Printed as `bbN`. Stable
-/// across block insertion and deletion (blocks live in an arena).
+/// across block insertion and deletion (ids are never recycled).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct BlockId(pub u32);
 
@@ -36,11 +51,50 @@ pub struct FuncId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct GlobalId(pub u32);
 
+/// Sentinel in the slot map for a dead (removed or taken) id.
+const DEAD: u32 = u32::MAX;
+
+static STAMP_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// A globally unique modification stamp. Two equal stamps guarantee the
+/// function has not been structurally mutated in between; every mutation
+/// draws a fresh value from a process-wide counter, so stale analysis
+/// entries can never collide with a recomputed function state (no ABA).
+///
+/// Stamps are transient bookkeeping: cloning a function copies its stamp
+/// (same content ⇒ same analyses apply), while deserialization draws a
+/// fresh one (nothing cached can exist for it yet). Stamps never influence
+/// printed IR, hashing, or equality of functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Stamp(u64);
+
+impl Stamp {
+    fn next() -> Stamp {
+        Stamp(STAMP_COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl Serialize for Stamp {
+    fn to_value(&self) -> serde::value::Value {
+        // The numeric value is meaningless outside this process; serialize a
+        // placeholder so the wire format stays stable.
+        serde::value::Value::UInt(0)
+    }
+}
+
+impl Deserialize for Stamp {
+    fn from_value(_: &serde::value::Value) -> Result<Stamp, serde::DeError> {
+        // A fresh stamp is always sound: no cache can hold an entry for it.
+        Ok(Stamp::next())
+    }
+}
+
 /// A basic block: a straight-line sequence of instructions ended by a
-/// [`Terminator`].
+/// [`Terminator`]. Instructions are stored densely (`Vec<Inst>`), which is
+/// the per-block instruction arena: passes index and splice it in place.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct Block {
-    /// This block's id (equal to its arena slot).
+    /// This block's id.
     pub id: BlockId,
     /// The non-terminator instructions, in order. φ-nodes must be a prefix.
     pub insts: Vec<Inst>,
@@ -74,10 +128,11 @@ pub struct Global {
 
 /// A function: parameters, return type and a CFG of basic blocks.
 ///
-/// Blocks are stored in an arena so that [`BlockId`]s remain stable when
-/// passes delete blocks; `layout` holds the current textual/emission order
-/// with the entry block first.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+/// Blocks are stored in a dense arena (`blocks`) addressed through the
+/// `slot` map, so [`BlockId`]s remain stable when passes delete blocks
+/// while iteration touches only live, contiguous memory; `layout` holds
+/// the current textual/emission order with the entry block first.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Function {
     /// Symbol name.
     pub name: String,
@@ -88,9 +143,28 @@ pub struct Function {
     /// Inline-cost hint: functions marked `always_inline` are prioritized by
     /// the inliner; `no_inline` are skipped.
     pub inline_hint: InlineHint,
-    blocks: Vec<Option<Block>>,
+    blocks: Vec<Block>,
+    slot: Vec<u32>,
     layout: Vec<BlockId>,
     next_value: u32,
+    stamp: Stamp,
+}
+
+/// Structural equality. The dense-arena order is history-dependent
+/// (removal is `swap_remove`), so equality compares layout order, per-block
+/// content, signatures and the id/value watermarks — everything observable
+/// through the public API — and ignores internal storage order and stamps.
+impl PartialEq for Function {
+    fn eq(&self, other: &Function) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.ret_ty == other.ret_ty
+            && self.inline_hint == other.inline_hint
+            && self.next_value == other.next_value
+            && self.slot.len() == other.slot.len()
+            && self.layout == other.layout
+            && self.layout.iter().all(|&b| self.block(b) == other.block(b))
+    }
 }
 
 /// Inlining hints attached to functions.
@@ -122,14 +196,23 @@ impl Function {
             ret_ty,
             inline_hint: InlineHint::None,
             blocks: Vec::new(),
+            slot: Vec::new(),
             layout: Vec::new(),
+            stamp: Stamp::next(),
         }
+    }
+
+    /// The current modification stamp. Advances on every structural
+    /// mutation; see [`Stamp`].
+    pub fn stamp(&self) -> Stamp {
+        self.stamp
     }
 
     /// Allocates a fresh SSA value id.
     pub fn fresh_value(&mut self) -> ValueId {
         let v = ValueId(self.next_value);
         self.next_value += 1;
+        self.stamp = Stamp::next();
         v
     }
 
@@ -140,39 +223,46 @@ impl Function {
 
     /// Raises the value id watermark (used by the parser).
     pub fn reserve_values(&mut self, bound: u32) {
-        self.next_value = self.next_value.max(bound);
+        if bound > self.next_value {
+            self.next_value = bound;
+            self.stamp = Stamp::next();
+        }
     }
 
     /// Adds a new empty block (terminated by `Unreachable`) and returns its id.
     pub fn add_block(&mut self) -> BlockId {
-        let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Some(Block {
-            id,
-            insts: Vec::new(),
-            term: Terminator::Unreachable,
-        }));
-        self.layout.push(id);
-        id
-    }
-
-    /// Adds a block with a specific id, extending the arena as needed (used
-    /// by the parser, whose block labels carry explicit ids). The block is
-    /// appended to the layout order.
-    ///
-    /// # Panics
-    /// Panics if a live block already occupies the id.
-    pub fn add_block_with_id(&mut self, id: BlockId) {
-        let idx = id.0 as usize;
-        if idx >= self.blocks.len() {
-            self.blocks.resize_with(idx + 1, || None);
-        }
-        assert!(self.blocks[idx].is_none(), "block {id} already exists");
-        self.blocks[idx] = Some(Block {
+        let id = BlockId(self.slot.len() as u32);
+        self.slot.push(self.blocks.len() as u32);
+        self.blocks.push(Block {
             id,
             insts: Vec::new(),
             term: Terminator::Unreachable,
         });
         self.layout.push(id);
+        self.stamp = Stamp::next();
+        id
+    }
+
+    /// Adds a block with a specific id, raising the id watermark as needed
+    /// (used by the parser, whose block labels carry explicit ids). The
+    /// block is appended to the layout order.
+    ///
+    /// # Panics
+    /// Panics if a live block already occupies the id.
+    pub fn add_block_with_id(&mut self, id: BlockId) {
+        let idx = id.0 as usize;
+        if idx >= self.slot.len() {
+            self.slot.resize(idx + 1, DEAD);
+        }
+        assert!(self.slot[idx] == DEAD, "block {id} already exists");
+        self.slot[idx] = self.blocks.len() as u32;
+        self.blocks.push(Block {
+            id,
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        });
+        self.layout.push(id);
+        self.stamp = Stamp::next();
     }
 
     /// Removes a block from the function. Panics if it is the entry block.
@@ -185,8 +275,16 @@ impl Function {
             self.layout.first().copied(),
             "cannot remove the entry block"
         );
-        self.blocks[id.0 as usize] = None;
+        let dense = self.slot[id.0 as usize];
+        if dense != DEAD {
+            self.blocks.swap_remove(dense as usize);
+            if let Some(moved) = self.blocks.get(dense as usize) {
+                self.slot[moved.id.0 as usize] = dense;
+            }
+            self.slot[id.0 as usize] = DEAD;
+        }
         self.layout.retain(|b| *b != id);
+        self.stamp = Stamp::next();
     }
 
     /// The entry block id.
@@ -199,9 +297,9 @@ impl Function {
 
     /// True if the block id refers to a live block.
     pub fn block_exists(&self, id: BlockId) -> bool {
-        self.blocks
+        self.slot
             .get(id.0 as usize)
-            .map(|b| b.is_some())
+            .map(|&d| d != DEAD)
             .unwrap_or(false)
     }
 
@@ -210,30 +308,42 @@ impl Function {
     /// # Panics
     /// Panics if the block has been removed.
     pub fn block(&self, id: BlockId) -> &Block {
-        self.blocks[id.0 as usize]
-            .as_ref()
-            .expect("block was removed")
+        let dense = self.slot[id.0 as usize];
+        assert!(dense != DEAD, "block was removed");
+        &self.blocks[dense as usize]
     }
 
-    /// Mutably borrows a block.
+    /// Mutably borrows a block. Counts as a structural mutation: the
+    /// function's [`Stamp`] advances even if the caller changes nothing
+    /// (pass runners re-validate analyses for functions a pass reports
+    /// unchanged, recovering the cache for no-op sweeps).
     ///
     /// # Panics
     /// Panics if the block has been removed.
     pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
-        self.blocks[id.0 as usize]
-            .as_mut()
-            .expect("block was removed")
+        let dense = self.slot[id.0 as usize];
+        assert!(dense != DEAD, "block was removed");
+        self.stamp = Stamp::next();
+        &mut self.blocks[dense as usize]
     }
 
-    /// Block ids in layout order (entry first).
-    pub fn block_ids(&self) -> Vec<BlockId> {
+    /// Block ids in layout order (entry first). Borrows the internal layout
+    /// — zero allocation. Take [`Function::block_ids_vec`] when mutating
+    /// blocks while iterating.
+    pub fn block_ids(&self) -> &[BlockId] {
+        &self.layout
+    }
+
+    /// An owned copy of [`Function::block_ids`], for loops that mutate the
+    /// function while walking its blocks.
+    pub fn block_ids_vec(&self) -> Vec<BlockId> {
         self.layout.clone()
     }
 
-    /// The arena capacity: all block ids are `< block_bound()`. Useful for
+    /// The id watermark: all block ids are `< block_bound()`. Useful for
     /// dense side tables indexed by `BlockId.0`.
     pub fn block_bound(&self) -> u32 {
-        self.blocks.len() as u32
+        self.slot.len() as u32
     }
 
     /// Number of live blocks.
@@ -255,19 +365,20 @@ impl Function {
             .position(|b| *b == after)
             .expect("anchor block not in layout");
         self.layout.insert(pos + 1, id);
+        self.stamp = Stamp::next();
     }
 
     /// Total instruction count including terminators (the `IrInstructionCount`
     /// metric of the LLVM environment).
     pub fn inst_count(&self) -> usize {
-        self.blocks().map(|b| b.insts.len() + 1).sum()
+        // Dense sweep: every arena entry is live, order is irrelevant.
+        self.blocks.iter().map(|b| b.insts.len() + 1).sum()
     }
 
     /// Rewrites every use of value `from` into the operand `to` across all
     /// instructions and terminators.
     pub fn replace_all_uses(&mut self, from: ValueId, to: crate::Operand) {
-        for id in self.block_ids() {
-            let block = self.block_mut(id);
+        for block in &mut self.blocks {
             for inst in &mut block.insts {
                 inst.op.for_each_operand_mut(|o| {
                     if o.as_value() == Some(from) {
@@ -281,16 +392,37 @@ impl Function {
                 }
             });
         }
+        self.stamp = Stamp::next();
     }
 }
 
 /// A compilation unit: functions plus global variables.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+///
+/// Functions use the same dense-arena + slot-map scheme as blocks within a
+/// function; `order` caches the live ids sorted ascending, which equals
+/// definition order because ids are allocated monotonically.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Module {
     /// Module name (usually the benchmark URI path).
     pub name: String,
-    functions: Vec<Option<Function>>,
+    functions: Vec<Function>,
+    /// Dense index → id (functions, unlike blocks, don't carry their id).
+    ids: Vec<FuncId>,
+    slot: Vec<u32>,
+    order: Vec<FuncId>,
     globals: Vec<Global>,
+}
+
+/// Structural equality over live functions in definition order, globals and
+/// the id watermark; internal dense order is ignored (history-dependent).
+impl PartialEq for Module {
+    fn eq(&self, other: &Module) -> bool {
+        self.name == other.name
+            && self.globals == other.globals
+            && self.slot.len() == other.slot.len()
+            && self.order == other.order
+            && self.order.iter().all(|&id| self.func(id) == other.func(id))
+    }
 }
 
 impl Module {
@@ -299,27 +431,48 @@ impl Module {
         Module {
             name: name.into(),
             functions: Vec::new(),
+            ids: Vec::new(),
+            slot: Vec::new(),
+            order: Vec::new(),
             globals: Vec::new(),
         }
     }
 
     /// Adds a function, returning its id.
     pub fn add_function(&mut self, f: Function) -> FuncId {
-        let id = FuncId(self.functions.len() as u32);
-        self.functions.push(Some(f));
+        let id = FuncId(self.slot.len() as u32);
+        self.slot.push(self.functions.len() as u32);
+        self.functions.push(f);
+        self.ids.push(id);
+        self.order.push(id);
         id
+    }
+
+    /// Unlinks `id` from the dense arena, fixing up the displaced entry's
+    /// slot, and returns the function. Shared by removal and take.
+    fn detach_func(&mut self, id: FuncId) -> Function {
+        let dense = self.slot[id.0 as usize];
+        assert!(dense != DEAD, "function was removed");
+        let f = self.functions.swap_remove(dense as usize);
+        self.ids.swap_remove(dense as usize);
+        if let Some(&moved) = self.ids.get(dense as usize) {
+            self.slot[moved.0 as usize] = dense;
+        }
+        self.slot[id.0 as usize] = DEAD;
+        self.order.retain(|o| *o != id);
+        f
     }
 
     /// Removes a function. The caller must have rewritten all calls to it.
     pub fn remove_function(&mut self, id: FuncId) {
-        self.functions[id.0 as usize] = None;
+        let _ = self.detach_func(id);
     }
 
     /// True if the function id refers to a live function.
     pub fn func_exists(&self, id: FuncId) -> bool {
-        self.functions
+        self.slot
             .get(id.0 as usize)
-            .map(|f| f.is_some())
+            .map(|&d| d != DEAD)
             .unwrap_or(false)
     }
 
@@ -328,53 +481,71 @@ impl Module {
     /// # Panics
     /// Panics if the function has been removed.
     pub fn func(&self, id: FuncId) -> &Function {
-        self.functions[id.0 as usize]
-            .as_ref()
-            .expect("function was removed")
+        let dense = self.slot[id.0 as usize];
+        assert!(dense != DEAD, "function was removed");
+        &self.functions[dense as usize]
     }
 
-    /// Mutably borrows a function.
+    /// Mutably borrows a function. Does *not* advance the function's stamp
+    /// by itself — only actual mutations through [`Function`] methods do —
+    /// so per-function pass sweeps that merely look at each function keep
+    /// their cached analyses.
     ///
     /// # Panics
     /// Panics if the function has been removed.
     pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
-        self.functions[id.0 as usize]
-            .as_mut()
-            .expect("function was removed")
+        let dense = self.slot[id.0 as usize];
+        assert!(dense != DEAD, "function was removed");
+        &mut self.functions[dense as usize]
     }
 
-    /// Live function ids in definition order.
-    pub fn func_ids(&self) -> Vec<FuncId> {
-        (0..self.functions.len() as u32)
-            .map(FuncId)
-            .filter(|id| self.func_exists(*id))
-            .collect()
+    /// Live function ids in definition order. Borrows the internal order —
+    /// zero allocation. Take [`Module::func_ids_vec`] when mutating the
+    /// module while iterating.
+    pub fn func_ids(&self) -> &[FuncId] {
+        &self.order
     }
 
-    /// The arena capacity: all function ids are `< func_bound()`.
+    /// An owned copy of [`Module::func_ids`], for loops that mutate the
+    /// module while walking its functions.
+    pub fn func_ids_vec(&self) -> Vec<FuncId> {
+        self.order.clone()
+    }
+
+    /// The id watermark: all function ids are `< func_bound()`.
     pub fn func_bound(&self) -> u32 {
-        self.functions.len() as u32
+        self.slot.len() as u32
     }
 
     /// Finds a function by name.
     pub fn find_func(&self, name: &str) -> Option<FuncId> {
-        self.func_ids()
-            .into_iter()
+        self.order
+            .iter()
+            .copied()
             .find(|id| self.func(*id).name == name)
     }
 
-    /// Takes a function out of the module, leaving a hole (used by the
-    /// inliner to mutate one function while reading another).
+    /// Takes a function out of the module, leaving its id dead until
+    /// [`Module::put_func`] restores it (used by the inliner to mutate one
+    /// function while reading another). While taken, the function is absent
+    /// from [`Module::func_ids`] and iteration.
     pub fn take_func(&mut self, id: FuncId) -> Function {
-        self.functions[id.0 as usize]
-            .take()
-            .expect("function was removed")
+        self.detach_func(id)
     }
 
     /// Puts a function back into its arena slot.
+    ///
+    /// # Panics
+    /// Panics if the id is live.
     pub fn put_func(&mut self, id: FuncId, f: Function) {
-        assert!(self.functions[id.0 as usize].is_none());
-        self.functions[id.0 as usize] = Some(f);
+        assert!(self.slot[id.0 as usize] == DEAD);
+        self.slot[id.0 as usize] = self.functions.len() as u32;
+        self.functions.push(f);
+        self.ids.push(id);
+        // Ids are allocated monotonically, so ascending id order *is*
+        // definition order; reinsert at the sorted position.
+        let pos = self.order.partition_point(|&o| o < id);
+        self.order.insert(pos, id);
     }
 
     /// Adds a global, returning its id.
@@ -402,15 +573,13 @@ impl Module {
     /// Total instruction count across all functions (the `IrInstructionCount`
     /// metric / "code size" reward of the LLVM environment).
     pub fn inst_count(&self) -> usize {
-        self.func_ids()
-            .into_iter()
-            .map(|id| self.func(id).inst_count())
-            .sum()
+        // Dense sweep over live functions; order is irrelevant for a sum.
+        self.functions.iter().map(Function::inst_count).sum()
     }
 
     /// Number of live functions.
     pub fn num_functions(&self) -> usize {
-        self.func_ids().len()
+        self.order.len()
     }
 }
 
@@ -476,8 +645,75 @@ mod tests {
         let f2 = m.add_function(Function::new("g", &[], Type::Void));
         m.remove_function(f1);
         assert!(!m.func_exists(f1));
-        assert_eq!(m.func_ids(), vec![f2]);
+        assert_eq!(m.func_ids(), &[f2]);
         assert_eq!(m.find_func("g"), Some(f2));
         assert_eq!(m.find_func("f"), None);
+    }
+
+    #[test]
+    fn stamps_advance_on_mutation() {
+        let mut f = tiny_function();
+        let s0 = f.stamp();
+        let _ = f.block_ids();
+        let _ = f.block(f.entry());
+        assert_eq!(f.stamp(), s0, "reads must not advance the stamp");
+        let e = f.entry();
+        let _ = f.block_mut(e);
+        let s1 = f.stamp();
+        assert_ne!(s1, s0);
+        f.add_block();
+        assert_ne!(f.stamp(), s1);
+    }
+
+    #[test]
+    fn clone_preserves_stamp_and_equality() {
+        let f = tiny_function();
+        let g = f.clone();
+        assert_eq!(f.stamp(), g.stamp());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn equality_ignores_dense_storage_order() {
+        // Build two functions whose layouts match but whose dense arenas
+        // were perturbed differently by removals.
+        let build = |extra_first: bool| {
+            let mut f = tiny_function();
+            let a = f.add_block();
+            let b = f.add_block();
+            let c = f.add_block();
+            if extra_first {
+                f.remove_block(a); // swap_remove moves c into a's dense slot
+                f.remove_block(b);
+            } else {
+                f.remove_block(b);
+                f.remove_block(a);
+            }
+            assert!(f.block_exists(c));
+            f
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn take_and_put_func_round_trips() {
+        let mut m = Module::new("m");
+        let f1 = m.add_function(tiny_function());
+        let f2 = m.add_function(Function::new("g", &[], Type::Void));
+        let taken = m.take_func(f1);
+        assert_eq!(m.func_ids(), &[f2]);
+        assert!(!m.func_exists(f1));
+        m.put_func(f1, taken);
+        assert_eq!(m.func_ids(), &[f1, f2], "definition order restored");
+        assert_eq!(m.func(f1).name, "f");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_structure() {
+        let mut m = Module::new("m");
+        m.add_function(tiny_function());
+        let v = serde::Serialize::to_value(&m);
+        let back: Module = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(m, back);
     }
 }

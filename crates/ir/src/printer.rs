@@ -47,7 +47,7 @@ pub fn print_module_into(out: &mut String, m: &Module) {
         }
         out.push_str("]\n");
     }
-    for fid in m.func_ids() {
+    for &fid in m.func_ids() {
         print_function(out, m, m.func(fid));
     }
 }

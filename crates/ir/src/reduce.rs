@@ -54,7 +54,7 @@ fn default_operand(m: &Module, ty: Type) -> Option<Operand> {
 /// every block of `f`. Needed after any terminator rewrite.
 pub fn prune_phi_incomings(f: &mut crate::module::Function) {
     let cfg = Cfg::compute(f);
-    for bid in f.block_ids() {
+    for bid in f.block_ids_vec() {
         let preds: Vec<BlockId> = cfg.preds(bid).to_vec();
         let block = f.block_mut(bid);
         for inst in &mut block.insts {
@@ -117,12 +117,12 @@ mod candidates {
         if ret_ty != Type::Void && default_operand(m, ret_ty).is_none() {
             return false;
         }
-        for other in m.func_ids() {
+        for other in m.func_ids_vec() {
             if other == fid {
                 continue;
             }
             let mut f = m.take_func(other);
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 let block = f.block_mut(bid);
                 let mut dead_dests: Vec<(ValueId, Type)> = Vec::new();
                 block.insts.retain(|inst| {
@@ -263,7 +263,7 @@ where
         // Coarse: drop whole functions (highest payoff first — later
         // functions tend to be callees of earlier ones, so iterate in
         // reverse definition order).
-        for fid in m.func_ids().into_iter().rev() {
+        for fid in m.func_ids_vec().into_iter().rev() {
             if stats.attempts >= max_attempts {
                 return stats;
             }
@@ -280,8 +280,8 @@ where
         }
 
         // Medium: fold two-way branches and switches down to one arm.
-        for fid in m.func_ids() {
-            for bid in m.func(fid).block_ids() {
+        for fid in m.func_ids_vec() {
+            for bid in m.func(fid).block_ids_vec() {
                 if !m.func(fid).block_exists(bid) {
                     continue; // pruned by an earlier accepted fold
                 }
@@ -312,8 +312,8 @@ where
 
         // Medium: thread away empty `br`-only forwarding blocks (the bulk
         // of leftover lines once branches have been folded).
-        for fid in m.func_ids() {
-            for bid in m.func(fid).block_ids() {
+        for fid in m.func_ids_vec() {
+            for bid in m.func(fid).block_ids_vec() {
                 if stats.attempts >= max_attempts {
                     return stats;
                 }
@@ -335,8 +335,8 @@ where
 
         // Fine: delete individual instructions (back to front, so indices
         // of untried instructions stay valid as deletions land).
-        for fid in m.func_ids() {
-            for bid in m.func(fid).block_ids() {
+        for fid in m.func_ids_vec() {
+            for bid in m.func(fid).block_ids_vec() {
                 if !m.func(fid).block_exists(bid) {
                     continue;
                 }

@@ -1,0 +1,211 @@
+//! A minimal inline small vector for hot analysis paths.
+//!
+//! [`SmallVec<T, N>`] stores up to `N` elements inline (no heap allocation)
+//! and spills to a `Vec<T>` beyond that. The one consumer that matters is
+//! [`crate::Terminator::successors`]: every CFG construction and RPO walk
+//! calls it per block, and all terminators except `Switch` have ≤ 2
+//! successors, so the inline path removes an allocation from the innermost
+//! loop of `Cfg::compute`/`reverse_postorder`.
+//!
+//! `T: Copy` keeps the implementation trivially drop-safe: the inline
+//! buffer is `MaybeUninit` but never owns anything needing `Drop`.
+
+use std::mem::MaybeUninit;
+use std::ops::Deref;
+
+/// A vector with `N` elements of inline storage; see the module docs.
+pub struct SmallVec<T: Copy, const N: usize> {
+    inline: [MaybeUninit<T>; N],
+    /// Total element count. Elements live inline iff `len <= N`, otherwise
+    /// all of them (including the first `N`) live in `spill`.
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy, const N: usize> SmallVec<T, N> {
+    /// An empty vector (allocation-free).
+    pub fn new() -> SmallVec<T, N> {
+        SmallVec {
+            inline: [MaybeUninit::uninit(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, v: T) {
+        if self.len < N {
+            self.inline[self.len] = MaybeUninit::new(v);
+        } else {
+            if self.len == N {
+                self.spill.reserve(N + 1);
+                // SAFETY: the first `len == N` inline entries are initialized.
+                for slot in &self.inline {
+                    self.spill.push(unsafe { slot.assume_init() });
+                }
+            }
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.len <= N {
+            // SAFETY: the first `len` inline entries are initialized, and
+            // `MaybeUninit<T>` has the same layout as `T`.
+            unsafe { std::slice::from_raw_parts(self.inline.as_ptr().cast::<T>(), self.len) }
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> SmallVec<T, N> {
+        SmallVec::new()
+    }
+}
+
+impl<T: Copy, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> SmallVec<T, N> {
+        let mut out = SmallVec::new();
+        for &v in self.as_slice() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<T: Copy, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + std::fmt::Debug, const N: usize> std::fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq<Vec<T>> for SmallVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq<[T]> for SmallVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]> for SmallVec<T, N> {
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> SmallVec<T, N> {
+        let mut out = SmallVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// By-value iteration (`for s in term.successors()`), matching the calling
+/// convention of the `Vec`-returning API this type replaced.
+pub struct IntoIter<T: Copy, const N: usize> {
+    vec: SmallVec<T, N>,
+    pos: usize,
+}
+
+impl<T: Copy, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        let v = self.vec.as_slice().get(self.pos).copied();
+        self.pos += 1;
+        v
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len().saturating_sub(self.pos);
+        (rem, Some(rem))
+    }
+}
+
+impl<T: Copy, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> IntoIter<T, N> {
+        IntoIter { vec: self, pos: 0 }
+    }
+}
+
+impl<'a, T: Copy, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> std::slice::Iter<'a, T> {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.as_slice(), &[1, 2]);
+        v.push(3); // crosses into the spill vec
+        v.push(4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn by_value_iteration_and_equality() {
+        let v: SmallVec<u32, 2> = [7u32, 8, 9].into_iter().collect();
+        let collected: Vec<u32> = v.clone().into_iter().collect();
+        assert_eq!(collected, vec![7, 8, 9]);
+        assert_eq!(v, vec![7, 8, 9]);
+        assert_eq!(v[0], 7); // Deref indexing
+        assert!(v.contains(&8)); // slice methods via Deref
+    }
+
+    #[test]
+    fn empty_and_clone() {
+        let v: SmallVec<u32, 2> = SmallVec::default();
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.as_slice(), &[] as &[u32]);
+        let w = v.clone();
+        assert_eq!(v, w);
+    }
+}

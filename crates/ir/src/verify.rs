@@ -46,7 +46,7 @@ impl std::error::Error for VerifyError {}
 /// references, φ/predecessor mismatches, SSA violations (double definition or
 /// use not dominated by definition), or type errors.
 pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
-    for fid in m.func_ids() {
+    for &fid in m.func_ids() {
         verify_function(m, m.func(fid))?;
     }
     Ok(())
@@ -75,7 +75,7 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
             return Err(err(None, format!("duplicate parameter value {v}")));
         }
     }
-    for bid in f.block_ids() {
+    for &bid in f.block_ids() {
         let b = f.block(bid);
         let mut seen_non_phi = false;
         for (i, inst) in b.insts.iter().enumerate() {
@@ -141,7 +141,7 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
         }
     };
 
-    for bid in f.block_ids() {
+    for &bid in f.block_ids() {
         let b = f.block(bid);
         let preds: HashSet<BlockId> = cfg.preds(bid).iter().copied().collect();
         for inst in &b.insts {

@@ -6,7 +6,8 @@
 //! space, matching the paper's removal of `-gvn-sink` after state
 //! validation exposed it.
 
-use crate::pass::{registry, PassEffect, PassRef};
+use crate::pass::{reconcile_analyses, registry, PassEffect, PassRef};
+use cg_ir::AnalysisManager;
 
 /// The discrete action space: an indexed list of passes.
 #[derive(Debug, Clone)]
@@ -74,6 +75,23 @@ impl ActionSpace {
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn apply_tracked(&self, module: &mut cg_ir::Module, i: usize) -> PassEffect {
+        self.apply_with(module, i, &mut AnalysisManager::new())
+    }
+
+    /// Like [`ActionSpace::apply_tracked`], but runs against a caller-owned
+    /// [`AnalysisManager`]. A session that keeps one manager across actions
+    /// lets each pass reuse CFG/dominator/loop analyses computed by its
+    /// predecessors; after the pass runs, the cache is reconciled with the
+    /// reported effect and the pass's `preserved()` declaration.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn apply_with(
+        &self,
+        module: &mut cg_ir::Module,
+        i: usize,
+        am: &mut AnalysisManager,
+    ) -> PassEffect {
         let pass = &self.passes[i];
         let before = module.inst_count() as i64;
         // A real span (not a flat emit): when the application runs under a
@@ -83,7 +101,19 @@ impl ActionSpace {
             .trace
             .span(format!("pass:{}", pass.name()));
         let timer = cg_telemetry::Timer::start();
-        let effect = pass.run_tracked(module);
+        let effect = if am.known_noop(&pass.name(), module) {
+            // No-op memo: this pass already ran on byte-identical content
+            // and changed nothing — skip the application entirely. The
+            // span/stats still record the (near-zero) invocation.
+            PassEffect::unchanged()
+        } else {
+            let effect = pass.run_with(module, am);
+            reconcile_analyses(module, am, &effect, pass.preserved());
+            if !effect.changed {
+                am.note_noop(&pass.name(), module);
+            }
+            effect
+        };
         let dur = timer.elapsed();
         let delta = module.inst_count() as i64 - before;
         span.set_detail(format!("delta={delta}"));

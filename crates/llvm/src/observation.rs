@@ -38,7 +38,7 @@ pub fn inst_count(m: &Module) -> Vec<i64> {
     let mut max_func = 0i64;
     let mut edges = 0i64;
     let mut multi_pred = 0i64;
-    for fid in m.func_ids() {
+    for &fid in m.func_ids() {
         let f = m.func(fid);
         max_func = max_func.max(f.inst_count() as i64);
         v[61] += f.params.len() as i64;
@@ -185,7 +185,7 @@ pub fn combine_inst_count<'a>(funcs: impl Iterator<Item = &'a Vec<i64>>, m: &Mod
 /// constant occurrences.
 pub fn autophase(m: &Module) -> Vec<i64> {
     let mut v = vec![0i64; AUTOPHASE_DIM];
-    for fid in m.func_ids() {
+    for &fid in m.func_ids() {
         let f = m.func(fid);
         v[2] += 1; // functions
                    // Per-block pred counts.
@@ -507,8 +507,8 @@ impl IncrementalFeatures {
     /// The InstCount observation, recomputing only dirty functions.
     pub fn inst_count(&mut self, m: &Module) -> Vec<i64> {
         let live = m.func_ids();
-        prune(&mut self.inst_count, &live);
-        for fid in &live {
+        prune(&mut self.inst_count, live);
+        for fid in live {
             self.inst_count
                 .entry(fid.0)
                 .or_insert_with(|| inst_count_func(m, *fid));
@@ -520,9 +520,9 @@ impl IncrementalFeatures {
     /// Autophase feature is additive, so combining is an element-wise sum.
     pub fn autophase(&mut self, m: &Module) -> Vec<i64> {
         let live = m.func_ids();
-        prune(&mut self.autophase, &live);
+        prune(&mut self.autophase, live);
         let mut v = vec![0i64; AUTOPHASE_DIM];
-        for fid in &live {
+        for fid in live {
             let fv = self
                 .autophase
                 .entry(fid.0)
@@ -552,7 +552,7 @@ fn prune(cache: &mut HashMap<u32, Vec<i64>>, live: &[FuncId]) {
 pub fn inst2vec(m: &Module) -> Vec<f32> {
     let mut acc = vec![0f64; INST2VEC_DIM];
     let mut count = 0u64;
-    for fid in m.func_ids() {
+    for &fid in m.func_ids() {
         let f = m.func(fid);
         for b in f.blocks() {
             for inst in &b.insts {
@@ -683,7 +683,7 @@ pub fn programl(m: &Module) -> ProgramGraph {
     // function id -> entry instruction node (for call edges); filled first
     // pass with function nodes.
     let mut fn_nodes: HashMap<u32, u32> = HashMap::new();
-    for fid in m.func_ids() {
+    for &fid in m.func_ids() {
         let idx = g.nodes.len() as u32;
         g.nodes.push(GraphNode {
             kind: NodeKind::Function,
@@ -692,7 +692,7 @@ pub fn programl(m: &Module) -> ProgramGraph {
         });
         fn_nodes.insert(fid.0, idx);
     }
-    for fid in m.func_ids() {
+    for &fid in m.func_ids() {
         let f = m.func(fid);
         let mut value_nodes: HashMap<u32, u32> = HashMap::new();
         let mut node_of_value = |g: &mut ProgramGraph, v: cg_ir::ValueId| -> u32 {

@@ -1,6 +1,6 @@
 //! The [`Pass`] abstraction and the pass registry.
 
-use cg_ir::{FuncId, Module};
+use cg_ir::{AnalysisManager, FuncId, Module};
 use std::fmt;
 use std::sync::Arc;
 
@@ -81,6 +81,28 @@ impl PassEffect {
     }
 }
 
+/// Which cached analyses a pass leaves valid for the functions it *did*
+/// modify. (Functions a pass reports untouched always keep their analyses.)
+///
+/// Over-claiming preservation is a soundness bug — the analysis-cache
+/// soundness property test compares every cached analysis against a fresh
+/// recompute after each pass, so a wrong declaration fails loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preserved {
+    /// Nothing: all cached analyses for touched functions are dropped.
+    /// Always sound; the default.
+    #[default]
+    None,
+    /// CFG shape: the pass rewrites instructions but never terminators,
+    /// layout order or the block set, so `Cfg`, dominators, frontiers and
+    /// the loop forest stay valid; value-level analyses (liveness, def-use)
+    /// are dropped.
+    Cfg,
+    /// Everything: the pass changes no IR structure analyses depend on
+    /// (e.g. it only flips function attributes).
+    All,
+}
+
 /// An optimization pass: a named module transformation.
 ///
 /// Passes must be deterministic (the state-validation machinery replays
@@ -88,11 +110,13 @@ impl PassEffect {
 /// [`crate::passes::gvn::GvnSink`] is the one exception, mirroring the
 /// `-gvn-sink` nondeterminism bug the paper found in LLVM.
 ///
-/// `run` and `run_tracked` are mutually defaulted: implement exactly one.
-/// Function-local passes implement `run_tracked` to report the precise set
-/// of modified functions; module-restructuring passes (inlining, global
-/// rewrites) implement `run` and inherit the conservative
-/// [`Touched::All`]-when-changed effect.
+/// Implement exactly one of `run` or `run_with` (the other, plus
+/// `run_tracked`, is defaulted in terms of it). Function-local passes
+/// implement `run_with` to report the precise set of modified functions and
+/// to fetch CFG/dominator/loop analyses from the shared
+/// [`AnalysisManager`] instead of recomputing them; module-restructuring
+/// passes (inlining, global rewrites) implement `run` and inherit the
+/// conservative [`Touched::All`]-when-changed effect.
 pub trait Pass: Send + Sync {
     /// The pass name as it appears in the action space (kebab-case, possibly
     /// with a parameter suffix, e.g. `inline-250`).
@@ -100,17 +124,90 @@ pub trait Pass: Send + Sync {
 
     /// Runs the pass. Returns `true` if the module was changed.
     fn run(&self, module: &mut Module) -> bool {
-        self.run_tracked(module).changed
+        self.run_with(module, &mut AnalysisManager::new()).changed
     }
 
-    /// Runs the pass, reporting which functions it touched.
+    /// Runs the pass with a throwaway analysis cache, reporting which
+    /// functions it touched.
     fn run_tracked(&self, module: &mut Module) -> PassEffect {
+        self.run_with(module, &mut AnalysisManager::new())
+    }
+
+    /// Runs the pass against a shared analysis cache. The pass may consume
+    /// cached analyses; it must not reconcile the cache afterwards — the
+    /// runner does that from the returned effect and [`Pass::preserved`]
+    /// (see [`run_pass_with`]).
+    fn run_with(&self, module: &mut Module, am: &mut AnalysisManager) -> PassEffect {
+        let _ = am;
         PassEffect::whole_module(self.run(module))
+    }
+
+    /// Which analyses survive this pass for the functions it modified.
+    fn preserved(&self) -> Preserved {
+        Preserved::None
     }
 
     /// A one-line description for `--help`-style listings.
     fn description(&self) -> String {
         String::new()
+    }
+}
+
+/// Runs `pass` against `am`, then reconciles the cache with the reported
+/// effect: analyses of untouched functions are revalidated (their stamps
+/// moved during scanning, their content did not), touched functions keep
+/// whatever [`Pass::preserved`] declares, and module-restructuring effects
+/// ([`Touched::All`]) flush the cache entirely.
+pub fn run_pass_with(pass: &dyn Pass, m: &mut Module, am: &mut AnalysisManager) -> PassEffect {
+    let name = pass.name();
+    // No-op memo: if this pass already ran on byte-identical content and
+    // changed nothing, skip the whole application (scan included).
+    if am.known_noop(&name, m) {
+        return PassEffect::unchanged();
+    }
+    let effect = pass.run_with(m, am);
+    reconcile_analyses(m, am, &effect, pass.preserved());
+    if !effect.changed {
+        am.note_noop(&name, m);
+    }
+    effect
+}
+
+/// The cache-reconciliation half of [`run_pass_with`], exposed for runners
+/// that time or trace the pass invocation themselves.
+pub fn reconcile_analyses(
+    m: &Module,
+    am: &mut AnalysisManager,
+    effect: &PassEffect,
+    preserved: Preserved,
+) {
+    match &effect.touched {
+        Touched::None => {
+            for &fid in m.func_ids() {
+                am.revalidate(fid, m.func(fid));
+            }
+        }
+        Touched::Funcs(touched) => {
+            for &fid in m.func_ids() {
+                if touched.contains(&fid) {
+                    match preserved {
+                        Preserved::None => am.invalidate(fid),
+                        Preserved::Cfg => am.preserve_cfg(fid, m.func(fid)),
+                        Preserved::All => am.revalidate(fid, m.func(fid)),
+                    }
+                } else {
+                    am.revalidate(fid, m.func(fid));
+                }
+            }
+        }
+        Touched::All => match preserved {
+            Preserved::All => {
+                for &fid in m.func_ids() {
+                    am.revalidate(fid, m.func(fid));
+                }
+            }
+            _ => am.invalidate_all(),
+        },
     }
 }
 

@@ -13,7 +13,7 @@ use crate::pass::{Pass, PassEffect};
 /// observations).
 fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> PassEffect {
     let mut touched = Vec::new();
-    for fid in m.func_ids() {
+    for fid in m.func_ids_vec() {
         if f(m.func_mut(fid)) {
             touched.push(fid);
         }
@@ -55,7 +55,7 @@ impl RemoveUnreachable {
             return false;
         }
         let dead_set: HashSet<BlockId> = dead.iter().copied().collect();
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             if dead_set.contains(&bid) {
                 continue;
             }
@@ -81,7 +81,7 @@ impl Pass for RemoveUnreachable {
         "delete blocks unreachable from the entry".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, RemoveUnreachable::run_on)
     }
 }
@@ -94,7 +94,7 @@ pub struct FoldBranches;
 impl FoldBranches {
     pub(crate) fn run_on(f: &mut Function) -> bool {
         let mut changed = false;
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             let term = f.block(bid).term.clone();
             let (new_term, lost_edges): (Terminator, Vec<BlockId>) = match term {
                 Terminator::CondBr {
@@ -163,7 +163,7 @@ impl Pass for FoldBranches {
         "fold constant conditional branches and switches".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, FoldBranches::run_on)
     }
 }
@@ -179,7 +179,7 @@ impl MergeBlocks {
         loop {
             let cfg = Cfg::compute(f);
             let mut merged = false;
-            for b in f.block_ids() {
+            for b in f.block_ids_vec() {
                 if b == f.entry() {
                     continue;
                 }
@@ -240,7 +240,7 @@ impl Pass for MergeBlocks {
         "merge single-successor/single-predecessor block pairs".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, MergeBlocks::run_on)
     }
 }
@@ -266,7 +266,7 @@ impl SimplifyCfg {
         loop {
             let cfg = Cfg::compute(f);
             let mut forwarded = false;
-            for e in f.block_ids() {
+            for e in f.block_ids_vec() {
                 if e == f.entry() {
                     continue;
                 }
@@ -338,7 +338,7 @@ impl Pass for SimplifyCfg {
         "canonicalize the CFG: fold branches, drop unreachable code, merge blocks".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         let aggressive = self.aggressive;
         for_each_function(m, |f| {
             let mut changed = false;
@@ -375,10 +375,10 @@ impl Pass for LowerSwitch {
         "lower switches to conditional branch chains".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 let Terminator::Switch {
                     value,
                     cases,
@@ -465,13 +465,13 @@ impl Pass for BreakCritEdges {
         "split critical CFG edges".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
                 let cfg = Cfg::compute(f);
                 let mut split: Option<(BlockId, BlockId)> = None;
-                'search: for a in f.block_ids() {
+                'search: for a in f.block_ids_vec() {
                     let succs = f.block(a).term.successors();
                     if succs.len() < 2 {
                         continue;
@@ -510,10 +510,10 @@ impl Pass for MergeReturn {
         "merge multiple returns into one exit block".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let rets: Vec<BlockId> = f
-                .block_ids()
+                .block_ids_vec()
                 .into_iter()
                 .filter(|b| matches!(f.block(*b).term, Terminator::Ret { .. }))
                 .collect();
@@ -565,12 +565,12 @@ impl Pass for JumpThreading {
         "thread constant branch conditions through phi blocks".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
                 let mut threaded = false;
-                for b in f.block_ids() {
+                for b in f.block_ids_vec() {
                     if b == f.entry() {
                         continue;
                     }
@@ -703,7 +703,7 @@ mod tests {
         let out = run_main(&lowered, &ExecLimits::default()).unwrap();
         assert_eq!(out.ret, reference.ret);
         // No switches remain.
-        for fid in lowered.func_ids() {
+        for fid in lowered.func_ids_vec() {
             for b in lowered.func(fid).blocks() {
                 assert!(!matches!(b.term, Terminator::Switch { .. }));
             }

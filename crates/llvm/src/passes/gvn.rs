@@ -4,7 +4,6 @@
 
 use std::collections::HashMap;
 
-use cg_ir::analysis::{Cfg, DomTree};
 use cg_ir::{BlockId, Module, Op, Operand, ValueId};
 
 use crate::pass::{Pass, PassEffect};
@@ -38,13 +37,16 @@ impl Pass for Gvn {
         "dominator-based global value numbering".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
         let with_loads = self.with_loads;
         let mut touched = Vec::new();
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
+            let dom = am.dom(fid, m.func(fid));
             let f = m.func_mut(fid);
-            let cfg = Cfg::compute(f);
-            let dom = DomTree::compute(f, &cfg);
             let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
             for &b in dom.rpo() {
                 if let Some(p) = dom.idom(b) {
@@ -175,8 +177,12 @@ impl Pass for NewGvnAlias {
         "value numbering (alias of gvn under the newer pass name)".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
-        Gvn::default().run_tracked(m)
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
+        Gvn::default().run_with(m, am)
     }
 }
 
@@ -205,7 +211,7 @@ impl Pass for GvnSink {
 
     fn run(&self, m: &mut Module) -> bool {
         let mut changed = false;
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             let f = m.func_mut(fid);
             // Candidate blocks: at least two stack allocations whose order
             // can be exchanged (alloca order is semantically free — only the
@@ -216,7 +222,7 @@ impl Pass for GvnSink {
             // across pass-manager invocations), so allocation addresses
             // differ between runs even within one process.
             let mut cands: Vec<(BlockId, &'static u64)> = f
-                .block_ids()
+                .block_ids_vec()
                 .into_iter()
                 .filter(|b| {
                     f.block(*b)

@@ -21,9 +21,9 @@ struct CallSite {
 
 fn find_call_sites(m: &Module) -> Vec<CallSite> {
     let mut sites = Vec::new();
-    for caller in m.func_ids() {
+    for caller in m.func_ids_vec() {
         let f = m.func(caller);
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             for (index, inst) in f.block(bid).insts.iter().enumerate() {
                 if let Op::Call { callee, .. } = &inst.op {
                     sites.push(CallSite {
@@ -66,7 +66,7 @@ fn inline_site(m: &mut Module, site: CallSite) {
     caller.block_mut(cont).term = term;
     // Successors' φs that named the original block now name the
     // continuation (the terminator moved there).
-    let succs: Vec<BlockId> = caller.block(cont).term.successors();
+    let succs = caller.block(cont).term.successors();
     for s in succs {
         for inst in &mut caller.block_mut(s).insts {
             if let Op::Phi(incs) = &mut inst.op {
@@ -81,7 +81,7 @@ fn inline_site(m: &mut Module, site: CallSite) {
 
     // Clone the callee body.
     let mut bmap: HashMap<BlockId, BlockId> = HashMap::new();
-    for b in callee.block_ids() {
+    for b in callee.block_ids_vec() {
         bmap.insert(b, caller.add_block());
     }
     let mut vmap: HashMap<ValueId, Operand> = HashMap::new();
@@ -89,7 +89,7 @@ fn inline_site(m: &mut Module, site: CallSite) {
         vmap.insert(*p, *a);
     }
     let mut returns: Vec<(BlockId, Option<Operand>)> = Vec::new();
-    for b in callee.block_ids() {
+    for b in callee.block_ids_vec() {
         // First allocate fresh destinations (φs may reference forward).
         for inst in &callee.block(b).insts {
             if let Some(d) = inst.dest {
@@ -98,7 +98,7 @@ fn inline_site(m: &mut Module, site: CallSite) {
             }
         }
     }
-    for b in callee.block_ids() {
+    for b in callee.block_ids_vec() {
         let nb = bmap[&b];
         for inst in &callee.block(b).insts {
             let mut op = inst.op.clone();
@@ -302,7 +302,7 @@ impl Pass for FunctionAttrs {
 
     fn run(&self, m: &mut Module) -> bool {
         let mut changed = false;
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             let f = m.func_mut(fid);
             if f.inline_hint == InlineHint::None && f.inst_count() <= 4 && f.name != "main" {
                 f.inline_hint = InlineHint::Always;
@@ -332,7 +332,7 @@ impl Pass for DeadArgElim {
         // Entry points keep their signatures (nothing calls them, but their
         // ABI is externally visible; also `main` is invoked by the runner).
         let counts = call_counts(m);
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             if counts[fid.0 as usize] == 0 {
                 continue;
             }
@@ -359,9 +359,9 @@ impl Pass for DeadArgElim {
                 });
             }
             // Fix every call site.
-            for caller in m.func_ids() {
+            for caller in m.func_ids_vec() {
                 let cf = m.func_mut(caller);
-                for bid in cf.block_ids() {
+                for bid in cf.block_ids_vec() {
                     for inst in &mut cf.block_mut(bid).insts {
                         if let Op::Call { callee, args } = &mut inst.op {
                             if *callee == fid {
@@ -401,7 +401,7 @@ impl Pass for GlobalDce {
         loop {
             let counts = call_counts(m);
             let dead: Vec<FuncId> = m
-                .func_ids()
+                .func_ids_vec()
                 .into_iter()
                 .filter(|fid| counts[fid.0 as usize] == 0 && m.func(*fid).name != "main")
                 .collect();
@@ -453,7 +453,7 @@ impl Pass for MergeFunc {
         }
         let mut canon: HashMap<String, FuncId> = HashMap::new();
         let mut redirect: HashMap<FuncId, FuncId> = HashMap::new();
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             let f = m.func(fid);
             let Some(key) = body_key(m, f) else { continue };
             match canon.get(&key) {
@@ -468,9 +468,9 @@ impl Pass for MergeFunc {
         if redirect.is_empty() {
             return false;
         }
-        for caller in m.func_ids() {
+        for caller in m.func_ids_vec() {
             let cf = m.func_mut(caller);
-            for bid in cf.block_ids() {
+            for bid in cf.block_ids_vec() {
                 for inst in &mut cf.block_mut(bid).insts {
                     if let Op::Call { callee, .. } = &mut inst.op {
                         if let Some(rep) = redirect.get(callee) {

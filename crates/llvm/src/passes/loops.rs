@@ -4,23 +4,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cg_ir::analysis::{find_loops, Cfg, DomTree, Loop};
+use cg_ir::analysis::{Cfg, Loop};
 use cg_ir::{BinOp, BlockId, Function, Inst, Module, Op, Operand, Pred, Terminator, Type, ValueId};
 
 use crate::pass::{Pass, PassEffect};
-
-/// Runs a function-local transform over every function, recording exactly
-/// which functions changed (the invalidation set for incremental
-/// observations).
-fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> PassEffect {
-    let mut touched = Vec::new();
-    for fid in m.func_ids() {
-        if f(m.func_mut(fid)) {
-            touched.push(fid);
-        }
-    }
-    PassEffect::funcs(touched)
-}
 
 /// Values defined outside the loop (or constants/globals) are invariant.
 fn defs_in_loop(f: &Function, l: &Loop) -> HashSet<ValueId> {
@@ -67,15 +54,15 @@ impl Pass for LoopSimplify {
         "insert dedicated loop preheaders".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
-        for_each_function(m, |f| {
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
+        crate::util::for_each_function_with(m, am, |fid, m, am| {
             let mut changed = false;
             loop {
-                let cfg = Cfg::compute(f);
-                let dom = DomTree::compute(f, &cfg);
-                let loops = find_loops(f, &cfg, &dom);
+                let cfg = am.cfg(fid, m.func(fid));
+                let loops = am.loops(fid, m.func(fid));
+                let f = m.func_mut(fid);
                 let mut did = false;
-                for l in &loops {
+                for l in loops.iter() {
                     if preheader(f, &cfg, l).is_some() {
                         continue;
                     }
@@ -159,13 +146,13 @@ impl Pass for Licm {
         "hoist loop-invariant computation to the preheader".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
-        for_each_function(m, |f| {
-            let cfg = Cfg::compute(f);
-            let dom = DomTree::compute(f, &cfg);
-            let loops = find_loops(f, &cfg, &dom);
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
+        crate::util::for_each_function_with(m, am, |fid, m, am| {
+            let cfg = am.cfg(fid, m.func(fid));
+            let loops = am.loops(fid, m.func(fid));
+            let f = m.func_mut(fid);
             let mut changed = false;
-            for l in &loops {
+            for l in loops.iter() {
                 let Some(pre) = preheader(f, &cfg, l) else {
                     continue;
                 };
@@ -292,7 +279,7 @@ fn recognize_counted(f: &Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
     {
         let cmp_dest = cmp.dest;
         let mut escaped = false;
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             for inst in &f.block(bid).insts {
                 inst.op.for_each_operand(|o| {
                     if o.as_value() == cmp_dest {
@@ -568,17 +555,16 @@ impl Pass for LoopUnroll {
         "unroll counted loops (trading size for cycles)".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
         let mut touched = Vec::new();
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             let mut func_changed = false;
             loop {
+                let cfg = am.cfg(fid, m.func(fid));
+                let loops = am.loops(fid, m.func(fid));
                 let f = m.func_mut(fid);
-                let cfg = Cfg::compute(f);
-                let dom = DomTree::compute(f, &cfg);
-                let loops = find_loops(f, &cfg, &dom);
                 let mut did = false;
-                for l in &loops {
+                for l in loops.iter() {
                     let Some(cl) = recognize_counted(f, &cfg, l) else {
                         continue;
                     };
@@ -648,16 +634,15 @@ impl Pass for LoopPeel {
         "clone leading loop iterations into the preheader".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
         let k = self.k as u64;
         let mut touched = Vec::new();
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             let mut func_changed = false;
+            let cfg = am.cfg(fid, m.func(fid));
+            let loops = am.loops(fid, m.func(fid));
             let f = m.func_mut(fid);
-            let cfg = Cfg::compute(f);
-            let dom = DomTree::compute(f, &cfg);
-            let loops = find_loops(f, &cfg, &dom);
-            for l in &loops {
+            for l in loops.iter() {
                 let Some(cl) = recognize_counted(f, &cfg, l) else {
                     continue;
                 };
@@ -734,15 +719,15 @@ impl Pass for LoopDeletion {
         "delete effect-free loops whose values are unused outside".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
-        for_each_function(m, |f| {
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
+        crate::util::for_each_function_with(m, am, |fid, m, am| {
             let mut changed = false;
             loop {
-                let cfg = Cfg::compute(f);
-                let dom = DomTree::compute(f, &cfg);
-                let loops = find_loops(f, &cfg, &dom);
+                let cfg = am.cfg(fid, m.func(fid));
+                let loops = am.loops(fid, m.func(fid));
+                let f = m.func_mut(fid);
                 let mut did = false;
-                for l in &loops {
+                for l in loops.iter() {
                     let Some(pre) = preheader(f, &cfg, l) else {
                         continue;
                     };
@@ -761,7 +746,7 @@ impl Pass for LoopDeletion {
                     // No inside-defined value used outside?
                     let defs = defs_in_loop(f, l);
                     let mut escaped = false;
-                    for b in f.block_ids() {
+                    for b in f.block_ids_vec() {
                         if l.contains(b) {
                             continue;
                         }
@@ -841,20 +826,20 @@ impl Pass for IndVarSimplify {
         "replace post-loop uses of induction variables with final values".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
-        for_each_function(m, |f| {
-            let cfg = Cfg::compute(f);
-            let dom = DomTree::compute(f, &cfg);
-            let loops = find_loops(f, &cfg, &dom);
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
+        crate::util::for_each_function_with(m, am, |fid, m, am| {
+            let cfg = am.cfg(fid, m.func(fid));
+            let loops = am.loops(fid, m.func(fid));
+            let f = m.func_mut(fid);
             let mut changed = false;
-            for l in &loops {
+            for l in loops.iter() {
                 let Some(cl) = recognize_counted(f, &cfg, l) else {
                     continue;
                 };
                 let fin = cl.init.wrapping_add((cl.trip as i64).wrapping_mul(cl.step));
                 let _ = cl.limit;
                 // Replace uses of φ_i in blocks outside the loop.
-                for b in f.block_ids() {
+                for b in f.block_ids_vec() {
                     if l.contains(b) {
                         continue;
                     }
@@ -885,6 +870,7 @@ impl Pass for IndVarSimplify {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cg_ir::analysis::{find_loops, DomTree};
     use cg_ir::builder::ModuleBuilder;
     use cg_ir::interp::{run_main, ExecLimits};
     use cg_ir::verify::verify_module;

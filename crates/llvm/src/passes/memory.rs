@@ -4,7 +4,6 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cg_ir::analysis::{Cfg, DomTree};
 use cg_ir::{BlockId, Constant, Function, Inst, Module, Op, Operand, Type, ValueId};
 
 use crate::pass::{Pass, PassEffect};
@@ -14,7 +13,7 @@ use crate::pass::{Pass, PassEffect};
 /// observations).
 fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> PassEffect {
     let mut touched = Vec::new();
-    for fid in m.func_ids() {
+    for fid in m.func_ids_vec() {
         if f(m.func_mut(fid)) {
             touched.push(fid);
         }
@@ -40,7 +39,12 @@ fn zero_of(ty: Type) -> Option<Constant> {
 pub struct Mem2Reg;
 
 impl Mem2Reg {
-    fn promote_function(f: &mut Function) -> bool {
+    fn promote_function_with(
+        fid: cg_ir::FuncId,
+        m: &mut Module,
+        am: &mut cg_ir::AnalysisManager,
+    ) -> bool {
+        let f = m.func(fid);
         // 1. Find promotable allocas: single-slot, used only as the direct
         //    pointer of loads and stores (not stored *as a value*, no gep,
         //    no call, no escape), with a consistent access type.
@@ -52,7 +56,7 @@ impl Mem2Reg {
         }
         let mut direct: HashMap<ValueId, Cand> = HashMap::new();
         let mut banned: HashSet<ValueId> = HashSet::new();
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             for inst in &f.block(bid).insts {
                 if let (Some(d), Op::Alloca { slots: 1 }) = (inst.dest, &inst.op) {
                     direct.insert(
@@ -69,7 +73,7 @@ impl Mem2Reg {
         if direct.is_empty() {
             return false;
         }
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             for inst in &f.block(bid).insts {
                 match &inst.op {
                     Op::Load { ptr } => {
@@ -119,7 +123,7 @@ impl Mem2Reg {
         // the load type bans promotion. (Type of stored operand: constants
         // know theirs; values need the type table.)
         let types = crate::util::value_types(f);
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             for inst in &f.block(bid).insts {
                 if let Op::Store { ptr, value } = &inst.op {
                     if let Some(v) = ptr.as_value() {
@@ -167,9 +171,9 @@ impl Mem2Reg {
             return false;
         }
 
-        let cfg = Cfg::compute(f);
-        let dom = DomTree::compute(f, &cfg);
-        let df = dom.dominance_frontiers(&cfg);
+        let dom = am.dom(fid, m.func(fid));
+        let df = am.frontiers(fid, m.func(fid));
+        let f = m.func_mut(fid);
 
         // 2. Insert φ placeholders at iterated dominance frontiers.
         // phi_site[(block, cand_idx)] = φ value id
@@ -268,7 +272,7 @@ impl Mem2Reg {
                         }
                     }
                     // Feed successors' φ placeholders.
-                    let mut succs: Vec<BlockId> = f.block(b).term.successors();
+                    let mut succs = f.block(b).term.successors().to_vec();
                     succs.sort();
                     succs.dedup();
                     for s in succs {
@@ -327,7 +331,7 @@ impl Mem2Reg {
                 (k, v)
             })
             .collect();
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             let block = f.block_mut(bid);
             for inst in &mut block.insts {
                 inst.op.for_each_operand_mut(|o| {
@@ -346,7 +350,7 @@ impl Mem2Reg {
                 }
             });
         }
-        for bid in f.block_ids() {
+        for bid in f.block_ids_vec() {
             let dead_store_idx: HashSet<usize> = dead_stores
                 .iter()
                 .filter(|(b, _)| *b == bid)
@@ -374,8 +378,12 @@ impl Pass for Mem2Reg {
         "promote non-escaping single-cell allocas to SSA values".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
-        for_each_function(m, Mem2Reg::promote_function)
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
+        crate::util::for_each_function_with(m, am, Mem2Reg::promote_function_with)
     }
 }
 
@@ -414,14 +422,18 @@ impl Pass for Sroa {
         "split constant-indexed aggregate allocas into scalars".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         let max_slots = self.max_slots;
         let effect = for_each_function(m, |f| {
             // alloca -> slots, plus the geps that index it.
             let mut aggs: HashMap<ValueId, u32> = HashMap::new();
             let mut banned: HashSet<ValueId> = HashSet::new();
             let mut geps: HashMap<ValueId, (ValueId, i64)> = HashMap::new(); // gep -> (alloca, off)
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 for inst in &f.block(bid).insts {
                     if let (Some(d), Op::Alloca { slots }) = (inst.dest, &inst.op) {
                         if *slots > 1 && *slots <= max_slots {
@@ -433,7 +445,7 @@ impl Pass for Sroa {
             if aggs.is_empty() {
                 return false;
             }
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 for inst in &f.block(bid).insts {
                     match &inst.op {
                         Op::Gep { base, offset } => {
@@ -482,7 +494,7 @@ impl Pass for Sroa {
                 }
             }
             // Also ban aggregates whose geps escape beyond load/store.
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 for inst in &f.block(bid).insts {
                     let check = |o: &Operand, banned: &mut HashSet<ValueId>| {
                         if let Some(v) = o.as_value() {
@@ -516,7 +528,7 @@ impl Pass for Sroa {
             for (agg, slots) in targets {
                 // Create scalar allocas right after the aggregate's alloca.
                 let mut scalars: Vec<ValueId> = Vec::with_capacity(slots as usize);
-                'outer: for bid in f.block_ids() {
+                'outer: for bid in f.block_ids_vec() {
                     let n = f.block(bid).insts.len();
                     for ii in 0..n {
                         if f.block(bid).insts[ii].dest == Some(agg) {
@@ -542,7 +554,7 @@ impl Pass for Sroa {
                     .collect();
                 for (g, off) in relevant {
                     f.replace_all_uses(g, Operand::Value(scalars[off as usize]));
-                    for bid in f.block_ids() {
+                    for bid in f.block_ids_vec() {
                         f.block_mut(bid).insts.retain(|i| i.dest != Some(g));
                     }
                 }
@@ -568,10 +580,14 @@ impl Pass for Dse {
         "remove stores overwritten before any possible read".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 let block = f.block(bid);
                 let mut dead: HashSet<usize> = HashSet::new();
                 // pending[ptr operand] = index of the most recent store.
@@ -620,10 +636,14 @@ impl Pass for LoadElim {
         "forward stored values to subsequent loads within a block".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut subs: Vec<(ValueId, Operand)> = Vec::new();
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 let mut known: HashMap<Operand, Operand> = HashMap::new();
                 for inst in &f.block(bid).insts {
                     match &inst.op {
@@ -666,7 +686,7 @@ impl Pass for LoadElim {
             for (d, v) in subs {
                 f.replace_all_uses(d, resolve(v));
             }
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 f.block_mut(bid)
                     .insts
                     .retain(|i| i.dest.map(|d| !dead.contains(&d)).unwrap_or(true));
@@ -690,15 +710,19 @@ impl Pass for GlobalOpt {
         "constant-promote globals and fold constant-offset loads".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         let mut changed = false;
         // 1. A global never stored through (directly or via gep) is constant.
         let mut stored: HashSet<u32> = HashSet::new();
         // Track geps of globals: gep value -> global index (per function).
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             let f = m.func(fid);
             let mut gep_of: HashMap<ValueId, u32> = HashMap::new();
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 for inst in &f.block(bid).insts {
                     if let (Some(d), Op::Gep { base, .. }) = (inst.dest, &inst.op) {
                         match base {
@@ -715,7 +739,7 @@ impl Pass for GlobalOpt {
                     }
                 }
             }
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 for inst in &f.block(bid).insts {
                     if let Op::Store { ptr, .. } = &inst.op {
                         match ptr {
@@ -757,7 +781,7 @@ impl Pass for GlobalOpt {
         let fold = for_each_function(m, |f| {
             // gep value -> (global, const offset)
             let mut gep_const: HashMap<ValueId, (u32, i64)> = HashMap::new();
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 for inst in &f.block(bid).insts {
                     if let (Some(d), Op::Gep { base, offset }) = (inst.dest, &inst.op) {
                         if let (Operand::Global(g), Some(off)) = (base, offset.as_const_int()) {
@@ -767,7 +791,7 @@ impl Pass for GlobalOpt {
                 }
             }
             let mut subs: Vec<(ValueId, Constant)> = Vec::new();
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 for inst in &f.block(bid).insts {
                     let Op::Load { ptr } = &inst.op else { continue };
                     let target = match ptr {
@@ -794,7 +818,7 @@ impl Pass for GlobalOpt {
             for (d, c) in subs {
                 f.replace_all_uses(d, Operand::Const(c));
             }
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 f.block_mut(bid)
                     .insts
                     .retain(|i| i.dest.map(|d| !dead.contains(&d)).unwrap_or(true));
@@ -852,7 +876,7 @@ mod tests {
         let after = run_main(&m, &ExecLimits::default()).unwrap();
         assert_eq!(before.ret, after.ret);
         // No memory operations remain.
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             for b in m.func(fid).blocks() {
                 for inst in &b.insts {
                     assert!(
@@ -868,7 +892,7 @@ mod tests {
         }
         // And a φ was created at the join.
         let has_phi = m
-            .func_ids()
+            .func_ids_vec()
             .iter()
             .flat_map(|fid| m.func(*fid).blocks().collect::<Vec<_>>())
             .any(|b| b.insts.iter().any(|i| matches!(i.op, Op::Phi(_))));

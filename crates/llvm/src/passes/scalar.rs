@@ -4,18 +4,17 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cg_ir::analysis::{Cfg, DomTree};
 use cg_ir::{BinOp, BlockId, Constant, Function, Module, Op, Operand, Pred, Type, ValueId};
 
 use crate::pass::{Pass, PassEffect};
-use crate::util::{fold_op, use_counts};
+use crate::util::{fold_op, for_each_function_with, use_counts};
 
 /// Runs a function-local transform over every function, recording exactly
 /// which functions changed — the precise invalidation set for incremental
 /// observations.
 fn for_each_function(m: &mut Module, mut f: impl FnMut(&mut Function) -> bool) -> PassEffect {
     let mut touched = Vec::new();
-    for fid in m.func_ids() {
+    for fid in m.func_ids_vec() {
         if f(m.func_mut(fid)) {
             touched.push(fid);
         }
@@ -37,13 +36,17 @@ impl Pass for Dce {
         "remove pure instructions with unused results".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
                 let uses = use_counts(f);
                 let mut removed = false;
-                for bid in f.block_ids() {
+                for bid in f.block_ids_vec() {
                     let block = f.block_mut(bid);
                     let before = block.insts.len();
                     block.insts.retain(|inst| match inst.dest {
@@ -76,11 +79,15 @@ impl Pass for Die {
         "single-sweep dead instruction elimination".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let uses = use_counts(f);
             let mut removed = false;
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 let block = f.block_mut(bid);
                 let before = block.insts.len();
                 block.insts.retain(|inst| match inst.dest {
@@ -108,13 +115,17 @@ impl Pass for Adce {
         "aggressive DCE that removes dead phi cycles".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             // Roots: operands of side-effecting instructions and terminators.
             let mut live: HashSet<ValueId> = HashSet::new();
             let mut work: Vec<ValueId> = Vec::new();
             let mut def_ops: HashMap<ValueId, Vec<ValueId>> = HashMap::new();
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 let b = f.block(bid);
                 for inst in &b.insts {
                     if let Some(d) = inst.dest {
@@ -148,7 +159,7 @@ impl Pass for Adce {
                 }
             }
             let mut removed = false;
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 let block = f.block_mut(bid);
                 let before = block.insts.len();
                 block.insts.retain(|inst| match inst.dest {
@@ -176,12 +187,16 @@ impl Pass for ConstFold {
         "fold instructions with all-constant operands".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
                 let mut subs: Vec<(ValueId, Constant)> = Vec::new();
-                for bid in f.block_ids() {
+                for bid in f.block_ids_vec() {
                     for inst in &f.block(bid).insts {
                         if let (Some(d), Some(c)) = (inst.dest, fold_op(&inst.op)) {
                             subs.push((d, c));
@@ -376,7 +391,11 @@ impl Pass for InstCombine {
         "algebraic simplification of instructions".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         let rewrite = self.rewrite;
         for_each_function(m, |f| {
             let mut changed = false;
@@ -386,14 +405,14 @@ impl Pass for InstCombine {
                 let mut subs: Vec<(ValueId, Operand)> = Vec::new();
                 // Map value -> defining op for not(not x) / neg(neg x).
                 let mut defs: HashMap<ValueId, Op> = HashMap::new();
-                for bid in f.block_ids() {
+                for bid in f.block_ids_vec() {
                     for inst in &f.block(bid).insts {
                         if let Some(d) = inst.dest {
                             defs.insert(d, inst.op.clone());
                         }
                     }
                 }
-                for bid in f.block_ids() {
+                for bid in f.block_ids_vec() {
                     for inst in &f.block(bid).insts {
                         let Some(d) = inst.dest else { continue };
                         if let Some(rep) = Self::simplify(&inst.op) {
@@ -434,7 +453,7 @@ impl Pass for InstCombine {
                 }
                 // Phase 2: rewrites that change the op in place.
                 if rewrite {
-                    for bid in f.block_ids() {
+                    for bid in f.block_ids_vec() {
                         for inst in &mut f.block_mut(bid).insts {
                             let new_op = match &inst.op {
                                 // 0 - x → neg x
@@ -491,12 +510,16 @@ impl Pass for Reassociate {
         "fold constant chains of commutative operations".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
                 let mut defs: HashMap<ValueId, Op> = HashMap::new();
-                for bid in f.block_ids() {
+                for bid in f.block_ids_vec() {
                     for inst in &f.block(bid).insts {
                         if let Some(d) = inst.dest {
                             defs.insert(d, inst.op.clone());
@@ -504,7 +527,7 @@ impl Pass for Reassociate {
                     }
                 }
                 let mut round = false;
-                for bid in f.block_ids() {
+                for bid in f.block_ids_vec() {
                     for inst in &mut f.block_mut(bid).insts {
                         let Op::Bin(b, x, y) = &inst.op else { continue };
                         if !b.is_commutative() || b.ty() != Type::I64 {
@@ -557,10 +580,14 @@ impl Pass for EarlyCse {
         "dominator-scoped CSE of pure expressions".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
-        for_each_function(m, |f| {
-            let cfg = Cfg::compute(f);
-            let dom = DomTree::compute(f, &cfg);
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
+        for_each_function_with(m, am, |fid, m, am| {
+            let dom = am.dom(fid, m.func(fid));
+            let f = m.func_mut(fid);
             // Dominator-tree preorder walk with a scoped table.
             let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
             for &b in dom.rpo() {
@@ -628,7 +655,7 @@ impl Pass for EarlyCse {
             for (d, rep) in subs {
                 f.replace_all_uses(d, Operand::Value(rep));
             }
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 f.block_mut(bid)
                     .insts
                     .retain(|i| i.dest.map(|v| !dead.contains(&v)).unwrap_or(true));
@@ -652,9 +679,13 @@ impl Pass for EarlyCseMemssa {
         "CSE of pure expressions plus store-to-load forwarding".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
-        let mut a = EarlyCse.run_tracked(m);
-        let b = crate::passes::memory::LoadElim.run_tracked(m);
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
+        let mut a = EarlyCse.run_with(m, am);
+        let b = crate::passes::memory::LoadElim.run_with(m, am);
         a.changed |= b.changed;
         a.touched.merge(b.touched);
         a
@@ -675,15 +706,19 @@ impl Pass for Sink {
         "sink single-use pure instructions toward their use".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
-        for_each_function(m, |f| {
-            let cfg = Cfg::compute(f);
-            let dom = DomTree::compute(f, &cfg);
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, am: &mut cg_ir::AnalysisManager) -> PassEffect {
+        for_each_function_with(m, am, |fid, m, am| {
+            let dom = am.dom(fid, m.func(fid));
+            let f = m.func_mut(fid);
             let uses = use_counts(f);
             // Find, for each single-use value, the block and inst index of
             // its use (excluding φ uses and terminator uses).
             let mut use_site: HashMap<ValueId, (BlockId, usize)> = HashMap::new();
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 for (i, inst) in f.block(bid).insts.iter().enumerate() {
                     if matches!(inst.op, Op::Phi(_)) {
                         continue;
@@ -696,7 +731,7 @@ impl Pass for Sink {
                 }
             }
             let mut moved = false;
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 let mut i = 0;
                 while i < f.block(bid).insts.len() {
                     let inst = &f.block(bid).insts[i];
@@ -744,12 +779,16 @@ impl Pass for PhiSimplify {
         "remove trivial phi nodes".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
             loop {
                 let mut subs: Vec<(ValueId, Operand)> = Vec::new();
-                for bid in f.block_ids() {
+                for bid in f.block_ids_vec() {
                     for inst in &f.block(bid).insts {
                         let (Some(d), Op::Phi(incs)) = (inst.dest, &inst.op) else {
                             continue;
@@ -802,10 +841,14 @@ impl Pass for StrengthReduce {
         "rewrite multiplications by powers of two into shifts".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn preserved(&self) -> crate::pass::Preserved {
+        crate::pass::Preserved::Cfg
+    }
+
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         for_each_function(m, |f| {
             let mut changed = false;
-            for bid in f.block_ids() {
+            for bid in f.block_ids_vec() {
                 for inst in &mut f.block_mut(bid).insts {
                     if let Op::Bin(BinOp::Mul, x, y) = &inst.op {
                         let (val, konst) = if let Some(c) = y.as_const_int() {

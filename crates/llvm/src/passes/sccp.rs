@@ -63,7 +63,7 @@ fn sccp_solve(
             }
             revisit = true;
         }
-        for b in f.block_ids() {
+        for b in f.block_ids_vec() {
             if !executable.contains(&b) {
                 continue;
             }
@@ -209,7 +209,7 @@ fn sccp_apply(
         changed = true;
     }
     // Fold branches leading into unexecutable blocks.
-    for bid in f.block_ids() {
+    for bid in f.block_ids_vec() {
         if !executable.contains(&bid) {
             continue;
         }
@@ -252,9 +252,9 @@ impl Pass for Sccp {
         "sparse conditional constant propagation".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         let mut touched = Vec::new();
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             let f = m.func_mut(fid);
             let (values, executable) = sccp_solve(f, &HashMap::new());
             if sccp_apply(f, &values, &executable) {
@@ -279,11 +279,11 @@ impl Pass for IpSccp {
         "interprocedural constant propagation into parameters".into()
     }
 
-    fn run_tracked(&self, m: &mut Module) -> PassEffect {
+    fn run_with(&self, m: &mut Module, _am: &mut cg_ir::AnalysisManager) -> PassEffect {
         // Gather, per function parameter, the meet of all actual arguments.
         let mut param_lattice: HashMap<FuncId, Vec<Lattice>> = HashMap::new();
         let mut called: HashSet<FuncId> = HashSet::new();
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             for b in m.func(fid).blocks() {
                 for inst in &b.insts {
                     if let Op::Call { callee, args } = &inst.op {
@@ -303,7 +303,7 @@ impl Pass for IpSccp {
             }
         }
         let mut touched = Vec::new();
-        for fid in m.func_ids() {
+        for fid in m.func_ids_vec() {
             // Entry points (uncalled functions, e.g. main) have unknown
             // external parameters — treat as Over.
             let seeds: HashMap<ValueId, Lattice> = match param_lattice.get(&fid) {

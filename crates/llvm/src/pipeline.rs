@@ -118,11 +118,30 @@ impl OptLevel {
 
 /// Runs a sequence of named passes over a module. Unknown names panic (the
 /// pipelines only reference registry passes, checked by tests).
+///
+/// One [`cg_ir::AnalysisManager`] persists across the whole sequence, so a
+/// pass whose predecessor left a function (or its CFG shape) unchanged
+/// reuses the cached dominator tree and loop forest instead of recomputing.
 pub fn run_passes(module: &mut Module, names: &[&str]) -> bool {
+    let mut am = cg_ir::AnalysisManager::new();
+    run_passes_with(module, names, &mut am)
+}
+
+/// Like [`run_passes`], but against a caller-supplied analysis manager.
+///
+/// Callers that run several pipelines over the same module (searchers,
+/// benchmark harnesses) can keep one manager alive across calls; passing
+/// [`cg_ir::AnalysisManager::disabled`] instead measures the
+/// always-recompute cost (the `--no-analysis-cache` mode of `cg bench-ir`).
+pub fn run_passes_with(
+    module: &mut Module,
+    names: &[&str],
+    am: &mut cg_ir::AnalysisManager,
+) -> bool {
     let mut changed = false;
     for name in names {
         let pass = find_pass(name).unwrap_or_else(|| panic!("unknown pass `{name}`"));
-        changed |= pass.run(module);
+        changed |= crate::pass::run_pass_with(pass.as_ref(), module, am).changed;
     }
     changed
 }
@@ -134,10 +153,11 @@ pub fn run_passes(module: &mut Module, names: &[&str]) -> bool {
 /// name (e.g. after a registry rename) must surface as an error the
 /// regression runner can report, not a panic.
 pub fn try_run_passes(module: &mut Module, names: &[String]) -> Result<bool, String> {
+    let mut am = cg_ir::AnalysisManager::new();
     let mut changed = false;
     for name in names {
         let pass = find_pass(name).ok_or_else(|| format!("unknown pass `{name}`"))?;
-        changed |= pass.run(module);
+        changed |= crate::pass::run_pass_with(pass.as_ref(), module, &mut am).changed;
     }
     Ok(changed)
 }

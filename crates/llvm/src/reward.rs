@@ -67,7 +67,7 @@ fn terminator_size(t: &Terminator) -> u64 {
 /// function alignment.
 pub fn binary_size(m: &Module) -> u64 {
     let mut total = 0u64;
-    for fid in m.func_ids() {
+    for fid in m.func_ids_vec() {
         let f = m.func(fid);
         let mut fsize = 12; // prologue + epilogue
         for b in f.blocks() {

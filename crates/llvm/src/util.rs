@@ -3,13 +3,36 @@
 use std::collections::HashMap;
 
 use cg_ir::interp::{eval_bin, eval_cast, eval_fcmp, eval_icmp, Value};
-use cg_ir::{Constant, Function, Module, Op, Operand, Type, ValueId};
+use cg_ir::{AnalysisManager, Constant, FuncId, Function, Module, Op, Operand, Type, ValueId};
+
+use crate::pass::PassEffect;
+
+/// Runs a function-local transform over every function with access to the
+/// shared analysis cache, recording exactly which functions changed — the
+/// precise invalidation set for incremental observations. The body fetches
+/// whatever analyses it needs via `am.cfg(fid, m.func(fid))` and friends
+/// *before* taking `m.func_mut(fid)`; a session-owned manager turns those
+/// fetches into cache hits whenever the preceding pass left the function
+/// (or its CFG shape) untouched.
+pub fn for_each_function_with(
+    m: &mut Module,
+    am: &mut AnalysisManager,
+    mut body: impl FnMut(FuncId, &mut Module, &mut AnalysisManager) -> bool,
+) -> PassEffect {
+    let mut touched = Vec::new();
+    for fid in m.func_ids_vec() {
+        if body(fid, m, am) {
+            touched.push(fid);
+        }
+    }
+    PassEffect::funcs(touched)
+}
 
 /// Dense per-value use counts (indexed by `ValueId.0`), counting uses in
 /// instructions and terminators.
 pub fn use_counts(f: &Function) -> Vec<u32> {
     let mut counts = vec![0u32; f.value_bound() as usize];
-    for id in f.block_ids() {
+    for id in f.block_ids_vec() {
         let b = f.block(id);
         for inst in &b.insts {
             inst.op.for_each_operand(|o| {
@@ -33,7 +56,7 @@ pub fn value_types(f: &Function) -> HashMap<ValueId, Type> {
     for (v, t) in &f.params {
         types.insert(*v, *t);
     }
-    for id in f.block_ids() {
+    for id in f.block_ids_vec() {
         for inst in &f.block(id).insts {
             if let Some(d) = inst.dest {
                 types.insert(d, inst.ty);
@@ -174,7 +197,7 @@ pub fn apply_substitutions(f: &mut Function, subs: Vec<(ValueId, Operand)>) {
     resolved.retain(|k, _| dead.contains(k));
     // One sweep over the function rewrites every use (per-substitution
     // `replace_all_uses` would be quadratic on large modules).
-    for bid in f.block_ids() {
+    for bid in f.block_ids_vec() {
         let block = f.block_mut(bid);
         for inst in &mut block.insts {
             inst.op.for_each_operand_mut(|o| {
@@ -203,7 +226,7 @@ pub fn apply_substitutions(f: &mut Function, subs: Vec<(ValueId, Operand)>) {
 /// dense table indexed by `FuncId.0`.
 pub fn call_counts(m: &Module) -> Vec<u32> {
     let mut counts = vec![0u32; m.func_bound() as usize];
-    for fid in m.func_ids() {
+    for fid in m.func_ids_vec() {
         for b in m.func(fid).blocks() {
             for inst in &b.insts {
                 if let Op::Call { callee, .. } = &inst.op {

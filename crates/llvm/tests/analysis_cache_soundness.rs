@@ -1,0 +1,125 @@
+//! Analysis-cache soundness: after every pass application against a shared
+//! [`cg_ir::AnalysisManager`], each analysis still cached for a function
+//! must be structurally equal to a from-scratch recompute on the current
+//! IR. This is the property that makes the whole invalidation design safe
+//! to trust: a pass that over-claims `preserved()` (keeping a dominator
+//! tree across a CFG edit), or a runner that revalidates a function a pass
+//! actually changed, produces a divergent cached analysis — and this test
+//! fails with the function and analysis named.
+
+use proptest::prelude::*;
+
+use cg_ir::AnalysisManager;
+use cg_llvm::action_space::ActionSpace;
+
+fn generate(seed: u64) -> cg_ir::Module {
+    // Rotate through the fuzz profiles so the cache sees loop nests, φ
+    // webs, aliasing memory and call graphs, not just one program shape.
+    let name = cg_datasets::synth::FUZZ_PROFILES[(seed % 5) as usize];
+    let profile = cg_datasets::synth::Profile::named(name).unwrap();
+    cg_datasets::synth::generate(&profile, seed, "am-soundness")
+}
+
+fn check_sequence(seed: u64, actions: &[usize]) {
+    let space = ActionSpace::new();
+    let mut m = generate(seed);
+    let mut am = AnalysisManager::new();
+    for (step, &a) in actions.iter().enumerate() {
+        space.apply_with(&mut m, a, &mut am);
+        let bad = am.audit(&m);
+        assert!(
+            bad.is_empty(),
+            "cache unsound after step {} (`{}`), seed {}: {}",
+            step,
+            space.pass(a).name(),
+            seed,
+            bad.join("; ")
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random module, random 1–16 pass sequence: the cache must stay
+    /// consistent with fresh recomputes after every single step.
+    #[test]
+    fn cached_analyses_equal_fresh_recomputes(
+        seed in 0u64..50_000,
+        actions in proptest::collection::vec(0usize..124, 1..16),
+    ) {
+        check_sequence(seed, &actions);
+    }
+}
+
+/// One deterministic long walk through analysis-heavy passes (the ones
+/// declaring `Preserved::Cfg` plus CFG restructurers), so the preserve /
+/// revalidate / invalidate paths are all exercised even if the sampled
+/// cases above land elsewhere.
+#[test]
+fn deterministic_analysis_heavy_walk() {
+    let space = ActionSpace::new();
+    let names = [
+        "mem2reg",
+        "gvn",
+        "early-cse",
+        "sink",
+        "simplifycfg",
+        "licm",
+        "loop-unroll-4",
+        "sccp",
+        "instcombine",
+        "dce",
+        "jump-threading",
+        "gvn",
+        "adce",
+        "simplifycfg-aggressive",
+        "inline-100",
+        "globaldce",
+        "dce",
+    ];
+    let actions: Vec<usize> = names
+        .iter()
+        .map(|n| space.index_of(n).expect("registry name"))
+        .collect();
+    for seed in [1u64, 7, 42] {
+        check_sequence(seed, &actions);
+    }
+}
+
+/// The no-op pass memo must be invisible in the produced IR: a repeated
+/// sequence applied through a live manager (which skips memoized no-ops
+/// wholesale) prints byte-identically to the always-recompute run, and the
+/// skips actually fire.
+#[test]
+fn noop_memo_skips_preserve_printed_ir() {
+    let space = ActionSpace::new();
+    let seq: Vec<usize> = ["mem2reg", "gvn", "sccp", "dce", "simplifycfg", "adce"]
+        .iter()
+        .cycle()
+        .take(24)
+        .map(|n| space.index_of(n).unwrap())
+        .collect();
+    let m0 = generate(3);
+
+    let mut cached = m0.clone();
+    let mut am = AnalysisManager::new();
+    cg_ir::am::reset_cache_stats();
+    for &a in &seq {
+        space.apply_with(&mut cached, a, &mut am);
+    }
+    let skips = cg_ir::am::cache_stats().noop_skips;
+    assert!(skips > 0, "repeating a converged sequence never hit the memo");
+
+    let mut plain = m0.clone();
+    let mut off = AnalysisManager::disabled();
+    for &a in &seq {
+        space.apply_with(&mut plain, a, &mut off);
+    }
+    assert_eq!(
+        cg_llvm::observation::ir_text(&cached),
+        cg_llvm::observation::ir_text(&plain),
+        "memoized skips changed the produced IR"
+    );
+}
+

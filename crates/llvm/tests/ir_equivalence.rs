@@ -1,0 +1,81 @@
+//! Differential equivalence gate for the IR core.
+//!
+//! Applies every one of the 124 actions to two fixed benchmarks and pins the
+//! FNV-1a hash of the resulting printed IR. The hashes were captured on the
+//! pre-arena `Vec<Option<Block>>` representation; the arena refactor must
+//! reproduce every one byte-for-byte, which pins down id assignment, layout
+//! order, and every pass's exact behaviour on the new storage.
+//!
+//! Regenerate (only for an *intentional* semantic change, in the same
+//! commit) with:
+//!
+//! ```text
+//! CG_BLESS=1 cargo test -p cg-llvm --test ir_equivalence
+//! ```
+
+use cg_llvm::action_space::ActionSpace;
+
+const GOLDEN: &str = include_str!("goldens/ir_equivalence.txt");
+const BENCHMARKS: [&str; 2] = [
+    "benchmark://cbench-v1/crc32",
+    "benchmark://csmith-v0/12345",
+];
+
+/// One line per (benchmark, action): `uri<TAB>action<TAB>hash`, plus a
+/// `<uri><TAB><baseline><TAB>hash` line for the unoptimized module.
+fn current_table() -> String {
+    let space = ActionSpace::new();
+    let mut out = String::new();
+    for uri in BENCHMARKS {
+        let base = cg_datasets::benchmark(uri).unwrap();
+        out.push_str(&format!(
+            "{uri}\t<baseline>\t{:016x}\n",
+            cg_ir::module_hash(&base)
+        ));
+        for i in 0..space.len() {
+            let mut m = base.clone();
+            space.apply(&mut m, i);
+            cg_ir::verify::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{uri}: {} broke the module: {e}", space.pass(i).name()));
+            out.push_str(&format!(
+                "{uri}\t{}\t{:016x}\n",
+                space.pass(i).name(),
+                cg_ir::module_hash(&m)
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn printed_ir_is_byte_identical_for_all_actions() {
+    let table = current_table();
+    if std::env::var_os("CG_BLESS").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/ir_equivalence.txt");
+        std::fs::write(path, &table).unwrap();
+        eprintln!("blessed {path}");
+        return;
+    }
+    // Compare line-by-line so a drift names the exact (benchmark, action).
+    let want: Vec<&str> = GOLDEN.lines().collect();
+    let got: Vec<&str> = table.lines().collect();
+    assert_eq!(
+        want.len(),
+        got.len(),
+        "golden table has {} entries, current build produced {}",
+        want.len(),
+        got.len()
+    );
+    let mut drifted = Vec::new();
+    for (w, g) in want.iter().zip(&got) {
+        if w != g {
+            drifted.push(format!("expected `{w}`, got `{g}`"));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "printed IR drifted for {} action(s):\n{}",
+        drifted.len(),
+        drifted.join("\n")
+    );
+}

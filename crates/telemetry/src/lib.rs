@@ -380,6 +380,7 @@ pub struct PassStats {
     total_micros: Counter,
     changed: Counter,
     inst_delta: AtomicI64,
+    wall: Histogram,
 }
 
 impl PassStats {
@@ -393,15 +394,19 @@ impl PassStats {
             self.changed.inc();
         }
         self.inst_delta.fetch_add(inst_delta, Ordering::Relaxed);
+        self.wall.record_duration(wall);
     }
 
     /// Captures the summary.
     pub fn snapshot(&self) -> PassSnapshot {
+        let wall = self.wall.snapshot();
         PassSnapshot {
             calls: self.calls.get(),
             total_micros: self.total_micros.get(),
             changed: self.changed.get(),
             inst_delta: self.inst_delta.load(Ordering::Relaxed),
+            p50_micros: wall.p50_micros,
+            p99_micros: wall.p99_micros,
         }
     }
 
@@ -410,6 +415,7 @@ impl PassStats {
         self.total_micros.reset();
         self.changed.reset();
         self.inst_delta.store(0, Ordering::Relaxed);
+        self.wall.reset();
     }
 }
 
@@ -420,6 +426,11 @@ pub struct PassSnapshot {
     pub total_micros: u64,
     pub changed: u64,
     pub inst_delta: i64,
+    /// Median single-invocation wall time.
+    pub p50_micros: u64,
+    /// Tail single-invocation wall time: regressions in a pass's worst
+    /// case show up here long before they move the total.
+    pub p99_micros: u64,
 }
 
 /// Per-pass profiles keyed by pass name.

@@ -37,28 +37,33 @@ impl BenchmarkGroup {
         self
     }
 
-    /// Runs one benchmark and prints its mean iteration time.
+    /// Runs one benchmark and prints its median iteration time.
+    ///
+    /// The median (not the mean) of the per-sample wall times is reported:
+    /// on shared machines a single descheduled sample can dominate a mean
+    /// of 20, and these numbers gate CI speedup assertions.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
             iters: 0,
-            elapsed_ns: 0,
+            samples_ns: Vec::new(),
         };
         // One untimed warm-up pass, then the timed samples.
         f(&mut b);
         b.iters = 0;
-        b.elapsed_ns = 0;
+        b.samples_ns.clear();
         for _ in 0..self.samples {
             f(&mut b);
         }
-        let mean_ns = if b.iters == 0 {
+        let median_ns = if b.samples_ns.is_empty() {
             0
         } else {
-            b.elapsed_ns / b.iters as u128
+            b.samples_ns.sort_unstable();
+            b.samples_ns[b.samples_ns.len() / 2]
         };
-        println!("  {name}: {} ns/iter ({} iters)", mean_ns, b.iters);
+        println!("  {name}: {} ns/iter ({} iters)", median_ns, b.iters);
         self
     }
 
@@ -70,7 +75,7 @@ impl BenchmarkGroup {
 #[derive(Debug)]
 pub struct Bencher {
     iters: u64,
-    elapsed_ns: u128,
+    samples_ns: Vec<u128>,
 }
 
 impl Bencher {
@@ -78,7 +83,7 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
         black_box(routine());
-        self.elapsed_ns += start.elapsed().as_nanos();
+        self.samples_ns.push(start.elapsed().as_nanos());
         self.iters += 1;
     }
 }
