@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a `cg bench-stdb` report (BENCH_stdb.json).
+
+Gates the transition-store PR's load-bearing claims on every CI run:
+
+ * replay answers from the log, not the compiler: hit rate >= 90% on the
+   trajectories the store just ingested, and replayed episodes are
+   bit-identical to the live ones (max_reward_delta == 0);
+ * replay is actually cheap — at least MIN_SPEEDUP x the live
+   episodes/s (the committed BENCH_stdb.json records well above 10x);
+ * ingest is lossless at bench scale (no dropped records) and the store
+   verifies clean under a cold scrub (no corrupt records, no torn
+   tails) after a real ingest + close cycle.
+
+The speedup floor sits below the committed number so CI machine noise
+does not flake the gate while a real regression still trips it.
+"""
+
+import json
+import sys
+
+MIN_SPEEDUP = 5.0
+MIN_HIT_RATE = 0.9
+
+
+def main(path: str) -> int:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    errors = []
+    for key in ("episodes", "live", "replay", "speedup", "hit_rate",
+                "max_reward_delta", "ingest", "scrub"):
+        if key not in report:
+            errors.append(f"missing top-level key `{key}`")
+    if errors:
+        print("\n".join(errors))
+        return 1
+
+    if report["speedup"] < MIN_SPEEDUP:
+        errors.append(
+            f"replay speedup {report['speedup']:.2f}x < required {MIN_SPEEDUP}x "
+            f"(live {report['live']['episodes_per_sec']:.1f} eps/s, "
+            f"replay {report['replay']['episodes_per_sec']:.1f} eps/s)"
+        )
+    if report["hit_rate"] < MIN_HIT_RATE:
+        errors.append(
+            f"replay hit rate {100 * report['hit_rate']:.1f}% < required "
+            f"{100 * MIN_HIT_RATE:.0f}% "
+            f"(hits={report['replay_hits']} misses={report['replay_misses']})"
+        )
+    if report["max_reward_delta"] != 0.0:
+        errors.append(
+            f"replay diverged from live: max per-episode reward delta "
+            f"{report['max_reward_delta']} (must be exactly 0)"
+        )
+
+    ingest = report["ingest"]
+    if ingest["records"] <= 0:
+        errors.append(f"bench ingested no records: {ingest}")
+    if ingest["dropped"] != 0:
+        errors.append(
+            f"ingest dropped {ingest['dropped']} record(s) at bench scale — "
+            f"the bounded queue must not shed under this load"
+        )
+
+    scrub = report["scrub"]
+    if scrub["records_ok"] != ingest["records"]:
+        errors.append(
+            f"scrub verified {scrub['records_ok']} records but ingest logged "
+            f"{ingest['records']} — records lost between append and fsync"
+        )
+    if scrub["records_corrupt"] != 0 or scrub["torn_tails"] != 0:
+        errors.append(
+            f"store dirty after a clean ingest+close: corrupt="
+            f"{scrub['records_corrupt']} torn_tails={scrub['torn_tails']}"
+        )
+
+    if errors:
+        print("\n".join(errors))
+        return 1
+    print(
+        f"bench-stdb ok: {report['speedup']:.1f}x replay speedup, "
+        f"hit-rate {100 * report['hit_rate']:.1f}%, "
+        f"{ingest['records']} records scrubbed clean, 0 dropped"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_stdb.json"))

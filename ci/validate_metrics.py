@@ -37,6 +37,21 @@ REQUIRED_FAMILIES = [
     "cg_broker_queue_depth",
     "cg_broker_connections",
     "cg_broker_queue_wait_micros",
+    "cg_stdb_ingest_records_total",
+    "cg_stdb_ingest_bytes_total",
+    "cg_stdb_dropped_records_total",
+    "cg_stdb_append_retries_total",
+    "cg_stdb_replay_hits_total",
+    "cg_stdb_replay_misses_total",
+    "cg_stdb_quarantined_records_total",
+    "cg_stdb_torn_tails_total",
+    "cg_stdb_scrub_corrupt_total",
+    "cg_stdb_scrub_repaired_total",
+    "cg_stdb_checkpoint_rejects_total",
+    "cg_stdb_compactions_total",
+    "cg_stdb_segments",
+    "cg_stdb_store_bytes",
+    "cg_stdb_append_wall_micros",
 ]
 
 VALID_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}

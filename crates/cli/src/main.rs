@@ -15,29 +15,41 @@
 //! cg chaos [flags]                          soak episodes under fault injection
 //! cg fuzz [flags]                           differential pass-pipeline fuzzing
 //! cg bench-pool [flags]                     parallel-evaluation throughput report
+//! cg stdb <subcommand> <dir>                transition-store maintenance
+//! cg bench-stdb [flags]                     replay-vs-live throughput report
 //! ```
+//!
+//! Commands that evaluate environments accept `--stdb DIR` to stream every
+//! transition into the durable store at `DIR`; `replay://<env>?dir=DIR`
+//! then serves those episodes back at zero compiler cost.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cg describe <env>\n  cg random <env> <benchmark> <steps>\n  \
+        "usage:\n  cg describe <env>\n  cg random [--stdb DIR] <env> <benchmark> <steps>\n  \
          cg replay <state.json>\n  cg validate <state.json>\n  cg datasets\n  \
-         cg stats [--json] [--slo-ms MS] [--no-analysis-cache] <env> <benchmark> <steps>\n  \
+         cg stdb generate <dir> [--episodes N] [--steps N] [--seed S] [--json]\n  \
+         cg stdb scrub <dir> [--repair] [--json]\n  \
+         cg stdb compact <dir> [--json]\n  \
+         cg stdb stats <dir> [--json]\n  \
+         cg bench-stdb [--episodes N] [--steps N] [--seed S] [--dir DIR] [--out PATH] [--json]\n  \
+         cg stats [--json] [--slo-ms MS] [--no-analysis-cache] [--stdb DIR] <env> <benchmark> <steps>\n  \
          cg bench-ir [--benchmark URI] [--iters N] [--episode-len N] [--out PATH] [--json]\n  \
          cg trace [--episode ID|last] [--json] [--tcp] [--chaos-seed S]\n           \
          [<env> <benchmark> <steps>]\n  \
          cg export-metrics [--jsonl] [--slo-ms MS] [<env> <benchmark> <steps>]\n  \
          cg chaos [--episodes N] [--steps N] [--seed S] [--panic P] [--hang P]\n           \
          [--error P] [--corrupt P] [--wedge P] [--slow-growth P] [--faults LIST]\n           \
+         (LIST kinds: panic,hang,error,corrupt,wedge,slow-growth,stampede,io)\n           \
          [--timeout-ms MS] [--checkpoint-k K] [--budget-wall-ms MS] [--max-growth F]\n           \
          [--watchdog-ms MS] [--breaker N] [--breaker-cooldown-ms MS]\n           \
-         [--serve-metrics ADDR] [--linger-ms MS] [--json]\n  \
+         [--serve-metrics ADDR] [--stdb DIR] [--linger-ms MS] [--json]\n  \
          cg fuzz [--seed-range A..B] [--jobs N] [--profile NAME] [--max-passes N]\n          \
          [--inputs N] [--corpus DIR] [--no-corpus] [--budget-secs N]\n          \
-         [--reduce-budget N] [--smoke] [--json]\n  \
+         [--reduce-budget N] [--stdb DIR] [--smoke] [--json]\n  \
          cg bench-pool [--workers LIST] [--evaluations N] [--length N] [--benchmark URI]\n                \
-         [--ga-budget N] [--ga-pop N] [--seed S] [--out PATH] [--json]\n  \
+         [--ga-budget N] [--ga-pop N] [--seed S] [--stdb DIR] [--out PATH] [--json]\n  \
          cg serve [--addr A] [--env E|--spin-us US] [--workers N] [--max-sessions N]\n           \
          [--tenant-sessions N] [--tenant-aps R] [--burst B] [--queue-depth N]\n           \
          [--quantum Q] [--max-connections N] [--retry-after-ms MS]\n           \
@@ -51,17 +63,14 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The `replay://` scheme lives in cg-stdb; register it up front so any
+    // subcommand can `cg_core::make("replay://...")`.
+    cg_stdb::install();
     let result = match args.first().map(String::as_str) {
         Some("describe") => describe(args.get(1).map(String::as_str).unwrap_or("llvm-v0")),
-        Some("random") => {
-            let env = args.get(1).cloned().unwrap_or_else(|| "llvm-v0".into());
-            let bench = args
-                .get(2)
-                .cloned()
-                .unwrap_or_else(|| "benchmark://cbench-v1/qsort".into());
-            let steps = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
-            random(&env, &bench, steps)
-        }
+        Some("random") => random(&args[1..]),
+        Some("stdb") => stdb_cmd(&args[1..]),
+        Some("bench-stdb") => bench_stdb(&args[1..]),
         Some("replay") => replay(args.get(1).map(String::as_str), false),
         Some("validate") => replay(args.get(1).map(String::as_str), true),
         Some("stats") => stats(&args[1..]),
@@ -142,14 +151,27 @@ fn describe(env_id: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn random(env_id: &str, benchmark: &str, steps: usize) -> Result<(), Box<dyn std::error::Error>> {
+fn random(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use rand::Rng as _;
-    let mut env = cg_core::make(env_id)?;
-    env.set_benchmark(benchmark);
+    let mut stdb_dir: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdb" => {
+                stdb_dir = Some(it.next().ok_or("--stdb needs a directory")?.clone());
+            }
+            _ => positional.push(a),
+        }
+    }
+    let ep = episode_args(&positional);
+    let store = stdb_dir.as_deref().map(install_stdb_sink).transpose()?;
+    let mut env = cg_core::make(&ep.env)?;
+    env.set_benchmark(&ep.bench);
     env.reset()?;
     let mut rng = rand::thread_rng();
     let n = env.action_space().len();
-    for _ in 0..steps {
+    for _ in 0..ep.steps {
         let a = rng.gen_range(0..n);
         let step = env.step(a)?;
         if step.reward != 0.0 {
@@ -158,7 +180,63 @@ fn random(env_id: &str, benchmark: &str, steps: usize) -> Result<(), Box<dyn std
     }
     println!("episode reward: {:+.4}", env.episode_reward());
     println!("state:\n{}", env.state().to_json());
+    drop(env);
+    if let Some(store) = store {
+        store.flush();
+        let s = store.stats();
+        println!(
+            "stdb: {} step(s), {} observation(s), {} dropped → {}",
+            s.steps, s.observations, s.dropped_records, s.dir
+        );
+        cg_core::clear_transition_sink();
+    }
     Ok(())
+}
+
+/// The benchmark rotation every soak and store-generation command shares.
+const SOAK_BENCHMARKS: [&str; 4] = [
+    "benchmark://cbench-v1/qsort",
+    "benchmark://cbench-v1/crc32",
+    "benchmark://cbench-v1/sha",
+    "benchmark://cbench-v1/bitcount",
+];
+
+/// Opens the transition store at `dir` through the shared registry and
+/// installs it as the process-global transition sink, so every environment
+/// evaluation that follows is appended to the durable log.
+fn install_stdb_sink(
+    dir: &str,
+) -> Result<std::sync::Arc<cg_stdb::TransitionStore>, Box<dyn std::error::Error>> {
+    let store = cg_stdb::TransitionStore::open_shared(
+        std::path::Path::new(dir),
+        cg_stdb::StoreConfig::default(),
+    )?;
+    cg_core::install_transition_sink(std::sync::Arc::new(cg_stdb::StoreSink(
+        std::sync::Arc::clone(&store),
+    )));
+    Ok(store)
+}
+
+/// Runs one deterministic episode (the same action schedule `cg chaos`
+/// uses), returning the episode reward. Live and replay environments fed
+/// the same `(seed, ep, steps)` walk identical trajectories, which is what
+/// makes the replay-vs-live comparison meaningful.
+fn seeded_episode(
+    env: &mut cg_core::CompilerEnv,
+    seed: u64,
+    ep: u64,
+    steps: u64,
+) -> Result<f64, cg_core::CgError> {
+    use cg_core::retry::splitmix64;
+    env.reset()?;
+    let n = env.action_space().len() as u64;
+    for s in 0..steps {
+        let a = (splitmix64(seed ^ (ep * 1_000 + s).wrapping_mul(0x9E37)) % n) as usize;
+        if env.step(a)?.done {
+            break;
+        }
+    }
+    Ok(env.episode_reward())
 }
 
 /// Drives one random episode so the telemetry layer has something to report.
@@ -223,6 +301,7 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let mut json = false;
     let mut slo_ms: Option<u64> = None;
+    let mut stdb_dir: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -230,6 +309,9 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--json" => json = true,
             "--slo-ms" => {
                 slo_ms = Some(it.next().ok_or("--slo-ms needs a value")?.parse()?);
+            }
+            "--stdb" => {
+                stdb_dir = Some(it.next().ok_or("--stdb needs a directory")?.clone());
             }
             "--no-analysis-cache" => cg_ir::am::set_cache_disabled(true),
             _ => positional.push(a),
@@ -244,7 +326,12 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(ms) = slo_ms {
         tel.slo.configure(Duration::from_millis(ms), 0.99);
     }
+    let store = stdb_dir.as_deref().map(install_stdb_sink).transpose()?;
     run_episode(env_id, benchmark, steps)?;
+    if let Some(store) = store {
+        store.flush();
+        cg_core::clear_transition_sink();
+    }
     let snap = tel.snapshot();
     let cache = cg_ir::am::cache_stats();
     if json {
@@ -389,6 +476,47 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         100.0 * cache.hit_rate(),
         cache.noop_skips
     );
+    let sdb = &snap.stdb;
+    if sdb.ingest_records
+        + sdb.dropped_records
+        + sdb.replay_hits
+        + sdb.replay_misses
+        + sdb.quarantined_records
+        + sdb.checkpoint_rejects
+        > 0
+    {
+        println!("\ntransition store:");
+        println!(
+            "  ingest: records={} bytes={} dropped={} retries={} append p50={} p99={}",
+            sdb.ingest_records,
+            sdb.ingest_bytes,
+            sdb.dropped_records,
+            sdb.append_retries,
+            fmt_us(sdb.append_wall.p50_micros),
+            fmt_us(sdb.append_wall.p99_micros)
+        );
+        let served = sdb.replay_hits + sdb.replay_misses;
+        if served > 0 {
+            println!(
+                "  replay: hits={} misses={} hit-rate={:.1}%",
+                sdb.replay_hits,
+                sdb.replay_misses,
+                100.0 * sdb.replay_hits as f64 / served as f64
+            );
+        }
+        println!(
+            "  integrity: torn-tails={} quarantined={} scrub ok={} corrupt={} repaired={} \
+             checkpoint-rejects={} compactions={}",
+            sdb.torn_tails,
+            sdb.quarantined_records,
+            sdb.scrub_ok,
+            sdb.scrub_corrupt,
+            sdb.scrub_repaired,
+            sdb.checkpoint_rejects,
+            sdb.compactions
+        );
+        println!("  wal: segments={} bytes={}", sdb.segments, sdb.store_bytes);
+    }
     if snap.fuzz.cases > 0 {
         println!(
             "\nfuzz: cases={} divergences={} shrunk={} verifier-rejects={} pass-panics={}",
@@ -715,6 +843,7 @@ fn fuzz(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         ..FuzzConfig::default()
     };
     let mut json = false;
+    let mut stdb_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
@@ -750,6 +879,7 @@ fn fuzz(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 cfg.budget = Some(Duration::from_secs(val("--budget-secs")?.parse()?));
             }
             "--reduce-budget" => cfg.reduce_budget = val("--reduce-budget")?.parse()?,
+            "--stdb" => stdb_dir = Some(val("--stdb")?.clone()),
             "--smoke" => {
                 // The CI configuration: fixed seeds, bounded wall-clock.
                 cfg.seed_start = 0;
@@ -763,7 +893,14 @@ fn fuzz(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let tel = cg_telemetry::global();
     tel.reset();
+    // Any environment the fuzzer's repro pipeline steps through flows into
+    // the store; heavy work stays on the store's writer thread.
+    let store = stdb_dir.as_deref().map(install_stdb_sink).transpose()?;
     let report = run_fuzz(&cfg);
+    if let Some(store) = store {
+        store.flush();
+        cg_core::clear_transition_sink();
+    }
     let snap = tel.snapshot();
 
     if json {
@@ -894,6 +1031,8 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut serve_metrics_addr: Option<String> = None;
     let mut linger_ms: u64 = 0;
     let mut stampede = false;
+    let mut io_faults = false;
+    let mut stdb_dir: Option<String> = None;
     let mut stampede_size: usize = 32;
     let mut soak_ms: u64 = 1_500;
     let mut json = false;
@@ -931,6 +1070,7 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                         "wedge" => wedge_prob = 0.03,
                         "slow-growth" => slow_growth_prob = 0.10,
                         "stampede" => stampede = true,
+                        "io" => io_faults = true,
                         other => return Err(format!("unknown fault kind `{other}`").into()),
                     }
                 }
@@ -945,6 +1085,7 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 breaker_cooldown_ms = val("--breaker-cooldown-ms")?.parse()?;
             }
             "--serve-metrics" => serve_metrics_addr = Some(val("--serve-metrics")?.clone()),
+            "--stdb" => stdb_dir = Some(val("--stdb")?.clone()),
             "--linger-ms" => linger_ms = val("--linger-ms")?.parse()?,
             "--stampede-size" => stampede_size = val("--stampede-size")?.parse()?,
             "--soak-ms" => soak_ms = val("--soak-ms")?.parse()?,
@@ -963,6 +1104,19 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             json,
             serve_metrics_addr,
             linger_ms,
+        });
+    }
+    // `--faults io` targets the transition store's disk path instead of the
+    // compiler service: torn writes and ENOSPC during ingest, short reads
+    // and bit flips during recovery, then a replay pass over the damaged
+    // store. Per-apply fault kinds don't exist there either.
+    if io_faults {
+        return chaos_io(IoSoakOpts {
+            episodes,
+            steps,
+            seed,
+            json,
+            dir: stdb_dir,
         });
     }
 
@@ -1051,18 +1205,12 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         env.set_circuit_breaker(br.clone());
     }
 
-    const BENCHMARKS: [&str; 4] = [
-        "benchmark://cbench-v1/qsort",
-        "benchmark://cbench-v1/crc32",
-        "benchmark://cbench-v1/sha",
-        "benchmark://cbench-v1/bitcount",
-    ];
     let mut completed = 0u64;
     let mut session_errors = 0u64;
     let mut circuit_rejections = 0u64;
     let mut unrecovered: Vec<String> = Vec::new();
     for ep in 0..episodes {
-        env.set_benchmark(BENCHMARKS[(ep % BENCHMARKS.len() as u64) as usize]);
+        env.set_benchmark(SOAK_BENCHMARKS[(ep % SOAK_BENCHMARKS.len() as u64) as usize]);
         if let Err(e) = env.reset() {
             unrecovered.push(format!("episode {ep}: reset: {e}"));
             continue;
@@ -1217,6 +1365,626 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if breaker_never_half_opened {
         return Err("breaker tripped but never allowed a half-open probe".into());
+    }
+    Ok(())
+}
+
+struct IoSoakOpts {
+    episodes: u64,
+    steps: u64,
+    seed: u64,
+    json: bool,
+    dir: Option<String>,
+}
+
+/// The `--faults io` soak: drive real episodes into a transition store
+/// whose WAL is wired to a seeded disk-fault injector, damage the files
+/// the way a crash would, then prove the recovery ladder holds — reopen
+/// truncates the torn tail and quarantines (never skips) corrupt frames,
+/// scrub repairs or excises them, and the replay environment degrades to
+/// the live compiler instead of erroring. Exits non-zero on any episode
+/// the store should have absorbed or any silent corruption.
+fn chaos_io(opts: IoSoakOpts) -> Result<(), Box<dyn std::error::Error>> {
+    use cg_core::chaos::IoFaultPlan;
+    use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+    use std::sync::Arc;
+
+    let tel = cg_telemetry::global();
+    tel.reset();
+    let dir = match &opts.dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => {
+            let d = std::env::temp_dir().join(format!("cg-chaos-io-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        }
+    };
+    let mut unrecovered: Vec<String> = Vec::new();
+
+    // Phase A: ingest under write faults. Torn writes roll back and retry;
+    // ENOSPC drops the record with a typed error and a counted drop. The
+    // episodes themselves must never fail — the sink is asynchronous and
+    // disk trouble is its problem, not the caller's.
+    let inj_a = IoFaultPlan::seeded(opts.seed)
+        .with_torn_write_prob(0.08)
+        .with_enospc_prob(0.05)
+        .with_max_faults(opts.episodes.max(4))
+        .injector();
+    let write_stats = inj_a.stats();
+    let store = Arc::new(cg_stdb::TransitionStore::open_with_faults(
+        &dir,
+        cg_stdb::StoreConfig::default(),
+        Some(inj_a),
+    )?);
+    cg_core::install_transition_sink(Arc::new(cg_stdb::StoreSink(Arc::clone(&store))));
+    let mut env = cg_core::make("llvm-v0")?;
+    let mut completed = 0u64;
+    for ep in 0..opts.episodes {
+        env.set_benchmark(SOAK_BENCHMARKS[(ep % SOAK_BENCHMARKS.len() as u64) as usize]);
+        match seeded_episode(&mut env, opts.seed, ep, opts.steps) {
+            Ok(_) => completed += 1,
+            Err(e) => unrecovered.push(format!("ingest episode {ep}: {e}")),
+        }
+    }
+    drop(env);
+    store.flush();
+    let ingest = store.stats();
+    cg_core::clear_transition_sink();
+    drop(store);
+
+    // Crash damage, applied deterministically: flip a byte mid-segment
+    // (checksum corruption) and cut the last segment short (torn tail).
+    let mut damaged = false;
+    let segments = cg_stdb::log::list_segments(&dir)?;
+    if let Some((_, first)) = segments.first() {
+        let len = std::fs::metadata(first)?.len();
+        if len > 64 {
+            let offset = 8 + (len - 8) / 2;
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(first)?;
+            f.seek(SeekFrom::Start(offset))?;
+            let mut byte = [0u8; 1];
+            f.read_exact(&mut byte)?;
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(&[byte[0] ^ 0x40])?;
+            damaged = true;
+        }
+    }
+    if let Some((_, last)) = segments.last() {
+        let len = std::fs::metadata(last)?.len();
+        if len > 32 {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(last)?
+                .set_len(len - 7)?;
+            damaged = true;
+        }
+    }
+
+    // Phase B: recovery and scrub under read faults. Injected short reads
+    // and bit flips are transient — one trusted re-read heals them; the
+    // real damage above must surface as torn tails and quarantined
+    // records, then come out clean after `scrub --repair`.
+    let inj_b = IoFaultPlan::seeded(opts.seed ^ 0xB17E)
+        .with_short_read_prob(0.25)
+        .with_bit_flip_prob(0.25)
+        .with_max_faults(4)
+        .injector();
+    let read_stats = inj_b.stats();
+    let reopened = cg_stdb::TransitionStore::open_with_faults(
+        &dir,
+        cg_stdb::StoreConfig::default(),
+        Some(inj_b.clone()),
+    )?;
+    let recovery = reopened.recovery().clone();
+    drop(reopened);
+    let scrub = cg_stdb::scrub_dir(&dir, &cg_stdb::WalConfig::default(), true, Some(&inj_b))?;
+    let verify = cg_stdb::scrub_dir(&dir, &cg_stdb::WalConfig::default(), false, None)?;
+    if !verify.is_clean() {
+        unrecovered.push(format!(
+            "store still dirty after repair: {} corrupt record(s), {} torn tail(s)",
+            verify.records_corrupt, verify.torn_tails
+        ));
+    }
+    if damaged
+        && recovery.torn_tails + recovery.quarantined + scrub.records_corrupt + scrub.torn_tails
+            == 0
+    {
+        unrecovered.push("injected disk damage was never detected (silent corruption)".into());
+    }
+
+    // Phase C: replay over the damaged-then-repaired store. Seen
+    // trajectories serve from the log; anything recovery had to drop falls
+    // through to the live compiler — gracefully, never as an error.
+    let uri = format!("replay://llvm-v0?dir={}", dir.display());
+    let mut renv = cg_core::make(&uri)?;
+    let replay_eps = opts.episodes.clamp(1, 2);
+    for ep in 0..replay_eps {
+        renv.set_benchmark(SOAK_BENCHMARKS[(ep % SOAK_BENCHMARKS.len() as u64) as usize]);
+        match seeded_episode(&mut renv, opts.seed, ep, opts.steps) {
+            Ok(_) => completed += 1,
+            Err(e) => unrecovered.push(format!("replay episode {ep}: {e}")),
+        }
+    }
+    // An unseen trajectory: every step is a miss and must still complete.
+    renv.set_benchmark(SOAK_BENCHMARKS[0]);
+    match seeded_episode(&mut renv, opts.seed ^ 0xD00D, 0, opts.steps) {
+        Ok(_) => completed += 1,
+        Err(e) => unrecovered.push(format!("replay fall-through episode: {e}")),
+    }
+    drop(renv);
+
+    let snap = tel.snapshot();
+    if opts.json {
+        #[derive(serde::Serialize)]
+        struct IoChaosReport {
+            episodes: u64,
+            completed: u64,
+            injected_torn_writes: u64,
+            injected_enospcs: u64,
+            injected_short_reads: u64,
+            injected_bit_flips: u64,
+            ingest_records: u64,
+            append_retries: u64,
+            dropped_records: u64,
+            recovery: cg_stdb::RecoveryReport,
+            scrub: cg_stdb::ScrubReport,
+            verify_clean: bool,
+            replay_hits: u64,
+            replay_misses: u64,
+            unrecovered: Vec<String>,
+        }
+        let report = IoChaosReport {
+            episodes: opts.episodes,
+            completed,
+            injected_torn_writes: write_stats.torn_writes(),
+            injected_enospcs: write_stats.enospcs(),
+            injected_short_reads: read_stats.short_reads(),
+            injected_bit_flips: read_stats.bit_flips(),
+            ingest_records: ingest.steps + ingest.observations,
+            append_retries: snap.stdb.append_retries,
+            dropped_records: snap.stdb.dropped_records,
+            recovery: recovery.clone(),
+            scrub: scrub.clone(),
+            verify_clean: verify.is_clean(),
+            replay_hits: snap.stdb.replay_hits,
+            replay_misses: snap.stdb.replay_misses,
+            unrecovered: unrecovered.clone(),
+        };
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!(
+            "io chaos soak: seed={} episodes={} steps={} store={}",
+            opts.seed,
+            opts.episodes,
+            opts.steps,
+            dir.display()
+        );
+        println!(
+            "injected faults: torn-writes={} enospc={} short-reads={} bit-flips={}",
+            write_stats.torn_writes(),
+            write_stats.enospcs(),
+            read_stats.short_reads(),
+            read_stats.bit_flips()
+        );
+        println!(
+            "ingest: steps={} observations={} retries={} dropped={}",
+            ingest.steps, ingest.observations, snap.stdb.append_retries, snap.stdb.dropped_records
+        );
+        println!(
+            "recovery: records={} torn-tails={} quarantined={} transient-heals={}",
+            recovery.records,
+            recovery.torn_tails,
+            recovery.quarantined,
+            recovery.transient_read_faults
+        );
+        println!(
+            "scrub: ok={} corrupt={} repaired={} quarantined={} → clean={}",
+            scrub.records_ok,
+            scrub.records_corrupt,
+            scrub.repaired,
+            scrub.quarantined,
+            verify.is_clean()
+        );
+        println!(
+            "replay: hits={} misses={} (fall-through is graceful, not an error)",
+            snap.stdb.replay_hits, snap.stdb.replay_misses
+        );
+        println!(
+            "episodes: completed={completed} unrecovered={}",
+            unrecovered.len()
+        );
+        for line in &unrecovered {
+            println!("  UNRECOVERED {line}");
+        }
+    }
+    if !unrecovered.is_empty() {
+        return Err(format!("{} unrecovered failure(s)", unrecovered.len()).into());
+    }
+    Ok(())
+}
+
+/// The `cg stdb` maintenance surface over a store directory: generate
+/// (populate from live episodes), scrub (verify every checksum, optionally
+/// repair), compact (drop superseded records crash-safely), stats.
+fn stdb_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match args.first().map(String::as_str) {
+        Some("generate") => stdb_generate(&args[1..]),
+        Some("scrub") => stdb_scrub(&args[1..]),
+        Some("compact") => stdb_compact(&args[1..]),
+        Some("stats") => stdb_stats(&args[1..]),
+        _ => Err("usage: cg stdb {generate|scrub|compact|stats} <dir> [flags]".into()),
+    }
+}
+
+/// Splits `<dir>` plus simple flags for the `cg stdb` subcommands.
+fn stdb_dir_arg<'a>(
+    positional: &[&'a String],
+    what: &str,
+) -> Result<&'a String, Box<dyn std::error::Error>> {
+    positional
+        .first()
+        .copied()
+        .ok_or_else(|| format!("usage: cg stdb {what} <dir> [flags]").into())
+}
+
+fn stdb_generate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut episodes: u64 = 4;
+    let mut steps: u64 = 10;
+    let mut seed: u64 = 7;
+    let mut json = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--episodes" => episodes = val("--episodes")?.parse()?,
+            "--steps" => steps = val("--steps")?.parse()?,
+            "--seed" => seed = val("--seed")?.parse()?,
+            "--json" => json = true,
+            _ => positional.push(flag),
+        }
+    }
+    let dir = stdb_dir_arg(&positional, "generate")?;
+    let store = install_stdb_sink(dir)?;
+    let mut env = cg_core::make("llvm-v0")?;
+    for ep in 0..episodes {
+        env.set_benchmark(SOAK_BENCHMARKS[(ep % SOAK_BENCHMARKS.len() as u64) as usize]);
+        seeded_episode(&mut env, seed, ep, steps)?;
+    }
+    drop(env);
+    store.flush();
+    let stats = store.stats();
+    cg_core::clear_transition_sink();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&stats)?);
+    } else {
+        println!(
+            "generated {} episode(s) × {} step(s) into {}",
+            episodes, steps, stats.dir
+        );
+        println!(
+            "  steps={} edges={} observations={} benchmarks={} segments={} bytes={} dropped={}",
+            stats.steps,
+            stats.edges,
+            stats.observations,
+            stats.benchmarks,
+            stats.segments,
+            stats.bytes,
+            stats.dropped_records
+        );
+    }
+    Ok(())
+}
+
+fn stdb_scrub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut repair = false;
+    let mut json = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for flag in args {
+        match flag.as_str() {
+            "--repair" => repair = true,
+            "--json" => json = true,
+            _ => positional.push(flag),
+        }
+    }
+    let dir = stdb_dir_arg(&positional, "scrub")?;
+    let report = cg_stdb::scrub_dir(
+        std::path::Path::new(dir),
+        &cg_stdb::WalConfig::default(),
+        repair,
+        None,
+    )?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!(
+            "scrub {}: segments={} ok={} corrupt={} repaired={} quarantined={} \
+             torn-tails={} bytes-verified={}",
+            dir,
+            report.segments,
+            report.records_ok,
+            report.records_corrupt,
+            report.repaired,
+            report.quarantined,
+            report.torn_tails,
+            report.bytes_verified
+        );
+    }
+    // Verify-only mode works like fsck: a dirty store is a non-zero exit.
+    // Repair mode fixed what it found, so it exits clean.
+    if !repair && !report.is_clean() {
+        return Err(format!(
+            "{} corrupt record(s), {} torn tail(s) — run `cg stdb scrub {} --repair`",
+            report.records_corrupt, report.torn_tails, dir
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn stdb_compact(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut json = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for flag in args {
+        match flag.as_str() {
+            "--json" => json = true,
+            _ => positional.push(flag),
+        }
+    }
+    let dir = stdb_dir_arg(&positional, "compact")?;
+    let report = cg_stdb::compact_dir(std::path::Path::new(dir), &cg_stdb::WalConfig::default())?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!(
+            "compact {}: records {} → {}, segments {} → {}, bytes {} → {}{}",
+            dir,
+            report.records_before,
+            report.records_after,
+            report.segments_before,
+            report.segments_after,
+            report.bytes_before,
+            report.bytes_after,
+            if report.corrupt_skipped > 0 {
+                format!(
+                    " ({} corrupt frame(s) skipped — scrub first)",
+                    report.corrupt_skipped
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+    Ok(())
+}
+
+fn stdb_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut json = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for flag in args {
+        match flag.as_str() {
+            "--json" => json = true,
+            _ => positional.push(flag),
+        }
+    }
+    let dir = stdb_dir_arg(&positional, "stats")?;
+    let store =
+        cg_stdb::TransitionStore::open(std::path::Path::new(dir), cg_stdb::StoreConfig::default())?;
+    let stats = store.stats();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&stats)?);
+    } else {
+        println!("transition store {}", stats.dir);
+        println!(
+            "  index: steps={} edges={} observations={} benchmarks={}",
+            stats.steps, stats.edges, stats.observations, stats.benchmarks
+        );
+        println!(
+            "  wal: segments={} bytes={} recovered-records={}",
+            stats.segments, stats.bytes, stats.recovered_records
+        );
+        println!(
+            "  integrity: torn-tails={} quarantined={} decode-failures={} dropped={}",
+            stats.torn_tails, stats.quarantined, stats.decode_failures, stats.dropped_records
+        );
+    }
+    Ok(())
+}
+
+/// The `cg bench-stdb` surface: populate a store from live llvm-v0
+/// episodes (timing both the episodes and the WAL ingest behind them),
+/// scrub it cold, then replay the *same* seeded trajectories through the
+/// `replay://` environment and compare episodes/s. Writes the
+/// machine-readable report to `BENCH_stdb.json` (override with `--out`).
+fn bench_stdb(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::time::Instant;
+
+    let mut episodes: u64 = 8;
+    let mut steps: u64 = 12;
+    let mut seed: u64 = 7;
+    let mut dir_arg: Option<String> = None;
+    let mut out_path = "BENCH_stdb.json".to_string();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--episodes" => episodes = val("--episodes")?.parse::<u64>()?.max(1),
+            "--steps" => steps = val("--steps")?.parse::<u64>()?.max(1),
+            "--seed" => seed = val("--seed")?.parse()?,
+            "--dir" => dir_arg = Some(val("--dir")?.clone()),
+            "--out" => out_path = val("--out")?.clone(),
+            "--json" => json = true,
+            other => return Err(format!("unknown bench-stdb flag `{other}`").into()),
+        }
+    }
+
+    let tel = cg_telemetry::global();
+    tel.reset();
+    // A fresh scratch store unless the caller pinned one: the hit rate is
+    // only meaningful against a store this run populated.
+    let dir = match dir_arg {
+        Some(d) => std::path::PathBuf::from(d),
+        None => {
+            let d = std::env::temp_dir().join(format!("cg-bench-stdb-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        }
+    };
+
+    // Live arm: real compiler episodes, every transition flowing through
+    // the sink into the WAL.
+    let store = install_stdb_sink(dir.to_str().ok_or("store dir is not valid UTF-8")?)?;
+    let mut env = cg_core::make("llvm-v0")?;
+    let live_start = Instant::now();
+    let mut live_rewards = Vec::with_capacity(episodes as usize);
+    for ep in 0..episodes {
+        env.set_benchmark(SOAK_BENCHMARKS[(ep % SOAK_BENCHMARKS.len() as u64) as usize]);
+        live_rewards.push(seeded_episode(&mut env, seed, ep, steps)?);
+    }
+    let live_wall = live_start.elapsed();
+    drop(env);
+    store.flush();
+    let ingest = store.stats();
+    cg_core::clear_transition_sink();
+    drop(store);
+
+    // Cold integrity pass over everything just written.
+    let scrub = cg_stdb::scrub_dir(&dir, &cg_stdb::WalConfig::default(), false, None)?;
+
+    // Replay arm: the same seeded trajectories answered from the store.
+    let uri = format!("replay://llvm-v0?dir={}", dir.display());
+    let mut renv = cg_core::make(&uri)?;
+    let replay_start = Instant::now();
+    let mut replay_rewards = Vec::with_capacity(episodes as usize);
+    for ep in 0..episodes {
+        renv.set_benchmark(SOAK_BENCHMARKS[(ep % SOAK_BENCHMARKS.len() as u64) as usize]);
+        replay_rewards.push(seeded_episode(&mut renv, seed, ep, steps)?);
+    }
+    let replay_wall = replay_start.elapsed();
+    drop(renv);
+
+    let snap = tel.snapshot();
+    let hits = snap.stdb.replay_hits;
+    let misses = snap.stdb.replay_misses;
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    let live_eps = episodes as f64 / live_wall.as_secs_f64().max(1e-9);
+    let replay_eps = episodes as f64 / replay_wall.as_secs_f64().max(1e-9);
+    let speedup = replay_eps / live_eps.max(1e-9);
+    let max_reward_delta = live_rewards
+        .iter()
+        .zip(&replay_rewards)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+
+    #[derive(serde::Serialize)]
+    struct Arm {
+        wall_ms: f64,
+        episodes_per_sec: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct IngestReport {
+        records: u64,
+        bytes: u64,
+        records_per_sec: f64,
+        dropped: u64,
+        segments: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct Report {
+        episodes: u64,
+        steps_per_episode: u64,
+        seed: u64,
+        store_dir: String,
+        live: Arm,
+        replay: Arm,
+        speedup: f64,
+        replay_hits: u64,
+        replay_misses: u64,
+        hit_rate: f64,
+        max_reward_delta: f64,
+        ingest: IngestReport,
+        scrub: cg_stdb::ScrubReport,
+    }
+    let report = Report {
+        episodes,
+        steps_per_episode: steps,
+        seed,
+        store_dir: dir.display().to_string(),
+        live: Arm {
+            wall_ms: live_wall.as_secs_f64() * 1e3,
+            episodes_per_sec: live_eps,
+        },
+        replay: Arm {
+            wall_ms: replay_wall.as_secs_f64() * 1e3,
+            episodes_per_sec: replay_eps,
+        },
+        speedup,
+        replay_hits: hits,
+        replay_misses: misses,
+        hit_rate,
+        max_reward_delta,
+        ingest: IngestReport {
+            records: snap.stdb.ingest_records,
+            bytes: snap.stdb.ingest_bytes,
+            records_per_sec: snap.stdb.ingest_records as f64 / live_wall.as_secs_f64().max(1e-9),
+            dropped: snap.stdb.dropped_records,
+            segments: ingest.segments,
+        },
+        scrub: scrub.clone(),
+    };
+    let rendered = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&out_path, format!("{rendered}\n"))?;
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "bench-stdb: {} episode(s) × {} step(s), store {}",
+            episodes,
+            steps,
+            dir.display()
+        );
+        println!(
+            "  live    {:>8.1} ms  {:>8.1} episodes/s",
+            report.live.wall_ms, report.live.episodes_per_sec
+        );
+        println!(
+            "  replay  {:>8.1} ms  {:>8.1} episodes/s  ({speedup:.1}× live)",
+            report.replay.wall_ms, report.replay.episodes_per_sec
+        );
+        println!(
+            "  hit rate {:.1}% ({hits} hits, {misses} misses)  max reward delta {:.6}",
+            100.0 * hit_rate,
+            max_reward_delta
+        );
+        println!(
+            "  ingest: {} record(s), {} byte(s), {:.0} records/s, {} dropped",
+            report.ingest.records,
+            report.ingest.bytes,
+            report.ingest.records_per_sec,
+            report.ingest.dropped
+        );
+        println!(
+            "  scrub: ok={} corrupt={} torn-tails={} (clean={})",
+            scrub.records_ok,
+            scrub.records_corrupt,
+            scrub.torn_tails,
+            scrub.is_clean()
+        );
+        println!("report written to {out_path}");
     }
     Ok(())
 }
@@ -1466,6 +2234,7 @@ fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut seed: u64 = 7;
     let mut out_path = "BENCH_pool.json".to_string();
     let mut json = false;
+    let mut stdb_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
@@ -1491,9 +2260,13 @@ fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--seed" => seed = val("--seed")?.parse()?,
             "--out" => out_path = val("--out")?.clone(),
             "--json" => json = true,
+            "--stdb" => stdb_dir = Some(val("--stdb")?.clone()),
             other => return Err(format!("unknown bench-pool flag `{other}`").into()),
         }
     }
+    // With --stdb, every pool worker's evaluations land in the store too —
+    // the sink hooks the environment layer, so nothing pool-side changes.
+    let store = stdb_dir.as_deref().map(install_stdb_sink).transpose()?;
 
     let factory: EnvFactory = {
         let benchmark = benchmark.clone();
@@ -1751,6 +2524,15 @@ fn bench_pool(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             report.ga.best_uncached
         );
         println!("\nreport written to {out_path}");
+    }
+    if let Some(store) = store {
+        store.flush();
+        let s = store.stats();
+        println!(
+            "stdb: {} step(s), {} observation(s), {} dropped → {}",
+            s.steps, s.observations, s.dropped_records, s.dir
+        );
+        cg_core::clear_transition_sink();
     }
     Ok(())
 }

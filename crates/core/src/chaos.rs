@@ -58,6 +58,248 @@ pub enum FaultKind {
     /// progressing while excess connects are shed with typed refusals.
     /// Never sampled by the per-apply injector.
     Stampede,
+    /// A disk-fault family (torn write, short read, ENOSPC, bit-flip on
+    /// read) injected into the transition store's file layer rather than
+    /// into a compiler session. Like [`FaultKind::Stampede`] this is a
+    /// driver-level fault: `cg chaos --faults io` builds an
+    /// [`IoFaultInjector`] and threads it through the store's WAL, which
+    /// must recover every fault with typed, counted outcomes. Never
+    /// sampled by the per-apply injector.
+    IoFault,
+}
+
+/// The kinds of disk fault an [`IoFaultInjector`] can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// A write persists only a prefix of the record (power loss mid-write).
+    TornWrite,
+    /// A read returns fewer bytes than the file holds at that offset.
+    ShortRead,
+    /// A write fails up front with `ENOSPC`; nothing is persisted.
+    Enospc,
+    /// A read returns the right length with one bit flipped (bit rot).
+    BitFlip,
+}
+
+/// A seeded description of which disk faults to inject and how often.
+/// Probabilities are per file operation (write ops sample
+/// torn-write/ENOSPC, read ops sample short-read/bit-flip); decisions are
+/// pure functions of `(seed, op index)`, so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct IoFaultPlan {
+    /// Seed for the deterministic fault sampler.
+    pub seed: u64,
+    /// Per-write probability of a torn write.
+    pub torn_write_prob: f64,
+    /// Per-write probability of an `ENOSPC` failure.
+    pub enospc_prob: f64,
+    /// Per-read probability of a short read.
+    pub short_read_prob: f64,
+    /// Per-read probability of a flipped bit.
+    pub bit_flip_prob: f64,
+    /// Total injection budget; `None` is unlimited.
+    pub max_faults: Option<u64>,
+}
+
+impl Default for IoFaultPlan {
+    fn default() -> IoFaultPlan {
+        IoFaultPlan {
+            seed: 0,
+            torn_write_prob: 0.0,
+            enospc_prob: 0.0,
+            short_read_prob: 0.0,
+            bit_flip_prob: 0.0,
+            max_faults: None,
+        }
+    }
+}
+
+impl IoFaultPlan {
+    /// A fault-free plan with the given sampler seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> IoFaultPlan {
+        IoFaultPlan {
+            seed,
+            ..IoFaultPlan::default()
+        }
+    }
+
+    /// Sets the per-write torn-write probability.
+    #[must_use]
+    pub fn with_torn_write_prob(mut self, p: f64) -> IoFaultPlan {
+        self.torn_write_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-write `ENOSPC` probability.
+    #[must_use]
+    pub fn with_enospc_prob(mut self, p: f64) -> IoFaultPlan {
+        self.enospc_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-read short-read probability.
+    #[must_use]
+    pub fn with_short_read_prob(mut self, p: f64) -> IoFaultPlan {
+        self.short_read_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-read bit-flip probability.
+    #[must_use]
+    pub fn with_bit_flip_prob(mut self, p: f64) -> IoFaultPlan {
+        self.bit_flip_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Caps the total number of injected disk faults.
+    #[must_use]
+    pub fn with_max_faults(mut self, max: u64) -> IoFaultPlan {
+        self.max_faults = Some(max);
+        self
+    }
+
+    /// Builds the injector for this plan.
+    #[must_use]
+    pub fn injector(self) -> IoFaultInjector {
+        IoFaultInjector {
+            plan: self,
+            stats: Arc::new(IoFaultStats::default()),
+        }
+    }
+}
+
+/// Counters for what an [`IoFaultInjector`] actually did.
+#[derive(Debug, Default)]
+pub struct IoFaultStats {
+    writes: AtomicU64,
+    reads: AtomicU64,
+    torn_writes: AtomicU64,
+    short_reads: AtomicU64,
+    enospcs: AtomicU64,
+    bit_flips: AtomicU64,
+}
+
+impl IoFaultStats {
+    /// Write operations seen.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Read operations seen.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Injected torn writes.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes.load(Ordering::Relaxed)
+    }
+
+    /// Injected short reads.
+    pub fn short_reads(&self) -> u64 {
+        self.short_reads.load(Ordering::Relaxed)
+    }
+
+    /// Injected `ENOSPC` failures.
+    pub fn enospcs(&self) -> u64 {
+        self.enospcs.load(Ordering::Relaxed)
+    }
+
+    /// Injected bit flips.
+    pub fn bit_flips(&self) -> u64 {
+        self.bit_flips.load(Ordering::Relaxed)
+    }
+
+    /// Total disk faults injected, all kinds.
+    pub fn injected(&self) -> u64 {
+        self.torn_writes() + self.short_reads() + self.enospcs() + self.bit_flips()
+    }
+}
+
+/// A seeded, deterministic disk-fault sampler consumed by the transition
+/// store's WAL file layer. Cloning shares the op counters and stats, so one
+/// injector can cover several files.
+#[derive(Debug, Clone)]
+pub struct IoFaultInjector {
+    plan: IoFaultPlan,
+    stats: Arc<IoFaultStats>,
+}
+
+impl IoFaultInjector {
+    /// The shared fault counters.
+    #[must_use]
+    pub fn stats(&self) -> Arc<IoFaultStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn budget_left(&self) -> bool {
+        self.plan
+            .max_faults
+            .is_none_or(|max| self.stats.injected() < max)
+    }
+
+    /// Decides the fault (if any) for the next write operation, advancing
+    /// the write-op counter and recording what fired.
+    pub fn fault_for_write(&self) -> Option<IoFaultKind> {
+        let idx = self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        if !self.budget_left() {
+            return None;
+        }
+        let r = unit_f64(splitmix64(
+            self.plan.seed ^ 0x10_F417 ^ idx.wrapping_mul(0x9E37_79B9),
+        ));
+        let mut acc = self.plan.torn_write_prob;
+        if r < acc {
+            self.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+            return Some(IoFaultKind::TornWrite);
+        }
+        acc += self.plan.enospc_prob;
+        if r < acc {
+            self.stats.enospcs.fetch_add(1, Ordering::Relaxed);
+            return Some(IoFaultKind::Enospc);
+        }
+        None
+    }
+
+    /// Decides the fault (if any) for the next read operation, advancing
+    /// the read-op counter and recording what fired.
+    pub fn fault_for_read(&self) -> Option<IoFaultKind> {
+        let idx = self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        if !self.budget_left() {
+            return None;
+        }
+        let r = unit_f64(splitmix64(
+            self.plan.seed ^ 0x10_F41D ^ idx.wrapping_mul(0x85EB_CA6B),
+        ));
+        let mut acc = self.plan.short_read_prob;
+        if r < acc {
+            self.stats.short_reads.fetch_add(1, Ordering::Relaxed);
+            return Some(IoFaultKind::ShortRead);
+        }
+        acc += self.plan.bit_flip_prob;
+        if r < acc {
+            self.stats.bit_flips.fetch_add(1, Ordering::Relaxed);
+            return Some(IoFaultKind::BitFlip);
+        }
+        None
+    }
+
+    /// A deterministic sub-draw for where in a buffer a fault lands (the
+    /// torn-write prefix length or the flipped bit index), derived from the
+    /// op counters so it never perturbs the fault schedule itself.
+    #[must_use]
+    pub fn fault_offset(&self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        let idx = self
+            .stats
+            .writes
+            .load(Ordering::Relaxed)
+            .wrapping_add(self.stats.reads.load(Ordering::Relaxed));
+        splitmix64(self.plan.seed ^ 0x000F_F5E7 ^ idx) % bound
+    }
 }
 
 /// A seeded description of which faults to inject and when.
@@ -453,9 +695,9 @@ impl CompilationSession for ChaosSession {
                 self.wedged = true;
                 wedge_forever();
             }
-            // CorruptReply fires on observe; Stampede is a front-door
-            // fault driven outside the session entirely.
-            Some(FaultKind::CorruptReply | FaultKind::Stampede) | None => {
+            // CorruptReply fires on observe; Stampede and IoFault are
+            // driver-level faults injected outside the session entirely.
+            Some(FaultKind::CorruptReply | FaultKind::Stampede | FaultKind::IoFault) | None => {
                 self.inner.apply_action(action)
             }
         }
@@ -662,6 +904,40 @@ mod tests {
         fresh.init("x", 0).unwrap();
         fresh.load_state(&snap).unwrap();
         assert_eq!(fresh.state_size(), Some(2));
+    }
+
+    #[test]
+    fn io_injector_is_deterministic_and_budgeted() {
+        let run = |seed: u64| -> Vec<Option<IoFaultKind>> {
+            let inj = IoFaultPlan::seeded(seed)
+                .with_torn_write_prob(0.3)
+                .with_enospc_prob(0.2)
+                .injector();
+            (0..64).map(|_| inj.fault_for_write()).collect()
+        };
+        assert_eq!(run(11), run(11), "same seed, same fault sequence");
+        assert_ne!(run(11), run(12), "different seeds diverge");
+
+        let inj = IoFaultPlan::seeded(3)
+            .with_bit_flip_prob(1.0)
+            .with_max_faults(4)
+            .injector();
+        let injected = (0..32).filter(|_| inj.fault_for_read().is_some()).count();
+        assert_eq!(injected, 4, "budget caps injection");
+        assert_eq!(inj.stats().bit_flips(), 4);
+        assert_eq!(inj.stats().reads(), 32);
+    }
+
+    #[test]
+    fn io_fault_offsets_stay_in_bounds() {
+        let inj = IoFaultPlan::seeded(9).injector();
+        for bound in [1u64, 2, 7, 1024] {
+            for _ in 0..16 {
+                let _ = inj.fault_for_write();
+                assert!(inj.fault_offset(bound) < bound);
+            }
+        }
+        assert_eq!(inj.fault_offset(0), 0);
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //!    [`crate::breaker::CircuitBreaker`] (if attached) quarantines pairs
 //!    that keep killing services so later episodes fail fast.
 
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use cg_telemetry::SpanStatus;
@@ -210,6 +212,37 @@ pub struct CompilerEnv {
     /// Whether this env opened `episode_id` (and must end it on close).
     /// Forks borrow the parent's episode without owning it.
     owns_episode: bool,
+    /// Whether this env feeds the global transition sink (when one is
+    /// installed). Replay environments disable this: they write through to
+    /// their own store directly, and double-logging would count every
+    /// served transition twice.
+    log_transitions: bool,
+    /// Hash of the current state as assigned by the transition sink at the
+    /// last reset/step, threaded through as the next step's `from_state`.
+    /// `None` when no sink was active at the last reset.
+    sink_state: Option<u64>,
+}
+
+/// A factory for a whole URI scheme of environment ids (`replay://…`),
+/// registered with [`register_env_scheme`] and consulted by [`make`].
+pub type SchemeFactory = Arc<dyn Fn(&str) -> Result<CompilerEnv, CgError> + Send + Sync>;
+
+fn scheme_registry() -> &'static parking_lot::RwLock<HashMap<String, SchemeFactory>> {
+    static REGISTRY: OnceLock<parking_lot::RwLock<HashMap<String, SchemeFactory>>> =
+        OnceLock::new();
+    REGISTRY.get_or_init(|| parking_lot::RwLock::new(HashMap::new()))
+}
+
+/// Registers a factory for every environment id of the form
+/// `<scheme>://…`. [`make`] dispatches such ids to the factory with the
+/// full id, so crates layered *above* cg-core (like the transition store's
+/// replay environment) can plug whole environment families into the
+/// ordinary `make` entry point without a dependency cycle. Re-registering
+/// a scheme replaces the previous factory.
+pub fn register_env_scheme(scheme: &str, factory: SchemeFactory) {
+    scheme_registry()
+        .write()
+        .insert(scheme.to_string(), factory);
 }
 
 /// Records a service-kill fault against every action in the faulting step.
@@ -234,6 +267,13 @@ fn record_faults(breaker: &Option<CircuitBreaker>, benchmark: &str, actions: &[u
 /// # Errors
 /// [`CgError::Unknown`] for unregistered ids.
 pub fn make(env_id: &str) -> Result<CompilerEnv, CgError> {
+    if let Some((scheme, _)) = env_id.split_once("://") {
+        let factory = scheme_registry().read().get(scheme).cloned();
+        return match factory {
+            Some(f) => f(env_id),
+            None => Err(CgError::Unknown(format!("environment `{env_id}`"))),
+        };
+    }
     let (backend, benchmark, obs, rew): (String, &str, &str, &str) = match env_id {
         "llvm-v0" => (
             "llvm-v0".into(),
@@ -403,7 +443,32 @@ impl CompilerEnv {
             watchdog: None,
             episode_id: None,
             owns_episode: false,
+            log_transitions: true,
+            sink_state: None,
         })
+    }
+
+    /// Enables or disables feeding the global transition sink from this
+    /// environment (default: enabled). The replay environment turns it off
+    /// to avoid double-logging transitions it already writes through.
+    pub fn set_transition_logging(&mut self, on: bool) {
+        self.log_transitions = on;
+        if !on {
+            self.sink_state = None;
+        }
+    }
+
+    /// The active transition sink for this env, if logging is on, a sink is
+    /// installed, and the backend can serve the `Ir` text the sink records.
+    fn active_sink(&self) -> Option<Arc<dyn crate::sink::TransitionSink>> {
+        if !self.log_transitions {
+            return None;
+        }
+        let sink = crate::sink::transition_sink()?;
+        self.observation_spaces
+            .iter()
+            .any(|o| o.name == "Ir")
+            .then_some(sink)
     }
 
     /// The environment id this was made as.
@@ -603,6 +668,13 @@ impl CompilerEnv {
         if let Some(b) = &reward_info.baseline {
             spaces.push(b.clone());
         }
+        // When a transition sink is installed, piggyback the IR text onto
+        // the same round trip so the sink can hash and log the initial
+        // state without an extra service call.
+        let sink = self.active_sink();
+        if sink.is_some() {
+            spaces.push("Ir".to_string());
+        }
         let req = Request::StartSession {
             benchmark: self.benchmark.clone(),
             action_space: self.action_space_index,
@@ -648,7 +720,15 @@ impl CompilerEnv {
             .ok_or(CgError::ServiceFailure("missing metric".into()))?;
         self.prev_metric = metric;
         self.init_metric = metric;
-        self.baseline_metric = it.next().and_then(|o| o.as_scalar());
+        self.baseline_metric = if reward_info.baseline.is_some() {
+            it.next().and_then(|o| o.as_scalar())
+        } else {
+            None
+        };
+        self.sink_state = match (&sink, it.next()) {
+            (Some(s), Some(o)) => o.as_text().map(|ir| s.record_reset(&self.benchmark, ir)),
+            _ => None,
+        };
         self.episode_reward = 0.0;
         self.actions.clear();
         tel.episode.episodes.inc();
@@ -1055,6 +1135,11 @@ impl CompilerEnv {
             spaces.push(self.observation_space.clone());
         }
         spaces.push(reward_info.metric.clone());
+        // Piggyback the IR text for the transition sink in the same RPC.
+        let sink = self.active_sink();
+        if sink.is_some() {
+            spaces.push("Ir".to_string());
+        }
         let actions_owned = actions.to_vec();
         let resp = self.call_recovering(actions, |sid| Request::Step {
             session_id: sid,
@@ -1068,6 +1153,11 @@ impl CompilerEnv {
         } = resp
         else {
             return Err(CgError::ServiceFailure("bad Step reply".into()));
+        };
+        let ir_obs = if sink.is_some() {
+            observations.pop()
+        } else {
+            None
         };
         let metric = observations
             .pop()
@@ -1088,6 +1178,25 @@ impl CompilerEnv {
         self.prev_metric = metric;
         self.episode_reward += reward;
         self.actions.extend_from_slice(actions);
+        if let Some(sink) = &sink {
+            if let Some(ir) = ir_obs.as_ref().and_then(|o| o.as_text()) {
+                self.sink_state = Some(match self.sink_state {
+                    Some(from) => {
+                        let names = &self.action_space().actions;
+                        let history: Vec<String> = self
+                            .actions
+                            .iter()
+                            .map(|&a| names.get(a).cloned().unwrap_or_default())
+                            .collect();
+                        sink.record_step(&self.benchmark, &history, from, ir, reward)
+                    }
+                    // Resumed from a restored snapshot: the pre-step state
+                    // is unknown, so only register this state and start
+                    // logging edges from the next step.
+                    None => sink.record_state(ir),
+                });
+            }
+        }
         tel.episode.steps.inc();
         tel.episode.actions_total.add(actions.len() as u64);
         if changed {
@@ -1208,6 +1317,11 @@ impl CompilerEnv {
             // owned, so the fork's close never ends the parent's timeline.
             episode_id: self.episode_id,
             owns_episode: false,
+            log_transitions: self.log_transitions,
+            // The fork's pre-step state hash is the parent's: the backend
+            // session was forked in place, so the next step's edge starts
+            // from the same state.
+            sink_state: self.sink_state,
         })
     }
 
@@ -1273,6 +1387,9 @@ impl CompilerEnv {
         self.init_metric = snap.init_metric;
         self.baseline_metric = snap.baseline_metric;
         self.episode_reward = snap.episode_reward;
+        // The restored state's sink hash is unknown until the next step's
+        // piggybacked IR arrives.
+        self.sink_state = None;
         Ok(())
     }
 

@@ -59,6 +59,7 @@ pub mod pool;
 pub mod retry;
 pub mod service;
 pub mod session;
+pub mod sink;
 pub mod space;
 pub mod state;
 pub mod validation;
@@ -70,13 +71,18 @@ mod error;
 pub use breaker::{Admission, BreakerState, CircuitBreaker};
 pub use broker::{Broker, BrokerConfig, DrainReport, Submitted, TenantQuota, ANONYMOUS_TENANT};
 pub use budget::{BudgetKind, BudgetViolation, ResourceBudget};
+pub use chaos::{IoFaultInjector, IoFaultKind, IoFaultPlan, IoFaultStats};
 pub use checkpoint::{Checkpoint, CheckpointSink, CheckpointStore};
-pub use env::{make, make_with_policy, CompilerEnv, EpisodeSnapshot, StepResult, Transport};
+pub use env::{
+    make, make_with_policy, register_env_scheme, CompilerEnv, EpisodeSnapshot, SchemeFactory,
+    StepResult, Transport,
+};
 pub use error::CgError;
 pub use evalcache::EvalCache;
 pub use pool::{ActionSeq, EnvFactory, EnvPool, Outcome};
 pub use retry::RetryPolicy;
 pub use session::CompilationSession;
+pub use sink::{clear_transition_sink, install_transition_sink, transition_sink, TransitionSink};
 pub use space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
 pub use state::EnvState;
 pub use watchdog::{Watchdog, WatchdogConfig};

@@ -1,0 +1,74 @@
+//! The transition sink: an opt-in, process-global hook that feeds every
+//! environment evaluation into an external transition log (the paper's
+//! state-transition database, §V).
+//!
+//! When a sink is installed, [`crate::CompilerEnv`] piggybacks an `Ir`
+//! observation onto the reset and step RPCs it already makes (same round
+//! trip, no extra service call) and hands the IR text to the sink together
+//! with the reward and the action history. Everything that steps through an
+//! environment — the `EnvPool`'s workers, searchers, `cg random` — is
+//! captured automatically; nothing is captured when no sink is installed
+//! (the default), so the hook costs nothing unless asked for.
+//!
+//! The concrete sink lives in `cg-stdb` (it appends to the durable
+//! write-ahead log); this module only defines the interface and the global
+//! registration point, keeping the dependency arrow pointing from the store
+//! to the core.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+/// A consumer of environment transitions. Implementations must be cheap in
+/// the caller's thread (hash + enqueue); heavy work (feature extraction,
+/// disk writes) belongs on the sink's own writer thread.
+pub trait TransitionSink: Send + Sync {
+    /// Records an episode start: `ir_text` is the initial state's IR.
+    /// Returns the state hash the sink assigned (the environment threads it
+    /// back through [`TransitionSink::record_step`] as `from_state`).
+    fn record_reset(&self, benchmark: &str, ir_text: &str) -> u64;
+
+    /// Registers a state observation without an edge or a reset marker —
+    /// used when an environment resumes from a restored snapshot
+    /// mid-episode and only learns its current state from the next step's
+    /// piggybacked IR. Returns the state hash.
+    fn record_state(&self, ir_text: &str) -> u64;
+
+    /// Records one successful step: `action_history` is the full
+    /// action-name sequence including this step's action(s), `from_state`
+    /// the hash returned by the previous record call, `ir_text` the IR
+    /// after the action(s), `reward` the step reward. Returns the new
+    /// state's hash.
+    fn record_step(
+        &self,
+        benchmark: &str,
+        action_history: &[String],
+        from_state: u64,
+        ir_text: &str,
+        reward: f64,
+    ) -> u64;
+}
+
+fn slot() -> &'static RwLock<Option<Arc<dyn TransitionSink>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn TransitionSink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs the process-global transition sink (replacing any previous
+/// one). Every environment with transition logging enabled (the default)
+/// starts feeding it on its next reset.
+pub fn install_transition_sink(sink: Arc<dyn TransitionSink>) {
+    *slot().write() = Some(sink);
+}
+
+/// Removes the global transition sink; environments stop logging.
+pub fn clear_transition_sink() {
+    *slot().write() = None;
+}
+
+/// The currently installed sink, if any.
+#[must_use]
+pub fn transition_sink() -> Option<Arc<dyn TransitionSink>> {
+    slot().read().clone()
+}

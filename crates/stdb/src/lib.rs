@@ -16,6 +16,16 @@
 //! just service-worker crashes.
 
 pub mod checkpoints;
+pub mod log;
+pub mod replay;
+pub mod store;
+
+pub use log::{FsyncPolicy, RecoveryReport, ScrubReport, WalConfig};
+pub use replay::{install, make_replay};
+pub use store::{
+    compact_dir, scrub_dir, Backpressure, CompactReport, StoreConfig, StoreSink, StoreStats,
+    TransitionStore, WalRecord,
+};
 
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;
@@ -127,42 +137,106 @@ impl Database {
     }
 }
 
+/// One message on the logger's channel: steps and observations are
+/// distinct rows in distinct tables, so they travel as distinct messages
+/// (an observation is *not* a degenerate step).
+#[derive(Debug, Clone)]
+pub enum LogMessage {
+    /// A `Steps` table row.
+    Step(StepRow),
+    /// An `Observations` table row.
+    Observation(ObservationRow),
+}
+
 /// Asynchronously populates a shared [`Database`] from environment steps: a
-/// writer thread drains a channel so logging never blocks the environment
-/// loop (the paper's wrapper "asynchronously populates the Steps and
-/// Observations tables ... upon every step").
+/// writer thread drains a *bounded* channel so logging never blocks the
+/// environment loop for long (the paper's wrapper "asynchronously
+/// populates the Steps and Observations tables ... upon every step").
+///
+/// The queue is bounded; [`Backpressure`] picks the full-queue policy
+/// (block, or drop-and-count). Every dropped message increments
+/// [`AsyncLogger::dropped_records`] and the process-wide
+/// `cg_stdb_dropped_records_total` counter — drops are never silent.
 pub struct AsyncLogger {
-    tx: Option<mpsc::Sender<(StepRow, Option<ObservationRow>)>>,
+    tx: Option<mpsc::SyncSender<LogMessage>>,
     handle: Option<std::thread::JoinHandle<()>>,
     db: Arc<Mutex<Database>>,
+    dropped: Arc<std::sync::atomic::AtomicU64>,
+    backpressure: Backpressure,
 }
 
 impl AsyncLogger {
-    /// Starts the writer thread over a shared database.
+    /// Default queue depth for [`AsyncLogger::new`].
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Starts the writer thread over a shared database with the default
+    /// bounded queue and lossless (blocking) backpressure.
     pub fn new(db: Arc<Mutex<Database>>) -> AsyncLogger {
-        let (tx, rx) = mpsc::channel::<(StepRow, Option<ObservationRow>)>();
+        AsyncLogger::with_capacity(db, AsyncLogger::DEFAULT_CAPACITY, Backpressure::Block)
+    }
+
+    /// Starts the writer with an explicit queue depth and full-queue
+    /// policy.
+    pub fn with_capacity(
+        db: Arc<Mutex<Database>>,
+        capacity: usize,
+        backpressure: Backpressure,
+    ) -> AsyncLogger {
+        let (tx, rx) = mpsc::sync_channel::<LogMessage>(capacity.max(1));
         let db2 = Arc::clone(&db);
         let handle = std::thread::spawn(move || {
-            while let Ok((step, obs)) = rx.recv() {
+            while let Ok(msg) = rx.recv() {
                 let mut d = db2.lock();
-                if let Some(o) = obs {
-                    d.observations.entry(o.state).or_insert(o);
+                match msg {
+                    LogMessage::Step(step) => d.steps.push(step),
+                    LogMessage::Observation(o) => {
+                        d.observations.entry(o.state).or_insert(o);
+                    }
                 }
-                d.steps.push(step);
             }
         });
         AsyncLogger {
             tx: Some(tx),
             handle: Some(handle),
             db,
+            dropped: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            backpressure,
         }
     }
 
-    /// Enqueues one step (non-blocking).
-    pub fn log(&self, step: StepRow, obs: Option<ObservationRow>) {
-        if let Some(tx) = &self.tx {
-            let _ = tx.send((step, obs));
+    fn enqueue(&self, msg: LogMessage) {
+        let Some(tx) = &self.tx else {
+            self.count_drop();
+            return;
+        };
+        let lost = match self.backpressure {
+            Backpressure::Block => tx.send(msg).is_err(),
+            Backpressure::DropNewest => tx.try_send(msg).is_err(),
+        };
+        if lost {
+            self.count_drop();
         }
+    }
+
+    fn count_drop(&self) {
+        self.dropped
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        cg_telemetry::global().stdb.dropped_records.inc();
+    }
+
+    /// Enqueues one step row.
+    pub fn log_step(&self, step: StepRow) {
+        self.enqueue(LogMessage::Step(step));
+    }
+
+    /// Enqueues one observation row.
+    pub fn log_observation(&self, obs: ObservationRow) {
+        self.enqueue(LogMessage::Observation(obs));
+    }
+
+    /// Messages dropped by the full-queue policy so far.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Flushes and stops the writer, returning the shared database handle.
@@ -215,16 +289,13 @@ pub fn generate_database(
                 actions.push(name);
                 let h = state_hash(&mut env)?;
                 log_observation(&mut env, h, &logger)?;
-                logger.log(
-                    StepRow {
-                        benchmark: bench.clone(),
-                        actions: actions.clone(),
-                        from_state: prev_hash,
-                        state: h,
-                        reward: r.reward,
-                    },
-                    None,
-                );
+                logger.log_step(StepRow {
+                    benchmark: bench.clone(),
+                    actions: actions.clone(),
+                    from_state: prev_hash,
+                    state: h,
+                    reward: r.reward,
+                });
                 prev_hash = h;
             }
         }
@@ -260,22 +331,13 @@ fn log_observation(
         .as_scalar()
         .unwrap_or(0.0);
     let ir_text = env.observe("Ir")?.as_text().unwrap_or("").to_string();
-    logger.log(
-        StepRow {
-            benchmark: String::new(),
-            actions: Vec::new(),
-            from_state: state,
-            state,
-            reward: 0.0,
-        },
-        Some(ObservationRow {
-            state,
-            autophase,
-            inst_count,
-            ir_instruction_count: count,
-            ir_text,
-        }),
-    );
+    logger.log_observation(ObservationRow {
+        state,
+        autophase,
+        inst_count,
+        ir_instruction_count: count,
+        ir_text,
+    });
     Ok(())
 }
 
@@ -307,23 +369,53 @@ mod tests {
         assert_eq!(back.unique_states(), db.unique_states());
     }
 
+    fn step(i: u64) -> StepRow {
+        StepRow {
+            benchmark: "b".into(),
+            actions: vec!["a".into()],
+            from_state: i,
+            state: i + 1,
+            reward: 1.0,
+        }
+    }
+
     #[test]
     fn async_logger_is_lossless() {
         let db = Arc::new(Mutex::new(Database::new()));
         let logger = AsyncLogger::new(Arc::clone(&db));
         for i in 0..100 {
-            logger.log(
-                StepRow {
-                    benchmark: "b".into(),
-                    actions: vec!["a".into()],
-                    from_state: i,
-                    state: i + 1,
-                    reward: 1.0,
-                },
-                None,
-            );
+            logger.log_step(step(i));
+            logger.log_observation(ObservationRow {
+                state: i + 1,
+                autophase: vec![1],
+                inst_count: vec![2],
+                ir_instruction_count: 3.0,
+                ir_text: String::new(),
+            });
         }
+        assert_eq!(logger.dropped_records(), 0);
         let db = logger.finish();
         assert_eq!(db.lock().steps.len(), 100);
+        assert_eq!(db.lock().observations.len(), 100);
+    }
+
+    #[test]
+    fn async_logger_drop_newest_counts_drops() {
+        let db = Arc::new(Mutex::new(Database::new()));
+        // Stall the writer by holding the database lock while flooding a
+        // 1-deep queue: overflow must drop and count, never block.
+        let logger = AsyncLogger::with_capacity(Arc::clone(&db), 1, Backpressure::DropNewest);
+        let sent = 500u64;
+        {
+            let _stall = db.lock();
+            for i in 0..sent {
+                logger.log_step(step(i));
+            }
+        }
+        let dropped = logger.dropped_records();
+        assert!(dropped > 0, "a 1-deep queue cannot absorb {sent} sends");
+        let db = logger.finish();
+        let kept = db.lock().steps.len() as u64;
+        assert_eq!(kept + dropped, sent, "every message is kept or counted");
     }
 }

@@ -1,0 +1,903 @@
+//! The durable transition store: a queryable index over the checksummed
+//! write-ahead log of [`crate::log`].
+//!
+//! # Architecture
+//!
+//! Callers log transitions through [`TransitionStore::log_reset`] /
+//! [`TransitionStore::log_step`]; the caller-side cost is a hash plus an
+//! index insert plus an enqueue onto a *bounded* channel. A dedicated
+//! writer thread owns the WAL and drains the queue: it encodes records,
+//! appends them (retrying once after a rolled-back torn write), and runs
+//! feature extraction (Autophase, InstCount, instruction count) for states
+//! it has not seen before. The [`Backpressure`] policy decides what
+//! happens when the queue is full: `Block` (lossless, applies backpressure
+//! to the environment loop) or `DropNewest` (lossy, never blocks); every
+//! dropped record is counted — nothing is lost silently.
+//!
+//! # Index
+//!
+//! Three maps, rebuilt from the log on open (recovery replays every intact
+//! record through the same code path):
+//!
+//! * `initial`: benchmark → initial-state hash (episode starts),
+//! * `edges`: `(state, action-name)` → `(state', reward)` — the paper's
+//!   deduplicated `StateTransitions` table,
+//! * `observations`: state → [`ObservationRow`] (the `Observations`
+//!   table).
+//!
+//! # Maintenance
+//!
+//! [`scrub_dir`] verifies every checksum (optionally repairing from
+//! redundant copies); [`compact_dir`] rewrites the log keeping one
+//! canonical record per reset / edge / observation, committing crash-safely
+//! via the manifest protocol (new segments first, manifest rename second,
+//! stale deletion last — a crash at any point leaves a correct store).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use cg_core::chaos::IoFaultInjector;
+
+use crate::log::{self, ScrubReport, Wal, WalConfig};
+use crate::{ObservationRow, StepRow};
+
+const TAG_RESET: u8 = b'R';
+const TAG_STEP: u8 = b'S';
+const TAG_OBS: u8 = b'O';
+
+/// An episode start: the benchmark and the hash of its initial state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResetRow {
+    /// Benchmark URI.
+    pub benchmark: String,
+    /// Hash of the initial state.
+    pub state: u64,
+}
+
+/// One logical record in the write-ahead log.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// An episode start.
+    Reset(ResetRow),
+    /// One environment step.
+    Step(StepRow),
+    /// Representations of a unique state.
+    Observation(ObservationRow),
+}
+
+/// Encodes a record as `[tag byte][JSON]`.
+#[must_use]
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let (tag, body) = match rec {
+        WalRecord::Reset(r) => (TAG_RESET, serde_json::to_string(r)),
+        WalRecord::Step(s) => (TAG_STEP, serde_json::to_string(s)),
+        WalRecord::Observation(o) => (TAG_OBS, serde_json::to_string(o)),
+    };
+    let body = body.expect("rows serialize");
+    let mut out = Vec::with_capacity(1 + body.len());
+    out.push(tag);
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Decodes a `[tag byte][JSON]` payload.
+///
+/// # Errors
+/// Returns a description of the framing or JSON problem.
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
+    let (&tag, body) = payload.split_first().ok_or("empty record")?;
+    let body = std::str::from_utf8(body).map_err(|e| e.to_string())?;
+    match tag {
+        TAG_RESET => serde_json::from_str(body)
+            .map(WalRecord::Reset)
+            .map_err(|e| e.to_string()),
+        TAG_STEP => serde_json::from_str(body)
+            .map(WalRecord::Step)
+            .map_err(|e| e.to_string()),
+        TAG_OBS => serde_json::from_str(body)
+            .map(WalRecord::Observation)
+            .map_err(|e| e.to_string()),
+        other => Err(format!("unknown record tag {other:#x}")),
+    }
+}
+
+/// What a full ingest queue does to new records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Block the caller until the writer catches up (lossless).
+    Block,
+    /// Drop the new record and count it (never blocks).
+    DropNewest,
+}
+
+/// Tuning knobs for a [`TransitionStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Write-ahead log settings.
+    pub wal: WalConfig,
+    /// Bounded ingest-queue depth.
+    pub queue_capacity: usize,
+    /// Full-queue policy.
+    pub backpressure: Backpressure,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            wal: WalConfig::default(),
+            queue_capacity: 4096,
+            backpressure: Backpressure::Block,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Index {
+    initial: HashMap<String, u64>,
+    edges: HashMap<(u64, String), (u64, f64)>,
+    observations: HashMap<u64, ObservationRow>,
+    steps: u64,
+}
+
+fn apply_record(index: &mut Index, rec: WalRecord) {
+    match rec {
+        WalRecord::Reset(r) => {
+            index.initial.insert(r.benchmark, r.state);
+        }
+        WalRecord::Step(s) => {
+            index.steps += 1;
+            if let Some(a) = s.actions.last() {
+                index
+                    .edges
+                    .insert((s.from_state, a.clone()), (s.state, s.reward));
+            }
+        }
+        WalRecord::Observation(o) => {
+            index.observations.entry(o.state).or_insert(o);
+        }
+    }
+}
+
+fn extract_observation(state: u64, ir_text: &str) -> ObservationRow {
+    match cg_ir::parser::parse_module(ir_text) {
+        Ok(m) => ObservationRow {
+            state,
+            autophase: cg_llvm::observation::autophase(&m),
+            inst_count: cg_llvm::observation::inst_count(&m),
+            ir_instruction_count: cg_llvm::reward::ir_instruction_count(&m) as f64,
+            ir_text: ir_text.to_string(),
+        },
+        // Non-LLVM text (or damage upstream of us): keep the raw text so
+        // replay can still serve `Ir`, with empty derived features.
+        Err(_) => ObservationRow {
+            state,
+            autophase: Vec::new(),
+            inst_count: Vec::new(),
+            ir_instruction_count: 0.0,
+            ir_text: ir_text.to_string(),
+        },
+    }
+}
+
+enum Ingest {
+    Append(WalRecord),
+    Observe { state: u64, ir_text: String },
+    Flush(mpsc::Sender<()>),
+}
+
+fn append_with_retry(wal: &mut Wal, payload: &[u8], dropped: &AtomicU64) {
+    let stdb = &cg_telemetry::global().stdb;
+    let t0 = Instant::now();
+    for attempt in 0..2 {
+        match wal.append(payload) {
+            Ok(n) => {
+                stdb.ingest_records.inc();
+                stdb.ingest_bytes.add(n);
+                stdb.append_wall.record_duration(t0.elapsed());
+                return;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted && attempt == 0 => {
+                // A torn write was detected and rolled back in place; the
+                // segment is clean again, so one retry is safe.
+                stdb.append_retries.inc();
+            }
+            Err(_) => break,
+        }
+    }
+    dropped.fetch_add(1, Ordering::Relaxed);
+    stdb.dropped_records.inc();
+}
+
+fn writer_loop(
+    mut wal: Wal,
+    index: Arc<Mutex<Index>>,
+    rx: mpsc::Receiver<Ingest>,
+    dropped: Arc<AtomicU64>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Ingest::Append(rec) => append_with_retry(&mut wal, &encode_record(&rec), &dropped),
+            Ingest::Observe { state, ir_text } => {
+                if index.lock().observations.contains_key(&state) {
+                    continue;
+                }
+                let row = extract_observation(state, &ir_text);
+                index
+                    .lock()
+                    .observations
+                    .entry(state)
+                    .or_insert_with(|| row.clone());
+                append_with_retry(
+                    &mut wal,
+                    &encode_record(&WalRecord::Observation(row)),
+                    &dropped,
+                );
+            }
+            Ingest::Flush(ack) => {
+                let _ = wal.flush();
+                update_size_gauges(wal.dir());
+                let _ = ack.send(());
+            }
+        }
+    }
+    let _ = wal.flush();
+    update_size_gauges(wal.dir());
+}
+
+fn update_size_gauges(dir: &Path) {
+    let stdb = &cg_telemetry::global().stdb;
+    if let Ok(segments) = log::list_segments(dir) {
+        stdb.segments.set(segments.len() as i64);
+    }
+    if let Ok(bytes) = log::dir_bytes(dir) {
+        stdb.store_bytes.set(bytes.min(i64::MAX as u64) as i64);
+    }
+}
+
+/// Point-in-time store counters for `cg stdb stats` and `cg stats`.
+#[derive(Debug, Clone, Serialize)]
+pub struct StoreStats {
+    /// Store directory.
+    pub dir: String,
+    /// Step records indexed.
+    pub steps: u64,
+    /// Deduplicated `(state, action) → (state', reward)` edges.
+    pub edges: u64,
+    /// Unique states with observations.
+    pub observations: u64,
+    /// Benchmarks with a recorded initial state.
+    pub benchmarks: u64,
+    /// Records dropped by backpressure or unrecoverable append errors.
+    pub dropped_records: u64,
+    /// Live segment files.
+    pub segments: u64,
+    /// Bytes across live segments.
+    pub bytes: u64,
+    /// Intact records recovered at open.
+    pub recovered_records: u64,
+    /// Torn tails truncated at open.
+    pub torn_tails: u64,
+    /// Corrupt frames quarantined at open.
+    pub quarantined: u64,
+    /// Checksum-valid records that failed to decode at open (counted,
+    /// never silently skipped).
+    pub decode_failures: u64,
+}
+
+/// The durable transition store. Cheap to share via [`Arc`]; one writer
+/// thread per store. Dropping the store flushes and joins the writer.
+pub struct TransitionStore {
+    dir: PathBuf,
+    index: Arc<Mutex<Index>>,
+    tx: Mutex<Option<mpsc::SyncSender<Ingest>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    dropped: Arc<AtomicU64>,
+    backpressure: Backpressure,
+    recovery: log::RecoveryReport,
+    decode_failures: u64,
+}
+
+impl TransitionStore {
+    /// Opens (creating if needed) the store at `dir`, running WAL recovery
+    /// and rebuilding the index from every intact record.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn open(dir: &Path, cfg: StoreConfig) -> io::Result<TransitionStore> {
+        TransitionStore::open_with_faults(dir, cfg, None)
+    }
+
+    /// [`TransitionStore::open`] with a chaos fault injector threaded into
+    /// the WAL's read and write paths.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn open_with_faults(
+        dir: &Path,
+        cfg: StoreConfig,
+        injector: Option<IoFaultInjector>,
+    ) -> io::Result<TransitionStore> {
+        let mut index = Index::default();
+        let mut decode_failures = 0u64;
+        let (wal, recovery) = Wal::open(dir, cfg.wal, injector, |payload| {
+            match decode_record(payload) {
+                Ok(rec) => apply_record(&mut index, rec),
+                Err(_) => decode_failures += 1,
+            }
+        })?;
+        let stdb = &cg_telemetry::global().stdb;
+        stdb.torn_tails.add(recovery.torn_tails);
+        stdb.quarantined_records.add(recovery.quarantined);
+        update_size_gauges(dir);
+
+        let index = Arc::new(Mutex::new(index));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+        let handle = {
+            let index = Arc::clone(&index);
+            let dropped = Arc::clone(&dropped);
+            std::thread::Builder::new()
+                .name("stdb-writer".into())
+                .spawn(move || writer_loop(wal, index, rx, dropped))
+                .expect("spawn stdb writer")
+        };
+        Ok(TransitionStore {
+            dir: dir.to_path_buf(),
+            index,
+            tx: Mutex::new(Some(tx)),
+            handle: Mutex::new(Some(handle)),
+            dropped,
+            backpressure: cfg.backpressure,
+            recovery,
+            decode_failures,
+        })
+    }
+
+    /// Opens the store at `dir` through a process-global registry, so two
+    /// components (say, the sink and a replay environment) share one
+    /// writer instead of racing on the same files.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn open_shared(dir: &Path, cfg: StoreConfig) -> io::Result<Arc<TransitionStore>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Weak<TransitionStore>>>> = OnceLock::new();
+        fs::create_dir_all(dir)?;
+        let key = fs::canonicalize(dir)?;
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = registry.lock();
+        if let Some(live) = map.get(&key).and_then(Weak::upgrade) {
+            return Ok(live);
+        }
+        let store = Arc::new(TransitionStore::open(dir, cfg)?);
+        map.insert(key, Arc::downgrade(&store));
+        Ok(store)
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// What recovery found at open.
+    #[must_use]
+    pub fn recovery(&self) -> &log::RecoveryReport {
+        &self.recovery
+    }
+
+    fn enqueue(&self, msg: Ingest) {
+        let guard = self.tx.lock();
+        let Some(tx) = guard.as_ref() else {
+            self.count_drop();
+            return;
+        };
+        match self.backpressure {
+            Backpressure::Block => {
+                if tx.send(msg).is_err() {
+                    self.count_drop();
+                }
+            }
+            Backpressure::DropNewest => {
+                if tx.try_send(msg).is_err() {
+                    self.count_drop();
+                }
+            }
+        }
+    }
+
+    fn count_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        cg_telemetry::global().stdb.dropped_records.inc();
+    }
+
+    /// Logs an episode start, returning the initial state's hash.
+    pub fn log_reset(&self, benchmark: &str, ir_text: &str) -> u64 {
+        let state = cg_ir::fnv1a(ir_text.as_bytes());
+        self.index
+            .lock()
+            .initial
+            .insert(benchmark.to_string(), state);
+        self.enqueue(Ingest::Append(WalRecord::Reset(ResetRow {
+            benchmark: benchmark.to_string(),
+            state,
+        })));
+        self.observe_state(state, ir_text);
+        state
+    }
+
+    /// Registers a state without an edge or reset marker (an environment
+    /// resuming from a restored snapshot), returning its hash.
+    pub fn log_state(&self, ir_text: &str) -> u64 {
+        let state = cg_ir::fnv1a(ir_text.as_bytes());
+        self.observe_state(state, ir_text);
+        state
+    }
+
+    /// Logs one step, returning the destination state's hash.
+    pub fn log_step(
+        &self,
+        benchmark: &str,
+        action_history: &[String],
+        from_state: u64,
+        ir_text: &str,
+        reward: f64,
+    ) -> u64 {
+        let state = cg_ir::fnv1a(ir_text.as_bytes());
+        {
+            let mut index = self.index.lock();
+            index.steps += 1;
+            if let Some(a) = action_history.last() {
+                index.edges.insert((from_state, a.clone()), (state, reward));
+            }
+        }
+        self.enqueue(Ingest::Append(WalRecord::Step(StepRow {
+            benchmark: benchmark.to_string(),
+            actions: action_history.to_vec(),
+            from_state,
+            state,
+            reward,
+        })));
+        self.observe_state(state, ir_text);
+        state
+    }
+
+    fn observe_state(&self, state: u64, ir_text: &str) {
+        if self.index.lock().observations.contains_key(&state) {
+            return;
+        }
+        self.enqueue(Ingest::Observe {
+            state,
+            ir_text: ir_text.to_string(),
+        });
+    }
+
+    /// The recorded initial state for a benchmark.
+    #[must_use]
+    pub fn initial_state(&self, benchmark: &str) -> Option<u64> {
+        self.index.lock().initial.get(benchmark).copied()
+    }
+
+    /// The recorded `(state', reward)` for taking `action` in `state`.
+    #[must_use]
+    pub fn transition(&self, state: u64, action: &str) -> Option<(u64, f64)> {
+        self.index
+            .lock()
+            .edges
+            .get(&(state, action.to_string()))
+            .copied()
+    }
+
+    /// The stored observations of a state.
+    #[must_use]
+    pub fn observation(&self, state: u64) -> Option<ObservationRow> {
+        self.index.lock().observations.get(&state).cloned()
+    }
+
+    /// Records dropped so far (backpressure + unrecoverable appends).
+    #[must_use]
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until everything enqueued so far is on disk (fsync'd).
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        {
+            let guard = self.tx.lock();
+            let Some(tx) = guard.as_ref() else { return };
+            if tx.send(Ingest::Flush(ack_tx)).is_err() {
+                return;
+            }
+        }
+        let _ = ack_rx.recv();
+    }
+
+    /// Point-in-time counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let (steps, edges, observations, benchmarks) = {
+            let index = self.index.lock();
+            (
+                index.steps,
+                index.edges.len() as u64,
+                index.observations.len() as u64,
+                index.initial.len() as u64,
+            )
+        };
+        StoreStats {
+            dir: self.dir.display().to_string(),
+            steps,
+            edges,
+            observations,
+            benchmarks,
+            dropped_records: self.dropped_records(),
+            segments: log::list_segments(&self.dir)
+                .map(|s| s.len() as u64)
+                .unwrap_or(0),
+            bytes: log::dir_bytes(&self.dir).unwrap_or(0),
+            recovered_records: self.recovery.records,
+            torn_tails: self.recovery.torn_tails,
+            quarantined: self.recovery.quarantined,
+            decode_failures: self.decode_failures,
+        }
+    }
+}
+
+impl Drop for TransitionStore {
+    fn drop(&mut self) {
+        self.tx.lock().take();
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Adapts a shared [`TransitionStore`] to the core's
+/// [`cg_core::TransitionSink`] hook, so every environment evaluation in
+/// the process flows into the log.
+pub struct StoreSink(pub Arc<TransitionStore>);
+
+impl cg_core::TransitionSink for StoreSink {
+    fn record_reset(&self, benchmark: &str, ir_text: &str) -> u64 {
+        self.0.log_reset(benchmark, ir_text)
+    }
+
+    fn record_state(&self, ir_text: &str) -> u64 {
+        self.0.log_state(ir_text)
+    }
+
+    fn record_step(
+        &self,
+        benchmark: &str,
+        action_history: &[String],
+        from_state: u64,
+        ir_text: &str,
+        reward: f64,
+    ) -> u64 {
+        self.0
+            .log_step(benchmark, action_history, from_state, ir_text, reward)
+    }
+}
+
+/// Verifies every checksum in the store at `dir`; with `repair`, truncates
+/// torn tails, excises unrepairable frames to `quarantine/`, and rewrites
+/// corrupt records from redundant intact copies. Must not run while a
+/// writer has the directory open.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn scrub_dir(
+    dir: &Path,
+    cfg: &WalConfig,
+    repair: bool,
+    injector: Option<&IoFaultInjector>,
+) -> io::Result<ScrubReport> {
+    let rep = log::scrub(dir, cfg, repair, injector)?;
+    let stdb = &cg_telemetry::global().stdb;
+    stdb.scrub_ok.add(rep.records_ok);
+    stdb.scrub_corrupt.add(rep.records_corrupt);
+    stdb.scrub_repaired.add(rep.repaired);
+    stdb.quarantined_records.add(rep.quarantined);
+    update_size_gauges(dir);
+    Ok(rep)
+}
+
+/// What [`compact_dir`] did.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompactReport {
+    /// Records before compaction.
+    pub records_before: u64,
+    /// Canonical records after compaction.
+    pub records_after: u64,
+    /// Segments before.
+    pub segments_before: u64,
+    /// Segments after.
+    pub segments_after: u64,
+    /// Bytes before.
+    pub bytes_before: u64,
+    /// Bytes after.
+    pub bytes_after: u64,
+    /// Corrupt frames skipped (run `scrub` first to repair them).
+    pub corrupt_skipped: u64,
+}
+
+/// Rewrites the log keeping one canonical record per reset, per
+/// `(state, action)` edge (last write wins), and per observed state.
+/// Crash-safe: new segments are written and synced first, the manifest is
+/// renamed into place second, and stale segments are deleted last — a
+/// crash at any point leaves a store that opens correctly (duplicates are
+/// idempotent under index rebuild). Must not run while a writer has the
+/// directory open.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn compact_dir(dir: &Path, cfg: &WalConfig) -> io::Result<CompactReport> {
+    let segments = log::list_segments(dir)?;
+    let segments_before = segments.len() as u64;
+    let bytes_before = log::dir_bytes(dir)?;
+    let max_seq = segments.last().map_or(0, |(seq, _)| *seq);
+
+    let mut records_before = 0u64;
+    let mut initial: HashMap<String, u64> = HashMap::new();
+    let mut edges: HashMap<(u64, String), StepRow> = HashMap::new();
+    let mut observations: HashMap<u64, ObservationRow> = HashMap::new();
+    let (corrupt, _torn) = log::read_records(dir, cfg, |payload| {
+        records_before += 1;
+        match decode_record(payload) {
+            Ok(WalRecord::Reset(r)) => {
+                initial.insert(r.benchmark.clone(), r.state);
+            }
+            Ok(WalRecord::Step(s)) => {
+                if let Some(a) = s.actions.last() {
+                    // Canonical edge: keep the benchmark but trim the
+                    // history to the edge's own action.
+                    let key = (s.from_state, a.clone());
+                    let row = StepRow {
+                        benchmark: s.benchmark,
+                        actions: vec![a.clone()],
+                        from_state: s.from_state,
+                        state: s.state,
+                        reward: s.reward,
+                    };
+                    edges.insert(key, row);
+                }
+            }
+            Ok(WalRecord::Observation(o)) => {
+                observations.entry(o.state).or_insert(o);
+            }
+            Err(_) => {}
+        }
+    })?;
+
+    // Deterministic output order: resets, then edges, then observations,
+    // each sorted by key.
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    let mut resets: Vec<(&String, &u64)> = initial.iter().collect();
+    resets.sort();
+    for (benchmark, state) in resets {
+        payloads.push(encode_record(&WalRecord::Reset(ResetRow {
+            benchmark: benchmark.clone(),
+            state: *state,
+        })));
+    }
+    let mut edge_keys: Vec<&(u64, String)> = edges.keys().collect();
+    edge_keys.sort();
+    for key in edge_keys {
+        payloads.push(encode_record(&WalRecord::Step(edges[key].clone())));
+    }
+    let mut states: Vec<&u64> = observations.keys().collect();
+    states.sort();
+    for s in states {
+        payloads.push(encode_record(&WalRecord::Observation(
+            observations[s].clone(),
+        )));
+    }
+    let records_after = payloads.len() as u64;
+
+    // Phase 1: write the compacted segments above every existing seq.
+    let mut live_names = Vec::new();
+    let mut seq = max_seq + 1;
+    let mut frame_buf: Vec<u8> = log::SEGMENT_MAGIC.to_vec();
+    let flush_segment = |seq: u64, buf: &mut Vec<u8>| -> io::Result<String> {
+        use std::io::Write;
+        let name = log::segment_name(seq);
+        let tmp = dir.join(format!("{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, dir.join(&name))?;
+        buf.clear();
+        buf.extend_from_slice(log::SEGMENT_MAGIC);
+        Ok(name)
+    };
+    for payload in &payloads {
+        let frame_len = log::FRAME_HEADER as usize + payload.len();
+        if frame_buf.len() > log::SEGMENT_MAGIC.len()
+            && (frame_buf.len() + frame_len) as u64 > cfg.segment_bytes
+        {
+            live_names.push(flush_segment(seq, &mut frame_buf)?);
+            seq += 1;
+        }
+        frame_buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame_buf.extend_from_slice(&log::crc32(payload).to_le_bytes());
+        frame_buf.extend_from_slice(payload);
+    }
+    live_names.push(flush_segment(seq, &mut frame_buf)?);
+
+    // Phase 2: commit — the manifest rename is the atomic switch-over.
+    log::write_manifest(dir, &live_names)?;
+
+    // Phase 3: delete superseded segments (recovery redoes this if we
+    // crash here).
+    for (seq, path) in &segments {
+        if !live_names.contains(&log::segment_name(*seq)) {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    cg_telemetry::global().stdb.compactions.inc();
+    update_size_gauges(dir);
+    Ok(CompactReport {
+        records_before,
+        records_after,
+        segments_before,
+        segments_after: live_names.len() as u64,
+        bytes_before,
+        bytes_after: log::dir_bytes(dir)?,
+        corrupt_skipped: corrupt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cg-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    const IR_A: &str =
+        "module \"t\"\ndefine i64 @f(i64 %0) {\nbb0:\n  %1 = add i64 %0, 1\n  ret %1\n}\n";
+    const IR_B: &str = "module \"t\"\ndefine i64 @f(i64 %0) {\nbb0:\n  ret %0\n}\n";
+
+    #[test]
+    fn record_codec_round_trips() {
+        let rows = vec![
+            WalRecord::Reset(ResetRow {
+                benchmark: "benchmark://b/1".into(),
+                state: 42,
+            }),
+            WalRecord::Step(StepRow {
+                benchmark: "benchmark://b/1".into(),
+                actions: vec!["mem2reg".into(), "dce".into()],
+                from_state: 42,
+                state: 43,
+                reward: 1.5,
+            }),
+            WalRecord::Observation(ObservationRow {
+                state: 43,
+                autophase: vec![1, 2, 3],
+                inst_count: vec![4, 5],
+                ir_instruction_count: 9.0,
+                ir_text: "define void @g() {\nentry:\n  ret void\n}\n".into(),
+            }),
+        ];
+        for rec in rows {
+            let enc = encode_record(&rec);
+            match (rec, decode_record(&enc).unwrap()) {
+                (WalRecord::Reset(a), WalRecord::Reset(b)) => assert_eq!(a, b),
+                (WalRecord::Step(a), WalRecord::Step(b)) => assert_eq!(a, b),
+                (WalRecord::Observation(a), WalRecord::Observation(b)) => assert_eq!(a, b),
+                _ => panic!("tag changed in flight"),
+            }
+        }
+        assert!(decode_record(&[]).is_err());
+        assert!(decode_record(b"Xjunk").is_err());
+    }
+
+    #[test]
+    fn log_reopen_preserves_index() {
+        let dir = tmpdir("reopen");
+        let a;
+        let b;
+        {
+            let store = TransitionStore::open(&dir, StoreConfig::default()).unwrap();
+            a = store.log_reset("benchmark://b/1", IR_A);
+            b = store.log_step("benchmark://b/1", &["simplifycfg".into()], a, IR_B, 2.0);
+            store.flush();
+            assert_eq!(store.stats().steps, 1);
+            assert_eq!(store.dropped_records(), 0);
+        }
+        let store = TransitionStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.initial_state("benchmark://b/1"), Some(a));
+        assert_eq!(store.transition(a, "simplifycfg"), Some((b, 2.0)));
+        let obs = store.observation(b).unwrap();
+        assert_eq!(obs.ir_text, IR_B);
+        assert!(obs.ir_instruction_count > 0.0);
+        assert!(!obs.autophase.is_empty());
+        let stats = store.stats();
+        assert_eq!(stats.recovered_records, 4); // reset + step + 2 observations
+        assert_eq!(stats.observations, 2);
+        assert_eq!(stats.edges, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_newest_counts_instead_of_blocking() {
+        let dir = tmpdir("backpressure");
+        let cfg = StoreConfig {
+            queue_capacity: 1,
+            backpressure: Backpressure::DropNewest,
+            ..StoreConfig::default()
+        };
+        let store = TransitionStore::open(&dir, cfg).unwrap();
+        // Hammer the 1-deep queue; some records must drop, all drops must
+        // be counted, and nothing may block.
+        for i in 0..200u64 {
+            let ir = format!("define void @f{i}() {{\nentry:\n  ret void\n}}\n");
+            store.log_step("benchmark://b/1", &["a".into()], i, &ir, 0.0);
+        }
+        store.flush();
+        let persisted = cg_telemetry::global().stdb.ingest_records.get();
+        let _ = persisted;
+        // The in-memory index is always complete (it is updated
+        // synchronously); only WAL persistence is lossy under DropNewest.
+        assert_eq!(store.stats().steps, 200);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_dedupes_and_survives_reopen() {
+        let dir = tmpdir("compact");
+        let a;
+        let b;
+        {
+            let store = TransitionStore::open(&dir, StoreConfig::default()).unwrap();
+            a = store.log_reset("benchmark://b/1", IR_A);
+            b = store.log_step("benchmark://b/1", &["dce".into()], a, IR_B, 1.0);
+            // The same edge logged many times over.
+            for _ in 0..50 {
+                store.log_step("benchmark://b/1", &["dce".into()], a, IR_B, 1.0);
+                store.log_reset("benchmark://b/1", IR_A);
+            }
+            store.flush();
+        }
+        let rep = compact_dir(&dir, &WalConfig::default()).unwrap();
+        assert!(rep.records_before > rep.records_after, "{rep:?}");
+        assert_eq!(rep.corrupt_skipped, 0);
+        // 1 reset + 1 edge + 2 observations.
+        assert_eq!(rep.records_after, 4);
+        assert!(rep.bytes_after < rep.bytes_before);
+
+        let store = TransitionStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.initial_state("benchmark://b/1"), Some(a));
+        assert_eq!(store.transition(a, "dce"), Some((b, 1.0)));
+        assert!(store.observation(a).is_some());
+        assert!(store.observation(b).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_shared_returns_one_instance_per_dir() {
+        let dir = tmpdir("shared");
+        let s1 = TransitionStore::open_shared(&dir, StoreConfig::default()).unwrap();
+        let s2 = TransitionStore::open_shared(&dir, StoreConfig::default()).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

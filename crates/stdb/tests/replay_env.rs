@@ -1,0 +1,158 @@
+//! The replay environment against the live one: a store populated from a
+//! live episode must replay the same seed to a bit-identical episode
+//! (rewards, observations, done flags), and anything the store cannot
+//! answer must fall through to the live compiler gracefully — an honest
+//! miss, never an error.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cg_core::Observation;
+use cg_stdb::{StoreConfig, StoreSink, TransitionStore};
+
+/// The global transition sink is process state; serialize the tests that
+/// install one.
+fn sink_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cg-replay-env-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One deterministic action schedule shared by the live and replay arms.
+fn actions(seed: u64, n: usize, steps: usize) -> Vec<usize> {
+    use cg_core::retry::splitmix64;
+    (0..steps)
+        .map(|s| (splitmix64(seed ^ (s as u64).wrapping_mul(0x9E37)) % n as u64) as usize)
+        .collect()
+}
+
+struct EpisodeTrace {
+    rewards: Vec<f64>,
+    done: Vec<bool>,
+    observations: Vec<Observation>,
+    episode_reward: f64,
+}
+
+fn run(env: &mut cg_core::CompilerEnv, schedule: &[usize]) -> EpisodeTrace {
+    env.reset().expect("reset");
+    let mut trace = EpisodeTrace {
+        rewards: Vec::new(),
+        done: Vec::new(),
+        observations: Vec::new(),
+        episode_reward: 0.0,
+    };
+    for &a in schedule {
+        let step = env.step(a).expect("step");
+        trace.rewards.push(step.reward);
+        trace.done.push(step.done);
+        trace.observations.push(step.observation);
+        if step.done {
+            break;
+        }
+    }
+    trace.episode_reward = env.episode_reward();
+    trace
+}
+
+/// Same store, same seed ⇒ the replay environment reproduces the live
+/// episode bit for bit: every step reward, every Autophase observation,
+/// every done flag, and the episode total.
+#[test]
+fn replay_reproduces_live_episode_exactly() {
+    let _guard = sink_lock().lock().unwrap();
+    cg_stdb::install();
+    let dir = fresh_dir("determinism");
+    let benchmark = "benchmark://cbench-v1/qsort";
+
+    // Live arm, with every transition flowing into the store.
+    let store = TransitionStore::open_shared(&dir, StoreConfig::default()).expect("open store");
+    cg_core::install_transition_sink(Arc::new(StoreSink(Arc::clone(&store))));
+    let mut live = cg_core::make("llvm-v0").expect("live env");
+    live.set_benchmark(benchmark);
+    let schedule = actions(41, live.action_space().len(), 10);
+    let live_trace = run(&mut live, &schedule);
+    drop(live);
+    store.flush();
+    cg_core::clear_transition_sink();
+    drop(store);
+
+    // Replay arm over the same trajectory.
+    let uri = format!("replay://llvm-v0?dir={}", dir.display());
+    let mut replay = cg_core::make(&uri).expect("replay env");
+    replay.set_benchmark(benchmark);
+    let replay_trace = run(&mut replay, &schedule);
+    drop(replay);
+
+    assert_eq!(
+        live_trace.rewards, replay_trace.rewards,
+        "step rewards diverged"
+    );
+    assert_eq!(live_trace.done, replay_trace.done, "done flags diverged");
+    assert_eq!(
+        live_trace.observations, replay_trace.observations,
+        "observations diverged"
+    );
+    assert!(
+        (live_trace.episode_reward - replay_trace.episode_reward).abs() == 0.0,
+        "episode reward diverged: live {} vs replay {}",
+        live_trace.episode_reward,
+        replay_trace.episode_reward
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A store that has never seen the benchmark or the trajectory still
+/// serves complete episodes: every miss falls through to the live
+/// compiler, and the fall-through episode matches a purely live one.
+#[test]
+fn unseen_trajectories_fall_through_to_live() {
+    let _guard = sink_lock().lock().unwrap();
+    cg_stdb::install();
+    cg_core::clear_transition_sink();
+    let dir = fresh_dir("fallthrough");
+
+    // Seed the store with one qsort trajectory only.
+    let store = TransitionStore::open_shared(&dir, StoreConfig::default()).expect("open store");
+    cg_core::install_transition_sink(Arc::new(StoreSink(Arc::clone(&store))));
+    let mut live = cg_core::make("llvm-v0").expect("live env");
+    live.set_benchmark("benchmark://cbench-v1/qsort");
+    let seen = actions(41, live.action_space().len(), 6);
+    run(&mut live, &seen);
+    store.flush();
+    cg_core::clear_transition_sink();
+
+    // Reference episodes from a live environment, no sink.
+    let unseen = actions(97, live.action_space().len(), 6);
+    live.set_benchmark("benchmark://cbench-v1/sha");
+    let live_other_bench = run(&mut live, &seen);
+    live.set_benchmark("benchmark://cbench-v1/qsort");
+    let live_other_actions = run(&mut live, &unseen);
+    drop(live);
+    drop(store);
+
+    let uri = format!("replay://llvm-v0?dir={}", dir.display());
+    let mut replay = cg_core::make(&uri).expect("replay env");
+
+    // Unseen benchmark: init itself is a miss; the whole episode is live.
+    replay.set_benchmark("benchmark://cbench-v1/sha");
+    let via_fallthrough_bench = run(&mut replay, &seen);
+    assert_eq!(
+        live_other_bench.rewards, via_fallthrough_bench.rewards,
+        "fall-through episode must match a live one"
+    );
+
+    // Seen benchmark, unseen actions: falls through mid-episode.
+    replay.set_benchmark("benchmark://cbench-v1/qsort");
+    let via_fallthrough_actions = run(&mut replay, &unseen);
+    assert_eq!(
+        live_other_actions.rewards, via_fallthrough_actions.rewards,
+        "mid-episode fall-through must match a live episode"
+    );
+    drop(replay);
+    let _ = std::fs::remove_dir_all(&dir);
+}

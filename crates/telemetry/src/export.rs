@@ -456,6 +456,87 @@ pub fn collect(snap: &TelemetrySnapshot) -> Vec<MetricFamily> {
         &snap.broker.queue_wait,
     ));
 
+    // Transition store.
+    for (name, help, v) in [
+        (
+            "cg_stdb_ingest_records_total",
+            "Records durably appended to the transition-store WAL.",
+            snap.stdb.ingest_records,
+        ),
+        (
+            "cg_stdb_ingest_bytes_total",
+            "Payload bytes appended to the transition-store WAL.",
+            snap.stdb.ingest_bytes,
+        ),
+        (
+            "cg_stdb_dropped_records_total",
+            "Records dropped by ingest backpressure or append failure.",
+            snap.stdb.dropped_records,
+        ),
+        (
+            "cg_stdb_append_retries_total",
+            "Appends retried after a rolled-back torn write.",
+            snap.stdb.append_retries,
+        ),
+        (
+            "cg_stdb_replay_hits_total",
+            "Replay-env steps answered from the store.",
+            snap.stdb.replay_hits,
+        ),
+        (
+            "cg_stdb_replay_misses_total",
+            "Replay-env requests that fell through to the live compiler.",
+            snap.stdb.replay_misses,
+        ),
+        (
+            "cg_stdb_quarantined_records_total",
+            "Corrupt records quarantined by recovery or scrub.",
+            snap.stdb.quarantined_records,
+        ),
+        (
+            "cg_stdb_torn_tails_total",
+            "Torn WAL tails truncated during recovery-on-open.",
+            snap.stdb.torn_tails,
+        ),
+        (
+            "cg_stdb_scrub_corrupt_total",
+            "Checksum failures found by scrub.",
+            snap.stdb.scrub_corrupt,
+        ),
+        (
+            "cg_stdb_scrub_repaired_total",
+            "Corrupt records repaired from intact duplicates.",
+            snap.stdb.scrub_repaired,
+        ),
+        (
+            "cg_stdb_checkpoint_rejects_total",
+            "Checkpoint files rejected at load (bad checksum or torn).",
+            snap.stdb.checkpoint_rejects,
+        ),
+        (
+            "cg_stdb_compactions_total",
+            "Transition-store compactions completed.",
+            snap.stdb.compactions,
+        ),
+    ] {
+        out.push(counter(name, help, v));
+    }
+    out.push(gauge(
+        "cg_stdb_segments",
+        "Live transition-store WAL segments.",
+        snap.stdb.segments as f64,
+    ));
+    out.push(gauge(
+        "cg_stdb_store_bytes",
+        "Bytes across live transition-store WAL segments.",
+        snap.stdb.store_bytes as f64,
+    ));
+    out.push(summary(
+        "cg_stdb_append_wall_micros",
+        "WAL append wall time in microseconds.",
+        &snap.stdb.append_wall,
+    ));
+
     // Fuzzer.
     out.push(counter(
         "cg_fuzz_cases_total",

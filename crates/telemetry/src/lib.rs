@@ -1520,6 +1520,114 @@ pub struct BrokerSnapshot {
     pub queue_wait: HistogramSnapshot,
 }
 
+/// Transition-store (`cg-stdb`) statistics: WAL ingest, backpressure,
+/// recovery, scrub/compaction, and the replay environment's hit rate.
+#[derive(Debug, Default)]
+pub struct StdbStats {
+    /// Records durably appended to the write-ahead log.
+    pub ingest_records: Counter,
+    /// Payload bytes appended to the write-ahead log.
+    pub ingest_bytes: Counter,
+    /// Records dropped by the bounded ingest queue's backpressure policy
+    /// (or abandoned after an unrecoverable append error). Every drop is
+    /// counted — the store never loses a record silently.
+    pub dropped_records: Counter,
+    /// Appends retried after an in-process torn write was rolled back.
+    pub append_retries: Counter,
+    /// Replay-environment steps answered straight from the store.
+    pub replay_hits: Counter,
+    /// Replay-environment requests that fell through to the live compiler
+    /// (missing or quarantined transition; traced as `stdb:miss`).
+    pub replay_misses: Counter,
+    /// Corrupt records quarantined during recovery or scrub (never
+    /// silently skipped).
+    pub quarantined_records: Counter,
+    /// Torn tails truncated during recovery-on-open.
+    pub torn_tails: Counter,
+    /// Records whose checksum verified clean during scrub.
+    pub scrub_ok: Counter,
+    /// Checksum failures found by scrub.
+    pub scrub_corrupt: Counter,
+    /// Corrupt records repaired from an intact duplicate elsewhere in the
+    /// log (content-addressed by the record checksum).
+    pub scrub_repaired: Counter,
+    /// Checkpoint files rejected at load time (bad checksum or torn JSON),
+    /// quarantined and answered by the in-memory ring fallback.
+    pub checkpoint_rejects: Counter,
+    /// Compactions completed.
+    pub compactions: Counter,
+    /// Live WAL segment files.
+    pub segments: Gauge,
+    /// Bytes across live WAL segment files.
+    pub store_bytes: Gauge,
+    /// Wall time of individual WAL appends (writer thread side).
+    pub append_wall: Histogram,
+}
+
+impl StdbStats {
+    /// Captures the summary.
+    pub fn snapshot(&self) -> StdbSnapshot {
+        StdbSnapshot {
+            ingest_records: self.ingest_records.get(),
+            ingest_bytes: self.ingest_bytes.get(),
+            dropped_records: self.dropped_records.get(),
+            append_retries: self.append_retries.get(),
+            replay_hits: self.replay_hits.get(),
+            replay_misses: self.replay_misses.get(),
+            quarantined_records: self.quarantined_records.get(),
+            torn_tails: self.torn_tails.get(),
+            scrub_ok: self.scrub_ok.get(),
+            scrub_corrupt: self.scrub_corrupt.get(),
+            scrub_repaired: self.scrub_repaired.get(),
+            checkpoint_rejects: self.checkpoint_rejects.get(),
+            compactions: self.compactions.get(),
+            segments: self.segments.get(),
+            store_bytes: self.store_bytes.get(),
+            append_wall: self.append_wall.snapshot(),
+        }
+    }
+
+    fn reset(&self) {
+        self.ingest_records.reset();
+        self.ingest_bytes.reset();
+        self.dropped_records.reset();
+        self.append_retries.reset();
+        self.replay_hits.reset();
+        self.replay_misses.reset();
+        self.quarantined_records.reset();
+        self.torn_tails.reset();
+        self.scrub_ok.reset();
+        self.scrub_corrupt.reset();
+        self.scrub_repaired.reset();
+        self.checkpoint_rejects.reset();
+        self.compactions.reset();
+        self.segments.reset();
+        self.store_bytes.reset();
+        self.append_wall.reset();
+    }
+}
+
+/// Serializable form of [`StdbStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StdbSnapshot {
+    pub ingest_records: u64,
+    pub ingest_bytes: u64,
+    pub dropped_records: u64,
+    pub append_retries: u64,
+    pub replay_hits: u64,
+    pub replay_misses: u64,
+    pub quarantined_records: u64,
+    pub torn_tails: u64,
+    pub scrub_ok: u64,
+    pub scrub_corrupt: u64,
+    pub scrub_repaired: u64,
+    pub checkpoint_rejects: u64,
+    pub compactions: u64,
+    pub segments: i64,
+    pub store_bytes: i64,
+    pub append_wall: HistogramSnapshot,
+}
+
 /// The telemetry registry for one process.
 ///
 /// Most code uses the shared [`global`] instance; tests may build private
@@ -1575,6 +1683,8 @@ pub struct Telemetry {
     pub pool: PoolStats,
     /// Multi-tenant session-broker front-door statistics.
     pub broker: BrokerStats,
+    /// Transition-store (WAL ingest, scrub, replay) statistics.
+    pub stdb: StdbStats,
     /// Structured trace ring with the embedded episode flight recorder.
     pub trace: TraceBuffer,
     /// Step-latency service-level objective tracking.
@@ -1629,6 +1739,7 @@ impl Telemetry {
             fuzz: self.fuzz.snapshot(),
             pool: self.pool.snapshot(),
             broker: self.broker.snapshot(),
+            stdb: self.stdb.snapshot(),
             trace_events: self.trace.len() as u64,
             trace_dropped: self.trace.dropped(),
             episodes_recorded: self.trace.recorder().recorded(),
@@ -1662,6 +1773,7 @@ impl Telemetry {
         self.fuzz.reset();
         self.pool.reset();
         self.broker.reset();
+        self.stdb.reset();
         self.trace.clear();
         self.slo.reset();
     }
@@ -1692,6 +1804,7 @@ pub struct TelemetrySnapshot {
     pub fuzz: FuzzSnapshot,
     pub pool: PoolSnapshot,
     pub broker: BrokerSnapshot,
+    pub stdb: StdbSnapshot,
     pub trace_events: u64,
     pub trace_dropped: u64,
     pub episodes_recorded: u64,
