@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a `cg bench-wire` report (BENCH_wire.json).
+
+Gates the wire-protocol PR's load-bearing claims on every CI run:
+
+ * the CGB1 binary codec moves at least 3x fewer bytes per step than the
+   JSON frames it replaces (serial runs compared, client one-way view);
+ * pipelining is never a regression: binary pipelined episodes/s must be
+   at least the binary serial rate (the committed BENCH_wire.json shows
+   ~1.1x; CI allows equality so single-core runner noise cannot flake a
+   gate whose real failure mode — a pipelining slowdown — is far below
+   1.0);
+ * no configuration produced a single frame decode error;
+ * every configuration saw byte-identical observations and derived
+   rewards (the report's `divergences` list is empty).
+"""
+
+import json
+import sys
+
+BYTES_MIN_RATIO = 3.0
+PIPELINE_MIN_SPEEDUP = 1.0
+
+
+def main(path: str) -> int:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    errors = []
+    for key in ("benchmark", "runs", "bytes_ratio", "pipeline_speedup", "divergences"):
+        if key not in report:
+            errors.append(f"missing top-level key `{key}`")
+    if errors:
+        print("\n".join(errors))
+        return 1
+
+    runs = {(r["codec"], r["mode"]): r for r in report["runs"]}
+    for cfg in (
+        ("json", "serial"),
+        ("json", "pipelined"),
+        ("binary", "serial"),
+        ("binary", "pipelined"),
+    ):
+        if cfg not in runs:
+            errors.append(f"missing run {cfg[0]}-{cfg[1]}")
+    if errors:
+        print("\n".join(errors))
+        return 1
+
+    if report["bytes_ratio"] < BYTES_MIN_RATIO:
+        errors.append(
+            f"binary codec saved only {report['bytes_ratio']:.2f}x bytes/step "
+            f"(need >= {BYTES_MIN_RATIO}x)"
+        )
+    if report["pipeline_speedup"] < PIPELINE_MIN_SPEEDUP:
+        errors.append(
+            f"pipelined episodes/s fell below serial "
+            f"({report['pipeline_speedup']:.3f}x < {PIPELINE_MIN_SPEEDUP}x)"
+        )
+    bin_serial = runs[("binary", "serial")]
+    json_serial = runs[("json", "serial")]
+    if bin_serial["bytes_per_step"] > json_serial["bytes_per_step"]:
+        errors.append(
+            f"binary bytes/step {bin_serial['bytes_per_step']} exceeds "
+            f"json {json_serial['bytes_per_step']}"
+        )
+    for (codec, mode), run in sorted(runs.items()):
+        if run["decode_errors"] != 0:
+            errors.append(f"{codec}-{mode} saw {run['decode_errors']} decode errors")
+        if run["steps"] <= 0 or run["episodes_per_sec"] <= 0:
+            errors.append(f"{codec}-{mode} recorded no work: {run}")
+    if report["divergences"]:
+        errors.append(f"codec runs diverged: {report['divergences']}")
+
+    if errors:
+        print("\n".join(errors))
+        return 1
+    print(
+        f"bench-wire ok: bytes ratio {report['bytes_ratio']:.2f}x, "
+        f"pipeline speedup {report['pipeline_speedup']:.2f}x, "
+        f"0 decode errors, digests agree"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_wire.json"))

@@ -83,8 +83,15 @@ fn bench_pipeline_cache(c: &mut Criterion) {
 fn bench_episode_cache(c: &mut Criterion) {
     let space = ActionSpace::new();
     let names = [
-        "mem2reg", "gvn", "licm", "early-cse", "sccp", "instcombine", "dce",
-        "jump-threading", "adce",
+        "mem2reg",
+        "gvn",
+        "licm",
+        "early-cse",
+        "sccp",
+        "instcombine",
+        "dce",
+        "jump-threading",
+        "adce",
     ];
     let seq: Vec<usize> = names
         .iter()

@@ -36,6 +36,8 @@ fn usage() -> ExitCode {
          cg bench-stdb [--episodes N] [--steps N] [--seed S] [--dir DIR] [--out PATH] [--json]\n  \
          cg stats [--json] [--slo-ms MS] [--no-analysis-cache] [--stdb DIR] <env> <benchmark> <steps>\n  \
          cg bench-ir [--benchmark URI] [--iters N] [--episode-len N] [--out PATH] [--json]\n  \
+         cg bench-wire [--benchmark URI] [--episodes N] [--episode-len N] [--window N]\n                \
+         [--out PATH] [--json] [--no-gates]\n  \
          cg trace [--episode ID|last] [--json] [--tcp] [--chaos-seed S]\n           \
          [<env> <benchmark> <steps>]\n  \
          cg export-metrics [--jsonl] [--slo-ms MS] [<env> <benchmark> <steps>]\n  \
@@ -52,11 +54,12 @@ fn usage() -> ExitCode {
          [--ga-budget N] [--ga-pop N] [--seed S] [--stdb DIR] [--out PATH] [--json]\n  \
          cg serve [--addr A] [--env E|--spin-us US] [--workers N] [--max-sessions N]\n           \
          [--tenant-sessions N] [--tenant-aps R] [--burst B] [--queue-depth N]\n           \
-         [--quantum Q] [--max-connections N] [--retry-after-ms MS]\n           \
+         [--quantum Q] [--max-connections N] [--retry-after-ms MS] [--codec json|binary]\n           \
          [--drain-grace-ms MS] [--serve-metrics ADDR] [--drain] [--drain-after-ms MS]\n  \
          cg loadtest [--workers N] [--victims N] [--noisy-clients N] [--tenant-sessions N]\n              \
          [--spin-us US] [--window-ms MS] [--episode-steps N] [--retry-after-ms MS]\n              \
-         [--out PATH] [--json] [--require-shed] [--min-fairness F] [--max-p99-ratio R]"
+         [--codec json|binary] [--out PATH] [--json] [--require-shed]\n              \
+         [--min-fairness F] [--max-p99-ratio R]"
     );
     ExitCode::FAILURE
 }
@@ -79,6 +82,7 @@ fn main() -> ExitCode {
         Some("chaos") => chaos(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
         Some("bench-ir") => bench_ir(&args[1..]),
+        Some("bench-wire") => bench_wire(&args[1..]),
         Some("bench-pool") => bench_pool(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("loadtest") => loadtest(&args[1..]),
@@ -1036,6 +1040,7 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut stampede_size: usize = 32;
     let mut soak_ms: u64 = 1_500;
     let mut json = false;
+    let mut codec = cg_core::WireCodec::Binary;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
@@ -1090,6 +1095,7 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--stampede-size" => stampede_size = val("--stampede-size")?.parse()?,
             "--soak-ms" => soak_ms = val("--soak-ms")?.parse()?,
             "--json" => json = true,
+            "--codec" => codec = val("--codec")?.parse::<cg_core::WireCodec>()?,
             other => return Err(format!("unknown chaos flag `{other}`").into()),
         }
     }
@@ -1104,6 +1110,7 @@ fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             json,
             serve_metrics_addr,
             linger_ms,
+            codec,
         });
     }
     // `--faults io` targets the transition store's disk path instead of the
@@ -2717,6 +2724,7 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut serve_metrics_addr: Option<String> = None;
     let mut drain = false;
     let mut drain_after_ms: u64 = 0;
+    let mut codec = cg_core::WireCodec::Binary;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
@@ -2740,6 +2748,7 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--serve-metrics" => serve_metrics_addr = Some(val("--serve-metrics")?.clone()),
             "--drain" => drain = true,
             "--drain-after-ms" => drain_after_ms = val("--drain-after-ms")?.parse()?,
+            "--codec" => codec = val("--codec")?.parse::<cg_core::WireCodec>()?,
             other => return Err(format!("unknown serve flag `{other}`").into()),
         }
     }
@@ -2752,6 +2761,7 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             Duration::from_secs(600),
             cg_core::RetryPolicy::none(),
         )?;
+        client.set_codec(codec);
         return match client.call(&cg_core::service::Request::Shutdown)? {
             cg_core::service::Response::Ok => {
                 println!("server at {addr} drained");
@@ -2784,6 +2794,7 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             actions_per_sec: tenant_aps,
             burst,
         },
+        binary_wire: codec == cg_core::WireCodec::Binary,
         ..cg_core::BrokerConfig::default()
     };
     let listener = std::net::TcpListener::bind(&addr)?;
@@ -3031,6 +3042,7 @@ fn loadtest(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut max_p99_ratio: f64 = 0.0;
     let mut serve_metrics_addr: Option<String> = None;
     let mut linger_ms: u64 = 0;
+    let mut codec = cg_core::WireCodec::Binary;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
@@ -3054,6 +3066,7 @@ fn loadtest(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--max-p99-ratio" => max_p99_ratio = val("--max-p99-ratio")?.parse()?,
             "--serve-metrics" => serve_metrics_addr = Some(val("--serve-metrics")?.clone()),
             "--linger-ms" => linger_ms = val("--linger-ms")?.parse()?,
+            "--codec" => codec = val("--codec")?.parse::<cg_core::WireCodec>()?,
             other => return Err(format!("unknown loadtest flag `{other}`").into()),
         }
     }
@@ -3073,6 +3086,7 @@ fn loadtest(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             max_sessions: tenant_sessions,
             ..cg_core::TenantQuota::default()
         },
+        binary_wire: codec == cg_core::WireCodec::Binary,
         ..cg_core::BrokerConfig::default()
     };
     let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
@@ -3193,6 +3207,7 @@ fn loadtest(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     #[derive(serde::Serialize)]
     struct LoadtestReport {
         workers: usize,
+        codec: String,
         victim_tenants: usize,
         noisy_clients: usize,
         tenant_sessions: usize,
@@ -3217,6 +3232,7 @@ fn loadtest(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let report = LoadtestReport {
         workers,
+        codec: codec.name().to_string(),
         victim_tenants: victims,
         noisy_clients,
         tenant_sessions,
@@ -3328,6 +3344,397 @@ fn loadtest(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// One measured configuration of the wire benchmark: a codec crossed with
+/// a call discipline (serial round trips vs a pipelined request window).
+#[derive(serde::Serialize)]
+struct WireRun {
+    codec: String,
+    mode: String,
+    episodes: u64,
+    steps: u64,
+    /// Episode-step-loop throughput from the median episode; session
+    /// setup/teardown (serial and codec-independent) is excluded.
+    episodes_per_sec: f64,
+    steps_per_sec: f64,
+    p50_step_us: u64,
+    p99_step_us: u64,
+    /// One-directional wire bytes per step (requests + replies, client view).
+    bytes_per_step: u64,
+    decode_errors: u64,
+}
+
+/// `cg bench-wire`: measure the wire protocol itself — the JSON and CGB1
+/// binary codecs crossed with serial and pipelined call disciplines — over
+/// real TCP against an in-process llvm-v0 server. Every run replays the
+/// same deterministic action script and requests graph-heavy observations
+/// (`InstCount`, `Autophase`, `Inst2vec`, `Programl`), and the report
+/// asserts that all four configurations produced byte-identical
+/// observations and derived `IrInstructionCount` rewards before comparing
+/// throughput. Emits the committed `BENCH_wire.json`; the built-in gates
+/// (`--no-gates` to disable) require the binary codec to move at least 3x
+/// fewer bytes per step than JSON, the pipelined discipline to beat serial
+/// episodes/s, and zero decode errors.
+fn bench_wire(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use cg_core::service::{Request, Response, TcpTransport};
+    use cg_core::WireCodec;
+    use std::time::{Duration, Instant};
+
+    let mut benchmark = "benchmark://cbench-v1/sha".to_string();
+    let mut episodes: u64 = 10;
+    let mut episode_len: usize = 12;
+    let mut window: usize = 6;
+    let mut out_path = "BENCH_wire.json".to_string();
+    let mut json = false;
+    let mut gates = true;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--benchmark" => benchmark = val("--benchmark")?.clone(),
+            "--episodes" => episodes = val("--episodes")?.parse::<u64>()?.max(1),
+            "--episode-len" => episode_len = val("--episode-len")?.parse::<usize>()?.max(1),
+            "--window" => window = val("--window")?.parse::<usize>()?.max(1),
+            "--out" => out_path = val("--out")?.clone(),
+            "--json" => json = true,
+            "--no-gates" => gates = false,
+            other => return Err(format!("unknown bench-wire flag `{other}`").into()),
+        }
+    }
+
+    // The same deterministic action script for every configuration: cycle
+    // the bench-ir pass mix so episodes do real optimization work and the
+    // graph observations shrink/grow the same way in every run.
+    let space = cg_llvm::action_space::ActionSpace::new();
+    let script: Vec<usize> = [
+        "mem2reg",
+        "gvn",
+        "licm",
+        "early-cse",
+        "sccp",
+        "instcombine",
+        "dce",
+        "jump-threading",
+        "adce",
+    ]
+    .iter()
+    .cycle()
+    .take(episode_len)
+    .map(|n| {
+        space
+            .index_of(n)
+            .unwrap_or_else(|| panic!("unknown pass `{n}`"))
+    })
+    .collect();
+    let obs_spaces: Vec<String> = ["InstCount", "Autophase", "Inst2vec", "Programl"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+    let factory = cg_core::envs::session_factory("llvm-v0").map_err(cg_core::CgError::Unknown)?;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    // Detached on purpose: `serve_tcp` blocks in `accept` for its whole
+    // life, so the thread is reaped by process exit, not joined.
+    std::thread::spawn(move || cg_core::service::serve_tcp(listener, factory));
+
+    let tel = cg_telemetry::global();
+    // `(responses, rewards)` digest of one run: the serialized `Stepped`
+    // frames in step order plus the per-step IrInstructionCount rewards
+    // derived from the InstCount observation. Every configuration must
+    // produce the same digest — codecs may not change episode semantics.
+    type Digest = (Vec<String>, Vec<f64>);
+    let mut digests: Vec<(String, Digest)> = Vec::new();
+
+    // Returns the per-step latencies and the step-loop wall time. Session
+    // setup/teardown is excluded from the timing on purpose: it is serial
+    // and identical across configurations, and would only dilute the wire
+    // effect under test.
+    let run_episode = |transport: &TcpTransport,
+                       pipelined: bool,
+                       digest: Option<&mut Digest>|
+     -> Result<(Vec<u64>, f64), Box<dyn std::error::Error>> {
+        let sid = match transport.call(Request::StartSession {
+            benchmark: benchmark.clone(),
+            action_space: 0,
+        })? {
+            Response::SessionStarted { session_id } => session_id,
+            other => return Err(format!("start answered {other:?}").into()),
+        };
+        let mut lat_us = Vec::with_capacity(episode_len);
+        let mut stepped = Vec::with_capacity(episode_len);
+        let loop_started = Instant::now();
+        if pipelined {
+            for chunk in script.chunks(window) {
+                let reqs: Vec<Request> = chunk
+                    .iter()
+                    .map(|&a| Request::Step {
+                        session_id: sid,
+                        actions: vec![a],
+                        observation_spaces: obs_spaces.clone(),
+                    })
+                    .collect();
+                let issued = Instant::now();
+                let replies = transport.call_pipelined(&reqs)?;
+                let per_step = issued.elapsed().as_micros() as u64 / chunk.len() as u64;
+                for r in replies {
+                    lat_us.push(per_step);
+                    match r {
+                        Response::Stepped { .. } => stepped.push(r),
+                        other => return Err(format!("step answered {other:?}").into()),
+                    }
+                }
+            }
+        } else {
+            for &a in &script {
+                let issued = Instant::now();
+                let r = transport.call(Request::Step {
+                    session_id: sid,
+                    actions: vec![a],
+                    observation_spaces: obs_spaces.clone(),
+                })?;
+                lat_us.push(issued.elapsed().as_micros() as u64);
+                match r {
+                    Response::Stepped { .. } => stepped.push(r),
+                    other => return Err(format!("step answered {other:?}").into()),
+                }
+            }
+        }
+        let loop_secs = loop_started.elapsed().as_secs_f64();
+        let _ = transport.call(Request::EndSession { session_id: sid });
+        if let Some(digest) = digest {
+            // IrInstructionCount reward: the drop in total
+            // instructions (InstCount[0]) per step.
+            let mut prev: Option<i64> = None;
+            for r in &stepped {
+                let Response::Stepped { observations, .. } = r else {
+                    unreachable!()
+                };
+                let total = match &observations[0] {
+                    cg_core::space::Observation::IntVector(v) => v[0],
+                    other => return Err(format!("InstCount answered {other:?}").into()),
+                };
+                if let Some(prev) = prev {
+                    digest.1.push((prev - total) as f64);
+                }
+                prev = Some(total);
+                digest.0.push(serde_json::to_string(r)?);
+            }
+        }
+        Ok((lat_us, loop_secs))
+    };
+
+    struct CfgState {
+        codec: WireCodec,
+        pipelined: bool,
+        transport: TcpTransport,
+        label: String,
+        lat_us: Vec<u64>,
+        ep_secs: Vec<f64>,
+        digest: Digest,
+        bytes: u64,
+        decode_errors: u64,
+    }
+    let mut cfgs: Vec<CfgState> = Vec::new();
+    for (codec, pipelined) in [
+        (WireCodec::Json, false),
+        (WireCodec::Json, true),
+        (WireCodec::Binary, false),
+        (WireCodec::Binary, true),
+    ] {
+        let transport = TcpTransport::connect(&addr, Duration::from_secs(120))?;
+        transport.set_codec(codec);
+        cfgs.push(CfgState {
+            codec,
+            pipelined,
+            transport,
+            label: format!(
+                "{}-{}",
+                codec.name(),
+                if pipelined { "pipelined" } else { "serial" }
+            ),
+            lat_us: Vec::new(),
+            ep_secs: Vec::new(),
+            digest: (Vec::new(), Vec::new()),
+            bytes: 0,
+            decode_errors: 0,
+        });
+    }
+
+    eprintln!(
+        "bench-wire: {episodes} episodes x {episode_len} steps on {benchmark}, \
+         interleaved across {} configurations",
+        cfgs.len()
+    );
+    // One untimed warm-up episode per configuration pages in the dataset
+    // and settles codec negotiation outside the measured window.
+    for cfg in &mut cfgs {
+        run_episode(&cfg.transport, cfg.pipelined, None)?;
+    }
+    // Measured episodes run round-robin across the configurations so that
+    // ambient machine load lands on all of them equally instead of biasing
+    // whichever configuration it happened to overlap.
+    for _ in 0..episodes {
+        for cfg in &mut cfgs {
+            let before = tel.wire.snapshot();
+            let (lat_us, loop_secs) =
+                run_episode(&cfg.transport, cfg.pipelined, Some(&mut cfg.digest))?;
+            cfg.lat_us.extend(lat_us);
+            cfg.ep_secs.push(loop_secs);
+            let after = tel.wire.snapshot();
+            // Client and server share this process's telemetry, so every
+            // frame is accounted at both ends; halve for the one-way view.
+            cfg.bytes += match cfg.codec {
+                WireCodec::Json => {
+                    (after.tx_bytes_json - before.tx_bytes_json)
+                        + (after.rx_bytes_json - before.rx_bytes_json)
+                }
+                WireCodec::Binary => {
+                    (after.tx_bytes_binary - before.tx_bytes_binary)
+                        + (after.rx_bytes_binary - before.rx_bytes_binary)
+                }
+            } / 2;
+            cfg.decode_errors += after.decode_errors - before.decode_errors;
+        }
+    }
+
+    let steps = episodes * episode_len as u64;
+    let mut runs: Vec<WireRun> = Vec::new();
+    for mut cfg in cfgs {
+        cfg.lat_us.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if cfg.lat_us.is_empty() {
+                return 0;
+            }
+            let idx = ((cfg.lat_us.len() - 1) as f64 * p / 100.0).round() as usize;
+            cfg.lat_us[idx]
+        };
+        // Throughput from the median episode, not total wall time: a
+        // single scheduler hiccup in one episode would otherwise swing
+        // the serial/pipelined comparison by more than the effect size.
+        cfg.ep_secs.sort_by(f64::total_cmp);
+        let median_ep = cfg.ep_secs[cfg.ep_secs.len() / 2].max(1e-9);
+        runs.push(WireRun {
+            codec: cfg.codec.name().to_string(),
+            mode: if cfg.pipelined { "pipelined" } else { "serial" }.to_string(),
+            episodes,
+            steps,
+            episodes_per_sec: 1.0 / median_ep,
+            steps_per_sec: episode_len as f64 / median_ep,
+            p50_step_us: pct(50.0),
+            p99_step_us: pct(99.0),
+            bytes_per_step: cfg.bytes / steps.max(1),
+            decode_errors: cfg.decode_errors,
+        });
+        digests.push((cfg.label, cfg.digest));
+    }
+
+    // Cross-codec agreement: every configuration saw the same episodes.
+    let (ref_label, ref_digest) = &digests[0];
+    let mut divergences: Vec<String> = Vec::new();
+    for (label, digest) in &digests[1..] {
+        if digest != ref_digest {
+            divergences.push(format!(
+                "{label} diverged from {ref_label}: observations or rewards differ"
+            ));
+        }
+    }
+
+    let by = |codec: &str, mode: &str| -> &WireRun {
+        runs.iter()
+            .find(|r| r.codec == codec && r.mode == mode)
+            .expect("all four runs present")
+    };
+    let json_serial = by("json", "serial");
+    let binary_serial = by("binary", "serial");
+    let binary_pipelined = by("binary", "pipelined");
+    let bytes_ratio =
+        json_serial.bytes_per_step as f64 / binary_serial.bytes_per_step.max(1) as f64;
+    let pipeline_speedup = binary_pipelined.episodes_per_sec / binary_serial.episodes_per_sec;
+
+    #[derive(serde::Serialize)]
+    struct WireReport {
+        benchmark: String,
+        episodes: u64,
+        episode_len: usize,
+        window: usize,
+        observation_spaces: Vec<String>,
+        runs: Vec<WireRun>,
+        /// JSON bytes/step over binary bytes/step (serial runs).
+        bytes_ratio: f64,
+        /// Binary pipelined episodes/s over binary serial episodes/s.
+        pipeline_speedup: f64,
+        /// Cross-configuration digest mismatches (must be empty).
+        divergences: Vec<String>,
+    }
+    let report = WireReport {
+        benchmark,
+        episodes,
+        episode_len,
+        window,
+        observation_spaces: obs_spaces,
+        runs,
+        bytes_ratio,
+        pipeline_speedup,
+        divergences,
+    };
+
+    let rendered = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&out_path, format!("{rendered}\n"))?;
+    eprintln!("bench-wire: report written to {out_path}");
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "bench-wire: {} episodes x {} steps, window {}",
+            report.episodes, report.episode_len, report.window
+        );
+        for r in &report.runs {
+            println!(
+                "  {:<7}{:<10} {:>8.2} eps/s  {:>9.1} steps/s  p50 {:>7}us  p99 {:>7}us  {:>9} B/step",
+                r.codec, r.mode, r.episodes_per_sec, r.steps_per_sec, r.p50_step_us, r.p99_step_us,
+                r.bytes_per_step
+            );
+        }
+        println!(
+            "  bytes ratio (json/binary): {:.2}x; pipeline speedup (binary): {:.2}x",
+            report.bytes_ratio, report.pipeline_speedup
+        );
+    }
+
+    let mut failures = Vec::new();
+    if !report.divergences.is_empty() {
+        failures.extend(report.divergences.iter().cloned());
+    }
+    for r in &report.runs {
+        if r.decode_errors > 0 {
+            failures.push(format!(
+                "{}-{}: {} decode errors",
+                r.codec, r.mode, r.decode_errors
+            ));
+        }
+    }
+    if gates {
+        if report.bytes_ratio < 3.0 {
+            failures.push(format!(
+                "binary codec saved only {bytes_ratio:.2}x bytes/step (need >= 3x)"
+            ));
+        }
+        if report.pipeline_speedup <= 1.0 {
+            failures.push(format!(
+                "pipelined episodes/s did not beat serial ({pipeline_speedup:.3}x)"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; ").into())
+    }
+}
+
 /// Inputs to the stampede front-door soak, carved off `cg chaos` flags.
 struct StampedeOpts {
     soak_ms: u64,
@@ -3336,6 +3743,9 @@ struct StampedeOpts {
     json: bool,
     serve_metrics_addr: Option<String>,
     linger_ms: u64,
+    /// Wire codec the server negotiates (`--codec json` disables CGB1, so
+    /// the soak exercises the legacy fallback path under stampede load).
+    codec: cg_core::WireCodec,
 }
 
 /// What happened to one stampeding connect.
@@ -3442,6 +3852,7 @@ fn chaos_stampede(opts: StampedeOpts) -> Result<(), Box<dyn std::error::Error>> 
             max_sessions: 2,
             ..cg_core::TenantQuota::default()
         },
+        binary_wire: opts.codec == cg_core::WireCodec::Binary,
         ..cg_core::BrokerConfig::default()
     };
     let plan = cg_core::chaos::FaultPlan::seeded(opts.seed).with_stampede_size(opts.stampede_size);

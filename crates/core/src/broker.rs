@@ -62,9 +62,10 @@ use serde::{Deserialize, Serialize};
 use crate::budget::ResourceBudget;
 use crate::checkpoint::CheckpointStore;
 use crate::service::{
-    extract_tenant, extract_trace_context, read_frame, write_frame, Request, Response,
-    ServiceState, SessionFactory,
+    account_rx, account_tx, extract_tenant, extract_trace_context, write_frame, FrameReader,
+    Request, Response, ServiceState, SessionFactory,
 };
+use crate::wire::{self, WireCodec};
 
 /// Tenant a request is billed to when its client never identified itself
 /// (old clients, [`crate::service::TcpClient`]s without `set_tenant`).
@@ -126,6 +127,12 @@ pub struct BrokerConfig {
     /// Checkpoint store shared by all workers — interval snapshots during
     /// service, the park-everything sweep on drain.
     pub checkpoints: CheckpointStore,
+    /// Whether the front door answers CGB1 binary negotiation (`true`, the
+    /// default). `false` makes the broker behave like a JSON-only legacy
+    /// server — binary probes get the typed bad-frame error that tells a
+    /// negotiating client to fall back, which is how `cg serve --codec
+    /// json` pins the wire format and how interop tests model old peers.
+    pub binary_wire: bool,
 }
 
 impl Default for BrokerConfig {
@@ -141,6 +148,7 @@ impl Default for BrokerConfig {
             quota: TenantQuota::default(),
             budget: ResourceBudget::default(),
             checkpoints: CheckpointStore::default(),
+            binary_wire: true,
         }
     }
 }
@@ -872,6 +880,7 @@ impl Broker {
     }
 
     fn accept_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
         let tel = cg_telemetry::global();
         let cap = self.inner.cfg.max_connections.max(1);
         // `fetch_add` before the check keeps the cap exact under
@@ -889,7 +898,7 @@ impl Broker {
                 retry_after_ms: self.inner.cfg.retry_after_ms.max(1),
                 reason: format!("connection cap {cap} reached"),
             };
-            let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
+            let _ = write_frame(&mut stream, &wire::encode_response_json(&resp));
             return;
         }
         tel.broker.connections.inc();
@@ -915,12 +924,153 @@ impl Broker {
     }
 }
 
+/// Encodes and writes one binary response frame through the connection's
+/// shared writer (the reader loop and the demux forwarder threads all
+/// funnel through the same mutex, so frames never interleave mid-write).
+fn reply_binary(writer: &Mutex<TcpStream>, corr: u64, resp: &Response) -> bool {
+    let mut buf = Vec::new();
+    wire::encode_response_frame(&mut buf, corr, resp);
+    account_tx(WireCodec::Binary, buf.len());
+    let mut w = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    write_frame(&mut *w, &buf).is_ok()
+}
+
+/// Writes one JSON response frame through the shared writer.
+fn reply_json(writer: &Mutex<TcpStream>, resp: &Response) -> bool {
+    let bytes = wire::encode_response_json(resp);
+    account_tx(WireCodec::Json, bytes.len());
+    let mut w = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    write_frame(&mut *w, &bytes).is_ok()
+}
+
 /// Routes each per-connection request through the broker with a sticky
 /// tenant identity (the last `__tenant` metadata seen on this connection).
-fn handle_connection(broker: &Broker, mut stream: TcpStream) {
+///
+/// The codec is sniffed per frame (JSON frames start `{`/`"`, CGB1 frames
+/// with their non-UTF-8 magic), so legacy JSON clients work unchanged.
+/// JSON requests keep the one-in-flight lock-step contract: submit, block
+/// for the reply, answer in order. Binary requests pipeline: the reader
+/// submits each frame as it arrives (admission and queueing happen in
+/// receipt order, and session→worker pinning plus per-tenant FIFOs keep
+/// per-session execution ordered), while a short-lived forwarder thread
+/// per in-flight request collects the worker's reply and writes it back
+/// stamped with the request's correlation id — responses may leave out of
+/// order, the client demuxes.
+fn handle_connection(broker: &Broker, stream: TcpStream) {
     let mut tenant = ANONYMOUS_TENANT.to_string();
-    while let Ok(frame) = read_frame(&mut stream) {
-        let parsed = std::str::from_utf8(&frame)
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut reader = FrameReader::new();
+    let binary_wire = broker.inner.cfg.binary_wire;
+    'conn: while let Ok(frame) = reader.read(&mut stream) {
+        if wire::is_binary_frame(frame) && binary_wire {
+            account_rx(WireCodec::Binary, frame.len());
+            let (corr, req, ctx) = match wire::decode_frame(frame) {
+                Ok(wire::Frame::Hello { .. }) => {
+                    cg_telemetry::global().wire.negotiations.inc();
+                    let mut buf = Vec::new();
+                    wire::encode_hello_ack(&mut buf);
+                    account_tx(WireCodec::Binary, buf.len());
+                    let mut w = writer
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if write_frame(&mut *w, &buf).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                Ok(wire::Frame::Request { corr, body }) => {
+                    match wire::decode_request_body(corr, body) {
+                        Ok(rf) => {
+                            if let Some(t) = rf.tenant {
+                                tenant = t;
+                            }
+                            (rf.corr, rf.req, rf.ctx)
+                        }
+                        Err(e) => {
+                            cg_telemetry::global().wire.decode_errors.inc();
+                            let resp = Response::Error(format!("bad request frame: {e}"));
+                            if !reply_binary(&writer, corr, &resp) {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                Ok(_) | Err(_) => {
+                    cg_telemetry::global().wire.decode_errors.inc();
+                    let resp = Response::Error("unexpected frame kind".to_string());
+                    if !reply_binary(&writer, 0, &resp) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if matches!(req, Request::Shutdown) {
+                let grace = broker.inner.cfg.drain_grace;
+                let _report = broker.drain(grace);
+                let _ = reply_binary(&writer, corr, &Response::Ok);
+                break;
+            }
+            match broker.submit(&tenant, req, ctx) {
+                Submitted::Refused {
+                    retry_after_ms,
+                    reason,
+                } => {
+                    let resp = Response::Overloaded {
+                        retry_after_ms,
+                        reason,
+                    };
+                    if !reply_binary(&writer, corr, &resp) {
+                        break;
+                    }
+                }
+                Submitted::Rejected(resp) => {
+                    if !reply_binary(&writer, corr, &resp) {
+                        break;
+                    }
+                }
+                Submitted::Queued { rx, replies } => {
+                    cg_telemetry::global().wire.in_flight.inc();
+                    let demux_writer = Arc::clone(&writer);
+                    let spawned = std::thread::Builder::new()
+                        .name("cg-broker-demux".to_string())
+                        .spawn(move || {
+                            let mut responses = Vec::with_capacity(replies);
+                            for _ in 0..replies {
+                                responses.push(rx.recv().unwrap_or_else(|_| {
+                                    Response::Error("broker worker unavailable".to_string())
+                                }));
+                            }
+                            let resp = merge_replies(responses);
+                            reply_binary(&demux_writer, corr, &resp);
+                            cg_telemetry::global().wire.in_flight.dec();
+                        });
+                    if spawned.is_err() {
+                        // Out of threads: answer in band rather than hang
+                        // the client's window.
+                        cg_telemetry::global().wire.in_flight.dec();
+                        let resp = Response::Overloaded {
+                            retry_after_ms: broker.inner.cfg.retry_after_ms.max(1),
+                            reason: "broker demux thread unavailable".to_string(),
+                        };
+                        if !reply_binary(&writer, corr, &resp) {
+                            break 'conn;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        account_rx(WireCodec::Json, frame.len());
+        let parsed = std::str::from_utf8(frame)
             .map_err(|e| e.to_string())
             .and_then(|s| serde_json::parse_value(s).map_err(|e| e.to_string()));
         let (req, ctx) = match parsed {
@@ -933,14 +1083,18 @@ fn handle_connection(broker: &Broker, mut stream: TcpStream) {
                     Ok(req) => (req, ctx),
                     Err(e) => {
                         let resp = Response::Error(format!("bad request frame: {e}"));
-                        let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
+                        if !reply_json(&writer, &resp) {
+                            break;
+                        }
                         continue;
                     }
                 }
             }
             Err(e) => {
                 let resp = Response::Error(format!("bad request frame: {e}"));
-                let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
+                if !reply_json(&writer, &resp) {
+                    break;
+                }
                 continue;
             }
         };
@@ -950,11 +1104,11 @@ fn handle_connection(broker: &Broker, mut stream: TcpStream) {
             // until the server is actually safe to kill.
             let grace = broker.inner.cfg.drain_grace;
             let _report = broker.drain(grace);
-            let _ = write_frame(&mut stream, &serde_json::to_vec(&Response::Ok).unwrap());
+            let _ = reply_json(&writer, &Response::Ok);
             break;
         }
         let resp = broker.call_with_ctx(&tenant, req, ctx);
-        if write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap()).is_err() {
+        if !reply_json(&writer, &resp) {
             break;
         }
     }
@@ -1926,5 +2080,129 @@ mod tests {
             !store.is_empty(),
             "shutdown must checkpoint the live session"
         );
+    }
+
+    #[test]
+    fn json_only_broker_forces_transparent_fallback() {
+        use crate::retry::RetryPolicy;
+        use crate::service::TcpClient;
+        // `binary_wire: false` makes the broker behave like a pre-CGB1
+        // server: the client's Hello probe is answered with a JSON error,
+        // and the client must settle on JSON without surfacing anything.
+        let broker = Broker::new(
+            counting_factory(),
+            BrokerConfig {
+                workers: 1,
+                binary_wire: false,
+                quota: TenantQuota {
+                    max_sessions: 1,
+                    ..TenantQuota::default()
+                },
+                ..BrokerConfig::default()
+            },
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = {
+            let broker = broker.clone();
+            std::thread::spawn(move || broker.serve(listener))
+        };
+        let mut client =
+            TcpClient::connect_with_policy(&addr, Duration::from_secs(10), RetryPolicy::none())
+                .unwrap();
+        client.set_tenant("fallback-tenant");
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+        assert_eq!(client.codec(), Some(crate::wire::WireCodec::Json));
+        // Tenant metadata still rides the JSON frames after fallback.
+        let gid = match client
+            .call(&Request::StartSession {
+                benchmark: "b".into(),
+                action_space: 0,
+            })
+            .unwrap()
+        {
+            Response::SessionStarted { session_id } => session_id,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            client
+                .call(&Request::Step {
+                    session_id: gid,
+                    actions: vec![0],
+                    observation_spaces: vec![],
+                })
+                .unwrap(),
+            Response::Stepped { .. }
+        ));
+        // Tenant metadata survived the fallback: the per-tenant session
+        // quota kicks in on the second StartSession.
+        match client.call(&Request::StartSession {
+            benchmark: "b".into(),
+            action_space: 0,
+        }) {
+            Err(crate::CgError::Overloaded { .. }) => {}
+            other => panic!("expected per-tenant quota refusal, got {other:?}"),
+        }
+        assert!(matches!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::Ok
+        ));
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn broker_pipelined_window_demuxes_by_correlation_id() {
+        use crate::retry::RetryPolicy;
+        use crate::service::TcpTransport;
+        let broker = Broker::new(
+            counting_factory(),
+            BrokerConfig {
+                workers: 2,
+                ..BrokerConfig::default()
+            },
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = {
+            let broker = broker.clone();
+            std::thread::spawn(move || broker.serve(listener))
+        };
+        let transport =
+            TcpTransport::connect_with_policy(&addr, Duration::from_secs(10), RetryPolicy::none())
+                .unwrap();
+        let gid = match transport
+            .call(Request::StartSession {
+                benchmark: "b".into(),
+                action_space: 0,
+            })
+            .unwrap()
+        {
+            Response::SessionStarted { session_id } => session_id,
+            other => panic!("{other:?}"),
+        };
+        // One window of steps: the broker answers each frame from a
+        // detached forwarder thread, possibly out of order on the wire;
+        // the client's correlation-id demux restores request order, and
+        // session→worker pinning keeps the step counter strictly serial.
+        let reqs: Vec<Request> = (0..6)
+            .map(|_| Request::Step {
+                session_id: gid,
+                actions: vec![0],
+                observation_spaces: vec!["test".into()],
+            })
+            .collect();
+        let replies = transport.call_pipelined(&reqs).unwrap();
+        assert_eq!(replies.len(), 6);
+        for r in &replies {
+            assert!(matches!(r, Response::Stepped { .. }), "{r:?}");
+        }
+        assert!(matches!(
+            transport.call(Request::Shutdown).unwrap(),
+            Response::Ok
+        ));
+        server.join().unwrap().unwrap();
     }
 }

@@ -64,6 +64,7 @@ pub mod space;
 pub mod state;
 pub mod validation;
 pub mod watchdog;
+pub mod wire;
 pub mod wrappers;
 
 mod error;
@@ -86,3 +87,4 @@ pub use sink::{clear_transition_sink, install_transition_sink, transition_sink, 
 pub use space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
 pub use state::EnvState;
 pub use watchdog::{Watchdog, WatchdogConfig};
+pub use wire::WireCodec;

@@ -34,6 +34,7 @@
 
 use std::collections::HashMap;
 use std::io::Read as _;
+use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,9 +50,11 @@ use serde::{Deserialize, Serialize};
 use crate::budget::{BudgetKind, BudgetViolation, ResourceBudget};
 use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::error::CgError;
+use crate::retry::PipelineRetry;
 use crate::retry::RetryPolicy;
 use crate::session::CompilationSession;
 use crate::space::{ActionSpaceInfo, Observation, ObservationSpaceInfo, RewardSpaceInfo};
+use crate::wire::{self, WireCodec};
 
 /// A request to the compiler service.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -1040,6 +1043,86 @@ impl ServiceClient {
         }
     }
 
+    /// Issues a batch of requests with all of them enqueued on the worker
+    /// channel before the first reply is awaited — the in-process analog
+    /// of [`TcpTransport::call_pipelined`]. The single service worker
+    /// executes serially, so this pipelines submission rather than
+    /// execution; it exists so both transports present the same windowed
+    /// surface and per-session ordering guarantee (the worker drains its
+    /// channel FIFO).
+    ///
+    /// Typed per-request errors come back as raw [`Response`] values in
+    /// their slots; a dead or restarted worker errors the whole batch.
+    ///
+    /// # Errors
+    /// [`CgError::ServiceFailure`] when the worker died, was restarted
+    /// mid-batch, or the per-batch deadline expired.
+    pub fn call_pipelined(&self, reqs: &[Request]) -> Result<Vec<Response>, CgError> {
+        let wire_stats = &cg_telemetry::global().wire;
+        // The batch deadline is the widest per-kind deadline in the window
+        // times its length — the whole window runs on one serial worker.
+        let per_call = reqs
+            .iter()
+            .map(|r| self.policy.deadline_for(r.kind()).unwrap_or(self.timeout))
+            .max()
+            .unwrap_or(self.timeout);
+        let deadline = per_call.saturating_mul(reqs.len().max(1) as u32);
+        let generation = self.generation.load(Ordering::SeqCst);
+        let ctx = cg_telemetry::current_context();
+        let tx = self.tx.lock().clone();
+        let mut pending = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let (reply_tx, reply_rx) = bounded(1);
+            tx.send((req.clone(), ctx, reply_tx))
+                .map_err(|_| CgError::ServiceFailure("service disconnected".into()))?;
+            wire_stats.pipelined_calls.inc();
+            wire_stats.in_flight.inc();
+            pending.push(reply_rx);
+        }
+        let start = std::time::Instant::now();
+        let mut out = Vec::with_capacity(pending.len());
+        let mut collect = || -> Result<(), CgError> {
+            for rx in &pending {
+                loop {
+                    let remaining = deadline.saturating_sub(start.elapsed());
+                    if remaining.is_zero() {
+                        cg_telemetry::global().timeouts.inc();
+                        return Err(CgError::ServiceFailure(format!(
+                            "pipelined batch exceeded {deadline:?} (hung or crashed)"
+                        )));
+                    }
+                    match rx.recv_timeout(remaining.min(GENERATION_POLL)) {
+                        Ok(resp) => {
+                            out.push(resp);
+                            break;
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                            return Err(CgError::ServiceFailure(
+                                "service worker died (reply channel closed)".into(),
+                            ));
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            if self.generation.load(Ordering::SeqCst) != generation {
+                                return Err(CgError::ServiceFailure(
+                                    "service restarted while the batch was in flight".into(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        };
+        let result = collect();
+        for _ in out.len()..pending.len() {
+            wire_stats.in_flight.dec();
+        }
+        for _ in 0..out.len() {
+            wire_stats.in_flight.dec();
+        }
+        result.map(|()| out)
+    }
+
     /// Abandons the (possibly hung) service thread and spawns a fresh one.
     /// Sessions are lost; callers re-establish them via `reset()`. Takes
     /// `&self` and propagates through all clones, so a supervisor (the
@@ -1201,16 +1284,143 @@ pub(crate) fn extract_trace_context(value: &mut Value) -> Option<TraceContext> {
     }
 }
 
+/// Hard cap on a single frame (either codec): a malformed or hostile length
+/// prefix must not allocate unbounded memory.
+pub(crate) const MAX_FRAME_LEN: usize = 64 << 20;
+
 pub(crate) fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     let mut len = [0u8; 4];
     stream.read_exact(&mut len)?;
     let n = u32::from_le_bytes(len) as usize;
-    if n > (64 << 20) {
+    if n > MAX_FRAME_LEN {
         return Err(std::io::Error::other("frame too large"));
     }
     let mut buf = vec![0u8; n];
     stream.read_exact(&mut buf)?;
     Ok(buf)
+}
+
+/// Capacity a [`FrameReader`] keeps across frames. Buffers grown past this
+/// by one oversized frame (a multi-MB printed-IR observation, say) are
+/// shrunk back on the next small read, so a single outlier doesn't pin
+/// megabytes for the connection's lifetime.
+const FRAME_BUF_RETAIN: usize = 1 << 20;
+
+/// Socket reads pull whole bursts rather than exact frames, so a pipelined
+/// window of requests lands in one or two syscalls instead of two per
+/// frame.
+const FRAME_READ_CHUNK: usize = 64 << 10;
+
+/// Reads `len ‖ payload` frames through an internal buffer reused across
+/// frames — the per-connection receive path allocates once, not per frame.
+/// Each socket read drains whatever is available (up to the buffer), so
+/// back-to-back pipelined frames are served from memory without touching
+/// the socket again; [`FrameReader::has_buffered_frame`] exposes that to
+/// the server's reply batching.
+#[derive(Debug, Default)]
+pub(crate) struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed offset into `buf`.
+    start: usize,
+    /// Filled offset into `buf`.
+    end: usize,
+}
+
+impl FrameReader {
+    pub(crate) fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    fn pending(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when a complete frame is already buffered — the next
+    /// [`FrameReader::read`] will not touch the socket. The server uses
+    /// this to batch replies to a pipelined burst into a single write.
+    pub(crate) fn has_buffered_frame(&self) -> bool {
+        if self.pending() < 4 {
+            return false;
+        }
+        let n =
+            u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap()) as usize;
+        n <= MAX_FRAME_LEN && self.pending() - 4 >= n
+    }
+
+    /// Buffers at least `need` unconsumed bytes, reading in large chunks.
+    fn fill<R: std::io::Read>(&mut self, stream: &mut R, need: usize) -> std::io::Result<()> {
+        if self.pending() >= need {
+            return Ok(());
+        }
+        // Compact before growing so the buffer stays bounded by the frame
+        // size plus one read chunk.
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        let want = need.max(FRAME_READ_CHUNK);
+        if self.buf.len() < want {
+            self.buf.resize(want, 0);
+        }
+        while self.pending() < need {
+            if self.end == self.buf.len() {
+                self.buf.resize(self.buf.len() + FRAME_READ_CHUNK, 0);
+            }
+            let n = stream.read(&mut self.buf[self.end..])?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            self.end += n;
+        }
+        Ok(())
+    }
+
+    /// Reads one frame, returning a view into the reused buffer. The view
+    /// is valid until the next `read` call.
+    pub(crate) fn read<R: std::io::Read>(&mut self, stream: &mut R) -> std::io::Result<&[u8]> {
+        let pending = self.pending();
+        if self.buf.len() > FRAME_BUF_RETAIN && pending <= FRAME_READ_CHUNK {
+            let mut fresh = vec![0u8; FRAME_READ_CHUNK];
+            fresh[..pending].copy_from_slice(&self.buf[self.start..self.end]);
+            self.buf = fresh;
+            self.start = 0;
+            self.end = pending;
+        }
+        self.fill(stream, 4)?;
+        let n =
+            u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap()) as usize;
+        if n > MAX_FRAME_LEN {
+            return Err(std::io::Error::other("frame too large"));
+        }
+        self.fill(stream, 4 + n)?;
+        self.start += 4;
+        let at = self.start;
+        self.start += n;
+        Ok(&self.buf[at..at + n])
+    }
+}
+
+/// Accounts one transmitted frame's payload bytes to the per-codec wire
+/// counters.
+pub(crate) fn account_tx(codec: WireCodec, n: usize) {
+    let wire = &cg_telemetry::global().wire;
+    wire.frames.inc();
+    match codec {
+        WireCodec::Json => wire.tx_bytes_json.add(n as u64),
+        WireCodec::Binary => wire.tx_bytes_binary.add(n as u64),
+    }
+}
+
+/// Accounts one received frame's payload bytes to the per-codec wire
+/// counters.
+pub(crate) fn account_rx(codec: WireCodec, n: usize) {
+    let wire = &cg_telemetry::global().wire;
+    wire.frames.inc();
+    match codec {
+        WireCodec::Json => wire.rx_bytes_json.add(n as u64),
+        WireCodec::Binary => wire.rx_bytes_binary.add(n as u64),
+    }
 }
 
 /// Default cap on concurrent legacy-mode TCP connections. Generous for the
@@ -1244,6 +1454,7 @@ pub fn serve_tcp_with_limit(
     let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
         // `fetch_add` before the check keeps the cap exact under concurrent
         // accepts; the slot is released on refusal or when the handler exits.
         if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
@@ -1260,7 +1471,7 @@ pub fn serve_tcp_with_limit(
                 retry_after_ms: 100,
                 reason: format!("connection cap {max_connections} reached"),
             };
-            let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
+            let _ = write_frame(&mut stream, &wire::encode_response_json(&resp));
             continue;
         }
         let f = Arc::clone(&factory);
@@ -1273,11 +1484,110 @@ pub fn serve_tcp_with_limit(
             let serve = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 let mut state =
                     ServiceState::new(f, ResourceBudget::default(), CheckpointStore::default());
-                while let Ok(frame) = read_frame(&mut stream) {
+                let mut reader = FrameReader::new();
+                let mut scratch = Vec::new();
+                // Binary replies accumulate here and flush once the burst
+                // of already-buffered request frames is drained — one write
+                // per pipelined window instead of one per request.
+                let mut out: Vec<u8> = Vec::new();
+                // Per-frame codec sniffing: JSON frames always start with
+                // `{` or `"`, a CGB1 frame with its (non-UTF-8) magic — so
+                // one connection can negotiate up to binary while an old
+                // JSON-only client stays on its path without any handshake.
+                while let Ok(frame) = reader.read(&mut stream) {
+                    if wire::is_binary_frame(frame) {
+                        account_rx(WireCodec::Binary, frame.len());
+                        let (corr, req, ctx) = match wire::decode_frame(frame) {
+                            Ok(wire::Frame::Hello { .. }) => {
+                                cg_telemetry::global().wire.negotiations.inc();
+                                wire::encode_hello_ack(&mut scratch);
+                                account_tx(WireCodec::Binary, scratch.len());
+                                out.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+                                out.extend_from_slice(&scratch);
+                                let flushed = stream.write_all(&out);
+                                out.clear();
+                                if flushed.is_err() {
+                                    break;
+                                }
+                                continue;
+                            }
+                            Ok(wire::Frame::Request { corr, body }) => {
+                                match wire::decode_request_body(corr, body) {
+                                    Ok(rf) => {
+                                        // Legacy mode has no tenant
+                                        // accounting; the identity is
+                                        // decoded and dropped.
+                                        (rf.corr, rf.req, rf.ctx)
+                                    }
+                                    Err(e) => {
+                                        cg_telemetry::global().wire.decode_errors.inc();
+                                        let resp =
+                                            Response::Error(format!("bad request frame: {e}"));
+                                        wire::encode_response_frame(&mut scratch, corr, &resp);
+                                        account_tx(WireCodec::Binary, scratch.len());
+                                        out.extend_from_slice(
+                                            &(scratch.len() as u32).to_le_bytes(),
+                                        );
+                                        out.extend_from_slice(&scratch);
+                                        let flushed = stream.write_all(&out);
+                                        out.clear();
+                                        if flushed.is_err() {
+                                            break;
+                                        }
+                                        continue;
+                                    }
+                                }
+                            }
+                            Ok(_) | Err(_) => {
+                                cg_telemetry::global().wire.decode_errors.inc();
+                                let resp = Response::Error("unexpected frame kind".to_string());
+                                wire::encode_response_frame(&mut scratch, 0, &resp);
+                                account_tx(WireCodec::Binary, scratch.len());
+                                out.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+                                out.extend_from_slice(&scratch);
+                                let flushed = stream.write_all(&out);
+                                out.clear();
+                                if flushed.is_err() {
+                                    break;
+                                }
+                                continue;
+                            }
+                        };
+                        let shutdown = matches!(req, Request::Shutdown);
+                        let resp = {
+                            let _trace_guard = ctx.map(cg_telemetry::enter_context);
+                            state.handle(req)
+                        };
+                        wire::encode_response_frame(&mut scratch, corr, &resp);
+                        account_tx(WireCodec::Binary, scratch.len());
+                        out.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+                        out.extend_from_slice(&scratch);
+                        // Hold the reply while more of the burst is already
+                        // buffered: the whole window answers in one write.
+                        if !shutdown && reader.has_buffered_frame() {
+                            continue;
+                        }
+                        let flushed = stream.write_all(&out);
+                        out.clear();
+                        if flushed.is_err() || shutdown {
+                            break;
+                        }
+                        continue;
+                    }
+                    account_rx(WireCodec::Json, frame.len());
+                    // A mixed-codec client could interleave a JSON frame
+                    // into a binary burst; flush held binary replies first
+                    // so responses never overtake each other.
+                    if !out.is_empty() {
+                        if stream.write_all(&out).is_err() {
+                            break;
+                        }
+                        out.clear();
+                    }
                     // Decode in two stages: parse the frame into a tree,
                     // strip the (optional, version-tolerant) trace metadata,
                     // then deserialize the request from the cleaned tree.
-                    let parsed = std::str::from_utf8(&frame)
+                    let parsed = std::str::from_utf8(frame)
                         .map_err(|e| e.to_string())
                         .and_then(|s| serde_json::parse_value(s).map_err(|e| e.to_string()));
                     let (req, ctx) = match parsed {
@@ -1292,7 +1602,7 @@ pub fn serve_tcp_with_limit(
                                     let resp = Response::Error(format!("bad request frame: {e}"));
                                     let _ = write_frame(
                                         &mut stream,
-                                        &serde_json::to_vec(&resp).unwrap(),
+                                        &wire::encode_response_json(&resp),
                                     );
                                     continue;
                                 }
@@ -1300,7 +1610,7 @@ pub fn serve_tcp_with_limit(
                         }
                         Err(e) => {
                             let resp = Response::Error(format!("bad request frame: {e}"));
-                            let _ = write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap());
+                            let _ = write_frame(&mut stream, &wire::encode_response_json(&resp));
                             continue;
                         }
                     };
@@ -1309,7 +1619,9 @@ pub fn serve_tcp_with_limit(
                         let _trace_guard = ctx.map(cg_telemetry::enter_context);
                         state.handle(req)
                     };
-                    if write_frame(&mut stream, &serde_json::to_vec(&resp).unwrap()).is_err() {
+                    let bytes = wire::encode_response_json(&resp);
+                    account_tx(WireCodec::Json, bytes.len());
+                    if write_frame(&mut stream, &bytes).is_err() {
                         break;
                     }
                     if shutdown {
@@ -1342,6 +1654,23 @@ pub struct TcpClient {
     /// Tenant identity stamped into every request frame (the broker's
     /// queueing/quota key). `None` bills to the anonymous tenant.
     tenant: Option<String>,
+    /// Codec preference: [`WireCodec::Binary`] (the default) probes the
+    /// peer with a `Hello` before the first call and falls back to JSON
+    /// when the peer doesn't answer `HelloAck`; [`WireCodec::Json`] skips
+    /// negotiation entirely.
+    codec_pref: WireCodec,
+    /// The codec negotiated on the *current* stream; `None` until the
+    /// first call, and reset by every reconnect (the new peer may differ).
+    negotiated: Option<WireCodec>,
+    /// Next correlation id. Monotonic per connection; responses are
+    /// demuxed by echoing it, which is what lets `call_pipelined` keep
+    /// many requests in flight on this one socket.
+    corr: u64,
+    /// Reusable encode scratch — binary frames are built here instead of a
+    /// fresh `Vec` per request.
+    scratch: Vec<u8>,
+    /// Reusable receive buffer (see [`FrameReader`]).
+    reader: FrameReader,
 }
 
 impl TcpClient {
@@ -1369,7 +1698,27 @@ impl TcpClient {
             timeout,
             policy,
             tenant: None,
+            codec_pref: WireCodec::Binary,
+            negotiated: None,
+            corr: 0,
+            scratch: Vec::new(),
+            reader: FrameReader::new(),
         })
+    }
+
+    /// Sets the codec preference. [`WireCodec::Json`] forces the legacy
+    /// frames; [`WireCodec::Binary`] (the default) negotiates per
+    /// connection and falls back transparently. Resets any negotiation
+    /// already performed on the current connection.
+    pub fn set_codec(&mut self, codec: WireCodec) {
+        self.codec_pref = codec;
+        self.negotiated = None;
+    }
+
+    /// The codec in use on the current connection, if negotiation has
+    /// happened yet.
+    pub fn codec(&self) -> Option<WireCodec> {
+        self.negotiated
     }
 
     /// Sets the tenant identity stamped into every request frame, under
@@ -1385,6 +1734,9 @@ impl TcpClient {
         stream
             .set_read_timeout(Some(timeout))
             .map_err(|e| CgError::ServiceFailure(e.to_string()))?;
+        // Nagle + delayed ACK would hold every small pipelined frame for
+        // ~40ms; request/response traffic wants immediate flushes.
+        let _ = stream.set_nodelay(true);
         Ok(stream)
     }
 
@@ -1393,21 +1745,60 @@ impl TcpClient {
         &self.policy
     }
 
-    fn call_once(&mut self, req: &Request) -> Result<Response, CgError> {
-        let bytes = encode_request(req, self.tenant.as_deref())?;
-        write_frame(&mut self.stream, &bytes)
-            .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
-        let frame = read_frame(&mut self.stream).map_err(|e| {
-            if matches!(
-                e.kind(),
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-            ) {
-                cg_telemetry::global().timeouts.inc();
-            }
-            CgError::ServiceFailure(format!("recv: {e}"))
-        })?;
-        let resp: Response =
-            serde_json::from_slice(&frame).map_err(|e| CgError::ServiceFailure(e.to_string()))?;
+    /// Ensures the codec for the current stream is settled, probing the
+    /// peer with a `Hello` frame on the first binary-preferred call.
+    ///
+    /// The fallback signal is the frame magic: its first two bytes are
+    /// invalid UTF-8, so a JSON-only server answers the probe with its
+    /// usual typed `Error("bad request frame: …")` — consumed here as
+    /// "peer speaks JSON only". A typed `Overloaded` answer (the
+    /// connection-cap refusal) is surfaced as its error and leaves the
+    /// codec unsettled so the retried call re-probes.
+    fn ensure_negotiated(&mut self) -> Result<WireCodec, CgError> {
+        if let Some(codec) = self.negotiated {
+            return Ok(codec);
+        }
+        if self.codec_pref == WireCodec::Json {
+            self.negotiated = Some(WireCodec::Json);
+            return Ok(WireCodec::Json);
+        }
+        wire::encode_hello(&mut self.scratch);
+        account_tx(WireCodec::Binary, self.scratch.len());
+        write_frame(&mut self.stream, &self.scratch)
+            .map_err(|e| CgError::ServiceFailure(format!("hello send: {e}")))?;
+        let frame = self
+            .reader
+            .read(&mut self.stream)
+            .map_err(|e| CgError::ServiceFailure(format!("hello recv: {e}")))?;
+        if let Ok(wire::Frame::HelloAck { .. }) = wire::decode_frame(frame) {
+            account_rx(WireCodec::Binary, frame.len());
+            self.negotiated = Some(WireCodec::Binary);
+            return Ok(WireCodec::Binary);
+        }
+        account_rx(WireCodec::Json, frame.len());
+        let resp: Response = serde_json::from_slice(frame)
+            .map_err(|e| CgError::ServiceFailure(format!("unintelligible hello reply: {e}")))?;
+        if let Response::Overloaded {
+            retry_after_ms,
+            reason,
+        } = resp
+        {
+            // A healthy-but-full peer refused the connection before seeing
+            // the probe; surface the overload and renegotiate on retry.
+            return Err(CgError::Overloaded {
+                retry_after_ms,
+                reason,
+            });
+        }
+        // Any other JSON answer (typically the bad-frame error) marks an
+        // old peer: fall back for the connection's lifetime.
+        cg_telemetry::global().wire.fallbacks.inc();
+        self.negotiated = Some(WireCodec::Json);
+        Ok(WireCodec::Json)
+    }
+
+    /// Maps typed error responses to their error surface.
+    fn settle_response(resp: Response) -> Result<Response, CgError> {
         match resp {
             Response::Error(e) => Err(CgError::Session(e)),
             Response::Fatal(e) => Err(CgError::SessionLost(e)),
@@ -1421,6 +1812,211 @@ impl TcpClient {
             }),
             ok => Ok(ok),
         }
+    }
+
+    /// Sends `req` on the negotiated codec, returning the stamped
+    /// correlation id (binary) or 0 (JSON, which has in-order replies).
+    fn send_request(&mut self, codec: WireCodec, req: &Request) -> Result<u64, CgError> {
+        match codec {
+            WireCodec::Json => {
+                let bytes = encode_request(req, self.tenant.as_deref())?;
+                account_tx(WireCodec::Json, bytes.len());
+                write_frame(&mut self.stream, &bytes)
+                    .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
+                Ok(0)
+            }
+            WireCodec::Binary => {
+                self.corr += 1;
+                let corr = self.corr;
+                wire::encode_request_frame(
+                    &mut self.scratch,
+                    corr,
+                    req,
+                    cg_telemetry::current_context(),
+                    self.tenant.as_deref(),
+                );
+                account_tx(WireCodec::Binary, self.scratch.len());
+                write_frame(&mut self.stream, &self.scratch)
+                    .map_err(|e| CgError::ServiceFailure(format!("send: {e}")))?;
+                Ok(corr)
+            }
+        }
+    }
+
+    /// Receives one response frame on the negotiated codec, returning its
+    /// correlation id (0 for JSON frames).
+    fn recv_response(&mut self, codec: WireCodec) -> Result<(u64, Response), CgError> {
+        let frame = self.reader.read(&mut self.stream).map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                cg_telemetry::global().timeouts.inc();
+            }
+            CgError::ServiceFailure(format!("recv: {e}"))
+        })?;
+        match codec {
+            WireCodec::Json => {
+                account_rx(WireCodec::Json, frame.len());
+                let resp: Response = serde_json::from_slice(frame)
+                    .map_err(|e| CgError::ServiceFailure(e.to_string()))?;
+                Ok((0, resp))
+            }
+            WireCodec::Binary => {
+                account_rx(WireCodec::Binary, frame.len());
+                match wire::decode_frame(frame) {
+                    Ok(wire::Frame::Response { corr, body }) => {
+                        match wire::decode_response_body(body) {
+                            Ok(resp) => Ok((corr, resp)),
+                            Err(e) => {
+                                cg_telemetry::global().wire.decode_errors.inc();
+                                Err(CgError::ServiceFailure(format!("bad response frame: {e}")))
+                            }
+                        }
+                    }
+                    _ => {
+                        cg_telemetry::global().wire.decode_errors.inc();
+                        Err(CgError::ServiceFailure(
+                            "unexpected frame kind in response".to_string(),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    fn call_once(&mut self, req: &Request) -> Result<Response, CgError> {
+        let codec = self.ensure_negotiated()?;
+        let corr = self.send_request(codec, req)?;
+        let (got, resp) = self.recv_response(codec)?;
+        if got != corr {
+            // A serial call found a stale reply on the socket (e.g. a
+            // timed-out predecessor answered late): the stream is
+            // desynchronized, which the retry ladder heals by reconnect.
+            return Err(CgError::ServiceFailure(format!(
+                "correlation mismatch: wanted {corr}, got {got}"
+            )));
+        }
+        Self::settle_response(resp)
+    }
+
+    /// Issues a batch of requests with all of them in flight on this one
+    /// socket before the first reply is awaited, then demuxes the replies
+    /// by correlation id (binary codec) or strict FIFO order (JSON codec —
+    /// both servers process a connection's frames sequentially and reply
+    /// in receipt order).
+    ///
+    /// Typed per-request errors (`Error`, `Budget`, …) are returned as
+    /// their raw [`Response`] values in the matching slot — one failed
+    /// step must not discard its siblings' results. Transport-level
+    /// failures abort the whole batch.
+    ///
+    /// # Errors
+    /// [`CgError::ServiceFailure`] on I/O or decode failure.
+    pub fn call_pipelined(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CgError> {
+        let mut out: Vec<Option<Response>> = vec![None; reqs.len()];
+        self.pipeline_once(reqs, &mut out)?;
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("pipeline_once fills every slot on success"))
+            .collect())
+    }
+
+    /// One pipelined attempt: sends every request whose `done` slot is
+    /// still empty, then collects replies until all slots are filled.
+    /// Slots filled by a previous attempt are left untouched, so a retry
+    /// wrapper re-issues only the requests whose replies were lost.
+    fn pipeline_once(
+        &mut self,
+        reqs: &[Request],
+        done: &mut [Option<Response>],
+    ) -> Result<(), CgError> {
+        debug_assert_eq!(reqs.len(), done.len());
+        let codec = self.ensure_negotiated()?;
+        let wire_stats = &cg_telemetry::global().wire;
+        // corr id → slot index, for the binary demux.
+        let mut pending: HashMap<u64, usize> = HashMap::new();
+        let mut order: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        // The whole window is encoded into one buffer and flushed with a
+        // single write: one syscall per window instead of one per request,
+        // and no chance for the kernel to coalesce-and-stall partial frames.
+        let mut batch: Vec<u8> = Vec::new();
+        for (at, req) in reqs.iter().enumerate() {
+            if done[at].is_some() {
+                continue;
+            }
+            let corr = match codec {
+                WireCodec::Json => {
+                    let bytes = encode_request(req, self.tenant.as_deref())?;
+                    account_tx(WireCodec::Json, bytes.len());
+                    batch.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    batch.extend_from_slice(&bytes);
+                    0
+                }
+                WireCodec::Binary => {
+                    self.corr += 1;
+                    wire::encode_request_frame(
+                        &mut self.scratch,
+                        self.corr,
+                        req,
+                        cg_telemetry::current_context(),
+                        self.tenant.as_deref(),
+                    );
+                    account_tx(WireCodec::Binary, self.scratch.len());
+                    batch.extend_from_slice(&(self.scratch.len() as u32).to_le_bytes());
+                    batch.extend_from_slice(&self.scratch);
+                    self.corr
+                }
+            };
+            wire_stats.pipelined_calls.inc();
+            wire_stats.in_flight.inc();
+            pending.insert(corr, at);
+            order.push_back(at);
+        }
+        if !batch.is_empty() {
+            use std::io::Write as _;
+            if let Err(e) = self.stream.write_all(&batch) {
+                for _ in &order {
+                    wire_stats.in_flight.dec();
+                }
+                return Err(CgError::ServiceFailure(format!("send: {e}")));
+            }
+        }
+        let result = (|| {
+            while !order.is_empty() {
+                let (corr, resp) = self.recv_response(codec)?;
+                let at = match codec {
+                    // JSON replies carry no ids; both server loops answer a
+                    // connection's frames strictly in receipt order.
+                    WireCodec::Json => order.pop_front().expect("order is non-empty"),
+                    WireCodec::Binary => {
+                        let at = pending.remove(&corr).ok_or_else(|| {
+                            CgError::ServiceFailure(format!(
+                                "correlation mismatch: unexpected id {corr}"
+                            ))
+                        })?;
+                        let in_order = order.front() == Some(&at);
+                        if in_order {
+                            order.pop_front();
+                        } else {
+                            order.retain(|x| *x != at);
+                        }
+                        at
+                    }
+                };
+                wire_stats.in_flight.dec();
+                done[at] = Some(resp);
+            }
+            Ok(())
+        })();
+        // On transport failure the unanswered requests stay in flight from
+        // the gauge's perspective unless drained here.
+        if result.is_err() {
+            for _ in &order {
+                wire_stats.in_flight.dec();
+            }
+        }
+        result
     }
 
     /// Issues one request over the socket. On an I/O error the connection is
@@ -1465,6 +2061,9 @@ impl TcpClient {
         match Self::open(&self.addr, self.timeout) {
             Ok(stream) => {
                 self.stream = stream;
+                // The new peer may be older or newer than the last one:
+                // renegotiate the codec on the first call over this stream.
+                self.negotiated = None;
                 let tel = cg_telemetry::global();
                 tel.reconnects.inc();
                 tel.trace.emit_status(
@@ -1697,6 +2296,73 @@ impl TcpTransport {
         }
     }
 
+    /// Sets the codec preference on the shared socket (see
+    /// [`TcpClient::set_codec`]).
+    pub fn set_codec(&self, codec: WireCodec) {
+        self.inner.lock().set_codec(codec);
+    }
+
+    /// The codec negotiated on the current connection, if settled.
+    pub fn codec(&self) -> Option<WireCodec> {
+        self.inner.lock().codec()
+    }
+
+    /// Issues a batch of requests with the whole window in flight on the
+    /// socket before the first reply is awaited (see
+    /// [`TcpClient::call_pipelined`]), under the recovery policy with
+    /// per-correlation-id retry accounting: a transport failure mid-window
+    /// reconnects and re-issues only the unanswered requests, each bounded
+    /// individually by the policy's attempt count and wall budget — replies
+    /// that already landed are never re-executed.
+    ///
+    /// Typed per-request errors are returned in their slots as raw
+    /// [`Response`] values; only transport-level failure errors the batch.
+    ///
+    /// # Errors
+    /// The final transport error once any unanswered request exhausts the
+    /// policy.
+    pub fn call_pipelined(&self, reqs: &[Request]) -> Result<Vec<Response>, CgError> {
+        let mut span = cg_telemetry::global()
+            .trace
+            .span(format!("rpc:pipeline:{}", reqs.len()));
+        let mut done: Vec<Option<Response>> = vec![None; reqs.len()];
+        let mut tracker = PipelineRetry::new(reqs.len(), self.policy.clone());
+        loop {
+            let result = self.inner.lock().pipeline_once(reqs, &mut done);
+            match result {
+                Ok(()) => {
+                    return Ok(done
+                        .into_iter()
+                        .map(|r| r.expect("pipeline_once fills every slot on success"))
+                        .collect());
+                }
+                Err(CgError::ServiceFailure(e)) => {
+                    let unanswered: Vec<usize> = done
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(at, r)| r.is_none().then_some(at))
+                        .collect();
+                    match tracker.record_failure(&unanswered, &e) {
+                        Some(backoff) => {
+                            std::thread::sleep(backoff);
+                            self.inner.lock().reconnect(&e);
+                        }
+                        None => {
+                            span.set_status(SpanStatus::Error);
+                            span.set_detail(&e);
+                            return Err(CgError::ServiceFailure(e));
+                        }
+                    }
+                }
+                Err(other) => {
+                    span.set_status(SpanStatus::Error);
+                    span.set_detail(other.to_string());
+                    return Err(other);
+                }
+            }
+        }
+    }
+
     /// The TCP analog of [`ServiceClient::restart`]: drop the (possibly
     /// wedged) connection and open a fresh one. Remote sessions on the old
     /// connection are lost; callers re-establish them via replay, exactly as
@@ -1725,7 +2391,6 @@ mod tests {
     use super::*;
     use crate::chaos::{FaultKind, FaultPlan};
     use crate::session::ActionOutcome;
-    use std::io::Write as _;
 
     /// A writer that takes at most `cap` bytes per call, exercising the
     /// partial-write continuation of the vectored [`write_frame`].
@@ -2361,5 +3026,268 @@ mod tests {
                 Err(e) => panic!("cap never released: {e}"),
             }
         }
+    }
+
+    #[test]
+    fn tcp_negotiates_binary_by_default() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || serve_tcp(listener, counting_factory()));
+        let mut client = TcpClient::connect(&addr, Duration::from_secs(5)).unwrap();
+        assert_eq!(client.codec(), None, "codec settles lazily, on first call");
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+        assert_eq!(client.codec(), Some(crate::wire::WireCodec::Binary));
+        // A full session round-trips typed payloads over the binary codec.
+        let sid = match client
+            .call(&Request::StartSession {
+                benchmark: "x".into(),
+                action_space: 0,
+            })
+            .unwrap()
+        {
+            Response::SessionStarted { session_id } => session_id,
+            r => panic!("{r:?}"),
+        };
+        match client
+            .call(&Request::Step {
+                session_id: sid,
+                actions: vec![0, 0, 0],
+                observation_spaces: vec!["steps".into()],
+            })
+            .unwrap()
+        {
+            Response::Stepped { observations, .. } => {
+                assert_eq!(observations[0].as_scalar(), Some(3.0));
+            }
+            r => panic!("{r:?}"),
+        }
+        let _ = client.call(&Request::Shutdown);
+    }
+
+    #[test]
+    fn json_pinned_client_skips_negotiation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || serve_tcp(listener, counting_factory()));
+        let mut client = TcpClient::connect(&addr, Duration::from_secs(5)).unwrap();
+        client.set_codec(crate::wire::WireCodec::Json);
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+        assert_eq!(client.codec(), Some(crate::wire::WireCodec::Json));
+        let _ = client.call(&Request::Shutdown);
+    }
+
+    #[test]
+    fn json_only_peer_interops_with_binary_server() {
+        // Simulates an old, pre-CGB1 client: hand-rolled JSON frames on a
+        // raw socket, no Hello, no magic. The binary-capable server must
+        // sniff each frame and answer it in JSON, unchanged.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || serve_tcp(listener, counting_factory()));
+        let mut peer = TcpStream::connect(&addr).unwrap();
+        peer.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut rpc = |req: &Request| -> Response {
+            write_frame(&mut peer, &serde_json::to_vec(req).unwrap()).unwrap();
+            let frame = read_frame(&mut peer).unwrap();
+            serde_json::from_slice(&frame).unwrap()
+        };
+        assert!(matches!(rpc(&Request::Ping), Response::Pong));
+        let sid = match rpc(&Request::StartSession {
+            benchmark: "x".into(),
+            action_space: 0,
+        }) {
+            Response::SessionStarted { session_id } => session_id,
+            r => panic!("{r:?}"),
+        };
+        match rpc(&Request::Step {
+            session_id: sid,
+            actions: vec![0, 0],
+            observation_spaces: vec!["steps".into()],
+        }) {
+            Response::Stepped { observations, .. } => {
+                assert_eq!(observations[0].as_scalar(), Some(2.0));
+            }
+            r => panic!("{r:?}"),
+        }
+        assert!(matches!(rpc(&Request::Shutdown), Response::Ok));
+    }
+
+    #[test]
+    fn binary_client_falls_back_against_json_only_server() {
+        // A legacy JSON-only server: anything it cannot parse as UTF-8 JSON
+        // (such as a CGB1 Hello probe) gets a typed JSON error reply. A
+        // binary-preferring client must settle on JSON transparently.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            loop {
+                let frame = match read_frame(&mut conn) {
+                    Ok(f) => f,
+                    Err(_) => return,
+                };
+                let parsed = std::str::from_utf8(&frame)
+                    .map_err(|e| e.to_string())
+                    .and_then(|s| serde_json::from_str::<Request>(s).map_err(|e| e.to_string()));
+                let resp = match parsed {
+                    Ok(Request::Ping) => Response::Pong,
+                    Ok(Request::Shutdown) => {
+                        let _ = write_frame(&mut conn, &serde_json::to_vec(&Response::Ok).unwrap());
+                        return;
+                    }
+                    Ok(_) => Response::Error("unsupported".into()),
+                    Err(e) => Response::Error(format!("bad request frame: {e}")),
+                };
+                if write_frame(&mut conn, &serde_json::to_vec(&resp).unwrap()).is_err() {
+                    return;
+                }
+            }
+        });
+        let tel = cg_telemetry::global();
+        let fallbacks_before = tel.wire.fallbacks.get();
+        let mut client = TcpClient::connect_with_policy(
+            &addr,
+            Duration::from_secs(5),
+            RetryPolicy::default().with_max_attempts(1),
+        )
+        .unwrap();
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+        assert_eq!(client.codec(), Some(crate::wire::WireCodec::Json));
+        assert!(
+            tel.wire.fallbacks.get() > fallbacks_before,
+            "the JSON fallback must be recorded"
+        );
+        let _ = client.call(&Request::Shutdown);
+    }
+
+    #[test]
+    fn trace_and_tenant_metadata_survive_binary_codec() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || serve_tcp(listener, counting_factory()));
+        let mut client = TcpClient::connect(&addr, Duration::from_secs(5)).unwrap();
+        client.set_tenant("metadata-tenant");
+        let sentinel = cg_telemetry::TraceContext {
+            trace_id: 0xC0FF_EE00_0000_0042,
+            span_id: 7,
+        };
+        {
+            let _guard = cg_telemetry::enter_context(sentinel);
+            assert!(matches!(
+                client.call(&Request::Ping).unwrap(),
+                Response::Pong
+            ));
+        }
+        assert_eq!(client.codec(), Some(crate::wire::WireCodec::Binary));
+        // The server-side dispatch span must have joined the client's trace:
+        // the `__trace`-equivalent metadata rode inside the binary frame.
+        let joined = cg_telemetry::global()
+            .trace
+            .events()
+            .iter()
+            .any(|s| s.trace_id == sentinel.trace_id && s.span.starts_with("service:"));
+        assert!(joined, "server span must carry the client's trace id");
+        let _ = client.call(&Request::Shutdown);
+    }
+
+    #[test]
+    fn tcp_pipelined_matches_serial() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || serve_tcp(listener, counting_factory()));
+        let transport = TcpTransport::connect(&addr, Duration::from_secs(5)).unwrap();
+
+        // Serial reference run.
+        let sid = match transport
+            .call(Request::StartSession {
+                benchmark: "x".into(),
+                action_space: 0,
+            })
+            .unwrap()
+        {
+            Response::SessionStarted { session_id } => session_id,
+            r => panic!("{r:?}"),
+        };
+        let mut serial = Vec::new();
+        for _ in 0..4 {
+            match transport
+                .call(Request::Step {
+                    session_id: sid,
+                    actions: vec![0],
+                    observation_spaces: vec!["steps".into()],
+                })
+                .unwrap()
+            {
+                Response::Stepped { observations, .. } => {
+                    serial.push(observations[0].as_scalar().unwrap())
+                }
+                r => panic!("{r:?}"),
+            }
+        }
+
+        // Pipelined run on a fresh session: same actions, one wire window.
+        let sid2 = match transport
+            .call(Request::StartSession {
+                benchmark: "x".into(),
+                action_space: 0,
+            })
+            .unwrap()
+        {
+            Response::SessionStarted { session_id } => session_id,
+            r => panic!("{r:?}"),
+        };
+        let reqs: Vec<Request> = (0..4)
+            .map(|_| Request::Step {
+                session_id: sid2,
+                actions: vec![0],
+                observation_spaces: vec!["steps".into()],
+            })
+            .collect();
+        let tel = cg_telemetry::global();
+        let pipelined_before = tel.wire.pipelined_calls.get();
+        let replies = transport.call_pipelined(&reqs).unwrap();
+        assert!(tel.wire.pipelined_calls.get() >= pipelined_before + 4);
+        let pipelined: Vec<f64> = replies
+            .iter()
+            .map(|r| match r {
+                Response::Stepped { observations, .. } => observations[0].as_scalar().unwrap(),
+                r => panic!("{r:?}"),
+            })
+            .collect();
+        // Byte-identical step semantics: responses land in request order
+        // and the counter advances exactly as in the serial run.
+        assert_eq!(serial, pipelined);
+        let _ = transport.call(Request::Shutdown);
+    }
+
+    #[test]
+    fn service_client_pipelined_steps_in_order() {
+        let client = ServiceClient::spawn(counting_factory(), Duration::from_secs(5));
+        let sid = start(&client);
+        let reqs: Vec<Request> = (0..8)
+            .map(|_| Request::Step {
+                session_id: sid,
+                actions: vec![0],
+                observation_spaces: vec!["steps".into()],
+            })
+            .collect();
+        let replies = client.call_pipelined(&reqs).unwrap();
+        let counts: Vec<f64> = replies
+            .iter()
+            .map(|r| match r {
+                Response::Stepped { observations, .. } => observations[0].as_scalar().unwrap(),
+                r => panic!("{r:?}"),
+            })
+            .collect();
+        assert_eq!(counts, (1..=8).map(f64::from).collect::<Vec<_>>());
     }
 }

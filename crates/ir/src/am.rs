@@ -308,8 +308,10 @@ impl AnalysisManager {
     pub fn preserve_cfg(&mut self, fid: FuncId, f: &Function) {
         if let Some(e) = self.entries.get_mut(&fid.0) {
             if e.stamp.is_some() {
-                INVALIDATIONS
-                    .fetch_add(e.liveness.is_some() as u64 + e.defuse.is_some() as u64, Ordering::Relaxed);
+                INVALIDATIONS.fetch_add(
+                    e.liveness.is_some() as u64 + e.defuse.is_some() as u64,
+                    Ordering::Relaxed,
+                );
                 e.liveness = None;
                 e.defuse = None;
                 e.stamp = Some(f.stamp());
@@ -319,7 +321,10 @@ impl AnalysisManager {
 
     /// Number of functions with at least one cached analysis.
     pub fn cached_functions(&self) -> usize {
-        self.entries.values().filter(|e| e.cached_count() > 0).count()
+        self.entries
+            .values()
+            .filter(|e| e.cached_count() > 0)
+            .count()
     }
 
     fn key_matches(&self, m: &crate::Module) -> bool {
@@ -550,7 +555,10 @@ mod tests {
         assert!(!am.known_noop("dce", &m));
         am.note_noop("dce", &m);
         assert!(am.known_noop("dce", &m), "same content, same pass: skip");
-        assert!(!am.known_noop("gvn", &m), "other passes are not vouched for");
+        assert!(
+            !am.known_noop("gvn", &m),
+            "other passes are not vouched for"
+        );
 
         // A pass that sweeps through block_mut but changes nothing renames
         // stamps; note_noop re-adopts the fingerprint under the same

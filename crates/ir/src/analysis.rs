@@ -463,7 +463,10 @@ impl DefUse {
 
     /// All use sites of `v` in layout/program order.
     pub fn uses(&self, v: ValueId) -> &[(BlockId, u32)] {
-        self.uses.get(v.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+        self.uses
+            .get(v.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Number of uses of `v`.

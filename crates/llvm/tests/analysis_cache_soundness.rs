@@ -109,7 +109,10 @@ fn noop_memo_skips_preserve_printed_ir() {
         space.apply_with(&mut cached, a, &mut am);
     }
     let skips = cg_ir::am::cache_stats().noop_skips;
-    assert!(skips > 0, "repeating a converged sequence never hit the memo");
+    assert!(
+        skips > 0,
+        "repeating a converged sequence never hit the memo"
+    );
 
     let mut plain = m0.clone();
     let mut off = AnalysisManager::disabled();
@@ -122,4 +125,3 @@ fn noop_memo_skips_preserve_printed_ir() {
         "memoized skips changed the produced IR"
     );
 }
-

@@ -16,10 +16,7 @@
 use cg_llvm::action_space::ActionSpace;
 
 const GOLDEN: &str = include_str!("goldens/ir_equivalence.txt");
-const BENCHMARKS: [&str; 2] = [
-    "benchmark://cbench-v1/crc32",
-    "benchmark://csmith-v0/12345",
-];
+const BENCHMARKS: [&str; 2] = ["benchmark://cbench-v1/crc32", "benchmark://csmith-v0/12345"];
 
 /// One line per (benchmark, action): `uri<TAB>action<TAB>hash`, plus a
 /// `<uri><TAB><baseline><TAB>hash` line for the unoptimized module.
@@ -35,8 +32,9 @@ fn current_table() -> String {
         for i in 0..space.len() {
             let mut m = base.clone();
             space.apply(&mut m, i);
-            cg_ir::verify::verify_module(&m)
-                .unwrap_or_else(|e| panic!("{uri}: {} broke the module: {e}", space.pass(i).name()));
+            cg_ir::verify::verify_module(&m).unwrap_or_else(|e| {
+                panic!("{uri}: {} broke the module: {e}", space.pass(i).name())
+            });
             out.push_str(&format!(
                 "{uri}\t{}\t{:016x}\n",
                 space.pass(i).name(),
@@ -51,7 +49,10 @@ fn current_table() -> String {
 fn printed_ir_is_byte_identical_for_all_actions() {
     let table = current_table();
     if std::env::var_os("CG_BLESS").is_some() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/ir_equivalence.txt");
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/goldens/ir_equivalence.txt"
+        );
         std::fs::write(path, &table).unwrap();
         eprintln!("blessed {path}");
         return;

@@ -537,6 +537,72 @@ pub fn collect(snap: &TelemetrySnapshot) -> Vec<MetricFamily> {
         &snap.stdb.append_wall,
     ));
 
+    // Wire protocol (codec + pipelining).
+    for (name, help, v) in [
+        (
+            "cg_wire_tx_bytes_json_total",
+            "Payload bytes written as JSON frames.",
+            snap.wire.tx_bytes_json,
+        ),
+        (
+            "cg_wire_tx_bytes_binary_total",
+            "Payload bytes written as CGB1 binary frames.",
+            snap.wire.tx_bytes_binary,
+        ),
+        (
+            "cg_wire_rx_bytes_json_total",
+            "Payload bytes read as JSON frames.",
+            snap.wire.rx_bytes_json,
+        ),
+        (
+            "cg_wire_rx_bytes_binary_total",
+            "Payload bytes read as CGB1 binary frames.",
+            snap.wire.rx_bytes_binary,
+        ),
+        (
+            "cg_wire_frames_total",
+            "Frames moved in either direction, both codecs.",
+            snap.wire.frames,
+        ),
+        (
+            "cg_wire_decode_errors_total",
+            "Binary frames that failed to decode (answered in band).",
+            snap.wire.decode_errors,
+        ),
+        (
+            "cg_wire_pipelined_calls_total",
+            "Calls issued through the pipelined path.",
+            snap.wire.pipelined_calls,
+        ),
+        (
+            "cg_wire_negotiations_total",
+            "Connections negotiated up to the binary codec.",
+            snap.wire.negotiations,
+        ),
+        (
+            "cg_wire_fallbacks_total",
+            "Negotiations that fell back to JSON (old peer).",
+            snap.wire.fallbacks,
+        ),
+    ] {
+        out.push(counter(name, help, v));
+    }
+    out.push(gauge(
+        "cg_wire_in_flight",
+        "Requests currently in flight on pipelined sockets.",
+        snap.wire.in_flight as f64,
+    ));
+    out.push(summary(
+        "cg_wire_encode_micros",
+        "Binary frame encode wall time in microseconds.",
+        &snap.wire.encode_wall,
+    ));
+    out.push(summary(
+        "cg_wire_decode_micros",
+        "Binary frame decode wall time in microseconds.",
+        &snap.wire.decode_wall,
+    ));
+
     // Fuzzer.
     out.push(counter(
         "cg_fuzz_cases_total",
